@@ -1,0 +1,70 @@
+// Shared plumbing for the experiment harness (DESIGN.md §5).
+//
+// Every bench binary prints the table/figure it regenerates as
+// whitespace-aligned rows (machine-greppable, "fig:" / "tab:" prefixed),
+// then runs any registered google-benchmark timing cases.  Scale can be
+// reduced with HMIS_BENCH_SCALE=quick for smoke runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hmis/hmis.hpp"
+
+namespace hmis::bench {
+
+/// true when HMIS_BENCH_SCALE=quick — benches shrink sweeps accordingly.
+inline bool quick_mode() {
+  const char* v = std::getenv("HMIS_BENCH_SCALE");
+  return v != nullptr && std::strcmp(v, "quick") == 0;
+}
+
+inline void print_header(const char* tag, const char* title) {
+  std::printf("\n==== %s — %s ====\n", tag, title);
+}
+
+/// Section separator so a single stdout stream stays parseable.
+inline void print_footer(const char* tag) {
+  std::printf("==== end %s ====\n\n", tag);
+}
+
+/// Run one algorithm through the facade and return the run (verification
+/// included).  Aborts the bench on algorithm failure: a bench on top of a
+/// failed run would report garbage.
+inline core::MisRun run_algorithm(const Hypergraph& h, core::Algorithm a,
+                                  std::uint64_t seed,
+                                  bool record_trace = false) {
+  core::FindOptions opt;
+  opt.seed = seed;
+  opt.record_trace = record_trace;
+  auto run = core::find_mis(h, a, opt);
+  if (!run.result.success) {
+    std::fprintf(stderr, "bench: %s failed: %s\n",
+                 std::string(core::algorithm_name(a)).c_str(),
+                 run.result.failure_reason.c_str());
+    std::exit(1);
+  }
+  return run;
+}
+
+/// Geometric sweep n = base * 2^k, k in [0, steps).
+inline std::vector<std::size_t> pow2_sweep(std::size_t base,
+                                           std::size_t steps) {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < steps; ++k) out.push_back(base << k);
+  return out;
+}
+
+inline int finish(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hmis::bench

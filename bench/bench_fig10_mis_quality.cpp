@@ -1,0 +1,65 @@
+// F10 — MIS quality: all algorithms return *maximal* independent sets, but
+// their sizes differ.  On planted instances the planted set calibrates the
+// scale.  Expected: sizes within a modest band of each other; greedy
+// usually largest, none pathologically small; every run verified.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hmis;
+using core::Algorithm;
+
+void run_figure() {
+  hmis::bench::print_header("fig:10", "MIS size distribution per algorithm");
+  const std::size_t n = hmis::bench::quick_mode() ? 1500 : 4000;
+  const std::size_t reps = hmis::bench::quick_mode() ? 3 : 5;
+
+  struct CaseSpec {
+    const char* name;
+    Hypergraph h;
+    std::size_t planted;
+  };
+  const CaseSpec cases[] = {
+      {"uniform-3", gen::uniform_random(n, 3 * n, 3, 43), 0},
+      {"planted-30%", gen::planted_mis(n, 3 * n, 3, 0.3, 43),
+       static_cast<std::size_t>(0.3 * static_cast<double>(n))},
+      {"interval-6", gen::interval(n, 6, 2), 0},
+  };
+
+  std::printf("%-12s %-12s %10s %10s %10s %9s\n", "family", "algorithm",
+              "min|I|", "mean|I|", "max|I|", "verified");
+  for (const auto& c : cases) {
+    for (const Algorithm a :
+         {Algorithm::Greedy, Algorithm::PermutationGreedy, Algorithm::BL,
+          Algorithm::PermutationMIS, Algorithm::KUW, Algorithm::SBL}) {
+      std::size_t mn = SIZE_MAX, mx = 0, total = 0;
+      bool all_ok = true;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto run = hmis::bench::run_algorithm(c.h, a, 100 + rep);
+        const std::size_t size = run.result.independent_set.size();
+        mn = std::min(mn, size);
+        mx = std::max(mx, size);
+        total += size;
+        all_ok = all_ok && run.verdict.ok();
+      }
+      std::printf("%-12s %-12s %10zu %10.1f %10zu %9s\n", c.name,
+                  std::string(core::algorithm_name(a)).c_str(), mn,
+                  static_cast<double>(total) / static_cast<double>(reps), mx,
+                  all_ok ? "yes" : "NO");
+    }
+    if (c.planted > 0) {
+      std::printf("%-12s %-12s %10s planted independent set size: %zu\n",
+                  c.name, "(reference)", "", c.planted);
+    }
+  }
+  std::printf("# expectation: every row verified; sizes within ~20%% of\n"
+              "# each other; planted instances give |I| >= planted size.\n");
+  hmis::bench::print_footer("fig:10");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,0 +1,64 @@
+// F11 — strong scaling of the shared-memory runtime (the PRAM stand-in):
+// wall time vs thread count on a fixed instance.  On a single-core host
+// (CI) the curve is flat-to-worse; the bench also reports the modeled
+// parallelism, which is machine-independent and is the quantity the PRAM
+// claims are about.
+#include "bench_common.hpp"
+
+#include <thread>
+
+namespace {
+
+using namespace hmis;
+
+void run_figure() {
+  hmis::bench::print_header("fig:11",
+                            "strong scaling: wall time vs threads");
+  const std::size_t n = hmis::bench::quick_mode() ? 20000 : 60000;
+  const Hypergraph h = gen::uniform_random(n, 3 * n, 3, 47);
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %12s %14s\n", "threads", "bl_ms", "kuw_ms",
+              "parallelism");
+  for (const std::size_t t : {1u, 2u, 4u, 8u}) {
+    par::set_global_threads(t);
+    algo::BlOptions bopt;
+    bopt.seed = 47;
+    const auto rb = algo::bl(h, bopt);
+    algo::KuwOptions kopt;
+    kopt.seed = 47;
+    const auto rk = algo::kuw_mis(h, kopt);
+    if (!rb.success || !rk.success) {
+      std::fprintf(stderr, "algorithm failed in scaling bench\n");
+      std::exit(1);
+    }
+    std::printf("%8zu %12.2f %12.2f %14.1f\n", t, rb.seconds * 1e3,
+                rk.seconds * 1e3, pram::parallelism(rb.metrics));
+  }
+  par::set_global_threads(1);
+  std::printf("# expectation: results identical across thread counts\n"
+              "# (determinism); speedup tracks physical cores — flat on a\n"
+              "# single-core host; modeled parallelism >> 1 regardless.\n");
+  hmis::bench::print_footer("fig:11");
+}
+
+void BM_BlAtThreads(benchmark::State& state) {
+  par::set_global_threads(static_cast<std::size_t>(state.range(0)));
+  const Hypergraph h = gen::uniform_random(20000, 60000, 3, 47);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    algo::BlOptions opt;
+    opt.seed = seed++;
+    const auto r = algo::bl(h, opt);
+    benchmark::DoNotOptimize(r.independent_set.data());
+  }
+  par::set_global_threads(1);
+}
+BENCHMARK(BM_BlAtThreads)->Arg(1)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,0 +1,58 @@
+// F1 — Theorem 2 shape: BL stage count vs n at fixed dimension d = 3.
+// Expected: stages grow like a polylog of n — the stages/log2(n) column
+// should grow slowly, and stages should stay far below sqrt(n).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+namespace {
+
+using namespace hmis;
+
+void run_figure() {
+  hmis::bench::print_header("fig:1", "BL stages vs n (d = 3, m = 3n)");
+  std::printf("%10s %10s %12s %14s %12s\n", "n", "stages", "stages/log2n",
+              "stages/sqrt_n", "time_ms");
+  const std::size_t steps = hmis::bench::quick_mode() ? 4 : 8;
+  for (const std::size_t n : hmis::bench::pow2_sweep(1024, steps)) {
+    const Hypergraph h = gen::uniform_random(n, 3 * n, 3, 5);
+    algo::BlOptions opt;
+    opt.seed = 5;
+    const auto r = algo::bl(h, opt);
+    if (!r.success) {
+      std::fprintf(stderr, "BL failed at n=%zu: %s\n", n,
+                   r.failure_reason.c_str());
+      std::exit(1);
+    }
+    const double logn = std::log2(static_cast<double>(n));
+    std::printf("%10zu %10zu %12.2f %14.3f %12.2f\n", n, r.rounds,
+                static_cast<double>(r.rounds) / logn,
+                static_cast<double>(r.rounds) /
+                    std::sqrt(static_cast<double>(n)),
+                r.seconds * 1e3);
+  }
+  std::printf("# expectation: stages/log2n roughly flat (polylog),\n"
+              "# stages/sqrt_n decreasing toward 0 (BL beats KUW here).\n");
+  hmis::bench::print_footer("fig:1");
+}
+
+void BM_BlRounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Hypergraph h = gen::uniform_random(n, 3 * n, 3, 5);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    algo::BlOptions opt;
+    opt.seed = seed++;
+    const auto r = algo::bl(h, opt);
+    benchmark::DoNotOptimize(r.independent_set.data());
+    state.counters["stages"] = static_cast<double>(r.rounds);
+  }
+}
+BENCHMARK(BM_BlRounds)->Arg(1024)->Arg(4096)->Arg(16384);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  return hmis::bench::finish(argc, argv);
+}

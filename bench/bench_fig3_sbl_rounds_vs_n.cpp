@@ -1,0 +1,56 @@
+// F3 — SBL rounds vs n against the analysis bound r = 2·log2(n)/p
+// (paper §2.2 claim (1)).  Measured rounds must stay below the bound at
+// every n; the bound is loose, so the ratio should sit well under 1.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hmis;
+
+void run_figure() {
+  hmis::bench::print_header("fig:3", "SBL rounds vs n vs bound 2·log2(n)/p");
+  std::printf("%10s %10s %8s %10s %12s %10s %10s\n", "n", "p", "d", "rounds",
+              "bound", "ratio", "resamples");
+  const std::size_t steps = hmis::bench::quick_mode() ? 3 : 5;
+  for (const std::size_t n : hmis::bench::pow2_sweep(2000, steps)) {
+    // High-dimension, bounded-m instances: the Theorem 1 regime.
+    const Hypergraph h = gen::sbl_regime(n, 0.6, 0, 13);
+    core::SblOptions opt;
+    opt.seed = 13;
+    const auto params = core::resolve_sbl_params(n, h.num_edges(), opt);
+    const auto r = core::sbl(h, opt);
+    if (!r.success) {
+      std::fprintf(stderr, "SBL failed at n=%zu: %s\n", n,
+                   r.failure_reason.c_str());
+      std::exit(1);
+    }
+    std::printf("%10zu %10.5f %8zu %10zu %12.0f %10.3f %10zu\n", n, params.p,
+                params.d, r.rounds, params.predicted_round_bound,
+                static_cast<double>(r.rounds) / params.predicted_round_bound,
+                r.resamples);
+  }
+  std::printf("# expectation: ratio < 1 everywhere (claim (1) holds);\n"
+              "# resamples ~ 0 (claim (2): violations <= 1/n likely).\n");
+  hmis::bench::print_footer("fig:3");
+}
+
+void BM_Sbl(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Hypergraph h = gen::sbl_regime(n, 0.6, 0, 13);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::SblOptions opt;
+    opt.seed = seed++;
+    const auto r = core::sbl(h, opt);
+    benchmark::DoNotOptimize(r.independent_set.data());
+    state.counters["rounds"] = static_cast<double>(r.rounds);
+  }
+}
+BENCHMARK(BM_Sbl)->Arg(2000)->Arg(8000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,0 +1,72 @@
+// F4 — claim (1) + Lemma 1 (Chernoff): each SBL round colors at least
+// p·n_i/2 vertices except with probability exp(-p·n_i/8).  We histogram the
+// per-round progress ratio colored/(p·n_i) over a real run and report the
+// violation rate against the Chernoff prediction.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hmis;
+
+void run_figure() {
+  hmis::bench::print_header(
+      "fig:4", "SBL per-round progress vs Chernoff floor p*n_i/2");
+  const std::size_t n = hmis::bench::quick_mode() ? 6000 : 20000;
+  const std::size_t seeds = hmis::bench::quick_mode() ? 2 : 8;
+  const Hypergraph h = gen::mixed_arity(n, n / 4, 2, 20, 17);
+
+  // Aggregate the per-round histogram over several seeds so the violation
+  // count comparison is statistical, not a single Poisson draw.
+  constexpr int kBuckets = 10;
+  int hist[kBuckets] = {};
+  std::size_t rounds = 0, violations = 0;
+  double chernoff_sum = 0.0;
+  double p_used = 0.0;
+  for (std::size_t s_i = 0; s_i < seeds; ++s_i) {
+    core::SblOptions opt;
+    opt.seed = 17 + s_i;
+    opt.record_trace = true;
+    const auto params = core::resolve_sbl_params(n, h.num_edges(), opt);
+    p_used = params.p;
+    const auto r = core::sbl(h, opt);
+    if (!r.success) {
+      std::fprintf(stderr, "SBL failed: %s\n", r.failure_reason.c_str());
+      std::exit(1);
+    }
+    for (const auto& s : r.trace) {
+      if (s.sampled == 0 && s.inner_stages == 0) continue;  // base-case row
+      ++rounds;
+      const double expected =
+          params.p * static_cast<double>(s.live_vertices);
+      const double colored = static_cast<double>(s.added_blue + s.forced_red);
+      const double ratio = expected > 0 ? colored / expected : 0.0;
+      const int b = std::min(kBuckets - 1,
+                             std::max(0, static_cast<int>(ratio / 0.25)));
+      ++hist[b];
+      if (colored < expected / 2.0) ++violations;
+      chernoff_sum += core::round_progress_failure_bound(
+          params.p, static_cast<double>(s.live_vertices));
+    }
+  }
+  std::printf("rounds=%zu over %zu seeds  p=%.5f\n", rounds, seeds, p_used);
+  std::printf("%16s %8s\n", "colored/(p*n_i)", "rounds");
+  for (int b = 0; b < kBuckets; ++b) {
+    std::printf("  [%4.2f, %4.2f) %8d %s\n", 0.25 * b, 0.25 * (b + 1),
+                hist[b], hist[b] > 0 ? std::string(
+                    static_cast<std::size_t>(hist[b]), '#').c_str() : "");
+  }
+  std::printf("violations (< 0.5): %zu measured vs %.3g bound "
+              "(sum of per-round Chernoff bounds; counts within ~2x of a\n"
+              "bound this small are consistent — the bound caps the MEAN)\n",
+              violations, chernoff_sum);
+  std::printf("# expectation: mass concentrated near 1.0; violations rare\n"
+              "# at the scale of the summed Chernoff failure bound.\n");
+  hmis::bench::print_footer("fig:4");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,0 +1,67 @@
+// F6 — KUW baseline scaling: rounds vs n.  The KUW guarantee is O(sqrt(n))
+// rounds; random instances progress much faster, structured ones (sunflower
+// with a big shared core, interval chains) sit closer to the bound.  The
+// rounds/sqrt(n) column must stay bounded across the sweep on every family.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+namespace {
+
+using namespace hmis;
+
+void run_figure() {
+  hmis::bench::print_header("fig:6", "KUW rounds vs n (rounds/sqrt(n))");
+  std::printf("%-12s %10s %10s %14s %12s\n", "family", "n", "rounds",
+              "rounds/sqrt_n", "time_ms");
+  const std::size_t steps = hmis::bench::quick_mode() ? 3 : 5;
+  for (const std::size_t n : hmis::bench::pow2_sweep(1000, steps)) {
+    struct Case {
+      const char* name;
+      Hypergraph h;
+    };
+    const Case cases[] = {
+        {"uniform-3", gen::uniform_random(n, 3 * n, 3, 21)},
+        {"interval", gen::interval(n, 6, 2)},
+        {"sunflower", gen::sunflower(8, 3, n / 3)},
+    };
+    for (const auto& c : cases) {
+      algo::KuwOptions opt;
+      opt.seed = 21;
+      const auto r = algo::kuw_mis(c.h, opt);
+      if (!r.success) {
+        std::fprintf(stderr, "KUW failed: %s\n", r.failure_reason.c_str());
+        std::exit(1);
+      }
+      std::printf("%-12s %10zu %10zu %14.3f %12.2f\n", c.name,
+                  c.h.num_vertices(), r.rounds,
+                  static_cast<double>(r.rounds) /
+                      std::sqrt(static_cast<double>(c.h.num_vertices())),
+                  r.seconds * 1e3);
+    }
+  }
+  std::printf("# expectation: rounds/sqrt_n bounded (the O(sqrt n)\n"
+              "# guarantee); far below 1 on random, higher on structured.\n");
+  hmis::bench::print_footer("fig:6");
+}
+
+void BM_Kuw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Hypergraph h = gen::uniform_random(n, 3 * n, 3, 21);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    algo::KuwOptions opt;
+    opt.seed = seed++;
+    const auto r = algo::kuw_mis(h, opt);
+    benchmark::DoNotOptimize(r.independent_set.data());
+    state.counters["rounds"] = static_cast<double>(r.rounds);
+  }
+}
+BENCHMARK(BM_Kuw)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,0 +1,113 @@
+// F8 — edge migration (the analysis bottleneck, paper §3/§4): during BL,
+// edges of size |x|+k shrink into size |x|+j, increasing d_j(x,H).
+// Corollary 2 bounds the per-stage increase by Σ (log n)^{2^{k-j+1}}·Δ_k;
+// Corollary 4 (Kim–Vu) tightens it to Σ (log n)^{2(k-j)}·Δ_k.  We track
+// real per-stage increases of N_j(x)^(1/j) for sampled x during a BL run
+// and compare with both bounds.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace {
+
+using namespace hmis;
+
+struct Tracked {
+  VertexList x;
+  double max_increase = 0.0;  // max over stages of d_j(x) increase
+};
+
+void run_figure() {
+  hmis::bench::print_header(
+      "fig:8", "per-stage migration increase vs Cor.2 / Cor.4 bounds");
+  const std::size_t n = hmis::bench::quick_mode() ? 800 : 2000;
+  const Hypergraph h = gen::mixed_arity(n, 3 * n, 2, 5, 37);
+
+  // Track singletons and pairs from the densest edges.
+  std::vector<Tracked> tracked;
+  for (EdgeId e = 0; e < std::min<std::size_t>(h.num_edges(), 12); ++e) {
+    const auto verts = h.edge(e);
+    tracked.push_back({{verts[0]}, 0.0});
+    if (verts.size() >= 2) tracked.push_back({{verts[0], verts[1]}, 0.0});
+  }
+  const std::size_t j = 1;  // watch N_1(x): edges one vertex away from x
+
+  // Previous-stage counts per tracked set.
+  std::vector<double> prev(tracked.size(), 0.0);
+  {
+    const auto lists = h.edges_as_lists();
+    for (std::size_t t = 0; t < tracked.size(); ++t) {
+      const auto counts = neighborhood_counts(
+          std::span<const VertexList>(lists.data(), lists.size()),
+          tracked[t].x);
+      prev[t] = counts.size() > j ? static_cast<double>(counts[j]) : 0.0;
+    }
+  }
+
+  double delta_max = 0.0;  // max Δ_k over the run, for the bound's RHS
+  algo::BlOptions opt;
+  opt.seed = 37;
+  opt.on_stage = [&](const MutableHypergraph& mh, const algo::StageStats&) {
+    std::vector<VertexList> lists;
+    lists.reserve(mh.num_live_edges());
+    for (const EdgeId e : mh.live_edges()) {
+      const auto verts = mh.edge(e);
+      lists.emplace_back(verts.begin(), verts.end());
+    }
+    const auto stats = compute_degree_stats(
+        std::span<const VertexList>(lists.data(), lists.size()));
+    delta_max = std::max(delta_max, stats.delta);
+    for (std::size_t t = 0; t < tracked.size(); ++t) {
+      // Skip sets that lost a member (their N_j is no longer defined).
+      bool alive = true;
+      for (const VertexId v : tracked[t].x) {
+        if (!mh.vertex_live(v)) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      const auto counts = neighborhood_counts(
+          std::span<const VertexList>(lists.data(), lists.size()),
+          tracked[t].x);
+      const double now =
+          counts.size() > j ? static_cast<double>(counts[j]) : 0.0;
+      tracked[t].max_increase =
+          std::max(tracked[t].max_increase, now - prev[t]);
+      prev[t] = now;
+    }
+  };
+  const auto r = algo::bl(h, opt);
+  if (!r.success) {
+    std::fprintf(stderr, "BL failed: %s\n", r.failure_reason.c_str());
+    std::exit(1);
+  }
+
+  double worst = 0.0;
+  for (const auto& t : tracked) worst = std::max(worst, t.max_increase);
+  // Bounds for gap k-j = 1 (the dominant term), scaled by the observed Δ.
+  const double nn = static_cast<double>(n);
+  const double cor2 =
+      conc::kelsen_corollary2_multiplier(nn, 2, 3) * std::max(delta_max, 1.0);
+  const double cor4 =
+      conc::kimvu_corollary4_multiplier(nn, 2, 3) * std::max(delta_max, 1.0);
+
+  std::printf("tracked sets: %zu, BL stages: %zu, max Δ over run: %.2f\n",
+              tracked.size(), r.rounds, delta_max);
+  std::printf("%-34s %14s\n", "quantity", "value");
+  std::printf("%-34s %14.3f\n", "measured max one-stage increase", worst);
+  std::printf("%-34s %14.4g\n", "Corollary 4 bound (Kim-Vu)", cor4);
+  std::printf("%-34s %14.4g\n", "Corollary 2 bound (Kelsen)", cor2);
+  std::printf("# expectation: measured << Cor.4 << Cor.2 — both bounds\n"
+              "# hold, the Kim-Vu multiplier (log n)^2 vs (log n)^4 is\n"
+              "# visibly tighter at gap 1 and overwhelmingly so beyond.\n");
+  hmis::bench::print_footer("fig:8");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,0 +1,110 @@
+// T1 — the headline comparison (DESIGN.md §5): every algorithm on every
+// instance family.  Theory predicts:
+//   * greedy/perm-greedy: fewest "rounds" but inherently sequential depth;
+//   * BL: polylog rounds on small dimension, collapses for large d;
+//   * KUW: rounds ~ sqrt(n) worst case, dimension-oblivious;
+//   * SBL: rounds ~ 2 log n / p regardless of dimension — the paper's point.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hmis;
+using core::Algorithm;
+
+struct FamilySpec {
+  const char* name;
+  Hypergraph (*make)(std::uint64_t seed);
+};
+
+Hypergraph make_uniform3(std::uint64_t s) {
+  return gen::uniform_random(4000, 12000, 3, s);
+}
+Hypergraph make_uniform5(std::uint64_t s) {
+  return gen::uniform_random(4000, 8000, 5, s);
+}
+Hypergraph make_mixed(std::uint64_t s) {
+  return gen::mixed_arity(4000, 6000, 2, 6, s);
+}
+Hypergraph make_highdim(std::uint64_t s) {
+  return gen::mixed_arity(4000, 800, 2, 24, s);
+}
+Hypergraph make_linear(std::uint64_t s) {
+  return gen::linear_random(4000, 2500, 3, s);
+}
+Hypergraph make_planted(std::uint64_t s) {
+  return gen::planted_mis(4000, 12000, 3, 0.3, s);
+}
+Hypergraph make_graph(std::uint64_t s) {
+  return gen::random_graph(4000, 10000, s);
+}
+Hypergraph make_sunflower(std::uint64_t) { return gen::sunflower(6, 4, 400); }
+Hypergraph make_sbl_regime(std::uint64_t s) {
+  return gen::sbl_regime(6000, 0.6, 0, s);
+}
+
+constexpr FamilySpec kFamilies[] = {
+    {"uniform-3", make_uniform3},   {"uniform-5", make_uniform5},
+    {"mixed-2..6", make_mixed},     {"highdim-2..24", make_highdim},
+    {"linear-3", make_linear},      {"planted-30%", make_planted},
+    {"graph", make_graph},          {"sunflower", make_sunflower},
+    {"sbl-regime", make_sbl_regime},
+};
+
+bool supported(Algorithm a, const Hypergraph& h) {
+  if (a == Algorithm::Luby) return h.dimension() <= 2;
+  if (a == Algorithm::LinearBL)
+    return h.dimension() <= 8 && algo::is_linear(h);
+  if (a == Algorithm::BL) return h.dimension() <= 8;
+  return true;
+}
+
+void run_table() {
+  hmis::bench::print_header("tab:1", "algorithm comparison across families");
+  std::printf("%-14s %-12s %8s %8s %5s %8s %8s %10s %9s %s\n", "family",
+              "algorithm", "n", "m", "dim", "|I|", "rounds", "time_ms",
+              "depth", "ok");
+  const std::uint64_t seed = hmis::bench::quick_mode() ? 1 : 7;
+  for (const auto& fam : kFamilies) {
+    const Hypergraph h = fam.make(seed);
+    for (const Algorithm a : core::all_algorithms()) {
+      if (!supported(a, h)) continue;
+      const auto run = hmis::bench::run_algorithm(h, a, seed);
+      std::printf("%-14s %-12s %8zu %8zu %5zu %8zu %8zu %10.2f %9llu %s\n",
+                  fam.name, std::string(core::algorithm_name(a)).c_str(),
+                  h.num_vertices(), h.num_edges(), h.dimension(),
+                  run.result.independent_set.size(), run.result.rounds,
+                  run.result.seconds * 1e3,
+                  static_cast<unsigned long long>(run.result.metrics.depth),
+                  run.verdict.ok() ? "yes" : "NO");
+    }
+  }
+  hmis::bench::print_footer("tab:1");
+}
+
+void BM_Algorithm(benchmark::State& state, Algorithm a) {
+  const Hypergraph h = gen::mixed_arity(2000, 3000, 2, 6, 3);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::FindOptions opt;
+    opt.seed = seed++;
+    opt.verify = false;
+    auto run = core::find_mis(h, a, opt);
+    benchmark::DoNotOptimize(run.result.independent_set.data());
+    state.counters["rounds"] = static_cast<double>(run.result.rounds);
+    state.counters["mis"] =
+        static_cast<double>(run.result.independent_set.size());
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Algorithm, greedy, Algorithm::Greedy);
+BENCHMARK_CAPTURE(BM_Algorithm, bl, Algorithm::BL);
+BENCHMARK_CAPTURE(BM_Algorithm, perm_mis, Algorithm::PermutationMIS);
+BENCHMARK_CAPTURE(BM_Algorithm, kuw, Algorithm::KUW);
+BENCHMARK_CAPTURE(BM_Algorithm, sbl, Algorithm::SBL);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  return hmis::bench::finish(argc, argv);
+}

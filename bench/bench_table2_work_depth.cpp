@@ -1,0 +1,46 @@
+// T2 — EREW PRAM work/depth accounting per algorithm vs n (Theorem 1 /
+// Theorem 2 claim "poly(m,n) processors").  Reports the metered work, depth,
+// parallelism, and the processor count at which Brent time is within 2x of
+// the critical path.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hmis;
+using core::Algorithm;
+
+void run_table() {
+  hmis::bench::print_header("tab:2", "modeled EREW work/depth accounting");
+  std::printf("%-12s %8s %12s %10s %12s %14s\n", "algorithm", "n", "work",
+              "depth", "parallelism", "procs(2xdepth)");
+  const auto sizes = hmis::bench::quick_mode()
+                         ? hmis::bench::pow2_sweep(1000, 2)
+                         : hmis::bench::pow2_sweep(1000, 4);
+  for (const std::size_t n : sizes) {
+    const Hypergraph h = gen::mixed_arity(n, 2 * n, 2, 6, 11);
+    for (const Algorithm a :
+         {Algorithm::Greedy, Algorithm::BL, Algorithm::PermutationMIS,
+          Algorithm::KUW, Algorithm::SBL}) {
+      const auto run = hmis::bench::run_algorithm(h, a, 11);
+      const auto& m = run.result.metrics;
+      std::printf("%-12s %8zu %12llu %10llu %12.1f %14llu\n",
+                  std::string(core::algorithm_name(a)).c_str(), n,
+                  static_cast<unsigned long long>(m.work),
+                  static_cast<unsigned long long>(m.depth),
+                  pram::parallelism(m),
+                  static_cast<unsigned long long>(
+                      pram::processors_for_depth_limited(m, 2.0)));
+    }
+  }
+  std::printf("# expectation: greedy depth ~ n (sequential); parallel\n"
+              "# algorithms keep depth polylog-ish and work within a\n"
+              "# poly factor — 'poly(m,n) processors' in Brent terms.\n");
+  hmis::bench::print_footer("tab:2");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,0 +1,62 @@
+// Tour of the EREW PRAM simulator: runs the canonical kernels under the
+// exclusivity checker, demonstrates what a violation report looks like, and
+// prices a BL run in PRAM terms (Brent's theorem) — the model the paper's
+// bounds live in.
+//
+//   $ ./pram_playground
+#include <cstdio>
+
+#include "hmis/hmis.hpp"
+
+int main() {
+  using namespace hmis;
+
+  // --- 1. Kernels under the EREW checker. --------------------------------
+  {
+    const std::size_t n = 16;
+    pram::Machine m(4 * n + pram::scan_scratch_size(n) + 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      m.poke(i, static_cast<std::int64_t>(i + 1));
+    }
+    pram::exclusive_scan(m, 0, n, n, 2 * n);
+    std::printf("EREW exclusive scan of 1..%zu: last prefix = %lld "
+                "(expected %zu), steps = %llu, violations = %zu\n",
+                n, static_cast<long long>(m.peek(2 * n - 1)),
+                n * (n - 1) / 2,
+                static_cast<unsigned long long>(m.steps_executed()),
+                m.violations().size());
+  }
+
+  // --- 2. A deliberate violation and its report. -------------------------
+  {
+    pram::Machine m(4, pram::Mode::EREW);
+    m.step(3, [&](std::size_t p) { (void)m.read(p, 0); });  // 3 readers!
+    std::printf("deliberate concurrent read -> %zu violation(s); first: "
+                "step %llu cell %zu kind %s\n",
+                m.violations().size(),
+                static_cast<unsigned long long>(m.violations()[0].step),
+                m.violations()[0].cell, m.violations()[0].kind.c_str());
+  }
+
+  // --- 3. Pricing a real algorithm in PRAM terms. ------------------------
+  {
+    const auto h = gen::uniform_random(20000, 60000, 3, 5);
+    const auto run = core::find_mis(h, core::Algorithm::BL);
+    const auto& metrics = run.result.metrics;
+    std::printf("\nBL on n=20000 m=60000 (modeled EREW costs):\n");
+    std::printf("  work  = %llu operations\n",
+                static_cast<unsigned long long>(metrics.work));
+    std::printf("  depth = %llu steps\n",
+                static_cast<unsigned long long>(metrics.depth));
+    for (const std::uint64_t p : {1ull, 64ull, 4096ull, 1048576ull}) {
+      std::printf("  Brent time on %7llu processors: %12.0f\n",
+                  static_cast<unsigned long long>(p),
+                  pram::brent_time(metrics, p));
+    }
+    std::printf("  processors for 2x-depth time: %llu (the paper's "
+                "'poly(m,n) processors')\n",
+                static_cast<unsigned long long>(
+                    pram::processors_for_depth_limited(metrics, 2.0)));
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The Beame–Luby algorithm (paper Algorithm 2; Beame & Luby SODA'90,
+// analysis by Kelsen STOC'92 and §3 of Bercea et al.).
+//
+// Each stage:
+//   1. compute the maximum normalized degree Δ(H) and dimension d of the
+//      residual hypergraph and set the marking probability
+//      p = 1 / (2^{d+1} · Δ)  (Algorithm 2 line 2);
+//   2. mark every live vertex independently with probability p;
+//   3. for every live edge whose vertices are ALL marked, unmark all of its
+//      vertices (simultaneous semantics, evaluated against the initial
+//      marks — lines 8–10);
+//   4. surviving marked vertices join the independent set (color blue);
+//      incident edges shrink (lines 11–15);
+//   5. cleanup: dedupe + strict-superset removal (line 16–20, with the
+//      subset/superset direction corrected, see DESIGN.md fidelity note 1)
+//      and the singleton rule (lines 21–24), which colors vertices red and
+//      deletes their edges.
+//
+// Deviations controlled by options (all defaults match DESIGN.md):
+//   * recompute_probability: recompute Δ, d, p each stage (fidelity note 2);
+//   * isolated_shortcut: immediately add vertices with no live edges
+//     (fidelity note 3);
+//   * a_factor / probability_override: override p = 1/(a·Δ) or p directly —
+//     used by linear_bl and the ablation benches.
+#pragma once
+
+#include "hmis/algo/result.hpp"
+#include "hmis/hypergraph/degree_stats.hpp"
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+
+namespace hmis::algo {
+
+struct BlOptions : CommonOptions {
+  bool recompute_probability = true;
+  bool isolated_shortcut = true;
+  bool minimalize = true;
+  /// p = 1/(a_factor * Δ); 0 means the paper's a = 2^{d+1}.
+  double a_factor = 0.0;
+  /// Fixed marking probability; 0 means derive from Δ.
+  double probability_override = 0.0;
+  /// Degree-statistics costs (exact vs singleton approximation).
+  DegreeStatsOptions stats;
+  /// Invoked after every stage with the residual hypergraph and the stats of
+  /// the stage just executed (for analysis instrumentation).
+  std::function<void(const MutableHypergraph&, const StageStats&)> on_stage;
+};
+
+/// Run BL on a residual hypergraph in place (colors vertices blue/red until
+/// none are live).  Returns stages executed and per-stage trace; the
+/// independent set is mh.blue_vertices().
+struct BlOutcome {
+  bool success = true;
+  std::string failure_reason;
+  std::size_t stages = 0;
+  std::vector<StageStats> trace;
+};
+[[nodiscard]] BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
+                               par::Metrics* metrics = nullptr);
+
+/// Convenience wrapper: run BL on a hypergraph and return a full Result.
+[[nodiscard]] Result bl(const Hypergraph& h, const BlOptions& opt = BlOptions{});
+
+/// Compute the BL marking probability for a residual hypergraph:
+/// p = 1/(a·Δ) clamped to (0, 1/2]; a = 2^{d+1} unless overridden.
+[[nodiscard]] double bl_probability(const DegreeStats& stats, double a_factor);
+
+}  // namespace hmis::algo

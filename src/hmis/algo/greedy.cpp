@@ -1,0 +1,68 @@
+#include "hmis/algo/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+#include "hmis/util/timer.hpp"
+
+namespace hmis::algo {
+
+Result greedy_mis_ordered(const Hypergraph& h, std::span<const VertexId> order,
+                          const GreedyOptions& opt) {
+  (void)opt;
+  util::Timer timer;
+  Result result;
+  const std::size_t m = h.num_edges();
+  // miss[e] = number of edge members not (yet) in the independent set.
+  std::vector<std::uint32_t> miss(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    miss[e] = static_cast<std::uint32_t>(h.edge_size(e));
+  }
+  std::vector<std::uint8_t> in_set(h.num_vertices(), 0);
+  for (const VertexId v : order) {
+    bool blocked = false;
+    for (const EdgeId e : h.edges_of(v)) {
+      // If only v is missing from e, adding v would complete the edge.
+      if (miss[e] == 1) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    in_set[v] = 1;
+    for (const EdgeId e : h.edges_of(v)) {
+      HMIS_CHECK(miss[e] > 1, "greedy would complete an edge");
+      --miss[e];
+    }
+  }
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (in_set[v]) result.independent_set.push_back(v);
+  }
+  result.rounds = 1;
+  result.metrics.add(h.total_edge_size() + h.num_vertices(),
+                     h.num_vertices());  // inherently sequential: depth = n
+  result.seconds = timer.seconds();
+  return result;
+}
+
+Result greedy_mis(const Hypergraph& h, const GreedyOptions& opt) {
+  std::vector<VertexId> order(h.num_vertices());
+  std::iota(order.begin(), order.end(), 0u);
+  return greedy_mis_ordered(h, order, opt);
+}
+
+Result permutation_greedy_mis(const Hypergraph& h, const GreedyOptions& opt) {
+  std::vector<VertexId> order(h.num_vertices());
+  std::iota(order.begin(), order.end(), 0u);
+  util::Xoshiro256ss rng(opt.seed);
+  // Fisher–Yates.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return greedy_mis_ordered(h, order, opt);
+}
+
+}  // namespace hmis::algo

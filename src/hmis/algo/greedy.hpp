@@ -1,0 +1,30 @@
+// Sequential greedy MIS baselines.
+//
+// `greedy_mis` processes vertices in id order (the lexicographically-first
+// MIS); `permutation_greedy_mis` processes them in a seeded random order —
+// the sequential form of the Beame–Luby random-permutation algorithm.  Both
+// run in O(sum of edge sizes) time and serve as correctness oracles and as
+// the "time linear in the number of vertices" base-case solver mentioned in
+// the paper (Algorithm 1's alternative to KUW).
+#pragma once
+
+#include "hmis/algo/result.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::algo {
+
+struct GreedyOptions : CommonOptions {};
+
+[[nodiscard]] Result greedy_mis(const Hypergraph& h,
+                                const GreedyOptions& opt = GreedyOptions{});
+
+[[nodiscard]] Result permutation_greedy_mis(
+    const Hypergraph& h, const GreedyOptions& opt = GreedyOptions{});
+
+/// Greedy over an explicit vertex order (must be a permutation of 0..n-1 or
+/// a subset of vertices to consider, in order).
+[[nodiscard]] Result greedy_mis_ordered(const Hypergraph& h,
+                                        std::span<const VertexId> order,
+                                        const GreedyOptions& opt);
+
+}  // namespace hmis::algo

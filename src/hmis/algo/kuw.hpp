@@ -1,0 +1,44 @@
+// Karp–Upfal–Wigderson-style parallel MIS via random-order prefix search
+// (Karp, Upfal & Wigderson, "The complexity of parallel search", JCSS 1988).
+//
+// KUW work in the independence-system oracle model and show Θ(√n) rounds
+// with n processors.  The upper-bound algorithm adapted here:
+//
+//   round:  draw a random order c_1..c_k of the live vertices.  In parallel
+//           test every prefix P_i = {c_1..c_i}: I ∪ P_i is independent iff no
+//           residual edge lies entirely inside P_i.  Let i* be minimal with
+//           I ∪ P_{i*} dependent (if none, add everything and stop).  Add
+//           P_{i*-1} to I; c_{i*} completes an edge against the new I, so it
+//           can never be added — exclude it (red).  Cleanup excludes newly
+//           dominated vertices (singleton rule) and repeats.
+//
+// All prefix tests of one round are evaluated with one parallel reduction:
+// an edge e (residual, all members live) blocks exactly the prefixes
+// i >= max position of its members, so i* - 1 = min over live edges of
+// (max member position) - 1.  One round is O(sort + edge scan) work,
+// O(polylog) depth; the measured quantity is the number of rounds, which is
+// the O(√n) the paper quotes for the baseline.
+#pragma once
+
+#include "hmis/algo/result.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+
+namespace hmis::algo {
+
+struct KuwOptions : CommonOptions {};
+
+/// In-place variant for use as SBL's base-case solver.
+struct KuwOutcome {
+  bool success = true;
+  std::string failure_reason;
+  std::size_t rounds = 0;
+  std::vector<StageStats> trace;
+};
+[[nodiscard]] KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
+                                 par::Metrics* metrics = nullptr);
+
+[[nodiscard]] Result kuw_mis(const Hypergraph& h,
+                             const KuwOptions& opt = KuwOptions{});
+
+}  // namespace hmis::algo

@@ -1,0 +1,33 @@
+#include "hmis/algo/linear_bl.hpp"
+
+#include <unordered_set>
+
+#include "hmis/util/check.hpp"
+
+namespace hmis::algo {
+
+bool is_linear(const Hypergraph& h) {
+  // Linear iff no vertex pair occurs in two distinct edges.
+  std::unordered_set<std::uint64_t> pairs;
+  pairs.reserve(h.total_edge_size() * 2);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      for (std::size_t j = i + 1; j < verts.size(); ++j) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(verts[i]) << 32) | verts[j];
+        if (!pairs.insert(key).second) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result linear_bl(const Hypergraph& h, const LinearBlOptions& opt) {
+  if (opt.validate_linearity) {
+    HMIS_CHECK(is_linear(h), "linear_bl requires a linear hypergraph");
+  }
+  return bl(h, opt);
+}
+
+}  // namespace hmis::algo

@@ -1,0 +1,29 @@
+// Linear-hypergraph-aware BL variant.
+//
+// Łuczak & Szymańska (J. Algorithms 1997) showed MIS on *linear*
+// hypergraphs (|e ∩ e'| <= 1) is in RNC.  Their algorithm differs from BL,
+// but the property it exploits is that fully-marked edges around a marked
+// vertex collide far less often, so a much more aggressive marking
+// probability keeps the Lemma-2 survival guarantee.  We realize that as BL
+// with a = 4 (p = 1/(4Δ)) instead of a = 2^{d+1} — an adaptation, not a
+// verbatim reimplementation (DESIGN.md substitution table).  The linearity
+// of the input is validated up front.
+#pragma once
+
+#include "hmis/algo/bl.hpp"
+
+namespace hmis::algo {
+
+struct LinearBlOptions : BlOptions {
+  LinearBlOptions() { a_factor = 4.0; }
+  /// Reject non-linear inputs (pairwise edge intersections > 1).
+  bool validate_linearity = true;
+};
+
+/// True iff every pair of distinct edges shares at most one vertex.
+[[nodiscard]] bool is_linear(const Hypergraph& h);
+
+[[nodiscard]] Result linear_bl(const Hypergraph& h,
+                               const LinearBlOptions& opt = LinearBlOptions{});
+
+}  // namespace hmis::algo

@@ -1,0 +1,77 @@
+#include "hmis/algo/luby.hpp"
+
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+#include "hmis/util/timer.hpp"
+
+namespace hmis::algo {
+
+Result luby_mis(const Hypergraph& h, const LubyOptions& opt) {
+  HMIS_CHECK(h.dimension() <= 2, "luby_mis requires a graph (dimension <= 2)");
+  util::Timer timer;
+  Result result;
+  const util::CounterRng rng(opt.seed);
+  MutableHypergraph mh(h);
+
+  mh.singleton_cascade();  // size-1 edges exclude their vertex outright
+
+  while (mh.num_live_vertices() > 0) {
+    if (result.rounds >= opt.max_rounds) {
+      result.success = false;
+      result.failure_reason = "Luby exceeded max_rounds";
+      return result;
+    }
+    StageStats stats;
+    stats.stage = result.rounds;
+    stats.live_vertices = mh.num_live_vertices();
+    stats.live_edges = mh.num_live_edges();
+
+    const auto live = mh.live_vertices();
+    const auto edges = mh.live_edges();
+
+    // Priority comparison: (hash, id) is a strict total order per round.
+    const auto before = [&](VertexId a, VertexId b) {
+      const std::uint64_t pa = rng.priority(stats.stage, a);
+      const std::uint64_t pb = rng.priority(stats.stage, b);
+      return pa != pb ? pa < pb : a < b;
+    };
+
+    // A vertex is inhibited if some live neighbour precedes it.
+    std::vector<std::uint8_t> inhibited(mh.num_original_vertices(), 0);
+    par::parallel_for(
+        0, edges.size(),
+        [&](std::size_t i) {
+          const auto verts = mh.edge(edges[i]);
+          HMIS_CHECK(verts.size() == 2, "luby round saw a non-binary edge");
+          const VertexId a = verts[0], b = verts[1];
+          if (before(a, b)) {
+            inhibited[b] = 1;
+          } else {
+            inhibited[a] = 1;
+          }
+        },
+        &result.metrics);
+
+    std::vector<VertexId> selected;
+    for (const VertexId v : live) {
+      if (!inhibited[v]) selected.push_back(v);
+    }
+    stats.marked = selected.size();
+    stats.added_blue = selected.size();
+    if (!selected.empty()) mh.color_blue(selected);
+    // Edges incident to selected vertices shrank to singletons; the cascade
+    // excludes those neighbours and deletes their edges.
+    const auto reds = mh.singleton_cascade();
+    stats.forced_red = reds.size();
+
+    ++result.rounds;
+    if (opt.record_trace) result.trace.push_back(stats);
+  }
+  result.independent_set = mh.blue_vertices();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace hmis::algo

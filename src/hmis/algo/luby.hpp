@@ -1,0 +1,22 @@
+// Luby's algorithm for ordinary graphs (dimension-2 hypergraphs) — the
+// classical, well-understood special case the paper's introduction contrasts
+// the hypergraph problem with.  O(log n) rounds w.h.p.
+//
+// Round: every live vertex draws a random priority; a vertex joins the MIS
+// iff its priority is a strict local minimum among the live endpoints of its
+// live edges.  Neighbours of joined vertices are excluded (via the singleton
+// rule of the residual hypergraph).
+#pragma once
+
+#include "hmis/algo/result.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::algo {
+
+struct LubyOptions : CommonOptions {};
+
+/// Requires dimension(h) <= 2 (size-1 edges are allowed and handled).
+[[nodiscard]] Result luby_mis(const Hypergraph& h,
+                              const LubyOptions& opt = LubyOptions{});
+
+}  // namespace hmis::algo

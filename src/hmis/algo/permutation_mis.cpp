@@ -1,0 +1,82 @@
+#include "hmis/algo/permutation_mis.hpp"
+
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+#include "hmis/util/timer.hpp"
+
+namespace hmis::algo {
+
+Result permutation_mis(const Hypergraph& h, const PermutationOptions& opt) {
+  util::Timer timer;
+  Result result;
+  const util::CounterRng rng(opt.seed);
+  MutableHypergraph mh(h);
+
+  mh.dedupe_and_minimalize();
+  mh.singleton_cascade();
+
+  while (mh.num_live_vertices() > 0) {
+    if (result.rounds >= opt.max_rounds) {
+      result.success = false;
+      result.failure_reason = "permutation_mis exceeded max_rounds";
+      return result;
+    }
+    StageStats stats;
+    stats.stage = result.rounds;
+    stats.live_vertices = mh.num_live_vertices();
+    stats.live_edges = mh.num_live_edges();
+    stats.dimension = mh.max_live_edge_size();
+
+    const auto live = mh.live_vertices();
+    const auto edges = mh.live_edges();
+
+    const auto before = [&](VertexId a, VertexId b) {
+      const std::uint64_t pa = rng.priority(stats.stage, a);
+      const std::uint64_t pb = rng.priority(stats.stage, b);
+      return pa != pb ? pa < pb : a < b;
+    };
+
+    // Inhibit every member of a live edge except its minimum-priority one.
+    std::vector<std::uint8_t> inhibited(mh.num_original_vertices(), 0);
+    par::parallel_for(
+        0, edges.size(),
+        [&](std::size_t i) {
+          const auto verts = mh.edge(edges[i]);
+          HMIS_CHECK(verts.size() >= 2, "singleton escaped the cascade");
+          VertexId min_v = verts[0];
+          for (const VertexId v : verts.subspan(1)) {
+            if (before(v, min_v)) min_v = v;
+          }
+          for (const VertexId v : verts) {
+            if (v != min_v) inhibited[v] = 1;
+          }
+        },
+        &result.metrics);
+
+    std::vector<VertexId> selected;
+    for (const VertexId v : live) {
+      if (!inhibited[v]) selected.push_back(v);
+    }
+    stats.marked = selected.size();
+    stats.added_blue = selected.size();
+    HMIS_CHECK(!selected.empty(),
+               "permutation round selected nothing (impossible: the global "
+               "minimum is always selectable)");
+    mh.color_blue(selected);
+    const auto reds = mh.singleton_cascade();
+    stats.forced_red = reds.size();
+    const std::size_t before_edges = mh.num_live_edges();
+    mh.dedupe_and_minimalize();
+    stats.edges_deleted = before_edges - mh.num_live_edges();
+
+    ++result.rounds;
+    if (opt.record_trace) result.trace.push_back(stats);
+  }
+  result.independent_set = mh.blue_vertices();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace hmis::algo

@@ -1,0 +1,28 @@
+// Priority-based parallel MIS for general hypergraphs — the
+// random-permutation flavour of Beame & Luby's second algorithm (which they
+// conjectured to be RNC; partial analysis by Shachnai & Srinivasan).
+//
+// Round: every live vertex draws a random priority.  A vertex joins the MIS
+// iff it is the strict minimum among the live members of EVERY live edge it
+// belongs to.  Safety: a live edge has >= 2 live members (singletons are
+// cascaded away first), and at most one of them — its minimum — can join per
+// round, so no edge ever becomes fully blue.  Progress: the globally
+// minimum live vertex always joins, and in expectation a large fraction of
+// "locally minimal" vertices do.
+//
+// This is a safe-by-construction adaptation, not a verbatim transcription
+// (the original processes a single global permutation over many rounds);
+// see DESIGN.md substitution table.
+#pragma once
+
+#include "hmis/algo/result.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::algo {
+
+struct PermutationOptions : CommonOptions {};
+
+[[nodiscard]] Result permutation_mis(
+    const Hypergraph& h, const PermutationOptions& opt = PermutationOptions{});
+
+}  // namespace hmis::algo

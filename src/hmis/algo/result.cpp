@@ -1,0 +1,4 @@
+#include "hmis/algo/result.hpp"
+
+// result.hpp is header-only today; this TU anchors the library target and is
+// the natural home for future out-of-line helpers on Result.

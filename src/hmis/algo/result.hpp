@@ -1,0 +1,61 @@
+// Shared result and option types for all MIS algorithms.
+//
+// Every algorithm in this library returns the same `Result`, so the
+// comparison experiments can treat them uniformly.  Per-stage traces are
+// optional (they cost memory) and power the analysis-validation figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hmis/hypergraph/types.hpp"
+#include "hmis/par/metrics.hpp"
+
+namespace hmis::algo {
+
+/// One stage (round) of an iterative algorithm, as instrumented.
+struct StageStats {
+  std::size_t stage = 0;           ///< 0-based stage index
+  std::size_t live_vertices = 0;   ///< before the stage
+  std::size_t live_edges = 0;      ///< before the stage
+  std::size_t dimension = 0;       ///< max live edge size before the stage
+  double delta = 0.0;              ///< Δ(H) used for p (BL family)
+  double p = 0.0;                  ///< marking probability used
+  std::size_t marked = 0;          ///< vertices marked / candidates selected
+  std::size_t unmarked = 0;        ///< marks retracted by fully-marked edges
+  std::size_t added_blue = 0;      ///< vertices added to the IS this stage
+  std::size_t forced_red = 0;      ///< vertices excluded this stage
+  std::size_t edges_deleted = 0;   ///< edges removed (satisfied/minimalized)
+  // SBL-specific:
+  std::size_t sampled = 0;         ///< |V'| drawn this round
+  std::size_t sample_dimension = 0;///< max edge size inside the sample
+  std::size_t resamples = 0;       ///< dimension-violation redraws
+  std::size_t inner_stages = 0;    ///< BL stages consumed by this round
+};
+
+/// Uniform outcome of any MIS algorithm run.
+struct Result {
+  std::vector<VertexId> independent_set;  ///< ascending vertex ids
+  bool success = true;                    ///< false => see failure_reason
+  std::string failure_reason;
+  std::size_t rounds = 0;                 ///< outer rounds/stages executed
+  std::uint64_t inner_stages = 0;         ///< total subroutine stages (SBL)
+  std::size_t resamples = 0;              ///< SBL dimension redraws
+  par::Metrics metrics;                   ///< modeled EREW work/depth
+  double seconds = 0.0;                   ///< wall-clock of the run
+  std::vector<StageStats> trace;          ///< filled iff record_trace
+};
+
+/// Options shared by the iterative algorithms.
+struct CommonOptions {
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+  /// Extra invariant checking per stage (slow; for tests).
+  bool check_invariants = false;
+  /// Hard cap on stages; exceeding it fails the run.
+  std::size_t max_rounds = 1'000'000;
+};
+
+}  // namespace hmis::algo

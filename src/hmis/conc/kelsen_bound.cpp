@@ -1,0 +1,30 @@
+#include "hmis/conc/kelsen_bound.hpp"
+
+#include <cmath>
+
+#include "hmis/util/math.hpp"
+
+namespace hmis::conc {
+
+double kelsen_multiplier(const KelsenBoundParams& params) {
+  const double logn = util::clog2(params.n);
+  const double exponent = std::exp2(params.d) - 1.0;
+  return std::pow(logn + 2.0, exponent) * std::pow(params.delta, exponent);
+}
+
+double kelsen_failure_probability(const KelsenBoundParams& params) {
+  const double logn = util::clog2(params.n);
+  const double base = std::exp2(params.d) * std::ceil(logn) * params.m;
+  const double lead = std::pow(base, params.d - 1.0) * logn;
+  const double e = std::exp(1.0);
+  const double tail =
+      std::pow(4.0 * e / params.delta, (params.delta - 1.0) / 4.0);
+  return lead * tail;
+}
+
+double kelsen_corollary1_multiplier(double n, double d) {
+  const double logn = util::clog2(n);
+  return std::pow(logn, std::exp2(d + 1.0));
+}
+
+}  // namespace hmis::conc

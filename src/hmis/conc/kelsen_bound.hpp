@@ -1,0 +1,37 @@
+// Kelsen's concentration bound (paper Theorem 3 = Theorem 1 in Kelsen'92)
+// and its Corollary 1 specialization.
+//
+//   Pr[S(H,w,p) > k(H) · D(H,w,p)] < p(H), where
+//     k(H) = (log n + 2)^{2^d - 1} · δ^{2^d - 1}
+//     p(H) = (2^d · ⌈log n⌉ · m)^{d-1} · log n · (4e/δ)^{(δ-1)/4}
+//
+// Corollary 1 fixes δ = log² n:
+//   Pr[S > (log n)^{2^{d+1}} · D] < 1 / n^{Θ(log n · log log n)}.
+//
+// Logs are base-2 (DESIGN.md fidelity note 6).  These evaluators power the
+// tail-bound comparison experiment (F7): the thresholds k(H)·D are compared
+// with the Kim–Vu thresholds and with the empirical tail.
+#pragma once
+
+#include <cstdint>
+
+namespace hmis::conc {
+
+struct KelsenBoundParams {
+  double n = 0;      ///< vertices of the weighted system
+  double m = 0;      ///< edges of the weighted system
+  double d = 0;      ///< dimension of the weighted system
+  double delta = 0;  ///< the free parameter δ > 1
+};
+
+/// Multiplier k(H): the bound asserts S <= k(H)·D with failure prob p(H).
+[[nodiscard]] double kelsen_multiplier(const KelsenBoundParams& params);
+
+/// Failure probability p(H) (can be astronomically small or > 1 — the bound
+/// is vacuous when it exceeds 1, which the experiment reports).
+[[nodiscard]] double kelsen_failure_probability(const KelsenBoundParams& params);
+
+/// Corollary 1 multiplier with δ = log² n: (log n)^{2^{d+1}}.
+[[nodiscard]] double kelsen_corollary1_multiplier(double n, double d);
+
+}  // namespace hmis::conc

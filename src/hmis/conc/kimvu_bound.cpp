@@ -1,0 +1,36 @@
+#include "hmis/conc/kimvu_bound.hpp"
+
+#include <cmath>
+
+#include "hmis/util/math.hpp"
+
+namespace hmis::conc {
+
+double kimvu_a(unsigned r) {
+  return std::pow(8.0, static_cast<double>(r)) *
+         std::sqrt(util::factorial(r));
+}
+
+double kimvu_multiplier(unsigned j, unsigned k, double lambda) {
+  const unsigned r = k - j;
+  return 1.0 + kimvu_a(r) * std::pow(lambda, static_cast<double>(r));
+}
+
+double kimvu_failure_probability(double n, unsigned j, unsigned k,
+                                 double lambda) {
+  const double e2 = std::exp(2.0);
+  return 2.0 * e2 * std::exp(-lambda) *
+         std::pow(n, static_cast<double>(k - j) - 1.0);
+}
+
+double kimvu_corollary4_multiplier(double n, unsigned j, unsigned k) {
+  const double logn = util::clog2(n);
+  return std::pow(logn, 2.0 * static_cast<double>(k - j));
+}
+
+double kelsen_corollary2_multiplier(double n, unsigned j, unsigned k) {
+  const double logn = util::clog2(n);
+  return std::pow(logn, std::exp2(static_cast<double>(k - j) + 1.0));
+}
+
+}  // namespace hmis::conc

@@ -1,0 +1,32 @@
+// The Kim–Vu polynomial concentration bound in the specialization the paper
+// derives in §4 (Corollaries 3 and 4):
+//
+//   Pr[S(X,j,k) > (1 + a_{k-j} λ^{k-j}) · (Δ_{|X|+k}(H))^j] <= 2e² e^{-λ} n^{k-j-1}
+//     with a_{k-j} = 8^{k-j} · ((k-j)!)^{1/2};
+//
+//   choosing λ = Θ(log² n) gives the per-stage migration bound
+//     increase in d_{j-|X|}(X,H)  <  Σ_{k>j} (log n)^{2(k-j)} · Δ_k(H)
+//   (Corollary 4) — much smaller than Kelsen's (log n)^{2^{k-j+1}} (Cor. 2).
+#pragma once
+
+namespace hmis::conc {
+
+/// a_r = 8^r · sqrt(r!).
+[[nodiscard]] double kimvu_a(unsigned r);
+
+/// Multiplier (1 + a_{k-j} λ^{k-j}) for the S(X,j,k) threshold.
+[[nodiscard]] double kimvu_multiplier(unsigned j, unsigned k, double lambda);
+
+/// Failure probability 2e² · e^{-λ} · n^{k-j-1}.
+[[nodiscard]] double kimvu_failure_probability(double n, unsigned j,
+                                               unsigned k, double lambda);
+
+/// Corollary 4 per-(k,j) migration multiplier: (log2 n)^{2(k-j)}.
+[[nodiscard]] double kimvu_corollary4_multiplier(double n, unsigned j,
+                                                 unsigned k);
+
+/// Corollary 2 (Kelsen) per-(k,j) migration multiplier: (log2 n)^{2^{k-j+1}}.
+[[nodiscard]] double kelsen_corollary2_multiplier(double n, unsigned j,
+                                                  unsigned k);
+
+}  // namespace hmis::conc

@@ -1,0 +1,97 @@
+#include "hmis/conc/montecarlo.hpp"
+
+#include <algorithm>
+
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+
+namespace hmis::conc {
+
+std::vector<TailEstimate> estimate_tail(const WeightedHypergraph& wh, double p,
+                                        const std::vector<double>& thresholds,
+                                        std::uint64_t trials,
+                                        std::uint64_t seed) {
+  std::vector<std::uint64_t> exceed(thresholds.size(), 0);
+  std::vector<double> samples(trials);
+  par::parallel_for(0, trials, [&](std::size_t t) {
+    samples[t] = sample_S(wh, p, seed, t);
+  });
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      if (samples[t] > thresholds[i]) ++exceed[i];
+    }
+  }
+  std::vector<TailEstimate> out(thresholds.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    out[i].threshold = thresholds[i];
+    out[i].exceed = exceed[i];
+    out[i].trials = trials;
+    out[i].probability =
+        trials == 0 ? 0.0
+                    : static_cast<double>(exceed[i]) / static_cast<double>(trials);
+  }
+  return out;
+}
+
+std::vector<double> sample_S_distribution(const WeightedHypergraph& wh,
+                                          double p, std::uint64_t trials,
+                                          std::uint64_t seed) {
+  std::vector<double> samples(trials);
+  par::parallel_for(0, trials, [&](std::size_t t) {
+    samples[t] = sample_S(wh, p, seed, t);
+  });
+  std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+SurvivalEstimate estimate_unmark_probability(const Hypergraph& h,
+                                             const VertexList& x, double p,
+                                             std::uint64_t trials,
+                                             std::uint64_t seed) {
+  HMIS_CHECK(!x.empty(), "survival estimate needs non-empty X");
+  const util::CounterRng rng(seed);
+  std::vector<std::uint8_t> in_x(h.num_vertices(), 0);
+  for (const VertexId v : x) in_x[v] = 1;
+
+  // Edges that could unmark a member of X: those intersecting X.
+  std::vector<EdgeId> relevant;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    if (std::any_of(verts.begin(), verts.end(),
+                    [&](VertexId v) { return in_x[v] != 0; })) {
+      relevant.push_back(e);
+    }
+  }
+
+  std::vector<std::uint64_t> hits(trials, 0);
+  par::parallel_for(0, trials, [&](std::size_t t) {
+    // Condition on C_X: members of X are marked; others Bernoulli(p).
+    const auto is_marked = [&](VertexId v) {
+      return in_x[v] != 0 || rng.bernoulli(p, t, v);
+    };
+    for (const EdgeId e : relevant) {
+      const auto verts = h.edge(e);
+      bool all = true;
+      for (const VertexId v : verts) {
+        if (!is_marked(v)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        hits[t] = 1;  // some edge through X fully marked => E_X occurs
+        break;
+      }
+    }
+  });
+  SurvivalEstimate out;
+  out.trials = trials;
+  std::uint64_t total = 0;
+  for (const auto hit : hits) total += hit;
+  out.p_unmark =
+      trials == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(trials);
+  return out;
+}
+
+}  // namespace hmis::conc

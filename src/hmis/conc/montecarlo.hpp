@@ -1,0 +1,46 @@
+// Monte-Carlo estimators for the probabilistic quantities the paper's
+// analysis bounds — empirical tails of S(H,w,p), the Lemma-2 survival
+// probability Pr[E_X | C_X], and the SBL sampled-dimension violation rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hmis/conc/polynomial.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::conc {
+
+struct TailEstimate {
+  double threshold = 0.0;     ///< t in Pr[S > t]
+  double probability = 0.0;   ///< fraction of trials exceeding t
+  std::uint64_t exceed = 0;   ///< raw exceedance count
+  std::uint64_t trials = 0;
+};
+
+/// Empirical Pr[S(H,w,p) > t] for each threshold, from `trials` independent
+/// markings.  One pass over all trials; thresholds evaluated jointly.
+[[nodiscard]] std::vector<TailEstimate> estimate_tail(
+    const WeightedHypergraph& wh, double p,
+    const std::vector<double>& thresholds, std::uint64_t trials,
+    std::uint64_t seed);
+
+/// Empirical quantiles of S(H,w,p): returns the sampled values sorted
+/// ascending (caller picks quantiles).
+[[nodiscard]] std::vector<double> sample_S_distribution(
+    const WeightedHypergraph& wh, double p, std::uint64_t trials,
+    std::uint64_t seed);
+
+/// Lemma 2 (paper): for a set X (no edge inside X) marked entirely, estimate
+/// Pr[E_X | C_X] — the probability that some fully-marked edge intersecting X
+/// forces part of X to be unmarked.  The paper proves < 1/2 for
+/// p = 1/(2^{d+1} Δ).
+struct SurvivalEstimate {
+  double p_unmark = 0.0;  ///< empirical Pr[E_X | C_X]
+  std::uint64_t trials = 0;
+};
+[[nodiscard]] SurvivalEstimate estimate_unmark_probability(
+    const Hypergraph& h, const VertexList& x, double p, std::uint64_t trials,
+    std::uint64_t seed);
+
+}  // namespace hmis::conc

@@ -1,0 +1,236 @@
+#include "hmis/conc/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+
+namespace hmis::conc {
+
+std::size_t WeightedHypergraph::dimension() const noexcept {
+  std::size_t d = 0;
+  for (const auto& e : edges) d = std::max(d, e.size());
+  return d;
+}
+
+WeightedHypergraph unit_weights(const Hypergraph& h) {
+  WeightedHypergraph wh;
+  wh.num_vertices = h.num_vertices();
+  wh.edges = h.edges_as_lists();
+  wh.weights.assign(wh.edges.size(), 1.0);
+  return wh;
+}
+
+double sample_S(const WeightedHypergraph& wh, double p, std::uint64_t seed,
+                std::uint64_t trial) {
+  const util::CounterRng rng(seed);
+  double s = 0.0;
+  for (std::size_t i = 0; i < wh.edges.size(); ++i) {
+    bool all = true;
+    for (const VertexId v : wh.edges[i]) {
+      if (!rng.bernoulli(p, trial, v)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) s += wh.weights[i];
+  }
+  return s;
+}
+
+double expectation_S(const WeightedHypergraph& wh, double p) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < wh.edges.size(); ++i) {
+    s += wh.weights[i] * std::pow(p, static_cast<double>(wh.edges[i].size()));
+  }
+  return s;
+}
+
+double variance_S(const WeightedHypergraph& wh, double p) {
+  double var = 0.0;
+  const std::size_t m = wh.edges.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& e = wh.edges[i];
+    // Diagonal: Var of one Bernoulli(p^{|e|}) term scaled by w².
+    const double pe = std::pow(p, static_cast<double>(e.size()));
+    var += wh.weights[i] * wh.weights[i] * pe * (1.0 - pe);
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const auto& f = wh.edges[j];
+      // |e ∪ f| via sorted-merge intersection count.
+      std::size_t inter = 0;
+      std::size_t a = 0, b = 0;
+      while (a < e.size() && b < f.size()) {
+        if (e[a] < f[b]) {
+          ++a;
+        } else if (f[b] < e[a]) {
+          ++b;
+        } else {
+          ++inter;
+          ++a;
+          ++b;
+        }
+      }
+      if (inter == 0) continue;  // independent terms: zero covariance
+      const double pu =
+          std::pow(p, static_cast<double>(e.size() + f.size() - inter));
+      const double pp =
+          std::pow(p, static_cast<double>(e.size() + f.size()));
+      var += 2.0 * wh.weights[i] * wh.weights[j] * (pu - pp);
+    }
+  }
+  return var;
+}
+
+double chebyshev_threshold(const WeightedHypergraph& wh, double p,
+                           double fail_prob) {
+  const double mean = expectation_S(wh, p);
+  const double var = variance_S(wh, p);
+  return mean + std::sqrt(std::max(var, 0.0) / std::max(fail_prob, 1e-300));
+}
+
+double partial_expectation(const WeightedHypergraph& wh, double p,
+                           const VertexList& x) {
+  HMIS_CHECK(std::is_sorted(x.begin(), x.end()), "x must be sorted");
+  double s = 0.0;
+  for (std::size_t i = 0; i < wh.edges.size(); ++i) {
+    const auto& e = wh.edges[i];
+    if (e.size() < x.size()) continue;
+    if (std::includes(e.begin(), e.end(), x.begin(), x.end())) {
+      s += wh.weights[i] *
+           std::pow(p, static_cast<double>(e.size() - x.size()));
+    }
+  }
+  return s;
+}
+
+namespace {
+
+std::uint64_t hash_sorted(const VertexId* verts, const std::uint32_t* idx,
+                          std::size_t k) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ k;
+  for (std::size_t i = 0; i < k; ++i) {
+    h = util::mix64(h ^ util::splitmix64(verts[idx[i]] + 0x9e3779b9ULL));
+  }
+  return h;
+}
+
+}  // namespace
+
+DResult max_partial_expectation(const WeightedHypergraph& wh, double p,
+                                std::size_t max_enum_edge_size) {
+  DResult out;
+  out.value = expectation_S(wh, p);  // x = ∅
+  // Accumulate P(x) = Σ_{e ⊇ x} w(e) p^{|e|-|x|} for every subset x of every
+  // edge.  Only subsets of edges can have P(x) > 0.
+  std::unordered_map<std::uint64_t, double> acc;
+  std::uint32_t idx[32];
+  for (std::size_t i = 0; i < wh.edges.size(); ++i) {
+    const auto& e = wh.edges[i];
+    const std::size_t s = e.size();
+    const double w = wh.weights[i];
+    if (s <= max_enum_edge_size) {
+      const std::uint32_t full = (1u << s) - 1;
+      for (std::uint32_t mask = 1; mask <= full; ++mask) {
+        std::size_t k = 0;
+        std::uint32_t mm = mask;
+        while (mm != 0) {
+          const int b = __builtin_ctz(mm);
+          idx[k++] = static_cast<std::uint32_t>(b);
+          mm &= mm - 1;
+        }
+        const double contrib = w * std::pow(p, static_cast<double>(s - k));
+        acc[hash_sorted(e.data(), idx, k)] += contrib;
+      }
+    } else {
+      out.exact = false;
+      // Singletons and the full edge only.
+      for (std::size_t q = 0; q < s; ++q) {
+        const std::uint32_t one = static_cast<std::uint32_t>(q);
+        acc[hash_sorted(e.data(), &one, 1)] +=
+            w * std::pow(p, static_cast<double>(s - 1));
+      }
+      std::vector<std::uint32_t> all(s);
+      for (std::size_t q = 0; q < s; ++q) all[q] = static_cast<std::uint32_t>(q);
+      acc[hash_sorted(e.data(), all.data(), s)] += w;
+    }
+  }
+  for (const auto& [key, value] : acc) {
+    (void)key;
+    out.value = std::max(out.value, value);
+  }
+  return out;
+}
+
+WeightedHypergraph migration_system(std::span<const VertexList> edges,
+                                    std::size_t num_vertices,
+                                    const VertexList& x, std::size_t j,
+                                    std::size_t k) {
+  HMIS_CHECK(j >= 1 && j < k, "migration_system needs 1 <= j < k");
+  HMIS_CHECK(std::is_sorted(x.begin(), x.end()), "x must be sorted");
+  WeightedHypergraph wh;
+  wh.num_vertices = num_vertices;
+
+  // N_k(X): the y-parts (e \ x) of edges e ⊇ x with |e| = |x| + k.
+  std::vector<VertexList> nk;
+  for (const auto& e : edges) {
+    if (e.size() != x.size() + k) continue;
+    if (!std::includes(e.begin(), e.end(), x.begin(), x.end())) continue;
+    VertexList y;
+    std::set_difference(e.begin(), e.end(), x.begin(), x.end(),
+                        std::back_inserter(y));
+    nk.push_back(std::move(y));
+  }
+
+  // All (k-j)-subsets Y of each Z ∈ N_k(X), deduplicated; weight
+  // w'(Y) = |N_j(X ∪ Y)| computed afterwards against the full edge list.
+  std::unordered_map<std::uint64_t, VertexList> subsets;
+  const std::size_t take = k - j;
+  std::vector<std::uint32_t> comb(take);
+  for (const auto& z : nk) {
+    HMIS_CHECK(z.size() == k, "N_k y-part has wrong size");
+    // Enumerate all `take`-subsets of z's k indices (standard revolving-door
+    // successor: comb[i] ranges over [i, k - take + i]).
+    for (std::size_t q = 0; q < take; ++q) {
+      comb[q] = static_cast<std::uint32_t>(q);
+    }
+    for (;;) {
+      VertexList y(take);
+      for (std::size_t q = 0; q < take; ++q) y[q] = z[comb[q]];
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ take;
+      for (const VertexId v : y) {
+        h = util::mix64(h ^ util::splitmix64(v + 0x9e3779b9ULL));
+      }
+      subsets.emplace(h, std::move(y));
+      // Successor: bump the rightmost index that has room.
+      std::size_t q = take;
+      while (q > 0 &&
+             comb[q - 1] == static_cast<std::uint32_t>(k - take + (q - 1))) {
+        --q;
+      }
+      if (q == 0) break;
+      ++comb[q - 1];
+      for (std::size_t r = q; r < take; ++r) comb[r] = comb[r - 1] + 1;
+    }
+  }
+
+  for (auto& [h, y] : subsets) {
+    (void)h;
+    VertexList xy;
+    std::merge(x.begin(), x.end(), y.begin(), y.end(), std::back_inserter(xy));
+    // w'(Y) = |N_j(X ∪ Y)|: edges of size |xy| + j containing xy.
+    std::uint64_t count = 0;
+    for (const auto& e : edges) {
+      if (e.size() != xy.size() + j) continue;
+      if (std::includes(e.begin(), e.end(), xy.begin(), xy.end())) ++count;
+    }
+    if (count > 0) {
+      wh.edges.push_back(y);
+      wh.weights.push_back(static_cast<double>(count));
+    }
+  }
+  return wh;
+}
+
+}  // namespace hmis::conc

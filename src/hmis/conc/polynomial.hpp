@@ -1,0 +1,76 @@
+// The polynomial S(H,w,p) of paper §3 and its derivative expectations.
+//
+// Given a weighted hypergraph (H, w) and marking probability p:
+//   S(H,w,p)      = Σ_e w(e) · C_e,  C_e = Π_{v∈e} C_v,  C_v ~ Bernoulli(p)
+//   P(H,w,p,x)    = Σ_{e ⊇ x} w(e) · p^{|e|-|x|}  (expected weighted count of
+//                   fully-blue edges around x, given x blue)
+//   D(H,w,p)      = max_x P(H,w,p,x)  over all x ⊆ V including x = ∅
+//                   (x = ∅ gives E[S]).
+//
+// These drive Kelsen's Theorem 3 and the Kim–Vu bound of §4, and the
+// migration polynomial of Lemma 4: H' has as edges all (k-j)-subsets Y of
+// the Nk(X)-neighbourhoods with weights w'(Y) = |N_j(X ∪ Y)|.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::conc {
+
+/// A weighted edge system over vertices 0..n-1.
+struct WeightedHypergraph {
+  std::size_t num_vertices = 0;
+  std::vector<VertexList> edges;   // sorted vertex lists
+  std::vector<double> weights;     // parallel to edges
+
+  [[nodiscard]] std::size_t dimension() const noexcept;
+};
+
+/// Uniformly weighted system from a Hypergraph (w ≡ 1).
+[[nodiscard]] WeightedHypergraph unit_weights(const Hypergraph& h);
+
+/// One Monte-Carlo sample of S(H,w,p): mark vertices via (seed, trial) and
+/// sum weights of fully marked edges.
+[[nodiscard]] double sample_S(const WeightedHypergraph& wh, double p,
+                              std::uint64_t seed, std::uint64_t trial);
+
+/// E[S] = P(H,w,p,∅).
+[[nodiscard]] double expectation_S(const WeightedHypergraph& wh, double p);
+
+/// Var[S] exactly:  Σ_{e,f} w_e w_f (p^{|e ∪ f|} − p^{|e|+|f|}).
+/// O(m²·d) pairwise — fine for the bound-comparison experiments; supplies
+/// the classical Chebyshev baseline the polynomial bounds are compared to.
+[[nodiscard]] double variance_S(const WeightedHypergraph& wh, double p);
+
+/// Chebyshev threshold: the smallest t with Pr[S > t] <= fail_prob by
+/// Chebyshev's inequality, i.e. E[S] + sqrt(Var[S]/fail_prob).
+[[nodiscard]] double chebyshev_threshold(const WeightedHypergraph& wh,
+                                         double p, double fail_prob);
+
+/// P(H,w,p,x) for a specific sorted x.
+[[nodiscard]] double partial_expectation(const WeightedHypergraph& wh,
+                                         double p, const VertexList& x);
+
+/// D(H,w,p) = max over all x ⊆ some edge (plus ∅).  Exact via subset
+/// enumeration of each edge (edges capped at max_enum_edge_size; larger
+/// edges contribute singleton and full subsets only — a lower bound).
+struct DResult {
+  double value = 0.0;
+  bool exact = true;
+};
+[[nodiscard]] DResult max_partial_expectation(
+    const WeightedHypergraph& wh, double p,
+    std::size_t max_enum_edge_size = 16);
+
+/// Lemma-4 migration system: for a tracked set X and target sizes j < k,
+/// edges are the (k-j)-subsets Y of each Z ∈ N_k(X,H) and
+/// w'(Y) = |N_j(X ∪ Y, H)|.  S(H',w',p) upper-bounds the one-stage increase
+/// of |N_j(X,H)| due to size-(|X|+k) edges losing k-j vertices.
+[[nodiscard]] WeightedHypergraph migration_system(
+    std::span<const VertexList> edges, std::size_t num_vertices,
+    const VertexList& x, std::size_t j, std::size_t k);
+
+}  // namespace hmis::conc

@@ -1,0 +1,96 @@
+#include "hmis/core/coloring.hpp"
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/util/check.hpp"
+
+namespace hmis::core {
+
+Coloring strong_coloring(const Hypergraph& h, const ColoringOptions& opt) {
+  Coloring out;
+  out.color.assign(h.num_vertices(), -1);
+  std::size_t uncolored = h.num_vertices();
+
+  while (uncolored > 0) {
+    if (static_cast<std::size_t>(out.num_colors) >= opt.max_colors) {
+      out.success = false;
+      out.failure_reason = "strong_coloring exceeded max_colors";
+      return out;
+    }
+    // Residual hypergraph: uncolored vertices; edges whose members are all
+    // uncolored and that still have >= 2 members (size-1 constraints are
+    // vacuous for coloring).
+    std::vector<VertexId> to_original;
+    std::vector<VertexId> to_local(h.num_vertices(), kInvalidVertex);
+    to_original.reserve(uncolored);
+    for (VertexId v = 0; v < h.num_vertices(); ++v) {
+      if (out.color[v] < 0) {
+        to_local[v] = static_cast<VertexId>(to_original.size());
+        to_original.push_back(v);
+      }
+    }
+    HypergraphBuilder builder(to_original.size());
+    VertexList local;
+    for (EdgeId e = 0; e < h.num_edges(); ++e) {
+      const auto verts = h.edge(e);
+      if (verts.size() < 2) continue;
+      local.clear();
+      bool inside = true;
+      for (const VertexId v : verts) {
+        if (to_local[v] == kInvalidVertex) {
+          inside = false;
+          break;
+        }
+        local.push_back(to_local[v]);
+      }
+      if (inside) {
+        builder.add_edge(
+            std::span<const VertexId>(local.data(), local.size()));
+      }
+    }
+    const Hypergraph residual = builder.build();
+
+    FindOptions fopt;
+    fopt.seed = opt.seed +
+                static_cast<std::uint64_t>(out.num_colors) * 0x9e3779b9ULL;
+    const auto run = find_mis(residual, opt.algorithm, fopt);
+    if (!run.result.success) {
+      out.success = false;
+      out.failure_reason =
+          "MIS extraction failed: " + run.result.failure_reason;
+      return out;
+    }
+    HMIS_CHECK(run.verdict.ok(), "iterated MIS returned an invalid set");
+    HMIS_CHECK(!run.result.independent_set.empty() || uncolored == 0,
+               "empty MIS on a non-empty residual hypergraph");
+    out.total_mis_rounds += run.result.rounds;
+
+    for (const VertexId local_v : run.result.independent_set) {
+      out.color[to_original[local_v]] = out.num_colors;
+      --uncolored;
+    }
+    ++out.num_colors;
+  }
+  return out;
+}
+
+bool is_strong_coloring(const Hypergraph& h, const std::vector<int>& color) {
+  if (color.size() != h.num_vertices()) return false;
+  for (const int c : color) {
+    if (c < 0) return false;
+  }
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    if (verts.size() < 2) continue;
+    bool monochrome = true;
+    for (std::size_t i = 1; i < verts.size(); ++i) {
+      if (color[verts[i]] != color[verts[0]]) {
+        monochrome = false;
+        break;
+      }
+    }
+    if (monochrome) return false;
+  }
+  return true;
+}
+
+}  // namespace hmis::core

@@ -1,0 +1,46 @@
+// Strong hypergraph coloring by iterated MIS extraction — the classic
+// application pattern the paper's introduction cites for parallel MIS
+// primitives.
+//
+// Repeat: find an MIS of the residual hypergraph of uncolored vertices
+// (edges restricted to those fully uncolored; constraints of size < 2 are
+// vacuous for coloring and dropped), assign it the next color, remove it.
+// The result satisfies: no edge of size >= 2 is monochromatic (each color
+// class is independent in its round's residual, which contains every edge
+// that could become monochromatic in that class).
+#pragma once
+
+#include <vector>
+
+#include "hmis/algo/result.hpp"
+#include "hmis/core/mis.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::core {
+
+struct ColoringOptions {
+  std::uint64_t seed = 1;
+  Algorithm algorithm = Algorithm::PermutationMIS;
+  /// Safety cap on color count (a correct run never needs more than n).
+  std::size_t max_colors = 1u << 20;
+};
+
+struct Coloring {
+  /// color[v] in [0, num_colors); every vertex is colored.
+  std::vector<int> color;
+  int num_colors = 0;
+  bool success = true;
+  std::string failure_reason;
+  /// Total MIS rounds consumed across all extractions.
+  std::size_t total_mis_rounds = 0;
+};
+
+/// Color h so that no edge with |e| >= 2 is monochromatic.
+[[nodiscard]] Coloring strong_coloring(
+    const Hypergraph& h, const ColoringOptions& opt = ColoringOptions{});
+
+/// Validate the strong-coloring property (independent of the algorithm).
+[[nodiscard]] bool is_strong_coloring(const Hypergraph& h,
+                                      const std::vector<int>& color);
+
+}  // namespace hmis::core

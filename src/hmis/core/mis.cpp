@@ -1,0 +1,132 @@
+#include "hmis/core/mis.hpp"
+
+#include <array>
+
+#include "hmis/algo/greedy.hpp"
+#include "hmis/algo/kuw.hpp"
+#include "hmis/algo/linear_bl.hpp"
+#include "hmis/algo/luby.hpp"
+#include "hmis/algo/permutation_mis.hpp"
+#include "hmis/core/theory.hpp"
+#include "hmis/util/check.hpp"
+
+namespace hmis::core {
+
+std::string_view algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::Greedy:
+      return "greedy";
+    case Algorithm::PermutationGreedy:
+      return "perm-greedy";
+    case Algorithm::Luby:
+      return "luby";
+    case Algorithm::BL:
+      return "bl";
+    case Algorithm::LinearBL:
+      return "linear-bl";
+    case Algorithm::PermutationMIS:
+      return "perm-mis";
+    case Algorithm::KUW:
+      return "kuw";
+    case Algorithm::SBL:
+      return "sbl";
+    case Algorithm::Auto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::span<const Algorithm> all_algorithms() noexcept {
+  static constexpr std::array<Algorithm, 8> kAll = {
+      Algorithm::Greedy,   Algorithm::PermutationGreedy,
+      Algorithm::Luby,     Algorithm::BL,
+      Algorithm::LinearBL, Algorithm::PermutationMIS,
+      Algorithm::KUW,      Algorithm::SBL,
+  };
+  return kAll;
+}
+
+Algorithm choose_algorithm(const Hypergraph& h) {
+  if (h.dimension() <= 2) return Algorithm::Luby;
+  // SBL pays off when the dimension is large; BL handles small dimensions
+  // directly (this mirrors Algorithm 1's own line-3 dispatch).
+  const SblOptions defaults;
+  const SblParams params =
+      resolve_sbl_params(h.num_vertices(), h.num_edges(), defaults);
+  return h.dimension() <= params.d ? Algorithm::BL : Algorithm::SBL;
+}
+
+MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
+                const FindOptions& opt) {
+  MisRun run;
+  run.algorithm =
+      algorithm == Algorithm::Auto ? choose_algorithm(h) : algorithm;
+
+  const auto common = [&](auto& o) {
+    o.seed = opt.seed;
+    o.record_trace = opt.record_trace;
+    o.check_invariants = opt.check_invariants;
+  };
+
+  switch (run.algorithm) {
+    case Algorithm::Greedy: {
+      algo::GreedyOptions o;
+      common(o);
+      run.result = algo::greedy_mis(h, o);
+      break;
+    }
+    case Algorithm::PermutationGreedy: {
+      algo::GreedyOptions o;
+      common(o);
+      run.result = algo::permutation_greedy_mis(h, o);
+      break;
+    }
+    case Algorithm::Luby: {
+      algo::LubyOptions o;
+      common(o);
+      run.result = algo::luby_mis(h, o);
+      break;
+    }
+    case Algorithm::BL: {
+      algo::BlOptions o;
+      common(o);
+      run.result = algo::bl(h, o);
+      break;
+    }
+    case Algorithm::LinearBL: {
+      algo::LinearBlOptions o;
+      common(o);
+      run.result = algo::linear_bl(h, o);
+      break;
+    }
+    case Algorithm::PermutationMIS: {
+      algo::PermutationOptions o;
+      common(o);
+      run.result = algo::permutation_mis(h, o);
+      break;
+    }
+    case Algorithm::KUW: {
+      algo::KuwOptions o;
+      common(o);
+      run.result = algo::kuw_mis(h, o);
+      break;
+    }
+    case Algorithm::SBL: {
+      SblOptions o = opt.sbl;
+      common(o);
+      run.result = sbl(h, o);
+      break;
+    }
+    case Algorithm::Auto:
+      HMIS_CHECK(false, "Auto must be resolved before dispatch");
+  }
+
+  if (opt.verify && run.result.success) {
+    run.verdict = verify_mis(
+        h, std::span<const VertexId>(run.result.independent_set.data(),
+                                     run.result.independent_set.size()));
+  }
+  return run;
+}
+
+}  // namespace hmis::core

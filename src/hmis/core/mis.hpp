@@ -1,0 +1,58 @@
+// Unified facade: one entry point over every MIS algorithm in the library,
+// with independent verification of the returned set.
+//
+//   hmis::Hypergraph h = hmis::gen::uniform_random(100000, 100000, 3, 42);
+//   hmis::core::MisRun run = hmis::core::find_mis(h, hmis::core::Algorithm::SBL);
+//   // run.result.independent_set, run.verdict.ok(), run.result.rounds, ...
+#pragma once
+
+#include <string_view>
+
+#include "hmis/algo/result.hpp"
+#include "hmis/core/sbl.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace hmis::core {
+
+enum class Algorithm {
+  Greedy,            ///< sequential lexicographic greedy (baseline/oracle)
+  PermutationGreedy, ///< sequential greedy over a random order
+  Luby,              ///< graphs only (dimension <= 2)
+  BL,                ///< Beame–Luby (Algorithm 2)
+  LinearBL,          ///< BL tuned for linear hypergraphs
+  PermutationMIS,    ///< parallel priority rule for general hypergraphs
+  KUW,               ///< Karp–Upfal–Wigderson prefix search
+  SBL,               ///< the paper's contribution (Algorithm 1)
+  Auto,              ///< pick by instance shape
+};
+
+[[nodiscard]] std::string_view algorithm_name(Algorithm a) noexcept;
+
+/// All Algorithm values (for sweeps), excluding Auto.
+[[nodiscard]] std::span<const Algorithm> all_algorithms() noexcept;
+
+struct FindOptions {
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+  bool check_invariants = false;
+  /// Run verify_mis on the output (cost: one pass over the hypergraph).
+  bool verify = true;
+  /// SBL-specific knobs pass through; other algorithms use their defaults.
+  SblOptions sbl;
+};
+
+struct MisRun {
+  Algorithm algorithm = Algorithm::Auto;
+  algo::Result result;
+  MisVerdict verdict;  ///< meaningful iff options.verify
+};
+
+[[nodiscard]] MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
+                              const FindOptions& opt = FindOptions{});
+
+/// The Auto heuristic, exposed for tests: Luby for graphs, BL for small
+/// dimension, SBL otherwise.
+[[nodiscard]] Algorithm choose_algorithm(const Hypergraph& h);
+
+}  // namespace hmis::core

@@ -1,0 +1,60 @@
+// Instance analysis and algorithm planning.
+//
+// Inspects a hypergraph and reports the quantities the paper's results are
+// conditioned on — dimension, linearity, Δ(H), whether m fits Theorem 1's
+// n^β budget, the SBL parameters that would be used — and recommends an
+// algorithm with the predicted round bound.  This is `choose_algorithm`
+// grown into an explainable report (used by the CLI and examples).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/core/sbl.hpp"
+#include "hmis/hypergraph/degree_stats.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::core {
+
+struct InstanceReport {
+  // Shape.
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t dimension = 0;
+  std::size_t min_edge_size = 0;
+  double avg_edge_size = 0.0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  /// Histogram of edge sizes: edge_size_histogram[s] = #edges of size s.
+  std::vector<std::size_t> edge_size_histogram;
+  bool linear = false;
+
+  // Analysis quantities.
+  DegreeStats degree_stats;
+  double bl_marking_probability = 0.0;   ///< 1/(2^{d+1} Δ)
+  double theorem1_edge_budget = 0.0;     ///< n^{β(n)}
+  bool within_theorem1_budget = false;   ///< m <= n^{β(n)}
+  SblParams sbl_params;                  ///< practical-policy parameters
+
+  // Recommendation.
+  Algorithm recommended = Algorithm::Auto;
+  std::string rationale;
+  /// Predicted rounds for the recommended algorithm (bound, not estimate).
+  double predicted_round_bound = 0.0;
+};
+
+struct PlannerOptions {
+  /// Degree statistics cost controls.
+  DegreeStatsOptions stats;
+  /// Linearity detection is O(Σ C(|e|,2)); skipped above this budget.
+  std::size_t linearity_pair_budget = 20'000'000;
+};
+
+[[nodiscard]] InstanceReport analyze_instance(
+    const Hypergraph& h, const PlannerOptions& opt = PlannerOptions{});
+
+/// Render the report as human-readable lines (used by the CLI).
+[[nodiscard]] std::string format_report(const InstanceReport& report);
+
+}  // namespace hmis::core

@@ -1,0 +1,284 @@
+#include "hmis/core/sbl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmis/algo/greedy.hpp"
+#include "hmis/core/theory.hpp"
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+#include "hmis/hypergraph/validate.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+#include "hmis/util/timer.hpp"
+
+namespace hmis::core {
+
+namespace {
+
+/// Streams for the counter RNG: rounds and resamples must draw independent
+/// marks, so the stream id encodes both.
+constexpr std::uint64_t kResampleStride = 1'000'003;
+
+struct AttemptOutcome {
+  bool success = true;
+  bool dimension_failed = false;  // RestartAll trigger
+  std::string failure_reason;
+  std::size_t rounds = 0;
+  std::uint64_t inner_stages = 0;
+  std::size_t resamples = 0;
+  std::vector<algo::StageStats> trace;
+  std::vector<VertexId> independent_set;
+};
+
+AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
+                           const SblParams& params, std::uint64_t attempt_seed,
+                           par::Metrics* metrics) {
+  AttemptOutcome out;
+  const util::CounterRng rng(attempt_seed);
+  MutableHypergraph mh(h);
+
+  // Algorithm 1 line 3: if the whole hypergraph already has dimension <= d,
+  // run BL on it directly (line 26).
+  if (mh.max_live_edge_size() <= params.d) {
+    algo::BlOptions blopt = opt.bl;
+    blopt.seed = rng.child(0xB1).seed();
+    blopt.record_trace = false;
+    const auto outcome = algo::bl_run(mh, blopt, metrics);
+    out.success = outcome.success;
+    out.failure_reason = outcome.failure_reason;
+    out.inner_stages = outcome.stages;
+    out.rounds = 1;
+    out.independent_set = mh.blue_vertices();
+    return out;
+  }
+
+  util::DynamicBitset keep(h.num_vertices());
+  while (mh.num_live_vertices() >= params.loop_threshold) {
+    if (out.rounds >= opt.max_rounds) {
+      out.success = false;
+      out.failure_reason = "SBL exceeded max_rounds";
+      return out;
+    }
+    algo::StageStats stats;
+    stats.stage = out.rounds;
+    stats.live_vertices = mh.num_live_vertices();
+    stats.live_edges = mh.num_live_edges();
+    stats.dimension = mh.max_live_edge_size();
+    stats.p = params.p;
+
+    // ---- Sample V' (lines 6-7), redrawing on dimension violations. -------
+    MutableHypergraph::Induced induced;
+    std::size_t resample = 0;
+    for (;;) {
+      const std::uint64_t stream =
+          out.rounds * kResampleStride + resample + 1;
+      keep.clear_all();
+      std::size_t sampled = 0;
+      for (const VertexId v : mh.live_vertices()) {
+        if (rng.bernoulli(params.p, stream, v)) {
+          keep.set(v);
+          ++sampled;
+        }
+      }
+      stats.sampled = sampled;
+      induced = mh.induced_subgraph(keep);
+      stats.sample_dimension = induced.graph.dimension();
+      if (metrics) {
+        metrics->add(mh.num_live_vertices() + mh.total_live_edge_size(),
+                     par::log_depth(mh.num_live_vertices() + 1));
+      }
+      if (stats.sample_dimension <= params.d) break;  // line 8 check passed
+
+      // Line 9: FAIL.
+      ++resample;
+      ++out.resamples;
+      if (opt.fail_policy == SblFailPolicy::RestartAll) {
+        out.dimension_failed = true;
+        out.success = false;
+        out.failure_reason = "sampled dimension exceeded d (restarting)";
+        return out;
+      }
+      if (resample > opt.max_resamples_per_round) {
+        out.success = false;
+        out.failure_reason = "SBL exceeded max_resamples_per_round";
+        return out;
+      }
+    }
+    stats.resamples = resample;
+
+    // ---- Run BL on H' (line 11). -----------------------------------------
+    if (!induced.to_original.empty()) {
+      algo::BlOptions blopt = opt.bl;
+      blopt.seed = rng.child(0x1000 + out.rounds).seed();
+      blopt.record_trace = false;
+      MutableHypergraph inner(induced.graph);
+      const auto outcome = algo::bl_run(inner, blopt, metrics);
+      if (!outcome.success) {
+        out.success = false;
+        out.failure_reason = "inner BL failed: " + outcome.failure_reason;
+        return out;
+      }
+      out.inner_stages += outcome.stages;
+      stats.inner_stages = outcome.stages;
+
+      // ---- Fold the coloring back (lines 12-20). -------------------------
+      std::vector<VertexId> blue;
+      std::vector<VertexId> red;
+      blue.reserve(induced.to_original.size());
+      for (VertexId local = 0;
+           local < static_cast<VertexId>(induced.to_original.size());
+           ++local) {
+        const VertexId orig = induced.to_original[local];
+        if (inner.color(local) == Color::Blue) {
+          blue.push_back(orig);
+        } else {
+          red.push_back(orig);
+        }
+      }
+      stats.added_blue = blue.size();
+      stats.forced_red = red.size();
+      const std::size_t edges_before = mh.num_live_edges();
+      // Blue first: shrinks edges (line 18-20); edges fully sampled cannot
+      // become empty because BL returned an IS of H'.  Then red: deletes
+      // every edge touching an excluded sampled vertex (line 13-17).
+      mh.color_blue(blue);
+      mh.color_red(red);
+      stats.edges_deleted = edges_before - mh.num_live_edges();
+      if (metrics) {
+        metrics->add(mh.total_live_edge_size() + blue.size() + red.size(),
+                     par::log_depth(edges_before + 1));
+      }
+    }
+
+    if (opt.check_invariants) {
+      const auto verdict_edge =
+          find_violated_edge(h, to_membership(h, mh.blue_vertices()));
+      HMIS_CHECK(!verdict_edge.has_value(),
+                 "SBL invariant broken: blue set not independent");
+    }
+
+    ++out.rounds;
+    if (opt.record_trace) out.trace.push_back(stats);
+    if (opt.on_round) opt.on_round(stats);
+  }
+
+  // ---- Base case (line 23): KUW or sequential greedy. ---------------------
+  if (mh.num_live_vertices() > 0) {
+    algo::StageStats stats;
+    stats.stage = out.rounds;
+    stats.live_vertices = mh.num_live_vertices();
+    stats.live_edges = mh.num_live_edges();
+    if (opt.base_case == SblBaseCase::Kuw) {
+      algo::KuwOptions kopt;
+      kopt.seed = rng.child(0xC0DE).seed();
+      kopt.max_rounds = opt.max_rounds;
+      const auto outcome = algo::kuw_run(mh, kopt, metrics);
+      if (!outcome.success) {
+        out.success = false;
+        out.failure_reason = "base-case KUW failed: " + outcome.failure_reason;
+        return out;
+      }
+      stats.inner_stages = outcome.rounds;
+      out.inner_stages += outcome.rounds;
+    } else {
+      // Sequential greedy on the residual structure.
+      const auto snapshot = mh.live_snapshot();
+      algo::GreedyOptions gopt;
+      gopt.seed = rng.child(0x93ED).seed();
+      const auto res = algo::greedy_mis(snapshot.graph, gopt);
+      std::vector<std::uint8_t> is_blue(snapshot.to_original.size(), 0);
+      for (const VertexId local : res.independent_set) is_blue[local] = 1;
+      std::vector<VertexId> blue, red;
+      for (std::size_t local = 0; local < snapshot.to_original.size();
+           ++local) {
+        (is_blue[local] ? blue : red).push_back(snapshot.to_original[local]);
+      }
+      mh.color_blue(blue);
+      mh.color_red(red);
+      if (metrics) {
+        metrics->add(snapshot.graph.total_edge_size() + blue.size() +
+                         red.size(),
+                     snapshot.to_original.size());
+      }
+    }
+    ++out.rounds;
+    if (opt.record_trace) out.trace.push_back(stats);
+    if (opt.on_round) opt.on_round(stats);
+  }
+
+  HMIS_CHECK(mh.num_live_vertices() == 0, "SBL left vertices uncolored");
+  out.independent_set = mh.blue_vertices();
+  return out;
+}
+
+}  // namespace
+
+SblParams resolve_sbl_params(std::size_t n, std::size_t m,
+                             const SblOptions& opt) {
+  SblParams params;
+  const double dn = static_cast<double>(std::max<std::size_t>(n, 2));
+  const double dm = static_cast<double>(std::max<std::size_t>(m, 1));
+
+  if (opt.alpha_override > 0.0) {
+    params.alpha = opt.alpha_override;
+  } else if (opt.param_policy == SblParamPolicy::PaperAsymptotic) {
+    params.alpha = paper_alpha(dn);
+  } else {
+    params.alpha = 1.0 / 3.0;
+  }
+  params.p = opt.p_override > 0.0
+                 ? std::clamp(opt.p_override, 1e-9, 1.0)
+                 : sampling_probability(dn, params.alpha);
+
+  if (opt.d_override > 0) {
+    params.d = opt.d_override;
+  } else if (opt.param_policy == SblParamPolicy::PaperAsymptotic) {
+    params.d = static_cast<std::size_t>(
+        std::max(2.0, std::floor(bl_dimension_limit(dn))));
+  } else {
+    params.d = derived_dimension(dn, dm, params.p);
+  }
+  params.loop_threshold = sbl_loop_threshold(params.p);
+  params.predicted_round_bound = round_bound(dn, params.p);
+  params.predicted_violation_bound = dimension_violation_bound(
+      dn, dm, params.p, static_cast<double>(params.d));
+  return params;
+}
+
+algo::Result sbl(const Hypergraph& h, const SblOptions& opt) {
+  util::Timer timer;
+  algo::Result result;
+  const SblParams params =
+      resolve_sbl_params(h.num_vertices(), h.num_edges(), opt);
+  const util::CounterRng master(opt.seed);
+
+  for (std::size_t attempt = 0; attempt <= opt.max_restarts; ++attempt) {
+    AttemptOutcome outcome =
+        run_attempt(h, opt, params, master.child(attempt).seed(),
+                    &result.metrics);
+    result.rounds += outcome.rounds;
+    result.inner_stages += outcome.inner_stages;
+    result.resamples += outcome.resamples;
+    if (outcome.success) {
+      result.independent_set = std::move(outcome.independent_set);
+      result.trace = std::move(outcome.trace);
+      result.success = true;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    if (!outcome.dimension_failed) {
+      // Hard failure (not the paper's FAIL): report it.
+      result.success = false;
+      result.failure_reason = std::move(outcome.failure_reason);
+      result.seconds = timer.seconds();
+      return result;
+    }
+    // dimension_failed && RestartAll: loop and retry with fresh randomness.
+  }
+  result.success = false;
+  result.failure_reason = "SBL exhausted max_restarts (dimension violations)";
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace hmis::core

@@ -1,0 +1,76 @@
+// SBL — the Sampling Beame–Luby algorithm (paper Algorithm 1), the primary
+// contribution of Bercea, Goyal, Harris & Srinivasan (SPAA 2014).
+//
+// Repeat while |V| >= 1/p²:
+//   * sample V' by keeping each live vertex independently with prob. p;
+//   * H' = (V', E'), E' = live edges entirely inside V';
+//   * if H' has an edge larger than d: FAIL (paper) — we either resample the
+//     round or restart the whole run, per options (DESIGN.md note 4);
+//   * run BL on H'; its blue set joins the global IS *permanently*, all
+//     other sampled vertices turn red;
+//   * edges touching a red sampled vertex are deleted (they can never be
+//     fully blue); remaining edges drop their blue members.
+// Finally run the base-case solver (KUW or sequential greedy) on the
+// remaining < 1/p² vertices.
+//
+// Parameters: p = n^{-α} and the dimension bound d.  The paper's asymptotic
+// α = 1/log^(3) n and d = log^(2) n / (4 log^(3) n) are only meaningful for
+// enormous n, so the default policy uses a practical α (1/3) and the
+// derived d of claim (2), which preserves the analysis' actual guarantee —
+// dimension violations occur with probability <= 1/n (measured in F5).
+#pragma once
+
+#include "hmis/algo/bl.hpp"
+#include "hmis/algo/kuw.hpp"
+#include "hmis/algo/result.hpp"
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::core {
+
+enum class SblFailPolicy {
+  RestartAll,     ///< paper-faithful: redo the whole algorithm
+  ResampleRound,  ///< redraw this round's sample (same correctness, less work)
+};
+
+enum class SblParamPolicy {
+  PaperAsymptotic,  ///< α = 1/log^(3) n, d = log^(2) n / (4 log^(3) n)
+  Practical,        ///< α = 1/3, d = derived_dimension (claim (2))
+};
+
+enum class SblBaseCase {
+  Kuw,     ///< Karp–Upfal–Wigderson prefix search (paper line 23)
+  Greedy,  ///< sequential greedy ("time linear in vertices", §2)
+};
+
+struct SblOptions : algo::CommonOptions {
+  SblParamPolicy param_policy = SblParamPolicy::Practical;
+  SblFailPolicy fail_policy = SblFailPolicy::ResampleRound;
+  SblBaseCase base_case = SblBaseCase::Kuw;
+  /// Overrides (0 = use policy): sampling exponent, probability, dimension.
+  double alpha_override = 0.0;
+  double p_override = 0.0;
+  std::size_t d_override = 0;
+  std::size_t max_resamples_per_round = 200;
+  std::size_t max_restarts = 10;
+  /// Inner BL configuration (seed is derived per round).
+  algo::BlOptions bl;
+  /// Called after every SBL round with that round's stats.
+  std::function<void(const algo::StageStats&)> on_round;
+};
+
+/// Resolved parameters for an instance (for reporting and the benches).
+struct SblParams {
+  double alpha = 0.0;
+  double p = 0.0;
+  std::size_t d = 0;
+  std::size_t loop_threshold = 0;  ///< run while |V| >= this
+  double predicted_round_bound = 0.0;
+  double predicted_violation_bound = 0.0;
+};
+[[nodiscard]] SblParams resolve_sbl_params(std::size_t n, std::size_t m,
+                                           const SblOptions& opt);
+
+[[nodiscard]] algo::Result sbl(const Hypergraph& h,
+                               const SblOptions& opt = SblOptions{});
+
+}  // namespace hmis::core

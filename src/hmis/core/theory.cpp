@@ -1,0 +1,60 @@
+#include "hmis/core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmis/util/math.hpp"
+
+namespace hmis::core {
+
+double paper_alpha(double n) { return 1.0 / util::logloglog2(n); }
+
+double paper_beta(double n) {
+  const double l3 = util::logloglog2(n);
+  return util::loglog2(n) / (8.0 * l3 * l3);
+}
+
+double paper_edge_bound(double n) {
+  return std::pow(n, paper_beta(n));
+}
+
+double bl_dimension_limit(double n) {
+  return util::loglog2(n) / (4.0 * util::logloglog2(n));
+}
+
+double paper_runtime_bound(double n) {
+  return std::pow(n, 2.0 / util::logloglog2(n));
+}
+
+double sampling_probability(double n, double alpha) {
+  return std::clamp(std::pow(n, -alpha), 1e-9, 1.0);
+}
+
+double round_bound(double n, double p) {
+  return 2.0 * util::clog2(n) / p;
+}
+
+std::size_t derived_dimension(double n, double m, double p) {
+  const double r = round_bound(n, p);
+  const double num = util::clog2(r * m * n);
+  const double den = util::clog2(1.0 / p);
+  const double d = num / den - 1.0;
+  return static_cast<std::size_t>(std::max(2.0, std::ceil(d)));
+}
+
+double dimension_violation_bound(double n, double m, double p, double d) {
+  return round_bound(n, p) * m * std::pow(p, d + 1.0);
+}
+
+std::size_t sbl_loop_threshold(double p) {
+  if (p <= 0.0) return 1;
+  const double t = 1.0 / (p * p);
+  if (t >= 1e18) return static_cast<std::size_t>(1e18);
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(t)));
+}
+
+double round_progress_failure_bound(double p, double n_i) {
+  return std::exp(-p * n_i / 8.0);
+}
+
+}  // namespace hmis::core

@@ -1,0 +1,140 @@
+#include "hmis/hypergraph/builder.hpp"
+
+#include <algorithm>
+
+#include "hmis/util/check.hpp"
+
+namespace hmis {
+
+HypergraphBuilder& HypergraphBuilder::add_edge(
+    std::span<const VertexId> vertices) {
+  VertexList e(vertices.begin(), vertices.end());
+  std::sort(e.begin(), e.end());
+  e.erase(std::unique(e.begin(), e.end()), e.end());
+  HMIS_CHECK(!e.empty(), "empty edge: no independent set can exist");
+  HMIS_CHECK(e.back() < n_, "edge references vertex out of range");
+  edges_.push_back(std::move(e));
+  return *this;
+}
+
+HypergraphBuilder& HypergraphBuilder::add_edge(
+    std::initializer_list<VertexId> vertices) {
+  return add_edge(std::span<const VertexId>(vertices.begin(), vertices.size()));
+}
+
+Hypergraph HypergraphBuilder::build() {
+  std::vector<VertexList> edges = std::move(edges_);
+  edges_.clear();
+
+  // Dedupe and minimalization operate on a (size, lex, insertion) sorted
+  // index so duplicates are adjacent and subsets precede supersets, but the
+  // surviving edges are emitted in INSERTION order — edge ids are stable
+  // and predictable for callers.
+  std::vector<char> drop(edges.size(), 0);
+  if ((dedupe_ || minimalize_) && !edges.empty()) {
+    std::vector<std::uint32_t> order(edges.size());
+    for (std::uint32_t i = 0; i < edges.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (edges[a].size() != edges[b].size()) {
+                  return edges[a].size() < edges[b].size();
+                }
+                if (edges[a] != edges[b]) return edges[a] < edges[b];
+                return a < b;  // first insertion wins among duplicates
+              });
+    if (dedupe_) {
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        if (edges[order[i]] == edges[order[i - 1]]) drop[order[i]] = 1;
+      }
+    }
+    if (minimalize_) {
+      // An edge is dominated iff some strictly smaller kept edge is a
+      // subset of it.  Candidates: kept edges incident to ANY of its
+      // vertices (a subset shares every one of its own vertices with the
+      // superset, so it appears in at least one of those incidence lists).
+      std::vector<std::vector<std::uint32_t>> kept_incident(n_);
+      for (const std::uint32_t ei : order) {
+        if (drop[ei]) continue;
+        const VertexList& e = edges[ei];
+        bool dominated = false;
+        for (const VertexId v : e) {
+          for (const std::uint32_t ki : kept_incident[v]) {
+            const VertexList& f = edges[ki];
+            if (f.size() < e.size() &&
+                std::includes(e.begin(), e.end(), f.begin(), f.end())) {
+              dominated = true;
+              break;
+            }
+          }
+          if (dominated) break;
+        }
+        if (dominated) {
+          drop[ei] = 1;
+          continue;
+        }
+        for (const VertexId v : e) kept_incident[v].push_back(ei);
+      }
+    }
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!drop[i]) {
+        if (out != i) edges[out] = std::move(edges[i]);
+        ++out;
+      }
+    }
+    edges.resize(out);
+  }
+
+  Hypergraph h;
+  h.n_ = n_;
+  h.edge_offsets_.assign(1, 0);
+  h.edge_offsets_.reserve(edges.size() + 1);
+  std::size_t total = 0;
+  for (const auto& e : edges) total += e.size();
+  h.edge_vertices_.reserve(total);
+  h.dimension_ = 0;
+  h.min_edge_size_ = edges.empty() ? 0 : SIZE_MAX;
+  for (const auto& e : edges) {
+    h.edge_vertices_.insert(h.edge_vertices_.end(), e.begin(), e.end());
+    h.edge_offsets_.push_back(h.edge_vertices_.size());
+    h.dimension_ = std::max(h.dimension_, e.size());
+    h.min_edge_size_ = std::min(h.min_edge_size_, e.size());
+  }
+  if (edges.empty()) h.min_edge_size_ = 0;
+
+  // Vertex -> incident edge CSR (counting sort over edge memberships).
+  h.vertex_offsets_.assign(n_ + 1, 0);
+  for (const VertexId v : h.edge_vertices_) ++h.vertex_offsets_[v + 1];
+  for (std::size_t v = 0; v < n_; ++v) {
+    h.vertex_offsets_[v + 1] += h.vertex_offsets_[v];
+  }
+  h.vertex_edges_.resize(h.edge_vertices_.size());
+  std::vector<std::size_t> cursor(h.vertex_offsets_.begin(),
+                                  h.vertex_offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    for (const VertexId v : edges[e]) {
+      h.vertex_edges_[cursor[v]++] = e;
+    }
+  }
+  return h;
+}
+
+Hypergraph make_hypergraph(std::size_t num_vertices,
+                           std::span<const VertexList> edges) {
+  HypergraphBuilder b(num_vertices);
+  for (const auto& e : edges) {
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+  }
+  return b.build();
+}
+
+Hypergraph make_hypergraph(std::size_t num_vertices,
+                           std::initializer_list<VertexList> edges) {
+  HypergraphBuilder b(num_vertices);
+  for (const auto& e : edges) {
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+  }
+  return b.build();
+}
+
+}  // namespace hmis

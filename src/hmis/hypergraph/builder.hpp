@@ -1,0 +1,58 @@
+// Builder for immutable Hypergraphs: collects edges, sorts and dedupes
+// vertices within edges, optionally dedupes identical edges and removes
+// strict supersets (minimalization), then emits CSR storage.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis {
+
+class HypergraphBuilder {
+ public:
+  explicit HypergraphBuilder(std::size_t num_vertices)
+      : n_(num_vertices) {}
+
+  /// Add one edge.  Vertices are sorted and deduped; an empty edge (or one
+  /// that is empty after dedupe) is rejected with CheckError — an empty edge
+  /// makes every set dependent and no MIS exists.
+  HypergraphBuilder& add_edge(std::span<const VertexId> vertices);
+  HypergraphBuilder& add_edge(std::initializer_list<VertexId> vertices);
+
+  /// Drop edges with identical vertex sets (default on).
+  HypergraphBuilder& dedupe_edges(bool enable) {
+    dedupe_ = enable;
+    return *this;
+  }
+
+  /// Drop edges that strictly contain another edge (the superset constraint
+  /// is implied by the subset; see DESIGN.md fidelity note 1).  Default off —
+  /// generators produce what they produce; algorithms minimalize themselves.
+  HypergraphBuilder& remove_supersets(bool enable) {
+    minimalize_ = enable;
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t pending_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Emit the hypergraph.  The builder is left valid but empty.
+  [[nodiscard]] Hypergraph build();
+
+ private:
+  std::size_t n_;
+  std::vector<VertexList> edges_;
+  bool dedupe_ = true;
+  bool minimalize_ = false;
+};
+
+/// Convenience: build directly from edge lists.
+[[nodiscard]] Hypergraph make_hypergraph(std::size_t num_vertices,
+                                         std::span<const VertexList> edges);
+[[nodiscard]] Hypergraph make_hypergraph(
+    std::size_t num_vertices, std::initializer_list<VertexList> edges);
+
+}  // namespace hmis

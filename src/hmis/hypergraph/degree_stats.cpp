@@ -1,0 +1,180 @@
+#include "hmis/hypergraph/degree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmis/par/sort.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/math.hpp"
+#include "hmis/util/rng.hpp"
+
+namespace hmis {
+
+namespace {
+
+/// Order-independent-free hash of a sorted vertex subset (order is fixed by
+/// sortedness, so a sequential mix is fine).
+std::uint64_t hash_subset(const VertexId* verts, const std::uint32_t* idx,
+                          std::size_t k) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ k;
+  for (std::size_t i = 0; i < k; ++i) {
+    h = util::mix64(h ^ util::splitmix64(verts[idx[i]] + 0x9e3779b9ULL));
+  }
+  return h;
+}
+
+std::uint64_t hash_subset_direct(std::span<const VertexId> verts) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ verts.size();
+  for (const VertexId v : verts) {
+    h = util::mix64(h ^ util::splitmix64(v + 0x9e3779b9ULL));
+  }
+  return h;
+}
+
+// Packed emission: [hash-high-48 | |x| (8 bits) | edge size s (8 bits)].
+// Sorting groups identical (x, s) pairs; run lengths give |N_{s-|x|}(x)|.
+std::uint64_t pack(std::uint64_t h, std::size_t xs, std::size_t s) {
+  return (h & ~0xFFFFULL) | (static_cast<std::uint64_t>(xs & 0xFF) << 8) |
+         static_cast<std::uint64_t>(s & 0xFF);
+}
+
+}  // namespace
+
+double normalized_degree(std::uint64_t count, std::size_t j) {
+  if (count == 0) return 0.0;
+  if (j == 0) return static_cast<double>(count);
+  return std::pow(static_cast<double>(count), 1.0 / static_cast<double>(j));
+}
+
+DegreeStats compute_degree_stats(std::span<const VertexList> edges,
+                                 const DegreeStatsOptions& opt) {
+  DegreeStats stats;
+  for (const auto& e : edges) {
+    stats.dimension = std::max(stats.dimension, e.size());
+  }
+  stats.delta_i.assign(stats.dimension + 1, 0.0);
+  if (edges.empty()) return stats;
+
+  // Decide enumeration mode.
+  std::uint64_t emissions = 0;
+  bool exact = true;
+  for (const auto& e : edges) {
+    if (e.size() > opt.max_enum_edge_size) {
+      exact = false;
+      emissions += e.size();
+    } else {
+      emissions += (1ULL << e.size()) - 2;
+    }
+    if (emissions > opt.enum_budget) {
+      exact = false;
+      break;
+    }
+  }
+  if (!exact) {
+    emissions = 0;
+    for (const auto& e : edges) emissions += e.size();
+  }
+  stats.exact = exact;
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(emissions);
+  std::uint32_t idx[32];
+  for (const auto& e : edges) {
+    const std::size_t s = e.size();
+    if (s < 2) continue;  // singleton edges contribute no (x, j>=1) pairs
+    if (exact && s <= opt.max_enum_edge_size) {
+      // Enumerate non-empty proper subsets via bitmasks.
+      const std::uint32_t full = (1u << s) - 1;
+      for (std::uint32_t mask = 1; mask < full; ++mask) {
+        std::size_t k = 0;
+        std::uint32_t mm = mask;
+        while (mm != 0) {
+          const int b = __builtin_ctz(mm);
+          idx[k++] = static_cast<std::uint32_t>(b);
+          mm &= mm - 1;
+        }
+        keys.push_back(pack(hash_subset(e.data(), idx, k), k, s));
+      }
+    } else {
+      for (std::size_t i = 0; i < s; ++i) {
+        keys.push_back(pack(
+            hash_subset_direct(std::span<const VertexId>(&e[i], 1)), 1, s));
+      }
+    }
+  }
+
+  par::parallel_sort(keys);
+
+  // Run-length pass: identical keys = same (x, |e|) pair.
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    std::size_t run = i + 1;
+    while (run < keys.size() && keys[run] == keys[i]) ++run;
+    const std::uint64_t count = run - i;
+    const std::size_t xs = (keys[i] >> 8) & 0xFF;
+    const std::size_t s = keys[i] & 0xFF;
+    const std::size_t j = s - xs;
+    HMIS_CHECK(j >= 1 && s <= stats.dimension, "corrupt degree-stats key");
+    const double dj = normalized_degree(count, j);
+    stats.delta_i[s] = std::max(stats.delta_i[s], dj);
+    stats.max_count = std::max(stats.max_count, count);
+    i = run;
+  }
+  for (std::size_t s = 2; s <= stats.dimension; ++s) {
+    stats.delta = std::max(stats.delta, stats.delta_i[s]);
+  }
+  return stats;
+}
+
+DegreeStats compute_degree_stats(const Hypergraph& h,
+                                 const DegreeStatsOptions& opt) {
+  const auto lists = h.edges_as_lists();
+  return compute_degree_stats(
+      std::span<const VertexList>(lists.data(), lists.size()), opt);
+}
+
+std::vector<std::uint64_t> neighborhood_counts(
+    std::span<const VertexList> edges, const VertexList& x) {
+  HMIS_CHECK(!x.empty(), "neighborhood_counts needs non-empty x");
+  HMIS_CHECK(std::is_sorted(x.begin(), x.end()), "x must be sorted");
+  std::size_t dim = 0;
+  for (const auto& e : edges) dim = std::max(dim, e.size());
+  std::vector<std::uint64_t> counts(
+      dim >= x.size() ? dim - x.size() + 1 : 1, 0);
+  for (const auto& e : edges) {
+    if (e.size() < x.size()) continue;
+    if (std::includes(e.begin(), e.end(), x.begin(), x.end())) {
+      ++counts[e.size() - x.size()];
+    }
+  }
+  return counts;
+}
+
+std::vector<double> kelsen_potentials_log2(const DegreeStats& stats, double n,
+                                           std::vector<double>* log2_thresholds) {
+  const std::size_t d = stats.dimension;
+  std::vector<double> v(d + 1, 0.0);
+  if (d < 2) {
+    if (log2_thresholds) log2_thresholds->assign(d + 1, 0.0);
+    return v;
+  }
+  const double log2_logn = std::log2(util::clog2(n));
+  const auto f = util::kelsen_f(static_cast<int>(d), static_cast<double>(d));
+  v[d] = std::log2(stats.delta_i[d]);  // -inf when the level is empty
+  for (std::size_t i = d - 1; i >= 2; --i) {
+    // log2 of: max(Δ_i, (log n)^{f(i)} · v_{i+1})
+    v[i] = std::max(std::log2(stats.delta_i[i]),
+                    f[i] * log2_logn + v[i + 1]);
+    if (i == 2) break;
+  }
+  if (log2_thresholds) {
+    const auto F = util::kelsen_F(static_cast<int>(d), static_cast<double>(d));
+    log2_thresholds->assign(d + 1, 0.0);
+    for (std::size_t j = 2; j <= d; ++j) {
+      (*log2_thresholds)[j] = v[2] - F[j - 1] * log2_logn;
+    }
+  }
+  return v;
+}
+
+}  // namespace hmis

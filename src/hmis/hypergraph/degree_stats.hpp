@@ -1,0 +1,79 @@
+// Kelsen's normalized-degree machinery (paper §3).
+//
+// For a hypergraph H of dimension d, a non-empty vertex set x and
+// 1 <= j <= d - |x|:
+//   N_j(x,H)  = { y : x ∪ y ∈ E, x ∩ y = ∅, |y| = j }   (edges of size |x|+j
+//               around x)
+//   d_j(x,H)  = |N_j(x,H)|^{1/j}                        (normalized degree)
+//   Δ_i(H)    = max{ d_{i-|x|}(x,H) : 0 < |x| < i }     (per edge size i)
+//   Δ(H)      = max{ Δ_i(H) : 2 <= i <= d }
+//
+// BL uses Δ(H) to set its marking probability p = 1/(2^{d+1} Δ); the
+// potential analysis (Lemma 5) tracks the v_i(H) / T_j thresholds built from
+// the Δ_i.
+//
+// Exact computation enumerates, for every edge e, all non-empty proper
+// subsets x ⊂ e and counts (x, |e|) pairs: O(m · 2^d) subset emissions.
+// Edges larger than `max_enum_edge_size` — or instances whose total emission
+// count exceeds `enum_budget` — fall back to singleton subsets only
+// (|x| = 1), which lower-bounds Δ; `exact` reports which mode ran.
+// Subsets are identified by a 64-bit hash (collisions only *merge* counts;
+// at the default budget the collision probability is < 1e-6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis {
+
+struct DegreeStatsOptions {
+  /// Edges longer than this use singleton subsets only.
+  std::size_t max_enum_edge_size = 16;
+  /// Cap on total subset emissions before falling back to singletons.
+  std::uint64_t enum_budget = 8'000'000;
+};
+
+struct DegreeStats {
+  std::size_t dimension = 0;   ///< max live edge size d
+  double delta = 0.0;          ///< Δ(H)
+  bool exact = true;           ///< full subset enumeration completed
+  /// Δ_i(H) for i = 0..dimension (entries < 2 unused, kept for indexing).
+  std::vector<double> delta_i;
+  /// Largest |N_j(x)| seen for any (x, j) — raw, un-normalized.
+  std::uint64_t max_count = 0;
+};
+
+/// Compute stats over an explicit edge list (each edge sorted).
+[[nodiscard]] DegreeStats compute_degree_stats(
+    std::span<const VertexList> edges,
+    const DegreeStatsOptions& opt = DegreeStatsOptions{});
+
+/// Compute stats for an immutable hypergraph.
+[[nodiscard]] DegreeStats compute_degree_stats(
+    const Hypergraph& h, const DegreeStatsOptions& opt = DegreeStatsOptions{});
+
+/// |N_j(x,H)| for one specific x over an edge list: result[j] = count of
+/// edges e ⊇ x with |e| = |x| + j.  result.size() == max_j + 1; entry 0
+/// counts edges equal to x itself.
+[[nodiscard]] std::vector<std::uint64_t> neighborhood_counts(
+    std::span<const VertexList> edges, const VertexList& x);
+
+/// d_j(x,H) = count^{1/j} helper.
+[[nodiscard]] double normalized_degree(std::uint64_t count, std::size_t j);
+
+/// Kelsen potentials v_i(H) (paper §3, with the corrected recurrence
+/// F(i) = i·F(i-1) + d², DESIGN.md fidelity note 5):
+///   v_d = Δ_d,   v_i = max(Δ_i, (log2 n)^{f(i)} · v_{i+1})  for 2 <= i < d.
+///
+/// The scale factors (log n)^{f(i)} overflow doubles already at f(4) for
+/// moderate d, so this returns the potentials in LOG2 SPACE:
+/// result[i] = log2(v_i(H)).  Entries for i < 2 are 0; an all-zero Δ level
+/// propagates -inf, which max() handles naturally.  When `log2_thresholds`
+/// is non-null it receives log2(T_j) = log2(v_2) − F(j−1)·log2(log2 n).
+[[nodiscard]] std::vector<double> kelsen_potentials_log2(
+    const DegreeStats& stats, double n, std::vector<double>* log2_thresholds);
+
+}  // namespace hmis

@@ -1,0 +1,254 @@
+#include "hmis/hypergraph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/math.hpp"
+#include "hmis/util/rng.hpp"
+
+namespace hmis::gen {
+
+namespace {
+
+std::uint64_t edge_key(const VertexList& e) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ e.size();
+  for (const VertexId v : e) {
+    h = util::mix64(h ^ util::splitmix64(v + 0x2545f4914f6cdd1dULL));
+  }
+  return h;
+}
+
+/// Sample a sorted arity-subset of [0, n) without replacement.
+VertexList sample_subset(std::size_t n, std::size_t arity,
+                         util::Xoshiro256ss& rng) {
+  VertexList e;
+  e.reserve(arity);
+  // Floyd's algorithm for distinct samples.
+  for (std::size_t j = n - arity; j < n; ++j) {
+    const auto t = static_cast<VertexId>(rng.below(j + 1));
+    if (std::find(e.begin(), e.end(), t) == e.end()) {
+      e.push_back(t);
+    } else {
+      e.push_back(static_cast<VertexId>(j));
+    }
+  }
+  std::sort(e.begin(), e.end());
+  return e;
+}
+
+}  // namespace
+
+Hypergraph uniform_random(std::size_t n, std::size_t m, std::size_t arity,
+                          std::uint64_t seed) {
+  HMIS_CHECK(arity >= 1 && arity <= n, "uniform_random: bad arity");
+  const double space = util::binomial(static_cast<unsigned>(std::min<std::size_t>(n, 4096)),
+                                      static_cast<unsigned>(std::min(arity, std::size_t{4096})));
+  HMIS_CHECK(n > 4096 || static_cast<double>(m) <= space,
+             "uniform_random: more edges requested than distinct subsets");
+  util::Xoshiro256ss rng(seed);
+  HypergraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * m + 1000;
+  while (made < m && attempts < max_attempts) {
+    ++attempts;
+    VertexList e = sample_subset(n, arity, rng);
+    if (seen.insert(edge_key(e)).second) {
+      b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+      ++made;
+    }
+  }
+  HMIS_CHECK(made == m, "uniform_random: rejection sampling saturated");
+  return b.build();
+}
+
+Hypergraph mixed_arity(std::size_t n, std::size_t m, std::size_t min_arity,
+                       std::size_t max_arity, std::uint64_t seed) {
+  HMIS_CHECK(min_arity >= 1 && min_arity <= max_arity && max_arity <= n,
+             "mixed_arity: bad arity range");
+  util::Xoshiro256ss rng(seed);
+  HypergraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * m + 1000;
+  while (made < m && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t arity =
+        min_arity + rng.below(max_arity - min_arity + 1);
+    VertexList e = sample_subset(n, arity, rng);
+    if (seen.insert(edge_key(e)).second) {
+      b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+      ++made;
+    }
+  }
+  HMIS_CHECK(made == m, "mixed_arity: rejection sampling saturated");
+  return b.build();
+}
+
+Hypergraph linear_random(std::size_t n, std::size_t m, std::size_t arity,
+                         std::uint64_t seed) {
+  HMIS_CHECK(arity >= 2 && arity <= n, "linear_random: bad arity");
+  util::Xoshiro256ss rng(seed);
+  HypergraphBuilder b(n);
+  // A hypergraph is linear iff no vertex *pair* appears in two edges.
+  std::unordered_set<std::uint64_t> used_pairs;
+  used_pairs.reserve(m * arity * arity);
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 200 * m + 1000;
+  std::vector<std::uint64_t> pair_keys;
+  while (made < m && attempts < max_attempts) {
+    ++attempts;
+    VertexList e = sample_subset(n, arity, rng);
+    pair_keys.clear();
+    bool ok = true;
+    for (std::size_t i = 0; i < e.size() && ok; ++i) {
+      for (std::size_t j = i + 1; j < e.size(); ++j) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(e[i]) << 32) | e[j];
+        if (used_pairs.contains(key)) {
+          ok = false;
+          break;
+        }
+        pair_keys.push_back(key);
+      }
+    }
+    if (!ok) continue;
+    for (const auto key : pair_keys) used_pairs.insert(key);
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+    ++made;
+  }
+  // Target m is best-effort for linear hypergraphs; emit what we got.
+  return b.build();
+}
+
+Hypergraph planted_mis(std::size_t n, std::size_t m, std::size_t arity,
+                       double fraction, std::uint64_t seed) {
+  HMIS_CHECK(arity >= 2 && arity <= n, "planted_mis: bad arity");
+  HMIS_CHECK(fraction > 0.0 && fraction < 1.0, "planted_mis: bad fraction");
+  const auto planted = static_cast<std::size_t>(fraction * static_cast<double>(n));
+  HMIS_CHECK(planted < n, "planted_mis: planted set too large");
+  // Vertices [0, planted) form the planted independent set; every edge gets
+  // at least one vertex from [planted, n).
+  util::Xoshiro256ss rng(seed);
+  HypergraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * m + 1000;
+  while (made < m && attempts < max_attempts) {
+    ++attempts;
+    VertexList e = sample_subset(n, arity, rng);
+    const bool touches_outside = std::any_of(
+        e.begin(), e.end(), [&](VertexId v) { return v >= planted; });
+    if (!touches_outside) {
+      // Redirect one member outside the planted set.
+      e[rng.below(e.size())] = static_cast<VertexId>(
+          planted + rng.below(n - planted));
+      std::sort(e.begin(), e.end());
+      e.erase(std::unique(e.begin(), e.end()), e.end());
+      if (e.size() < 2) continue;
+    }
+    if (seen.insert(edge_key(e)).second) {
+      b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+      ++made;
+    }
+  }
+  HMIS_CHECK(made == m, "planted_mis: rejection sampling saturated");
+  return b.build();
+}
+
+Hypergraph random_graph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  return uniform_random(n, m, 2, seed);
+}
+
+Hypergraph interval(std::size_t n, std::size_t window, std::size_t stride) {
+  HMIS_CHECK(window >= 1 && window <= n, "interval: bad window");
+  HMIS_CHECK(stride >= 1, "interval: bad stride");
+  HypergraphBuilder b(n);
+  for (std::size_t start = 0; start + window <= n; start += stride) {
+    VertexList e(window);
+    for (std::size_t i = 0; i < window; ++i) {
+      e[i] = static_cast<VertexId>(start + i);
+    }
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+  }
+  return b.build();
+}
+
+Hypergraph sunflower(std::size_t core_size, std::size_t petal_size,
+                     std::size_t petals) {
+  HMIS_CHECK(petal_size >= 1, "sunflower: petal_size must be >= 1");
+  const std::size_t n = core_size + petals * petal_size;
+  HypergraphBuilder b(n);
+  for (std::size_t p = 0; p < petals; ++p) {
+    VertexList e;
+    e.reserve(core_size + petal_size);
+    for (std::size_t c = 0; c < core_size; ++c) {
+      e.push_back(static_cast<VertexId>(c));
+    }
+    for (std::size_t i = 0; i < petal_size; ++i) {
+      e.push_back(static_cast<VertexId>(core_size + p * petal_size + i));
+    }
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+  }
+  return b.build();
+}
+
+Hypergraph path_graph(std::size_t n) {
+  HypergraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge({static_cast<VertexId>(i), static_cast<VertexId>(i + 1)});
+  }
+  return b.build();
+}
+
+Hypergraph bounded_degree(std::size_t n, std::size_t m, std::size_t arity,
+                          std::size_t max_degree, std::uint64_t seed) {
+  HMIS_CHECK(arity >= 2 && arity <= n, "bounded_degree: bad arity");
+  HMIS_CHECK(max_degree >= 1, "bounded_degree: bad max_degree");
+  util::Xoshiro256ss rng(seed);
+  HypergraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<std::uint32_t> degree(n, 0);
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * m + 1000;
+  while (made < m && attempts < max_attempts) {
+    ++attempts;
+    VertexList e = sample_subset(n, arity, rng);
+    const bool fits = std::all_of(e.begin(), e.end(), [&](VertexId v) {
+      return degree[v] < max_degree;
+    });
+    if (!fits) continue;
+    if (!seen.insert(edge_key(e)).second) continue;
+    for (const VertexId v : e) ++degree[v];
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+    ++made;
+  }
+  return b.build();
+}
+
+Hypergraph sbl_regime(std::size_t n, double beta, std::size_t max_arity,
+                      std::uint64_t seed) {
+  const double nm = std::pow(static_cast<double>(n), beta);
+  const auto m = static_cast<std::size_t>(std::max(1.0, nm));
+  if (max_arity == 0) {
+    // Default: arity up to ~log2(n), the "unbounded dimension" flavour the
+    // SBL regime allows.
+    max_arity = std::max<std::size_t>(3, util::floor_log2(n));
+  }
+  max_arity = std::min(max_arity, n);
+  return mixed_arity(n, m, 2, max_arity, seed);
+}
+
+}  // namespace hmis::gen

@@ -1,0 +1,83 @@
+// Synthetic hypergraph families used by the tests and the experiment suite.
+//
+// The paper evaluates nothing empirically, so these generators realize the
+// hypergraph classes its *narrative* ranges over: constant-dimension
+// hypergraphs (Beame–Luby / Kelsen regime), linear hypergraphs
+// (Łuczak–Szymańska regime), bounded-edge-count general hypergraphs
+// (m <= n^β, the SBL regime), plus adversarial shapes for the baselines.
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis::gen {
+
+/// m distinct edges, each a uniform random arity-subset of [0, n).
+/// Requires arity >= 1 and feasibility (enough distinct subsets).
+[[nodiscard]] Hypergraph uniform_random(std::size_t n, std::size_t m,
+                                        std::size_t arity, std::uint64_t seed);
+
+/// m distinct edges with sizes uniform in [min_arity, max_arity].
+[[nodiscard]] Hypergraph mixed_arity(std::size_t n, std::size_t m,
+                                     std::size_t min_arity,
+                                     std::size_t max_arity,
+                                     std::uint64_t seed);
+
+/// Linear hypergraph (|e ∩ e'| <= 1): random arity-subsets accepted greedily
+/// while they share at most one vertex with every accepted edge (partial
+/// Steiner system).  May return fewer than m edges if the space saturates;
+/// `m` is a target.
+[[nodiscard]] Hypergraph linear_random(std::size_t n, std::size_t m,
+                                       std::size_t arity, std::uint64_t seed);
+
+/// Planted independent set: a planted subset S of size floor(fraction*n) is
+/// kept independent — every generated edge has at least one vertex outside
+/// S.  Useful for MIS-quality experiments with a known large IS.
+[[nodiscard]] Hypergraph planted_mis(std::size_t n, std::size_t m,
+                                     std::size_t arity, double fraction,
+                                     std::uint64_t seed);
+
+/// Ordinary random graph (arity 2) — the classic Luby setting.
+[[nodiscard]] Hypergraph random_graph(std::size_t n, std::size_t m,
+                                      std::uint64_t seed);
+
+/// Sliding-window interval hypergraph: edges {i, i+1, ..., i+window-1} for
+/// i = 0, stride, 2*stride, ...  Highly structured / overlapping.
+[[nodiscard]] Hypergraph interval(std::size_t n, std::size_t window,
+                                  std::size_t stride);
+
+/// Sunflower: all edges share a common `core` of size core_size; each edge
+/// adds petal_size private vertices.  n = core_size + petals * petal_size.
+/// Stress case for trimming and for edge-migration instrumentation.
+[[nodiscard]] Hypergraph sunflower(std::size_t core_size,
+                                   std::size_t petal_size,
+                                   std::size_t petals);
+
+/// Blocked chain: vertices in consecutive blocks of size `block`; every pair
+/// of adjacent blocks contributes all (u, v, w) with u in block i and
+/// v, w in block i+1?  No — simpler adversarial shape for sequential-ish
+/// progress: edges {i, i+1} for all i (a path graph), which forces long
+/// dependency chains in prefix-style algorithms.
+[[nodiscard]] Hypergraph path_graph(std::size_t n);
+
+/// The SBL regime: mixed-arity edges with m ≈ n^beta, arities spread from 2
+/// up to max_arity (defaults to a slowly growing function of n).  This is
+/// the instance family Theorem 1 addresses: unbounded dimension, bounded
+/// edge count.
+[[nodiscard]] Hypergraph sbl_regime(std::size_t n, double beta,
+                                    std::size_t max_arity, std::uint64_t seed);
+
+/// d-uniform random hypergraph with every vertex degree <= max_degree.
+/// Since BL's probability is p = 1/(2^{d+1}Δ(H)) and the dominant term of
+/// Δ on sparse random instances is the singleton degree deg^{1/(d-1)},
+/// capping the degree gives direct experimental control over Δ (used by the
+/// Δ-sweep bench).  Best effort: returns fewer than m edges if the degree
+/// budget saturates.
+[[nodiscard]] Hypergraph bounded_degree(std::size_t n, std::size_t m,
+                                        std::size_t arity,
+                                        std::size_t max_degree,
+                                        std::uint64_t seed);
+
+}  // namespace hmis::gen

@@ -1,0 +1,22 @@
+#include "hmis/hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+
+namespace hmis {
+
+bool Hypergraph::edge_contains(EdgeId e, VertexId v) const noexcept {
+  const auto verts = edge(e);
+  return std::binary_search(verts.begin(), verts.end(), v);
+}
+
+std::vector<VertexList> Hypergraph::edges_as_lists() const {
+  std::vector<VertexList> out;
+  out.reserve(num_edges());
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const auto verts = edge(e);
+    out.emplace_back(verts.begin(), verts.end());
+  }
+  return out;
+}
+
+}  // namespace hmis

@@ -1,0 +1,77 @@
+// Immutable hypergraph in compressed sparse row (CSR) form.
+//
+// H = (V, E): V = {0..n-1}, every edge is a sorted, duplicate-free list of
+// vertices.  Both directions are stored: edge -> vertices and
+// vertex -> incident edges, so algorithms can iterate either way without
+// rebuilding.  Construction goes through HypergraphBuilder, which sorts,
+// dedupes and validates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hmis/hypergraph/types.hpp"
+
+namespace hmis {
+
+class HypergraphBuilder;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edge_offsets_.empty() ? 0 : edge_offsets_.size() - 1;
+  }
+
+  /// Sorted vertex list of edge e.
+  [[nodiscard]] std::span<const VertexId> edge(EdgeId e) const noexcept {
+    return {edge_vertices_.data() + edge_offsets_[e],
+            edge_vertices_.data() + edge_offsets_[e + 1]};
+  }
+
+  /// Ids of edges incident to vertex v (ascending).
+  [[nodiscard]] std::span<const EdgeId> edges_of(VertexId v) const noexcept {
+    return {vertex_edges_.data() + vertex_offsets_[v],
+            vertex_edges_.data() + vertex_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t edge_size(EdgeId e) const noexcept {
+    return edge_offsets_[e + 1] - edge_offsets_[e];
+  }
+  [[nodiscard]] std::size_t degree(VertexId v) const noexcept {
+    return vertex_offsets_[v + 1] - vertex_offsets_[v];
+  }
+
+  /// Maximum edge size (the paper's "dimension"); 0 if there are no edges.
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  /// Minimum edge size; 0 if there are no edges.
+  [[nodiscard]] std::size_t min_edge_size() const noexcept {
+    return min_edge_size_;
+  }
+  /// Sum of |e| over all edges.
+  [[nodiscard]] std::size_t total_edge_size() const noexcept {
+    return edge_vertices_.size();
+  }
+
+  /// True if v appears in edge e (binary search).
+  [[nodiscard]] bool edge_contains(EdgeId e, VertexId v) const noexcept;
+
+  /// All edges as materialized vectors (convenience for tests/generators).
+  [[nodiscard]] std::vector<VertexList> edges_as_lists() const;
+
+ private:
+  friend class HypergraphBuilder;
+
+  std::size_t n_ = 0;
+  std::vector<std::size_t> edge_offsets_{0};
+  std::vector<VertexId> edge_vertices_;
+  std::vector<std::size_t> vertex_offsets_;
+  std::vector<EdgeId> vertex_edges_;
+  std::size_t dimension_ = 0;
+  std::size_t min_edge_size_ = 0;
+};
+
+}  // namespace hmis

@@ -1,0 +1,152 @@
+#include "hmis/hypergraph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/util/check.hpp"
+
+namespace hmis {
+
+void write_hypergraph(std::ostream& os, const Hypergraph& h) {
+  os << "hg1 " << h.num_vertices() << ' ' << h.num_edges() << '\n';
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    os << verts.size();
+    for (const VertexId v : verts) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+Hypergraph read_hypergraph(std::istream& is) {
+  std::string line;
+  std::string magic;
+  std::size_t n = 0, m = 0;
+  // Header (skipping comments).
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream hs(line);
+    hs >> magic >> n >> m;
+    HMIS_CHECK(!hs.fail() && magic == "hg1", "bad hypergraph header");
+    break;
+  }
+  HMIS_CHECK(magic == "hg1", "missing hypergraph header");
+  HypergraphBuilder b(n);
+  b.dedupe_edges(false);  // round-trip exactly what was written
+  std::size_t read_edges = 0;
+  VertexList e;
+  while (read_edges < m && std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::size_t k = 0;
+    ls >> k;
+    HMIS_CHECK(!ls.fail(), "bad edge line");
+    e.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      VertexId v;
+      ls >> v;
+      HMIS_CHECK(!ls.fail(), "truncated edge line");
+      e.push_back(v);
+    }
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+    ++read_edges;
+  }
+  HMIS_CHECK(read_edges == m, "fewer edges than header declared");
+  return b.build();
+}
+
+void save_hypergraph(const std::string& path, const Hypergraph& h) {
+  std::ofstream os(path);
+  HMIS_CHECK(os.good(), "cannot open file for writing: " + path);
+  write_hypergraph(os, h);
+  HMIS_CHECK(os.good(), "write failed: " + path);
+}
+
+Hypergraph load_hypergraph(const std::string& path) {
+  std::ifstream is(path);
+  HMIS_CHECK(is.good(), "cannot open file for reading: " + path);
+  return read_hypergraph(is);
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'H', 'G', 'B', '1'};
+
+void put_u64(std::ostream& os, std::uint64_t x) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((x >> (8 * i)) & 0xFF);
+  os.write(buf, 8);
+}
+
+void put_u32(std::ostream& os, std::uint32_t x) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((x >> (8 * i)) & 0xFF);
+  os.write(buf, 4);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  HMIS_CHECK(is.good(), "binary hypergraph truncated (u64)");
+  std::uint64_t x = 0;
+  for (int i = 7; i >= 0; --i) x = (x << 8) | buf[i];
+  return x;
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  HMIS_CHECK(is.good(), "binary hypergraph truncated (u32)");
+  std::uint32_t x = 0;
+  for (int i = 3; i >= 0; --i) x = (x << 8) | buf[i];
+  return x;
+}
+
+}  // namespace
+
+void write_hypergraph_binary(std::ostream& os, const Hypergraph& h) {
+  os.write(kBinaryMagic, 4);
+  put_u64(os, h.num_vertices());
+  put_u64(os, h.num_edges());
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    put_u32(os, static_cast<std::uint32_t>(verts.size()));
+    for (const VertexId v : verts) put_u32(os, v);
+  }
+  HMIS_CHECK(os.good(), "binary write failed");
+}
+
+Hypergraph read_hypergraph_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  HMIS_CHECK(is.good() && std::equal(magic, magic + 4, kBinaryMagic),
+             "bad binary hypergraph magic");
+  const std::uint64_t n = get_u64(is);
+  const std::uint64_t m = get_u64(is);
+  HypergraphBuilder b(n);
+  b.dedupe_edges(false);
+  VertexList e;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint32_t k = get_u32(is);
+    e.clear();
+    e.reserve(k);
+    for (std::uint32_t j = 0; j < k; ++j) e.push_back(get_u32(is));
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+  }
+  return b.build();
+}
+
+void save_hypergraph_binary(const std::string& path, const Hypergraph& h) {
+  std::ofstream os(path, std::ios::binary);
+  HMIS_CHECK(os.good(), "cannot open file for writing: " + path);
+  write_hypergraph_binary(os, h);
+  HMIS_CHECK(os.good(), "write failed: " + path);
+}
+
+Hypergraph load_hypergraph_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HMIS_CHECK(is.good(), "cannot open file for reading: " + path);
+  return read_hypergraph_binary(is);
+}
+
+}  // namespace hmis

@@ -1,0 +1,30 @@
+// Plain-text hypergraph serialization.
+//
+// Format ("hg1"):
+//   hg1 <num_vertices> <num_edges>
+//   <k> <v1> <v2> ... <vk>      (one line per edge)
+// Lines starting with '#' are comments.  Vertices are 0-based.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+
+namespace hmis {
+
+void write_hypergraph(std::ostream& os, const Hypergraph& h);
+[[nodiscard]] Hypergraph read_hypergraph(std::istream& is);
+
+void save_hypergraph(const std::string& path, const Hypergraph& h);
+[[nodiscard]] Hypergraph load_hypergraph(const std::string& path);
+
+// Binary format ("HGB1"): magic, n, m as u64 little-endian, then per edge a
+// u32 size followed by u32 vertex ids.  Fixed-width: smaller and much
+// faster than text once vertex ids exceed ~4 digits.
+void write_hypergraph_binary(std::ostream& os, const Hypergraph& h);
+[[nodiscard]] Hypergraph read_hypergraph_binary(std::istream& is);
+void save_hypergraph_binary(const std::string& path, const Hypergraph& h);
+[[nodiscard]] Hypergraph load_hypergraph_binary(const std::string& path);
+
+}  // namespace hmis

@@ -1,0 +1,234 @@
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+
+#include <algorithm>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/util/check.hpp"
+
+namespace hmis {
+
+MutableHypergraph::MutableHypergraph(const Hypergraph& h)
+    : original_(&h), n_(h.num_vertices()) {
+  color_.assign(n_, Color::None);
+  live_vertex_count_ = n_;
+  const std::size_t m = h.num_edges();
+  edges_.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto verts = h.edge(e);
+    edges_.emplace_back(verts.begin(), verts.end());
+  }
+  edge_live_.resize(m, true);
+  live_edge_count_ = m;
+  live_degree_.assign(n_, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    for (const VertexId v : edges_[e]) ++live_degree_[v];
+  }
+}
+
+std::vector<VertexId> MutableHypergraph::live_vertices() const {
+  std::vector<VertexId> out;
+  out.reserve(live_vertex_count_);
+  for (VertexId v = 0; v < n_; ++v) {
+    if (color_[v] == Color::None) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<EdgeId> MutableHypergraph::live_edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(live_edge_count_);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edge_live_[e]) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t MutableHypergraph::max_live_edge_size() const noexcept {
+  std::size_t d = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edge_live_[e]) d = std::max(d, edges_[e].size());
+  }
+  return d;
+}
+
+std::size_t MutableHypergraph::total_live_edge_size() const noexcept {
+  std::size_t total = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edge_live_[e]) total += edges_[e].size();
+  }
+  return total;
+}
+
+std::vector<VertexId> MutableHypergraph::blue_vertices() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (color_[v] == Color::Blue) out.push_back(v);
+  }
+  return out;
+}
+
+void MutableHypergraph::delete_edge(EdgeId e) {
+  if (!edge_live_[e]) return;
+  edge_live_.reset(e);
+  --live_edge_count_;
+  for (const VertexId v : edges_[e]) {
+    // Members of a live edge are always live vertices (invariant), so the
+    // degree bookkeeping only ever touches live vertices.
+    --live_degree_[v];
+  }
+}
+
+void MutableHypergraph::color_blue(std::span<const VertexId> vs) {
+  for (const VertexId v : vs) {
+    HMIS_CHECK(color_[v] == Color::None, "coloring a non-live vertex blue");
+    color_[v] = Color::Blue;
+    --live_vertex_count_;
+  }
+  // Shrink live incident edges.  A vertex leaves an edge only here, when it
+  // turns blue.
+  for (const VertexId v : vs) {
+    for (const EdgeId e : original_->edges_of(v)) {
+      if (!edge_live_[e]) continue;
+      auto& verts = edges_[e];
+      const auto it = std::lower_bound(verts.begin(), verts.end(), v);
+      if (it != verts.end() && *it == v) {
+        verts.erase(it);
+        --live_degree_[v];  // v no longer counted in this edge
+        HMIS_CHECK(!verts.empty(),
+                   "edge became fully blue: independence violated");
+      }
+    }
+  }
+}
+
+void MutableHypergraph::color_red(std::span<const VertexId> vs) {
+  for (const VertexId v : vs) {
+    HMIS_CHECK(color_[v] == Color::None, "coloring a non-live vertex red");
+    color_[v] = Color::Red;
+    --live_vertex_count_;
+  }
+  for (const VertexId v : vs) {
+    for (const EdgeId e : original_->edges_of(v)) {
+      if (!edge_live_[e]) continue;
+      // The live edge may have shrunk; it contains v iff v is still listed.
+      const auto& verts = edges_[e];
+      if (std::binary_search(verts.begin(), verts.end(), v)) {
+        delete_edge(e);
+      }
+    }
+  }
+}
+
+std::vector<VertexId> MutableHypergraph::singleton_cascade() {
+  std::vector<VertexId> reds;
+  // Collect current singletons; deleting edges never shrinks others, so one
+  // sweep plus processing the collected queue suffices.
+  std::vector<VertexId> queue;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edge_live_[e] && edges_[e].size() == 1) {
+      queue.push_back(edges_[e][0]);
+    }
+  }
+  for (const VertexId v : queue) {
+    if (color_[v] != Color::None) continue;  // already handled via duplicate
+    color_red(std::span<const VertexId>(&v, 1));
+    reds.push_back(v);
+  }
+  return reds;
+}
+
+std::vector<VertexId> MutableHypergraph::isolated_live_vertices() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (color_[v] == Color::None && live_degree_[v] == 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t MutableHypergraph::dedupe_and_minimalize() {
+  // Order live edges by (size, lex) so duplicates are adjacent and potential
+  // subsets precede supersets.
+  std::vector<EdgeId> order = live_edges();
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (edges_[a].size() != edges_[b].size()) {
+      return edges_[a].size() < edges_[b].size();
+    }
+    return edges_[a] < edges_[b];
+  });
+  std::size_t removed = 0;
+  // Kept-edge index per vertex for subset candidate pruning.
+  std::vector<std::vector<EdgeId>> kept_incident(n_);
+  EdgeId prev = kInvalidEdge;
+  for (const EdgeId e : order) {
+    const auto& verts = edges_[e];
+    if (prev != kInvalidEdge && edges_[prev] == verts) {
+      delete_edge(e);
+      ++removed;
+      continue;
+    }
+    // Dominating subsets share every one of their own vertices with this
+    // edge, so scanning the kept-incidence lists of ALL members finds them.
+    bool dominated = false;
+    for (const VertexId v : verts) {
+      for (const EdgeId k : kept_incident[v]) {
+        const auto& f = edges_[k];
+        if (f.size() < verts.size() &&
+            std::includes(verts.begin(), verts.end(), f.begin(), f.end())) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) break;
+    }
+    if (dominated) {
+      delete_edge(e);
+      ++removed;
+      continue;
+    }
+    for (const VertexId v : verts) kept_incident[v].push_back(e);
+    prev = e;
+  }
+  return removed;
+}
+
+MutableHypergraph::Induced MutableHypergraph::induced_subgraph(
+    const util::DynamicBitset& keep) const {
+  Induced out;
+  std::vector<VertexId> to_local(n_, kInvalidVertex);
+  for (VertexId v = 0; v < n_; ++v) {
+    if (color_[v] == Color::None && keep.test(v)) {
+      to_local[v] = static_cast<VertexId>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+  HypergraphBuilder b(out.to_original.size());
+  VertexList local;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edge_live_[e]) continue;
+    const auto& verts = edges_[e];
+    bool inside = true;
+    local.clear();
+    for (const VertexId v : verts) {
+      if (to_local[v] == kInvalidVertex) {
+        inside = false;
+        break;
+      }
+      local.push_back(to_local[v]);
+    }
+    if (inside) {
+      b.add_edge(std::span<const VertexId>(local.data(), local.size()));
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+MutableHypergraph::Induced MutableHypergraph::live_snapshot() const {
+  util::DynamicBitset all(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    if (color_[v] == Color::None) all.set(v);
+  }
+  return induced_subgraph(all);
+}
+
+}  // namespace hmis

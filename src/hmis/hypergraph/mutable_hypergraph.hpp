@@ -1,0 +1,133 @@
+// MutableHypergraph: the evolving residual hypergraph the MIS algorithms
+// operate on.
+//
+// The algorithms in this library (BL, SBL, KUW, ...) permanently color
+// vertices BLUE (in the independent set) or RED (excluded) and maintain the
+// residual constraint system:
+//   * coloring v BLUE shrinks every live edge containing v by removing v
+//     ("the edge needs one fewer blue vertex to be violated");
+//   * coloring v RED deletes every live edge containing v ("an edge with a
+//     red vertex can never become fully blue" — Algorithm 1, line 14);
+//   * an edge shrinking to a single vertex {v} forces v RED (singleton rule,
+//     Algorithm 2 lines 21–24), which cascades deletions;
+//   * an edge shrinking to EMPTY means some edge became fully blue — an
+//     independence violation, reported via HMIS_CHECK (this must be
+//     unreachable for correct algorithms; the tests inject it deliberately).
+//
+// Vertex ids are stable: they always refer to the original hypergraph, so
+// the final blue set can be validated directly against the input.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/util/bitset.hpp"
+
+namespace hmis {
+
+enum class Color : std::uint8_t { None = 0, Blue = 1, Red = 2 };
+
+class MutableHypergraph {
+ public:
+  explicit MutableHypergraph(const Hypergraph& h);
+
+  // ---- Inspection ---------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_original_vertices() const noexcept {
+    return n_;
+  }
+  [[nodiscard]] std::size_t num_live_vertices() const noexcept {
+    return live_vertex_count_;
+  }
+  [[nodiscard]] std::size_t num_live_edges() const noexcept {
+    return live_edge_count_;
+  }
+  [[nodiscard]] bool vertex_live(VertexId v) const noexcept {
+    return color_[v] == Color::None;
+  }
+  [[nodiscard]] Color color(VertexId v) const noexcept { return color_[v]; }
+  [[nodiscard]] bool edge_live(EdgeId e) const noexcept {
+    return edge_live_[e];
+  }
+  /// Current (shrunken) vertex list of a live edge; sorted.
+  [[nodiscard]] std::span<const VertexId> edge(EdgeId e) const noexcept {
+    return {edges_[e].data(), edges_[e].size()};
+  }
+  /// Original incident edge ids of v (superset of live incident edges).
+  [[nodiscard]] std::span<const EdgeId> original_edges_of(
+      VertexId v) const noexcept {
+    return original_->edges_of(v);
+  }
+  /// Number of live edges currently containing live vertex v.
+  [[nodiscard]] std::size_t live_degree(VertexId v) const noexcept {
+    return live_degree_[v];
+  }
+
+  [[nodiscard]] std::vector<VertexId> live_vertices() const;
+  [[nodiscard]] std::vector<EdgeId> live_edges() const;
+  /// Max size over live edges (0 if none).  O(live edges).
+  [[nodiscard]] std::size_t max_live_edge_size() const noexcept;
+  /// Sum of sizes over live edges.
+  [[nodiscard]] std::size_t total_live_edge_size() const noexcept;
+  /// Blue vertices so far, ascending.
+  [[nodiscard]] std::vector<VertexId> blue_vertices() const;
+
+  [[nodiscard]] const Hypergraph& original() const noexcept {
+    return *original_;
+  }
+
+  // ---- Coloring operations ------------------------------------------------
+
+  /// Color every vertex in `vs` blue; shrinks live incident edges.
+  /// HMIS_CHECK-fails if any edge would become empty (independence broken).
+  void color_blue(std::span<const VertexId> vs);
+
+  /// Color every vertex in `vs` red; deletes live incident edges.
+  void color_red(std::span<const VertexId> vs);
+
+  /// Apply the singleton rule until exhaustion: every live edge of size 1
+  /// forces its vertex red (deleting that edge and all other edges containing
+  /// the vertex).  Returns the vertices turned red.
+  std::vector<VertexId> singleton_cascade();
+
+  /// Live vertices with no live incident edge — they are unconstrained and
+  /// may always join the independent set.  (Used by the practical
+  /// isolated-vertex shortcut; see DESIGN.md fidelity note 3.)
+  [[nodiscard]] std::vector<VertexId> isolated_live_vertices() const;
+
+  /// Remove duplicate live edges and live edges that strictly contain
+  /// another live edge (minimal-edge retention; fidelity note 1).
+  /// Returns the number of edges removed.
+  std::size_t dedupe_and_minimalize();
+
+  // ---- Subhypergraph extraction -------------------------------------------
+
+  struct Induced {
+    Hypergraph graph;                  ///< local ids 0..k-1
+    std::vector<VertexId> to_original; ///< local id -> original id
+  };
+
+  /// The subhypergraph induced by the live vertices in `keep`: its vertices
+  /// are all kept live vertices, its edges are the live edges entirely
+  /// contained in `keep` (Algorithm 1, line 7: E' = {e in E : e ⊆ V'}).
+  [[nodiscard]] Induced induced_subgraph(
+      const util::DynamicBitset& keep) const;
+
+  /// Compact snapshot of the current live structure (for stats modules).
+  [[nodiscard]] Induced live_snapshot() const;
+
+ private:
+  void delete_edge(EdgeId e);
+
+  const Hypergraph* original_;
+  std::size_t n_;
+  std::vector<Color> color_;
+  std::vector<VertexList> edges_;      // current vertex list per edge
+  util::DynamicBitset edge_live_;
+  std::vector<std::uint32_t> live_degree_;  // live incident edges per vertex
+  std::size_t live_vertex_count_ = 0;
+  std::size_t live_edge_count_ = 0;
+};
+
+}  // namespace hmis

@@ -1,0 +1,64 @@
+#include "hmis/hypergraph/transversal.hpp"
+
+#include "hmis/util/check.hpp"
+
+namespace hmis {
+
+std::vector<VertexId> complement_of(const Hypergraph& h,
+                                    std::span<const VertexId> set) {
+  util::DynamicBitset in(h.num_vertices());
+  for (const VertexId v : set) {
+    HMIS_CHECK(v < h.num_vertices(), "vertex out of range");
+    in.set(v);
+  }
+  std::vector<VertexId> out;
+  out.reserve(h.num_vertices() - set.size());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (!in.test(v)) out.push_back(v);
+  }
+  return out;
+}
+
+bool is_transversal(const Hypergraph& h, const util::DynamicBitset& cover) {
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    bool hit = false;
+    for (const VertexId v : h.edge(e)) {
+      if (cover.test(v)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+bool is_minimal_transversal(const Hypergraph& h,
+                            const util::DynamicBitset& cover) {
+  if (!is_transversal(h, cover)) return false;
+  // v ∈ cover is essential iff some edge's only covered vertex is v.
+  std::vector<std::uint8_t> essential(h.num_vertices(), 0);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    std::size_t covered = 0;
+    VertexId last = kInvalidVertex;
+    for (const VertexId v : h.edge(e)) {
+      if (cover.test(v)) {
+        ++covered;
+        last = v;
+        if (covered > 1) break;
+      }
+    }
+    if (covered == 1) essential[last] = 1;
+  }
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (cover.test(v) && !essential[v]) return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> transversal_from_mis(const Hypergraph& h,
+                                           std::span<const VertexId> mis) {
+  return complement_of(h, mis);
+}
+
+}  // namespace hmis

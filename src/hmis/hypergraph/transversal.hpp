@@ -1,0 +1,38 @@
+// Minimal transversals (hitting sets) via MIS complementation.
+//
+// For a hypergraph H with all edges non-empty, the complement of a maximal
+// independent set I is a minimal transversal:
+//  * transversal: no edge fits inside I, so every edge meets V \ I;
+//  * minimal: maximality of I gives every v ∈ V \ I an edge e with
+//    e \ {v} ⊆ I — remove v and that edge is missed.
+// This duality makes every MIS algorithm in the library a minimal
+// hitting-set engine (monitoring placement, test-suite reduction, ...).
+#pragma once
+
+#include <vector>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/util/bitset.hpp"
+
+namespace hmis {
+
+/// Complement of a vertex set, as a sorted id list.
+[[nodiscard]] std::vector<VertexId> complement_of(
+    const Hypergraph& h, std::span<const VertexId> set);
+
+/// Does `cover` intersect every edge?
+[[nodiscard]] bool is_transversal(const Hypergraph& h,
+                                  const util::DynamicBitset& cover);
+
+/// Is `cover` a transversal no proper subset of which is one?
+/// O(Σ|e|): v is redundant iff no edge has v as its only covered vertex.
+[[nodiscard]] bool is_minimal_transversal(const Hypergraph& h,
+                                          const util::DynamicBitset& cover);
+
+/// Minimal transversal from a maximal independent set (asserts nothing —
+/// pair with verify_mis on the input set; the output then satisfies
+/// is_minimal_transversal by the duality above).
+[[nodiscard]] std::vector<VertexId> transversal_from_mis(
+    const Hypergraph& h, std::span<const VertexId> mis);
+
+}  // namespace hmis

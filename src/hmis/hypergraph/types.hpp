@@ -1,0 +1,20 @@
+// Fundamental identifier types shared across the hypergraph subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hmis {
+
+/// Vertex identifier: dense, 0-based.
+using VertexId = std::uint32_t;
+/// Edge identifier: dense, 0-based.
+using EdgeId = std::uint32_t;
+
+/// A set of vertices represented as a sorted, duplicate-free vector.
+using VertexList = std::vector<VertexId>;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+}  // namespace hmis

@@ -1,0 +1,75 @@
+#include "hmis/hypergraph/validate.hpp"
+
+#include "hmis/util/check.hpp"
+
+namespace hmis {
+
+util::DynamicBitset to_membership(const Hypergraph& h,
+                                  std::span<const VertexId> set) {
+  util::DynamicBitset b(h.num_vertices());
+  for (const VertexId v : set) {
+    HMIS_CHECK(v < h.num_vertices(), "vertex id out of range");
+    b.set(v);
+  }
+  return b;
+}
+
+std::optional<EdgeId> find_violated_edge(const Hypergraph& h,
+                                         const util::DynamicBitset& in_set) {
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    bool inside = true;
+    for (const VertexId v : h.edge(e)) {
+      if (!in_set.test(v)) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<VertexId> find_addable_vertex(const Hypergraph& h,
+                                            const util::DynamicBitset& in_set) {
+  // v (outside the set) is blocked iff some edge e ∋ v has e \ {v} ⊆ set.
+  // Count, per edge, the members inside the set; e blocks its unique outside
+  // member when exactly one member is outside.
+  std::vector<std::uint8_t> blocked(h.num_vertices(), 0);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    std::size_t outside = 0;
+    VertexId outside_v = kInvalidVertex;
+    for (const VertexId v : verts) {
+      if (!in_set.test(v)) {
+        ++outside;
+        outside_v = v;
+        if (outside > 1) break;
+      }
+    }
+    if (outside == 1) blocked[outside_v] = 1;
+    // outside == 0 means the edge is violated; independence check reports it.
+    if (outside == 0 && !verts.empty()) {
+      // Every member is inside; the "set" is not independent.  Blocking is
+      // moot but mark members' neighbours conservatively unnecessary.
+    }
+  }
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (!in_set.test(v) && !blocked[v]) return v;
+  }
+  return std::nullopt;
+}
+
+MisVerdict verify_mis(const Hypergraph& h, const util::DynamicBitset& in_set) {
+  MisVerdict verdict;
+  verdict.violating_edge = find_violated_edge(h, in_set);
+  verdict.independent = !verdict.violating_edge.has_value();
+  verdict.addable_vertex = find_addable_vertex(h, in_set);
+  verdict.maximal = !verdict.addable_vertex.has_value();
+  return verdict;
+}
+
+MisVerdict verify_mis(const Hypergraph& h, std::span<const VertexId> set) {
+  return verify_mis(h, to_membership(h, set));
+}
+
+}  // namespace hmis

@@ -1,0 +1,45 @@
+// Independent verification of MIS results, used by every test and bench.
+// These functions look only at the original hypergraph and the candidate
+// set — never at algorithm internals — so they catch algorithm bugs rather
+// than reproduce them.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/util/bitset.hpp"
+
+namespace hmis {
+
+struct MisVerdict {
+  bool independent = false;
+  bool maximal = false;
+  /// First edge fully inside the set, if not independent.
+  std::optional<EdgeId> violating_edge;
+  /// First vertex that could still be added, if not maximal.
+  std::optional<VertexId> addable_vertex;
+
+  [[nodiscard]] bool ok() const noexcept { return independent && maximal; }
+};
+
+/// Membership bitset from a vertex list (validates range, ignores dupes).
+[[nodiscard]] util::DynamicBitset to_membership(const Hypergraph& h,
+                                                std::span<const VertexId> set);
+
+/// Is `set` independent: no edge of h entirely contained in it?
+[[nodiscard]] std::optional<EdgeId> find_violated_edge(
+    const Hypergraph& h, const util::DynamicBitset& in_set);
+
+/// Is `set` maximal: every vertex outside has an edge e with
+/// e \ {v} ⊆ set (adding v would complete e)?  Returns a counterexample.
+[[nodiscard]] std::optional<VertexId> find_addable_vertex(
+    const Hypergraph& h, const util::DynamicBitset& in_set);
+
+/// Full verdict for a candidate MIS.
+[[nodiscard]] MisVerdict verify_mis(const Hypergraph& h,
+                                    std::span<const VertexId> set);
+[[nodiscard]] MisVerdict verify_mis(const Hypergraph& h,
+                                    const util::DynamicBitset& in_set);
+
+}  // namespace hmis

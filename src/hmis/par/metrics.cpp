@@ -1,0 +1,22 @@
+#include "hmis/par/metrics.hpp"
+
+#include "hmis/util/math.hpp"
+
+namespace hmis::par {
+
+std::uint64_t map_depth(std::uint64_t n) noexcept { return n == 0 ? 0 : 1; }
+
+std::uint64_t log_depth(std::uint64_t n) noexcept {
+  return n <= 1 ? 1 : hmis::util::ceil_log2(n);
+}
+
+std::uint64_t sort_depth(std::uint64_t n) noexcept {
+  const std::uint64_t l = log_depth(n);
+  return l * l;
+}
+
+std::uint64_t sort_work(std::uint64_t n) noexcept {
+  return n * (log_depth(n) + 1);
+}
+
+}  // namespace hmis::par

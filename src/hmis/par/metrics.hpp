@@ -1,0 +1,40 @@
+// Work/depth metering for the parallel primitives.
+//
+// Every `hmis::par` algorithm reports the cost of its *idealized EREW PRAM
+// realization* (DESIGN.md §4): map contributes depth O(1), reduce and scan
+// depth ceil(log2 n), sort depth O(log^2 n).  Attaching a Metrics object to
+// calls lets the benches report machine-independent totals (Table 2).
+#pragma once
+
+#include <cstdint>
+
+namespace hmis::par {
+
+struct Metrics {
+  std::uint64_t work = 0;   // total operations across processors
+  std::uint64_t depth = 0;  // parallel time (EREW model)
+  std::uint64_t calls = 0;  // number of primitive invocations
+
+  void add(std::uint64_t w, std::uint64_t d) noexcept {
+    work += w;
+    depth += d;
+    ++calls;
+  }
+  void merge(const Metrics& other) noexcept {
+    work += other.work;
+    depth += other.depth;
+    calls += other.calls;
+  }
+  void reset() noexcept { *this = Metrics{}; }
+};
+
+/// EREW depth charged for a data-parallel map over n items.
+[[nodiscard]] std::uint64_t map_depth(std::uint64_t n) noexcept;
+/// EREW depth charged for a tree reduction / Blelloch scan over n items.
+[[nodiscard]] std::uint64_t log_depth(std::uint64_t n) noexcept;
+/// EREW depth charged for a parallel merge sort over n items.
+[[nodiscard]] std::uint64_t sort_depth(std::uint64_t n) noexcept;
+/// Work charged for a parallel merge sort over n items (n log n).
+[[nodiscard]] std::uint64_t sort_work(std::uint64_t n) noexcept;
+
+}  // namespace hmis::par

@@ -1,0 +1,80 @@
+// Data-parallel loop over an index range.
+//
+// The range [begin, end) is split into exactly P = pool.num_threads()
+// contiguous chunks (fewer if the range is small), so the decomposition is a
+// pure function of (range, P) — never of timing.  Bodies must write disjoint
+// locations or use idempotent atomic sets.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "hmis/par/metrics.hpp"
+#include "hmis/par/thread_pool.hpp"
+
+namespace hmis::par {
+
+/// Minimum items per chunk before the loop bothers going parallel.
+inline constexpr std::size_t kMinGrain = 1024;
+
+struct ChunkPlan {
+  std::size_t chunks = 1;
+  std::size_t chunk_size = 0;
+};
+
+[[nodiscard]] inline ChunkPlan plan_chunks(std::size_t n, std::size_t threads,
+                                           std::size_t grain = kMinGrain) {
+  ChunkPlan plan;
+  if (n == 0) {
+    plan.chunks = 0;
+    return plan;
+  }
+  const std::size_t by_grain = (n + grain - 1) / grain;
+  plan.chunks = std::max<std::size_t>(1, std::min(threads, by_grain));
+  plan.chunk_size = (n + plan.chunks - 1) / plan.chunks;
+  return plan;
+}
+
+/// parallel_for(begin, end, f): calls f(i) for every i in [begin, end).
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& f,
+                  Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool& tp = pool ? *pool : global_pool();
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  if (metrics) metrics->add(n, map_depth(n));
+  if (plan.chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * plan.chunk_size;
+    const std::size_t hi = std::min(end, lo + plan.chunk_size);
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+  });
+}
+
+/// parallel_for_chunks: calls f(chunk_index, lo, hi) per contiguous chunk.
+/// Use when per-chunk state (buffers, partial sums) is needed.
+template <typename Body>
+void parallel_for_chunks(std::size_t begin, std::size_t end, Body&& f,
+                         Metrics* metrics = nullptr,
+                         ThreadPool* pool = nullptr) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool& tp = pool ? *pool : global_pool();
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  if (metrics) metrics->add(n, map_depth(n));
+  if (plan.chunks <= 1) {
+    f(std::size_t{0}, begin, end);
+    return;
+  }
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * plan.chunk_size;
+    const std::size_t hi = std::min(end, lo + plan.chunk_size);
+    if (lo < hi) f(c, lo, hi);
+  });
+}
+
+}  // namespace hmis::par

@@ -1,0 +1,89 @@
+// Deterministic parallel reductions.
+//
+// Per-chunk partials are combined *in chunk index order* on the calling
+// thread, so results (including floating point) are identical for any
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hmis/par/parallel_for.hpp"
+
+namespace hmis::par {
+
+/// reduce(begin, end, init, map, combine):
+///   result = fold(combine, init, [map(i) for i in range]) in index order.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T reduce(std::size_t begin, std::size_t end, T init, Map&& map,
+                       Combine&& combine, Metrics* metrics = nullptr,
+                       ThreadPool* pool = nullptr) {
+  if (end <= begin) return init;
+  const std::size_t n = end - begin;
+  ThreadPool& tp = pool ? *pool : global_pool();
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  if (metrics) metrics->add(n, log_depth(n));
+  if (plan.chunks <= 1) {
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::vector<T> partials(plan.chunks, init);
+  std::vector<char> used(plan.chunks, 0);
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * plan.chunk_size;
+    const std::size_t hi = std::min(end, lo + plan.chunk_size);
+    if (lo >= hi) return;
+    T acc = map(lo);
+    for (std::size_t i = lo + 1; i < hi; ++i) acc = combine(acc, map(i));
+    partials[c] = acc;
+    used[c] = 1;
+  });
+  T acc = init;
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    if (used[c]) acc = combine(acc, partials[c]);
+  }
+  return acc;
+}
+
+/// Sum of map(i) over the range.
+template <typename T, typename Map>
+[[nodiscard]] T reduce_sum(std::size_t begin, std::size_t end, Map&& map,
+                           Metrics* metrics = nullptr,
+                           ThreadPool* pool = nullptr) {
+  return reduce<T>(
+      begin, end, T{}, std::forward<Map>(map),
+      [](T a, T b) { return a + b; }, metrics, pool);
+}
+
+/// Max of map(i) over the range (returns `lowest` on empty range).
+template <typename T, typename Map>
+[[nodiscard]] T reduce_max(std::size_t begin, std::size_t end, T lowest,
+                           Map&& map, Metrics* metrics = nullptr,
+                           ThreadPool* pool = nullptr) {
+  return reduce<T>(
+      begin, end, lowest, std::forward<Map>(map),
+      [](T a, T b) { return a < b ? b : a; }, metrics, pool);
+}
+
+/// Min of map(i) over the range (returns `highest` on empty range).
+template <typename T, typename Map>
+[[nodiscard]] T reduce_min(std::size_t begin, std::size_t end, T highest,
+                           Map&& map, Metrics* metrics = nullptr,
+                           ThreadPool* pool = nullptr) {
+  return reduce<T>(
+      begin, end, highest, std::forward<Map>(map),
+      [](T a, T b) { return b < a ? b : a; }, metrics, pool);
+}
+
+/// Count of indices where pred(i) holds.
+template <typename Pred>
+[[nodiscard]] std::size_t count_if(std::size_t begin, std::size_t end,
+                                   Pred&& pred, Metrics* metrics = nullptr,
+                                   ThreadPool* pool = nullptr) {
+  return reduce_sum<std::size_t>(
+      begin, end, [&](std::size_t i) { return pred(i) ? std::size_t{1} : 0; },
+      metrics, pool);
+}
+
+}  // namespace hmis::par

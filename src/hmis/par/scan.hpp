@@ -1,0 +1,101 @@
+// Parallel prefix sums (two-pass blocked algorithm, the shared-memory
+// realization of the EREW Blelchoch scan) and stream compaction built on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hmis/par/parallel_for.hpp"
+
+namespace hmis::par {
+
+/// Exclusive prefix sum of values(i) into out[0..n); returns the total.
+/// out may alias nothing; out.size() must be >= n.
+template <typename T, typename Values>
+T exclusive_scan(std::size_t n, Values&& values, T* out,
+                 Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
+  if (n == 0) return T{};
+  ThreadPool& tp = pool ? *pool : global_pool();
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  if (metrics) metrics->add(2 * n, 2 * log_depth(n));
+  if (plan.chunks <= 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = acc;
+      acc += values(i);
+    }
+    return acc;
+  }
+  std::vector<T> block_sums(plan.chunks, T{});
+  // Pass 1: per-block sums.
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    const std::size_t lo = c * plan.chunk_size;
+    const std::size_t hi = std::min(n, lo + plan.chunk_size);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += values(i);
+    block_sums[c] = acc;
+  });
+  // Serial exclusive scan of block sums (chunk count is tiny).
+  T total{};
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const T s = block_sums[c];
+    block_sums[c] = total;
+    total += s;
+  }
+  // Pass 2: local scans with block offset.
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    const std::size_t lo = c * plan.chunk_size;
+    const std::size_t hi = std::min(n, lo + plan.chunk_size);
+    T acc = block_sums[c];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = acc;
+      acc += values(i);
+    }
+  });
+  return total;
+}
+
+/// Inclusive prefix sum; returns the total.
+template <typename T, typename Values>
+T inclusive_scan(std::size_t n, Values&& values, T* out,
+                 Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
+  const T total = exclusive_scan<T>(n, values, out, metrics, pool);
+  parallel_for(
+      0, n, [&](std::size_t i) { out[i] += values(i); }, metrics, pool);
+  return total;
+}
+
+/// Stream compaction: indices i in [0, n) with pred(i), in ascending order.
+template <typename Pred>
+[[nodiscard]] std::vector<std::uint32_t> pack_indices(
+    std::size_t n, Pred&& pred, Metrics* metrics = nullptr,
+    ThreadPool* pool = nullptr) {
+  std::vector<std::uint32_t> offsets(n);
+  const std::uint32_t total = exclusive_scan<std::uint32_t>(
+      n, [&](std::size_t i) { return pred(i) ? 1u : 0u; }, offsets.data(),
+      metrics, pool);
+  std::vector<std::uint32_t> out(total);
+  parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        if (pred(i)) out[offsets[i]] = static_cast<std::uint32_t>(i);
+      },
+      metrics, pool);
+  return out;
+}
+
+/// Gather: out[j] = values(packed[j]) for a packed index list.
+template <typename T, typename Values>
+[[nodiscard]] std::vector<T> gather(const std::vector<std::uint32_t>& packed,
+                                    Values&& values,
+                                    Metrics* metrics = nullptr,
+                                    ThreadPool* pool = nullptr) {
+  std::vector<T> out(packed.size());
+  parallel_for(
+      0, packed.size(), [&](std::size_t j) { out[j] = values(packed[j]); },
+      metrics, pool);
+  return out;
+}
+
+}  // namespace hmis::par

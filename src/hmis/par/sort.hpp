@@ -1,0 +1,74 @@
+// Deterministic parallel merge sort: P sorted runs (fixed decomposition)
+// merged pairwise in a fixed tree order.  std::sort for small inputs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "hmis/par/parallel_for.hpp"
+
+namespace hmis::par {
+
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(std::vector<T>& data, Compare cmp = Compare{},
+                   Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
+  const std::size_t n = data.size();
+  ThreadPool& tp = pool ? *pool : global_pool();
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads(), /*grain=*/4096);
+  if (metrics) metrics->add(sort_work(n), sort_depth(n));
+  if (plan.chunks <= 1) {
+    std::sort(data.begin(), data.end(), cmp);
+    return;
+  }
+  struct Run {
+    std::size_t lo, hi;
+  };
+  std::vector<Run> runs;
+  runs.reserve(plan.chunks);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const std::size_t lo = c * plan.chunk_size;
+    const std::size_t hi = std::min(n, lo + plan.chunk_size);
+    if (lo < hi) runs.push_back({lo, hi});
+  }
+  tp.run_chunks(runs.size(), [&](std::size_t c) {
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(runs[c].lo),
+              data.begin() + static_cast<std::ptrdiff_t>(runs[c].hi), cmp);
+  });
+  // Pairwise merge tree; each level merges adjacent runs in parallel.
+  std::vector<T> buffer(n);
+  bool data_is_source = true;
+  while (runs.size() > 1) {
+    std::vector<Run> next;
+    next.reserve((runs.size() + 1) / 2);
+    const std::size_t pairs = runs.size() / 2;
+    auto* src = data_is_source ? &data : &buffer;
+    auto* dst = data_is_source ? &buffer : &data;
+    tp.run_chunks(pairs, [&](std::size_t p) {
+      const Run a = runs[2 * p];
+      const Run b = runs[2 * p + 1];
+      std::merge(src->begin() + static_cast<std::ptrdiff_t>(a.lo),
+                 src->begin() + static_cast<std::ptrdiff_t>(a.hi),
+                 src->begin() + static_cast<std::ptrdiff_t>(b.lo),
+                 src->begin() + static_cast<std::ptrdiff_t>(b.hi),
+                 dst->begin() + static_cast<std::ptrdiff_t>(a.lo), cmp);
+    });
+    for (std::size_t p = 0; p < pairs; ++p) {
+      next.push_back({runs[2 * p].lo, runs[2 * p + 1].hi});
+    }
+    if (runs.size() % 2 == 1) {
+      // Odd run out: copy through so every element lives in dst.
+      const Run tail = runs.back();
+      std::copy(src->begin() + static_cast<std::ptrdiff_t>(tail.lo),
+                src->begin() + static_cast<std::ptrdiff_t>(tail.hi),
+                dst->begin() + static_cast<std::ptrdiff_t>(tail.lo));
+      next.push_back(tail);
+    }
+    runs = std::move(next);
+    data_is_source = !data_is_source;
+  }
+  if (!data_is_source) data.swap(buffer);
+}
+
+}  // namespace hmis::par

@@ -1,0 +1,117 @@
+#include "hmis/par/thread_pool.hpp"
+
+#include <memory>
+
+namespace hmis::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t last_seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && current_->id != last_seen &&
+                         current_->next < current_->chunks);
+      });
+      if (stop_) return;
+      job = current_;
+      last_seen = job->id;
+      ++job->refs;  // keeps *job alive until drain() releases it
+    }
+    drain(*job);
+  }
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    std::size_t chunk;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (job.next >= job.chunks) break;
+      chunk = job.next++;
+    }
+    std::exception_ptr err;
+    try {
+      (*job.body)(chunk);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (err && !job.error) job.error = err;
+      ++job.done;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --job.refs;
+    if (job.done == job.chunks && job.refs == 0) {
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t chunks,
+                            const std::function<void(std::size_t)>& f) {
+  if (chunks == 0) return;
+  if (chunks == 1 || workers_.empty()) {
+    for (std::size_t c = 0; c < chunks; ++c) f(c);
+    return;
+  }
+  Job job;
+  job.body = &f;
+  job.chunks = chunks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.id = ++job_counter_;
+    job.refs = 1;  // the submitting thread's reference
+    current_ = &job;
+  }
+  cv_work_.notify_all();
+  drain(job);  // calling thread participates and releases its reference
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return job.done == job.chunks && job.refs == 0; });
+    current_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& global_pool() {
+  auto& slot = pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void set_global_threads(std::size_t threads) {
+  pool_slot() = std::make_unique<ThreadPool>(threads == 0 ? 1 : threads);
+}
+
+}  // namespace hmis::par

@@ -1,0 +1,76 @@
+// A small fixed-size thread pool with fork-join semantics.
+//
+// Design constraints (see DESIGN.md §4):
+//  * Determinism: `run_chunks(k, f)` always invokes f(0..k-1) exactly once
+//    each; callers decompose work into a *fixed* number of chunks (usually
+//    `num_threads()`), so the decomposition — and therefore any per-chunk
+//    partial results combined in index order — is independent of scheduling.
+//  * Exception safety: the first exception thrown by any chunk is captured
+//    and rethrown on the calling thread after the join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmis::par {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (>=1).  0 means hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size() + 1;  // workers plus the calling thread
+  }
+
+  /// Run f(chunk) for chunk in [0, chunks); blocks until all complete.
+  /// The calling thread participates (chunk ids are handed out atomically,
+  /// but every chunk runs exactly once, so deterministic decompositions
+  /// remain deterministic).
+  void run_chunks(std::size_t chunks, const std::function<void(std::size_t)>& f);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t chunks = 0;
+    std::size_t next = 0;      // next chunk to hand out
+    std::size_t done = 0;      // chunks completed
+    std::size_t refs = 0;      // threads currently inside drain()
+    std::exception_ptr error;  // first captured exception
+    std::uint64_t id = 0;      // job sequence number
+  };
+
+  void worker_loop();
+  /// Pull and run chunks of the current job until exhausted.  The caller
+  /// must have incremented job.refs under the mutex; drain() releases that
+  /// reference on exit.  The submitter only destroys the job once
+  /// done == chunks && refs == 0, so workers never touch a dead job.
+  void drain(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;   // signals workers: job available / stop
+  std::condition_variable cv_done_;   // signals submitter: job finished
+  Job* current_ = nullptr;
+  std::uint64_t job_counter_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool used by the `hmis::par` algorithms.  Intentionally lazy:
+/// first use creates it with hardware_concurrency threads.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Replace the global pool with one of `threads` threads.  Not thread-safe
+/// w.r.t. concurrent global_pool() users; call at startup / between phases.
+void set_global_threads(std::size_t threads);
+
+}  // namespace hmis::par

@@ -1,0 +1,244 @@
+#include "hmis/pram/bl_round.hpp"
+
+#include <algorithm>
+
+#include "hmis/util/check.hpp"
+
+namespace hmis::pram {
+
+namespace {
+
+/// A batch of disjoint copy operations executed as one synchronous step:
+/// proc i does mem[dst[i]] = mem[src[i]].  Addresses must be pairwise
+/// disjoint across processors — the checker verifies it.
+void copy_step(Machine& m, const std::vector<std::size_t>& src,
+               const std::vector<std::size_t>& dst) {
+  if (src.empty()) return;
+  m.step(src.size(), [&](std::size_t p) {
+    m.write(p, dst[p], m.read(p, src[p]));
+  });
+}
+
+/// Doubling fill: after ceil(log2(len)) steps every cell of each strip
+/// [begin, begin+len) equals its first cell.  Strips are disjoint.
+void doubling_fill(Machine& m, const std::vector<std::size_t>& strip_begin,
+                   const std::vector<std::size_t>& strip_len) {
+  std::size_t max_len = 0;
+  for (const auto len : strip_len) max_len = std::max(max_len, len);
+  std::vector<std::size_t> src, dst;
+  for (std::size_t have = 1; have < max_len; have *= 2) {
+    src.clear();
+    dst.clear();
+    for (std::size_t s = 0; s < strip_begin.size(); ++s) {
+      const std::size_t len = strip_len[s];
+      if (len <= have) continue;
+      const std::size_t copy = std::min(have, len - have);
+      for (std::size_t j = 0; j < copy; ++j) {
+        src.push_back(strip_begin[s] + j);
+        dst.push_back(strip_begin[s] + have + j);
+      }
+    }
+    copy_step(m, src, dst);
+  }
+}
+
+/// In-place tree reduction of each strip with a binary combiner; the result
+/// lands in the strip's first cell.  Combine is MIN (logical AND on 0/1)
+/// or MAX (logical OR on 0/1).
+void tree_reduce(Machine& m, const std::vector<std::size_t>& strip_begin,
+                 const std::vector<std::size_t>& strip_len, bool use_min) {
+  std::size_t max_len = 0;
+  for (const auto len : strip_len) max_len = std::max(max_len, len);
+  struct Pair {
+    std::size_t a, b;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t stride = 1; stride < max_len; stride *= 2) {
+    pairs.clear();
+    for (std::size_t s = 0; s < strip_begin.size(); ++s) {
+      const std::size_t len = strip_len[s];
+      for (std::size_t j = 0; j + stride < len; j += 2 * stride) {
+        pairs.push_back({strip_begin[s] + j, strip_begin[s] + j + stride});
+      }
+    }
+    if (pairs.empty()) continue;
+    m.step(pairs.size(), [&](std::size_t p) {
+      const std::int64_t a = m.read(p, pairs[p].a);
+      const std::int64_t b = m.read(p, pairs[p].b);
+      m.write(p, pairs[p].a, use_min ? std::min(a, b) : std::max(a, b));
+    });
+  }
+}
+
+}  // namespace
+
+BlRoundResult bl_round_erew(const Hypergraph& h,
+                            const std::vector<std::uint8_t>& marks) {
+  const std::size_t n = h.num_vertices();
+  const std::size_t m_edges = h.num_edges();
+  const std::size_t inc = h.total_edge_size();
+  HMIS_CHECK(marks.size() == n, "marks size mismatch");
+
+  // ---- Memory map ---------------------------------------------------------
+  const std::size_t a_marks = 0;              // n: input marks
+  const std::size_t a_inc = a_marks + n;      // inc: per-vertex mark strips
+  const std::size_t a_estrip = a_inc + inc;   // inc: per-edge member strips
+  const std::size_t a_edge_ok = a_estrip + inc;  // m: fully-marked flag
+  const std::size_t a_uslot = a_edge_ok + m_edges;  // inc: unmark scatter
+  const std::size_t a_unmark = a_uslot + inc;       // n
+  const std::size_t a_surv = a_unmark + n;           // n
+  Machine machine(a_surv + n, Mode::EREW);
+
+  for (VertexId v = 0; v < n; ++v) {
+    machine.poke(a_marks + v, marks[v]);
+  }
+  // uslot strips default to 0 = "no edge unmarks this slot".
+
+  // ---- Host-side program layout (compilation, not execution) --------------
+  // Vertex incidence strips: inc_begin[v] .. +degree(v).
+  std::vector<std::size_t> vstrip_begin(n), vstrip_len(n);
+  {
+    std::size_t cursor = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      vstrip_begin[v] = a_inc + cursor;
+      vstrip_len[v] = h.degree(v);
+      cursor += h.degree(v);
+    }
+  }
+  // Edge member strips and the (edge, member) -> vertex-incidence-slot map.
+  std::vector<std::size_t> estrip_begin(m_edges), estrip_len(m_edges);
+  std::vector<std::size_t> slot_of;  // per (e, i) in edge order
+  slot_of.reserve(inc);
+  {
+    std::vector<std::size_t> vcursor(n, 0);
+    // vcursor must follow the vertex_edges order; edges_of(v) lists edges
+    // ascending, and we iterate edges ascending, so the k-th time we see v
+    // equals v's k-th incidence slot.
+    std::size_t cursor = 0;
+    for (EdgeId e = 0; e < m_edges; ++e) {
+      const auto verts = h.edge(e);
+      estrip_begin[e] = a_estrip + cursor;
+      estrip_len[e] = verts.size();
+      cursor += verts.size();
+      for (const VertexId v : verts) {
+        slot_of.push_back(vstrip_begin[v] - a_inc + vcursor[v]++);
+      }
+    }
+  }
+
+  // ---- Step A: marks[v] -> inc_strip[v][0] (vertices with degree > 0). ----
+  {
+    std::vector<std::size_t> src, dst;
+    for (VertexId v = 0; v < n; ++v) {
+      if (vstrip_len[v] > 0) {
+        src.push_back(a_marks + v);
+        dst.push_back(vstrip_begin[v]);
+      }
+    }
+    copy_step(machine, src, dst);
+  }
+  // ---- Step B: doubling fill of each vertex strip. ------------------------
+  doubling_fill(machine, vstrip_begin, vstrip_len);
+
+  // ---- Step C: (e, i) reads its vertex slot, writes estrip[e][i]. ---------
+  {
+    std::vector<std::size_t> src(inc), dst(inc);
+    std::size_t k = 0;
+    for (EdgeId e = 0; e < m_edges; ++e) {
+      for (std::size_t i = 0; i < estrip_len[e]; ++i, ++k) {
+        src[k] = a_inc + slot_of[k];
+        dst[k] = estrip_begin[e] + i;
+      }
+    }
+    copy_step(machine, src, dst);
+  }
+
+  // ---- Step D: AND-reduce each edge strip -> estrip[e][0]; copy out. ------
+  tree_reduce(machine, estrip_begin, estrip_len, /*use_min=*/true);
+  {
+    std::vector<std::size_t> src, dst;
+    for (EdgeId e = 0; e < m_edges; ++e) {
+      src.push_back(estrip_begin[e]);
+      dst.push_back(a_edge_ok + e);
+    }
+    copy_step(machine, src, dst);
+  }
+
+  // ---- Step E: broadcast edge_ok back across each edge strip. -------------
+  // estrip[e][0] already holds the flag; doubling fills the rest.
+  doubling_fill(machine, estrip_begin, estrip_len);
+
+  // ---- Step F: scatter into the per-vertex unmark slots. ------------------
+  {
+    std::vector<std::size_t> src(inc), dst(inc);
+    std::size_t k = 0;
+    for (EdgeId e = 0; e < m_edges; ++e) {
+      for (std::size_t i = 0; i < estrip_len[e]; ++i, ++k) {
+        src[k] = estrip_begin[e] + i;
+        dst[k] = a_uslot + slot_of[k];
+      }
+    }
+    copy_step(machine, src, dst);
+  }
+
+  // ---- Step G: OR-reduce each vertex's unmark strip -> unmark[v]. ---------
+  {
+    std::vector<std::size_t> ustrip_begin(n);
+    for (VertexId v = 0; v < n; ++v) {
+      ustrip_begin[v] = a_uslot + (vstrip_begin[v] - a_inc);
+    }
+    tree_reduce(machine, ustrip_begin, vstrip_len, /*use_min=*/false);
+    std::vector<std::size_t> src, dst;
+    for (VertexId v = 0; v < n; ++v) {
+      if (vstrip_len[v] > 0) {
+        src.push_back(ustrip_begin[v]);
+        dst.push_back(a_unmark + v);
+      }
+    }
+    copy_step(machine, src, dst);
+  }
+
+  // ---- Step H: survivor[v] = marks[v] & !unmark[v]. ------------------------
+  machine.step(n, [&](std::size_t v) {
+    const std::int64_t mk = machine.read(v, a_marks + v);
+    const std::int64_t um = machine.read(v, a_unmark + v);
+    machine.write(v, a_surv + v, mk != 0 && um == 0 ? 1 : 0);
+  });
+
+  BlRoundResult result;
+  result.survivor.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.survivor[v] =
+        static_cast<std::uint8_t>(machine.peek(a_surv + v));
+  }
+  result.steps = machine.steps_executed();
+  result.violations = machine.violations().size();
+  result.max_processors = machine.max_procs_used();
+  return result;
+}
+
+std::vector<std::uint8_t> bl_round_reference(
+    const Hypergraph& h, const std::vector<std::uint8_t>& marks) {
+  HMIS_CHECK(marks.size() == h.num_vertices(), "marks size mismatch");
+  std::vector<std::uint8_t> unmark(h.num_vertices(), 0);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    bool all = !verts.empty();
+    for (const VertexId v : verts) {
+      if (!marks[v]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      for (const VertexId v : verts) unmark[v] = 1;
+    }
+  }
+  std::vector<std::uint8_t> survivor(h.num_vertices());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    survivor[v] = marks[v] && !unmark[v];
+  }
+  return survivor;
+}
+
+}  // namespace hmis::pram

@@ -1,0 +1,52 @@
+// One Beame–Luby marking round as an explicit EREW PRAM program.
+//
+// Theorem 2 asserts BL "can be implemented on EREW PRAM".  This module
+// substantiates that end-to-end: the mark / unmark / survivor pipeline of a
+// BL stage (Algorithm 2 lines 6–11) runs as synchronous PRAM steps on the
+// Machine simulator, under the exclusivity checker.
+//
+// Program layout (CSR hypergraph preloaded into shared memory):
+//   marks[v]     — step 1: each vertex processor writes its own mark cell
+//                  (marks are an input — randomness is drawn host-side from
+//                  the same CounterRng the shared-memory BL uses, so the two
+//                  implementations are comparable bit-for-bit);
+//   edge_ok[e]   — per-edge AND of member marks, computed by an EREW
+//                  tree reduction over each edge's private scratch strip
+//                  (one processor per (edge, member) pair; no cell is
+//                  shared across edges);
+//   unmark[v]    — an edge that is fully marked must unmark every member.
+//                  Multiple edges may target the same vertex, so the naive
+//                  scatter would be CRCW.  The EREW realization assigns the
+//                  write to the (edge, member) incidence slot and reduces
+//                  per-vertex over the vertex's incidence strip — again a
+//                  disjoint tree reduction;
+//   survivor[v]  — marks[v] AND NOT unmark[v].
+//
+// Total depth: O(log(max edge size) + log(max degree)); work O(Σ|e| + n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/pram/machine.hpp"
+
+namespace hmis::pram {
+
+struct BlRoundResult {
+  std::vector<std::uint8_t> survivor;  ///< per-vertex: joins the IS
+  std::uint64_t steps = 0;             ///< PRAM steps executed
+  std::uint64_t violations = 0;        ///< EREW violations (must be 0)
+  std::uint64_t max_processors = 0;    ///< widest step
+};
+
+/// Execute one BL marking round on an EREW PRAM for the given marks.
+/// `marks[v]` in {0,1}; returns the survivor set (marked, not unmarked).
+[[nodiscard]] BlRoundResult bl_round_erew(
+    const Hypergraph& h, const std::vector<std::uint8_t>& marks);
+
+/// Reference shared-memory semantics (identical contract) for testing.
+[[nodiscard]] std::vector<std::uint8_t> bl_round_reference(
+    const Hypergraph& h, const std::vector<std::uint8_t>& marks);
+
+}  // namespace hmis::pram

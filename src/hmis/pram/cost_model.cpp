@@ -1,0 +1,29 @@
+#include "hmis/pram/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmis::pram {
+
+double brent_time(const par::Metrics& m, std::uint64_t processors) noexcept {
+  if (processors == 0) processors = 1;
+  return static_cast<double>(m.work) / static_cast<double>(processors) +
+         static_cast<double>(m.depth);
+}
+
+std::uint64_t processors_for_depth_limited(const par::Metrics& m,
+                                           double c) noexcept {
+  if (m.depth == 0) return 1;
+  c = std::max(c, 1.0 + 1e-9);
+  // work/P + depth <= c*depth  =>  P >= work / ((c-1)*depth)
+  const double p = static_cast<double>(m.work) /
+                   ((c - 1.0) * static_cast<double>(m.depth));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(p)));
+}
+
+double parallelism(const par::Metrics& m) noexcept {
+  if (m.depth == 0) return 0.0;
+  return static_cast<double>(m.work) / static_cast<double>(m.depth);
+}
+
+}  // namespace hmis::pram

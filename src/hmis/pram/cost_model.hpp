@@ -1,0 +1,25 @@
+// PRAM cost accounting: converts the (work, depth) totals metered by the
+// `hmis::par` primitives into PRAM-style statements — "time on P processors"
+// via Brent's theorem, and "processors needed to reach depth-limited time".
+// Used by Table 2 (work/depth accounting per algorithm).
+#pragma once
+
+#include <cstdint>
+
+#include "hmis/par/metrics.hpp"
+
+namespace hmis::pram {
+
+/// Brent's theorem: T_P <= work/P + depth.
+[[nodiscard]] double brent_time(const par::Metrics& m,
+                                std::uint64_t processors) noexcept;
+
+/// Smallest processor count for which Brent time <= c * depth
+/// (c >= 1; c = 2 is the usual "within 2x of critical path").
+[[nodiscard]] std::uint64_t processors_for_depth_limited(
+    const par::Metrics& m, double c = 2.0) noexcept;
+
+/// Parallelism = work / depth (average width of the computation DAG).
+[[nodiscard]] double parallelism(const par::Metrics& m) noexcept;
+
+}  // namespace hmis::pram

@@ -1,0 +1,138 @@
+#include "hmis/pram/kernels.hpp"
+
+#include <algorithm>
+
+#include "hmis/util/check.hpp"
+
+namespace hmis::pram {
+
+std::size_t pow2_at_least(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t scan_scratch_size(std::size_t n) noexcept {
+  return pow2_at_least(std::max<std::size_t>(n, 1));
+}
+
+void broadcast(Machine& m, std::size_t src, std::size_t dst, std::size_t n) {
+  if (n == 0) return;
+  // Step 0: one processor copies src into dst[0].
+  m.step(1, [&](std::size_t p) { m.write(p, dst, m.read(p, src)); });
+  // Doubling: after k rounds, dst[0..2^k) hold the value.
+  for (std::size_t have = 1; have < n; have *= 2) {
+    const std::size_t copy = std::min(have, n - have);
+    m.step(copy, [&](std::size_t p) {
+      // proc p copies dst[p] -> dst[have + p]; cells are disjoint (EREW).
+      m.write(p, dst + have + p, m.read(p, dst + p));
+    });
+  }
+}
+
+namespace {
+
+template <typename Combine>
+void reduce_impl(Machine& m, std::size_t src, std::size_t n, std::size_t out,
+                 std::size_t scratch, Combine&& combine) {
+  HMIS_CHECK(n > 0, "reduce on empty range");
+  // Copy input into scratch so the reduction can work in place.
+  m.step(n, [&](std::size_t p) {
+    m.write(p, scratch + p, m.read(p, src + p));
+  });
+  // Tree reduction: stride doubling over the scratch region.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    const std::size_t pairs = (n + 2 * stride - 1) / (2 * stride);
+    m.step(pairs, [&](std::size_t p) {
+      const std::size_t a = scratch + 2 * stride * p;
+      const std::size_t b = a + stride;
+      if (b < scratch + n) {
+        const std::int64_t va = m.read(p, a);
+        const std::int64_t vb = m.read(p, b);
+        m.write(p, a, combine(va, vb));
+      }
+    });
+  }
+  m.step(1, [&](std::size_t p) { m.write(p, out, m.read(p, scratch)); });
+}
+
+}  // namespace
+
+void reduce_sum(Machine& m, std::size_t src, std::size_t n, std::size_t out,
+                std::size_t scratch) {
+  reduce_impl(m, src, n, out, scratch,
+              [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+void reduce_max(Machine& m, std::size_t src, std::size_t n, std::size_t out,
+                std::size_t scratch) {
+  reduce_impl(m, src, n, out, scratch,
+              [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+}
+
+void exclusive_scan(Machine& m, std::size_t src, std::size_t dst,
+                    std::size_t n, std::size_t scratch) {
+  if (n == 0) return;
+  const std::size_t size = pow2_at_least(n);
+  // Load input (zero-padded) into scratch.
+  m.step(size, [&](std::size_t p) {
+    const std::int64_t v = (p < n) ? m.read(p, src + p) : 0;
+    m.write(p, scratch + p, v);
+  });
+  // Up-sweep.
+  for (std::size_t stride = 1; stride < size; stride *= 2) {
+    const std::size_t procs = size / (2 * stride);
+    m.step(procs, [&](std::size_t p) {
+      const std::size_t right = scratch + (2 * p + 2) * stride - 1;
+      const std::size_t left = scratch + (2 * p + 1) * stride - 1;
+      m.write(p, right, m.read(p, left) + m.read(p, right));
+    });
+  }
+  // Clear the root.
+  m.step(1, [&](std::size_t p) { m.write(p, scratch + size - 1, 0); });
+  // Down-sweep.
+  for (std::size_t stride = size / 2; stride >= 1; stride /= 2) {
+    const std::size_t procs = size / (2 * stride);
+    m.step(procs, [&](std::size_t p) {
+      const std::size_t right = scratch + (2 * p + 2) * stride - 1;
+      const std::size_t left = scratch + (2 * p + 1) * stride - 1;
+      const std::int64_t t = m.read(p, left);
+      const std::int64_t r = m.read(p, right);
+      m.write(p, left, r);
+      m.write(p, right, t + r);
+    });
+    if (stride == 1) break;
+  }
+  // Copy result out.
+  m.step(n, [&](std::size_t p) {
+    m.write(p, dst + p, m.read(p, scratch + p));
+  });
+}
+
+void compact(Machine& m, std::size_t src, std::size_t flags, std::size_t n,
+             std::size_t dst, std::size_t count_out, std::size_t scratch) {
+  if (n == 0) {
+    m.step(1, [&](std::size_t p) { m.write(p, count_out, 0); });
+    return;
+  }
+  // offsets region lives at scratch; Blelloch workspace after it.
+  const std::size_t offsets = scratch;
+  const std::size_t ws = scratch + n;
+  exclusive_scan(m, flags, offsets, n, ws);
+  // count = offsets[n-1] + flags[n-1].
+  m.step(1, [&](std::size_t p) {
+    const std::int64_t c =
+        m.read(p, offsets + n - 1) + m.read(p, flags + n - 1);
+    m.write(p, count_out, c);
+  });
+  // Scatter: flagged items write src[i] to dst[offsets[i]].  Offsets of
+  // flagged items are distinct, so writes are exclusive.
+  m.step(n, [&](std::size_t p) {
+    if (m.read(p, flags + p) != 0) {
+      const auto off = static_cast<std::size_t>(m.read(p, offsets + p));
+      m.write(p, dst + off, m.read(p, src + p));
+    }
+  });
+}
+
+}  // namespace hmis::pram

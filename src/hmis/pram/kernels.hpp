@@ -1,0 +1,50 @@
+// Canonical EREW PRAM kernels, written as explicit step-by-step programs for
+// the Machine simulator.  These are the building blocks whose cost the
+// `hmis::par` runtime models; the tests execute them under the EREW checker
+// to certify the access patterns are legal (zero violations).
+//
+// Layout convention: every kernel takes explicit memory regions (base
+// addresses into the machine's shared memory).  Regions must not overlap
+// unless stated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hmis/pram/machine.hpp"
+
+namespace hmis::pram {
+
+/// Broadcast mem[src] to mem[dst .. dst+n) in ceil(log2 n)+1 steps
+/// (recursive doubling).
+void broadcast(Machine& m, std::size_t src, std::size_t dst, std::size_t n);
+
+/// Sum-reduce mem[src .. src+n) into mem[out] using mem[scratch .. scratch+n)
+/// as workspace.  ceil(log2 n)+2 steps.
+void reduce_sum(Machine& m, std::size_t src, std::size_t n, std::size_t out,
+                std::size_t scratch);
+
+/// Max-reduce, same contract as reduce_sum.
+void reduce_max(Machine& m, std::size_t src, std::size_t n, std::size_t out,
+                std::size_t scratch);
+
+/// Exclusive prefix sum of mem[src .. src+n) into mem[dst .. dst+n) using
+/// mem[scratch .. scratch + 2*pow2(n)) workspace (Blelloch up/down sweep).
+/// O(log n) steps, O(n) work.
+void exclusive_scan(Machine& m, std::size_t src, std::size_t dst,
+                    std::size_t n, std::size_t scratch);
+
+/// Stream compaction: writes the values mem[src+i] whose flag
+/// mem[flags+i] != 0 to mem[dst..], densely, preserving order.  Stores the
+/// output count into mem[count_out].  Uses scan workspace as above.
+void compact(Machine& m, std::size_t src, std::size_t flags, std::size_t n,
+             std::size_t dst, std::size_t count_out, std::size_t scratch);
+
+/// Smallest power of two >= n (>= 1).
+[[nodiscard]] std::size_t pow2_at_least(std::size_t n) noexcept;
+
+/// Total scratch cells exclusive_scan/compact need for input size n.
+[[nodiscard]] std::size_t scan_scratch_size(std::size_t n) noexcept;
+
+}  // namespace hmis::pram

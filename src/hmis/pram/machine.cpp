@@ -1,0 +1,86 @@
+#include "hmis/pram/machine.hpp"
+
+#include <algorithm>
+
+#include "hmis/util/check.hpp"
+
+namespace hmis::pram {
+
+Machine::Machine(std::size_t cells, Mode mode, bool strict)
+    : mem_(cells, 0), mode_(mode), strict_(strict) {}
+
+std::int64_t Machine::peek(std::size_t addr) const {
+  HMIS_CHECK(addr < mem_.size(), "peek out of range");
+  return mem_[addr];
+}
+
+void Machine::poke(std::size_t addr, std::int64_t value) {
+  HMIS_CHECK(addr < mem_.size(), "poke out of range");
+  HMIS_CHECK(!in_step_, "poke inside a step");
+  mem_[addr] = value;
+}
+
+void Machine::record_violation(std::size_t cell, const char* kind) {
+  violations_.push_back(Violation{steps_, cell, kind});
+  if (strict_) {
+    HMIS_CHECK(false, std::string("PRAM access violation: ") + kind +
+                          " on cell " + std::to_string(cell) + " at step " +
+                          std::to_string(steps_));
+  }
+}
+
+std::int64_t Machine::read(std::size_t proc, std::size_t addr) {
+  HMIS_CHECK(in_step_, "read outside a step");
+  HMIS_CHECK(addr < mem_.size(), "read out of range");
+  ++reads_;
+  auto& use = step_uses_[addr];
+  if (use.readers > 0 && use.last_reader != proc && mode_ == Mode::EREW) {
+    record_violation(addr, "concurrent-read");
+  }
+  if (use.writers > 0 && use.last_writer != proc && mode_ != Mode::CRCW) {
+    record_violation(addr, "read-write");
+  }
+  ++use.readers;
+  use.last_reader = proc;
+  // Synchronous semantics: reads see the value from before the step,
+  // regardless of pending writes.
+  return mem_[addr];
+}
+
+void Machine::write(std::size_t proc, std::size_t addr, std::int64_t value) {
+  HMIS_CHECK(in_step_, "write outside a step");
+  HMIS_CHECK(addr < mem_.size(), "write out of range");
+  ++writes_;
+  auto& use = step_uses_[addr];
+  if (use.writers > 0 && use.last_writer != proc) {
+    if (mode_ != Mode::CRCW) {
+      record_violation(addr, "concurrent-write");
+    } else if (use.pending_value != value) {
+      use.value_conflict = true;
+      record_violation(addr, "crcw-value-conflict");
+    }
+  }
+  if (use.readers > 0 && use.last_reader != proc && mode_ != Mode::CRCW) {
+    record_violation(addr, "read-write");
+  }
+  ++use.writers;
+  use.last_writer = proc;
+  use.pending_value = value;
+}
+
+void Machine::step(std::size_t procs,
+                   const std::function<void(std::size_t proc)>& body) {
+  HMIS_CHECK(!in_step_, "nested step");
+  in_step_ = true;
+  step_uses_.clear();
+  ++steps_;
+  max_procs_ = std::max<std::uint64_t>(max_procs_, procs);
+  for (std::size_t p = 0; p < procs; ++p) body(p);
+  // Apply pending writes synchronously.
+  for (const auto& [addr, use] : step_uses_) {
+    if (use.writers > 0) mem_[addr] = use.pending_value;
+  }
+  in_step_ = false;
+}
+
+}  // namespace hmis::pram

@@ -1,0 +1,96 @@
+// A synchronous PRAM simulator with access-mode checking.
+//
+// The paper's model is the EREW PRAM: in each synchronous step every
+// processor may read some cells, compute, and write some cells; *no memory
+// cell may be touched by two processors in the same step*.  This simulator
+// executes PRAM programs step by step, records every access, applies writes
+// synchronously at the end of the step, and flags violations of the selected
+// mode:
+//   EREW — any cell accessed (read or write) by >1 processor is a violation;
+//   CREW — concurrent reads allowed, any concurrent write (or read+write by
+//          different processors) is a violation;
+//   CRCW — only multi-writer conflicts with *different values* are flagged
+//          (common/arbitrary CRCW would resolve them; we flag to be strict).
+//
+// The kernels in kernels.hpp are the standard EREW realizations of
+// broadcast / reduce / scan / compact; the tests run them under the checker
+// to certify the access patterns the `hmis::par` runtime models are indeed
+// EREW-legal (DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hmis::pram {
+
+enum class Mode { EREW, CREW, CRCW };
+
+struct Violation {
+  std::uint64_t step = 0;
+  std::size_t cell = 0;
+  std::string kind;  // "concurrent-read", "concurrent-write", "read-write"
+};
+
+class Machine {
+ public:
+  /// A machine with `cells` shared-memory cells, all initialized to 0.
+  explicit Machine(std::size_t cells, Mode mode = Mode::EREW,
+                   bool strict = false);
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return mem_.size(); }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// Direct (non-step) access for program setup / result extraction.
+  [[nodiscard]] std::int64_t peek(std::size_t addr) const;
+  void poke(std::size_t addr, std::int64_t value);
+
+  /// Run one synchronous step: `body(proc)` is invoked for every
+  /// proc in [0, procs); inside it, use read()/write().  All writes are
+  /// applied after every processor has run (synchronous semantics).
+  void step(std::size_t procs,
+            const std::function<void(std::size_t proc)>& body);
+
+  /// Processor-side memory operations; only valid inside step().
+  [[nodiscard]] std::int64_t read(std::size_t proc, std::size_t addr);
+  void write(std::size_t proc, std::size_t addr, std::int64_t value);
+
+  [[nodiscard]] std::uint64_t steps_executed() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t total_reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t total_writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t max_procs_used() const noexcept {
+    return max_procs_;
+  }
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const noexcept { return violations_.empty(); }
+
+ private:
+  struct CellUse {
+    std::uint32_t readers = 0;
+    std::uint32_t writers = 0;
+    std::size_t last_reader = SIZE_MAX;
+    std::size_t last_writer = SIZE_MAX;
+    std::int64_t pending_value = 0;
+    bool value_conflict = false;
+  };
+
+  void record_violation(std::size_t cell, const char* kind);
+
+  std::vector<std::int64_t> mem_;
+  Mode mode_;
+  bool strict_;
+  bool in_step_ = false;
+  std::uint64_t steps_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t max_procs_ = 0;
+  std::unordered_map<std::size_t, CellUse> step_uses_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace hmis::pram

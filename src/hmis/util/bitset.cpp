@@ -1,0 +1,57 @@
+#include "hmis/util/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hmis::util {
+
+void DynamicBitset::resize(std::size_t n, bool value) {
+  size_ = n;
+  words_.assign((n + 63) / 64, value ? ~0ULL : 0ULL);
+  zero_tail();
+}
+
+void DynamicBitset::zero_tail() noexcept {
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void DynamicBitset::clear_all() noexcept {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+void DynamicBitset::set_all() noexcept {
+  std::fill(words_.begin(), words_.end(), ~0ULL);
+  zero_tail();
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t c = 0;
+  for (const auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::any() const noexcept {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> DynamicBitset::to_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + static_cast<std::size_t>(b)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace hmis::util

@@ -1,0 +1,70 @@
+// A dynamic bitset tuned for the access patterns of the MIS algorithms:
+// bulk clear, word-level population count, and (optionally) thread-safe
+// idempotent setting via std::atomic_ref.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hmis::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n, bool value = false) { resize(n, value); }
+
+  void resize(std::size_t n, bool value = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  [[nodiscard]] bool operator[](std::size_t i) const noexcept {
+    return test(i);
+  }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void assign(std::size_t i, bool v) noexcept { v ? set(i) : reset(i); }
+
+  /// Thread-safe idempotent set: multiple threads may set (possibly the same)
+  /// bits concurrently.  Uses relaxed ordering — callers synchronize via the
+  /// surrounding parallel_for barrier.
+  void set_atomic(std::size_t i) noexcept {
+    std::atomic_ref<std::uint64_t> w(words_[i >> 6]);
+    w.fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Set all bits to zero, keeping the size.
+  void clear_all() noexcept;
+  /// Set all bits to one, keeping the size (tail bits stay zero).
+  void set_all() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// Indices of set bits, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> to_indices() const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  friend bool operator==(const DynamicBitset& a,
+                         const DynamicBitset& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  void zero_tail() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hmis::util

@@ -1,0 +1,45 @@
+// Lightweight invariant checking.
+//
+// HMIS_CHECK(cond, msg)        — always-on check; throws hmis::util::CheckError.
+// HMIS_DCHECK(cond, msg)       — debug-only (compiled out under NDEBUG).
+//
+// The MIS algorithms use HMIS_CHECK for contract violations that indicate a
+// bug (e.g. "an edge became fully blue"), since silently returning a
+// non-independent set would poison every downstream experiment.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hmis::util {
+
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HMIS_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace hmis::util
+
+#define HMIS_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hmis::util::check_failed(#cond, __FILE__, __LINE__, (msg));       \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define HMIS_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define HMIS_DCHECK(cond, msg) HMIS_CHECK(cond, msg)
+#endif

@@ -1,0 +1,43 @@
+#include "hmis/util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hmis::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Off:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[hmis %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace hmis::util

@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.  Default level is Warn so library code
+// stays quiet in tests/benches; examples raise it to Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hmis::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line ("[level] message\n") to stderr if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug) {
+    log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+  }
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info) {
+    log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+  }
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn) {
+    log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+  }
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error) {
+    log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace hmis::util

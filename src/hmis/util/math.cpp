@@ -1,0 +1,110 @@
+#include "hmis/util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hmis::util {
+
+double clog2(double x) noexcept {
+  if (!(x > 0.0)) return kMinLogValue;
+  return std::max(std::log2(x), kMinLogValue);
+}
+
+double ilog2(double x, int k) noexcept {
+  double v = x;
+  for (int i = 0; i < k; ++i) v = clog2(v);
+  return v;
+}
+
+std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return static_cast<std::uint32_t>(63 - __builtin_clzll(x));
+}
+
+std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  const std::uint32_t f = floor_log2(x);
+  return ((x & (x - 1)) == 0) ? f : f + 1;
+}
+
+double factorial(unsigned n) noexcept {
+  double r = 1.0;
+  for (unsigned i = 2; i <= n; ++i) {
+    r *= static_cast<double>(i);
+    if (!std::isfinite(r)) return std::numeric_limits<double>::infinity();
+  }
+  return r;
+}
+
+double binomial(unsigned n, unsigned k) noexcept {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i);
+    r /= static_cast<double>(i);
+  }
+  return r;
+}
+
+double dpow(double base, double exp) noexcept { return std::pow(base, exp); }
+
+std::vector<double> kelsen_F(int i_max, double d) noexcept {
+  std::vector<double> F(static_cast<std::size_t>(std::max(i_max, 1)) + 1, 0.0);
+  // F(0) = F(1) = 0; F(i) = i*F(i-1) + d^2.
+  for (int i = 2; i <= i_max; ++i) {
+    F[static_cast<std::size_t>(i)] =
+        static_cast<double>(i) * F[static_cast<std::size_t>(i - 1)] + d * d;
+  }
+  return F;
+}
+
+std::vector<double> kelsen_F_original(int i_max) noexcept {
+  std::vector<double> F(static_cast<std::size_t>(std::max(i_max, 1)) + 1, 0.0);
+  for (int i = 2; i <= i_max; ++i) {
+    F[static_cast<std::size_t>(i)] =
+        static_cast<double>(i) * F[static_cast<std::size_t>(i - 1)] + 7.0;
+  }
+  return F;
+}
+
+std::vector<double> kelsen_f(int i_max, double d) noexcept {
+  // f(2) = d^2; f(i) = (i-1) * sum_{j=2..i-1} f(j) + d^2.
+  std::vector<double> f(static_cast<std::size_t>(std::max(i_max, 1)) + 1, 0.0);
+  double prefix = 0.0;  // sum_{j=2..i-1} f(j)
+  for (int i = 2; i <= i_max; ++i) {
+    f[static_cast<std::size_t>(i)] =
+        static_cast<double>(i - 1) * prefix + d * d;
+    prefix += f[static_cast<std::size_t>(i)];
+  }
+  return f;
+}
+
+double kelsen_qj(double n, double d, int j) noexcept {
+  const auto F = kelsen_F(std::max(j, 1), d);
+  const double logn = clog2(n);
+  const double Fjm1 = (j >= 1) ? F[static_cast<std::size_t>(j - 1)] : 0.0;
+  const double exponent = Fjm1 * static_cast<double>(j - 1) + 2.0;
+  return std::exp2(d * (d + 1.0)) * loglog2(n) * std::pow(logn, exponent);
+}
+
+double bl_stage_bound_exponent(double d) noexcept {
+  // (d+4)! evaluated via lgamma for non-integer d.
+  return std::exp(std::lgamma(d + 5.0));
+}
+
+double chernoff_lower_tail(double n, double p, double a) noexcept {
+  if (n <= 0.0 || p <= 0.0 || a <= 0.0) return 1.0;
+  return std::exp(-(a * a) / (2.0 * p * n));
+}
+
+std::uint64_t saturating_round(double x) noexcept {
+  if (!(x > 0.0)) return 0;
+  if (x >= 1.8446744073709552e19) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(std::llround(x));
+}
+
+}  // namespace hmis::util

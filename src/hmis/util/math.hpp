@@ -1,0 +1,80 @@
+// Mathematical helpers used throughout the library, in particular the
+// iterated logarithms and recurrences from Bercea et al. (SPAA 2014) and
+// Kelsen (STOC 1992).
+//
+// Conventions (documented in DESIGN.md §1 "Fidelity notes"):
+//  * all logarithms are base 2 (`std::log2`);
+//  * iterated logs are clamped from below so the formulas are total for
+//    every n ≥ 1 (log2k(n) ≥ kMinLogValue); the paper only needs them for
+//    "sufficiently large n".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hmis::util {
+
+/// Lower clamp applied to every (iterated) logarithm so that downstream
+/// divisions are well defined for small n.
+inline constexpr double kMinLogValue = 1.0 + 1.0 / 1024.0;
+
+/// Clamped log2:  max(log2(x), kMinLogValue).
+[[nodiscard]] double clog2(double x) noexcept;
+
+/// Clamped iterated logarithm: log^(k) n = log2 applied k times, clamped.
+/// k = 1 is plain log2.
+[[nodiscard]] double ilog2(double x, int k) noexcept;
+
+/// log2 log2 n (the paper's "log^(2) n"), clamped.
+[[nodiscard]] inline double loglog2(double x) noexcept { return ilog2(x, 2); }
+
+/// log2 log2 log2 n (the paper's "log^(3) n"), clamped.
+[[nodiscard]] inline double logloglog2(double x) noexcept {
+  return ilog2(x, 3);
+}
+
+/// Integer ceil(log2(x)) for x >= 1 (returns 0 for x in {0, 1}).
+[[nodiscard]] std::uint32_t ceil_log2(std::uint64_t x) noexcept;
+
+/// Integer floor(log2(x)) for x >= 1 (returns 0 for x in {0, 1}).
+[[nodiscard]] std::uint32_t floor_log2(std::uint64_t x) noexcept;
+
+/// n! as double (exact up to n = 170, +inf beyond).
+[[nodiscard]] double factorial(unsigned n) noexcept;
+
+/// Binomial coefficient C(n, k) as double.
+[[nodiscard]] double binomial(unsigned n, unsigned k) noexcept;
+
+/// Exact integer power for small exponents.
+[[nodiscard]] double dpow(double base, double exp) noexcept;
+
+/// Kelsen's offset-function recurrence as corrected by Bercea et al. §3.1:
+///   F(1) = 0,  F(i) = i * F(i-1) + d^2   for i >= 2.
+/// Returns F(0..i_max) (F(0) defined as 0 for convenience).
+[[nodiscard]] std::vector<double> kelsen_F(int i_max, double d) noexcept;
+
+/// The original Kelsen recurrence (constant-d version):
+///   F(1) = 0,  F(i) = i * F(i-1) + 7.
+[[nodiscard]] std::vector<double> kelsen_F_original(int i_max) noexcept;
+
+/// The per-level offsets f(i) implied by F: f(i) = F(i) - i*F(i-1) ... kept
+/// explicit for tests: f(2) = d^2 and f(i) = (i-1) * sum_{j=2..i-1} f(j) + d^2.
+[[nodiscard]] std::vector<double> kelsen_f(int i_max, double d) noexcept;
+
+/// Kelsen stage-count bound ingredient: q_j = 2^{d(d+1)} * loglog(n)
+///   * (log n)^{F(j-1)*(j-1) + 2}   (paper §3.1).
+[[nodiscard]] double kelsen_qj(double n, double d, int j) noexcept;
+
+/// The paper's headline BL stage bound O((log n)^{(d+4)!}); we expose the
+/// exponent (d+4)! and the bound value (capped at +inf-safe doubles).
+[[nodiscard]] double bl_stage_bound_exponent(double d) noexcept;
+
+/// Chernoff lower-tail bound from the paper's Lemma 1:
+///   Pr[Bin(n, p) <= pn - a] <= exp(-a^2 / (2 p n)).
+[[nodiscard]] double chernoff_lower_tail(double n, double p,
+                                         double a) noexcept;
+
+/// Round a double to the nearest uint64 with saturation.
+[[nodiscard]] std::uint64_t saturating_round(double x) noexcept;
+
+}  // namespace hmis::util

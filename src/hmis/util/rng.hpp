@@ -1,0 +1,141 @@
+// Random number generation for hypermis.
+//
+// Two kinds of RNG are provided:
+//
+//  * `Xoshiro256ss` — a fast sequential generator (xoshiro256**), used where
+//    a stateful stream is natural (shuffles, generator construction).
+//
+//  * `CounterRng` — a stateless, counter-based generator: each draw is a pure
+//    hash of (seed, stream, counter).  All per-vertex / per-round random
+//    choices in the parallel algorithms use this so that results are
+//    *bit-identical for any thread count or scheduling* — the random bit for
+//    vertex v in round r never depends on evaluation order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hmis::util {
+
+/// SplitMix64 step: the canonical 64-bit finalizer-based generator.
+/// Used for seeding and as the mixing core of `CounterRng`.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Strong 64-bit mixer (xxhash3-style avalanche) for combining counters.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 32;
+  x *= 0xd6e8feb86659fd93ULL;
+  x ^= x >> 32;
+  x *= 0xd6e8feb86659fd93ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality sequential PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    // Seed all four words through splitmix64 per the authors' advice.
+    std::uint64_t s = seed;
+    for (auto& w : state_) {
+      s = splitmix64(s);
+      w = s;
+    }
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stateless counter-based RNG.  Draws are pure functions of
+/// (seed, stream, counter); no mutable state, so it can be evaluated for any
+/// (round, item) pair from any thread with identical results.
+class CounterRng {
+ public:
+  explicit constexpr CounterRng(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// 64 uniform bits for logical coordinates (stream, counter).
+  /// `stream` is typically a round/stage number; `counter` an item id.
+  [[nodiscard]] constexpr std::uint64_t bits(std::uint64_t stream,
+                                             std::uint64_t counter)
+      const noexcept {
+    // Feistel-free mixing: fold each input through an avalanche before
+    // combining so that low-entropy counters (0,1,2,...) decorrelate.
+    std::uint64_t h = splitmix64(seed_ ^ 0x9e3779b97f4a7c15ULL);
+    h = mix64(h ^ splitmix64(stream + 0x632be59bd9b4e019ULL));
+    h = mix64(h ^ splitmix64(counter + 0xd1b54a32d192ed03ULL));
+    return h;
+  }
+
+  /// Uniform double in [0,1) for (stream, counter).
+  [[nodiscard]] constexpr double uniform01(std::uint64_t stream,
+                                           std::uint64_t counter)
+      const noexcept {
+    return static_cast<double>(bits(stream, counter) >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) trial for (stream, counter).
+  [[nodiscard]] constexpr bool bernoulli(double p, std::uint64_t stream,
+                                         std::uint64_t counter)
+      const noexcept {
+    return uniform01(stream, counter) < p;
+  }
+
+  /// A total priority order on items for a given stream: random permutation
+  /// by sorting on these keys (ties broken by item id by the caller).
+  [[nodiscard]] constexpr std::uint64_t priority(std::uint64_t stream,
+                                                 std::uint64_t item)
+      const noexcept {
+    return bits(stream ^ 0xa0761d6478bd642fULL, item);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derive an independent child RNG (e.g. for a sub-algorithm invocation).
+  [[nodiscard]] constexpr CounterRng child(std::uint64_t tag) const noexcept {
+    return CounterRng(mix64(seed_ ^ splitmix64(tag + 0x2545f4914f6cdd1dULL)));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace hmis::util

@@ -1,0 +1,252 @@
+#include "hmis/algo/bl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace {
+
+using namespace hmis;
+using algo::bl;
+using algo::bl_probability;
+using algo::BlOptions;
+
+TEST(BlProbability, MatchesFormula) {
+  DegreeStats stats;
+  stats.dimension = 3;
+  stats.delta = 4.0;
+  // p = 1/(2^{d+1} Δ) = 1/(16*4)
+  EXPECT_DOUBLE_EQ(bl_probability(stats, 0.0), 1.0 / 64.0);
+  // a override
+  EXPECT_DOUBLE_EQ(bl_probability(stats, 4.0), 1.0 / 16.0);
+}
+
+TEST(BlProbability, ClampedToHalf) {
+  DegreeStats stats;
+  stats.dimension = 1;
+  stats.delta = 0.1;  // degenerate: formula would exceed 1/2
+  EXPECT_DOUBLE_EQ(bl_probability(stats, 1.0), 0.5);
+}
+
+TEST(Bl, NoEdgesHandledBeforeFirstStage) {
+  // The isolated-vertex shortcut colors an unconstrained instance in the
+  // pre-pass: zero marking stages.
+  const auto h = make_hypergraph(10, {});
+  const auto r = bl(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set.size(), 10u);
+  EXPECT_EQ(r.rounds, 0u);
+  // Without the shortcut, the no-live-edges stage handles it: one stage.
+  BlOptions opt;
+  opt.isolated_shortcut = false;
+  const auto r2 = bl(h, opt);
+  EXPECT_TRUE(r2.success);
+  EXPECT_EQ(r2.independent_set.size(), 10u);
+  EXPECT_EQ(r2.rounds, 1u);
+}
+
+TEST(Bl, SingletonOnlyInstance) {
+  const auto h = make_hypergraph(3, {{0}, {2}});
+  const auto r = bl(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{1}));
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Bl, SmallTriangleSystem) {
+  const auto h = make_hypergraph(4, {{0, 1, 2}, {1, 2, 3}});
+  const auto r = bl(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Bl, UniformRandomInstancesAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto h = gen::uniform_random(400, 1200, 3, seed);
+    BlOptions opt;
+    opt.seed = seed;
+    opt.check_invariants = true;
+    const auto r = bl(h, opt);
+    ASSERT_TRUE(r.success) << r.failure_reason;
+    EXPECT_TRUE(verify_mis(h, r.independent_set).ok()) << "seed " << seed;
+  }
+}
+
+TEST(Bl, MixedArityInstances) {
+  const auto h = gen::mixed_arity(500, 1000, 2, 6, 7);
+  BlOptions opt;
+  opt.record_trace = true;
+  const auto r = bl(h, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  ASSERT_FALSE(r.trace.empty());
+  // Trace consistency: stage indices increase; marking prob in (0, 1/2].
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    EXPECT_EQ(r.trace[i].stage, i);
+    EXPECT_GT(r.trace[i].p, 0.0);
+    EXPECT_LE(r.trace[i].p, 1.0);
+  }
+}
+
+TEST(Bl, StageCountPolylogOnFixedDimension) {
+  // This is the Theorem-2 shape; generous constant for the test.
+  const std::size_t n = 3000;
+  const auto h = gen::uniform_random(n, 3 * n, 3, 5);
+  BlOptions opt;
+  const auto r = bl(h, opt);
+  ASSERT_TRUE(r.success);
+  const double logn = std::log2(static_cast<double>(n));
+  EXPECT_LE(static_cast<double>(r.rounds), 25.0 * logn)
+      << "stages=" << r.rounds;
+}
+
+TEST(Bl, StaticProbabilityModeStillCorrect) {
+  const auto h = gen::uniform_random(300, 900, 3, 9);
+  BlOptions opt;
+  opt.recompute_probability = false;
+  opt.max_rounds = 200000;
+  const auto r = bl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Bl, NoIsolatedShortcutStillCorrect) {
+  const auto h = gen::uniform_random(200, 400, 3, 11);
+  BlOptions opt;
+  opt.isolated_shortcut = false;
+  opt.max_rounds = 500000;
+  const auto r = bl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Bl, NoMinimalizeStillCorrect) {
+  const auto h = gen::mixed_arity(200, 500, 2, 5, 13);
+  BlOptions opt;
+  opt.minimalize = false;
+  const auto r = bl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Bl, ProbabilityOverride) {
+  const auto h = gen::uniform_random(200, 300, 3, 15);
+  BlOptions opt;
+  opt.probability_override = 0.05;
+  opt.record_trace = true;
+  const auto r = bl(h, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  for (const auto& s : r.trace) {
+    if (s.live_edges > 0) EXPECT_DOUBLE_EQ(s.p, 0.05);
+  }
+}
+
+TEST(Bl, SunflowerTrimsCoreCorrectly) {
+  const auto h = gen::sunflower(3, 2, 20);
+  const auto r = bl(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Bl, OnStageCallbackFires) {
+  const auto h = gen::uniform_random(200, 400, 3, 17);
+  BlOptions opt;
+  std::size_t calls = 0;
+  std::size_t last_live = SIZE_MAX;
+  opt.on_stage = [&](const MutableHypergraph& mh, const algo::StageStats&) {
+    ++calls;
+    EXPECT_LE(mh.num_live_vertices(), last_live);
+    last_live = mh.num_live_vertices();
+  };
+  const auto r = bl(h, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(calls, r.rounds);
+}
+
+TEST(Bl, DeterministicForSeed) {
+  const auto h = gen::mixed_arity(300, 700, 2, 5, 19);
+  BlOptions a, b;
+  a.seed = b.seed = 123;
+  const auto ra = bl(h, a);
+  const auto rb = bl(h, b);
+  EXPECT_EQ(ra.independent_set, rb.independent_set);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  BlOptions c;
+  c.seed = 124;
+  const auto rc = bl(h, c);
+  EXPECT_NE(ra.independent_set, rc.independent_set);
+}
+
+TEST(Bl, AFactorOverrideScalesProbability) {
+  const auto h = gen::uniform_random(300, 900, 3, 21);
+  algo::BlOptions strict, loose;
+  strict.record_trace = loose.record_trace = true;
+  strict.seed = loose.seed = 21;
+  loose.a_factor = 4.0;  // p = 1/(4Δ) instead of 1/(16Δ)
+  const auto rs = algo::bl(h, strict);
+  const auto rl = algo::bl(h, loose);
+  ASSERT_TRUE(rs.success);
+  ASSERT_TRUE(rl.success);
+  ASSERT_FALSE(rs.trace.empty());
+  ASSERT_FALSE(rl.trace.empty());
+  EXPECT_NEAR(rl.trace.front().p, 4.0 * rs.trace.front().p, 1e-12);
+  EXPECT_TRUE(verify_mis(h, rl.independent_set).ok());
+}
+
+TEST(Bl, TraceAccountingIsConsistent) {
+  const auto h = gen::mixed_arity(400, 900, 2, 5, 23);
+  algo::BlOptions opt;
+  opt.record_trace = true;
+  const auto r = algo::bl(h, opt);
+  ASSERT_TRUE(r.success);
+  std::size_t colored = 0;
+  for (const auto& s : r.trace) {
+    EXPECT_LE(s.unmarked, s.marked);
+    // Blue additions from marking cannot exceed surviving marks (the
+    // isolated shortcut may add extra blues on top).
+    EXPECT_GE(s.added_blue + s.forced_red, 0u);
+    colored += s.added_blue + s.forced_red;
+  }
+  EXPECT_EQ(colored, h.num_vertices());
+}
+
+TEST(Bl, ApproximateDeltaPathStillCorrect) {
+  // Tiny stats budget forces the singleton Δ approximation inside BL.
+  const auto h = gen::mixed_arity(300, 600, 2, 6, 25);
+  algo::BlOptions opt;
+  opt.stats.enum_budget = 8;
+  opt.max_rounds = 500000;
+  const auto r = algo::bl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Bl, SingleVertexInstances) {
+  // One vertex, no edges.
+  const auto free1 = make_hypergraph(1, {});
+  EXPECT_EQ(algo::bl(free1).independent_set, (std::vector<VertexId>{0}));
+  // One vertex with a singleton edge: the MIS is empty.
+  const auto blocked = make_hypergraph(1, {{0}});
+  const auto r = algo::bl(blocked);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.independent_set.empty());
+  EXPECT_TRUE(verify_mis(blocked, r.independent_set).ok());
+}
+
+TEST(Bl, WholeVertexSetEdge) {
+  // One edge covering everything: MIS = all but one vertex.
+  VertexList all = {0, 1, 2, 3, 4};
+  const auto h = make_hypergraph(5, {all});
+  const auto r = bl(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set.size(), 4u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+}  // namespace

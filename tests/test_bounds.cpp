@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmis/conc/kelsen_bound.hpp"
+#include "hmis/conc/kimvu_bound.hpp"
+#include "hmis/util/math.hpp"
+
+namespace {
+
+using namespace hmis::conc;
+
+TEST(KelsenBound, MultiplierClosedForm) {
+  KelsenBoundParams p;
+  p.n = 1 << 16;  // log2 = 16
+  p.d = 2;
+  p.delta = 2.0;
+  // k(H) = (16+2)^{2^2-1} * 2^{2^2-1} = 18^3 * 8
+  EXPECT_NEAR(kelsen_multiplier(p), 18.0 * 18.0 * 18.0 * 8.0, 1e-6);
+}
+
+TEST(KelsenBound, FailureProbabilityDecaysInDelta) {
+  KelsenBoundParams p;
+  p.n = 1 << 16;
+  p.m = 1000;
+  p.d = 3;
+  p.delta = 64.0;
+  const double p64 = kelsen_failure_probability(p);
+  p.delta = 1024.0;
+  const double p1024 = kelsen_failure_probability(p);
+  EXPECT_LT(p1024, p64);
+  EXPECT_GT(p64, 0.0);
+}
+
+TEST(KelsenBound, Corollary1Multiplier) {
+  // (log n)^{2^{d+1}} with log2(65536) = 16, d = 2: 16^8.
+  EXPECT_NEAR(kelsen_corollary1_multiplier(65536.0, 2.0),
+              std::pow(16.0, 8.0), 1e-3);
+}
+
+TEST(KimVu, ACoefficients) {
+  EXPECT_NEAR(kimvu_a(1), 8.0, 1e-12);                    // 8^1 * sqrt(1)
+  EXPECT_NEAR(kimvu_a(2), 64.0 * std::sqrt(2.0), 1e-9);   // 8^2 * sqrt(2!)
+  EXPECT_NEAR(kimvu_a(3), 512.0 * std::sqrt(6.0), 1e-9);  // 8^3 * sqrt(3!)
+}
+
+TEST(KimVu, MultiplierGrowsWithGap) {
+  const double lambda = 10.0;
+  EXPECT_LT(kimvu_multiplier(2, 3, lambda), kimvu_multiplier(2, 4, lambda));
+  EXPECT_LT(kimvu_multiplier(2, 4, lambda), kimvu_multiplier(2, 5, lambda));
+}
+
+TEST(KimVu, FailureProbabilityClosedForm) {
+  // 2e^2 e^{-λ} n^{k-j-1}; with k-j = 1 the n factor vanishes.
+  const double v = kimvu_failure_probability(1e6, 2, 3, 20.0);
+  EXPECT_NEAR(v, 2.0 * std::exp(2.0) * std::exp(-20.0), 1e-15);
+}
+
+TEST(MigrationMultipliers, KimVuBeatsKelsenForAllGaps) {
+  // Corollary 4's (log n)^{2(k-j)} must be far below Corollary 2's
+  // (log n)^{2^{k-j+1}} for every gap >= 1 (equal exponent only at gap 1:
+  // 2 vs 4 — still smaller).
+  const double n = 1 << 20;
+  for (unsigned j = 2; j <= 4; ++j) {
+    for (unsigned k = j + 1; k <= j + 4; ++k) {
+      const double kv = kimvu_corollary4_multiplier(n, j, k);
+      const double ke = kelsen_corollary2_multiplier(n, j, k);
+      EXPECT_LT(kv, ke) << "j=" << j << " k=" << k;
+    }
+  }
+}
+
+TEST(MigrationMultipliers, ExponentsMatchDefinitions) {
+  const double n = 1 << 16;  // log2 n = 16
+  EXPECT_NEAR(kimvu_corollary4_multiplier(n, 2, 4), std::pow(16.0, 4.0),
+              1e-6);
+  EXPECT_NEAR(kelsen_corollary2_multiplier(n, 2, 4), std::pow(16.0, 8.0),
+              1e-3);
+}
+
+TEST(Bounds, KelsenMultiplierExplodesWithDimension) {
+  // The 2^d exponent makes Kelsen's multiplier astronomically loose even at
+  // d = 5 — the observation motivating §4 of the paper.
+  KelsenBoundParams p;
+  p.n = 1 << 20;
+  p.delta = std::pow(hmis::util::clog2(p.n), 2.0);
+  p.d = 3;
+  const double k3 = kelsen_multiplier(p);
+  p.d = 5;
+  const double k5 = kelsen_multiplier(p);
+  EXPECT_GT(k5 / k3, 1e6);
+}
+
+}  // namespace

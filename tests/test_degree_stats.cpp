@@ -1,0 +1,160 @@
+#include "hmis/hypergraph/degree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(DegreeStats, EmptyHypergraph) {
+  const auto stats = compute_degree_stats(HypergraphBuilder(5).build());
+  EXPECT_EQ(stats.dimension, 0u);
+  EXPECT_DOUBLE_EQ(stats.delta, 0.0);
+  EXPECT_TRUE(stats.exact);
+}
+
+TEST(DegreeStats, SingleEdge) {
+  // One edge {0,1,2}: every proper subset x has exactly one superedge.
+  // d_j(x) = 1^{1/j} = 1 for all x, so Δ_3 = 1, Δ = 1.
+  const auto h = make_hypergraph(3, {{0, 1, 2}});
+  const auto stats = compute_degree_stats(h);
+  EXPECT_EQ(stats.dimension, 3u);
+  EXPECT_DOUBLE_EQ(stats.delta_i[3], 1.0);
+  EXPECT_DOUBLE_EQ(stats.delta, 1.0);
+  EXPECT_EQ(stats.max_count, 1u);
+}
+
+TEST(DegreeStats, StarOfTriangles) {
+  // k edges of size 3 all containing vertex 0 (otherwise disjoint):
+  // N_2({0}) = k, so d_2({0}) = sqrt(k) and Δ_3 = sqrt(k) (pairs have
+  // count 1).
+  const std::size_t k = 9;
+  HypergraphBuilder b(1 + 2 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    b.add_edge({0, static_cast<VertexId>(1 + 2 * i),
+                static_cast<VertexId>(2 + 2 * i)});
+  }
+  const auto stats = compute_degree_stats(b.build());
+  EXPECT_EQ(stats.dimension, 3u);
+  EXPECT_NEAR(stats.delta_i[3], 3.0, 1e-9);  // sqrt(9)
+  EXPECT_NEAR(stats.delta, 3.0, 1e-9);
+  EXPECT_EQ(stats.max_count, 9u);
+}
+
+TEST(DegreeStats, PairDegreeDominates) {
+  // Edges {0,1,x} for x in 2..11: the PAIR {0,1} has N_1 = 10, d_1 = 10,
+  // while singletons have d_2 = sqrt(10) ≈ 3.16.  Δ must see the pair.
+  HypergraphBuilder b(12);
+  for (VertexId x = 2; x < 12; ++x) b.add_edge({0, 1, x});
+  const auto stats = compute_degree_stats(b.build());
+  EXPECT_NEAR(stats.delta, 10.0, 1e-9);
+  EXPECT_EQ(stats.max_count, 10u);
+}
+
+TEST(DegreeStats, MixedDimensionsTrackPerSizeDeltas) {
+  // Size-2 edges around 0: N_1({0}) among size-2 edges = 3 -> Δ_2 = 3.
+  // One size-4 edge -> Δ_4 = 1.
+  const auto h =
+      make_hypergraph(8, {{0, 1}, {0, 2}, {0, 3}, {4, 5, 6, 7}});
+  const auto stats = compute_degree_stats(h);
+  EXPECT_EQ(stats.dimension, 4u);
+  EXPECT_NEAR(stats.delta_i[2], 3.0, 1e-9);
+  EXPECT_NEAR(stats.delta_i[4], 1.0, 1e-9);
+  EXPECT_NEAR(stats.delta, 3.0, 1e-9);
+}
+
+TEST(DegreeStats, SingletonEdgesDontCrash) {
+  const auto h = make_hypergraph(3, {{0}, {1, 2}});
+  const auto stats = compute_degree_stats(h);
+  EXPECT_EQ(stats.dimension, 2u);
+  EXPECT_NEAR(stats.delta, 1.0, 1e-9);
+}
+
+TEST(DegreeStats, FallbackModeLowerBounds) {
+  // Force the singleton fallback via a tiny budget and compare: fallback
+  // delta <= exact delta.
+  const auto h = gen::uniform_random(40, 120, 4, 5);
+  DegreeStatsOptions exact_opt;
+  const auto exact = compute_degree_stats(h, exact_opt);
+  DegreeStatsOptions approx_opt;
+  approx_opt.enum_budget = 10;  // forces fallback
+  const auto approx = compute_degree_stats(h, approx_opt);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_FALSE(approx.exact);
+  EXPECT_LE(approx.delta, exact.delta + 1e-9);
+  EXPECT_GT(approx.delta, 0.0);
+}
+
+TEST(DegreeStats, LargeEdgeTriggersFallback) {
+  HypergraphBuilder b(40);
+  VertexList big;
+  for (VertexId v = 0; v < 24; ++v) big.push_back(v);
+  b.add_edge(std::span<const VertexId>(big.data(), big.size()));
+  DegreeStatsOptions opt;
+  opt.max_enum_edge_size = 16;
+  const auto stats = compute_degree_stats(b.build(), opt);
+  EXPECT_FALSE(stats.exact);
+  EXPECT_EQ(stats.dimension, 24u);
+}
+
+TEST(NeighborhoodCounts, MatchesManualCount) {
+  const auto h = make_hypergraph(
+      6, {{0, 1}, {0, 1, 2}, {0, 1, 3}, {0, 1, 2, 3}, {2, 3}});
+  const auto lists = h.edges_as_lists();
+  const auto counts = neighborhood_counts(
+      std::span<const VertexList>(lists.data(), lists.size()), {0, 1});
+  // j=0: edge {0,1} itself; j=1: {0,1,2},{0,1,3}; j=2: {0,1,2,3}.
+  ASSERT_GE(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(NormalizedDegree, Definition) {
+  EXPECT_DOUBLE_EQ(normalized_degree(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_degree(8, 1), 8.0);
+  EXPECT_NEAR(normalized_degree(8, 3), 2.0, 1e-12);  // 8^{1/3}
+}
+
+TEST(KelsenPotentials, MonotoneStructureInLogSpace) {
+  // log2(v_i) >= log2(Δ_i) and log2(v_i) >= f(i)·log2(log n) + log2(v_{i+1})
+  // by construction.
+  const auto h = gen::mixed_arity(200, 300, 2, 5, 3);
+  const auto stats = compute_degree_stats(h);
+  std::vector<double> log_t;
+  const auto v = kelsen_potentials_log2(stats, 200.0, &log_t);
+  ASSERT_EQ(v.size(), stats.dimension + 1);
+  for (std::size_t i = 2; i <= stats.dimension; ++i) {
+    if (stats.delta_i[i] > 0.0) {
+      EXPECT_GE(v[i] + 1e-9, std::log2(stats.delta_i[i])) << i;
+    }
+  }
+  for (std::size_t i = 2; i < stats.dimension; ++i) {
+    EXPECT_GE(v[i] + 1e-9, v[i + 1]) << i;  // log-scale offsets are >= 0
+  }
+  // Thresholds log2(T_j) decrease in j, starting at log2(v_2).
+  ASSERT_EQ(log_t.size(), stats.dimension + 1);
+  EXPECT_NEAR(log_t[2], v[2], 1e-9);
+  for (std::size_t j = 3; j <= stats.dimension; ++j) {
+    EXPECT_LE(log_t[j], log_t[j - 1] + 1e-9);
+  }
+  // Everything is finite (this was the motivation for log space).
+  for (std::size_t i = 2; i <= stats.dimension; ++i) {
+    EXPECT_TRUE(std::isfinite(v[i])) << i;
+  }
+}
+
+TEST(KelsenPotentials, DimensionBelowTwo) {
+  const auto h = make_hypergraph(3, {{0}});
+  const auto stats = compute_degree_stats(h);
+  std::vector<double> log_t;
+  const auto v = kelsen_potentials_log2(stats, 3.0, &log_t);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Failure-injection suite: drive the guard rails on purpose and check they
+// fire.  A reproduction whose invariants cannot be tripped is not testing
+// its invariants.
+#include <gtest/gtest.h>
+
+#include "hmis/algo/bl.hpp"
+#include "hmis/core/sbl.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+#include "hmis/pram/machine.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(FailureInjection, FullyBlueEdgeIsCaught) {
+  // Manually violate independence through the residual structure: the
+  // CHECK in color_blue must fire rather than silently producing a bogus
+  // MIS.
+  const auto h = make_hypergraph(4, {{0, 1, 2}});
+  MutableHypergraph mh(h);
+  const std::vector<VertexId> all = {0, 1, 2};
+  EXPECT_THROW(mh.color_blue(all), util::CheckError);
+}
+
+TEST(FailureInjection, BlMaxRoundsTripsGracefully) {
+  // probability_override ~ 0 means essentially nothing is ever marked; BL
+  // must hit max_rounds and report failure instead of spinning forever.
+  const auto h = gen::uniform_random(50, 100, 3, 3);
+  algo::BlOptions opt;
+  opt.probability_override = 1e-12;
+  opt.isolated_shortcut = false;
+  opt.max_rounds = 20;
+  const auto r = algo::bl(h, opt);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("max_rounds"), std::string::npos);
+}
+
+TEST(FailureInjection, SblResampleBudgetExhaustionReported) {
+  // d_override=2 with p=0.9: nearly every vertex is sampled every round, so
+  // some size->=3 edge is always fully sampled and every redraw fails.
+  const auto h = gen::uniform_random(60, 180, 3, 5);
+  core::SblOptions opt;
+  opt.d_override = 2;
+  opt.p_override = 0.9;
+  opt.max_resamples_per_round = 5;
+  const auto r = core::sbl(h, opt);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("max_resamples"), std::string::npos);
+}
+
+TEST(FailureInjection, SblRestartBudgetExhaustionReported) {
+  const auto h = gen::uniform_random(60, 180, 3, 5);
+  core::SblOptions opt;
+  opt.d_override = 2;
+  opt.p_override = 0.9;
+  opt.fail_policy = core::SblFailPolicy::RestartAll;
+  opt.max_restarts = 3;
+  const auto r = core::sbl(h, opt);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("max_restarts"), std::string::npos);
+}
+
+TEST(FailureInjection, PramStrictModeAbortsOnViolation) {
+  pram::Machine m(8, pram::Mode::EREW, /*strict=*/true);
+  EXPECT_THROW(m.step(2, [&](std::size_t p) { (void)m.read(p, 3); }),
+               util::CheckError);
+}
+
+TEST(FailureInjection, PramOutOfRangeAccess) {
+  pram::Machine m(4);
+  EXPECT_THROW(m.poke(10, 1), util::CheckError);
+  EXPECT_THROW((void)m.peek(10), util::CheckError);
+  EXPECT_THROW(m.step(1, [&](std::size_t p) { (void)m.read(p, 99); }),
+               util::CheckError);
+}
+
+TEST(FailureInjection, BuilderEmptyEdgeMeansNoMisExists) {
+  HypergraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(std::initializer_list<VertexId>{}),
+               util::CheckError);
+}
+
+TEST(FailureInjection, CheckMacroCarriesContext) {
+  try {
+    HMIS_CHECK(false, "context message 42");
+    FAIL() << "HMIS_CHECK did not throw";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context message 42"), std::string::npos);
+    EXPECT_NE(what.find("test_failure_injection"), std::string::npos);
+  }
+}
+
+TEST(FailureInjection, DcheckCompiledPerBuildType) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(HMIS_DCHECK(false, "stripped in release"));
+#else
+  EXPECT_THROW(HMIS_DCHECK(false, "active in debug"), util::CheckError);
+#endif
+}
+
+}  // namespace

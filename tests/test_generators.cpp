@@ -1,0 +1,178 @@
+#include "hmis/hypergraph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "hmis/algo/linear_bl.hpp"
+#include "hmis/core/theory.hpp"
+#include "hmis/hypergraph/degree_stats.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(UniformRandom, ProducesRequestedShape) {
+  const auto h = gen::uniform_random(100, 200, 3, 1);
+  EXPECT_EQ(h.num_vertices(), 100u);
+  EXPECT_EQ(h.num_edges(), 200u);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_size(e), 3u);
+  }
+}
+
+TEST(UniformRandom, EdgesAreDistinct) {
+  const auto h = gen::uniform_random(50, 300, 3, 7);
+  std::set<VertexList> seen;
+  for (const auto& e : h.edges_as_lists()) {
+    EXPECT_TRUE(seen.insert(e).second) << "duplicate edge";
+  }
+}
+
+TEST(UniformRandom, DeterministicInSeed) {
+  const auto a = gen::uniform_random(60, 100, 4, 5);
+  const auto b = gen::uniform_random(60, 100, 4, 5);
+  const auto c = gen::uniform_random(60, 100, 4, 6);
+  EXPECT_EQ(a.edges_as_lists(), b.edges_as_lists());
+  EXPECT_NE(a.edges_as_lists(), c.edges_as_lists());
+}
+
+TEST(UniformRandom, ArityOneAndFullArity) {
+  const auto h1 = gen::uniform_random(10, 5, 1, 3);
+  EXPECT_EQ(h1.dimension(), 1u);
+  const auto hf = gen::uniform_random(6, 1, 6, 3);
+  EXPECT_EQ(hf.edge_size(0), 6u);
+}
+
+TEST(MixedArity, SizesWithinRange) {
+  const auto h = gen::mixed_arity(100, 150, 2, 6, 11);
+  EXPECT_EQ(h.num_edges(), 150u);
+  bool saw_small = false, saw_large = false;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto s = h.edge_size(e);
+    EXPECT_GE(s, 2u);
+    EXPECT_LE(s, 6u);
+    saw_small |= (s <= 3);
+    saw_large |= (s >= 5);
+  }
+  EXPECT_TRUE(saw_small);
+  EXPECT_TRUE(saw_large);
+}
+
+TEST(LinearRandom, OutputIsLinear) {
+  const auto h = gen::linear_random(200, 150, 3, 13);
+  EXPECT_GT(h.num_edges(), 50u);  // best-effort, but should get most
+  EXPECT_TRUE(algo::is_linear(h));
+}
+
+TEST(LinearRandom, SaturatesGracefully) {
+  // Tiny vertex set: the pair space saturates well before 1000 edges.
+  const auto h = gen::linear_random(10, 1000, 3, 3);
+  EXPECT_LT(h.num_edges(), 1000u);
+  EXPECT_TRUE(algo::is_linear(h));
+}
+
+TEST(PlantedMis, PlantedSetIsIndependent) {
+  const double fraction = 0.3;
+  const auto h = gen::planted_mis(100, 400, 3, fraction, 21);
+  EXPECT_EQ(h.num_edges(), 400u);
+  util::DynamicBitset planted(h.num_vertices());
+  for (VertexId v = 0; v < 30; ++v) planted.set(v);
+  EXPECT_FALSE(find_violated_edge(h, planted).has_value());
+}
+
+TEST(RandomGraph, IsDimensionTwo) {
+  const auto h = gen::random_graph(50, 100, 3);
+  EXPECT_EQ(h.dimension(), 2u);
+  EXPECT_EQ(h.num_edges(), 100u);
+}
+
+TEST(Interval, WindowsAndStride) {
+  const auto h = gen::interval(10, 3, 2);
+  // starts: 0,2,4,6 (start+3<=10) => 0,2,4,6 and 7? 7+3=10 ok => 0,2,4,6
+  ASSERT_EQ(h.num_edges(), 4u);
+  EXPECT_EQ(h.edges_as_lists()[0], (VertexList{0, 1, 2}));
+  EXPECT_EQ(h.edges_as_lists()[3], (VertexList{6, 7, 8}));
+}
+
+TEST(Sunflower, CoreSharedPetalsPrivate) {
+  const auto h = gen::sunflower(2, 3, 4);
+  EXPECT_EQ(h.num_vertices(), 2u + 12u);
+  EXPECT_EQ(h.num_edges(), 4u);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    ASSERT_EQ(verts.size(), 5u);
+    EXPECT_EQ(verts[0], 0u);
+    EXPECT_EQ(verts[1], 1u);
+  }
+  // Pairwise intersections are exactly the core.
+  const auto lists = h.edges_as_lists();
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    for (std::size_t j = i + 1; j < lists.size(); ++j) {
+      VertexList inter;
+      std::set_intersection(lists[i].begin(), lists[i].end(),
+                            lists[j].begin(), lists[j].end(),
+                            std::back_inserter(inter));
+      EXPECT_EQ(inter, (VertexList{0, 1}));
+    }
+  }
+}
+
+TEST(SunflowerWithEmptyCore, IsAMatching) {
+  const auto h = gen::sunflower(0, 2, 5);
+  EXPECT_EQ(h.num_vertices(), 10u);
+  EXPECT_EQ(h.num_edges(), 5u);
+  EXPECT_TRUE(algo::is_linear(h));
+}
+
+TEST(PathGraph, ChainOfEdges) {
+  const auto h = gen::path_graph(5);
+  EXPECT_EQ(h.num_edges(), 4u);
+  EXPECT_EQ(h.dimension(), 2u);
+}
+
+TEST(BoundedDegree, RespectsDegreeCap) {
+  const auto h = gen::bounded_degree(200, 300, 3, 5, 7);
+  EXPECT_GT(h.num_edges(), 100u);  // best effort, should get most
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_LE(h.degree(v), 5u) << v;
+  }
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_size(e), 3u);
+  }
+}
+
+TEST(BoundedDegree, SaturatesGracefully) {
+  // Cap 1 with arity 2: a matching — at most n/2 edges.
+  const auto h = gen::bounded_degree(20, 100, 2, 1, 3);
+  EXPECT_LE(h.num_edges(), 10u);
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_LE(h.degree(v), 1u);
+  }
+}
+
+TEST(BoundedDegree, DegreeCapControlsDelta) {
+  // Δ of a sparse 3-uniform instance is driven by the singleton degree
+  // term deg^{1/2}: doubling the cap four-fold should roughly double Δ.
+  const auto low = compute_degree_stats(gen::bounded_degree(400, 250, 3, 4, 9));
+  const auto high =
+      compute_degree_stats(gen::bounded_degree(400, 1000, 3, 16, 9));
+  EXPECT_LT(low.delta, high.delta);
+  EXPECT_GE(high.delta, 1.4 * low.delta);
+}
+
+TEST(SblRegime, RespectsEdgeBudget) {
+  const std::size_t n = 2000;
+  const double beta = 0.5;
+  const auto h = gen::sbl_regime(n, beta, 0, 31);
+  EXPECT_EQ(h.num_vertices(), n);
+  const auto expected_m = static_cast<std::size_t>(std::pow(n, beta));
+  EXPECT_NEAR(static_cast<double>(h.num_edges()),
+              static_cast<double>(expected_m), 1.0);
+  EXPECT_GE(h.dimension(), 3u);  // mixed arities up to ~log2 n
+}
+
+}  // namespace

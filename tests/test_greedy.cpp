@@ -1,0 +1,97 @@
+#include "hmis/algo/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace {
+
+using namespace hmis;
+using algo::greedy_mis;
+using algo::greedy_mis_ordered;
+using algo::GreedyOptions;
+using algo::permutation_greedy_mis;
+
+TEST(Greedy, NoEdgesTakesEverything) {
+  const auto h = make_hypergraph(4, {});
+  const auto r = greedy_mis(h);
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Greedy, LexicographicallyFirst) {
+  // Edge {0,1,2}: greedy adds 0, 1, then 2 is blocked, 3 free.
+  const auto h = make_hypergraph(4, {{0, 1, 2}});
+  const auto r = greedy_mis(h);
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(Greedy, SingletonEdgeExcluded) {
+  const auto h = make_hypergraph(3, {{1}});
+  const auto r = greedy_mis(h);
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{0, 2}));
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Greedy, ChainGraph) {
+  const auto h = gen::path_graph(6);
+  const auto r = greedy_mis(h);
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Greedy, AlwaysProducesVerifiedMis) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto h = gen::mixed_arity(150, 400, 2, 5, seed);
+    const auto r = greedy_mis(h);
+    EXPECT_TRUE(verify_mis(h, r.independent_set).ok()) << "seed " << seed;
+  }
+}
+
+TEST(GreedyOrdered, RespectsCustomOrder) {
+  // Edge {0,1}: order (1,0) keeps 1, blocks 0.
+  const auto h = make_hypergraph(2, {{0, 1}});
+  const std::vector<VertexId> order = {1, 0};
+  const auto r = greedy_mis_ordered(h, order, GreedyOptions{});
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{1}));
+}
+
+TEST(PermutationGreedy, VerifiedAndSeedDependent) {
+  const auto h = gen::mixed_arity(200, 600, 2, 4, 5);
+  GreedyOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ra = permutation_greedy_mis(h, a);
+  const auto rb = permutation_greedy_mis(h, b);
+  EXPECT_TRUE(verify_mis(h, ra.independent_set).ok());
+  EXPECT_TRUE(verify_mis(h, rb.independent_set).ok());
+  // Different seeds almost surely give different sets on this size.
+  EXPECT_NE(ra.independent_set, rb.independent_set);
+  // Same seed: identical.
+  const auto ra2 = permutation_greedy_mis(h, a);
+  EXPECT_EQ(ra.independent_set, ra2.independent_set);
+}
+
+TEST(Greedy, PlantedSetIsFoundWhenOrderedFirst) {
+  // Planted instance: vertices [0, 30) independent; lexicographic greedy
+  // must include every planted vertex (nothing before them blocks them).
+  const auto h = gen::planted_mis(100, 300, 3, 0.3, 11);
+  const auto r = greedy_mis(h);
+  for (VertexId v = 0; v < 30; ++v) {
+    EXPECT_TRUE(std::binary_search(r.independent_set.begin(),
+                                   r.independent_set.end(), v))
+        << v;
+  }
+}
+
+TEST(Greedy, MetricsChargeSequentialDepth) {
+  const auto h = gen::uniform_random(100, 100, 3, 1);
+  const auto r = greedy_mis(h);
+  EXPECT_GE(r.metrics.depth, h.num_vertices());
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include "hmis/hypergraph/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(Hypergraph, EmptyHypergraph) {
+  const Hypergraph h = HypergraphBuilder(5).build();
+  EXPECT_EQ(h.num_vertices(), 5u);
+  EXPECT_EQ(h.num_edges(), 0u);
+  EXPECT_EQ(h.dimension(), 0u);
+  EXPECT_EQ(h.min_edge_size(), 0u);
+  EXPECT_EQ(h.total_edge_size(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(h.degree(v), 0u);
+}
+
+TEST(Hypergraph, BasicAccessors) {
+  const Hypergraph h = make_hypergraph(6, {{0, 1, 2}, {2, 3}, {4, 5, 0, 1}});
+  EXPECT_EQ(h.num_vertices(), 6u);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_EQ(h.dimension(), 4u);
+  EXPECT_EQ(h.min_edge_size(), 2u);
+  EXPECT_EQ(h.total_edge_size(), 9u);
+}
+
+TEST(Hypergraph, EdgesAreSortedAndDeduped) {
+  HypergraphBuilder b(10);
+  b.add_edge({5, 2, 9, 2, 5});
+  const Hypergraph h = b.build();
+  const auto e = h.edge(0);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0], 2u);
+  EXPECT_EQ(e[1], 5u);
+  EXPECT_EQ(e[2], 9u);
+}
+
+TEST(Hypergraph, IncidenceListsAreConsistent) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1}, {1, 2}, {1, 3, 4}});
+  EXPECT_EQ(h.degree(1), 3u);
+  EXPECT_EQ(h.degree(0), 1u);
+  EXPECT_EQ(h.degree(4), 1u);
+  // Every edge listed for v contains v; sum of degrees == total edge size.
+  std::size_t total = 0;
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    for (const EdgeId e : h.edges_of(v)) {
+      EXPECT_TRUE(h.edge_contains(e, v));
+    }
+    total += h.degree(v);
+  }
+  EXPECT_EQ(total, h.total_edge_size());
+}
+
+TEST(Hypergraph, EdgeContains) {
+  const Hypergraph h = make_hypergraph(5, {{0, 2, 4}});
+  EXPECT_TRUE(h.edge_contains(0, 0));
+  EXPECT_TRUE(h.edge_contains(0, 2));
+  EXPECT_TRUE(h.edge_contains(0, 4));
+  EXPECT_FALSE(h.edge_contains(0, 1));
+  EXPECT_FALSE(h.edge_contains(0, 3));
+}
+
+TEST(Builder, RejectsEmptyEdge) {
+  HypergraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(std::initializer_list<VertexId>{}),
+               hmis::util::CheckError);
+}
+
+TEST(Builder, RejectsOutOfRangeVertex) {
+  HypergraphBuilder b(3);
+  EXPECT_THROW(b.add_edge({0, 3}), hmis::util::CheckError);
+}
+
+TEST(Builder, DedupesIdenticalEdges) {
+  HypergraphBuilder b(5);
+  b.add_edge({0, 1, 2});
+  b.add_edge({2, 1, 0});
+  b.add_edge({0, 1});
+  const Hypergraph h = b.build();
+  EXPECT_EQ(h.num_edges(), 2u);
+}
+
+TEST(Builder, DedupeCanBeDisabled) {
+  HypergraphBuilder b(5);
+  b.dedupe_edges(false);
+  b.add_edge({0, 1, 2});
+  b.add_edge({2, 1, 0});
+  EXPECT_EQ(b.build().num_edges(), 2u);
+}
+
+TEST(Builder, RemoveSupersetsKeepsMinimalEdges) {
+  HypergraphBuilder b(6);
+  b.remove_supersets(true);
+  b.add_edge({0, 1});
+  b.add_edge({0, 1, 2});     // superset of {0,1} -> dropped
+  b.add_edge({3, 4});
+  b.add_edge({2, 3, 4, 5});  // superset of {3,4} -> dropped
+  b.add_edge({1, 2});        // kept
+  const Hypergraph h = b.build();
+  EXPECT_EQ(h.num_edges(), 3u);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_size(e), 2u);
+  }
+}
+
+TEST(Builder, SupersetRemovalHandlesEqualSizedEdges) {
+  HypergraphBuilder b(4);
+  b.remove_supersets(true);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  b.add_edge({2, 3});
+  EXPECT_EQ(b.build().num_edges(), 3u);  // none dominates another
+}
+
+TEST(Builder, SingletonEdgesSupported) {
+  const Hypergraph h = make_hypergraph(3, {{1}});
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_EQ(h.dimension(), 1u);
+  EXPECT_EQ(h.min_edge_size(), 1u);
+}
+
+TEST(Builder, IsReusableAfterBuild) {
+  HypergraphBuilder b(4);
+  b.add_edge({0, 1});
+  const Hypergraph h1 = b.build();
+  EXPECT_EQ(h1.num_edges(), 1u);
+  b.add_edge({2, 3});
+  const Hypergraph h2 = b.build();
+  EXPECT_EQ(h2.num_edges(), 1u);
+  EXPECT_EQ(h2.edge(0)[0], 2u);
+}
+
+TEST(Hypergraph, EdgesAsListsRoundTrip) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1}, {2, 3, 4}});
+  const auto lists = h.edges_as_lists();
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_EQ(lists[0], (VertexList{0, 1}));
+  EXPECT_EQ(lists[1], (VertexList{2, 3, 4}));
+}
+
+}  // namespace

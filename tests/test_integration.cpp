@@ -1,0 +1,126 @@
+// End-to-end integration: generator -> serialization -> algorithm ->
+// verification -> analysis instrumentation, crossing every module boundary
+// the way the benches and examples do.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hmis/conc/montecarlo.hpp"
+#include "hmis/core/mis.hpp"
+#include "hmis/core/theory.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/degree_stats.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/io.hpp"
+#include "hmis/pram/cost_model.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(Integration, GenerateSerializeSolveVerify) {
+  const auto h = gen::sbl_regime(1200, 0.65, 12, 2024);
+  // Round-trip through the text format.
+  std::stringstream ss;
+  write_hypergraph(ss, h);
+  const auto h2 = read_hypergraph(ss);
+  ASSERT_EQ(h2.edges_as_lists(), h.edges_as_lists());
+  // Solve on the deserialized copy with the paper pipeline.
+  const auto run = core::find_mis(h2, core::Algorithm::SBL);
+  ASSERT_TRUE(run.result.success) << run.result.failure_reason;
+  EXPECT_TRUE(run.verdict.ok());
+}
+
+TEST(Integration, SblRoundProgressMatchesClaim1Shape) {
+  // Claim (1): each round colors >= p*n_i/2 vertices except with
+  // exponentially small probability.  Count violating rounds over a real
+  // run — there should be almost none.
+  const auto h = gen::mixed_arity(4000, 800, 2, 20, 7);
+  core::SblOptions opt;
+  opt.record_trace = true;
+  const auto params = core::resolve_sbl_params(h.num_vertices(),
+                                               h.num_edges(), opt);
+  const auto r = core::sbl(h, opt);
+  ASSERT_TRUE(r.success);
+  std::size_t sampling_rounds = 0;
+  std::size_t violations = 0;
+  for (const auto& s : r.trace) {
+    if (s.sampled == 0 && s.inner_stages == 0) continue;  // base case row
+    if (s.p <= 0.0) continue;
+    ++sampling_rounds;
+    const double colored = static_cast<double>(s.added_blue + s.forced_red);
+    if (colored < params.p * static_cast<double>(s.live_vertices) / 2.0) {
+      ++violations;
+    }
+  }
+  ASSERT_GT(sampling_rounds, 0u);
+  // Allow a small fraction of unlucky rounds (the bound is probabilistic).
+  EXPECT_LE(violations, sampling_rounds / 5 + 1);
+}
+
+TEST(Integration, RoundCountWithinPaperBound) {
+  // #rounds <= r = 2 log2(n) / p (claim (1) conclusion).
+  const auto h = gen::mixed_arity(3000, 600, 2, 18, 9);
+  core::SblOptions opt;
+  const auto params =
+      core::resolve_sbl_params(h.num_vertices(), h.num_edges(), opt);
+  const auto r = core::sbl(h, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_LE(static_cast<double>(r.rounds), params.predicted_round_bound);
+}
+
+TEST(Integration, WorkDepthAccountingIsPopulated) {
+  const auto h = gen::mixed_arity(2000, 400, 2, 16, 11);
+  const auto run = core::find_mis(h, core::Algorithm::SBL);
+  ASSERT_TRUE(run.result.success);
+  EXPECT_GT(run.result.metrics.work, 0u);
+  EXPECT_GT(run.result.metrics.depth, 0u);
+  EXPECT_GT(run.result.metrics.calls, 0u);
+  // Brent: with 1 processor, time ~ work; with many, time ~ depth.
+  const double t1 = pram::brent_time(run.result.metrics, 1);
+  const double tinf = pram::brent_time(run.result.metrics, UINT64_MAX);
+  EXPECT_GT(t1, tinf);
+  EXPECT_GT(pram::parallelism(run.result.metrics), 1.0);
+}
+
+TEST(Integration, DegreeStatsFeedTheoryFormulas) {
+  const auto h = gen::uniform_random(800, 2400, 3, 13);
+  const auto stats = compute_degree_stats(h);
+  ASSERT_TRUE(stats.exact);
+  std::vector<double> log_t;
+  const auto v = kelsen_potentials_log2(stats, 800.0, &log_t);
+  // v_2 is the universal potential: it dominates every Δ_i scaled through
+  // the (log n)^{f} ladder (comparisons in log2 space).
+  EXPECT_GE(v[2], std::log2(stats.delta_i[2]));
+  EXPECT_GE(v[2], std::log2(stats.delta_i[3]));
+  // And BL derives its probability from Δ.
+  const double p = algo::bl_probability(stats, 0.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 0.5);
+}
+
+TEST(Integration, SurvivalProbabilityFeedsBlProgress) {
+  // Tie conc <-> algo: at BL's own p, singleton survival is > 1/2, which is
+  // what makes E[added] >= p*n/2 per stage plausible.
+  const auto h = gen::uniform_random(200, 600, 3, 17);
+  const auto stats = compute_degree_stats(h);
+  const double p = algo::bl_probability(stats, 0.0);
+  const auto est = conc::estimate_unmark_probability(h, {0}, p, 3000, 23);
+  EXPECT_LT(est.p_unmark, 0.5);
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnForcedStructure) {
+  // In this instance the MIS is forced: singleton {0} and edges {1,2} with
+  // {2} singleton force {1, 3, ...}: 0 red, 2 red, 1 blue, rest blue.
+  const auto h = make_hypergraph(5, {{0}, {2}, {1, 2}});
+  for (const auto a : core::all_algorithms()) {
+    if (a == core::Algorithm::Luby) continue;  // supports it, but keep list
+    const auto run = core::find_mis(h, a);
+    ASSERT_TRUE(run.result.success) << core::algorithm_name(a);
+    EXPECT_EQ(run.result.independent_set, (std::vector<VertexId>{1, 3, 4}))
+        << core::algorithm_name(a);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "hmis/hypergraph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(Io, WriteProducesHeaderAndEdges) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2, 3}});
+  std::ostringstream os;
+  write_hypergraph(os, h);
+  EXPECT_EQ(os.str(), "hg1 4 2\n2 0 1\n3 1 2 3\n");
+}
+
+TEST(Io, RoundTripPreservesStructure) {
+  const Hypergraph h = gen::mixed_arity(60, 100, 2, 5, 9);
+  std::stringstream ss;
+  write_hypergraph(ss, h);
+  const Hypergraph back = read_hypergraph(ss);
+  EXPECT_EQ(back.num_vertices(), h.num_vertices());
+  EXPECT_EQ(back.num_edges(), h.num_edges());
+  EXPECT_EQ(back.edges_as_lists(), h.edges_as_lists());
+}
+
+TEST(Io, SkipsComments) {
+  std::istringstream is(
+      "# a comment\n"
+      "hg1 3 1\n"
+      "# another\n"
+      "2 0 2\n");
+  const Hypergraph h = read_hypergraph(is);
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_EQ(h.edges_as_lists()[0], (VertexList{0, 2}));
+}
+
+TEST(Io, RejectsBadHeader) {
+  std::istringstream is("nope 3 1\n2 0 1\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+TEST(Io, RejectsTruncatedEdgeList) {
+  std::istringstream is("hg1 3 2\n2 0 1\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+TEST(Io, RejectsTruncatedEdgeLine) {
+  std::istringstream is("hg1 3 1\n3 0 1\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+TEST(Io, RejectsVertexOutOfRange) {
+  std::istringstream is("hg1 3 1\n2 0 7\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+TEST(Io, FileSaveLoadRoundTrip) {
+  const Hypergraph h = gen::uniform_random(40, 60, 3, 17);
+  const std::string path = ::testing::TempDir() + "/hmis_io_test.hg";
+  save_hypergraph(path, h);
+  const Hypergraph back = load_hypergraph(path);
+  EXPECT_EQ(back.edges_as_lists(), h.edges_as_lists());
+  std::remove(path.c_str());
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_hypergraph("/nonexistent/path/x.hg"),
+               util::CheckError);
+}
+
+TEST(IoBinary, RoundTripPreservesStructure) {
+  const Hypergraph h = gen::mixed_arity(80, 150, 2, 6, 21);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_hypergraph_binary(ss, h);
+  const Hypergraph back = read_hypergraph_binary(ss);
+  EXPECT_EQ(back.num_vertices(), h.num_vertices());
+  EXPECT_EQ(back.edges_as_lists(), h.edges_as_lists());
+}
+
+TEST(IoBinary, FileRoundTripAndSizeAdvantage) {
+  // Large vertex ids: text needs 7-8 ASCII chars per id, binary always 4
+  // bytes — the regime the binary format exists for.
+  const Hypergraph h = gen::uniform_random(5'000'000, 2000, 4, 23);
+  const std::string text_path = ::testing::TempDir() + "/hmis_io_t.hg";
+  const std::string bin_path = ::testing::TempDir() + "/hmis_io_b.hgb";
+  save_hypergraph(text_path, h);
+  save_hypergraph_binary(bin_path, h);
+  const Hypergraph back = load_hypergraph_binary(bin_path);
+  EXPECT_EQ(back.edges_as_lists(), h.edges_as_lists());
+  std::ifstream t(text_path, std::ios::ate | std::ios::binary);
+  std::ifstream b(bin_path, std::ios::ate | std::ios::binary);
+  EXPECT_LT(b.tellg(), t.tellg());
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(IoBinary, RejectsBadMagic) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss.write("NOPE", 4);
+  EXPECT_THROW((void)read_hypergraph_binary(ss), util::CheckError);
+}
+
+TEST(IoBinary, RejectsTruncatedStream) {
+  const Hypergraph h = gen::uniform_random(30, 40, 3, 25);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_hypergraph_binary(full, h);
+  const std::string bytes = full.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  EXPECT_THROW((void)read_hypergraph_binary(cut), util::CheckError);
+}
+
+TEST(IoBinary, EmptyHypergraph) {
+  const Hypergraph h = HypergraphBuilder(9).build();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_hypergraph_binary(ss, h);
+  const Hypergraph back = read_hypergraph_binary(ss);
+  EXPECT_EQ(back.num_vertices(), 9u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST(Io, EmptyHypergraphRoundTrips) {
+  const Hypergraph h = HypergraphBuilder(7).build();
+  std::stringstream ss;
+  write_hypergraph(ss, h);
+  const Hypergraph back = read_hypergraph(ss);
+  EXPECT_EQ(back.num_vertices(), 7u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include "hmis/algo/kuw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace {
+
+using namespace hmis;
+using algo::kuw_mis;
+using algo::KuwOptions;
+
+TEST(Kuw, NoEdgesOneRound) {
+  const auto h = make_hypergraph(8, {});
+  const auto r = kuw_mis(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.independent_set.size(), 8u);
+}
+
+TEST(Kuw, SingleEdge) {
+  const auto h = make_hypergraph(3, {{0, 1, 2}});
+  const auto r = kuw_mis(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set.size(), 2u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Kuw, SingletonEdges) {
+  const auto h = make_hypergraph(4, {{1}, {3}});
+  const auto r = kuw_mis(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{0, 2}));
+}
+
+TEST(Kuw, VerifiedOnRandomInstances) {
+  for (const std::uint64_t seed : {1u, 5u, 9u}) {
+    const auto h = gen::mixed_arity(300, 800, 2, 5, seed);
+    KuwOptions opt;
+    opt.seed = seed;
+    const auto r = kuw_mis(h, opt);
+    ASSERT_TRUE(r.success) << r.failure_reason;
+    EXPECT_TRUE(verify_mis(h, r.independent_set).ok()) << seed;
+  }
+}
+
+TEST(Kuw, VerifiedOnHighDimensionInstances) {
+  // KUW is oblivious to dimension — exactly why the paper uses it as the
+  // general-case baseline.
+  const auto h = gen::mixed_arity(300, 500, 2, 20, 3);
+  const auto r = kuw_mis(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Kuw, EveryRoundMakesProgress) {
+  const auto h = gen::uniform_random(500, 1500, 3, 7);
+  KuwOptions opt;
+  opt.record_trace = true;
+  const auto r = kuw_mis(h, opt);
+  ASSERT_TRUE(r.success);
+  for (const auto& s : r.trace) {
+    EXPECT_GE(s.added_blue + s.forced_red, 1u) << "stalled at " << s.stage;
+  }
+  EXPECT_LE(r.rounds, 500u);
+}
+
+TEST(Kuw, RoundsScaleBelowLinear) {
+  // The KUW guarantee is O(sqrt(n)) rounds; random instances are much
+  // easier, but rounds must stay well below n.
+  const std::size_t n = 2000;
+  const auto h = gen::uniform_random(n, 4 * n, 3, 11);
+  const auto r = kuw_mis(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(static_cast<double>(r.rounds),
+            10.0 * std::sqrt(static_cast<double>(n)))
+      << r.rounds;
+}
+
+TEST(Kuw, PathGraphVerified) {
+  const auto h = gen::path_graph(100);
+  const auto r = kuw_mis(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Kuw, DeterministicForSeed) {
+  const auto h = gen::mixed_arity(200, 500, 2, 4, 13);
+  KuwOptions a;
+  a.seed = 42;
+  const auto ra = kuw_mis(h, a);
+  const auto rb = kuw_mis(h, a);
+  EXPECT_EQ(ra.independent_set, rb.independent_set);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+}
+
+TEST(Kuw, SunflowerExcludesAtMostOnePetalVertexPerEdge) {
+  const auto h = gen::sunflower(2, 2, 15);
+  const auto r = kuw_mis(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  // Any MIS here keeps at least all-but-one vertex of every petal.
+  EXPECT_GE(r.independent_set.size(), 15u);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "hmis/algo/linear_bl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+using algo::is_linear;
+using algo::linear_bl;
+using algo::LinearBlOptions;
+
+TEST(IsLinear, DetectsLinearity) {
+  EXPECT_TRUE(is_linear(make_hypergraph(6, {{0, 1, 2}, {2, 3, 4}, {4, 5, 0}})));
+  EXPECT_FALSE(is_linear(make_hypergraph(4, {{0, 1, 2}, {0, 1, 3}})));
+  EXPECT_TRUE(is_linear(make_hypergraph(3, {})));
+  // Singletons cannot violate linearity.
+  EXPECT_TRUE(is_linear(make_hypergraph(3, {{0}, {1}, {0, 1}})));
+}
+
+TEST(LinearBl, RejectsNonLinearByDefault) {
+  const auto h = make_hypergraph(4, {{0, 1, 2}, {0, 1, 3}});
+  EXPECT_THROW((void)linear_bl(h), util::CheckError);
+  LinearBlOptions opt;
+  opt.validate_linearity = false;
+  const auto r = linear_bl(h, opt);  // still correct, just unchecked
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(LinearBl, UsesAggressiveProbability) {
+  LinearBlOptions opt;
+  EXPECT_DOUBLE_EQ(opt.a_factor, 4.0);
+}
+
+TEST(LinearBl, VerifiedOnPartialSteinerSystems) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto h = gen::linear_random(400, 300, 3, seed);
+    ASSERT_TRUE(is_linear(h));
+    LinearBlOptions opt;
+    opt.seed = seed;
+    const auto r = linear_bl(h, opt);
+    ASSERT_TRUE(r.success) << r.failure_reason;
+    EXPECT_TRUE(verify_mis(h, r.independent_set).ok()) << seed;
+  }
+}
+
+TEST(LinearBl, FasterStagesThanPlainBlOnLinearInputs) {
+  // With a = 4 the marking probability is 2^{d+1}/4 times larger, so stage
+  // counts should not exceed plain BL's (they are usually lower).  We only
+  // assert the runs stay verified and within 2x of each other to keep the
+  // test robust.
+  const auto h = gen::linear_random(600, 500, 3, 7);
+  LinearBlOptions lopt;
+  const auto rl = linear_bl(h, lopt);
+  algo::BlOptions bopt;
+  const auto rb = algo::bl(h, bopt);
+  ASSERT_TRUE(rl.success);
+  ASSERT_TRUE(rb.success);
+  EXPECT_TRUE(verify_mis(h, rl.independent_set).ok());
+  EXPECT_LE(rl.rounds, 2 * rb.rounds + 10);
+}
+
+TEST(LinearBl, MatchingIsTrivial) {
+  // A perfect matching (disjoint edges) is linear; MIS keeps all but one
+  // vertex per edge.
+  const auto h = gen::sunflower(0, 3, 10);
+  ASSERT_TRUE(is_linear(h));
+  const auto r = linear_bl(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set.size(), 20u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "hmis/algo/luby.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+using algo::luby_mis;
+using algo::LubyOptions;
+
+TEST(Luby, RejectsHypergraphs) {
+  const auto h = make_hypergraph(3, {{0, 1, 2}});
+  EXPECT_THROW((void)luby_mis(h), util::CheckError);
+}
+
+TEST(Luby, EmptyGraphTakesAll) {
+  const auto h = make_hypergraph(5, {});
+  const auto r = luby_mis(h);
+  EXPECT_EQ(r.independent_set.size(), 5u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Luby, SingleEdgePicksOne) {
+  const auto h = make_hypergraph(2, {{0, 1}});
+  const auto r = luby_mis(h);
+  EXPECT_EQ(r.independent_set.size(), 1u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Luby, SingletonEdgesExcluded) {
+  const auto h = make_hypergraph(4, {{0}, {0, 1}, {2, 3}});
+  const auto r = luby_mis(h);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  // 0 must be red (singleton); 1 must then be blue (maximality).
+  EXPECT_TRUE(std::binary_search(r.independent_set.begin(),
+                                 r.independent_set.end(), 1u));
+}
+
+TEST(Luby, PathAndCycleGraphs) {
+  const auto path = gen::path_graph(50);
+  const auto rp = luby_mis(path);
+  EXPECT_TRUE(verify_mis(path, rp.independent_set).ok());
+
+  HypergraphBuilder b(20);
+  for (VertexId i = 0; i < 20; ++i) {
+    b.add_edge({i, static_cast<VertexId>((i + 1) % 20)});
+  }
+  const auto cycle = b.build();
+  const auto rc = luby_mis(cycle);
+  EXPECT_TRUE(verify_mis(cycle, rc.independent_set).ok());
+  EXPECT_GE(rc.independent_set.size(), 7u);   // MIS of C_20 is >= ~6.67
+  EXPECT_LE(rc.independent_set.size(), 10u);  // at most n/2
+}
+
+TEST(Luby, RandomGraphsVerifiedAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 7u, 13u}) {
+    const auto h = gen::random_graph(300, 900, seed);
+    LubyOptions opt;
+    opt.seed = seed;
+    const auto r = luby_mis(h, opt);
+    EXPECT_TRUE(r.success);
+    EXPECT_TRUE(verify_mis(h, r.independent_set).ok()) << seed;
+  }
+}
+
+TEST(Luby, RoundCountIsLogarithmic) {
+  // O(log n) rounds w.h.p.; allow a generous constant.
+  const auto h = gen::random_graph(4000, 12000, 3);
+  LubyOptions opt;
+  opt.record_trace = true;
+  const auto r = luby_mis(h, opt);
+  EXPECT_TRUE(r.success);
+  const double logn = std::log2(4000.0);
+  EXPECT_LE(static_cast<double>(r.rounds), 6.0 * logn) << r.rounds;
+  EXPECT_EQ(r.trace.size(), r.rounds);
+}
+
+TEST(Luby, StarGraphTakesLeavesOrCenter) {
+  HypergraphBuilder b(11);
+  for (VertexId leaf = 1; leaf <= 10; ++leaf) b.add_edge({0, leaf});
+  const auto h = b.build();
+  const auto r = luby_mis(h);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  const bool center = std::binary_search(r.independent_set.begin(),
+                                         r.independent_set.end(), 0u);
+  EXPECT_EQ(r.independent_set.size(), center ? 1u : 10u);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "hmis/core/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+
+namespace {
+
+using namespace hmis;
+using core::Algorithm;
+using core::algorithm_name;
+using core::choose_algorithm;
+using core::find_mis;
+using core::FindOptions;
+
+TEST(Facade, NamesAreUniqueAndStable) {
+  EXPECT_EQ(algorithm_name(Algorithm::SBL), "sbl");
+  EXPECT_EQ(algorithm_name(Algorithm::BL), "bl");
+  EXPECT_EQ(algorithm_name(Algorithm::KUW), "kuw");
+  std::set<std::string_view> names;
+  for (const Algorithm a : core::all_algorithms()) {
+    EXPECT_TRUE(names.insert(algorithm_name(a)).second);
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Facade, EveryAlgorithmProducesVerifiedMis) {
+  // A linear, dimension-3 instance every algorithm (incl. LinearBL) accepts.
+  const auto h = gen::linear_random(250, 200, 3, 5);
+  for (const Algorithm a : core::all_algorithms()) {
+    if (a == Algorithm::Luby) continue;  // needs dimension <= 2
+    FindOptions opt;
+    opt.seed = 11;
+    const auto run = find_mis(h, a, opt);
+    ASSERT_TRUE(run.result.success) << algorithm_name(a);
+    EXPECT_TRUE(run.verdict.ok()) << algorithm_name(a);
+  }
+}
+
+TEST(Facade, LubyViaFacadeOnGraphs) {
+  const auto h = gen::random_graph(200, 500, 3);
+  const auto run = find_mis(h, Algorithm::Luby);
+  ASSERT_TRUE(run.result.success);
+  EXPECT_TRUE(run.verdict.ok());
+}
+
+TEST(Facade, AutoPicksLubyForGraphs) {
+  const auto h = gen::random_graph(100, 200, 1);
+  EXPECT_EQ(choose_algorithm(h), Algorithm::Luby);
+  const auto run = find_mis(h, Algorithm::Auto);
+  EXPECT_EQ(run.algorithm, Algorithm::Luby);
+  EXPECT_TRUE(run.verdict.ok());
+}
+
+TEST(Facade, AutoPicksBlForSmallDimension) {
+  const auto h = gen::uniform_random(1000, 2000, 3, 1);
+  EXPECT_EQ(choose_algorithm(h), Algorithm::BL);
+}
+
+TEST(Facade, AutoPicksSblForLargeDimension) {
+  const auto h = gen::mixed_arity(2000, 300, 2, 24, 1);
+  EXPECT_EQ(choose_algorithm(h), Algorithm::SBL);
+  const auto run = find_mis(h, Algorithm::Auto);
+  EXPECT_EQ(run.algorithm, Algorithm::SBL);
+  EXPECT_TRUE(run.verdict.ok());
+}
+
+TEST(Facade, VerifyCanBeDisabled) {
+  const auto h = gen::uniform_random(100, 200, 3, 9);
+  FindOptions opt;
+  opt.verify = false;
+  const auto run = find_mis(h, Algorithm::Greedy, opt);
+  EXPECT_TRUE(run.result.success);
+  // Verdict left default-initialized.
+  EXPECT_FALSE(run.verdict.independent);
+  EXPECT_FALSE(run.verdict.maximal);
+}
+
+TEST(Facade, SeedsPropagate) {
+  const auto h = gen::mixed_arity(400, 800, 2, 4, 13);
+  FindOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ra = find_mis(h, Algorithm::BL, a);
+  const auto rb = find_mis(h, Algorithm::BL, b);
+  EXPECT_NE(ra.result.independent_set, rb.result.independent_set);
+  const auto ra2 = find_mis(h, Algorithm::BL, a);
+  EXPECT_EQ(ra.result.independent_set, ra2.result.independent_set);
+}
+
+TEST(Facade, SblOptionsPassThrough) {
+  const auto h = gen::mixed_arity(1200, 250, 2, 16, 15);
+  FindOptions opt;
+  opt.sbl.base_case = core::SblBaseCase::Greedy;
+  opt.sbl.record_trace = false;
+  const auto run = find_mis(h, Algorithm::SBL, opt);
+  ASSERT_TRUE(run.result.success);
+  EXPECT_TRUE(run.verdict.ok());
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "hmis/conc/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmis/algo/bl.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/degree_stats.hpp"
+#include "hmis/hypergraph/generators.hpp"
+
+namespace {
+
+using namespace hmis;
+using namespace hmis::conc;
+
+TEST(Tail, ProbabilitiesAreMonotoneInThreshold) {
+  const auto h = gen::uniform_random(40, 120, 3, 3);
+  const auto wh = unit_weights(h);
+  const double p = 0.3;
+  const double e = expectation_S(wh, p);
+  const auto tails =
+      estimate_tail(wh, p, {0.5 * e, e, 2.0 * e, 4.0 * e}, 4000, 9);
+  ASSERT_EQ(tails.size(), 4u);
+  for (std::size_t i = 1; i < tails.size(); ++i) {
+    EXPECT_LE(tails[i].probability, tails[i - 1].probability + 1e-12);
+  }
+  // Pr[S > E/2] should be substantial; Pr[S > 4E] small.
+  EXPECT_GT(tails[0].probability, 0.2);
+  EXPECT_LT(tails[3].probability, 0.2);
+}
+
+TEST(Tail, ZeroTrialsHandled) {
+  const auto h = gen::uniform_random(10, 10, 2, 1);
+  const auto wh = unit_weights(h);
+  const auto tails = estimate_tail(wh, 0.5, {1.0}, 0, 1);
+  EXPECT_EQ(tails[0].probability, 0.0);
+  EXPECT_EQ(tails[0].trials, 0u);
+}
+
+TEST(Distribution, SortedAndSizedCorrectly) {
+  const auto h = gen::uniform_random(30, 60, 3, 5);
+  const auto wh = unit_weights(h);
+  const auto samples = sample_S_distribution(wh, 0.4, 500, 11);
+  ASSERT_EQ(samples.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end()));
+  EXPECT_GE(samples.front(), 0.0);
+}
+
+TEST(Survival, Lemma2HoldsAtBlProbability) {
+  // Pr[E_X | C_X] < 1/2 for p = 1/(2^{d+1} Δ) — the engine of BL's
+  // progress guarantee (paper Lemma 2).
+  const auto h = gen::uniform_random(120, 360, 3, 7);
+  const auto stats = compute_degree_stats(h);
+  const double p = algo::bl_probability(stats, 0.0);
+  // X: singletons and one pair from an edge.
+  const auto e0 = h.edge(0);
+  const std::vector<VertexList> xs = {
+      {e0[0]}, {e0[1]}, {e0[0], e0[1]}};
+  for (const auto& x : xs) {
+    VertexList sorted = x;
+    std::sort(sorted.begin(), sorted.end());
+    const auto est = estimate_unmark_probability(h, sorted, p, 4000, 13);
+    EXPECT_LT(est.p_unmark, 0.5) << "x size " << x.size();
+  }
+}
+
+TEST(Survival, HighProbabilityMarkingBreaksTheLemma) {
+  // With p close to 1 every edge through X is fully marked almost surely,
+  // so Pr[E_X|C_X] ≈ 1 — the lemma's hypothesis on p matters.
+  const auto h = gen::uniform_random(60, 240, 3, 9);
+  const auto e0 = h.edge(0);
+  const auto est =
+      estimate_unmark_probability(h, {e0[0]}, 0.95, 2000, 17);
+  EXPECT_GT(est.p_unmark, 0.5);
+}
+
+TEST(Survival, IsolatedVertexNeverUnmarked) {
+  const auto h = make_hypergraph(4, {{1, 2, 3}});
+  const auto est = estimate_unmark_probability(h, {0}, 0.3, 500, 3);
+  EXPECT_DOUBLE_EQ(est.p_unmark, 0.0);
+}
+
+TEST(Survival, DeterministicInSeed) {
+  const auto h = gen::uniform_random(50, 150, 3, 11);
+  const auto a = estimate_unmark_probability(h, {0}, 0.2, 1000, 5);
+  const auto b = estimate_unmark_probability(h, {0}, 0.2, 1000, 5);
+  EXPECT_DOUBLE_EQ(a.p_unmark, b.p_unmark);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(MutableHypergraph, InitialStateMirrorsOriginal) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1, 2}, {2, 3}, {3, 4}});
+  MutableHypergraph mh(h);
+  EXPECT_EQ(mh.num_live_vertices(), 5u);
+  EXPECT_EQ(mh.num_live_edges(), 3u);
+  EXPECT_EQ(mh.max_live_edge_size(), 3u);
+  EXPECT_EQ(mh.total_live_edge_size(), 7u);
+  EXPECT_EQ(mh.live_degree(2), 2u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_TRUE(mh.vertex_live(v));
+}
+
+TEST(MutableHypergraph, ColorBlueShrinksEdges) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1, 2}, {2, 3}});
+  MutableHypergraph mh(h);
+  const VertexId v = 0;
+  mh.color_blue(std::span<const VertexId>(&v, 1));
+  EXPECT_EQ(mh.color(0), Color::Blue);
+  EXPECT_EQ(mh.num_live_vertices(), 4u);
+  const auto e0 = mh.edge(0);
+  EXPECT_EQ(e0.size(), 2u);  // {1, 2}
+  EXPECT_EQ(e0[0], 1u);
+  EXPECT_EQ(e0[1], 2u);
+  EXPECT_EQ(mh.edge(1).size(), 2u);  // untouched
+}
+
+TEST(MutableHypergraph, ColorBlueCompletingEdgeIsChecked) {
+  const Hypergraph h = make_hypergraph(3, {{0, 1}});
+  MutableHypergraph mh(h);
+  const std::vector<VertexId> both = {0, 1};
+  EXPECT_THROW(mh.color_blue(both), util::CheckError);
+}
+
+TEST(MutableHypergraph, ColorRedDeletesIncidentEdges) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1, 2}, {2, 3}, {3, 4}});
+  MutableHypergraph mh(h);
+  const VertexId v = 2;
+  mh.color_red(std::span<const VertexId>(&v, 1));
+  EXPECT_EQ(mh.color(2), Color::Red);
+  EXPECT_EQ(mh.num_live_edges(), 1u);  // only {3,4} remains
+  EXPECT_TRUE(mh.edge_live(2));
+  EXPECT_FALSE(mh.edge_live(0));
+  EXPECT_FALSE(mh.edge_live(1));
+  EXPECT_EQ(mh.live_degree(3), 1u);
+  EXPECT_EQ(mh.live_degree(0), 0u);
+}
+
+TEST(MutableHypergraph, DoubleColoringIsRejected) {
+  const Hypergraph h = make_hypergraph(3, {{0, 1, 2}});
+  MutableHypergraph mh(h);
+  const VertexId v = 0;
+  mh.color_blue(std::span<const VertexId>(&v, 1));
+  EXPECT_THROW(mh.color_blue(std::span<const VertexId>(&v, 1)),
+               util::CheckError);
+  EXPECT_THROW(mh.color_red(std::span<const VertexId>(&v, 1)),
+               util::CheckError);
+}
+
+TEST(MutableHypergraph, SingletonCascadeExcludesAndDeletes) {
+  // {2} is a singleton: 2 must be red and both incident edges vanish.
+  const Hypergraph h = make_hypergraph(4, {{2}, {2, 3}, {0, 1}});
+  MutableHypergraph mh(h);
+  const auto reds = mh.singleton_cascade();
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0], 2u);
+  EXPECT_EQ(mh.color(2), Color::Red);
+  EXPECT_EQ(mh.num_live_edges(), 1u);  // only {0,1}
+  EXPECT_TRUE(mh.vertex_live(3));      // 3 survives: its edge was deleted
+}
+
+TEST(MutableHypergraph, CascadeAfterShrink) {
+  // Coloring 0 blue shrinks {0,2} to {2}; the cascade must then red 2 and
+  // delete {2,3}, leaving 3 live and isolated.
+  const Hypergraph h = make_hypergraph(4, {{0, 2}, {2, 3}});
+  MutableHypergraph mh(h);
+  const VertexId v = 0;
+  mh.color_blue(std::span<const VertexId>(&v, 1));
+  const auto reds = mh.singleton_cascade();
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0], 2u);
+  EXPECT_EQ(mh.num_live_edges(), 0u);
+  EXPECT_TRUE(mh.vertex_live(3));
+  EXPECT_EQ(mh.isolated_live_vertices(), (std::vector<VertexId>{1, 3}));
+}
+
+TEST(MutableHypergraph, DuplicateSingletonsHandled) {
+  HypergraphBuilder b(3);
+  b.dedupe_edges(false);
+  b.add_edge({1});
+  b.add_edge({1});
+  const Hypergraph h = b.build();
+  MutableHypergraph mh(h);
+  const auto reds = mh.singleton_cascade();
+  EXPECT_EQ(reds.size(), 1u);
+  EXPECT_EQ(mh.num_live_edges(), 0u);
+}
+
+TEST(MutableHypergraph, DedupeAndMinimalize) {
+  HypergraphBuilder b(6);
+  b.dedupe_edges(false);
+  b.add_edge({0, 1});
+  b.add_edge({0, 1});        // duplicate
+  b.add_edge({0, 1, 2});     // superset
+  b.add_edge({3, 4, 5});     // kept
+  b.add_edge({4, 5});        // makes previous a superset
+  const Hypergraph h = b.build();
+  MutableHypergraph mh(h);
+  const std::size_t removed = mh.dedupe_and_minimalize();
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(mh.num_live_edges(), 2u);
+}
+
+TEST(MutableHypergraph, IsolatedVertices) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1}});
+  MutableHypergraph mh(h);
+  EXPECT_EQ(mh.isolated_live_vertices(), (std::vector<VertexId>{2, 3, 4}));
+}
+
+TEST(MutableHypergraph, InducedSubgraphKeepsOnlyFullyContainedEdges) {
+  const Hypergraph h =
+      make_hypergraph(6, {{0, 1}, {1, 2}, {2, 3, 4}, {4, 5}});
+  MutableHypergraph mh(h);
+  util::DynamicBitset keep(6);
+  keep.set(0);
+  keep.set(1);
+  keep.set(2);
+  const auto induced = mh.induced_subgraph(keep);
+  EXPECT_EQ(induced.graph.num_vertices(), 3u);
+  EXPECT_EQ(induced.graph.num_edges(), 2u);  // {0,1} and {1,2}
+  EXPECT_EQ(induced.to_original, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(MutableHypergraph, InducedSubgraphTracksShrunkenEdges) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1, 2}});
+  MutableHypergraph mh(h);
+  const VertexId v = 0;
+  mh.color_blue(std::span<const VertexId>(&v, 1));  // edge is now {1,2}
+  util::DynamicBitset keep(4);
+  keep.set(1);
+  keep.set(2);
+  const auto induced = mh.induced_subgraph(keep);
+  EXPECT_EQ(induced.graph.num_edges(), 1u);
+  EXPECT_EQ(induced.graph.edge_size(0), 2u);
+}
+
+TEST(MutableHypergraph, InducedSubgraphExcludesColoredVertices) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}});
+  MutableHypergraph mh(h);
+  const VertexId v = 0;
+  mh.color_red(std::span<const VertexId>(&v, 1));
+  util::DynamicBitset keep(4, true);
+  const auto induced = mh.induced_subgraph(keep);
+  EXPECT_EQ(induced.graph.num_vertices(), 3u);  // 1, 2, 3
+  EXPECT_EQ(induced.graph.num_edges(), 1u);     // {2,3}; {0,1} was deleted
+}
+
+TEST(MutableHypergraph, LiveSnapshotCompacts) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1, 4}, {1, 2}});
+  MutableHypergraph mh(h);
+  const VertexId v = 3;
+  mh.color_red(std::span<const VertexId>(&v, 1));  // 3 isolated: no edges die
+  const auto snap = mh.live_snapshot();
+  EXPECT_EQ(snap.graph.num_vertices(), 4u);
+  EXPECT_EQ(snap.graph.num_edges(), 2u);
+  EXPECT_EQ(snap.to_original, (std::vector<VertexId>{0, 1, 2, 4}));
+}
+
+TEST(MutableHypergraph, BlueVerticesAscending) {
+  const Hypergraph h = make_hypergraph(5, {});
+  MutableHypergraph mh(h);
+  const std::vector<VertexId> vs = {4, 0, 2};
+  mh.color_blue(vs);
+  EXPECT_EQ(mh.blue_vertices(), (std::vector<VertexId>{0, 2, 4}));
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/reduce.hpp"
+#include "hmis/par/scan.hpp"
+#include "hmis/par/sort.hpp"
+#include "hmis/par/thread_pool.hpp"
+#include "hmis/pram/cost_model.hpp"
+
+namespace {
+
+using namespace hmis::par;
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run_chunks(64, [&](std::size_t c) { hits[c].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  int sum = 0;
+  pool.run_chunks(10, [&](std::size_t c) { sum += static_cast<int>(c); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run_chunks(8,
+                      [&](std::size_t c) {
+                        if (c == 5) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  // Pool is still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.run_chunks(4, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.run_chunks(16, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 16);
+  }
+}
+
+TEST(ParallelFor, CoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10000, 0);
+  parallel_for(
+      0, hits.size(), [&](std::size_t i) { hits[i] += 1; }, nullptr, &pool);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelFor, EmptyAndOffsetRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; }, nullptr, &pool);
+  EXPECT_EQ(calls, 0);
+  std::vector<std::size_t> seen;
+  parallel_for(10, 13, [&](std::size_t i) { seen.push_back(i); }, nullptr,
+               &pool);  // tiny range runs serially in order
+  EXPECT_EQ(seen, (std::vector<std::size_t>{10, 11, 12}));
+}
+
+TEST(ParallelFor, MetricsChargeMapDepth) {
+  Metrics m;
+  parallel_for(0, 5000, [](std::size_t) {}, &m);
+  EXPECT_EQ(m.work, 5000u);
+  EXPECT_EQ(m.depth, 1u);
+  EXPECT_EQ(m.calls, 1u);
+}
+
+TEST(Reduce, SumMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  const auto value = [](std::size_t i) { return static_cast<long>(i % 97); };
+  long serial = 0;
+  for (std::size_t i = 0; i < n; ++i) serial += value(i);
+  const long parallel = reduce_sum<long>(0, n, value, nullptr, &pool);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(Reduce, MinMaxAndCount) {
+  ThreadPool pool(3);
+  const std::size_t n = 54321;
+  const auto value = [](std::size_t i) {
+    return static_cast<int>((i * 2654435761u) % 1000003);
+  };
+  int mx = INT_MIN, mn = INT_MAX;
+  std::size_t cnt = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx = std::max(mx, value(i));
+    mn = std::min(mn, value(i));
+    if (value(i) % 3 == 0) ++cnt;
+  }
+  EXPECT_EQ((reduce_max<int>(0, n, INT_MIN, value, nullptr, &pool)), mx);
+  EXPECT_EQ((reduce_min<int>(0, n, INT_MAX, value, nullptr, &pool)), mn);
+  EXPECT_EQ(count_if(0, n, [&](std::size_t i) { return value(i) % 3 == 0; },
+                     nullptr, &pool),
+            cnt);
+}
+
+TEST(Reduce, EmptyRangeReturnsInit) {
+  EXPECT_EQ(reduce_sum<int>(7, 7, [](std::size_t) { return 1; }), 0);
+  EXPECT_EQ((reduce_max<int>(7, 7, -5, [](std::size_t) { return 1; })), -5);
+}
+
+TEST(Reduce, FloatingPointDeterministicAcrossThreadCounts) {
+  // Partials combined in chunk order; identical decomposition => identical
+  // result bit-for-bit on the same pool size, and chunk count is capped by
+  // data size so small inputs match across pools too.
+  const std::size_t n = 200000;
+  const auto value = [](std::size_t i) {
+    return 1.0 / (1.0 + static_cast<double>(i));
+  };
+  ThreadPool p2(2), p2b(2);
+  const double a = reduce_sum<double>(0, n, value, nullptr, &p2);
+  const double b = reduce_sum<double>(0, n, value, nullptr, &p2b);
+  EXPECT_EQ(a, b);  // bitwise equal
+}
+
+TEST(Scan, ExclusiveMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 65537;
+  std::vector<std::uint64_t> out(n);
+  const auto value = [](std::size_t i) {
+    return static_cast<std::uint64_t>(i % 13);
+  };
+  const std::uint64_t total =
+      exclusive_scan<std::uint64_t>(n, value, out.data(), nullptr, &pool);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], acc) << "at " << i;
+    acc += value(i);
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST(Scan, InclusiveMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<int> out(n);
+  const auto value = [](std::size_t i) { return static_cast<int>(i & 7); };
+  inclusive_scan<int>(n, value, out.data(), nullptr, &pool);
+  int acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += value(i);
+    ASSERT_EQ(out[i], acc);
+  }
+}
+
+TEST(Scan, PackIndicesSelectsMatching) {
+  ThreadPool pool(4);
+  const std::size_t n = 40000;
+  const auto pred = [](std::size_t i) { return i % 7 == 3; };
+  const auto packed = pack_indices(n, pred, nullptr, &pool);
+  std::vector<std::uint32_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(i)) expected.push_back(static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(packed, expected);
+}
+
+TEST(Scan, GatherPullsValues) {
+  const std::vector<std::uint32_t> packed = {3, 1, 4, 1, 5};
+  const auto values = [](std::uint32_t i) { return i * 10; };
+  const auto out = gather<std::uint32_t>(packed, values);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{30, 10, 40, 10, 50}));
+}
+
+TEST(Sort, MatchesStdSort) {
+  ThreadPool pool(4);
+  std::mt19937_64 gen(42);
+  std::vector<std::uint64_t> data(200000);
+  for (auto& x : data) x = gen();
+  std::vector<std::uint64_t> expected = data;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(data, std::less<std::uint64_t>{}, nullptr, &pool);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(Sort, CustomComparatorAndSmallInputs) {
+  ThreadPool pool(4);
+  std::vector<int> data = {5, 3, 9, 1};
+  parallel_sort(data, std::greater<int>{}, nullptr, &pool);
+  EXPECT_EQ(data, (std::vector<int>{9, 5, 3, 1}));
+  std::vector<int> empty;
+  parallel_sort(empty, std::less<int>{}, nullptr, &pool);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Sort, OddChunkCounts) {
+  ThreadPool pool(3);
+  std::mt19937 gen(7);
+  std::vector<int> data(50001);
+  for (auto& x : data) x = static_cast<int>(gen() % 1000);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(data, std::less<int>{}, nullptr, &pool);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(Metrics, MergeAndBrent) {
+  Metrics a, b;
+  a.add(100, 4);
+  b.add(300, 6);
+  a.merge(b);
+  EXPECT_EQ(a.work, 400u);
+  EXPECT_EQ(a.depth, 10u);
+  EXPECT_EQ(a.calls, 2u);
+  EXPECT_DOUBLE_EQ(hmis::pram::brent_time(a, 1), 410.0);
+  EXPECT_DOUBLE_EQ(hmis::pram::brent_time(a, 40), 20.0);
+  EXPECT_DOUBLE_EQ(hmis::pram::parallelism(a), 40.0);
+  // P for Brent time <= 2*depth: work/((2-1)*depth) = 40.
+  EXPECT_EQ(hmis::pram::processors_for_depth_limited(a, 2.0), 40u);
+}
+
+TEST(GlobalPool, SetThreadsTakesEffect) {
+  set_global_threads(2);
+  EXPECT_EQ(global_pool().num_threads(), 2u);
+  set_global_threads(1);
+  EXPECT_EQ(global_pool().num_threads(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include "hmis/algo/permutation_mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace {
+
+using namespace hmis;
+using algo::permutation_mis;
+using algo::PermutationOptions;
+
+TEST(PermutationMis, NoEdgesTakesAll) {
+  const auto h = make_hypergraph(6, {});
+  const auto r = permutation_mis(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set.size(), 6u);
+  EXPECT_EQ(r.rounds, 1u);
+}
+
+TEST(PermutationMis, SingleEdgeLeavesOneOut) {
+  const auto h = make_hypergraph(4, {{0, 1, 2, 3}});
+  const auto r = permutation_mis(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set.size(), 3u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(PermutationMis, SingletonsExcludedUpFront) {
+  const auto h = make_hypergraph(4, {{0}, {1, 2}});
+  const auto r = permutation_mis(h);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  EXPECT_FALSE(std::binary_search(r.independent_set.begin(),
+                                  r.independent_set.end(), 0u));
+}
+
+TEST(PermutationMis, VerifiedAcrossFamiliesAndSeeds) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto h1 = gen::uniform_random(300, 900, 3, seed);
+    const auto h2 = gen::mixed_arity(300, 600, 2, 6, seed);
+    PermutationOptions opt;
+    opt.seed = seed;
+    for (const auto* h : {&h1, &h2}) {
+      const auto r = permutation_mis(*h, opt);
+      ASSERT_TRUE(r.success) << r.failure_reason;
+      EXPECT_TRUE(verify_mis(*h, r.independent_set).ok());
+    }
+  }
+}
+
+TEST(PermutationMis, RoundCountModest) {
+  const std::size_t n = 3000;
+  const auto h = gen::uniform_random(n, 3 * n, 3, 7);
+  PermutationOptions opt;
+  opt.record_trace = true;
+  const auto r = permutation_mis(h, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_LE(static_cast<double>(r.rounds),
+            15.0 * std::log2(static_cast<double>(n)))
+      << r.rounds;
+  // Every round adds something.
+  for (const auto& s : r.trace) EXPECT_GE(s.added_blue, 1u);
+}
+
+TEST(PermutationMis, HighDimensionEdges) {
+  const auto h = gen::mixed_arity(200, 300, 3, 30, 5);
+  const auto r = permutation_mis(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(PermutationMis, DeterministicForSeed) {
+  const auto h = gen::mixed_arity(250, 500, 2, 5, 23);
+  PermutationOptions opt;
+  opt.seed = 99;
+  const auto ra = permutation_mis(h, opt);
+  const auto rb = permutation_mis(h, opt);
+  EXPECT_EQ(ra.independent_set, rb.independent_set);
+}
+
+TEST(PermutationMis, IntervalHypergraph) {
+  const auto h = gen::interval(200, 5, 1);
+  const auto r = permutation_mis(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  // Each window of 5 misses at least one vertex, so |I| < n; maximality
+  // keeps red runs short (<= 2), so |I| >= 2n/3 - O(1).
+  EXPECT_LT(r.independent_set.size(), 200u);
+  EXPECT_GE(r.independent_set.size(), 130u);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "hmis/core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+
+namespace {
+
+using namespace hmis;
+using core::Algorithm;
+using core::analyze_instance;
+using core::format_report;
+
+TEST(Planner, ShapeQuantities) {
+  const auto h = make_hypergraph(6, {{0, 1}, {1, 2, 3}, {3, 4, 5}});
+  const auto r = analyze_instance(h);
+  EXPECT_EQ(r.n, 6u);
+  EXPECT_EQ(r.m, 3u);
+  EXPECT_EQ(r.dimension, 3u);
+  EXPECT_EQ(r.min_edge_size, 2u);
+  EXPECT_NEAR(r.avg_edge_size, 8.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.max_degree, 2u);  // vertices 1 and 3
+  ASSERT_EQ(r.edge_size_histogram.size(), 4u);
+  EXPECT_EQ(r.edge_size_histogram[2], 1u);
+  EXPECT_EQ(r.edge_size_histogram[3], 2u);
+}
+
+TEST(Planner, DetectsLinearity) {
+  EXPECT_TRUE(analyze_instance(gen::linear_random(200, 150, 3, 1)).linear);
+  EXPECT_FALSE(
+      analyze_instance(make_hypergraph(4, {{0, 1, 2}, {0, 1, 3}})).linear);
+}
+
+TEST(Planner, RecommendsGreedyForUnconstrained) {
+  const auto r = analyze_instance(make_hypergraph(5, {}));
+  EXPECT_EQ(r.recommended, Algorithm::Greedy);
+}
+
+TEST(Planner, RecommendsLubyForGraphs) {
+  const auto r = analyze_instance(gen::random_graph(200, 500, 3));
+  EXPECT_EQ(r.recommended, Algorithm::Luby);
+}
+
+TEST(Planner, RecommendsLinearBlForLinearInstances) {
+  const auto r = analyze_instance(gen::linear_random(300, 200, 3, 5));
+  EXPECT_EQ(r.recommended, Algorithm::LinearBL);
+}
+
+TEST(Planner, RecommendsBlInsideEnvelope) {
+  // Non-linear, dimension 3, well inside the derived-d envelope.
+  const auto r = analyze_instance(gen::uniform_random(500, 2000, 3, 7));
+  EXPECT_EQ(r.recommended, Algorithm::BL);
+  EXPECT_GT(r.bl_marking_probability, 0.0);
+}
+
+TEST(Planner, RecommendsSblForLargeDimension) {
+  const auto r = analyze_instance(gen::mixed_arity(2000, 300, 2, 24, 9));
+  EXPECT_EQ(r.recommended, Algorithm::SBL);
+  EXPECT_GT(r.predicted_round_bound, 0.0);
+}
+
+TEST(Planner, Theorem1BudgetCheck) {
+  // The asymptotic budget n^{β(n)} is tiny at practical n (≈ 3 at
+  // n = 4000) — the planner must report that honestly rather than
+  // pretending the n^{o(1)} guarantee applies.
+  const auto sparse = analyze_instance(gen::mixed_arity(4000, 2, 2, 20, 3));
+  EXPECT_GT(sparse.theorem1_edge_budget, 1.0);
+  EXPECT_LT(sparse.theorem1_edge_budget, 100.0);
+  EXPECT_TRUE(sparse.within_theorem1_budget);  // m = 2 <= n^beta
+  const auto dense =
+      analyze_instance(gen::mixed_arity(1000, 5000, 2, 12, 3));
+  EXPECT_FALSE(dense.within_theorem1_budget);
+  // Both still get recommendations.
+  EXPECT_EQ(dense.recommended, Algorithm::SBL);
+  EXPECT_NE(dense.rationale.find("EXCEEDS"), std::string::npos);
+}
+
+TEST(Planner, FormatReportMentionsKeyFields) {
+  const auto h = gen::mixed_arity(500, 100, 2, 16, 11);
+  const auto r = analyze_instance(h);
+  const std::string text = format_report(r);
+  EXPECT_NE(text.find("recommended:"), std::string::npos);
+  EXPECT_NE(text.find("Theorem 1 budget"), std::string::npos);
+  EXPECT_NE(text.find("SBL params"), std::string::npos);
+  EXPECT_NE(text.find("n=500"), std::string::npos);
+}
+
+TEST(Planner, LinearityBudgetSkipsHugeChecks) {
+  core::PlannerOptions opt;
+  opt.linearity_pair_budget = 1;  // force the skip
+  const auto r = analyze_instance(gen::linear_random(100, 60, 3, 13), opt);
+  EXPECT_FALSE(r.linear);  // skipped -> conservatively not linear
+}
+
+TEST(Planner, RecommendationIsRunnable) {
+  // Whatever the planner recommends must actually succeed on the instance.
+  for (const std::uint64_t seed : {1u, 2u}) {
+    for (const auto& h :
+         {gen::uniform_random(300, 900, 3, seed),
+          gen::mixed_arity(600, 120, 2, 18, seed),
+          gen::random_graph(300, 600, seed)}) {
+      const auto r = analyze_instance(h);
+      core::FindOptions opt;
+      opt.seed = seed;
+      const auto run = core::find_mis(h, r.recommended, opt);
+      EXPECT_TRUE(run.result.success)
+          << core::algorithm_name(r.recommended);
+      EXPECT_TRUE(run.verdict.ok());
+    }
+  }
+}
+
+}  // namespace

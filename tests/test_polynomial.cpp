@@ -1,0 +1,188 @@
+#include "hmis/conc/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+
+namespace {
+
+using namespace hmis;
+using namespace hmis::conc;
+
+TEST(Polynomial, UnitWeightsMirrorHypergraph) {
+  const auto h = make_hypergraph(4, {{0, 1}, {1, 2, 3}});
+  const auto wh = unit_weights(h);
+  EXPECT_EQ(wh.num_vertices, 4u);
+  ASSERT_EQ(wh.edges.size(), 2u);
+  EXPECT_EQ(wh.weights, (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(wh.dimension(), 3u);
+}
+
+TEST(Polynomial, ExpectationClosedForm) {
+  // E[S] = sum w(e) p^{|e|}.
+  WeightedHypergraph wh;
+  wh.num_vertices = 5;
+  wh.edges = {{0, 1}, {2, 3, 4}};
+  wh.weights = {2.0, 3.0};
+  const double p = 0.25;
+  EXPECT_NEAR(expectation_S(wh, p), 2.0 * 0.0625 + 3.0 * std::pow(0.25, 3),
+              1e-12);
+}
+
+TEST(Polynomial, SampleMeanApproachesExpectation) {
+  const auto h = gen::uniform_random(30, 60, 3, 3);
+  const auto wh = unit_weights(h);
+  const double p = 0.4;
+  const std::uint64_t trials = 20000;
+  double sum = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) sum += sample_S(wh, p, 7, t);
+  const double mean = sum / static_cast<double>(trials);
+  const double expect = expectation_S(wh, p);
+  EXPECT_NEAR(mean, expect, 0.05 * expect + 0.05);
+}
+
+TEST(Polynomial, PartialExpectationConditionsOnX) {
+  // Edges {0,1},{0,2}: P({0}) = 2p; P({1}) = p; P({0,1}) = 1 (+ nothing).
+  WeightedHypergraph wh;
+  wh.num_vertices = 3;
+  wh.edges = {{0, 1}, {0, 2}};
+  wh.weights = {1.0, 1.0};
+  const double p = 0.3;
+  EXPECT_NEAR(partial_expectation(wh, p, {0}), 2 * p, 1e-12);
+  EXPECT_NEAR(partial_expectation(wh, p, {1}), p, 1e-12);
+  EXPECT_NEAR(partial_expectation(wh, p, {0, 1}), 1.0, 1e-12);
+  EXPECT_NEAR(partial_expectation(wh, p, {2}), p, 1e-12);
+}
+
+TEST(Polynomial, DIsMaxOverSubsetsAndAtLeastExpectation) {
+  const auto h = gen::mixed_arity(40, 80, 2, 4, 5);
+  const auto wh = unit_weights(h);
+  const double p = 0.2;
+  const auto d = max_partial_expectation(wh, p);
+  EXPECT_TRUE(d.exact);
+  EXPECT_GE(d.value + 1e-12, expectation_S(wh, p));
+  // D >= P(x) for a few explicit subsets.
+  for (const VertexId v : {0u, 1u, 2u}) {
+    EXPECT_GE(d.value + 1e-12, partial_expectation(wh, p, {v}));
+  }
+  // A full edge always has P >= its weight.
+  EXPECT_GE(d.value + 1e-12, 1.0);
+}
+
+TEST(Polynomial, DExactMatchesBruteForceOnTinyInstance) {
+  WeightedHypergraph wh;
+  wh.num_vertices = 4;
+  wh.edges = {{0, 1}, {1, 2}, {0, 1, 3}};
+  wh.weights = {1.0, 2.0, 4.0};
+  const double p = 0.5;
+  // Brute force over all 15 non-empty subsets of {0..3} plus empty.
+  double best = expectation_S(wh, p);
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    VertexList x;
+    for (unsigned b = 0; b < 4; ++b) {
+      if (mask & (1u << b)) x.push_back(b);
+    }
+    best = std::max(best, partial_expectation(wh, p, x));
+  }
+  const auto d = max_partial_expectation(wh, p);
+  EXPECT_NEAR(d.value, best, 1e-12);
+}
+
+TEST(Polynomial, VarianceDisjointEdgesIsSumOfBernoulliVariances) {
+  // Disjoint edges: S is a sum of independent weighted Bernoullis.
+  WeightedHypergraph wh;
+  wh.num_vertices = 6;
+  wh.edges = {{0, 1}, {2, 3}, {4, 5}};
+  wh.weights = {1.0, 2.0, 3.0};
+  const double p = 0.3;
+  const double q = p * p;
+  const double expected = (1 + 4 + 9) * q * (1 - q);
+  EXPECT_NEAR(variance_S(wh, p), expected, 1e-12);
+}
+
+TEST(Polynomial, VarianceWithOverlapAddsPositiveCovariance) {
+  // Shared vertex: Cov = p^{|e∪f|} - p^{|e|+|f|} > 0.
+  WeightedHypergraph wh;
+  wh.num_vertices = 3;
+  wh.edges = {{0, 1}, {0, 2}};
+  wh.weights = {1.0, 1.0};
+  const double p = 0.5;
+  const double q = 0.25;
+  const double cov = std::pow(p, 3) - std::pow(p, 4);
+  EXPECT_NEAR(variance_S(wh, p), 2 * q * (1 - q) + 2 * cov, 1e-12);
+}
+
+TEST(Polynomial, VarianceMatchesMonteCarlo) {
+  const auto h = gen::uniform_random(25, 50, 3, 7);
+  const auto wh = unit_weights(h);
+  const double p = 0.4;
+  const std::uint64_t trials = 40000;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const double s = sample_S(wh, p, 3, t);
+    sum += s;
+    sum2 += s * s;
+  }
+  const double mean = sum / static_cast<double>(trials);
+  const double var_mc = sum2 / static_cast<double>(trials) - mean * mean;
+  const double var = variance_S(wh, p);
+  EXPECT_NEAR(var_mc, var, 0.08 * var + 0.05);
+}
+
+TEST(Polynomial, ChebyshevThresholdShrinksWithLooserConfidence) {
+  const auto h = gen::uniform_random(30, 60, 3, 9);
+  const auto wh = unit_weights(h);
+  const double tight = chebyshev_threshold(wh, 0.3, 1e-6);
+  const double loose = chebyshev_threshold(wh, 0.3, 1e-2);
+  EXPECT_GT(tight, loose);
+  EXPECT_GE(loose, expectation_S(wh, 0.3));
+}
+
+TEST(MigrationSystem, BuildsLemma4Weights) {
+  // X = {0}; k = 2, j = 1.  Edges of size |X|+2 = 3 through 0:
+  //   {0,1,2}, {0,1,3}  => N_2({0}) = {{1,2},{1,3}}.
+  // (k-j)=1-subsets Y: {1},{2},{3}.
+  // w'({1}) = |N_1({0,1})| = #edges of size 3 containing {0,1} = 2.
+  // w'({2}) = |N_1({0,2})| = 1 ({0,1,2}), w'({3}) = 1.
+  const auto h = make_hypergraph(5, {{0, 1, 2}, {0, 1, 3}, {0, 4}});
+  const auto lists = h.edges_as_lists();
+  const auto wh = migration_system(
+      std::span<const VertexList>(lists.data(), lists.size()), 5, {0}, 1, 2);
+  ASSERT_EQ(wh.edges.size(), 3u);
+  double total_weight = 0.0;
+  double max_weight = 0.0;
+  for (std::size_t i = 0; i < wh.edges.size(); ++i) {
+    EXPECT_EQ(wh.edges[i].size(), 1u);
+    total_weight += wh.weights[i];
+    max_weight = std::max(max_weight, wh.weights[i]);
+  }
+  EXPECT_DOUBLE_EQ(total_weight, 4.0);  // 2 + 1 + 1
+  EXPECT_DOUBLE_EQ(max_weight, 2.0);
+}
+
+TEST(MigrationSystem, EmptyWhenNoBigEdges) {
+  const auto h = make_hypergraph(4, {{0, 1}});
+  const auto lists = h.edges_as_lists();
+  const auto wh = migration_system(
+      std::span<const VertexList>(lists.data(), lists.size()), 4, {0}, 1, 2);
+  EXPECT_TRUE(wh.edges.empty());
+}
+
+TEST(MigrationSystem, KMinusJTwoSubsets) {
+  // X = {0}, k = 3, j = 1: one edge {0,1,2,3} of size 4, N_3 = {{1,2,3}},
+  // 2-subsets: {1,2},{1,3},{2,3}; weights = |N_1(X∪Y)| = #size-4 edges... 0
+  // unless a size-3 edge {0,a,b} ... wait w'(Y) counts edges of size
+  // |X∪Y|+1 = 4 containing X∪Y: that's the edge itself? |X∪Y| = 3, edges of
+  // size 4 ⊇ X∪Y: yes {0,1,2,3}.  So each weight = 1.
+  const auto h = make_hypergraph(5, {{0, 1, 2, 3}});
+  const auto lists = h.edges_as_lists();
+  const auto wh = migration_system(
+      std::span<const VertexList>(lists.data(), lists.size()), 5, {0}, 1, 3);
+  ASSERT_EQ(wh.edges.size(), 3u);
+  for (const double w : wh.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "hmis/pram/kernels.hpp"
+#include "hmis/pram/machine.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis::pram;
+
+TEST(Machine, PokePeekRoundTrip) {
+  Machine m(16);
+  m.poke(3, 42);
+  EXPECT_EQ(m.peek(3), 42);
+  EXPECT_EQ(m.peek(0), 0);
+}
+
+TEST(Machine, SynchronousWrites) {
+  // Reads see the memory state from BEFORE the step even when another
+  // processor writes the cell in the same step.  (Cross-processor
+  // read+write of one cell needs CRCW; the EREW swap below does it in two
+  // exclusive steps.)
+  Machine m(2, Mode::CRCW);
+  m.poke(0, 1);
+  m.step(2, [&](std::size_t p) {
+    if (p == 0) {
+      m.write(p, 0, 42);
+    } else {
+      // Must observe the pre-step value 1, not 42.
+      m.write(p, 1, m.read(p, 0));
+    }
+  });
+  EXPECT_EQ(m.peek(0), 42);
+  EXPECT_EQ(m.peek(1), 1);
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(Machine, ErewSwapInTwoSteps) {
+  // The EREW-legal swap: copy through disjoint temporaries, then write back
+  // crosswise — every cell is touched by exactly one processor per step.
+  Machine m(4, Mode::EREW);
+  m.poke(0, 1);
+  m.poke(1, 2);
+  m.step(2, [&](std::size_t p) { m.write(p, 2 + p, m.read(p, p)); });
+  m.step(2, [&](std::size_t p) { m.write(p, 1 - p, m.read(p, 2 + p)); });
+  EXPECT_EQ(m.peek(0), 2);
+  EXPECT_EQ(m.peek(1), 1);
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(Machine, FlagsConcurrentReadInErewMode) {
+  Machine m(4, Mode::EREW);
+  m.step(2, [&](std::size_t p) { (void)m.read(p, 0); });
+  ASSERT_FALSE(m.clean());
+  EXPECT_EQ(m.violations()[0].kind, "concurrent-read");
+}
+
+TEST(Machine, AllowsConcurrentReadInCrewMode) {
+  Machine m(4, Mode::CREW);
+  m.step(4, [&](std::size_t p) { (void)m.read(p, 0); });
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(Machine, FlagsConcurrentWriteInCrewMode) {
+  Machine m(4, Mode::CREW);
+  m.step(2, [&](std::size_t p) { m.write(p, 1, static_cast<int>(p)); });
+  ASSERT_FALSE(m.clean());
+  EXPECT_EQ(m.violations()[0].kind, "concurrent-write");
+}
+
+TEST(Machine, FlagsReadWriteConflict) {
+  Machine m(4, Mode::CREW);
+  m.step(2, [&](std::size_t p) {
+    if (p == 0) {
+      (void)m.read(p, 2);
+    } else {
+      m.write(p, 2, 9);
+    }
+  });
+  EXPECT_FALSE(m.clean());
+}
+
+TEST(Machine, CrcwFlagsOnlyValueConflicts) {
+  Machine common(4, Mode::CRCW);
+  common.step(3, [&](std::size_t p) { common.write(p, 0, 7); });
+  EXPECT_TRUE(common.clean());  // common-CRCW: same value is fine
+
+  Machine conflict(4, Mode::CRCW);
+  conflict.step(2, [&](std::size_t p) {
+    conflict.write(p, 0, static_cast<int>(p));
+  });
+  EXPECT_FALSE(conflict.clean());
+}
+
+TEST(Machine, StrictModeThrows) {
+  Machine m(4, Mode::EREW, /*strict=*/true);
+  EXPECT_THROW(
+      m.step(2, [&](std::size_t p) { (void)m.read(p, 0); }),
+      hmis::util::CheckError);
+}
+
+TEST(Machine, SameProcessorMayReadAndWriteSameCell) {
+  Machine m(4, Mode::EREW);
+  m.poke(1, 5);
+  m.step(1, [&](std::size_t p) { m.write(p, 1, m.read(p, 1) + 1); });
+  EXPECT_EQ(m.peek(1), 6);
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(Machine, CountsStepsAndAccesses) {
+  Machine m(8);
+  m.step(4, [&](std::size_t p) { m.write(p, p, 1); });
+  m.step(2, [&](std::size_t p) { (void)m.read(p, p); });
+  EXPECT_EQ(m.steps_executed(), 2u);
+  EXPECT_EQ(m.total_writes(), 4u);
+  EXPECT_EQ(m.total_reads(), 2u);
+  EXPECT_EQ(m.max_procs_used(), 4u);
+}
+
+// ---- Kernels under the EREW checker ----------------------------------------
+
+TEST(Kernels, BroadcastIsErewClean) {
+  for (const std::size_t n : {1u, 2u, 7u, 16u, 33u}) {
+    Machine m(1 + n);
+    m.poke(0, 99);
+    broadcast(m, 0, 1, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(m.peek(1 + i), 99) << "n=" << n << " i=" << i;
+    }
+    EXPECT_TRUE(m.clean()) << "n=" << n;
+    // Depth: 1 + ceil(log2 n) doubling steps.
+    const auto log_n = static_cast<std::uint64_t>(
+        std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(n, 2)))));
+    EXPECT_LE(m.steps_executed(), log_n + 2) << "n=" << n;
+  }
+}
+
+TEST(Kernels, ReduceSumMatchesSerialAndIsClean) {
+  for (const std::size_t n : {1u, 2u, 5u, 8u, 31u, 64u}) {
+    Machine m(2 * n + 2);
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      m.poke(i, static_cast<std::int64_t>(i * i + 1));
+      expected += static_cast<std::int64_t>(i * i + 1);
+    }
+    reduce_sum(m, 0, n, /*out=*/2 * n + 1, /*scratch=*/n);
+    EXPECT_EQ(m.peek(2 * n + 1), expected) << "n=" << n;
+    EXPECT_TRUE(m.clean()) << "n=" << n;
+  }
+}
+
+TEST(Kernels, ReduceMaxMatchesSerial) {
+  const std::size_t n = 23;
+  Machine m(2 * n + 2);
+  std::int64_t expected = INT64_MIN;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::int64_t>((i * 7919) % 101);
+    m.poke(i, v);
+    expected = std::max(expected, v);
+  }
+  reduce_max(m, 0, n, 2 * n + 1, n);
+  EXPECT_EQ(m.peek(2 * n + 1), expected);
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(Kernels, ExclusiveScanMatchesSerialAndIsClean) {
+  for (const std::size_t n : {1u, 2u, 3u, 8u, 20u, 64u}) {
+    const std::size_t scratch = 2 * n;
+    Machine m(scratch + scan_scratch_size(n) + 4);
+    std::vector<std::int64_t> input(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      input[i] = static_cast<std::int64_t>((i * 31) % 17);
+      m.poke(i, input[i]);
+    }
+    exclusive_scan(m, 0, n, n, scratch);
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(m.peek(n + i), acc) << "n=" << n << " i=" << i;
+      acc += input[i];
+    }
+    EXPECT_TRUE(m.clean()) << "n=" << n;
+  }
+}
+
+TEST(Kernels, CompactKeepsFlaggedInOrder) {
+  const std::size_t n = 16;
+  // Layout: src[0..n) flags[n..2n) dst[2n..3n) count[3n] scratch[3n+1 ...]
+  Machine m(3 * n + 2 + n + scan_scratch_size(n) + 4);
+  std::vector<std::int64_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.poke(i, static_cast<std::int64_t>(100 + i));
+    const bool keep = (i % 3 == 1);
+    m.poke(n + i, keep ? 1 : 0);
+    if (keep) expected.push_back(static_cast<std::int64_t>(100 + i));
+  }
+  compact(m, 0, n, n, 2 * n, 3 * n, 3 * n + 1);
+  EXPECT_EQ(m.peek(3 * n), static_cast<std::int64_t>(expected.size()));
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(m.peek(2 * n + i), expected[i]);
+  }
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(Kernels, Pow2Helpers) {
+  EXPECT_EQ(pow2_at_least(1), 1u);
+  EXPECT_EQ(pow2_at_least(2), 2u);
+  EXPECT_EQ(pow2_at_least(3), 4u);
+  EXPECT_EQ(pow2_at_least(64), 64u);
+  EXPECT_EQ(pow2_at_least(65), 128u);
+}
+
+}  // namespace

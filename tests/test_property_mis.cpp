@@ -1,0 +1,178 @@
+// Property suite: EVERY algorithm must return a verified maximal independent
+// set on EVERY instance family it supports, across seeds and sizes.  This is
+// the library's central contract; the sweep is parameterized so each
+// (algorithm, family, seed) combination is its own test case.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "hmis/algo/linear_bl.hpp"
+#include "hmis/core/mis.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace {
+
+using namespace hmis;
+using core::Algorithm;
+using core::algorithm_name;
+
+enum class Family {
+  Uniform3,
+  Uniform5,
+  MixedSmall,
+  MixedLarge,
+  Linear,
+  Planted,
+  Graph,
+  Interval,
+  Sunflower,
+  Path,
+  SblRegime,
+};
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::Uniform3: return "uniform3";
+    case Family::Uniform5: return "uniform5";
+    case Family::MixedSmall: return "mixed_small";
+    case Family::MixedLarge: return "mixed_large";
+    case Family::Linear: return "linear";
+    case Family::Planted: return "planted";
+    case Family::Graph: return "graph";
+    case Family::Interval: return "interval";
+    case Family::Sunflower: return "sunflower";
+    case Family::Path: return "path";
+    case Family::SblRegime: return "sbl_regime";
+  }
+  return "?";
+}
+
+Hypergraph make_instance(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::Uniform3:
+      return gen::uniform_random(300, 900, 3, seed);
+    case Family::Uniform5:
+      return gen::uniform_random(300, 600, 5, seed);
+    case Family::MixedSmall:
+      return gen::mixed_arity(300, 700, 2, 5, seed);
+    case Family::MixedLarge:
+      return gen::mixed_arity(400, 250, 2, 24, seed);
+    case Family::Linear:
+      return gen::linear_random(300, 250, 3, seed);
+    case Family::Planted:
+      return gen::planted_mis(300, 900, 3, 0.3, seed);
+    case Family::Graph:
+      return gen::random_graph(300, 700, seed);
+    case Family::Interval:
+      return gen::interval(300, 5, 2);
+    case Family::Sunflower:
+      return gen::sunflower(4, 3, 40);
+    case Family::Path:
+      return gen::path_graph(300);
+    case Family::SblRegime:
+      return gen::sbl_regime(1000, 0.6, 12, seed);
+  }
+  return gen::path_graph(4);
+}
+
+bool family_supported(Algorithm a, Family f, const Hypergraph& h) {
+  (void)f;
+  if (a == Algorithm::Luby) return h.dimension() <= 2;
+  if (a == Algorithm::LinearBL) {
+    return algo::is_linear(h) && h.dimension() <= 8;
+  }
+  if (a == Algorithm::BL) {
+    // Plain BL's marking probability 1/(2^{d+1}Δ) vanishes for large
+    // dimension — exactly the weakness SBL exists to fix (paper §1).  Its
+    // practical envelope is small-dimension instances.
+    return h.dimension() <= 8;
+  }
+  return true;
+}
+
+using Param = std::tuple<Algorithm, Family, std::uint64_t>;
+
+class MisProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MisProperty, ReturnsVerifiedMis) {
+  const auto [algorithm, family, seed] = GetParam();
+  const Hypergraph h = make_instance(family, seed);
+  if (!family_supported(algorithm, family, h)) {
+    GTEST_SKIP() << algorithm_name(algorithm) << " does not support "
+                 << family_name(family);
+  }
+  core::FindOptions opt;
+  opt.seed = seed * 7919 + 13;
+  const auto run = core::find_mis(h, algorithm, opt);
+  ASSERT_TRUE(run.result.success)
+      << algorithm_name(algorithm) << " failed: " << run.result.failure_reason;
+  EXPECT_TRUE(run.verdict.independent)
+      << algorithm_name(algorithm) << " returned a dependent set on "
+      << family_name(family);
+  EXPECT_TRUE(run.verdict.maximal)
+      << algorithm_name(algorithm) << " returned a non-maximal set on "
+      << family_name(family);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [algorithm, family, seed] = info.param;
+  std::string name = std::string(algorithm_name(algorithm)) + "_" +
+                     family_name(family) + "_s" + std::to_string(seed);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllFamilies, MisProperty,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::Greedy, Algorithm::PermutationGreedy,
+                          Algorithm::Luby, Algorithm::BL, Algorithm::LinearBL,
+                          Algorithm::PermutationMIS, Algorithm::KUW,
+                          Algorithm::SBL),
+        ::testing::Values(Family::Uniform3, Family::Uniform5,
+                          Family::MixedSmall, Family::MixedLarge,
+                          Family::Linear, Family::Planted, Family::Graph,
+                          Family::Interval, Family::Sunflower, Family::Path,
+                          Family::SblRegime),
+        ::testing::Values(1u, 2u)),
+    param_name);
+
+// Size sweep for the workhorse algorithms: correctness must be size-blind.
+class MisSizeSweep
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::size_t>> {};
+
+TEST_P(MisSizeSweep, VerifiedAtEverySize) {
+  const auto [algorithm, n] = GetParam();
+  const Hypergraph h = gen::mixed_arity(n, 2 * n, 2, 5, 31);
+  core::FindOptions opt;
+  opt.seed = n;
+  const auto run = core::find_mis(h, algorithm, opt);
+  ASSERT_TRUE(run.result.success) << run.result.failure_reason;
+  EXPECT_TRUE(run.verdict.ok()) << algorithm_name(algorithm) << " n=" << n;
+}
+
+std::string size_param_name(
+    const ::testing::TestParamInfo<std::tuple<Algorithm, std::size_t>>& info) {
+  const auto [algorithm, n] = info.param;
+  std::string name =
+      std::string(algorithm_name(algorithm)) + "_n" + std::to_string(n);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MisSizeSweep,
+    ::testing::Combine(::testing::Values(Algorithm::BL, Algorithm::KUW,
+                                         Algorithm::SBL,
+                                         Algorithm::PermutationMIS),
+                       ::testing::Values(std::size_t{10}, std::size_t{50},
+                                         std::size_t{200}, std::size_t{800})),
+    size_param_name);
+
+}  // namespace

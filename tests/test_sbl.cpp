@@ -1,0 +1,234 @@
+#include "hmis/core/sbl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmis/core/theory.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+
+namespace {
+
+using namespace hmis;
+using core::resolve_sbl_params;
+using core::sbl;
+using core::SblBaseCase;
+using core::SblFailPolicy;
+using core::SblOptions;
+using core::SblParamPolicy;
+
+TEST(SblParams, PracticalPolicyDefaults) {
+  SblOptions opt;
+  const auto params = resolve_sbl_params(100000, 50000, opt);
+  EXPECT_NEAR(params.alpha, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(params.p, std::pow(100000.0, -1.0 / 3.0), 1e-9);
+  EXPECT_GE(params.d, 2u);
+  EXPECT_EQ(params.loop_threshold,
+            core::sbl_loop_threshold(params.p));
+  EXPECT_GT(params.predicted_round_bound, 0.0);
+  // Claim (2) guarantee at the derived d.
+  EXPECT_LE(params.predicted_violation_bound, 1.0 / 100000.0 * 1.01);
+}
+
+TEST(SblParams, OverridesWin) {
+  SblOptions opt;
+  opt.alpha_override = 0.25;
+  opt.d_override = 9;
+  const auto params = resolve_sbl_params(10000, 10000, opt);
+  EXPECT_NEAR(params.alpha, 0.25, 1e-12);
+  EXPECT_EQ(params.d, 9u);
+  opt.p_override = 0.125;
+  const auto params2 = resolve_sbl_params(10000, 10000, opt);
+  EXPECT_NEAR(params2.p, 0.125, 1e-12);
+}
+
+TEST(SblParams, PaperAsymptoticPolicy) {
+  SblOptions opt;
+  opt.param_policy = SblParamPolicy::PaperAsymptotic;
+  const auto params = resolve_sbl_params(65536, 1000, opt);
+  EXPECT_NEAR(params.alpha, 0.5, 1e-9);  // 1/log^(3)(2^16) = 1/2
+  EXPECT_GE(params.d, 2u);               // limit clamped up to 2
+}
+
+TEST(Sbl, NoEdgesReturnsEverything) {
+  const auto h = make_hypergraph(50, {});
+  const auto r = sbl(h);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.independent_set.size(), 50u);
+}
+
+TEST(Sbl, SmallDimensionRunsDirectBl) {
+  // dimension 3 <= derived d => Algorithm 1 line 26 path (single round).
+  const auto h = gen::uniform_random(500, 800, 3, 3);
+  SblOptions opt;
+  opt.record_trace = true;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Sbl, SamplingLoopEngagesOnHighDimension) {
+  // Edges up to size 24 force the sampling path with practical params.
+  const auto h = gen::mixed_arity(3000, 300, 2, 24, 5);
+  SblOptions opt;
+  opt.record_trace = true;
+  opt.check_invariants = true;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.rounds, 1u);
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Sbl, VerifiedAcrossSeedsOnSblRegime) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto h = gen::sbl_regime(2000, 0.6, 16, seed);
+    SblOptions opt;
+    opt.seed = seed;
+    const auto r = sbl(h, opt);
+    ASSERT_TRUE(r.success) << r.failure_reason;
+    EXPECT_TRUE(verify_mis(h, r.independent_set).ok()) << seed;
+  }
+}
+
+TEST(Sbl, GreedyBaseCase) {
+  const auto h = gen::mixed_arity(1500, 200, 2, 20, 7);
+  SblOptions opt;
+  opt.base_case = SblBaseCase::Greedy;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Sbl, RestartAllPolicyStillSucceeds) {
+  const auto h = gen::mixed_arity(1500, 200, 2, 20, 9);
+  SblOptions opt;
+  opt.fail_policy = SblFailPolicy::RestartAll;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Sbl, TightDimensionForcesResamples) {
+  // d_override = 2 on an instance with many size-2..4 edges: samples will
+  // regularly contain a size-3 edge, exercising the resample path.
+  const auto h = gen::mixed_arity(800, 2400, 2, 4, 11);
+  SblOptions opt;
+  opt.d_override = 2;
+  // p chosen so ~75% of draws contain a fully-sampled size-3 edge: the
+  // resample path triggers reliably but each round still succeeds fast.
+  opt.p_override = 0.12;
+  opt.max_resamples_per_round = 500;
+  opt.record_trace = true;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+  EXPECT_GT(r.resamples, 0u);
+}
+
+TEST(Sbl, RoundTraceIsConsistent) {
+  const auto h = gen::mixed_arity(2000, 400, 2, 18, 13);
+  SblOptions opt;
+  opt.record_trace = true;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success);
+  ASSERT_FALSE(r.trace.empty());
+  // Live vertices decrease monotonically across rounds.
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].live_vertices, r.trace[i - 1].live_vertices);
+  }
+  // Sampled vertices all got colored: blue + red == sampled.
+  for (const auto& s : r.trace) {
+    if (s.sampled > 0) {
+      EXPECT_EQ(s.added_blue + s.forced_red, s.sampled);
+    }
+  }
+}
+
+TEST(Sbl, OnRoundCallbackFires) {
+  const auto h = gen::mixed_arity(1500, 300, 2, 16, 15);
+  SblOptions opt;
+  std::size_t calls = 0;
+  opt.on_round = [&](const algo::StageStats&) { ++calls; };
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(calls, r.rounds);
+}
+
+TEST(Sbl, DeterministicForSeed) {
+  const auto h = gen::mixed_arity(1200, 250, 2, 14, 17);
+  SblOptions opt;
+  opt.seed = 7;
+  const auto ra = sbl(h, opt);
+  const auto rb = sbl(h, opt);
+  ASSERT_TRUE(ra.success);
+  EXPECT_EQ(ra.independent_set, rb.independent_set);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+}
+
+TEST(Sbl, PaperAsymptoticPolicyEndToEnd) {
+  // The verbatim asymptotic parameters are degenerate at practical n
+  // (threshold 1/p² ≈ n), but the algorithm must still terminate and be
+  // correct — it just falls through to the base case almost immediately.
+  const auto h = gen::mixed_arity(800, 200, 2, 12, 19);
+  SblOptions opt;
+  opt.param_policy = SblParamPolicy::PaperAsymptotic;
+  opt.seed = 19;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Sbl, POverrideControlsLoopThreshold) {
+  SblOptions opt;
+  opt.p_override = 0.25;
+  const auto params = resolve_sbl_params(10000, 1000, opt);
+  EXPECT_NEAR(params.p, 0.25, 1e-12);
+  EXPECT_EQ(params.loop_threshold, 16u);  // 1/p²
+}
+
+TEST(Sbl, MaxRoundsFailureIsReported) {
+  // d below the instance dimension forces the sampling loop (not the
+  // direct-BL dispatch); p = 0.1 colors ~10% per round, so one round
+  // cannot reach the loop threshold of 100 from n = 500 — a cap of 1 must
+  // trip cleanly.
+  const auto h = gen::mixed_arity(500, 100, 2, 16, 21);
+  SblOptions opt;
+  opt.p_override = 0.1;
+  opt.d_override = 8;  // dimension 16 > 8 => sampling path
+  opt.max_rounds = 1;
+  const auto r = sbl(h, opt);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("max_rounds"), std::string::npos);
+}
+
+TEST(Sbl, SingleVertex) {
+  const auto h = make_hypergraph(1, {});
+  const auto r = sbl(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.independent_set, (std::vector<VertexId>{0}));
+}
+
+TEST(Sbl, InnerBlOptionsPropagate) {
+  // Force the inner BL onto the static-probability path; the run must stay
+  // correct (the options plumb through to every sampled subproblem).
+  const auto h = gen::mixed_arity(1500, 300, 2, 16, 23);
+  SblOptions opt;
+  opt.bl.recompute_probability = false;
+  opt.bl.max_rounds = 500000;
+  const auto r = sbl(h, opt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+TEST(Sbl, SunflowerWithGiantCore) {
+  // A large shared core with big petals: high dimension, heavy overlap.
+  const auto h = gen::sunflower(10, 8, 60);
+  const auto r = sbl(h);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
+}
+
+}  // namespace

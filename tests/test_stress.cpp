@@ -1,0 +1,236 @@
+// Randomized stress tests against brute-force reference models.  These
+// catch bookkeeping drift (live counts, degrees, shrunken edges) that
+// example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/degree_stats.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+#include "hmis/par/scan.hpp"
+#include "hmis/par/sort.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+
+namespace {
+
+using namespace hmis;
+
+// ---- Reference model for the residual hypergraph ---------------------------
+
+struct ReferenceModel {
+  std::vector<std::set<VertexId>> edges;  // live edges (empty set = dead)
+  std::vector<int> color;                 // 0 none, 1 blue, 2 red
+
+  explicit ReferenceModel(const Hypergraph& h)
+      : color(h.num_vertices(), 0) {
+    for (EdgeId e = 0; e < h.num_edges(); ++e) {
+      const auto verts = h.edge(e);
+      edges.emplace_back(verts.begin(), verts.end());
+    }
+    alive.assign(edges.size(), true);
+  }
+
+  std::vector<bool> alive;
+
+  void blue(VertexId v) {
+    color[v] = 1;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (alive[e]) edges[e].erase(v);
+    }
+  }
+  void red(VertexId v) {
+    color[v] = 2;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (alive[e] && edges[e].contains(v)) alive[e] = false;
+    }
+  }
+  [[nodiscard]] std::size_t live_edges() const {
+    std::size_t c = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (alive[e]) ++c;
+    }
+    return c;
+  }
+  [[nodiscard]] std::size_t live_vertices() const {
+    std::size_t c = 0;
+    for (const int col : color) {
+      if (col == 0) ++c;
+    }
+    return c;
+  }
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    std::size_t c = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (alive[e] && edges[e].contains(v)) ++c;
+    }
+    return c;
+  }
+};
+
+TEST(Stress, MutableHypergraphMatchesReferenceModel) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto h = gen::mixed_arity(60, 140, 2, 5, seed);
+    MutableHypergraph mh(h);
+    ReferenceModel ref(h);
+    util::Xoshiro256ss rng(seed * 7919);
+
+    for (int step = 0; step < 40 && mh.num_live_vertices() > 0; ++step) {
+      // Pick a random live vertex.
+      const auto live = mh.live_vertices();
+      const VertexId v = live[rng.below(live.size())];
+      // Blue only if no live edge would become empty ({v} singleton).
+      bool would_violate = false;
+      for (const EdgeId e : mh.live_edges()) {
+        const auto verts = mh.edge(e);
+        if (verts.size() == 1 && verts[0] == v) {
+          would_violate = true;
+          break;
+        }
+      }
+      if (!would_violate && rng.below(2) == 0) {
+        mh.color_blue(std::span<const VertexId>(&v, 1));
+        ref.blue(v);
+      } else {
+        mh.color_red(std::span<const VertexId>(&v, 1));
+        ref.red(v);
+      }
+
+      // Cross-check every invariant the algorithms rely on.
+      ASSERT_EQ(mh.num_live_vertices(), ref.live_vertices());
+      ASSERT_EQ(mh.num_live_edges(), ref.live_edges());
+      for (const EdgeId e : mh.live_edges()) {
+        const auto verts = mh.edge(e);
+        const std::set<VertexId> got(verts.begin(), verts.end());
+        ASSERT_TRUE(ref.alive[e]);
+        ASSERT_EQ(got, ref.edges[e]) << "edge " << e;
+      }
+      for (const VertexId u : mh.live_vertices()) {
+        ASSERT_EQ(mh.live_degree(u), ref.degree(u)) << "vertex " << u;
+      }
+    }
+  }
+}
+
+// ---- Degree statistics vs naive enumeration --------------------------------
+
+/// Naive Δ(H): enumerate every subset of every edge via sets (slow, obvious).
+double naive_delta(const std::vector<VertexList>& edges) {
+  std::map<std::pair<std::vector<VertexId>, std::size_t>, std::uint64_t>
+      counts;
+  for (const auto& e : edges) {
+    const std::size_t s = e.size();
+    if (s < 2) continue;
+    for (std::uint32_t mask = 1; mask < (1u << s) - 1; ++mask) {
+      std::vector<VertexId> x;
+      for (std::size_t b = 0; b < s; ++b) {
+        if (mask & (1u << b)) x.push_back(e[b]);
+      }
+      ++counts[{x, s}];
+    }
+  }
+  double delta = 0.0;
+  for (const auto& [key, count] : counts) {
+    const std::size_t j = key.second - key.first.size();
+    if (j >= 1) {
+      delta = std::max(delta, std::pow(static_cast<double>(count),
+                                       1.0 / static_cast<double>(j)));
+    }
+  }
+  return delta;
+}
+
+TEST(Stress, DegreeStatsMatchNaiveEnumeration) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto h = gen::mixed_arity(30, 60, 2, 5, seed);
+    const auto lists = h.edges_as_lists();
+    const auto stats = compute_degree_stats(
+        std::span<const VertexList>(lists.data(), lists.size()));
+    ASSERT_TRUE(stats.exact);
+    EXPECT_NEAR(stats.delta, naive_delta(lists), 1e-9) << "seed " << seed;
+  }
+}
+
+// ---- Parallel primitive fuzz sweeps ----------------------------------------
+
+class ScanFuzz : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanFuzz, MatchesSerialAtAwkwardSizes) {
+  const std::size_t n = GetParam();
+  par::ThreadPool pool(3);
+  std::vector<std::uint64_t> out(n);
+  const auto value = [](std::size_t i) {
+    return util::splitmix64(i) % 11;
+  };
+  const auto total =
+      par::exclusive_scan<std::uint64_t>(n, value, out.data(), nullptr, &pool);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], acc) << "n=" << n << " i=" << i;
+    acc += value(i);
+  }
+  EXPECT_EQ(total, acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(AwkwardSizes, ScanFuzz,
+                         ::testing::Values(1, 2, 3, 63, 64, 65, 1023, 1024,
+                                           1025, 4097, 12289));
+
+class SortFuzz : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortFuzz, MatchesStdSortAtAwkwardSizes) {
+  const std::size_t n = GetParam();
+  par::ThreadPool pool(5);
+  std::vector<std::uint32_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint32_t>(util::splitmix64(i ^ n) % 997);
+  }
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  par::parallel_sort(data, std::less<std::uint32_t>{}, nullptr, &pool);
+  EXPECT_EQ(data, expected) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AwkwardSizes, SortFuzz,
+                         ::testing::Values(0, 1, 2, 5, 4095, 4096, 4097,
+                                           8191, 12288, 20000));
+
+// ---- Generator + algorithm fuzz: tiny instances, many seeds ---------------
+
+TEST(Stress, TinyInstancesManySeeds) {
+  // Tiny hypergraphs exercise boundary paths (single vertex, all-red,
+  // immediate termination) that big sweeps rarely hit.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const std::size_t n = 2 + seed % 7;
+    const std::size_t arity = 2 + seed % 3;
+    if (arity > n) continue;
+    const std::size_t m = 1 + seed % 5;
+    Hypergraph h;
+    try {
+      h = gen::uniform_random(n, m, arity, seed);
+    } catch (const util::CheckError&) {
+      continue;  // requested more distinct edges than exist — fine
+    }
+    for (const auto a : {core::Algorithm::BL, core::Algorithm::KUW,
+                         core::Algorithm::SBL,
+                         core::Algorithm::PermutationMIS}) {
+      core::FindOptions opt;
+      opt.seed = seed;
+      const auto run = core::find_mis(h, a, opt);
+      ASSERT_TRUE(run.result.success)
+          << core::algorithm_name(a) << " seed=" << seed;
+      ASSERT_TRUE(run.verdict.ok())
+          << core::algorithm_name(a) << " seed=" << seed << " n=" << n
+          << " m=" << m << " arity=" << arity;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "hmis/core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmis/util/math.hpp"
+
+namespace {
+
+using namespace hmis::core;
+
+TEST(Theory, AlphaBetaFormulas) {
+  // n = 2^65536 would be needed for "nice" values; verify the formulas
+  // mechanically instead.  n = 2^16: log2=16, log^(2)=4, log^(3)=2.
+  const double n = 65536.0;
+  EXPECT_NEAR(paper_alpha(n), 0.5, 1e-12);
+  EXPECT_NEAR(paper_beta(n), 4.0 / (8.0 * 4.0), 1e-12);  // = 1/8
+  EXPECT_NEAR(paper_edge_bound(n), std::pow(n, 0.125), 1e-6);
+  EXPECT_NEAR(bl_dimension_limit(n), 4.0 / 8.0, 1e-12);
+  EXPECT_NEAR(paper_runtime_bound(n), std::pow(n, 1.0), 1e-6);
+}
+
+TEST(Theory, AsymptoticDimensionIsTinyAtPracticalScale) {
+  // The motivating observation for the Practical parameter policy.
+  EXPECT_LT(bl_dimension_limit(1e6), 1.3);
+  EXPECT_LT(bl_dimension_limit(1e9), 1.5);
+}
+
+TEST(Theory, SamplingProbability) {
+  EXPECT_NEAR(sampling_probability(1e6, 1.0 / 3.0), 0.01, 1e-9);
+  EXPECT_NEAR(sampling_probability(256.0, 0.5), 1.0 / 16.0, 1e-12);
+  // Clamped.
+  EXPECT_LE(sampling_probability(1e30, 2.0), 1.0);
+  EXPECT_GT(sampling_probability(1e30, 2.0), 0.0);
+}
+
+TEST(Theory, RoundBound) {
+  // r = 2 log2(n) / p.
+  EXPECT_NEAR(round_bound(1024.0, 0.1), 2.0 * 10.0 / 0.1, 1e-9);
+}
+
+TEST(Theory, DerivedDimensionControlsViolations) {
+  const double n = 1e5, m = 1e5;
+  const double p = sampling_probability(n, 1.0 / 3.0);
+  const std::size_t d = derived_dimension(n, m, p);
+  EXPECT_GE(d, 2u);
+  // With the derived d, the violation bound must be <= 1/n (claim (2)).
+  const double bound =
+      dimension_violation_bound(n, m, p, static_cast<double>(d));
+  EXPECT_LE(bound, 1.0 / n * 1.001);
+  // One dimension lower would violate the target (not necessarily, but the
+  // derived d is the smallest integer satisfying it up to ceil rounding).
+  const double looser =
+      dimension_violation_bound(n, m, p, static_cast<double>(d) - 2.0);
+  EXPECT_GT(looser, bound);
+}
+
+TEST(Theory, LoopThreshold) {
+  EXPECT_EQ(sbl_loop_threshold(0.1), 100u);
+  EXPECT_EQ(sbl_loop_threshold(0.5), 4u);
+  EXPECT_EQ(sbl_loop_threshold(1.0), 1u);
+  EXPECT_GE(sbl_loop_threshold(0.0), 1u);
+}
+
+TEST(Theory, RoundProgressFailureBound) {
+  EXPECT_NEAR(round_progress_failure_bound(0.1, 800.0), std::exp(-10.0),
+              1e-15);
+  // Inside the loop n_i >= 1/p^2, so the bound is at most e^{-1/(8p)}.
+  const double p = 0.05;
+  const double at_threshold = round_progress_failure_bound(p, 1.0 / (p * p));
+  EXPECT_NEAR(at_threshold, std::exp(-1.0 / (8.0 * p)), 1e-15);
+}
+
+TEST(Theory, EdgeBoundMonotoneInN) {
+  EXPECT_LT(paper_edge_bound(1e4), paper_edge_bound(1e8));
+}
+
+TEST(Theory, DerivedDimensionMonotonicity) {
+  // More edges or larger p (slower-decaying sample) require a larger d to
+  // keep violations below 1/n.
+  const double n = 1e5;
+  const double p = 0.05;
+  EXPECT_LE(derived_dimension(n, 1e3, p), derived_dimension(n, 1e6, p));
+  EXPECT_LE(derived_dimension(n, 1e5, 0.01), derived_dimension(n, 1e5, 0.2));
+}
+
+TEST(Theory, ViolationBoundDecreasesInD) {
+  const double n = 1e4, m = 1e4, p = 0.1;
+  double prev = dimension_violation_bound(n, m, p, 2.0);
+  for (double d = 3.0; d <= 10.0; d += 1.0) {
+    const double cur = dimension_violation_bound(n, m, p, d);
+    EXPECT_LT(cur, prev) << d;
+    prev = cur;
+  }
+}
+
+TEST(Theory, RoundBoundMonotonicities) {
+  EXPECT_LT(round_bound(1e4, 0.1), round_bound(1e8, 0.1));  // grows in n
+  EXPECT_GT(round_bound(1e4, 0.01), round_bound(1e4, 0.1)); // shrinks in p
+}
+
+TEST(Theory, ParamsAreSelfConsistentAcrossScales) {
+  // For every n in a wide sweep the practical-policy params must satisfy
+  // the relations the algorithm relies on: threshold = 1/p², d >= 2,
+  // violation bound <= 1/n.
+  for (const double n : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+    const double m = n;  // worst case the policy is asked to cover
+    const double p = sampling_probability(n, 1.0 / 3.0);
+    const std::size_t d = derived_dimension(n, m, p);
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(dimension_violation_bound(n, m, p, static_cast<double>(d)),
+              1.0 / n * 1.01)
+        << "n=" << n;
+  }
+}
+
+}  // namespace

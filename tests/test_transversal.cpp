@@ -1,0 +1,84 @@
+#include "hmis/hypergraph/transversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+
+util::DynamicBitset bits_of(const Hypergraph& h,
+                            std::span<const VertexId> set) {
+  util::DynamicBitset b(h.num_vertices());
+  for (const VertexId v : set) b.set(v);
+  return b;
+}
+
+TEST(Transversal, ComplementOf) {
+  const auto h = make_hypergraph(5, {});
+  const std::vector<VertexId> set = {1, 3};
+  EXPECT_EQ(complement_of(h, set), (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(complement_of(h, {}), (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Transversal, IsTransversalBasics) {
+  const auto h = make_hypergraph(4, {{0, 1}, {2, 3}});
+  const std::vector<VertexId> good = {0, 2};
+  const std::vector<VertexId> bad = {0, 1};
+  EXPECT_TRUE(is_transversal(h, bits_of(h, good)));
+  EXPECT_FALSE(is_transversal(h, bits_of(h, bad)));  // misses {2,3}
+  // Empty cover: only a transversal when there are no edges.
+  EXPECT_FALSE(is_transversal(h, bits_of(h, {})));
+  const auto empty = make_hypergraph(3, {});
+  EXPECT_TRUE(is_transversal(empty, bits_of(empty, {})));
+}
+
+TEST(Transversal, MinimalityDetection) {
+  const auto h = make_hypergraph(4, {{0, 1}, {2, 3}});
+  // {0, 2} minimal; {0, 1, 2} not (1 redundant).
+  EXPECT_TRUE(is_minimal_transversal(h, bits_of(h, {{0, 2}})));
+  EXPECT_FALSE(is_minimal_transversal(h, bits_of(h, {{0, 1, 2}})));
+  // Non-transversal is never a minimal transversal.
+  EXPECT_FALSE(is_minimal_transversal(h, bits_of(h, {{0}})));
+}
+
+TEST(Transversal, MisComplementIsMinimalTransversal) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto h = gen::mixed_arity(200, 500, 2, 5, seed);
+    for (const auto a : {core::Algorithm::Greedy, core::Algorithm::BL,
+                         core::Algorithm::SBL}) {
+      core::FindOptions opt;
+      opt.seed = seed;
+      const auto run = core::find_mis(h, a, opt);
+      ASSERT_TRUE(run.verdict.ok());
+      const auto cover = transversal_from_mis(
+          h, std::span<const VertexId>(run.result.independent_set.data(),
+                                       run.result.independent_set.size()));
+      EXPECT_TRUE(is_minimal_transversal(h, bits_of(h, cover)))
+          << core::algorithm_name(a) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Transversal, SingletonEdgesForceTheirVertexIntoEveryTransversal) {
+  const auto h = make_hypergraph(3, {{1}});
+  const auto run = core::find_mis(h, core::Algorithm::Greedy);
+  ASSERT_TRUE(run.verdict.ok());
+  const auto cover = transversal_from_mis(
+      h, std::span<const VertexId>(run.result.independent_set.data(),
+                                   run.result.independent_set.size()));
+  EXPECT_EQ(cover, (std::vector<VertexId>{1}));
+  EXPECT_TRUE(is_minimal_transversal(h, bits_of(h, cover)));
+}
+
+TEST(Transversal, RejectsOutOfRangeVertices) {
+  const auto h = make_hypergraph(3, {});
+  const std::vector<VertexId> bad = {7};
+  EXPECT_THROW((void)complement_of(h, bad), util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "hmis/util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using hmis::util::DynamicBitset;
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetResetAssign) {
+  DynamicBitset b(130);  // spans three words
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+  b.assign(63, true);
+  EXPECT_TRUE(b.test(63));
+  b.assign(63, false);
+  EXPECT_FALSE(b.test(63));
+}
+
+TEST(DynamicBitset, InitialValueTrueRespectsTail) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  b.resize(3, true);
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, SetAllClearAll) {
+  DynamicBitset b(100);
+  b.set_all();
+  EXPECT_EQ(b.count(), 100u);
+  EXPECT_TRUE(b.any());
+  b.clear_all();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynamicBitset, ToIndicesAscending) {
+  DynamicBitset b(200);
+  const std::vector<std::uint32_t> want = {0, 5, 63, 64, 65, 128, 199};
+  for (const auto i : want) b.set(i);
+  EXPECT_EQ(b.to_indices(), want);
+}
+
+TEST(DynamicBitset, EqualityComparesSizeAndBits) {
+  DynamicBitset a(64), b(64), c(65);
+  a.set(3);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  b.set(4);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DynamicBitset, AtomicSetFromManyThreads) {
+  DynamicBitset b(4096);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&b, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < 4096; i += 4) {
+        b.set_atomic(i);
+      }
+      // Also hammer a shared bit to exercise idempotence.
+      for (int k = 0; k < 1000; ++k) b.set_atomic(7);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(b.count(), 4096u);
+}
+
+TEST(DynamicBitset, ZeroSize) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_TRUE(b.to_indices().empty());
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include "hmis/util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace hmis::util;
+
+TEST(ClampedLog, MatchesLog2AboveClamp) {
+  EXPECT_DOUBLE_EQ(clog2(1024.0), 10.0);
+  EXPECT_DOUBLE_EQ(clog2(65536.0), 16.0);
+}
+
+TEST(ClampedLog, ClampsSmallAndInvalidArguments) {
+  EXPECT_EQ(clog2(1.0), kMinLogValue);
+  EXPECT_EQ(clog2(0.5), kMinLogValue);
+  EXPECT_EQ(clog2(0.0), kMinLogValue);
+  EXPECT_EQ(clog2(-3.0), kMinLogValue);
+}
+
+TEST(IteratedLog, ComposesCorrectly) {
+  // log^(2)(2^16) = log2(16) = 4;  log^(3)(2^16) = 2.
+  EXPECT_DOUBLE_EQ(ilog2(65536.0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(ilog2(65536.0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(loglog2(65536.0), 4.0);
+  EXPECT_DOUBLE_EQ(logloglog2(65536.0), 2.0);
+}
+
+TEST(IntegerLogs, FloorAndCeil) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Factorial, SmallValues) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+TEST(Factorial, OverflowsToInfinity) {
+  EXPECT_TRUE(std::isinf(factorial(200)));
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 11), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(52, 5), 2598960.0);
+}
+
+TEST(KelsenF, CorrectedRecurrence) {
+  // F(1) = 0, F(i) = i*F(i-1) + d^2.
+  const double d = 3.0;
+  const auto F = kelsen_F(5, d);
+  EXPECT_DOUBLE_EQ(F[1], 0.0);
+  EXPECT_DOUBLE_EQ(F[2], 9.0);            // 2*0 + 9
+  EXPECT_DOUBLE_EQ(F[3], 3 * 9.0 + 9.0);  // 36
+  EXPECT_DOUBLE_EQ(F[4], 4 * 36.0 + 9.0); // 153
+  EXPECT_DOUBLE_EQ(F[5], 5 * 153.0 + 9.0);
+}
+
+TEST(KelsenF, OriginalRecurrenceUsesSeven) {
+  const auto F = kelsen_F_original(4);
+  EXPECT_DOUBLE_EQ(F[2], 7.0);
+  EXPECT_DOUBLE_EQ(F[3], 3 * 7.0 + 7.0);
+  EXPECT_DOUBLE_EQ(F[4], 4 * 28.0 + 7.0);
+}
+
+TEST(KelsenSmallF, ConsistentWithF) {
+  // F(i) - i*F(i-1) should equal d^2 for i >= 2, and f should satisfy
+  // f(i) = (i-1) * sum_{j=2..i-1} f(j) + d^2.
+  const double d = 4.0;
+  const auto F = kelsen_F(6, d);
+  const auto f = kelsen_f(6, d);
+  for (int i = 2; i <= 6; ++i) {
+    EXPECT_NEAR(F[i] - i * F[i - 1], d * d, 1e-9) << i;
+  }
+  EXPECT_DOUBLE_EQ(f[2], 16.0);
+  EXPECT_DOUBLE_EQ(f[3], 2 * 16.0 + 16.0);
+  // f(4) = 3*(f(2)+f(3)) + 16
+  EXPECT_DOUBLE_EQ(f[4], 3 * (16.0 + 48.0) + 16.0);
+}
+
+TEST(KelsenSmallF, PartialSumsReconstructF) {
+  // F(i) = sum_{j=2..i} f(j) holds for the f/F pair as defined in Kelsen:
+  // F(i) = i*F(i-1) + d^2 and f(i) = (i-1)*sum_{j<i} f(j) + d^2 imply both
+  // track the same "total offset" sequence.
+  const double d = 2.0;
+  const auto F = kelsen_F(5, d);
+  const auto f = kelsen_f(5, d);
+  double sum = 0.0;
+  for (int i = 2; i <= 5; ++i) {
+    sum += f[i];
+    EXPECT_NEAR(F[i], sum, 1e-9) << "i=" << i;
+  }
+}
+
+TEST(BlStageBound, ExponentIsFactorial) {
+  EXPECT_NEAR(bl_stage_bound_exponent(3.0), 5040.0, 1e-6);  // (3+4)! = 7!
+  EXPECT_NEAR(bl_stage_bound_exponent(0.0), 24.0, 1e-9);    // 4!
+}
+
+TEST(Chernoff, MatchesClosedForm) {
+  // Pr[X <= pn - a] <= exp(-a^2/(2pn))
+  EXPECT_NEAR(chernoff_lower_tail(100, 0.5, 10), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(chernoff_lower_tail(0, 0.5, 10), 1.0);
+  EXPECT_DOUBLE_EQ(chernoff_lower_tail(100, 0.5, 0), 1.0);
+}
+
+TEST(KelsenQj, GrowsWithJ) {
+  const double n = 1 << 20;
+  const double d = 4.0;
+  EXPECT_GT(kelsen_qj(n, d, 3), kelsen_qj(n, d, 2));
+  EXPECT_GT(kelsen_qj(n, d, 4), kelsen_qj(n, d, 3));
+}
+
+TEST(SaturatingRound, Saturates) {
+  EXPECT_EQ(saturating_round(-1.0), 0u);
+  EXPECT_EQ(saturating_round(2.4), 2u);
+  EXPECT_EQ(saturating_round(2.6), 3u);
+  EXPECT_EQ(saturating_round(1e30), UINT64_MAX);
+}
+
+}  // namespace

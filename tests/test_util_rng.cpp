@@ -1,0 +1,138 @@
+#include "hmis/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using hmis::util::CounterRng;
+using hmis::util::mix64;
+using hmis::util::splitmix64;
+using hmis::util::Xoshiro256ss;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Mix64, AvalanchesLowEntropyInputs) {
+  // Consecutive integers should differ in roughly half their output bits.
+  int total_bits = 0;
+  const int samples = 256;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t a = mix64(static_cast<std::uint64_t>(i));
+    const std::uint64_t b = mix64(static_cast<std::uint64_t>(i + 1));
+    total_bits += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_bits) / samples;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Xoshiro, ReproducibleForSameSeed) {
+  Xoshiro256ss a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256ss rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BelowIsUnbiasedAcrossSmallRange) {
+  Xoshiro256ss rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 0.08 * n / 10.0);
+  }
+}
+
+TEST(Xoshiro, BelowZeroAndOne) {
+  Xoshiro256ss rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(CounterRng, PureFunctionOfCoordinates) {
+  const CounterRng rng(123);
+  EXPECT_EQ(rng.bits(5, 17), rng.bits(5, 17));
+  EXPECT_NE(rng.bits(5, 17), rng.bits(5, 18));
+  EXPECT_NE(rng.bits(5, 17), rng.bits(6, 17));
+}
+
+TEST(CounterRng, SeedChangesEverything) {
+  const CounterRng a(1), b(2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (a.bits(0, i) == b.bits(0, i)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, BernoulliFrequencyMatchesP) {
+  const CounterRng rng(99);
+  for (const double p : {0.01, 0.25, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(p, 0, static_cast<std::uint64_t>(i))) ++hits;
+    }
+    const double freq = static_cast<double>(hits) / n;
+    EXPECT_NEAR(freq, p, 3.0 * std::sqrt(p * (1 - p) / n) + 1e-3)
+        << "p=" << p;
+  }
+}
+
+TEST(CounterRng, StreamsAreIndependent) {
+  // Correlation between the same counters on two streams should be tiny.
+  const CounterRng rng(5);
+  int agree = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const bool a = rng.bernoulli(0.5, 1, static_cast<std::uint64_t>(i));
+    const bool b = rng.bernoulli(0.5, 2, static_cast<std::uint64_t>(i));
+    if (a == b) ++agree;
+  }
+  EXPECT_NEAR(agree, n / 2, 4 * std::sqrt(n / 4.0));
+}
+
+TEST(CounterRng, ChildRngDiffersFromParent) {
+  const CounterRng parent(77);
+  const CounterRng child = parent.child(1);
+  EXPECT_NE(parent.seed(), child.seed());
+  EXPECT_NE(parent.bits(0, 0), child.bits(0, 0));
+  // Distinct tags give distinct children.
+  EXPECT_NE(parent.child(1).seed(), parent.child(2).seed());
+}
+
+TEST(CounterRng, PrioritiesFormDistinctKeys) {
+  const CounterRng rng(31337);
+  std::set<std::uint64_t> keys;
+  for (std::uint64_t v = 0; v < 4096; ++v) keys.insert(rng.priority(0, v));
+  EXPECT_EQ(keys.size(), 4096u);  // collisions astronomically unlikely
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "hmis/hypergraph/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+
+TEST(Validate, EmptySetIsIndependentButRarelyMaximal) {
+  const Hypergraph h = make_hypergraph(3, {{0, 1}});
+  const auto verdict = verify_mis(h, std::initializer_list<VertexId>{});
+  EXPECT_TRUE(verdict.independent);
+  EXPECT_FALSE(verdict.maximal);  // 2 (or 0/1 alone) could be added
+}
+
+TEST(Validate, DetectsViolatedEdge) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}});
+  const std::vector<VertexId> set = {0, 1, 3};
+  const auto verdict = verify_mis(h, set);
+  EXPECT_FALSE(verdict.independent);
+  ASSERT_TRUE(verdict.violating_edge.has_value());
+  EXPECT_EQ(*verdict.violating_edge, 0u);
+}
+
+TEST(Validate, DetectsAddableVertex) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1, 2}});
+  const std::vector<VertexId> set = {0};  // 3 is free; 1,2 are also addable
+  const auto verdict = verify_mis(h, set);
+  EXPECT_TRUE(verdict.independent);
+  EXPECT_FALSE(verdict.maximal);
+  ASSERT_TRUE(verdict.addable_vertex.has_value());
+}
+
+TEST(Validate, AcceptsProperMis) {
+  // Edge {0,1,2}: {0,1,3} leaves the edge one short and covers 3.
+  const Hypergraph h = make_hypergraph(4, {{0, 1, 2}});
+  const std::vector<VertexId> set = {0, 1, 3};
+  const auto verdict = verify_mis(h, set);
+  EXPECT_TRUE(verdict.ok()) << "edge 2 blocked: {0,1} ∪ {2} completes edge";
+}
+
+TEST(Validate, SingletonEdgeBlocksItsVertex) {
+  const Hypergraph h = make_hypergraph(3, {{1}});
+  // MIS must exclude 1; {0,2} is the unique MIS.
+  const std::vector<VertexId> good = {0, 2};
+  EXPECT_TRUE(verify_mis(h, good).ok());
+  const std::vector<VertexId> bad = {0, 1, 2};
+  EXPECT_FALSE(verify_mis(h, bad).independent);
+  const std::vector<VertexId> not_max = {0};
+  const auto verdict = verify_mis(h, not_max);
+  EXPECT_TRUE(verdict.independent);
+  EXPECT_FALSE(verdict.maximal);
+  EXPECT_EQ(*verdict.addable_vertex, 2u);  // 1 is blocked, 2 is not
+}
+
+TEST(Validate, NoEdgesMeansFullSetIsOnlyMis) {
+  const Hypergraph h = make_hypergraph(3, {});
+  const std::vector<VertexId> all = {0, 1, 2};
+  EXPECT_TRUE(verify_mis(h, all).ok());
+  const std::vector<VertexId> partial = {1};
+  EXPECT_FALSE(verify_mis(h, partial).maximal);
+}
+
+TEST(Validate, MembershipRejectsOutOfRange) {
+  const Hypergraph h = make_hypergraph(3, {});
+  const std::vector<VertexId> bad = {5};
+  EXPECT_THROW((void)to_membership(h, bad), util::CheckError);
+}
+
+TEST(Validate, OverlappingEdgesBlocking) {
+  // Edges {0,1},{1,2},{2,3}: {0,2} is an MIS ({1} blocked by {1,2}? no —
+  // check: 1 with {0,2}: edge {0,1} needs 0,1 both: 0∈I so adding 1
+  // completes {0,1} -> blocked.  3: edge {2,3}, 2∈I -> blocked).
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<VertexId> set = {0, 2};
+  EXPECT_TRUE(verify_mis(h, set).ok());
+  // {1,3} is also an MIS.
+  const std::vector<VertexId> set2 = {1, 3};
+  EXPECT_TRUE(verify_mis(h, set2).ok());
+  // {0,3} is independent but NOT maximal? 1: {0,1} complete -> blocked;
+  // 2: {1,2} needs 1 (not in I), {2,3} completes with 3∈I -> blocked.
+  // So {0,3} IS maximal.
+  const std::vector<VertexId> set3 = {0, 3};
+  EXPECT_TRUE(verify_mis(h, set3).ok());
+}
+
+TEST(Validate, BitsetOverloadAgreesWithSpan) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1, 2}, {3, 4}});
+  const std::vector<VertexId> set = {0, 1, 3};
+  const auto a = verify_mis(h, set);
+  const auto b = verify_mis(h, to_membership(h, set));
+  EXPECT_EQ(a.independent, b.independent);
+  EXPECT_EQ(a.maximal, b.maximal);
+}
+
+}  // namespace

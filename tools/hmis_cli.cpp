@@ -1,0 +1,202 @@
+// hmis — command-line front end for the hypermis library.
+//
+//   hmis gen   <family> <out.hg> [options]   generate an instance
+//   hmis stats <in.hg>                       analyze + recommend (planner)
+//   hmis solve <in.hg> [--algo A] [--seed S] [--out sets.txt]
+//   hmis verify <in.hg> <set.txt>            check independence/maximality
+//   hmis color <in.hg> [--algo A]            strong coloring via iterated MIS
+//
+// Families for `gen`:
+//   uniform  n m arity seed        | mixed  n m min max seed
+//   linear   n m arity seed        | planted n m arity fraction seed
+//   graph    n m seed              | interval n window stride
+//   sunflower core petal petals    | sbl     n beta max_arity seed
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hmis/core/coloring.hpp"
+#include "hmis/core/planner.hpp"
+#include "hmis/hmis.hpp"
+
+namespace {
+
+using namespace hmis;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hmis <gen|stats|solve|verify|color> ... (see header "
+               "comment / README)\n");
+  return 2;
+}
+
+core::Algorithm parse_algorithm(const std::string& name) {
+  for (const auto a : core::all_algorithms()) {
+    if (name == core::algorithm_name(a)) return a;
+  }
+  if (name == "auto") return core::Algorithm::Auto;
+  std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t i) {
+  if (i >= args.size()) std::exit(usage());
+  return std::strtoull(args[i].c_str(), nullptr, 10);
+}
+
+double arg_f64(const std::vector<std::string>& args, std::size_t i) {
+  if (i >= args.size()) std::exit(usage());
+  return std::strtod(args[i].c_str(), nullptr);
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string family = args[0];
+  const std::string out = args[1];
+  Hypergraph h;
+  if (family == "uniform") {
+    h = gen::uniform_random(arg_u64(args, 2), arg_u64(args, 3),
+                            arg_u64(args, 4), arg_u64(args, 5));
+  } else if (family == "mixed") {
+    h = gen::mixed_arity(arg_u64(args, 2), arg_u64(args, 3),
+                         arg_u64(args, 4), arg_u64(args, 5),
+                         arg_u64(args, 6));
+  } else if (family == "linear") {
+    h = gen::linear_random(arg_u64(args, 2), arg_u64(args, 3),
+                           arg_u64(args, 4), arg_u64(args, 5));
+  } else if (family == "planted") {
+    h = gen::planted_mis(arg_u64(args, 2), arg_u64(args, 3),
+                         arg_u64(args, 4), arg_f64(args, 5),
+                         arg_u64(args, 6));
+  } else if (family == "graph") {
+    h = gen::random_graph(arg_u64(args, 2), arg_u64(args, 3),
+                          arg_u64(args, 4));
+  } else if (family == "interval") {
+    h = gen::interval(arg_u64(args, 2), arg_u64(args, 3), arg_u64(args, 4));
+  } else if (family == "sunflower") {
+    h = gen::sunflower(arg_u64(args, 2), arg_u64(args, 3), arg_u64(args, 4));
+  } else if (family == "sbl") {
+    h = gen::sbl_regime(arg_u64(args, 2), arg_f64(args, 3),
+                        arg_u64(args, 4), arg_u64(args, 5));
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 2;
+  }
+  save_hypergraph(out, h);
+  std::printf("wrote %s: n=%zu m=%zu dim=%zu\n", out.c_str(),
+              h.num_vertices(), h.num_edges(), h.dimension());
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const Hypergraph h = load_hypergraph(args[0]);
+  const auto report = core::analyze_instance(h);
+  std::fputs(core::format_report(report).c_str(), stdout);
+  return 0;
+}
+
+int cmd_solve(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const Hypergraph h = load_hypergraph(args[0]);
+  core::Algorithm algorithm = core::Algorithm::Auto;
+  core::FindOptions opt;
+  std::string out_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--algo" && i + 1 < args.size()) {
+      algorithm = parse_algorithm(args[++i]);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      opt.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  const auto run = core::find_mis(h, algorithm, opt);
+  if (!run.result.success) {
+    std::fprintf(stderr, "FAILED: %s\n", run.result.failure_reason.c_str());
+    return 1;
+  }
+  std::printf("algorithm=%s |I|=%zu rounds=%zu time_ms=%.2f verified=%s\n",
+              std::string(core::algorithm_name(run.algorithm)).c_str(),
+              run.result.independent_set.size(), run.result.rounds,
+              run.result.seconds * 1e3, run.verdict.ok() ? "yes" : "NO");
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    for (const VertexId v : run.result.independent_set) os << v << '\n';
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return run.verdict.ok() ? 0 : 1;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const Hypergraph h = load_hypergraph(args[0]);
+  std::ifstream is(args[1]);
+  if (!is.good()) {
+    std::fprintf(stderr, "cannot read %s\n", args[1].c_str());
+    return 2;
+  }
+  std::vector<VertexId> set;
+  VertexId v;
+  while (is >> v) set.push_back(v);
+  const auto verdict =
+      verify_mis(h, std::span<const VertexId>(set.data(), set.size()));
+  std::printf("independent=%s maximal=%s\n",
+              verdict.independent ? "yes" : "no",
+              verdict.maximal ? "yes" : "no");
+  if (verdict.violating_edge) {
+    std::printf("violated edge id: %u\n", *verdict.violating_edge);
+  }
+  if (verdict.addable_vertex) {
+    std::printf("addable vertex: %u\n", *verdict.addable_vertex);
+  }
+  return verdict.ok() ? 0 : 1;
+}
+
+int cmd_color(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const Hypergraph h = load_hypergraph(args[0]);
+  core::ColoringOptions opt;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--algo" && i + 1 < args.size()) {
+      opt.algorithm = parse_algorithm(args[++i]);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      opt.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  const auto coloring = core::strong_coloring(h, opt);
+  if (!coloring.success) {
+    std::fprintf(stderr, "FAILED: %s\n", coloring.failure_reason.c_str());
+    return 1;
+  }
+  const bool ok = core::is_strong_coloring(h, coloring.color);
+  std::printf("colors=%d valid=%s mis_rounds=%zu\n", coloring.num_colors,
+              ok ? "yes" : "NO", coloring.total_mis_rounds);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "color") return cmd_color(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
