@@ -35,7 +35,7 @@ void run_figure() {
       std::exit(1);
     }
     const double p0 = r.trace.empty() ? 0.0 : r.trace.front().p;
-    std::printf("%10u %8zu %8.2f %10.5f %10zu %12.2f %14.2f\n", max_deg,
+    std::printf("%10zu %8zu %8.2f %10.5f %10zu %12.2f %14.2f\n", max_deg,
                 h.num_edges(), stats.delta, p0, r.rounds,
                 static_cast<double>(r.rounds) * p0, r.seconds * 1e3);
   }

@@ -7,6 +7,13 @@ namespace {
 
 using namespace hmis;
 
+/// One pool for the whole binary: the figure sweep and the timing cases all
+/// run SBL's parallel core through it (hardware_concurrency threads).
+par::ThreadPool& shared_pool() {
+  static par::ThreadPool pool(0);
+  return pool;
+}
+
 void run_figure() {
   hmis::bench::print_header("fig:3", "SBL rounds vs n vs bound 2·log2(n)/p");
   std::printf("%10s %10s %8s %10s %12s %10s %10s\n", "n", "p", "d", "rounds",
@@ -17,6 +24,7 @@ void run_figure() {
     const Hypergraph h = gen::sbl_regime(n, 0.6, 0, 13);
     core::SblOptions opt;
     opt.seed = 13;
+    opt.pool = &shared_pool();
     const auto params = core::resolve_sbl_params(n, h.num_edges(), opt);
     const auto r = core::sbl(h, opt);
     if (!r.success) {
@@ -41,6 +49,7 @@ void BM_Sbl(benchmark::State& state) {
   for (auto _ : state) {
     core::SblOptions opt;
     opt.seed = seed++;
+    opt.pool = &shared_pool();
     const auto r = core::sbl(h, opt);
     benchmark::DoNotOptimize(r.independent_set.data());
     state.counters["rounds"] = static_cast<double>(r.rounds);

@@ -120,7 +120,7 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
           const VertexId v = live[i];
           marked[v] = rng.bernoulli(p, stats.stage, v) ? 1 : 0;
         },
-        metrics);
+        metrics, opt.pool);
 
     // (3) Unmark members of fully marked edges (idempotent byte writes).
     par::parallel_for(
@@ -138,7 +138,7 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
             for (const VertexId v : verts) unmarked[v] = 1;
           }
         },
-        metrics);
+        metrics, opt.pool);
 
     // (4) Survivors join the independent set.
     std::vector<VertexId> survivors;

@@ -48,13 +48,13 @@ KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
           const std::uint64_t pb = rng.priority(stats.stage, b);
           return pa != pb ? pa < pb : a < b;
         },
-        metrics);
+        metrics, opt.pool);
     par::parallel_for(
         0, order.size(),
         [&](std::size_t i) {
           position[order[i]] = static_cast<std::uint32_t>(i + 1);  // 1-based
         },
-        metrics);
+        metrics, opt.pool);
 
     // i* = min over live edges of (max member position).
     const auto edges = mh.live_edges();
@@ -67,7 +67,7 @@ KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
           }
           return mx;
         },
-        metrics);
+        metrics, opt.pool);
     HMIS_CHECK(i_star >= 1 && i_star <= order.size(),
                "KUW: blocking position out of range");
 

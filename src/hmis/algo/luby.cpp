@@ -52,7 +52,7 @@ Result luby_mis(const Hypergraph& h, const LubyOptions& opt) {
             inhibited[a] = 1;
           }
         },
-        &result.metrics);
+        &result.metrics, opt.pool);
 
     std::vector<VertexId> selected;
     for (const VertexId v : live) {

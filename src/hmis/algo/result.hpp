@@ -13,6 +13,10 @@
 #include "hmis/hypergraph/types.hpp"
 #include "hmis/par/metrics.hpp"
 
+namespace hmis::par {
+class ThreadPool;
+}
+
 namespace hmis::algo {
 
 /// One stage (round) of an iterative algorithm, as instrumented.
@@ -56,6 +60,10 @@ struct CommonOptions {
   bool check_invariants = false;
   /// Hard cap on stages; exceeding it fails the run.
   std::size_t max_rounds = 1'000'000;
+  /// Thread pool for the `hmis::par` primitives (nullptr = process-global
+  /// pool).  All randomness is counter-based, so results are bit-identical
+  /// for any pool size.
+  par::ThreadPool* pool = nullptr;
 };
 
 }  // namespace hmis::algo

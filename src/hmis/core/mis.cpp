@@ -46,14 +46,38 @@ std::span<const Algorithm> all_algorithms() noexcept {
   return kAll;
 }
 
+bool supports(Algorithm a, const Hypergraph& h) {
+  switch (a) {
+    case Algorithm::Luby:
+      return h.dimension() <= kLubyMaxDimension;
+    case Algorithm::BL:
+      return h.dimension() <= kBlMaxDimension;
+    case Algorithm::LinearBL:
+      return h.dimension() <= kBlMaxDimension && algo::is_linear(h);
+    case Algorithm::Greedy:
+    case Algorithm::PermutationGreedy:
+    case Algorithm::PermutationMIS:
+    case Algorithm::KUW:
+    case Algorithm::SBL:
+    case Algorithm::Auto:
+      return true;
+  }
+  return true;
+}
+
 Algorithm choose_algorithm(const Hypergraph& h) {
-  if (h.dimension() <= 2) return Algorithm::Luby;
+  if (supports(Algorithm::Luby, h)) return Algorithm::Luby;
   // SBL pays off when the dimension is large; BL handles small dimensions
-  // directly (this mirrors Algorithm 1's own line-3 dispatch).
+  // directly (this mirrors Algorithm 1's own line-3 dispatch).  The derived
+  // d can exceed BL's practical envelope, so both bounds apply — otherwise
+  // Auto could hand BL an instance supports() rejects (SBL's own line-3
+  // dispatch runs the same inner BL in that case anyway, under restarts).
   const SblOptions defaults;
   const SblParams params =
       resolve_sbl_params(h.num_vertices(), h.num_edges(), defaults);
-  return h.dimension() <= params.d ? Algorithm::BL : Algorithm::SBL;
+  return h.dimension() <= params.d && supports(Algorithm::BL, h)
+             ? Algorithm::BL
+             : Algorithm::SBL;
 }
 
 MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
@@ -66,6 +90,9 @@ MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
     o.seed = opt.seed;
     o.record_trace = opt.record_trace;
     o.check_invariants = opt.check_invariants;
+    // A facade-level pool overrides any per-algorithm default (keeps
+    // opt.sbl.pool usable as the fallback for the SBL pass-through).
+    if (opt.pool != nullptr) o.pool = opt.pool;
   };
 
   switch (run.algorithm) {

@@ -38,6 +38,10 @@ struct FindOptions {
   bool check_invariants = false;
   /// Run verify_mis on the output (cost: one pass over the hypergraph).
   bool verify = true;
+  /// Thread pool handed to the chosen algorithm's parallel primitives
+  /// (nullptr = process-global pool).  Counter-based randomness keeps the
+  /// returned set bit-identical for any pool size.
+  par::ThreadPool* pool = nullptr;
   /// SBL-specific knobs pass through; other algorithms use their defaults.
   SblOptions sbl;
 };
@@ -54,5 +58,25 @@ struct MisRun {
 /// The Auto heuristic, exposed for tests: Luby for graphs, BL for small
 /// dimension, SBL otherwise.
 [[nodiscard]] Algorithm choose_algorithm(const Hypergraph& h);
+
+// ---- Applicability envelopes ----------------------------------------------
+// One source of truth for which instances each algorithm handles, shared by
+// the planner, the CLI, and the test suite (previously each hard-coded its
+// own copy).
+
+/// Luby's algorithm is defined on ordinary graphs only (HMIS_CHECK-enforced
+/// in luby_mis).
+inline constexpr std::size_t kLubyMaxDimension = 2;
+/// Plain BL's marking probability 1/(2^{d+1}Δ) vanishes for large dimension
+/// — exactly the weakness SBL exists to fix (paper §1).  Beyond this the
+/// expected progress per stage is negligible, so BL (and the LinearBL
+/// variant built on it) is treated as out of envelope.
+inline constexpr std::size_t kBlMaxDimension = 8;
+
+/// True iff `a` is applicable to `h`: Luby needs dimension <= 2, BL and
+/// LinearBL need dimension <= kBlMaxDimension (LinearBL additionally a
+/// linear hypergraph); the remaining algorithms handle every instance.
+/// `Auto` is always supported (choose_algorithm only picks supported ones).
+[[nodiscard]] bool supports(Algorithm a, const Hypergraph& h);
 
 }  // namespace hmis::core

@@ -57,12 +57,14 @@ InstanceReport analyze_instance(const Hypergraph& h,
     r.rationale = "no constraints: any algorithm returns all vertices; "
                   "sequential greedy has no parallel overhead";
     r.predicted_round_bound = 1.0;
-  } else if (r.dimension <= 2) {
+  } else if (supports(Algorithm::Luby, h)) {
     r.recommended = Algorithm::Luby;
     r.rationale = "dimension <= 2 (ordinary graph): Luby gives O(log n) "
                   "rounds w.h.p.";
     r.predicted_round_bound = 6.0 * logn;
-  } else if (r.linear && r.dimension <= 8) {
+  } else if (r.linear && r.dimension <= kBlMaxDimension) {
+    // Same envelope as core::supports(LinearBL, h); r.linear reuses the
+    // budgeted linearity check already done above instead of rescanning.
     r.recommended = Algorithm::LinearBL;
     r.rationale = "linear hypergraph (|e∩e'| <= 1): the Luczak–Szymanska "
                   "regime; BL with aggressive p = 1/(4Δ)";

@@ -7,6 +7,9 @@
 #include "hmis/core/theory.hpp"
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 #include "hmis/hypergraph/validate.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/reduce.hpp"
+#include "hmis/par/scan.hpp"
 #include "hmis/util/check.hpp"
 #include "hmis/util/rng.hpp"
 #include "hmis/util/timer.hpp"
@@ -18,6 +21,49 @@ namespace {
 /// Streams for the counter RNG: rounds and resamples must draw independent
 /// marks, so the stream id encodes both.
 constexpr std::uint64_t kResampleStride = 1'000'003;
+
+/// Parallel dimension scan of the residual hypergraph: max size over live
+/// edges.  Dead edges contribute 0, so the reduction runs over the original
+/// edge ids without materializing a live-edge list first.
+std::size_t live_dimension(const MutableHypergraph& mh, par::Metrics* metrics,
+                           par::ThreadPool* pool) {
+  return par::reduce_max<std::size_t>(
+      0, mh.original().num_edges(), 0,
+      [&](std::size_t e) {
+        const EdgeId id = static_cast<EdgeId>(e);
+        return mh.edge_live(id) ? mh.edge(id).size() : std::size_t{0};
+      },
+      metrics, pool);
+}
+
+/// Split a local-id mask into (blue, red) original-id lists via one stream
+/// compaction: the blue offsets come from an exclusive scan, and the red
+/// position of a non-blue id i is i minus the blues before it.  Both lists
+/// come out ascending, so the result is independent of the chunk
+/// decomposition (and therefore of the thread count).
+std::pair<std::vector<VertexId>, std::vector<VertexId>> split_by_mask(
+    const std::vector<std::uint8_t>& blue_mask,
+    const std::vector<VertexId>& to_original, par::Metrics* metrics,
+    par::ThreadPool* pool) {
+  const std::size_t k = to_original.size();
+  std::vector<std::uint32_t> blue_offset(k);
+  const std::uint32_t total_blue = par::exclusive_scan<std::uint32_t>(
+      k, [&](std::size_t i) { return blue_mask[i] != 0 ? 1u : 0u; },
+      blue_offset.data(), metrics, pool);
+  std::vector<VertexId> blue(total_blue);
+  std::vector<VertexId> red(k - total_blue);
+  par::parallel_for(
+      0, k,
+      [&](std::size_t i) {
+        if (blue_mask[i] != 0) {
+          blue[blue_offset[i]] = to_original[i];
+        } else {
+          red[i - blue_offset[i]] = to_original[i];
+        }
+      },
+      metrics, pool);
+  return {std::move(blue), std::move(red)};
+}
 
 struct AttemptOutcome {
   bool success = true;
@@ -38,11 +84,13 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
   MutableHypergraph mh(h);
 
   // Algorithm 1 line 3: if the whole hypergraph already has dimension <= d,
-  // run BL on it directly (line 26).
-  if (mh.max_live_edge_size() <= params.d) {
+  // run BL on it directly (line 26).  mh is fresh here, so its dimension is
+  // exactly the input's cached one — no scan needed.
+  if (h.dimension() <= params.d) {
     algo::BlOptions blopt = opt.bl;
     blopt.seed = rng.child(0xB1).seed();
     blopt.record_trace = false;
+    blopt.pool = opt.pool;
     const auto outcome = algo::bl_run(mh, blopt, metrics);
     out.success = outcome.success;
     out.failure_reason = outcome.failure_reason;
@@ -63,24 +111,30 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
     stats.stage = out.rounds;
     stats.live_vertices = mh.num_live_vertices();
     stats.live_edges = mh.num_live_edges();
-    stats.dimension = mh.max_live_edge_size();
+    // Instrumentation only — no metrics charge, matching the serial scan
+    // this replaces (the algorithm's own work is metered at the call sites).
+    stats.dimension = live_dimension(mh, /*metrics=*/nullptr, opt.pool);
     stats.p = params.p;
 
     // ---- Sample V' (lines 6-7), redrawing on dimension violations. -------
+    // The mark for vertex v depends only on (seed, stream, v), never on
+    // evaluation order, so the marking loop parallelizes with idempotent
+    // atomic bit sets and stays bit-identical across thread counts.
+    const auto live = mh.live_vertices();
     MutableHypergraph::Induced induced;
     std::size_t resample = 0;
     for (;;) {
       const std::uint64_t stream =
           out.rounds * kResampleStride + resample + 1;
       keep.clear_all();
-      std::size_t sampled = 0;
-      for (const VertexId v : mh.live_vertices()) {
-        if (rng.bernoulli(params.p, stream, v)) {
-          keep.set(v);
-          ++sampled;
-        }
-      }
-      stats.sampled = sampled;
+      par::parallel_for(
+          0, live.size(),
+          [&](std::size_t i) {
+            const VertexId v = live[i];
+            if (rng.bernoulli(params.p, stream, v)) keep.set_atomic(v);
+          },
+          metrics, opt.pool);
+      stats.sampled = keep.count();
       induced = mh.induced_subgraph(keep);
       stats.sample_dimension = induced.graph.dimension();
       if (metrics) {
@@ -111,6 +165,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       algo::BlOptions blopt = opt.bl;
       blopt.seed = rng.child(0x1000 + out.rounds).seed();
       blopt.record_trace = false;
+      blopt.pool = opt.pool;
       MutableHypergraph inner(induced.graph);
       const auto outcome = algo::bl_run(inner, blopt, metrics);
       if (!outcome.success) {
@@ -122,19 +177,17 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       stats.inner_stages = outcome.stages;
 
       // ---- Fold the coloring back (lines 12-20). -------------------------
-      std::vector<VertexId> blue;
-      std::vector<VertexId> red;
-      blue.reserve(induced.to_original.size());
-      for (VertexId local = 0;
-           local < static_cast<VertexId>(induced.to_original.size());
-           ++local) {
-        const VertexId orig = induced.to_original[local];
-        if (inner.color(local) == Color::Blue) {
-          blue.push_back(orig);
-        } else {
-          red.push_back(orig);
-        }
-      }
+      const std::size_t k = induced.to_original.size();
+      std::vector<std::uint8_t> blue_mask(k, 0);
+      par::parallel_for(
+          0, k,
+          [&](std::size_t local) {
+            blue_mask[local] =
+                inner.color(static_cast<VertexId>(local)) == Color::Blue;
+          },
+          metrics, opt.pool);
+      const auto [blue, red] =
+          split_by_mask(blue_mask, induced.to_original, metrics, opt.pool);
       stats.added_blue = blue.size();
       stats.forced_red = red.size();
       const std::size_t edges_before = mh.num_live_edges();
@@ -172,6 +225,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       algo::KuwOptions kopt;
       kopt.seed = rng.child(0xC0DE).seed();
       kopt.max_rounds = opt.max_rounds;
+      kopt.pool = opt.pool;
       const auto outcome = algo::kuw_run(mh, kopt, metrics);
       if (!outcome.success) {
         out.success = false;
@@ -187,12 +241,12 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       gopt.seed = rng.child(0x93ED).seed();
       const auto res = algo::greedy_mis(snapshot.graph, gopt);
       std::vector<std::uint8_t> is_blue(snapshot.to_original.size(), 0);
-      for (const VertexId local : res.independent_set) is_blue[local] = 1;
-      std::vector<VertexId> blue, red;
-      for (std::size_t local = 0; local < snapshot.to_original.size();
-           ++local) {
-        (is_blue[local] ? blue : red).push_back(snapshot.to_original[local]);
-      }
+      par::parallel_for(
+          0, res.independent_set.size(),
+          [&](std::size_t i) { is_blue[res.independent_set[i]] = 1; },
+          metrics, opt.pool);
+      const auto [blue, red] =
+          split_by_mask(is_blue, snapshot.to_original, metrics, opt.pool);
       mh.color_blue(blue);
       mh.color_red(red);
       if (metrics) {

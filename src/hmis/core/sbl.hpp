@@ -18,6 +18,13 @@
 // enormous n, so the default policy uses a practical α (1/3) and the
 // derived d of claim (2), which preserves the analysis' actual guarantee —
 // dimension violations occur with probability <= 1/n (measured in F5).
+//
+// Execution is parallel: the per-vertex marking loop, the dimension scans,
+// and the coloring fold-back all run on the `hmis::par` runtime (the pool in
+// `SblOptions::pool`, or the process-global pool).  Marks come from the
+// counter RNG keyed by (stream, vertex) and partial results combine in chunk
+// index order, so the returned independent set is bit-identical for any
+// thread count.
 #pragma once
 
 #include "hmis/algo/bl.hpp"

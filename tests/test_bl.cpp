@@ -143,7 +143,9 @@ TEST(Bl, ProbabilityOverride) {
   ASSERT_TRUE(r.success);
   EXPECT_TRUE(verify_mis(h, r.independent_set).ok());
   for (const auto& s : r.trace) {
-    if (s.live_edges > 0) EXPECT_DOUBLE_EQ(s.p, 0.05);
+    if (s.live_edges > 0) {
+      EXPECT_DOUBLE_EQ(s.p, 0.05);
+    }
   }
 }
 

@@ -77,21 +77,6 @@ Hypergraph make_instance(Family f, std::uint64_t seed) {
   return gen::path_graph(4);
 }
 
-bool family_supported(Algorithm a, Family f, const Hypergraph& h) {
-  (void)f;
-  if (a == Algorithm::Luby) return h.dimension() <= 2;
-  if (a == Algorithm::LinearBL) {
-    return algo::is_linear(h) && h.dimension() <= 8;
-  }
-  if (a == Algorithm::BL) {
-    // Plain BL's marking probability 1/(2^{d+1}Δ) vanishes for large
-    // dimension — exactly the weakness SBL exists to fix (paper §1).  Its
-    // practical envelope is small-dimension instances.
-    return h.dimension() <= 8;
-  }
-  return true;
-}
-
 using Param = std::tuple<Algorithm, Family, std::uint64_t>;
 
 class MisProperty : public ::testing::TestWithParam<Param> {};
@@ -99,7 +84,9 @@ class MisProperty : public ::testing::TestWithParam<Param> {};
 TEST_P(MisProperty, ReturnsVerifiedMis) {
   const auto [algorithm, family, seed] = GetParam();
   const Hypergraph h = make_instance(family, seed);
-  if (!family_supported(algorithm, family, h)) {
+  // The applicability envelope lives in the library (core::supports) so the
+  // planner, the CLI, and this sweep agree on what each algorithm handles.
+  if (!core::supports(algorithm, h)) {
     GTEST_SKIP() << algorithm_name(algorithm) << " does not support "
                  << family_name(family);
   }

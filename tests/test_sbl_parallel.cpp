@@ -1,0 +1,156 @@
+// Parallel determinism contract: SBL (and the BL core it drives) must return
+// the *bit-identical* independent set for the same seed regardless of the
+// thread count.  All per-vertex randomness is counter-based (keyed by
+// (stream, vertex)) and every reduction combines partials in chunk index
+// order, so 1, 2, and 8 threads are required to agree exactly.
+//
+// Also covers the chunk planner's edge cases (n = 0, n < grain,
+// n >> threads * grain) — the decomposition is the other half of the
+// determinism argument.
+#include <gtest/gtest.h>
+
+#include "hmis/algo/bl.hpp"
+#include "hmis/core/mis.hpp"
+#include "hmis/core/sbl.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/thread_pool.hpp"
+
+namespace {
+
+using namespace hmis;
+
+std::vector<VertexId> run_sbl_with_pool(const Hypergraph& h,
+                                        std::uint64_t seed,
+                                        par::ThreadPool* pool) {
+  core::SblOptions opt;
+  opt.seed = seed;
+  opt.pool = pool;
+  const auto r = core::sbl(h, opt);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+  return r.independent_set;
+}
+
+std::vector<VertexId> run_bl_with_pool(const Hypergraph& h,
+                                       std::uint64_t seed,
+                                       par::ThreadPool* pool) {
+  algo::BlOptions opt;
+  opt.seed = seed;
+  opt.pool = pool;
+  const auto r = algo::bl(h, opt);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+  return r.independent_set;
+}
+
+TEST(SblParallel, BitIdenticalAcross1_2_8Threads) {
+  par::ThreadPool p1(1), p2(2), p8(8);
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    // High-dimension SBL-regime instance: exercises the sampled rounds, the
+    // inner BL, and the base case.
+    const Hypergraph h = gen::sbl_regime(1200, 0.6, 12, seed);
+    const auto set1 = run_sbl_with_pool(h, seed, &p1);
+    const auto set2 = run_sbl_with_pool(h, seed, &p2);
+    const auto set8 = run_sbl_with_pool(h, seed, &p8);
+    EXPECT_EQ(set1, set2) << "seed " << seed;
+    EXPECT_EQ(set1, set8) << "seed " << seed;
+    EXPECT_TRUE(
+        verify_mis(h, std::span<const VertexId>(set1.data(), set1.size()))
+            .ok());
+  }
+}
+
+TEST(SblParallel, BitIdenticalOnLowDimensionDispatch) {
+  // Dimension <= d: Algorithm 1 line 3 dispatches straight to BL; the
+  // parallel path must still be thread-count independent.
+  par::ThreadPool p1(1), p2(2), p8(8);
+  const Hypergraph h = gen::mixed_arity(900, 1800, 2, 5, 23);
+  const auto set1 = run_sbl_with_pool(h, 23, &p1);
+  const auto set2 = run_sbl_with_pool(h, 23, &p2);
+  const auto set8 = run_sbl_with_pool(h, 23, &p8);
+  EXPECT_EQ(set1, set2);
+  EXPECT_EQ(set1, set8);
+}
+
+TEST(BlParallel, BitIdenticalAcross1_2_8Threads) {
+  par::ThreadPool p1(1), p2(2), p8(8);
+  for (const std::uint64_t seed : {3u, 19u}) {
+    const Hypergraph h = gen::uniform_random(1500, 4500, 3, seed);
+    const auto set1 = run_bl_with_pool(h, seed, &p1);
+    const auto set2 = run_bl_with_pool(h, seed, &p2);
+    const auto set8 = run_bl_with_pool(h, seed, &p8);
+    EXPECT_EQ(set1, set2) << "seed " << seed;
+    EXPECT_EQ(set1, set8) << "seed " << seed;
+    EXPECT_TRUE(
+        verify_mis(h, std::span<const VertexId>(set1.data(), set1.size()))
+            .ok());
+  }
+}
+
+TEST(SblParallel, FacadePoolPassThrough) {
+  // find_mis's FindOptions::pool reaches the algorithm layer.
+  par::ThreadPool p1(1), p8(8);
+  const Hypergraph h = gen::sbl_regime(1000, 0.6, 12, 5);
+  core::FindOptions o1;
+  o1.seed = 5;
+  o1.pool = &p1;
+  core::FindOptions o8;
+  o8.seed = 5;
+  o8.pool = &p8;
+  const auto r1 = core::find_mis(h, core::Algorithm::SBL, o1);
+  const auto r8 = core::find_mis(h, core::Algorithm::SBL, o8);
+  ASSERT_TRUE(r1.result.success && r8.result.success);
+  EXPECT_EQ(r1.result.independent_set, r8.result.independent_set);
+  EXPECT_TRUE(r1.verdict.ok());
+}
+
+// ---- plan_chunks edge cases ------------------------------------------------
+
+TEST(PlanChunks, EmptyRangeYieldsZeroChunks) {
+  const auto plan = par::plan_chunks(0, 8);
+  EXPECT_EQ(plan.chunks, 0u);
+}
+
+TEST(PlanChunks, BelowGrainStaysSerial) {
+  // n < grain: a single chunk regardless of thread count.
+  const auto plan = par::plan_chunks(par::kMinGrain - 1, 8);
+  EXPECT_EQ(plan.chunks, 1u);
+  EXPECT_EQ(plan.chunk_size, par::kMinGrain - 1);
+}
+
+TEST(PlanChunks, SingleElement) {
+  const auto plan = par::plan_chunks(1, 16);
+  EXPECT_EQ(plan.chunks, 1u);
+  EXPECT_EQ(plan.chunk_size, 1u);
+}
+
+TEST(PlanChunks, HugeRangeCapsAtThreadCount) {
+  // n >> threads * grain: exactly `threads` chunks covering the range.
+  const std::size_t threads = 8;
+  const std::size_t n = threads * par::kMinGrain * 100 + 37;
+  const auto plan = par::plan_chunks(n, threads);
+  EXPECT_EQ(plan.chunks, threads);
+  EXPECT_GE(plan.chunks * plan.chunk_size, n);           // covers the range
+  EXPECT_LT((plan.chunks - 1) * plan.chunk_size, n);     // no empty chunk
+}
+
+TEST(PlanChunks, GrainBoundedChunkCount) {
+  // grain < n < threads * grain: chunk count is limited by the grain, not
+  // the thread count, so tiny inputs don't shatter into tiny chunks.
+  const std::size_t n = 3 * par::kMinGrain;
+  const auto plan = par::plan_chunks(n, 16);
+  EXPECT_EQ(plan.chunks, 3u);
+  EXPECT_EQ(plan.chunk_size, par::kMinGrain);
+}
+
+TEST(PlanChunks, DecompositionIsPureFunctionOfInputs) {
+  // Same (n, threads) => same plan, every time (no timing dependence).
+  for (int i = 0; i < 3; ++i) {
+    const auto a = par::plan_chunks(123456, 7);
+    const auto b = par::plan_chunks(123456, 7);
+    EXPECT_EQ(a.chunks, b.chunks);
+    EXPECT_EQ(a.chunk_size, b.chunk_size);
+  }
+}
+
+}  // namespace

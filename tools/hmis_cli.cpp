@@ -2,7 +2,7 @@
 //
 //   hmis gen   <family> <out.hg> [options]   generate an instance
 //   hmis stats <in.hg>                       analyze + recommend (planner)
-//   hmis solve <in.hg> [--algo A] [--seed S] [--out sets.txt]
+//   hmis solve <in.hg> [--algo A] [--seed S] [--threads T] [--out sets.txt]
 //   hmis verify <in.hg> <set.txt>            check independence/maximality
 //   hmis color <in.hg> [--algo A]            strong coloring via iterated MIS
 //
@@ -110,11 +110,21 @@ int cmd_solve(const std::vector<std::string>& args) {
       algorithm = parse_algorithm(args[++i]);
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
       opt.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      par::set_global_threads(std::strtoull(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "--out" && i + 1 < args.size()) {
       out_path = args[++i];
     } else {
       return usage();
     }
+  }
+  if (algorithm != core::Algorithm::Auto && !core::supports(algorithm, h)) {
+    // Dimension is only one of the envelope criteria (LinearBL also needs a
+    // linear hypergraph), so the message points at supports(), not a cause.
+    std::fprintf(stderr,
+                 "warning: %s is outside its applicability envelope on this "
+                 "instance (see core::supports); run may stall or fail\n",
+                 std::string(core::algorithm_name(algorithm)).c_str());
   }
   const auto run = core::find_mis(h, algorithm, opt);
   if (!run.result.success) {
