@@ -39,6 +39,10 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
   BlOutcome out;
   const util::CounterRng rng(opt.seed);
 
+  // The residual structure runs its maintenance (shrink, delete, dedupe,
+  // scans) on the same pool as the algorithm's own primitives.
+  mh.set_pool(par::resolve_pool(opt.pool));
+
   // Initial cleanup mirrors what the main loop maintains.
   if (opt.minimalize) mh.dedupe_and_minimalize();
   mh.singleton_cascade();

@@ -16,6 +16,7 @@ KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
   KuwOutcome out;
   const util::CounterRng rng(opt.seed);
 
+  mh.set_pool(par::resolve_pool(opt.pool));
   mh.singleton_cascade();
 
   std::vector<std::uint32_t> position(mh.num_original_vertices(), 0);

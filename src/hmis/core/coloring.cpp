@@ -52,6 +52,7 @@ Coloring strong_coloring(const Hypergraph& h, const ColoringOptions& opt) {
     FindOptions fopt;
     fopt.seed = opt.seed +
                 static_cast<std::uint64_t>(out.num_colors) * 0x9e3779b9ULL;
+    fopt.pool = opt.pool;
     const auto run = find_mis(residual, opt.algorithm, fopt);
     if (!run.result.success) {
       out.success = false;

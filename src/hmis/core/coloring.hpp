@@ -23,6 +23,9 @@ struct ColoringOptions {
   Algorithm algorithm = Algorithm::PermutationMIS;
   /// Safety cap on color count (a correct run never needs more than n).
   std::size_t max_colors = 1u << 20;
+  /// Thread pool handed to every per-round MIS extraction (nullptr =
+  /// process-global pool); results are thread-count independent.
+  par::ThreadPool* pool = nullptr;
 };
 
 struct Coloring {

@@ -70,7 +70,9 @@ InstanceReport analyze_instance(const Hypergraph& h,
                   "regime; BL with aggressive p = 1/(4Δ)";
     r.predicted_round_bound =
         4.0 * r.degree_stats.delta * logn;  // ~log n / p stages
-  } else if (r.dimension <= r.sbl_params.d) {
+  } else if (r.dimension <= r.sbl_params.d && supports(Algorithm::BL, h)) {
+    // Both bounds matter: the derived d can exceed kBlMaxDimension, and a
+    // recommendation must never fall outside core::supports' envelope.
     r.recommended = Algorithm::BL;
     r.rationale = "dimension within the BL envelope (Algorithm 1 line 3 "
                   "dispatches here too): Kelsen-analyzed BL directly";

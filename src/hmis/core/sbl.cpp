@@ -81,7 +81,10 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
                            par::Metrics* metrics) {
   AttemptOutcome out;
   const util::CounterRng rng(attempt_seed);
-  MutableHypergraph mh(h);
+  // The residual graph's own maintenance (sampling snapshots, fold-back
+  // coloring, cascades) runs on the attempt's pool — this is where the
+  // round cost O(n + Σ|e|) lives.
+  MutableHypergraph mh(h, par::resolve_pool(opt.pool));
 
   // Algorithm 1 line 3: if the whole hypergraph already has dimension <= d,
   // run BL on it directly (line 26).  mh is fresh here, so its dimension is
@@ -166,7 +169,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       blopt.seed = rng.child(0x1000 + out.rounds).seed();
       blopt.record_trace = false;
       blopt.pool = opt.pool;
-      MutableHypergraph inner(induced.graph);
+      MutableHypergraph inner(induced.graph, par::resolve_pool(opt.pool));
       const auto outcome = algo::bl_run(inner, blopt, metrics);
       if (!outcome.success) {
         out.success = false;

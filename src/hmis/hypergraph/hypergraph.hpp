@@ -16,6 +16,7 @@
 namespace hmis {
 
 class HypergraphBuilder;
+class MutableHypergraph;
 
 class Hypergraph {
  public:
@@ -64,6 +65,11 @@ class Hypergraph {
 
  private:
   friend class HypergraphBuilder;
+  // MutableHypergraph::induced_subgraph assembles induced CSR storage with
+  // parallel kernels, bypassing the (serial) builder; it honors the same
+  // invariants (sorted duplicate-free edges, deduped edge set, ascending
+  // incidence lists).
+  friend class MutableHypergraph;
 
   std::size_t n_ = 0;
   std::vector<std::size_t> edge_offsets_{0};

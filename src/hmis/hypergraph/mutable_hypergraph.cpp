@@ -1,70 +1,148 @@
+// Residual hypergraph maintenance, in two interchangeable flavours per
+// operation: a plain serial loop (pool == nullptr, or sub-grain input) and a
+// deterministic parallel kernel on the attached ThreadPool.  The flavours
+// must agree bit-for-bit — the kernels therefore use only order-independent
+// ingredients:
+//   * exclusive-scan compaction for every packed output (ascending ids),
+//   * index-order reduction for max/total sizes,
+//   * idempotent atomic bit sets/resets for edge liveness marking,
+//   * commutative atomic counters for degree bookkeeping (each (edge,
+//     vertex) pair contributes exactly once, so the final sums are exact),
+//   * a total (size, lex, id) sort order wherever duplicates must pick a
+//     canonical survivor.
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "hmis/hypergraph/builder.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/reduce.hpp"
+#include "hmis/par/scan.hpp"
+#include "hmis/par/sort.hpp"
 #include "hmis/util/check.hpp"
 
 namespace hmis {
 
-MutableHypergraph::MutableHypergraph(const Hypergraph& h)
-    : original_(&h), n_(h.num_vertices()) {
+namespace {
+
+inline void atomic_decrement(std::uint32_t& counter) noexcept {
+  std::atomic_ref<std::uint32_t> ref(counter);
+  ref.fetch_sub(1, std::memory_order_relaxed);
+}
+
+inline void atomic_increment(std::uint32_t& counter) noexcept {
+  std::atomic_ref<std::uint32_t> ref(counter);
+  ref.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MutableHypergraph::MutableHypergraph(const Hypergraph& h, par::ThreadPool* pool)
+    : original_(&h), n_(h.num_vertices()), pool_(pool) {
   color_.assign(n_, Color::None);
   live_vertex_count_ = n_;
   const std::size_t m = h.num_edges();
-  edges_.reserve(m);
-  for (EdgeId e = 0; e < m; ++e) {
-    const auto verts = h.edge(e);
-    edges_.emplace_back(verts.begin(), verts.end());
+  edges_.resize(m);
+  if (pool_ == nullptr) {
+    for (EdgeId e = 0; e < m; ++e) {
+      const auto verts = h.edge(e);
+      edges_[e].assign(verts.begin(), verts.end());
+    }
+  } else {
+    par::parallel_for(
+        0, m,
+        [&](std::size_t e) {
+          const auto verts = h.edge(static_cast<EdgeId>(e));
+          edges_[e].assign(verts.begin(), verts.end());
+        },
+        nullptr, pool_);
   }
   edge_live_.resize(m, true);
   live_edge_count_ = m;
   live_degree_.assign(n_, 0);
-  for (EdgeId e = 0; e < m; ++e) {
-    for (const VertexId v : edges_[e]) ++live_degree_[v];
+  if (pool_ == nullptr) {
+    for (VertexId v = 0; v < n_; ++v) {
+      live_degree_[v] = static_cast<std::uint32_t>(h.degree(v));
+    }
+  } else {
+    par::parallel_for(
+        0, n_,
+        [&](std::size_t v) {
+          live_degree_[v] =
+              static_cast<std::uint32_t>(h.degree(static_cast<VertexId>(v)));
+        },
+        nullptr, pool_);
   }
 }
 
 std::vector<VertexId> MutableHypergraph::live_vertices() const {
-  std::vector<VertexId> out;
-  out.reserve(live_vertex_count_);
-  for (VertexId v = 0; v < n_; ++v) {
-    if (color_[v] == Color::None) out.push_back(v);
+  if (!use_parallel(n_)) {
+    std::vector<VertexId> out;
+    out.reserve(live_vertex_count_);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (color_[v] == Color::None) out.push_back(v);
+    }
+    return out;
   }
-  return out;
+  return par::pack_indices(
+      n_, [&](std::size_t v) { return color_[v] == Color::None; }, nullptr,
+      pool_);
 }
 
 std::vector<EdgeId> MutableHypergraph::live_edges() const {
-  std::vector<EdgeId> out;
-  out.reserve(live_edge_count_);
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    if (edge_live_[e]) out.push_back(e);
+  if (!use_parallel(edges_.size())) {
+    std::vector<EdgeId> out;
+    out.reserve(live_edge_count_);
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      if (edge_live_[e]) out.push_back(e);
+    }
+    return out;
   }
-  return out;
+  return par::pack_indices(
+      edges_.size(), [&](std::size_t e) { return bool{edge_live_[e]}; },
+      nullptr, pool_);
 }
 
-std::size_t MutableHypergraph::max_live_edge_size() const noexcept {
-  std::size_t d = 0;
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    if (edge_live_[e]) d = std::max(d, edges_[e].size());
+std::size_t MutableHypergraph::max_live_edge_size() const {
+  if (!use_parallel(edges_.size())) {
+    std::size_t d = 0;
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      if (edge_live_[e]) d = std::max(d, edges_[e].size());
+    }
+    return d;
   }
-  return d;
+  return par::reduce_max<std::size_t>(
+      0, edges_.size(), 0,
+      [&](std::size_t e) { return edge_live_[e] ? edges_[e].size() : 0; },
+      nullptr, pool_);
 }
 
-std::size_t MutableHypergraph::total_live_edge_size() const noexcept {
-  std::size_t total = 0;
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    if (edge_live_[e]) total += edges_[e].size();
+std::size_t MutableHypergraph::total_live_edge_size() const {
+  if (!use_parallel(edges_.size())) {
+    std::size_t total = 0;
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      if (edge_live_[e]) total += edges_[e].size();
+    }
+    return total;
   }
-  return total;
+  return par::reduce_sum<std::size_t>(
+      0, edges_.size(),
+      [&](std::size_t e) { return edge_live_[e] ? edges_[e].size() : 0; },
+      nullptr, pool_);
 }
 
 std::vector<VertexId> MutableHypergraph::blue_vertices() const {
-  std::vector<VertexId> out;
-  for (VertexId v = 0; v < n_; ++v) {
-    if (color_[v] == Color::Blue) out.push_back(v);
+  if (!use_parallel(n_)) {
+    std::vector<VertexId> out;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (color_[v] == Color::Blue) out.push_back(v);
+    }
+    return out;
   }
-  return out;
+  return par::pack_indices(
+      n_, [&](std::size_t v) { return color_[v] == Color::Blue; }, nullptr,
+      pool_);
 }
 
 void MutableHypergraph::delete_edge(EdgeId e) {
@@ -78,11 +156,30 @@ void MutableHypergraph::delete_edge(EdgeId e) {
   }
 }
 
+std::size_t MutableHypergraph::incident_work(
+    std::span<const VertexId> vs) const {
+  std::size_t work = vs.size();
+  for (const VertexId v : vs) work += original_->edges_of(v).size();
+  return work;
+}
+
+bool MutableHypergraph::use_parallel(std::size_t work) const {
+  return pool_ != nullptr && pool_->num_threads() > 1 &&
+         work >= par::kMinGrain;
+}
+
 void MutableHypergraph::color_blue(std::span<const VertexId> vs) {
+  // Coloring itself stays serial: it is O(|vs|) and keeps the duplicate /
+  // non-live checks exact (a racing parallel version could let a duplicate
+  // slip between check and write).
   for (const VertexId v : vs) {
     HMIS_CHECK(color_[v] == Color::None, "coloring a non-live vertex blue");
     color_[v] = Color::Blue;
     --live_vertex_count_;
+  }
+  if (use_parallel(incident_work(vs))) {
+    parallel_shrink_blue(vs);
+    return;
   }
   // Shrink live incident edges.  A vertex leaves an edge only here, when it
   // turns blue.
@@ -101,11 +198,50 @@ void MutableHypergraph::color_blue(std::span<const VertexId> vs) {
   }
 }
 
+void MutableHypergraph::parallel_shrink_blue(std::span<const VertexId> vs) {
+  const std::size_t m = edges_.size();
+  // Pass 1: mark candidate edges (original incidence of vs; idempotent bit
+  // sets, edge_live_ is read-only here).
+  util::DynamicBitset touched(m);
+  par::parallel_for(
+      0, vs.size(),
+      [&](std::size_t i) {
+        for (const EdgeId e : original_->edges_of(vs[i])) {
+          if (edge_live_[e]) touched.set_atomic(e);
+        }
+      },
+      nullptr, pool_);
+  const auto hit = par::pack_indices(
+      m, [&](std::size_t e) { return touched.test(e); }, nullptr, pool_);
+  // Pass 2: each touched edge drops its just-blued members in one sweep.
+  // Edges are disjoint work items; only the degree counters are shared, and
+  // each removed (edge, vertex) pair decrements exactly once.
+  par::parallel_for(
+      0, hit.size(),
+      [&](std::size_t i) {
+        auto& verts = edges_[hit[i]];
+        const auto keep_end =
+            std::remove_if(verts.begin(), verts.end(), [&](VertexId u) {
+              if (color_[u] != Color::Blue) return false;
+              atomic_decrement(live_degree_[u]);
+              return true;
+            });
+        HMIS_CHECK(keep_end != verts.begin(),
+                   "edge became fully blue: independence violated");
+        verts.erase(keep_end, verts.end());
+      },
+      nullptr, pool_);
+}
+
 void MutableHypergraph::color_red(std::span<const VertexId> vs) {
   for (const VertexId v : vs) {
     HMIS_CHECK(color_[v] == Color::None, "coloring a non-live vertex red");
     color_[v] = Color::Red;
     --live_vertex_count_;
+  }
+  if (use_parallel(incident_work(vs))) {
+    parallel_delete_red(vs);
+    return;
   }
   for (const VertexId v : vs) {
     for (const EdgeId e : original_->edges_of(v)) {
@@ -119,79 +255,205 @@ void MutableHypergraph::color_red(std::span<const VertexId> vs) {
   }
 }
 
+void MutableHypergraph::parallel_delete_red(std::span<const VertexId> vs) {
+  const std::size_t m = edges_.size();
+  // Pass 1: mark doomed edges — live edges still CONTAINING a red vertex.
+  // Nothing is mutated except the scratch bitset, so the membership tests
+  // race with nothing.
+  util::DynamicBitset doomed(m);
+  par::parallel_for(
+      0, vs.size(),
+      [&](std::size_t i) {
+        const VertexId v = vs[i];
+        for (const EdgeId e : original_->edges_of(v)) {
+          if (!edge_live_[e]) continue;
+          const auto& verts = edges_[e];
+          if (std::binary_search(verts.begin(), verts.end(), v)) {
+            doomed.set_atomic(e);
+          }
+        }
+      },
+      nullptr, pool_);
+  const auto dead = par::pack_indices(
+      m, [&](std::size_t e) { return doomed.test(e); }, nullptr, pool_);
+  // Pass 2: delete each doomed edge exactly once.
+  par::parallel_for(
+      0, dead.size(),
+      [&](std::size_t i) {
+        const EdgeId e = dead[i];
+        edge_live_.reset_atomic(e);
+        for (const VertexId u : edges_[e]) atomic_decrement(live_degree_[u]);
+      },
+      nullptr, pool_);
+  live_edge_count_ -= dead.size();
+}
+
 std::vector<VertexId> MutableHypergraph::singleton_cascade() {
-  std::vector<VertexId> reds;
   // Collect current singletons; deleting edges never shrinks others, so one
-  // sweep plus processing the collected queue suffices.
-  std::vector<VertexId> queue;
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    if (edge_live_[e] && edges_[e].size() == 1) {
-      queue.push_back(edges_[e][0]);
+  // sweep plus one batched exclusion suffices.  Distinct vertices only —
+  // duplicate singleton edges {v},{v} force v red once.
+  const std::size_t m = edges_.size();
+  std::vector<VertexId> reds;
+  if (use_parallel(m)) {
+    const auto singles = par::pack_indices(
+        m,
+        [&](std::size_t e) { return edge_live_[e] && edges_[e].size() == 1; },
+        nullptr, pool_);
+    reds = par::gather<VertexId>(
+        singles, [&](std::size_t e) { return edges_[e][0]; }, nullptr, pool_);
+    par::parallel_sort(reds, std::less<VertexId>{}, nullptr, pool_);
+  } else {
+    for (EdgeId e = 0; e < m; ++e) {
+      if (edge_live_[e] && edges_[e].size() == 1) reds.push_back(edges_[e][0]);
     }
+    std::sort(reds.begin(), reds.end());
   }
-  for (const VertexId v : queue) {
-    if (color_[v] != Color::None) continue;  // already handled via duplicate
-    color_red(std::span<const VertexId>(&v, 1));
-    reds.push_back(v);
+  reds.erase(std::unique(reds.begin(), reds.end()), reds.end());
+  if (!reds.empty()) {
+    // Red exclusions commute (they only delete edges), so the whole batch is
+    // equivalent to excluding the queue one vertex at a time.
+    color_red(reds);
   }
   return reds;
 }
 
 std::vector<VertexId> MutableHypergraph::isolated_live_vertices() const {
-  std::vector<VertexId> out;
-  for (VertexId v = 0; v < n_; ++v) {
-    if (color_[v] == Color::None && live_degree_[v] == 0) out.push_back(v);
+  if (!use_parallel(n_)) {
+    std::vector<VertexId> out;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (color_[v] == Color::None && live_degree_[v] == 0) out.push_back(v);
+    }
+    return out;
   }
-  return out;
+  return par::pack_indices(
+      n_,
+      [&](std::size_t v) {
+        return color_[v] == Color::None && live_degree_[v] == 0;
+      },
+      nullptr, pool_);
 }
 
 std::size_t MutableHypergraph::dedupe_and_minimalize() {
-  // Order live edges by (size, lex) so duplicates are adjacent and potential
-  // subsets precede supersets.
-  std::vector<EdgeId> order = live_edges();
-  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+  // Both flavours order live edges by the total (size, lex, id) key so the
+  // canonical survivor of a duplicate group — the smallest id — does not
+  // depend on sort implementation or thread count.
+  const auto by_size_lex_id = [this](EdgeId a, EdgeId b) {
     if (edges_[a].size() != edges_[b].size()) {
       return edges_[a].size() < edges_[b].size();
     }
-    return edges_[a] < edges_[b];
-  });
-  std::size_t removed = 0;
-  // Kept-edge index per vertex for subset candidate pruning.
-  std::vector<std::vector<EdgeId>> kept_incident(n_);
-  EdgeId prev = kInvalidEdge;
-  for (const EdgeId e : order) {
-    const auto& verts = edges_[e];
-    if (prev != kInvalidEdge && edges_[prev] == verts) {
-      delete_edge(e);
-      ++removed;
-      continue;
-    }
-    // Dominating subsets share every one of their own vertices with this
-    // edge, so scanning the kept-incidence lists of ALL members finds them.
-    bool dominated = false;
-    for (const VertexId v : verts) {
-      for (const EdgeId k : kept_incident[v]) {
-        const auto& f = edges_[k];
-        if (f.size() < verts.size() &&
-            std::includes(verts.begin(), verts.end(), f.begin(), f.end())) {
-          dominated = true;
-          break;
-        }
+    if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
+    return a < b;
+  };
+
+  if (!use_parallel(live_edge_count_)) {
+    std::vector<EdgeId> order = live_edges();
+    std::sort(order.begin(), order.end(), by_size_lex_id);
+    std::size_t removed = 0;
+    // Kept-edge index per vertex for subset candidate pruning.
+    std::vector<std::vector<EdgeId>> kept_incident(n_);
+    EdgeId prev = kInvalidEdge;
+    for (const EdgeId e : order) {
+      const auto& verts = edges_[e];
+      if (prev != kInvalidEdge && edges_[prev] == verts) {
+        delete_edge(e);
+        ++removed;
+        continue;
       }
-      if (dominated) break;
+      // Dominating subsets share every one of their own vertices with this
+      // edge, so scanning the kept-incidence lists of ALL members finds them.
+      bool dominated = false;
+      for (const VertexId v : verts) {
+        for (const EdgeId k : kept_incident[v]) {
+          const auto& f = edges_[k];
+          if (f.size() < verts.size() &&
+              std::includes(verts.begin(), verts.end(), f.begin(), f.end())) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) break;
+      }
+      if (dominated) {
+        delete_edge(e);
+        ++removed;
+        continue;
+      }
+      for (const VertexId v : verts) kept_incident[v].push_back(e);
+      prev = e;
     }
-    if (dominated) {
-      delete_edge(e);
-      ++removed;
-      continue;
-    }
-    for (const VertexId v : verts) kept_incident[v].push_back(e);
-    prev = e;
+    return removed;
   }
-  return removed;
+
+  // ---- Parallel flavour ----------------------------------------------------
+  // Equivalent removal set, derived without the sequential kept-set: an edge
+  // is removed iff it is a non-canonical duplicate, or some live
+  // non-duplicate edge is a strict subset of it.  (If the witness subset is
+  // itself dominated, a minimal subset below it also witnesses, so checking
+  // against ALL non-duplicate live edges matches the incremental serial
+  // answer exactly.)
+  const std::size_t m = edges_.size();
+  std::vector<EdgeId> order = live_edges();
+  par::parallel_sort(order, by_size_lex_id, nullptr, pool_);
+  // state: 0 = dead, 1 = live canonical, 2 = live duplicate.
+  std::vector<std::uint8_t> state(m, 0);
+  par::parallel_for(
+      0, order.size(),
+      [&](std::size_t i) {
+        const EdgeId e = order[i];
+        const bool dup = i > 0 && edges_[order[i - 1]] == edges_[e];
+        state[e] = dup ? 2 : 1;
+      },
+      nullptr, pool_);
+  std::vector<std::uint8_t> gone(m, 0);
+  par::parallel_for(
+      0, order.size(),
+      [&](std::size_t i) {
+        const EdgeId e = order[i];
+        if (state[e] == 2) {
+          gone[e] = 1;
+          return;
+        }
+        const auto& verts = edges_[e];
+        // A strict subset shares each of its current members with e, and its
+        // current members are a subset of its ORIGINAL members — so it shows
+        // up in the original incidence list of at least one member of e.
+        for (const VertexId v : verts) {
+          for (const EdgeId f : original_->edges_of(v)) {
+            if (state[f] != 1 || f == e) continue;
+            const auto& fv = edges_[f];
+            if (fv.size() < verts.size() &&
+                std::includes(verts.begin(), verts.end(), fv.begin(),
+                              fv.end())) {
+              gone[e] = 1;
+              return;
+            }
+          }
+        }
+      },
+      nullptr, pool_);
+  const auto del = par::pack_indices(
+      m, [&](std::size_t e) { return gone[e] != 0; }, nullptr, pool_);
+  par::parallel_for(
+      0, del.size(),
+      [&](std::size_t i) {
+        const EdgeId e = del[i];
+        edge_live_.reset_atomic(e);
+        for (const VertexId u : edges_[e]) atomic_decrement(live_degree_[u]);
+      },
+      nullptr, pool_);
+  live_edge_count_ -= del.size();
+  return del.size();
 }
 
 MutableHypergraph::Induced MutableHypergraph::induced_subgraph(
+    const util::DynamicBitset& keep) const {
+  if (!use_parallel(n_ + edges_.size())) {
+    return induced_subgraph_serial(keep);
+  }
+  return induced_subgraph_parallel(keep);
+}
+
+MutableHypergraph::Induced MutableHypergraph::induced_subgraph_serial(
     const util::DynamicBitset& keep) const {
   Induced out;
   std::vector<VertexId> to_local(n_, kInvalidVertex);
@@ -223,11 +485,144 @@ MutableHypergraph::Induced MutableHypergraph::induced_subgraph(
   return out;
 }
 
+MutableHypergraph::Induced MutableHypergraph::induced_subgraph_parallel(
+    const util::DynamicBitset& keep) const {
+  Induced out;
+  const std::size_t m = edges_.size();
+  const auto kept = [&](std::size_t v) {
+    return color_[v] == Color::None && keep.test(v);
+  };
+
+  // ---- Pass 1: relabel kept live vertices (scan compaction). --------------
+  std::vector<std::uint32_t> voffset(n_);
+  const std::uint32_t k = par::exclusive_scan<std::uint32_t>(
+      n_, [&](std::size_t v) { return kept(v) ? 1u : 0u; }, voffset.data(),
+      nullptr, pool_);
+  std::vector<VertexId> to_local(n_, kInvalidVertex);
+  out.to_original.resize(k);
+  par::parallel_for(
+      0, n_,
+      [&](std::size_t v) {
+        if (kept(v)) {
+          to_local[v] = voffset[v];
+          out.to_original[voffset[v]] = static_cast<VertexId>(v);
+        }
+      },
+      nullptr, pool_);
+
+  // ---- Pass 2: classify edges — live and entirely inside the sample. ------
+  std::vector<std::uint8_t> inside(m, 0);
+  par::parallel_for(
+      0, m,
+      [&](std::size_t e) {
+        if (!edge_live_[e]) return;
+        for (const VertexId v : edges_[e]) {
+          if (to_local[v] == kInvalidVertex) return;
+        }
+        inside[e] = 1;
+      },
+      nullptr, pool_);
+
+  // ---- Dedupe: collapse equal-content inside edges, smallest id wins ------
+  // (matches HypergraphBuilder's first-insertion-wins rule).  Relabeling is
+  // monotonic, so comparing ORIGINAL vertex lists orders local content too.
+  auto cand = par::pack_indices(
+      m, [&](std::size_t e) { return inside[e] != 0; }, nullptr, pool_);
+  par::parallel_sort(
+      cand,
+      [this](EdgeId a, EdgeId b) {
+        if (edges_[a].size() != edges_[b].size()) {
+          return edges_[a].size() < edges_[b].size();
+        }
+        if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
+        return a < b;
+      },
+      nullptr, pool_);
+  std::vector<std::uint8_t> emit(m, 0);
+  par::parallel_for(
+      0, cand.size(),
+      [&](std::size_t i) {
+        if (i > 0 && edges_[cand[i - 1]] == edges_[cand[i]]) return;
+        emit[cand[i]] = 1;
+      },
+      nullptr, pool_);
+
+  // ---- Edge CSR, emitted in original edge-id order. -----------------------
+  std::vector<std::uint32_t> local_edge(m);
+  const std::uint32_t num_out_edges = par::exclusive_scan<std::uint32_t>(
+      m, [&](std::size_t e) { return emit[e] ? 1u : 0u; }, local_edge.data(),
+      nullptr, pool_);
+  std::vector<std::size_t> estart(m);
+  const std::size_t total_size = par::exclusive_scan<std::size_t>(
+      m, [&](std::size_t e) { return emit[e] ? edges_[e].size() : 0; },
+      estart.data(), nullptr, pool_);
+
+  Hypergraph& g = out.graph;
+  g.n_ = k;
+  g.edge_offsets_.assign(num_out_edges + 1, 0);
+  g.edge_vertices_.resize(total_size);
+  par::parallel_for(
+      0, m,
+      [&](std::size_t e) {
+        if (!emit[e]) return;
+        std::size_t pos = estart[e];
+        for (const VertexId v : edges_[e]) {
+          g.edge_vertices_[pos++] = to_local[v];
+        }
+        g.edge_offsets_[local_edge[e] + 1] = pos;
+      },
+      nullptr, pool_);
+  g.dimension_ = par::reduce_max<std::size_t>(
+      0, m, 0, [&](std::size_t e) { return emit[e] ? edges_[e].size() : 0; },
+      nullptr, pool_);
+  g.min_edge_size_ =
+      num_out_edges == 0
+          ? 0
+          : par::reduce_min<std::size_t>(
+                0, m, SIZE_MAX,
+                [&](std::size_t e) {
+                  return emit[e] ? edges_[e].size() : SIZE_MAX;
+                },
+                nullptr, pool_);
+
+  // ---- Vertex -> incident edge CSR. ---------------------------------------
+  // Degree histogram first (commutative atomic counts), then every local
+  // vertex fills its own slice by walking its ORIGINAL incidence list in
+  // ascending edge order — emitted local ids ascend with original ids, so
+  // the incidence lists come out sorted with no cross-thread writes.
+  std::vector<std::uint32_t> deg(k, 0);
+  par::parallel_for(
+      0, m,
+      [&](std::size_t e) {
+        if (!emit[e]) return;
+        for (const VertexId v : edges_[e]) atomic_increment(deg[to_local[v]]);
+      },
+      nullptr, pool_);
+  g.vertex_offsets_.resize(k + 1);
+  const std::size_t total_incidence = par::exclusive_scan<std::size_t>(
+      k, [&](std::size_t lv) { return deg[lv]; }, g.vertex_offsets_.data(),
+      nullptr, pool_);
+  g.vertex_offsets_[k] = total_incidence;
+  g.vertex_edges_.resize(total_incidence);
+  par::parallel_for(
+      0, k,
+      [&](std::size_t lv) {
+        const VertexId ov = out.to_original[lv];
+        std::size_t pos = g.vertex_offsets_[lv];
+        for (const EdgeId e : original_->edges_of(ov)) {
+          if (emit[e] && std::binary_search(edges_[e].begin(), edges_[e].end(),
+                                            ov)) {
+            g.vertex_edges_[pos++] = local_edge[e];
+          }
+        }
+      },
+      nullptr, pool_);
+  return out;
+}
+
 MutableHypergraph::Induced MutableHypergraph::live_snapshot() const {
   util::DynamicBitset all(n_);
-  for (VertexId v = 0; v < n_; ++v) {
-    if (color_[v] == Color::None) all.set(v);
-  }
+  all.set_all();
   return induced_subgraph(all);
 }
 

@@ -16,6 +16,23 @@
 //
 // Vertex ids are stable: they always refer to the original hypergraph, so
 // the final blue set can be validated directly against the input.
+//
+// ---- Parallel execution & the determinism contract -------------------------
+//
+// Every query and mutation runs as a deterministic parallel kernel when a
+// `par::ThreadPool` is attached (set_pool / constructor), and as the plain
+// serial loop when none is (pool == nullptr).  The two paths are REQUIRED to
+// produce bit-identical state — same colors, counts, degrees, edge contents,
+// snapshots, and removal counts — for any thread count; the kernels achieve
+// this with fixed chunk decompositions, index-order combination (scan /
+// reduce / pack), and idempotent or commutative atomics (bitset bits, degree
+// counters whose final values are order-independent sums).
+// tests/test_mutable_hypergraph_parallel.cpp enforces the contract.
+//
+// Thread-safety rules: a MutableHypergraph is NOT itself thread-safe — all
+// public methods must be called from one thread; the parallelism is internal
+// (fork-join on the attached pool, fully joined before each method returns).
+// Concurrent const queries without an intervening mutation are safe.
 #pragma once
 
 #include <span>
@@ -24,13 +41,25 @@
 #include "hmis/hypergraph/hypergraph.hpp"
 #include "hmis/util/bitset.hpp"
 
+namespace hmis::par {
+class ThreadPool;
+}
+
 namespace hmis {
 
 enum class Color : std::uint8_t { None = 0, Blue = 1, Red = 2 };
 
 class MutableHypergraph {
  public:
-  explicit MutableHypergraph(const Hypergraph& h);
+  /// `pool` powers the internal parallel kernels; nullptr means every
+  /// operation runs its serial fallback (bit-identical results either way).
+  explicit MutableHypergraph(const Hypergraph& h,
+                             par::ThreadPool* pool = nullptr);
+
+  /// Attach/detach the pool after construction (algorithms thread their
+  /// CommonOptions::pool through here so every maintenance step inherits it).
+  void set_pool(par::ThreadPool* pool) noexcept { pool_ = pool; }
+  [[nodiscard]] par::ThreadPool* pool() const noexcept { return pool_; }
 
   // ---- Inspection ---------------------------------------------------------
 
@@ -67,9 +96,9 @@ class MutableHypergraph {
   [[nodiscard]] std::vector<VertexId> live_vertices() const;
   [[nodiscard]] std::vector<EdgeId> live_edges() const;
   /// Max size over live edges (0 if none).  O(live edges).
-  [[nodiscard]] std::size_t max_live_edge_size() const noexcept;
+  [[nodiscard]] std::size_t max_live_edge_size() const;
   /// Sum of sizes over live edges.
-  [[nodiscard]] std::size_t total_live_edge_size() const noexcept;
+  [[nodiscard]] std::size_t total_live_edge_size() const;
   /// Blue vertices so far, ascending.
   [[nodiscard]] std::vector<VertexId> blue_vertices() const;
 
@@ -80,15 +109,17 @@ class MutableHypergraph {
   // ---- Coloring operations ------------------------------------------------
 
   /// Color every vertex in `vs` blue; shrinks live incident edges.
+  /// `vs` must be duplicate-free live vertices.
   /// HMIS_CHECK-fails if any edge would become empty (independence broken).
   void color_blue(std::span<const VertexId> vs);
 
   /// Color every vertex in `vs` red; deletes live incident edges.
+  /// `vs` must be duplicate-free live vertices.
   void color_red(std::span<const VertexId> vs);
 
   /// Apply the singleton rule until exhaustion: every live edge of size 1
   /// forces its vertex red (deleting that edge and all other edges containing
-  /// the vertex).  Returns the vertices turned red.
+  /// the vertex).  Returns the vertices turned red, ascending.
   std::vector<VertexId> singleton_cascade();
 
   /// Live vertices with no live incident edge — they are unconstrained and
@@ -110,7 +141,8 @@ class MutableHypergraph {
 
   /// The subhypergraph induced by the live vertices in `keep`: its vertices
   /// are all kept live vertices, its edges are the live edges entirely
-  /// contained in `keep` (Algorithm 1, line 7: E' = {e in E : e ⊆ V'}).
+  /// contained in `keep` (Algorithm 1, line 7: E' = {e in E : e ⊆ V'}),
+  /// duplicates collapsed (first original id wins), in original edge order.
   [[nodiscard]] Induced induced_subgraph(
       const util::DynamicBitset& keep) const;
 
@@ -119,9 +151,26 @@ class MutableHypergraph {
 
  private:
   void delete_edge(EdgeId e);
+  /// Parallel kernels behind the public mutations (pool_ != nullptr path).
+  void parallel_shrink_blue(std::span<const VertexId> vs);
+  void parallel_delete_red(std::span<const VertexId> vs);
+  [[nodiscard]] Induced induced_subgraph_parallel(
+      const util::DynamicBitset& keep) const;
+  [[nodiscard]] Induced induced_subgraph_serial(
+      const util::DynamicBitset& keep) const;
+  /// Sum of original degrees over `vs` — the upper bound on incident work
+  /// that decides whether a mutation is worth the parallel path.
+  [[nodiscard]] std::size_t incident_work(std::span<const VertexId> vs) const;
+  /// True when the parallel flavour should run: a pool with real workers is
+  /// attached and the operation is above the grain.  A 1-thread pool runs
+  /// the serial flavour — the parallel kernels trade extra passes for
+  /// parallelism, which only pays with >= 2 threads.  (Never a determinism
+  /// concern: both flavours are bit-identical by contract.)
+  [[nodiscard]] bool use_parallel(std::size_t work) const;
 
   const Hypergraph* original_;
   std::size_t n_;
+  par::ThreadPool* pool_ = nullptr;
   std::vector<Color> color_;
   std::vector<VertexList> edges_;      // current vertex list per edge
   util::DynamicBitset edge_live_;

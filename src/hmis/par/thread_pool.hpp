@@ -73,4 +73,12 @@ class ThreadPool {
 /// w.r.t. concurrent global_pool() users; call at startup / between phases.
 void set_global_threads(std::size_t threads);
 
+/// The pool an algorithm should actually use for a CommonOptions-style
+/// `pool` field: the caller's pool if one was supplied, else the process
+/// global (never nullptr — so it can also be attached to structures like
+/// MutableHypergraph whose own nullptr means "stay serial").
+[[nodiscard]] inline ThreadPool* resolve_pool(ThreadPool* pool) {
+  return pool != nullptr ? pool : &global_pool();
+}
+
 }  // namespace hmis::par

@@ -38,6 +38,12 @@ class DynamicBitset {
     w.fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
   }
 
+  /// Thread-safe idempotent reset, the clearing counterpart of set_atomic.
+  void reset_atomic(std::size_t i) noexcept {
+    std::atomic_ref<std::uint64_t> w(words_[i >> 6]);
+    w.fetch_and(~(1ULL << (i & 63)), std::memory_order_relaxed);
+  }
+
   /// Set all bits to zero, keeping the size.
   void clear_all() noexcept;
   /// Set all bits to one, keeping the size (tail bits stay zero).

@@ -93,6 +93,38 @@ TEST(Planner, LinearityBudgetSkipsHugeChecks) {
   EXPECT_FALSE(r.linear);  // skipped -> conservatively not linear
 }
 
+TEST(Planner, NeverRecommendsBlBeyondItsEnvelope) {
+  // Regression: an instance whose dimension falls strictly between
+  // core::kBlMaxDimension and the derived SBL d used to be routed to BL
+  // (the branch only compared against sbl_params.d), recommending an
+  // algorithm core::supports rejects.  It must go to SBL instead.
+  const auto h = gen::mixed_arity(300, 3000, 2, 9, 17);
+  const auto r = analyze_instance(h);
+  ASSERT_EQ(r.dimension, core::kBlMaxDimension + 1);
+  ASSERT_GE(r.sbl_params.d, r.dimension);  // the gap the bug lived in
+  ASSERT_FALSE(r.linear);
+  EXPECT_NE(r.recommended, Algorithm::BL);
+  EXPECT_EQ(r.recommended, Algorithm::SBL);
+}
+
+TEST(Planner, RecommendationAlwaysWithinSupportsEnvelope) {
+  // The planner and core::supports share one source of truth; whatever is
+  // recommended must be applicable to the instance.
+  for (const std::uint64_t seed : {1u, 5u, 17u}) {
+    for (const auto& h :
+         {gen::uniform_random(400, 1200, 3, seed),
+          gen::mixed_arity(300, 3000, 2, 9, seed),
+          gen::mixed_arity(800, 150, 2, 20, seed),
+          gen::linear_random(250, 160, 3, seed),
+          gen::random_graph(250, 500, seed)}) {
+      const auto r = analyze_instance(h);
+      EXPECT_TRUE(core::supports(r.recommended, h))
+          << core::algorithm_name(r.recommended) << " seed=" << seed
+          << " dim=" << r.dimension;
+    }
+  }
+}
+
 TEST(Planner, RecommendationIsRunnable) {
   // Whatever the planner recommends must actually succeed on the instance.
   for (const std::uint64_t seed : {1u, 2u}) {

@@ -9,13 +9,18 @@
 #include <set>
 #include <vector>
 
+#include "test_threads.hpp"
+
+#include "hmis/algo/bl.hpp"
 #include "hmis/core/mis.hpp"
+#include "hmis/core/sbl.hpp"
 #include "hmis/hypergraph/builder.hpp"
 #include "hmis/hypergraph/degree_stats.hpp"
 #include "hmis/hypergraph/generators.hpp"
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 #include "hmis/par/scan.hpp"
 #include "hmis/par/sort.hpp"
+#include "hmis/par/thread_pool.hpp"
 #include "hmis/util/check.hpp"
 #include "hmis/util/rng.hpp"
 
@@ -73,6 +78,59 @@ struct ReferenceModel {
     }
     return c;
   }
+
+  /// Singleton rule: every alive edge of size 1 excludes its vertex.
+  /// Returns the excluded vertices, ascending and distinct.
+  std::vector<VertexId> cascade() {
+    std::set<VertexId> forced;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (alive[e] && edges[e].size() == 1) forced.insert(*edges[e].begin());
+    }
+    for (const VertexId v : forced) red(v);
+    return {forced.begin(), forced.end()};
+  }
+
+  /// Duplicate + strict-superset removal over the alive edges, computed
+  /// against the pre-call state the slow obvious way.  Returns the number of
+  /// edges removed.
+  std::size_t dedupe_and_minimalize() {
+    const std::size_t m = edges.size();
+    std::vector<char> dup(m, 0);
+    for (std::size_t e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (std::size_t f = 0; f < e; ++f) {
+        if (alive[f] && edges[f] == edges[e]) {
+          dup[e] = 1;  // smallest id stays canonical
+          break;
+        }
+      }
+    }
+    std::size_t removed = 0;
+    std::vector<char> gone(m, 0);
+    for (std::size_t e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      if (dup[e]) {
+        gone[e] = 1;
+        continue;
+      }
+      for (std::size_t f = 0; f < m; ++f) {
+        if (f == e || !alive[f] || dup[f]) continue;
+        if (edges[f].size() < edges[e].size() &&
+            std::includes(edges[e].begin(), edges[e].end(), edges[f].begin(),
+                          edges[f].end())) {
+          gone[e] = 1;
+          break;
+        }
+      }
+    }
+    for (std::size_t e = 0; e < m; ++e) {
+      if (gone[e]) {
+        alive[e] = false;
+        ++removed;
+      }
+    }
+    return removed;
+  }
 };
 
 TEST(Stress, MutableHypergraphMatchesReferenceModel) {
@@ -116,6 +174,142 @@ TEST(Stress, MutableHypergraphMatchesReferenceModel) {
         ASSERT_EQ(mh.live_degree(u), ref.degree(u)) << "vertex " << u;
       }
     }
+  }
+}
+
+// ---- Interleaved mutations under the parallel paths ------------------------
+
+TEST(Stress, InterleavedMutationsMatchReferenceUnderParallelPaths) {
+  // Instance sized above par::kMinGrain so color_blue / color_red /
+  // singleton_cascade / dedupe_and_minimalize all take their parallel
+  // kernels; the reference model plays the same interleaved script and
+  // checks the shrink-then-delete invariants after every operation.
+  par::ThreadPool pool(hmis_test::max_test_threads());
+  for (const std::uint64_t seed : {3u, 9u}) {
+    const auto h = gen::mixed_arity(1400, 2000, 2, 5, seed);
+    MutableHypergraph mh(h, &pool);
+    ReferenceModel ref(h);
+    util::Xoshiro256ss rng(seed * 6007);
+
+    for (int step = 0; step < 12 && mh.num_live_vertices() > 0; ++step) {
+      const auto live = mh.live_vertices();
+      const auto choice = rng.below(4);
+      if (choice == 0) {
+        // Safe blue batch: never complete a live edge.
+        std::vector<std::uint8_t> picked(h.num_vertices(), 0);
+        std::vector<VertexId> batch;
+        const std::size_t want = 1 + rng.below(live.size() / 6 + 1);
+        for (std::size_t t = 0; t < want; ++t) {
+          const VertexId v = live[rng.below(live.size())];
+          if (picked[v]) continue;
+          bool completes = false;
+          for (const EdgeId e : mh.live_edges()) {
+            bool all = true;
+            for (const VertexId u : mh.edge(e)) {
+              if (u != v && !picked[u]) {
+                all = false;
+                break;
+              }
+            }
+            if (all) {
+              completes = true;
+              break;
+            }
+          }
+          if (completes) continue;
+          picked[v] = 1;
+          batch.push_back(v);
+        }
+        if (batch.empty()) continue;
+        mh.color_blue(batch);
+        for (const VertexId v : batch) ref.blue(v);
+      } else if (choice == 1) {
+        std::vector<std::uint8_t> picked(h.num_vertices(), 0);
+        std::vector<VertexId> batch;
+        const std::size_t want = 1 + rng.below(live.size() / 6 + 1);
+        for (std::size_t t = 0; t < want; ++t) {
+          const VertexId v = live[rng.below(live.size())];
+          if (picked[v]) continue;
+          picked[v] = 1;
+          batch.push_back(v);
+        }
+        mh.color_red(batch);
+        for (const VertexId v : batch) ref.red(v);
+      } else if (choice == 2) {
+        const auto got = mh.singleton_cascade();
+        const auto want = ref.cascade();
+        ASSERT_EQ(got, want) << "cascade diverged at step " << step;
+      } else {
+        const std::size_t got = mh.dedupe_and_minimalize();
+        const std::size_t want = ref.dedupe_and_minimalize();
+        ASSERT_EQ(got, want) << "dedupe count diverged at step " << step;
+      }
+
+      ASSERT_EQ(mh.num_live_vertices(), ref.live_vertices());
+      ASSERT_EQ(mh.num_live_edges(), ref.live_edges());
+      for (const EdgeId e : mh.live_edges()) {
+        const auto verts = mh.edge(e);
+        ASSERT_TRUE(ref.alive[e]) << "edge " << e << " step " << step;
+        const std::set<VertexId> got_set(verts.begin(), verts.end());
+        ASSERT_EQ(got_set, ref.edges[e]) << "edge " << e << " step " << step;
+      }
+      for (const VertexId u : mh.live_vertices()) {
+        ASSERT_EQ(mh.live_degree(u), ref.degree(u))
+            << "vertex " << u << " step " << step;
+      }
+    }
+  }
+}
+
+// ---- End-to-end thread-count equivalence on full Results -------------------
+
+void expect_same_result(const algo::Result& a, const algo::Result& b,
+                        const char* what) {
+  ASSERT_EQ(a.success, b.success) << what;
+  EXPECT_EQ(a.independent_set, b.independent_set) << what;
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.inner_stages, b.inner_stages) << what;
+  EXPECT_EQ(a.resamples, b.resamples) << what;
+  // The modeled EREW cost is a pure function of the instance and the seed,
+  // never of the pool width.
+  EXPECT_EQ(a.metrics.work, b.metrics.work) << what;
+  EXPECT_EQ(a.metrics.depth, b.metrics.depth) << what;
+  EXPECT_EQ(a.metrics.calls, b.metrics.calls) << what;
+}
+
+TEST(Stress, SblFullResultIdenticalAcrossThreadCounts) {
+  par::ThreadPool p1(1), p2(2), pn(hmis_test::max_test_threads());
+  for (const std::uint64_t seed : {2u, 13u}) {
+    const Hypergraph h = gen::sbl_regime(2500, 0.6, 12, seed);
+    core::SblOptions o1, o2, on;
+    o1.seed = o2.seed = on.seed = seed;
+    o1.pool = &p1;
+    o2.pool = &p2;
+    on.pool = &pn;
+    const auto r1 = core::sbl(h, o1);
+    const auto r2 = core::sbl(h, o2);
+    const auto rn = core::sbl(h, on);
+    ASSERT_TRUE(r1.success) << r1.failure_reason;
+    expect_same_result(r1, r2, "sbl pool(2)");
+    expect_same_result(r1, rn, "sbl pool(max)");
+  }
+}
+
+TEST(Stress, BlFullResultIdenticalAcrossThreadCounts) {
+  par::ThreadPool p1(1), p2(2), pn(hmis_test::max_test_threads());
+  for (const std::uint64_t seed : {4u, 29u}) {
+    const Hypergraph h = gen::uniform_random(2500, 7500, 3, seed);
+    algo::BlOptions o1, o2, on;
+    o1.seed = o2.seed = on.seed = seed;
+    o1.pool = &p1;
+    o2.pool = &p2;
+    on.pool = &pn;
+    const auto r1 = algo::bl(h, o1);
+    const auto r2 = algo::bl(h, o2);
+    const auto rn = algo::bl(h, on);
+    ASSERT_TRUE(r1.success) << r1.failure_reason;
+    expect_same_result(r1, r2, "bl pool(2)");
+    expect_same_result(r1, rn, "bl pool(max)");
   }
 }
 

@@ -1,0 +1,19 @@
+// Shared test helper: width of the largest thread pool the parallel suites
+// construct.  HMIS_TEST_THREADS overrides the default of 8 so sanitizer CI
+// can crank the concurrency without editing the tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace hmis_test {
+
+inline std::size_t max_test_threads() {
+  if (const char* env = std::getenv("HMIS_TEST_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 8;
+}
+
+}  // namespace hmis_test
