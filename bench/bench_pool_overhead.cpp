@@ -1,0 +1,93 @@
+// P0 — scheduler overhead microbenches (DESIGN.md §5): what one fork-join
+// costs and what an empty data-parallel loop sustains, for the two entry
+// points into the work-stealing runtime —
+//
+//   * shim:   ThreadPool::run_chunks (the chunked-loop path every primitive
+//             uses — lazy binary splitting over a fixed chunk set), and
+//   * groups: par::TaskGroup spawn/wait (one heap-allocated closure per
+//             task — the nested fork-join path).
+//
+// Reported at 1 / 2 / 8 threads: 1 thread is the serial fast path (no
+// scheduler traffic at all for the shim), 2 and 8 measure the spawn + steal
+// + join machinery.  On a single-core container the wide configurations
+// measure pure scheduling overhead — oversubscription, not speedup; see the
+// strong-scaling note in bench_fig11.
+#include "bench_common.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/task_group.hpp"
+#include "hmis/par/thread_pool.hpp"
+
+namespace {
+
+using namespace hmis;
+
+/// Fork-join latency of the run_chunks shim: one P-chunk no-op job.
+void BM_ForkJoinShim(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const std::size_t chunks = pool.num_threads();
+  for (auto _ : state) {
+    pool.run_chunks(chunks, [](std::size_t c) { benchmark::DoNotOptimize(c); });
+  }
+  const par::SchedulerStats s = pool.stats();
+  state.counters["spawns"] = static_cast<double>(s.spawns);
+  state.counters["steals"] = static_cast<double>(s.steals);
+}
+BENCHMARK(BM_ForkJoinShim)->Arg(1)->Arg(2)->Arg(8);
+
+/// Fork-join latency of TaskGroup: P spawned no-op closures + wait.
+void BM_ForkJoinTaskGroup(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const std::size_t tasks = pool.num_threads();
+  for (auto _ : state) {
+    par::TaskGroup group(pool);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      group.run([t] { benchmark::DoNotOptimize(t); });
+    }
+    group.wait();
+  }
+  const par::SchedulerStats s = pool.stats();
+  state.counters["spawns"] = static_cast<double>(s.spawns);
+  state.counters["steals"] = static_cast<double>(s.steals);
+}
+BENCHMARK(BM_ForkJoinTaskGroup)->Arg(1)->Arg(2)->Arg(8);
+
+/// Empty-loop throughput: items/s through parallel_for with a no-op body —
+/// the per-item floor every kernel pays before doing real work.
+void BM_EmptyParallelFor(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = hmis::bench::quick_mode() ? (1u << 16) : (1u << 20);
+  for (auto _ : state) {
+    par::parallel_for(
+        0, n, [](std::size_t i) { benchmark::DoNotOptimize(i); }, nullptr,
+        &pool);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmptyParallelFor)->Arg(1)->Arg(2)->Arg(8);
+
+/// Nested fork-join latency: an outer P-chunk job whose every chunk runs an
+/// inner P-chunk job on the same pool — the shape the old single-job pool
+/// could not execute at all (it serialized or deadlocked on nesting).
+void BM_NestedForkJoin(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const std::size_t chunks = pool.num_threads();
+  for (auto _ : state) {
+    pool.run_chunks(chunks, [&](std::size_t) {
+      pool.run_chunks(chunks,
+                      [](std::size_t c) { benchmark::DoNotOptimize(c); });
+    });
+  }
+}
+BENCHMARK(BM_NestedForkJoin)->Arg(1)->Arg(2)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hmis::bench::print_header("tab:pool_overhead",
+                            "fork-join latency and empty-loop throughput");
+  std::printf("see --benchmark_* output below; columns: shim vs task groups "
+              "at 1/2/8 threads\n");
+  hmis::bench::print_footer("tab:pool_overhead");
+  return hmis::bench::finish(argc, argv);
+}

@@ -1,11 +1,13 @@
 #include "hmis/algo/bl.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "hmis/hypergraph/validate.hpp"
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
+#include "hmis/par/task_group.hpp"
 #include "hmis/util/check.hpp"
 #include "hmis/util/rng.hpp"
 #include "hmis/util/timer.hpp"
@@ -113,8 +115,14 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
     stats.p = p;
 
     const std::size_t n = mh.num_original_vertices();
+    // The live-edge compaction is independent of the live-vertex compaction
+    // and of the marking pass (all read-only on mh, or writing disjoint
+    // scratch), so it runs as a nested task overlapping both — each side
+    // still runs its own deterministic parallel kernels on the same pool.
+    std::vector<EdgeId> edges;
+    par::TaskGroup edge_scan(*par::resolve_pool(opt.pool));
+    edge_scan.run([&] { edges = mh.live_edges(); });
     const auto live = mh.live_vertices();
-    const auto edges = mh.live_edges();
 
     // (2) Mark independently with probability p — counter RNG keyed by
     // (stage, vertex) makes this order- and thread-independent.
@@ -125,8 +133,11 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
           marked[v] = rng.bernoulli(p, stats.stage, v) ? 1 : 0;
         },
         metrics, opt.pool);
+    edge_scan.wait();
 
-    // (3) Unmark members of fully marked edges (idempotent byte writes).
+    // (3) Unmark members of fully marked edges.  A vertex can sit in edges
+    // of several chunks, so the idempotent set must be an *atomic* store
+    // (relaxed: the join publishes, and every writer writes the same value).
     par::parallel_for(
         0, edges.size(),
         [&](std::size_t i) {
@@ -139,7 +150,10 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
             }
           }
           if (all) {
-            for (const VertexId v : verts) unmarked[v] = 1;
+            for (const VertexId v : verts) {
+              std::atomic_ref<std::uint8_t>(unmarked[v])
+                  .store(1, std::memory_order_relaxed);
+            }
           }
         },
         metrics, opt.pool);

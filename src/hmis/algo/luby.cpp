@@ -1,5 +1,7 @@
 #include "hmis/algo/luby.hpp"
 
+#include <atomic>
+
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/util/check.hpp"
@@ -38,7 +40,9 @@ Result luby_mis(const Hypergraph& h, const LubyOptions& opt) {
       return pa != pb ? pa < pb : a < b;
     };
 
-    // A vertex is inhibited if some live neighbour precedes it.
+    // A vertex is inhibited if some live neighbour precedes it.  Distinct
+    // edges share endpoints across chunks, so the idempotent set is an
+    // atomic store (relaxed: the join publishes, all writers agree on 1).
     std::vector<std::uint8_t> inhibited(mh.num_original_vertices(), 0);
     par::parallel_for(
         0, edges.size(),
@@ -46,11 +50,9 @@ Result luby_mis(const Hypergraph& h, const LubyOptions& opt) {
           const auto verts = mh.edge(edges[i]);
           HMIS_CHECK(verts.size() == 2, "luby round saw a non-binary edge");
           const VertexId a = verts[0], b = verts[1];
-          if (before(a, b)) {
-            inhibited[b] = 1;
-          } else {
-            inhibited[a] = 1;
-          }
+          const VertexId loser = before(a, b) ? b : a;
+          std::atomic_ref<std::uint8_t>(inhibited[loser])
+              .store(1, std::memory_order_relaxed);
         },
         &result.metrics, opt.pool);
 

@@ -1,5 +1,7 @@
 #include "hmis/algo/permutation_mis.hpp"
 
+#include <atomic>
+
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/util/check.hpp"
@@ -39,6 +41,8 @@ Result permutation_mis(const Hypergraph& h, const PermutationOptions& opt) {
     };
 
     // Inhibit every member of a live edge except its minimum-priority one.
+    // Edges in different chunks share vertices, so the idempotent set is an
+    // atomic store (relaxed: the join publishes, all writers agree on 1).
     std::vector<std::uint8_t> inhibited(mh.num_original_vertices(), 0);
     par::parallel_for(
         0, edges.size(),
@@ -50,10 +54,13 @@ Result permutation_mis(const Hypergraph& h, const PermutationOptions& opt) {
             if (before(v, min_v)) min_v = v;
           }
           for (const VertexId v : verts) {
-            if (v != min_v) inhibited[v] = 1;
+            if (v != min_v) {
+              std::atomic_ref<std::uint8_t>(inhibited[v])
+                  .store(1, std::memory_order_relaxed);
+            }
           }
         },
-        &result.metrics);
+        &result.metrics, opt.pool);
 
     std::vector<VertexId> selected;
     for (const VertexId v : live) {

@@ -10,6 +10,7 @@
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
 #include "hmis/par/scan.hpp"
+#include "hmis/par/task_group.hpp"
 #include "hmis/util/check.hpp"
 #include "hmis/util/rng.hpp"
 #include "hmis/util/timer.hpp"
@@ -114,10 +115,21 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
     stats.stage = out.rounds;
     stats.live_vertices = mh.num_live_vertices();
     stats.live_edges = mh.num_live_edges();
-    // Instrumentation only — no metrics charge, matching the serial scan
-    // this replaces (the algorithm's own work is metered at the call sites).
-    stats.dimension = live_dimension(mh, /*metrics=*/nullptr, opt.pool);
     stats.p = params.p;
+
+    // The dimension scan is instrumentation only — no metrics charge,
+    // matching the serial scan it replaces (the algorithm's own work is
+    // metered at the call sites) — so it need not serialize the round:
+    // it runs as a spawned task overlapping the live-vertex compaction and
+    // sampling below.  Two read-only kernels of the same MutableHypergraph
+    // nested on one pool is exactly the shape the work-stealing scheduler's
+    // nested fork-join exists for; the group is joined before
+    // induced_subgraph so every later use of stats.dimension sees the
+    // finished value.  Both computations are independent pure functions of
+    // the residual state, so overlapping them cannot perturb determinism.
+    par::TaskGroup dimension_scan(*par::resolve_pool(opt.pool));
+    dimension_scan.run(
+        [&] { stats.dimension = live_dimension(mh, nullptr, opt.pool); });
 
     // ---- Sample V' (lines 6-7), redrawing on dimension violations. -------
     // The mark for vertex v depends only on (seed, stream, v), never on
@@ -138,6 +150,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
           },
           metrics, opt.pool);
       stats.sampled = keep.count();
+      dimension_scan.wait();  // no-op after the first resample iteration
       induced = mh.induced_subgraph(keep);
       stats.sample_dimension = induced.graph.dimension();
       if (metrics) {

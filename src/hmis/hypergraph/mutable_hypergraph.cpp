@@ -164,8 +164,10 @@ std::size_t MutableHypergraph::incident_work(
 }
 
 bool MutableHypergraph::use_parallel(std::size_t work) const {
+  // default_grain() honours the HMIS_GRAIN override, so the same knob tunes
+  // both the loop primitives and this serial/parallel gate.
   return pool_ != nullptr && pool_->num_threads() > 1 &&
-         work >= par::kMinGrain;
+         work >= par::default_grain();
 }
 
 void MutableHypergraph::color_blue(std::span<const VertexId> vs) {

@@ -32,7 +32,11 @@
 // Thread-safety rules: a MutableHypergraph is NOT itself thread-safe — all
 // public methods must be called from one thread; the parallelism is internal
 // (fork-join on the attached pool, fully joined before each method returns).
-// Concurrent const queries without an intervening mutation are safe.
+// Concurrent const queries without an intervening mutation are safe, and —
+// because the pool is a work-stealing scheduler with nested fork-join
+// (DESIGN.md §4) — every kernel here is callable from *inside* a task
+// already running on the same pool (e.g. a par::TaskGroup closure that
+// scans one MutableHypergraph while the spawning thread queries another).
 #pragma once
 
 #include <span>

@@ -28,6 +28,24 @@ struct Metrics {
   void reset() noexcept { *this = Metrics{}; }
 };
 
+/// Runtime counters from the work-stealing scheduler (DESIGN.md §4): tasks
+/// spawned onto a deque or the injection queue, successful steals, and
+/// completed fork-join syncs (group waits / chunked-loop joins).  Counters
+/// are monotonic over a pool's lifetime; subtract two snapshots
+/// (`ThreadPool::stats()`) to meter one phase.  They describe *scheduling*,
+/// not algorithmic cost — by the determinism contract they may vary run to
+/// run while `Metrics` (and every algorithm result) stays bit-identical.
+struct SchedulerStats {
+  std::uint64_t spawns = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t joins = 0;
+};
+
+[[nodiscard]] constexpr SchedulerStats operator-(
+    SchedulerStats a, const SchedulerStats& b) noexcept {
+  return {a.spawns - b.spawns, a.steals - b.steals, a.joins - b.joins};
+}
+
 /// EREW depth charged for a data-parallel map over n items.
 [[nodiscard]] std::uint64_t map_depth(std::uint64_t n) noexcept;
 /// EREW depth charged for a tree reduction / Blelloch scan over n items.

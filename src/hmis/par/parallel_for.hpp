@@ -1,21 +1,62 @@
 // Data-parallel loop over an index range.
 //
-// The range [begin, end) is split into exactly P = pool.num_threads()
-// contiguous chunks (fewer if the range is small), so the decomposition is a
-// pure function of (range, P) — never of timing.  Bodies must write disjoint
-// locations or use idempotent atomic sets.
+// The range [begin, end) is split into at most P = pool.num_threads()
+// contiguous chunks (fewer if the range is small relative to the grain), so
+// the decomposition is a pure function of (range, P, grain) — never of
+// timing.  The work-stealing scheduler may execute the chunks in any order
+// on any worker (including nested: a parallel_for issued from inside a
+// worker task spawns onto that worker's deque and helps while joining), but
+// the chunk *set* is fixed.  Bodies must write disjoint locations or use
+// idempotent atomic sets.
+//
+// Grain: `grain` is the minimum number of items per chunk (0 = the default:
+// the HMIS_GRAIN environment override if set, else kMinGrain).  Raise it for
+// very cheap bodies, lower it for expensive ones; the determinism contract
+// only requires that a given run's grain is fixed, not any particular value.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
 
 #include "hmis/par/metrics.hpp"
 #include "hmis/par/thread_pool.hpp"
 
 namespace hmis::par {
 
-/// Minimum items per chunk before the loop bothers going parallel.
+/// Built-in minimum items per chunk before a loop bothers going parallel.
 inline constexpr std::size_t kMinGrain = 1024;
+
+namespace detail {
+
+/// Parse an HMIS_GRAIN-style override; 0 means invalid/unset (use default).
+[[nodiscard]] inline std::size_t parse_grain(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return 0;  // trailing junk / not a number
+  if (v == 0 || v > (1ull << 40)) return 0;   // zero or absurd: ignore
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace detail
+
+/// The HMIS_GRAIN environment override, or 0 when unset/invalid.  Read once
+/// and cached — changing the variable mid-process has no effect
+/// (determinism: one run, one grain).
+[[nodiscard]] inline std::size_t env_grain() {
+  static const std::size_t cached =
+      detail::parse_grain(std::getenv("HMIS_GRAIN"));
+  return cached;
+}
+
+/// The grain used when callers pass 0: the HMIS_GRAIN override if set, else
+/// kMinGrain.  Primitives with a coarser built-in default (parallel_sort)
+/// consult env_grain() directly so the one knob tunes them all.
+[[nodiscard]] inline std::size_t default_grain() {
+  const std::size_t env = env_grain();
+  return env != 0 ? env : kMinGrain;
+}
 
 struct ChunkPlan {
   std::size_t chunks = 1;
@@ -23,12 +64,13 @@ struct ChunkPlan {
 };
 
 [[nodiscard]] inline ChunkPlan plan_chunks(std::size_t n, std::size_t threads,
-                                           std::size_t grain = kMinGrain) {
+                                           std::size_t grain = 0) {
   ChunkPlan plan;
   if (n == 0) {
     plan.chunks = 0;
     return plan;
   }
+  if (grain == 0) grain = default_grain();
   const std::size_t by_grain = (n + grain - 1) / grain;
   plan.chunks = std::max<std::size_t>(1, std::min(threads, by_grain));
   plan.chunk_size = (n + plan.chunks - 1) / plan.chunks;
@@ -38,11 +80,12 @@ struct ChunkPlan {
 /// parallel_for(begin, end, f): calls f(i) for every i in [begin, end).
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& f,
-                  Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
+                  Metrics* metrics = nullptr, ThreadPool* pool = nullptr,
+                  std::size_t grain = 0) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   ThreadPool& tp = pool ? *pool : global_pool();
-  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads(), grain);
   if (metrics) metrics->add(n, map_depth(n));
   if (plan.chunks <= 1) {
     for (std::size_t i = begin; i < end; ++i) f(i);
@@ -60,11 +103,11 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& f,
 template <typename Body>
 void parallel_for_chunks(std::size_t begin, std::size_t end, Body&& f,
                          Metrics* metrics = nullptr,
-                         ThreadPool* pool = nullptr) {
+                         ThreadPool* pool = nullptr, std::size_t grain = 0) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   ThreadPool& tp = pool ? *pool : global_pool();
-  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads(), grain);
   if (metrics) metrics->add(n, map_depth(n));
   if (plan.chunks <= 1) {
     f(std::size_t{0}, begin, end);

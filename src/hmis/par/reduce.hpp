@@ -17,11 +17,11 @@ namespace hmis::par {
 template <typename T, typename Map, typename Combine>
 [[nodiscard]] T reduce(std::size_t begin, std::size_t end, T init, Map&& map,
                        Combine&& combine, Metrics* metrics = nullptr,
-                       ThreadPool* pool = nullptr) {
+                       ThreadPool* pool = nullptr, std::size_t grain = 0) {
   if (end <= begin) return init;
   const std::size_t n = end - begin;
   ThreadPool& tp = pool ? *pool : global_pool();
-  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads(), grain);
   if (metrics) metrics->add(n, log_depth(n));
   if (plan.chunks <= 1) {
     T acc = init;
@@ -50,40 +50,41 @@ template <typename T, typename Map, typename Combine>
 template <typename T, typename Map>
 [[nodiscard]] T reduce_sum(std::size_t begin, std::size_t end, Map&& map,
                            Metrics* metrics = nullptr,
-                           ThreadPool* pool = nullptr) {
+                           ThreadPool* pool = nullptr, std::size_t grain = 0) {
   return reduce<T>(
       begin, end, T{}, std::forward<Map>(map),
-      [](T a, T b) { return a + b; }, metrics, pool);
+      [](T a, T b) { return a + b; }, metrics, pool, grain);
 }
 
 /// Max of map(i) over the range (returns `lowest` on empty range).
 template <typename T, typename Map>
 [[nodiscard]] T reduce_max(std::size_t begin, std::size_t end, T lowest,
                            Map&& map, Metrics* metrics = nullptr,
-                           ThreadPool* pool = nullptr) {
+                           ThreadPool* pool = nullptr, std::size_t grain = 0) {
   return reduce<T>(
       begin, end, lowest, std::forward<Map>(map),
-      [](T a, T b) { return a < b ? b : a; }, metrics, pool);
+      [](T a, T b) { return a < b ? b : a; }, metrics, pool, grain);
 }
 
 /// Min of map(i) over the range (returns `highest` on empty range).
 template <typename T, typename Map>
 [[nodiscard]] T reduce_min(std::size_t begin, std::size_t end, T highest,
                            Map&& map, Metrics* metrics = nullptr,
-                           ThreadPool* pool = nullptr) {
+                           ThreadPool* pool = nullptr, std::size_t grain = 0) {
   return reduce<T>(
       begin, end, highest, std::forward<Map>(map),
-      [](T a, T b) { return b < a ? b : a; }, metrics, pool);
+      [](T a, T b) { return b < a ? b : a; }, metrics, pool, grain);
 }
 
 /// Count of indices where pred(i) holds.
 template <typename Pred>
 [[nodiscard]] std::size_t count_if(std::size_t begin, std::size_t end,
                                    Pred&& pred, Metrics* metrics = nullptr,
-                                   ThreadPool* pool = nullptr) {
+                                   ThreadPool* pool = nullptr,
+                                   std::size_t grain = 0) {
   return reduce_sum<std::size_t>(
       begin, end, [&](std::size_t i) { return pred(i) ? std::size_t{1} : 0; },
-      metrics, pool);
+      metrics, pool, grain);
 }
 
 }  // namespace hmis::par

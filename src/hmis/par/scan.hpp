@@ -14,10 +14,11 @@ namespace hmis::par {
 /// out may alias nothing; out.size() must be >= n.
 template <typename T, typename Values>
 T exclusive_scan(std::size_t n, Values&& values, T* out,
-                 Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
+                 Metrics* metrics = nullptr, ThreadPool* pool = nullptr,
+                 std::size_t grain = 0) {
   if (n == 0) return T{};
   ThreadPool& tp = pool ? *pool : global_pool();
-  const ChunkPlan plan = plan_chunks(n, tp.num_threads());
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads(), grain);
   if (metrics) metrics->add(2 * n, 2 * log_depth(n));
   if (plan.chunks <= 1) {
     T acc{};
@@ -59,10 +60,12 @@ T exclusive_scan(std::size_t n, Values&& values, T* out,
 /// Inclusive prefix sum; returns the total.
 template <typename T, typename Values>
 T inclusive_scan(std::size_t n, Values&& values, T* out,
-                 Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
-  const T total = exclusive_scan<T>(n, values, out, metrics, pool);
+                 Metrics* metrics = nullptr, ThreadPool* pool = nullptr,
+                 std::size_t grain = 0) {
+  const T total = exclusive_scan<T>(n, values, out, metrics, pool, grain);
   parallel_for(
-      0, n, [&](std::size_t i) { out[i] += values(i); }, metrics, pool);
+      0, n, [&](std::size_t i) { out[i] += values(i); }, metrics, pool,
+      grain);
   return total;
 }
 
@@ -70,18 +73,18 @@ T inclusive_scan(std::size_t n, Values&& values, T* out,
 template <typename Pred>
 [[nodiscard]] std::vector<std::uint32_t> pack_indices(
     std::size_t n, Pred&& pred, Metrics* metrics = nullptr,
-    ThreadPool* pool = nullptr) {
+    ThreadPool* pool = nullptr, std::size_t grain = 0) {
   std::vector<std::uint32_t> offsets(n);
   const std::uint32_t total = exclusive_scan<std::uint32_t>(
       n, [&](std::size_t i) { return pred(i) ? 1u : 0u; }, offsets.data(),
-      metrics, pool);
+      metrics, pool, grain);
   std::vector<std::uint32_t> out(total);
   parallel_for(
       0, n,
       [&](std::size_t i) {
         if (pred(i)) out[offsets[i]] = static_cast<std::uint32_t>(i);
       },
-      metrics, pool);
+      metrics, pool, grain);
   return out;
 }
 

@@ -1,0 +1,309 @@
+#include "hmis/par/scheduler.hpp"
+
+#include <algorithm>
+
+namespace hmis::par {
+
+namespace {
+
+/// Identifies the scheduler (if any) whose worker is running on this thread.
+/// A worker of pool A that calls into pool B takes B's external-submitter
+/// path — the pair pins task spawns to the correct deque.
+struct ThreadBinding {
+  const Scheduler* sched = nullptr;
+  void* worker = nullptr;
+};
+thread_local ThreadBinding tls_binding;
+
+}  // namespace
+
+// ---- GroupState ------------------------------------------------------------
+
+void GroupState::record_error(std::exception_ptr err) {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) {
+    error_ = std::move(err);
+    failed_.store(true, std::memory_order_release);
+  }
+}
+
+void GroupState::rethrow_if_error() {
+  if (!failed_.load(std::memory_order_acquire)) return;
+  // done() was reached, so every writer finished; the lock only orders this
+  // reset against a hypothetical late record_error.  Clearing before the
+  // rethrow makes the group reusable after an exceptional wait — without it
+  // the stale error would poison every later join.
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    err = std::move(error_);
+    error_ = nullptr;
+    failed_.store(false, std::memory_order_release);
+  }
+  std::rethrow_exception(err);
+}
+
+// ---- Scheduler lifecycle ---------------------------------------------------
+
+Scheduler::Scheduler(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->sched = this;
+    w->id = i;
+    w->steal_cursor = i + 1;  // spread first-victim choices
+    workers_.push_back(std::move(w));
+  }
+  // Launch only after workers_ is fully built: worker threads scan the
+  // vector (victim selection) from their first instant.
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(*workers_[i]); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  stop_.store(true, std::memory_order_seq_cst);
+  bump_activity();
+  for (auto& t : threads_) t.join();
+}
+
+Scheduler::Worker* Scheduler::current_worker() const noexcept {
+  return tls_binding.sched == this ? static_cast<Worker*>(tls_binding.worker)
+                                   : nullptr;
+}
+
+bool Scheduler::on_worker() const noexcept {
+  return current_worker() != nullptr;
+}
+
+// ---- Dispatch --------------------------------------------------------------
+
+void Scheduler::spawn(Task* task) {
+  spawns_.fetch_add(1, std::memory_order_relaxed);
+  if (Worker* self = current_worker()) {
+    self->deque.push(task);
+  } else {
+    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    injected_.push_back(task);
+    inject_size_.store(injected_.size(), std::memory_order_relaxed);
+  }
+  bump_activity();
+}
+
+void Scheduler::bump_activity() {
+  activity_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section: serializes with a sleeper between its
+    // predicate check and its actual sleep, closing the notify window.
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+}
+
+Task* Scheduler::find_task(Worker* self) {
+  if (self != nullptr) {
+    if (Task* t = self->deque.pop()) return t;
+  }
+  if (inject_size_.load(std::memory_order_relaxed) != 0) {
+    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (!injected_.empty()) {
+      Task* t = injected_.front();
+      injected_.pop_front();
+      inject_size_.store(injected_.size(), std::memory_order_relaxed);
+      return t;
+    }
+  }
+  const std::size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  const std::size_t start =
+      self != nullptr
+          ? self->steal_cursor++
+          : external_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker& victim = *workers_[(start + k) % n];
+    if (&victim == self) continue;
+    if (Task* t = victim.deque.steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::execute(Task* task) {
+  // invoke may delete the task (heap-allocated closures), so the group
+  // pointer is read first and the task is never touched afterwards.
+  GroupState* group = task->group;
+  std::exception_ptr err;
+  try {
+    task->invoke(task);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err) group->record_error(std::move(err));
+  // After this decrement the group may be destroyed by a waiter at any
+  // moment — only scheduler-owned state may be touched from here on.
+  if (group->pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    bump_activity();
+  }
+}
+
+void Scheduler::worker_main(Worker& self) {
+  tls_binding = {this, &self};
+  for (;;) {
+    // Epoch before the scan: any spawn that the scan misses bumps the epoch
+    // afterwards, so the sleep predicate below sees it (seq_cst handshake
+    // with bump_activity's sleeper check).
+    const std::uint64_t activity = activity_.load(std::memory_order_seq_cst);
+    if (Task* t = find_task(&self)) {
+      execute(t);
+      continue;
+    }
+    if (stop_.load(std::memory_order_seq_cst)) return;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_seq_cst) ||
+             activity_.load(std::memory_order_seq_cst) != activity;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Scheduler::wait(GroupState& group) {
+  Worker* self = current_worker();
+  while (!group.done()) {
+    const std::uint64_t activity = activity_.load(std::memory_order_seq_cst);
+    if (Task* t = find_task(self)) {
+      // Helping may run tasks from unrelated jobs — that is what lets
+      // independent submissions and nested loops share one set of workers.
+      execute(t);
+      continue;
+    }
+    if (group.done()) break;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [&] {
+      return group.done() ||
+             activity_.load(std::memory_order_seq_cst) != activity;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  joins_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---- Chunked fork-join loops -----------------------------------------------
+
+namespace {
+
+struct RangeJob;
+
+/// One contiguous slice [lo, hi) of the chunk index range.  Slices larger
+/// than one chunk split on execution (lazy binary splitting): the upper half
+/// is exposed for stealing, the executing thread recurses into the lower
+/// half, so decomposition cost is paid only when parallelism is realized.
+struct alignas(64) RangeTask : Task {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  RangeJob* job = nullptr;
+};
+
+struct RangeJob {
+  const std::function<void(std::size_t)>* body = nullptr;
+  Scheduler* sched = nullptr;
+  GroupState group;
+  /// Split-off tasks live here, not on any stack: a child may outlive the
+  /// frame of the task that split it.  Binary splitting of `chunks` unit
+  /// chunks creates at most chunks - 1 children, so slots never run out
+  /// (the fetch_add guard is belt and braces — splitting just stops).
+  std::vector<RangeTask> slots;
+  std::atomic<std::size_t> next_slot{0};
+};
+
+void range_invoke(Task* task) {
+  auto* rt = static_cast<RangeTask*>(task);
+  RangeJob& job = *rt->job;
+  std::size_t lo = rt->lo;
+  std::size_t hi = rt->hi;
+  while (hi - lo > 1) {
+    const std::size_t slot =
+        job.next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= job.slots.size()) break;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    RangeTask& child = job.slots[slot];
+    child.invoke = &range_invoke;
+    child.group = &job.group;
+    child.lo = mid;
+    child.hi = hi;
+    child.job = &job;
+    job.group.add(1);
+    try {
+      job.sched->spawn(&child);
+    } catch (...) {
+      // Deque growth failed: undo the registration and stop splitting —
+      // the loop below runs the whole remaining slice [lo, hi) inline, so
+      // every chunk still executes exactly once.  (Undoing is safe against
+      // sleeping waiters because this task's own pending count is not yet
+      // decremented, so the group cannot complete here.)
+      job.group.cancel(1);
+      break;
+    }
+    hi = mid;
+  }
+  for (std::size_t c = lo; c < hi; ++c) {
+    // Per-chunk catch preserves the pool contract: every chunk runs exactly
+    // once even when earlier chunks throw; the first exception wins.
+    try {
+      (*job.body)(c);
+    } catch (...) {
+      job.group.record_error(std::current_exception());
+    }
+  }
+}
+
+}  // namespace
+
+void Scheduler::run_chunks(std::size_t chunks,
+                           const std::function<void(std::size_t)>& body) {
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    body(0);  // single chunk: both contract clauses hold trivially
+    return;
+  }
+  if (workers_.empty()) {
+    // Serial fallback keeps the exact parallel exception contract — every
+    // chunk runs, the first exception is rethrown after — so exception-path
+    // side effects do not diverge across thread counts.
+    std::exception_ptr first;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      try {
+        body(c);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+  RangeJob job;
+  job.body = &body;
+  job.sched = this;
+  job.slots.resize(chunks - 1);
+  RangeTask root;
+  root.invoke = &range_invoke;
+  root.group = &job.group;
+  root.lo = 0;
+  root.hi = chunks;
+  root.job = &job;
+  job.group.add(1);
+  spawns_.fetch_add(1, std::memory_order_relaxed);
+  // The submitting thread executes the root directly: it splits the upper
+  // halves off for the workers and keeps the first chunk for itself — same
+  // participation guarantee as the old pool, without a handoff latency.
+  execute(&root);
+  wait(job.group);
+  job.group.rethrow_if_error();
+}
+
+}  // namespace hmis::par

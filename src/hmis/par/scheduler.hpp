@@ -1,0 +1,178 @@
+// Work-stealing task scheduler with nested fork-join (DESIGN.md §4).
+//
+// Replaces the single-job mutex/condvar pool dispatch: every worker owns a
+// Chase–Lev deque (`work_steal_deque.hpp`), spawned tasks go to the spawning
+// worker's deque (LIFO for the owner, FIFO for thieves), and threads that
+// are not workers of this scheduler submit through a small injection queue.
+// Waiting threads *help*: they execute queued tasks until their sync target
+// is reached, so a `run_chunks`/`parallel_for` issued from inside a worker
+// task completes instead of deadlocking — nested parallelism composes, and
+// independent jobs from different threads interleave on the same workers.
+//
+// Determinism contract: the scheduler never decides *what* work exists, only
+// *where* it runs.  Ranged loops split into a chunk set that is a pure
+// function of (range, P) — lazy binary splitting subdivides the fixed chunk
+// index range, never the decomposition itself — and chunk bodies receive the
+// same chunk ids regardless of stealing.  Callers combine per-chunk partials
+// in index order, so results are bit-identical for any schedule.
+//
+// Exception contract: the first exception raised inside a sync scope (a
+// `GroupState`) is captured and rethrown at the join; for chunked loops
+// every chunk still runs exactly once even when some of them throw, and the
+// scheduler stays fully usable afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hmis/par/metrics.hpp"
+#include "hmis/par/work_steal_deque.hpp"
+
+namespace hmis::par {
+
+class Scheduler;
+class GroupState;
+
+/// A unit of schedulable work.  Tasks are intrusive: the scheduler never
+/// allocates — callers embed Task (in a stack frame that outlives the join,
+/// or in a heap node that `invoke` frees) and hand out pointers.
+struct Task {
+  /// Runs the work.  May delete the task; the scheduler reads `group`
+  /// before invoking and never touches the task afterwards.
+  void (*invoke)(Task*) = nullptr;
+  GroupState* group = nullptr;
+};
+
+/// Join-counter state for one fork-join scope.  Embedded by TaskGroup and by
+/// the scheduler's internal chunked-loop jobs; lives on the forking frame.
+class GroupState {
+ public:
+  /// Register n tasks about to be spawned into this scope.  Must happen
+  /// before the corresponding spawn()s.
+  void add(std::size_t n) noexcept {
+    pending_.fetch_add(n, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] bool done() const noexcept {
+    return pending_.load(std::memory_order_seq_cst) == 0;
+  }
+
+  /// Unregister tasks whose enqueue failed (spawn threw before the task
+  /// reached a queue).  Only the thread that called add() may cancel, and
+  /// only for tasks never handed to the scheduler.
+  void cancel(std::size_t n) noexcept {
+    pending_.fetch_sub(n, std::memory_order_seq_cst);
+  }
+
+  /// Record an exception; the first one wins, later ones are dropped.
+  void record_error(std::exception_ptr err);
+
+  /// Rethrow the recorded exception, if any, clearing it first so the
+  /// group is reusable after an exceptional join.  Call only after done().
+  void rethrow_if_error();
+
+ private:
+  friend class Scheduler;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+class Scheduler {
+ public:
+  /// Spawns `workers` worker threads (0 is valid: every task then runs on
+  /// the thread that joins it, preserving serial semantics).
+  explicit Scheduler(std::size_t workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue a task whose group has already been add()-registered.  From a
+  /// worker of this scheduler the task goes to that worker's own deque;
+  /// from any other thread it goes to the injection queue.
+  void spawn(Task* task);
+
+  /// Help-first join: execute queued tasks (own deque, injection queue,
+  /// steals) until `group.done()`, sleeping only when no task is runnable
+  /// anywhere.  Reentrant — tasks executed while helping may themselves
+  /// spawn and wait.  Does not rethrow; callers follow with
+  /// `group.rethrow_if_error()`.
+  void wait(GroupState& group);
+
+  /// Fork-join chunked loop: body(c) for every c in [0, chunks), exactly
+  /// once each, chunk identity independent of scheduling.  The calling
+  /// thread participates.  Safe to call from inside a worker task (nested)
+  /// and from many threads concurrently.  Rethrows the first exception
+  /// after all chunks ran.
+  void run_chunks(std::size_t chunks,
+                  const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of this scheduler's workers.
+  [[nodiscard]] bool on_worker() const noexcept;
+
+  [[nodiscard]] SchedulerStats stats() const noexcept {
+    return {spawns_.load(std::memory_order_relaxed),
+            steals_.load(std::memory_order_relaxed),
+            joins_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct alignas(64) Worker {
+    WorkStealDeque<Task> deque;
+    Scheduler* sched = nullptr;
+    std::size_t id = 0;
+    std::size_t steal_cursor = 0;  // rotating victim start, owner-only
+  };
+
+  void worker_main(Worker& self);
+  /// Pop/steal one runnable task: own deque first (nullptr self skips it),
+  /// then the injection queue, then other workers' deques.
+  Task* find_task(Worker* self);
+  /// Run one task and resolve its group (records error, final decrement,
+  /// completion wakeup).  Never throws.
+  void execute(Task* task);
+  /// Bump the activity epoch and wake sleepers.  Called after every spawn
+  /// and every group completion; the seq_cst epoch/sleeper handshake in
+  /// wait()/worker_main() makes lost wakeups impossible.
+  void bump_activity();
+  [[nodiscard]] Worker* current_worker() const noexcept;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mutex_;
+  std::deque<Task*> injected_;
+  /// Lock-free emptiness hint for the injection queue: find_task() skips
+  /// the mutex when this reads 0, keeping the per-worker steal path free of
+  /// the global lock (the activity epoch covers the race with a concurrent
+  /// inject — a worker that misses the push sees the epoch bump and
+  /// rescans).  Updated under inject_mutex_.
+  std::atomic<std::size_t> inject_size_{0};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::uint64_t> activity_{0};
+  std::atomic<std::size_t> sleepers_{0};
+  std::atomic<std::size_t> external_cursor_{0};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> spawns_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> joins_{0};
+};
+
+}  // namespace hmis::par

@@ -11,12 +11,22 @@
 
 namespace hmis::par {
 
+/// Built-in minimum items per sorted run: coarser than kMinGrain because a
+/// run costs O(k log k), not O(k).  The HMIS_GRAIN override still wins, so
+/// the one knob tunes every primitive (grain = 0 means that default).
+inline constexpr std::size_t kSortGrain = 4096;
+
 template <typename T, typename Compare = std::less<T>>
 void parallel_sort(std::vector<T>& data, Compare cmp = Compare{},
-                   Metrics* metrics = nullptr, ThreadPool* pool = nullptr) {
+                   Metrics* metrics = nullptr, ThreadPool* pool = nullptr,
+                   std::size_t grain = 0) {
   const std::size_t n = data.size();
   ThreadPool& tp = pool ? *pool : global_pool();
-  const ChunkPlan plan = plan_chunks(n, tp.num_threads(), /*grain=*/4096);
+  if (grain == 0) {
+    const std::size_t env = env_grain();
+    grain = env != 0 ? env : kSortGrain;
+  }
+  const ChunkPlan plan = plan_chunks(n, tp.num_threads(), grain);
   if (metrics) metrics->add(sort_work(n), sort_depth(n));
   if (plan.chunks <= 1) {
     std::sort(data.begin(), data.end(), cmp);

@@ -1,0 +1,96 @@
+// TaskGroup: nested fork-join over arbitrary closures (DESIGN.md §4).
+//
+//   par::TaskGroup g(pool);
+//   g.run([&] { left = solve(a); });    // spawned, may be stolen
+//   right = solve(b);                   // calling thread works too
+//   g.wait();                           // helps until done; rethrows first error
+//
+// run() is legal from any thread, including from inside tasks running on the
+// same pool — spawns go to the current worker's deque (or the injection
+// queue from foreign threads) and wait() *helps* instead of blocking, so
+// nesting composes without deadlock.  Closures that the group schedules may
+// themselves call parallel_for / run_chunks / TaskGroup on the same pool.
+// Structural caveat: a run() issued from another thread must happen-before
+// the owner's wait() (or come from inside a still-pending closure of this
+// group, which holds the join open) — wait() returns the moment the pending
+// count reaches zero, so a racing external run() can land after the join
+// observed an empty group (and after the owner destroyed it).
+//
+// Determinism: the scheduler only decides where a closure runs, never
+// whether — keep closures free of cross-closure data dependencies (or
+// independently deterministic, like two read-only scans) and results stay
+// bit-identical for any thread count, including the 0-worker pool where
+// run() defers and wait() executes everything inline.
+//
+// Exceptions: the first exception thrown by any closure is rethrown by
+// wait(); the others are dropped.  The destructor joins (without throwing)
+// if wait() was not reached, so unwinding past a live group is safe.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "hmis/par/scheduler.hpp"
+#include "hmis/par/thread_pool.hpp"
+
+namespace hmis::par {
+
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : sched_(pool.scheduler()) {}
+  explicit TaskGroup(Scheduler& sched) : sched_(sched) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() {
+    // A group abandoned mid-flight (early return, exception unwind) must
+    // still join — spawned closures reference the caller's frame.  Errors
+    // are intentionally swallowed here; call wait() to observe them.
+    if (!state_.done()) sched_.wait(state_);
+  }
+
+  /// Spawn f() as a task of this group.  The closure is copied/moved into a
+  /// heap node freed after execution.
+  template <typename F>
+  void run(F&& f) {
+    using Fn = std::decay_t<F>;
+    struct Node : Task {
+      explicit Node(Fn&& fn) : fn(std::move(fn)) {}
+      Fn fn;
+    };
+    auto node = std::make_unique<Node>(Fn(std::forward<F>(f)));
+    node->group = &state_;
+    node->invoke = [](Task* t) {
+      const std::unique_ptr<Node> self(static_cast<Node*>(t));
+      self->fn();
+    };
+    state_.add(1);
+    try {
+      sched_.spawn(node.get());
+    } catch (...) {
+      // Enqueue failed (allocation): the task never reached a queue, so the
+      // registration must be undone or wait() would block forever.  The
+      // node is still owned here and freed on unwind.
+      state_.cancel(1);
+      throw;
+    }
+    node.release();  // now owned by the scheduler / its own invoke
+  }
+
+  /// Join: help-run queued tasks until every closure of this group
+  /// finished, then rethrow the first captured exception (if any).  The
+  /// group is reusable after wait() returns — normally or by throw (the
+  /// rethrow clears the recorded error).
+  void wait() {
+    sched_.wait(state_);
+    state_.rethrow_if_error();
+  }
+
+ private:
+  Scheduler& sched_;
+  GroupState state_;
+};
+
+}  // namespace hmis::par

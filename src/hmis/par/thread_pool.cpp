@@ -1,117 +1,87 @@
 #include "hmis/par/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace hmis::par {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+namespace {
+
+std::size_t resolve_thread_count(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  workers_.reserve(threads - 1);
-  for (std::size_t i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  return threads;
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  for (auto& w : workers_) w.join();
-}
+}  // namespace
 
-void ThreadPool::worker_loop() {
-  std::uint64_t last_seen = 0;
-  for (;;) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [&] {
-        return stop_ || (current_ != nullptr && current_->id != last_seen &&
-                         current_->next < current_->chunks);
-      });
-      if (stop_) return;
-      job = current_;
-      last_seen = job->id;
-      ++job->refs;  // keeps *job alive until drain() releases it
-    }
-    drain(*job);
-  }
-}
-
-void ThreadPool::drain(Job& job) {
-  for (;;) {
-    std::size_t chunk;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (job.next >= job.chunks) break;
-      chunk = job.next++;
-    }
-    std::exception_ptr err;
-    try {
-      (*job.body)(chunk);
-    } catch (...) {
-      err = std::current_exception();
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (err && !job.error) job.error = err;
-      ++job.done;
-    }
-  }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    --job.refs;
-    if (job.done == job.chunks && job.refs == 0) {
-      cv_done_.notify_all();
-    }
-  }
-}
-
-void ThreadPool::run_chunks(std::size_t chunks,
-                            const std::function<void(std::size_t)>& f) {
-  if (chunks == 0) return;
-  if (chunks == 1 || workers_.empty()) {
-    for (std::size_t c = 0; c < chunks; ++c) f(c);
-    return;
-  }
-  Job job;
-  job.body = &f;
-  job.chunks = chunks;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    job.id = ++job_counter_;
-    job.refs = 1;  // the submitting thread's reference
-    current_ = &job;
-  }
-  cv_work_.notify_all();
-  drain(job);  // calling thread participates and releases its reference
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return job.done == job.chunks && job.refs == 0; });
-    current_ = nullptr;
-  }
-  if (job.error) std::rethrow_exception(job.error);
-}
+ThreadPool::ThreadPool(std::size_t threads)
+    : sched_(resolve_thread_count(threads) - 1) {}
 
 namespace {
-std::unique_ptr<ThreadPool>& pool_slot() {
-  static std::unique_ptr<ThreadPool> pool;
-  return pool;
+
+// Global-pool slot.  Readers take the lock-free acquire path once the pool
+// exists; creation and swaps serialize on the mutex.  Swapped-out pools are
+// *retired*, not destroyed: a thread that resolved the previous pool may
+// still be running chunks on it, and joining its workers under a concurrent
+// user would be a use-after-free — the retired list keeps every pool alive
+// (its workers idle on a condvar) until process exit.
+struct GlobalPoolSlot {
+  std::mutex mutex;
+  std::atomic<ThreadPool*> current{nullptr};
+  std::vector<std::unique_ptr<ThreadPool>> owned;  // guarded by mutex
+};
+
+GlobalPoolSlot& pool_slot() {
+  static GlobalPoolSlot slot;
+  return slot;
 }
+
 }  // namespace
 
 ThreadPool& global_pool() {
-  auto& slot = pool_slot();
-  if (!slot) slot = std::make_unique<ThreadPool>();
-  return *slot;
+  GlobalPoolSlot& slot = pool_slot();
+  if (ThreadPool* pool = slot.current.load(std::memory_order_acquire)) {
+    return *pool;
+  }
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  if (ThreadPool* pool = slot.current.load(std::memory_order_relaxed)) {
+    return *pool;  // another thread won the race to create it
+  }
+  slot.owned.push_back(std::make_unique<ThreadPool>());
+  ThreadPool* pool = slot.owned.back().get();
+  slot.current.store(pool, std::memory_order_release);
+  return *pool;
 }
 
 void set_global_threads(std::size_t threads) {
-  pool_slot() = std::make_unique<ThreadPool>(threads == 0 ? 1 : threads);
+  const std::size_t want = threads == 0 ? 1 : threads;
+  GlobalPoolSlot& slot = pool_slot();
+  {
+    // Republish an existing pool of the right size when one is available —
+    // the current pool or a retired one — so processes that toggle the
+    // thread count per phase reuse workers instead of accumulating a new
+    // pool (and its parked threads) on every call.
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    for (const auto& pool : slot.owned) {
+      if (pool->num_threads() == want) {
+        slot.current.store(pool.get(), std::memory_order_release);
+        return;
+      }
+    }
+  }
+  // No match: build the pool outside the lock (thread spawning is slow),
+  // then publish.  A concurrent same-size call may race us here and retire
+  // one redundant pool — growth stays bounded by the set of sizes used.
+  auto replacement = std::make_unique<ThreadPool>(want);
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.owned.push_back(std::move(replacement));
+  slot.current.store(slot.owned.back().get(), std::memory_order_release);
 }
 
 }  // namespace hmis::par

@@ -1,76 +1,80 @@
-// A small fixed-size thread pool with fork-join semantics.
+// ThreadPool: the library-facing handle on the work-stealing scheduler.
 //
-// Design constraints (see DESIGN.md §4):
-//  * Determinism: `run_chunks(k, f)` always invokes f(0..k-1) exactly once
-//    each; callers decompose work into a *fixed* number of chunks (usually
-//    `num_threads()`), so the decomposition — and therefore any per-chunk
-//    partial results combined in index order — is independent of scheduling.
-//  * Exception safety: the first exception thrown by any chunk is captured
-//    and rethrown on the calling thread after the join.
+// Historically this was a single-job mutex/condvar pool; it is now a thin
+// compatibility shim over `par::Scheduler` (DESIGN.md §4) so the primitives
+// (`parallel_for`, `reduce`, `scan`, `sort`), the algorithms, and
+// `MutableHypergraph` migrate without source changes.  What the shim
+// guarantees:
+//
+//  * Determinism: `run_chunks(k, f)` invokes f(0..k-1) exactly once each;
+//    callers decompose work into a *fixed* chunk set (a pure function of
+//    (range, P) via `plan_chunks`), and stealing reorders execution only —
+//    never the chunk set — so per-chunk partials combined in index order are
+//    independent of scheduling.
+//  * Nesting: run_chunks is reentrant.  Called from inside a worker task it
+//    spawns onto that worker's own deque and helps while joining; called
+//    concurrently from several threads the jobs interleave on the shared
+//    workers.  (The old pool deadlocked on both.)
+//  * Exception safety: the first exception thrown by any chunk is rethrown
+//    on the calling thread after the join; every chunk still runs.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "hmis/par/scheduler.hpp"
 
 namespace hmis::par {
 
 class ThreadPool {
  public:
-  /// Creates `threads` workers (>=1).  0 means hardware_concurrency.
+  /// Creates a pool of `threads` execution lanes (>=1): threads - 1 worker
+  /// threads plus the calling thread, which always participates in joins.
+  /// 0 means hardware_concurrency.
   explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t num_threads() const noexcept {
-    return workers_.size() + 1;  // workers plus the calling thread
+    return sched_.num_workers() + 1;  // workers plus the calling thread
   }
 
   /// Run f(chunk) for chunk in [0, chunks); blocks until all complete.
-  /// The calling thread participates (chunk ids are handed out atomically,
-  /// but every chunk runs exactly once, so deterministic decompositions
-  /// remain deterministic).
-  void run_chunks(std::size_t chunks, const std::function<void(std::size_t)>& f);
+  /// The calling thread participates.  See the header comment for the
+  /// determinism / nesting / exception guarantees.
+  void run_chunks(std::size_t chunks,
+                  const std::function<void(std::size_t)>& f) {
+    // All fast paths (0/1 chunks, zero workers) live in the scheduler so
+    // the serial-fallback policy has exactly one implementation.
+    sched_.run_chunks(chunks, f);
+  }
+
+  /// The underlying scheduler, for TaskGroup and direct task spawning.
+  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+
+  /// Lifetime spawn/steal/join counters (monotonic; subtract snapshots to
+  /// meter a phase — `hmis solve --stats` does exactly that).
+  [[nodiscard]] SchedulerStats stats() const noexcept {
+    return sched_.stats();
+  }
 
  private:
-  struct Job {
-    const std::function<void(std::size_t)>* body = nullptr;
-    std::size_t chunks = 0;
-    std::size_t next = 0;      // next chunk to hand out
-    std::size_t done = 0;      // chunks completed
-    std::size_t refs = 0;      // threads currently inside drain()
-    std::exception_ptr error;  // first captured exception
-    std::uint64_t id = 0;      // job sequence number
-  };
-
-  void worker_loop();
-  /// Pull and run chunks of the current job until exhausted.  The caller
-  /// must have incremented job.refs under the mutex; drain() releases that
-  /// reference on exit.  The submitter only destroys the job once
-  /// done == chunks && refs == 0, so workers never touch a dead job.
-  void drain(Job& job);
-
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;   // signals workers: job available / stop
-  std::condition_variable cv_done_;   // signals submitter: job finished
-  Job* current_ = nullptr;
-  std::uint64_t job_counter_ = 0;
-  bool stop_ = false;
+  Scheduler sched_;
 };
 
-/// Process-wide pool used by the `hmis::par` algorithms.  Intentionally lazy:
-/// first use creates it with hardware_concurrency threads.
+/// Process-wide pool used by the `hmis::par` algorithms.  Lazy: first use
+/// creates it with hardware_concurrency threads.  Thread-safe, including
+/// concurrent first use (double-checked atomic publication under a mutex).
 [[nodiscard]] ThreadPool& global_pool();
 
-/// Replace the global pool with one of `threads` threads.  Not thread-safe
-/// w.r.t. concurrent global_pool() users; call at startup / between phases.
+/// Replace the global pool with one of `threads` threads.  Thread-safe
+/// w.r.t. concurrent global_pool() users: the swap is an atomic pointer
+/// publication, and superseded pools are retired (kept alive until process
+/// exit) rather than destroyed, so references obtained earlier stay valid.
+/// A retired pool with the requested size is republished instead of
+/// building a new one, so alternating thread counts between phases does
+/// not grow the retired set.
 void set_global_threads(std::size_t threads);
 
 /// The pool an algorithm should actually use for a CommonOptions-style

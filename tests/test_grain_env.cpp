@@ -1,0 +1,68 @@
+// HMIS_GRAIN environment override, isolated in its own binary: the default
+// grain is read once and cached on first use, so the variable must be set
+// before anything in the process touches the parallel primitives — which is
+// only guaranteed when no other suite shares the executable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/sort.hpp"
+#include "hmis/par/thread_pool.hpp"
+
+namespace {
+
+using namespace hmis::par;
+
+TEST(GrainEnv, OverrideFlowsIntoDefaultPlans) {
+  ASSERT_EQ(setenv("HMIS_GRAIN", "32", /*overwrite=*/1), 0);
+  EXPECT_EQ(default_grain(), 32u);
+  // A grain-0 plan (the default taken by every primitive) now splits ranges
+  // far below kMinGrain.
+  const ChunkPlan plan = plan_chunks(/*n=*/256, /*threads=*/8);
+  EXPECT_EQ(plan.chunks, 8u);
+  EXPECT_EQ(plan.chunk_size, 32u);
+  // And a real loop fans out at that size: with the built-in default this
+  // range would run serially in submission order on the calling thread.
+  ThreadPool pool(4);
+  const SchedulerStats before = pool.stats();
+  std::vector<std::atomic<int>> hits(256);
+  for (auto& h : hits) h.store(0);
+  parallel_for(
+      0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, nullptr,
+      &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const SchedulerStats delta = pool.stats() - before;
+  EXPECT_GE(delta.spawns, 1u);
+  EXPECT_GE(delta.joins, 1u);
+  // parallel_sort honours the same override, even though its built-in
+  // default (kSortGrain = 4096) is coarser than kMinGrain: 256 items at
+  // grain 32 plan multiple runs, and the merge still sorts correctly.
+  std::vector<int> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int>(data.size() - i);
+  }
+  const SchedulerStats sort_before = pool.stats();
+  parallel_sort(data, std::less<int>{}, nullptr, &pool);
+  const SchedulerStats sort_delta = pool.stats() - sort_before;
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  EXPECT_GE(sort_delta.spawns, 1u);  // fanned out despite n << kSortGrain
+}
+
+TEST(GrainEnv, CachedValueIgnoresLaterChanges) {
+  // Determinism requires one grain per run: whatever value default_grain()
+  // latched first (48 when this test runs in its own process, the previous
+  // test's 32 when the whole binary runs at once) must survive later
+  // environment edits.
+  ASSERT_EQ(setenv("HMIS_GRAIN", "48", /*overwrite=*/1), 0);
+  const std::size_t latched = default_grain();
+  ASSERT_EQ(setenv("HMIS_GRAIN", "4096", /*overwrite=*/1), 0);
+  EXPECT_EQ(default_grain(), latched);
+  ASSERT_EQ(unsetenv("HMIS_GRAIN"), 0);
+  EXPECT_EQ(default_grain(), latched);
+}
+
+}  // namespace

@@ -4,12 +4,14 @@
 #include <numeric>
 #include <random>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
 #include "hmis/par/scan.hpp"
 #include "hmis/par/sort.hpp"
+#include "hmis/par/task_group.hpp"
 #include "hmis/par/thread_pool.hpp"
 #include "hmis/pram/cost_model.hpp"
 
@@ -52,6 +54,172 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
     pool.run_chunks(16, [&](std::size_t) { count.fetch_add(1); });
     ASSERT_EQ(count.load(), 16);
   }
+}
+
+// Acceptance criterion of the scheduler rewrite: a parallel_for issued from
+// inside a worker task completes instead of deadlocking the pool.
+TEST(ThreadPool, NestedParallelForInsideRunChunksCompletes) {
+  ThreadPool pool(4);
+  const std::size_t outer = 8;
+  const std::size_t inner = 4 * kMinGrain;  // big enough to go parallel
+  std::vector<std::vector<int>> hits(outer);
+  for (auto& h : hits) h.assign(inner, 0);
+  pool.run_chunks(outer, [&](std::size_t c) {
+    parallel_for(
+        0, inner, [&](std::size_t i) { hits[c][i] += 1; }, nullptr, &pool);
+  });
+  for (const auto& row : hits) {
+    EXPECT_TRUE(std::all_of(row.begin(), row.end(),
+                            [](int h) { return h == 1; }));
+  }
+}
+
+TEST(ThreadPool, DeeplyNestedRunChunks) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.run_chunks(3, [&](std::size_t) {
+    pool.run_chunks(3, [&](std::size_t) {
+      pool.run_chunks(3, [&](std::size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 27);
+}
+
+TEST(ThreadPool, ConcurrentSubmissionsFromManyExternalThreads) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kJobs = 20;
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int j = 0; j < kJobs; ++j) {
+        pool.run_chunks(8, [&](std::size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kJobs * 8);
+}
+
+TEST(ThreadPool, ExceptionInNestedLoopPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_chunks(4,
+                               [&](std::size_t c) {
+                                 pool.run_chunks(4, [&](std::size_t inner) {
+                                   if (c == 2 && inner == 3) {
+                                     throw std::runtime_error("nested boom");
+                                   }
+                                 });
+                               }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.run_chunks(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, AllChunksRunEvenWhenSomeThrow) {
+  // The shim's exception contract: every chunk still runs exactly once;
+  // the first exception is rethrown after the join.  The serial fallback
+  // (1-thread pool) must honour the same contract, or exception-path side
+  // effects would diverge across thread counts.
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{1}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(32);
+    EXPECT_THROW(pool.run_chunks(32,
+                                 [&](std::size_t c) {
+                                   hits[c].fetch_add(1);
+                                   if (c % 7 == 1) {
+                                     throw std::runtime_error("chunk failed");
+                                   }
+                                 }),
+                 std::runtime_error)
+        << "threads=" << threads;
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, StatsCountSpawnsAndJoins) {
+  ThreadPool pool(4);
+  const SchedulerStats before = pool.stats();
+  pool.run_chunks(16, [](std::size_t) {});
+  const SchedulerStats delta = pool.stats() - before;
+  EXPECT_GE(delta.spawns, 1u);  // root task at minimum
+  EXPECT_GE(delta.joins, 1u);
+  // Serial fast path (single chunk) must not touch the scheduler.
+  const SchedulerStats before_serial = pool.stats();
+  pool.run_chunks(1, [](std::size_t) {});
+  const SchedulerStats serial = pool.stats() - before_serial;
+  EXPECT_EQ(serial.spawns, 0u);
+  EXPECT_EQ(serial.joins, 0u);
+}
+
+TEST(TaskGroup, RunsClosuresOnWorkersAndInline) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    TaskGroup group(pool);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 10; ++i) {
+      group.run([&sum, i] { sum.fetch_add(i); });
+    }
+    group.wait();
+    EXPECT_EQ(sum.load(), 55) << "threads=" << threads;
+  }
+}
+
+TEST(TaskGroup, NestedParallelForInsideClosure) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::vector<int> a(2 * kMinGrain, 0);
+  std::vector<int> b(2 * kMinGrain, 0);
+  group.run([&] {
+    parallel_for(
+        0, a.size(), [&](std::size_t i) { a[i] = 1; }, nullptr, &pool);
+  });
+  // The spawning thread runs its own nested loop concurrently.
+  parallel_for(
+      0, b.size(), [&](std::size_t i) { b[i] = 1; }, nullptr, &pool);
+  group.wait();
+  EXPECT_TRUE(std::all_of(a.begin(), a.end(), [](int x) { return x == 1; }));
+  EXPECT_TRUE(std::all_of(b.begin(), b.end(), [](int x) { return x == 1; }));
+}
+
+TEST(TaskGroup, FirstExceptionWinsAndGroupStaysUsable) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    group.run([&ran] {
+      ran.fetch_add(1);
+      throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // later failures don't cancel scheduled tasks
+  // The rethrow cleared the error: reusing the group after catching must
+  // not replay the stale exception, and new failures are still captured.
+  std::atomic<int> reran{0};
+  for (int i = 0; i < 4; ++i) group.run([&reran] { reran.fetch_add(1); });
+  group.wait();  // throws nothing: all closures succeeded
+  EXPECT_EQ(reran.load(), 4);
+  group.run([] { throw std::logic_error("fresh failure"); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+  // The pool survives for unrelated work.
+  std::atomic<int> ok{0};
+  pool.run_chunks(4, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(TaskGroup, DestructorJoinsAbandonedGroup) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) group.run([&ran] { ran.fetch_add(1); });
+    // No wait(): the destructor must join (and swallow nothing here).
+  }
+  EXPECT_EQ(ran.load(), 16);
 }
 
 TEST(ParallelFor, CoversRangeOnce) {
@@ -232,6 +400,97 @@ TEST(GlobalPool, SetThreadsTakesEffect) {
   EXPECT_EQ(global_pool().num_threads(), 2u);
   set_global_threads(1);
   EXPECT_EQ(global_pool().num_threads(), 1u);
+}
+
+// Regression test for the documented "not thread-safe" global pool: hammer
+// global_pool() from many threads while the main thread swaps it.  Under
+// TSan this validates the atomic publication and the retire-don't-destroy
+// swap (references obtained before a swap stay usable).
+TEST(GlobalPool, ConcurrentUseAndSwapIsSafe) {
+  constexpr int kReaders = 8;
+  constexpr int kIterations = 200;
+  std::atomic<bool> start{false};
+  std::atomic<std::uint64_t> observed{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < kIterations; ++i) {
+        ThreadPool& pool = global_pool();
+        observed.fetch_add(pool.num_threads());
+        if (i % 32 == 0) {
+          pool.run_chunks(2, [&](std::size_t) { observed.fetch_add(1); });
+        }
+      }
+    });
+  }
+  start.store(true);
+  for (int swap = 0; swap < 20; ++swap) {
+    set_global_threads(1 + swap % 3);
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_GT(observed.load(), 0u);
+  set_global_threads(1);  // leave a small pool behind for later tests
+}
+
+TEST(GlobalPool, SetThreadsRepublishesRetiredPoolOfSameSize) {
+  // Alternating thread counts must not grow the retired set: asking for a
+  // size that already exists republishes that pool instead of building a
+  // new one (new workers every call would leak parked OS threads).
+  set_global_threads(3);
+  ThreadPool* const first = &global_pool();
+  EXPECT_EQ(first->num_threads(), 3u);
+  set_global_threads(1);
+  EXPECT_NE(&global_pool(), first);
+  set_global_threads(3);
+  EXPECT_EQ(&global_pool(), first);
+  set_global_threads(1);
+}
+
+// ---- Grain tuning ----------------------------------------------------------
+
+TEST(Grain, ParseGrainAcceptsSaneValuesOnly) {
+  EXPECT_EQ(detail::parse_grain(nullptr), 0u);
+  EXPECT_EQ(detail::parse_grain(""), 0u);
+  EXPECT_EQ(detail::parse_grain("abc"), 0u);
+  EXPECT_EQ(detail::parse_grain("12abc"), 0u);
+  EXPECT_EQ(detail::parse_grain("0"), 0u);
+  EXPECT_EQ(detail::parse_grain("1"), 1u);
+  EXPECT_EQ(detail::parse_grain("4096"), 4096u);
+  EXPECT_EQ(detail::parse_grain("99999999999999999999"), 0u);  // absurd
+}
+
+TEST(Grain, PlanChunksHonoursExplicitGrain) {
+  // grain = 1: chunk count capped by threads only.
+  EXPECT_EQ(plan_chunks(10, 4, 1).chunks, 4u);
+  // grain larger than n: single chunk.
+  EXPECT_EQ(plan_chunks(10, 4, 64).chunks, 1u);
+  // grain = 0 falls back to the default (kMinGrain when HMIS_GRAIN unset).
+  EXPECT_EQ(plan_chunks(kMinGrain - 1, 8, 0).chunks,
+            plan_chunks(kMinGrain - 1, 8).chunks);
+  // exact multiples split evenly.
+  const ChunkPlan plan = plan_chunks(8 * 100, 8, 100);
+  EXPECT_EQ(plan.chunks, 8u);
+  EXPECT_EQ(plan.chunk_size, 100u);
+  // zero-length range plans zero chunks for any grain.
+  EXPECT_EQ(plan_chunks(0, 8, 7).chunks, 0u);
+}
+
+TEST(Grain, ParallelForRespectsGrainParameter) {
+  ThreadPool pool(4);
+  // With a tiny explicit grain a small range still fans out; every index
+  // must run exactly once regardless.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(
+      0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, nullptr,
+      &pool, /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reductions with a custom grain stay exact.
+  const long sum = reduce_sum<long>(
+      0, 1000, [](std::size_t i) { return static_cast<long>(i); }, nullptr,
+      &pool, /*grain=*/16);
+  EXPECT_EQ(sum, 499500L);
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+// Scheduler-layer tests: the Chase–Lev deque, the Scheduler/GroupState task
+// API underneath ThreadPool/TaskGroup, and the chunk-identity guarantee that
+// carries the determinism contract (DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/scheduler.hpp"
+#include "hmis/par/task_group.hpp"
+#include "hmis/par/thread_pool.hpp"
+#include "hmis/par/work_steal_deque.hpp"
+#include "test_threads.hpp"
+
+namespace {
+
+using namespace hmis::par;
+
+/// Width of the "wide" pools below.  HMIS_TEST_THREADS scales it up in CI;
+/// the floor of 4 keeps the fan-out assertions (chunk counts, steal
+/// opportunities) meaningful even if the override asks for fewer.
+std::size_t wide_threads() {
+  return std::max<std::size_t>(hmis_test::max_test_threads(), 4);
+}
+
+// ---- WorkStealDeque --------------------------------------------------------
+
+TEST(WorkStealDeque, OwnerPopsLifo) {
+  WorkStealDeque<int> deque;
+  int items[3] = {10, 20, 30};
+  for (int& x : items) deque.push(&x);
+  EXPECT_EQ(deque.pop(), &items[2]);
+  EXPECT_EQ(deque.pop(), &items[1]);
+  EXPECT_EQ(deque.pop(), &items[0]);
+  EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(WorkStealDeque, ThievesStealFifo) {
+  WorkStealDeque<int> deque;
+  int items[3] = {10, 20, 30};
+  for (int& x : items) deque.push(&x);
+  EXPECT_EQ(deque.steal(), &items[0]);
+  EXPECT_EQ(deque.steal(), &items[1]);
+  EXPECT_EQ(deque.steal(), &items[2]);
+  EXPECT_EQ(deque.steal(), nullptr);
+}
+
+TEST(WorkStealDeque, GrowsPastInitialCapacity) {
+  WorkStealDeque<std::size_t> deque(4);
+  std::vector<std::size_t> items(10000);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = i;
+    deque.push(&items[i]);
+  }
+  // Steal half from the top (oldest first), pop half from the bottom.
+  for (std::size_t i = 0; i < items.size() / 2; ++i) {
+    ASSERT_EQ(deque.steal(), &items[i]);
+  }
+  for (std::size_t i = items.size(); i > items.size() / 2; --i) {
+    ASSERT_EQ(deque.pop(), &items[i - 1]);
+  }
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(WorkStealDeque, ConcurrentStealersGetEveryItemExactlyOnce) {
+  const std::size_t thieves = wide_threads();
+  constexpr std::size_t kItems = 20000;
+  WorkStealDeque<std::size_t> deque;
+  std::vector<std::size_t> items(kItems);
+  std::vector<std::atomic<int>> taken(kItems);
+  for (auto& t : taken) t.store(0);
+  std::atomic<bool> done_pushing{false};
+  std::atomic<std::size_t> stolen{0};
+
+  std::vector<std::thread> stealers;
+  stealers.reserve(thieves);
+  for (std::size_t s = 0; s < thieves; ++s) {
+    stealers.emplace_back([&] {
+      for (;;) {
+        if (std::size_t* item = deque.steal()) {
+          taken[*item].fetch_add(1);
+          stolen.fetch_add(1);
+        } else if (done_pushing.load() && deque.empty()) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  // Owner interleaves pushes with occasional pops.
+  std::size_t popped = 0;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    items[i] = i;
+    deque.push(&items[i]);
+    if (i % 64 == 63) {
+      if (std::size_t* item = deque.pop()) {
+        taken[*item].fetch_add(1);
+        ++popped;
+      }
+    }
+  }
+  done_pushing.store(true);
+  for (auto& t : stealers) t.join();
+  // Drain anything the thieves left behind.
+  while (std::size_t* item = deque.pop()) {
+    taken[*item].fetch_add(1);
+    ++popped;
+  }
+  EXPECT_EQ(stolen.load() + popped, kItems);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(taken[i].load(), 1) << "item " << i;
+  }
+}
+
+// ---- Scheduler / GroupState ------------------------------------------------
+
+TEST(Scheduler, SpawnAndWaitRunsEveryTask) {
+  Scheduler sched(3);
+  constexpr std::size_t kTasks = 100;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  struct HitTask : Task {
+    std::atomic<int>* cell = nullptr;
+  };
+  std::vector<HitTask> tasks(kTasks);
+  GroupState group;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks[i].cell = &hits[i];
+    tasks[i].group = &group;
+    tasks[i].invoke = [](Task* t) {
+      static_cast<HitTask*>(t)->cell->fetch_add(1);
+    };
+  }
+  group.add(kTasks);
+  for (auto& t : tasks) sched.spawn(&t);
+  sched.wait(group);
+  group.rethrow_if_error();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ZeroWorkerSchedulerRunsTasksAtWait) {
+  Scheduler sched(0);
+  EXPECT_EQ(sched.num_workers(), 0u);
+  std::atomic<int> ran{0};
+  struct Noop : Task {
+    std::atomic<int>* counter = nullptr;
+  };
+  Noop task;
+  GroupState group;
+  task.counter = &ran;
+  task.group = &group;
+  task.invoke = [](Task* t) { static_cast<Noop*>(t)->counter->fetch_add(1); };
+  group.add(1);
+  sched.spawn(&task);
+  EXPECT_EQ(ran.load(), 0);  // deferred: no workers, nobody waited yet
+  sched.wait(group);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Scheduler, RunChunksChunkIdentityIndependentOfScheduling) {
+  // The chunk *set* handed to the body must be exactly [0, chunks) no
+  // matter how stealing interleaves — repeat under load to shake schedules.
+  Scheduler sched(wide_threads() - 1);
+  for (int round = 0; round < 50; ++round) {
+    constexpr std::size_t kChunks = 64;
+    std::vector<std::atomic<int>> seen(kChunks);
+    for (auto& s : seen) s.store(0);
+    sched.run_chunks(kChunks,
+                     [&](std::size_t c) { seen[c].fetch_add(1); });
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      ASSERT_EQ(seen[c].load(), 1) << "chunk " << c << " round " << round;
+    }
+  }
+}
+
+TEST(Scheduler, RunChunksZeroAndOne) {
+  Scheduler sched(2);
+  int calls = 0;
+  sched.run_chunks(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  sched.run_chunks(1, [&](std::size_t c) {
+    EXPECT_EQ(c, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Scheduler, StatsCountStealsUnderContention) {
+  // With more chunks than workers and a body that sleeps, some chunk must
+  // be executed via a steal or injection hand-off; the counters move.
+  Scheduler sched(wide_threads() - 1);
+  const SchedulerStats before = sched.stats();
+  for (int round = 0; round < 10; ++round) {
+    sched.run_chunks(32, [](std::size_t) {
+      std::this_thread::yield();
+    });
+  }
+  const SchedulerStats delta = sched.stats() - before;
+  EXPECT_GE(delta.spawns, 10u);
+  EXPECT_GE(delta.joins, 10u);
+}
+
+// ---- ThreadPool shim edge cases -------------------------------------------
+
+TEST(SchedulerEdge, ChunksGreaterThanItems) {
+  // parallel_for with grain 1 on a range smaller than the pool width: the
+  // plan caps chunks at n, and every index runs once.
+  ThreadPool pool(wide_threads());
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  parallel_for(
+      0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, nullptr,
+      &pool, /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const ChunkPlan plan = plan_chunks(3, pool.num_threads(), 1);
+  EXPECT_EQ(plan.chunks, 3u);
+}
+
+TEST(SchedulerEdge, ZeroLengthRangeNeverTouchesScheduler) {
+  ThreadPool pool(4);
+  const SchedulerStats before = pool.stats();
+  int calls = 0;
+  parallel_for(7, 7, [&](std::size_t) { ++calls; }, nullptr, &pool);
+  parallel_for_chunks(
+      9, 9, [&](std::size_t, std::size_t, std::size_t) { ++calls; }, nullptr,
+      &pool);
+  pool.run_chunks(0, [&](std::size_t) { ++calls; });
+  const SchedulerStats delta = pool.stats() - before;
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(delta.spawns, 0u);
+  EXPECT_EQ(delta.joins, 0u);
+}
+
+TEST(SchedulerEdge, ExceptionFromStolenTaskPropagates) {
+  // Force the throwing closure onto a worker (the spawning thread busies
+  // itself first), so the error crosses a steal boundary before rethrow.
+  ThreadPool pool(wide_threads());
+  for (int round = 0; round < 20; ++round) {
+    TaskGroup group(pool);
+    std::atomic<int> side{0};
+    group.run([&] {
+      side.fetch_add(1);
+      throw std::runtime_error("stolen boom");
+    });
+    for (int i = 0; i < 100; ++i) side.fetch_add(1);
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    ASSERT_GE(side.load(), 101);
+  }
+  // Pool unharmed.
+  std::atomic<int> ok{0};
+  pool.run_chunks(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(SchedulerEdge, WorkerOfOnePoolCanDriveAnotherPool) {
+  // A task on pool A issuing fork-join on pool B takes B's external
+  // submitter path; both joins complete.
+  ThreadPool a(3), b(3);
+  std::atomic<int> total{0};
+  a.run_chunks(4, [&](std::size_t) {
+    b.run_chunks(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(SchedulerEdge, ManyConcurrentGroupsOnSharedPool) {
+  ThreadPool pool(wide_threads());
+  constexpr int kThreads = 4;
+  constexpr int kGroupsPerThread = 25;
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kThreads);
+  for (int d = 0; d < kThreads; ++d) {
+    drivers.emplace_back([&] {
+      for (int g = 0; g < kGroupsPerThread; ++g) {
+        TaskGroup group(pool);
+        for (int t = 0; t < 4; ++t) {
+          group.run([&total] { total.fetch_add(1); });
+        }
+        group.wait();
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(total.load(), kThreads * kGroupsPerThread * 4);
+}
+
+}  // namespace

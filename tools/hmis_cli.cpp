@@ -3,6 +3,8 @@
 //   hmis gen   <family> <out.hg> [options]   generate an instance
 //   hmis stats <in.hg>                       analyze + recommend (planner)
 //   hmis solve <in.hg> [--algo A] [--seed S] [--threads T] [--out sets.txt]
+//              [--stats]  (print EREW work/depth + scheduler spawn/steal/join
+//                          counters alongside the round metrics)
 //   hmis verify <in.hg> <set.txt>            check independence/maximality
 //   hmis color <in.hg> [--algo A]            strong coloring via iterated MIS
 //
@@ -105,6 +107,7 @@ int cmd_solve(const std::vector<std::string>& args) {
   core::Algorithm algorithm = core::Algorithm::Auto;
   core::FindOptions opt;
   std::string out_path;
+  bool print_stats = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--algo" && i + 1 < args.size()) {
       algorithm = parse_algorithm(args[++i]);
@@ -114,6 +117,8 @@ int cmd_solve(const std::vector<std::string>& args) {
       par::set_global_threads(std::strtoull(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "--out" && i + 1 < args.size()) {
       out_path = args[++i];
+    } else if (args[i] == "--stats") {
+      print_stats = true;
     } else {
       return usage();
     }
@@ -126,7 +131,12 @@ int cmd_solve(const std::vector<std::string>& args) {
                  "instance (see core::supports); run may stall or fail\n",
                  std::string(core::algorithm_name(algorithm)).c_str());
   }
+  // Snapshot the global pool's scheduler counters around the solve so
+  // --stats reports this run's spawns/steals/joins, not process history.
+  // (Algorithms resolve a null FindOptions::pool to the global pool.)
+  const par::SchedulerStats sched_before = par::global_pool().stats();
   const auto run = core::find_mis(h, algorithm, opt);
+  const par::SchedulerStats sched = par::global_pool().stats() - sched_before;
   if (!run.result.success) {
     std::fprintf(stderr, "FAILED: %s\n", run.result.failure_reason.c_str());
     return 1;
@@ -135,6 +145,19 @@ int cmd_solve(const std::vector<std::string>& args) {
               std::string(core::algorithm_name(run.algorithm)).c_str(),
               run.result.independent_set.size(), run.result.rounds,
               run.result.seconds * 1e3, run.verdict.ok() ? "yes" : "NO");
+  if (print_stats) {
+    const auto& m = run.result.metrics;
+    std::printf("stats: work=%llu depth=%llu calls=%llu inner_stages=%llu\n",
+                static_cast<unsigned long long>(m.work),
+                static_cast<unsigned long long>(m.depth),
+                static_cast<unsigned long long>(m.calls),
+                static_cast<unsigned long long>(run.result.inner_stages));
+    std::printf("scheduler: threads=%zu spawns=%llu steals=%llu joins=%llu\n",
+                par::global_pool().num_threads(),
+                static_cast<unsigned long long>(sched.spawns),
+                static_cast<unsigned long long>(sched.steals),
+                static_cast<unsigned long long>(sched.joins));
+  }
   if (!out_path.empty()) {
     std::ofstream os(out_path);
     for (const VertexId v : run.result.independent_set) os << v << '\n';
