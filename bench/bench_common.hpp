@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hmis/hmis.hpp"
@@ -22,6 +23,23 @@ namespace hmis::bench {
 inline bool quick_mode() {
   const char* v = std::getenv("HMIS_BENCH_SCALE");
   return v != nullptr && std::strcmp(v, "quick") == 0;
+}
+
+/// Pool access for benches: every bench goes through the thread-safe
+/// global-pool path (atomic publication, retire-not-destroy swaps — the
+/// PR 3 publication contract) instead of constructing ad-hoc ThreadPool
+/// instances whose lifetime would race with google-benchmark's own
+/// threads.  Resizes the global pool to `threads` (0 = hardware
+/// concurrency, mapped explicitly — set_global_threads itself treats 0 as
+/// 1 lane) and returns it; superseded pools of other sizes stay valid for
+/// any outstanding references.
+inline par::ThreadPool& pool_with_threads(std::size_t threads = 0) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  par::set_global_threads(threads);
+  return par::global_pool();
 }
 
 inline void print_header(const char* tag, const char* title) {

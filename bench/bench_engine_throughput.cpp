@@ -1,0 +1,283 @@
+// E1 — engine throughput and residual-frame allocation economics.
+//
+// Two questions, each printed as a greppable "eng:" table:
+//
+//   eng:alloc       How many heap allocations does one residual-frame
+//                   rebuild cost?  Compares the fresh path (live_snapshot /
+//                   induced_subgraph returning new storage every round —
+//                   what every round of SBL/BL did before the arena) with
+//                   the arena path (RoundContext's double-buffered frames,
+//                   capacity reused across rounds).  Counted with a global
+//                   operator-new hook; steady state, after one warm-up
+//                   build.  Expectation: arena ≪ fresh, and exactly 0 on
+//                   the serial flavour.
+//
+//   eng:throughput  Solves/second for a mixed instance batch: blocking
+//                   sequential find_mis loop vs the async Engine multi-
+//                   plexing every session onto the same pool, at 1/2/8
+//                   threads.  Also asserts the two paths return identical
+//                   independent sets (the engine determinism contract).
+//                   On a single-core container the wide rows measure
+//                   scheduling overhead, not speedup — see bench_fig11's
+//                   note.
+#include "bench_common.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// ---- Global allocation counter ---------------------------------------------
+// Replaces the global allocation functions for this binary only.  The
+// counter includes every allocation on the calling thread (vectors, closures,
+// strings); the tables below always report *deltas* around the measured
+// section, with the compared sections shaped identically.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+// The replacement news above are malloc-backed, so free() IS the matching
+// deallocator — silence gcc's heuristic pairing check.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
+
+namespace {
+
+using namespace hmis;
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// ---- eng:alloc -------------------------------------------------------------
+
+void run_alloc_table() {
+  hmis::bench::print_header(
+      "eng:alloc", "heap allocations per residual-frame rebuild "
+                   "(fresh per-round storage vs arena-backed frames)");
+  const std::size_t n = hmis::bench::quick_mode() ? 2000 : 6000;
+  const std::size_t rounds = hmis::bench::quick_mode() ? 20 : 50;
+  const Hypergraph h = gen::sbl_regime(n, 0.6, 12, 17);
+
+  std::printf("%8s %16s %10s %18s %18s %8s\n", "threads", "frame", "rounds",
+              "fresh_allocs/rnd", "arena_allocs/rnd", "ratio");
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    par::ThreadPool& pool = hmis::bench::pool_with_threads(threads);
+    MutableHypergraph mh(h, &pool);
+    // A realistic mid-round sample mask (~n^{-1/3} keep probability, the
+    // SBL regime) for the induced-subgraph rows.
+    const util::CounterRng rng(99);
+    util::DynamicBitset keep(h.num_vertices());
+    for (VertexId v = 0; v < h.num_vertices(); ++v) {
+      if (rng.bernoulli(0.2, 0, v)) keep.set(v);
+    }
+
+    const auto measure = [&](auto&& body) {
+      // Warm-up: capacity growth happens here, not in steady state.  Twice,
+      // because the arena double-buffers — both frames must reach peak size.
+      body();
+      body();
+      const std::uint64_t before = allocations();
+      for (std::size_t r = 0; r < rounds; ++r) body();
+      return static_cast<double>(allocations() - before) /
+             static_cast<double>(rounds);
+    };
+
+    engine::RoundContext ctx;
+    const double snap_fresh = measure([&] {
+      const auto snap = mh.live_snapshot();
+      benchmark::DoNotOptimize(snap.graph.num_edges());
+    });
+    const double snap_arena = measure([&] {
+      const auto& snap = ctx.snapshot_frame(mh);
+      benchmark::DoNotOptimize(snap.graph.num_edges());
+    });
+    std::printf("%8zu %16s %10zu %18.1f %18.1f %8.1fx\n", threads, "snapshot",
+                rounds, snap_fresh, snap_arena,
+                snap_fresh / std::max(snap_arena, 1.0));
+
+    const double ind_fresh = measure([&] {
+      const auto ind = mh.induced_subgraph(keep);
+      benchmark::DoNotOptimize(ind.graph.num_edges());
+    });
+    const double ind_arena = measure([&] {
+      const auto& ind = ctx.induced_frame(mh, keep);
+      benchmark::DoNotOptimize(ind.graph.num_edges());
+    });
+    std::printf("%8zu %16s %10zu %18.1f %18.1f %8.1fx\n", threads, "induced",
+                rounds, ind_fresh, ind_arena,
+                ind_fresh / std::max(ind_arena, 1.0));
+  }
+  std::printf("# expectation: arena << fresh on every row; exactly 0 on the\n"
+              "# serial flavour (1 thread), small scan/closure residue on\n"
+              "# the parallel one.\n");
+  hmis::bench::print_footer("eng:alloc");
+}
+
+// ---- eng:throughput --------------------------------------------------------
+
+std::vector<Hypergraph> make_batch(std::size_t copies) {
+  std::vector<Hypergraph> batch;
+  const std::size_t scale = hmis::bench::quick_mode() ? 400 : 1200;
+  for (std::size_t c = 0; c < copies; ++c) {
+    batch.push_back(gen::sbl_regime(scale, 0.6, 10, 17 + c));
+    batch.push_back(gen::uniform_random(scale, 2 * scale, 3, 29 + c));
+    batch.push_back(gen::mixed_arity(scale, 2 * scale, 2, 5, 41 + c));
+  }
+  return batch;
+}
+
+void run_throughput_table() {
+  hmis::bench::print_header(
+      "eng:throughput",
+      "solves/sec — blocking find_mis loop vs async engine batch");
+  const auto instances = make_batch(hmis::bench::quick_mode() ? 1 : 3);
+  std::vector<std::shared_ptr<const Hypergraph>> shared;
+  for (const auto& h : instances) {
+    shared.push_back(std::make_shared<const Hypergraph>(h));
+  }
+
+  std::printf("%8s %10s %14s %14s %10s %10s\n", "threads", "instances",
+              "blocking_s/s", "engine_s/s", "speedup", "identical");
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    par::ThreadPool& pool = hmis::bench::pool_with_threads(threads);
+
+    util::Timer blocking_timer;
+    std::vector<std::vector<VertexId>> blocking_sets;
+    for (const auto& h : instances) {
+      core::FindOptions opt;
+      opt.seed = 7;
+      opt.pool = &pool;
+      auto run = core::find_mis(h, core::Algorithm::Auto, opt);
+      if (!run.result.success) {
+        std::fprintf(stderr, "blocking solve failed: %s\n",
+                     run.result.failure_reason.c_str());
+        std::exit(1);
+      }
+      blocking_sets.push_back(std::move(run.result.independent_set));
+    }
+    const double blocking_seconds = blocking_timer.seconds();
+
+    util::Timer engine_timer;
+    engine::EngineOptions eopt;
+    eopt.pool = &pool;
+    engine::Engine eng(eopt);
+    std::vector<engine::SolveFuture> futures;
+    for (const auto& g : shared) {
+      engine::SolveRequest req;
+      req.graph = g;
+      req.seed = 7;
+      futures.push_back(eng.submit(std::move(req)));
+    }
+    bool identical = true;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const auto resp = futures[i].get();
+      if (!resp.run.result.success) {
+        std::fprintf(stderr, "engine solve failed: %s\n",
+                     resp.run.result.failure_reason.c_str());
+        std::exit(1);
+      }
+      identical =
+          identical && resp.run.result.independent_set == blocking_sets[i];
+    }
+    const double engine_seconds = engine_timer.seconds();
+
+    const double count = static_cast<double>(instances.size());
+    std::printf("%8zu %10zu %14.2f %14.2f %9.2fx %10s\n", threads,
+                instances.size(), count / blocking_seconds,
+                count / engine_seconds, blocking_seconds / engine_seconds,
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "engine results diverged from the blocking path!\n");
+      std::exit(1);
+    }
+  }
+  std::printf("# expectation: identical=yes everywhere (determinism\n"
+              "# contract); speedup > 1 needs real cores — on a 1-core\n"
+              "# container the engine rows measure multiplexing overhead.\n");
+  hmis::bench::print_footer("eng:throughput");
+}
+
+// ---- google-benchmark timing cases -----------------------------------------
+
+void BM_BlockingBatch(benchmark::State& state) {
+  par::ThreadPool& pool =
+      hmis::bench::pool_with_threads(static_cast<std::size_t>(state.range(0)));
+  const auto instances = make_batch(1);
+  for (auto _ : state) {
+    for (const auto& h : instances) {
+      core::FindOptions opt;
+      opt.seed = 7;
+      opt.pool = &pool;
+      opt.verify = false;
+      auto run = core::find_mis(h, core::Algorithm::Auto, opt);
+      benchmark::DoNotOptimize(run.result.independent_set.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(instances.size()));
+}
+BENCHMARK(BM_BlockingBatch)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_EngineBatch(benchmark::State& state) {
+  par::ThreadPool& pool =
+      hmis::bench::pool_with_threads(static_cast<std::size_t>(state.range(0)));
+  const auto instances = make_batch(1);
+  std::vector<std::shared_ptr<const Hypergraph>> shared;
+  for (const auto& h : instances) {
+    shared.push_back(std::make_shared<const Hypergraph>(h));
+  }
+  for (auto _ : state) {
+    engine::EngineOptions eopt;
+    eopt.pool = &pool;
+    engine::Engine eng(eopt);
+    std::vector<engine::SolveFuture> futures;
+    for (const auto& g : shared) {
+      engine::SolveRequest req;
+      req.graph = g;
+      req.seed = 7;
+      req.verify = false;
+      futures.push_back(eng.submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+      benchmark::DoNotOptimize(f.get().run.result.independent_set.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared.size()));
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_alloc_table();
+  run_throughput_table();
+  return hmis::bench::finish(argc, argv);
+}

@@ -8,11 +8,9 @@ namespace {
 using namespace hmis;
 
 /// One pool for the whole binary: the figure sweep and the timing cases all
-/// run SBL's parallel core through it (hardware_concurrency threads).
-par::ThreadPool& shared_pool() {
-  static par::ThreadPool pool(0);
-  return pool;
-}
+/// run SBL's parallel core through it (hardware_concurrency threads), via
+/// the thread-safe global-pool path.
+par::ThreadPool& shared_pool() { return hmis::bench::pool_with_threads(0); }
 
 void run_figure() {
   hmis::bench::print_header("fig:3", "SBL rounds vs n vs bound 2·log2(n)/p");

@@ -23,12 +23,16 @@ using namespace hmis;
 
 /// Fork-join latency of the run_chunks shim: one P-chunk no-op job.
 void BM_ForkJoinShim(benchmark::State& state) {
-  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  par::ThreadPool& pool =
+      hmis::bench::pool_with_threads(static_cast<std::size_t>(state.range(0)));
   const std::size_t chunks = pool.num_threads();
+  // The global pool is shared (and republished) across cases, so report a
+  // per-case delta rather than the lifetime counters.
+  const par::SchedulerStats before = pool.stats();
   for (auto _ : state) {
     pool.run_chunks(chunks, [](std::size_t c) { benchmark::DoNotOptimize(c); });
   }
-  const par::SchedulerStats s = pool.stats();
+  const par::SchedulerStats s = pool.stats() - before;
   state.counters["spawns"] = static_cast<double>(s.spawns);
   state.counters["steals"] = static_cast<double>(s.steals);
 }
@@ -36,8 +40,10 @@ BENCHMARK(BM_ForkJoinShim)->Arg(1)->Arg(2)->Arg(8);
 
 /// Fork-join latency of TaskGroup: P spawned no-op closures + wait.
 void BM_ForkJoinTaskGroup(benchmark::State& state) {
-  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  par::ThreadPool& pool =
+      hmis::bench::pool_with_threads(static_cast<std::size_t>(state.range(0)));
   const std::size_t tasks = pool.num_threads();
+  const par::SchedulerStats before = pool.stats();
   for (auto _ : state) {
     par::TaskGroup group(pool);
     for (std::size_t t = 0; t < tasks; ++t) {
@@ -45,7 +51,7 @@ void BM_ForkJoinTaskGroup(benchmark::State& state) {
     }
     group.wait();
   }
-  const par::SchedulerStats s = pool.stats();
+  const par::SchedulerStats s = pool.stats() - before;
   state.counters["spawns"] = static_cast<double>(s.spawns);
   state.counters["steals"] = static_cast<double>(s.steals);
 }
@@ -54,7 +60,8 @@ BENCHMARK(BM_ForkJoinTaskGroup)->Arg(1)->Arg(2)->Arg(8);
 /// Empty-loop throughput: items/s through parallel_for with a no-op body —
 /// the per-item floor every kernel pays before doing real work.
 void BM_EmptyParallelFor(benchmark::State& state) {
-  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  par::ThreadPool& pool =
+      hmis::bench::pool_with_threads(static_cast<std::size_t>(state.range(0)));
   const std::size_t n = hmis::bench::quick_mode() ? (1u << 16) : (1u << 20);
   for (auto _ : state) {
     par::parallel_for(
@@ -70,7 +77,8 @@ BENCHMARK(BM_EmptyParallelFor)->Arg(1)->Arg(2)->Arg(8);
 /// inner P-chunk job on the same pool — the shape the old single-job pool
 /// could not execute at all (it serialized or deadlocked on nesting).
 void BM_NestedForkJoin(benchmark::State& state) {
-  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  par::ThreadPool& pool =
+      hmis::bench::pool_with_threads(static_cast<std::size_t>(state.range(0)));
   const std::size_t chunks = pool.num_threads();
   for (auto _ : state) {
     pool.run_chunks(chunks, [&](std::size_t) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "hmis/engine/round_context.hpp"
 #include "hmis/hypergraph/validate.hpp"
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
@@ -23,23 +24,38 @@ double bl_probability(const DegreeStats& stats, double a_factor) {
 
 namespace {
 
-/// Gather live edges as materialized lists (the degree-stats input).
-std::vector<VertexList> live_edge_lists(const MutableHypergraph& mh) {
-  std::vector<VertexList> lists;
-  lists.reserve(mh.num_live_edges());
+/// Materialize live edges into `lists`, reusing the outer vector AND each
+/// inner vector's capacity (the vector only grows; callers use the returned
+/// count, not lists.size()).  This is the degree-stats input.
+std::size_t live_edge_lists(const MutableHypergraph& mh,
+                            std::vector<VertexList>& lists) {
+  std::size_t count = 0;
   for (const EdgeId e : mh.live_edges()) {
+    if (count == lists.size()) lists.emplace_back();
     const auto verts = mh.edge(e);
-    lists.emplace_back(verts.begin(), verts.end());
+    lists[count].assign(verts.begin(), verts.end());
+    ++count;
   }
-  return lists;
+  return count;
+}
+
+DegreeStats live_degree_stats(const MutableHypergraph& mh,
+                              const DegreeStatsOptions& opt,
+                              engine::RoundContext& ctx) {
+  auto& lists = ctx.edge_lists();
+  const std::size_t count = live_edge_lists(mh, lists);
+  return compute_degree_stats(
+      std::span<const VertexList>(lists.data(), count), opt);
 }
 
 }  // namespace
 
 BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
-                 par::Metrics* metrics) {
+                 par::Metrics* metrics, engine::RoundContext* ctx) {
   BlOutcome out;
   const util::CounterRng rng(opt.seed);
+  engine::RoundContext local_ctx;
+  engine::RoundContext& rc = ctx != nullptr ? *ctx : local_ctx;
 
   // The residual structure runs its maintenance (shrink, delete, dedupe,
   // scans) on the same pool as the algorithm's own primitives.
@@ -56,14 +72,12 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
   // Stage-invariant quantities when recompute_probability is off.
   double static_p = opt.probability_override;
   if (static_p <= 0.0 && !opt.recompute_probability) {
-    const auto lists = live_edge_lists(mh);
-    const auto stats = compute_degree_stats(
-        std::span<const VertexList>(lists.data(), lists.size()), opt.stats);
+    const auto stats = live_degree_stats(mh, opt.stats, rc);
     static_p = bl_probability(stats, opt.a_factor);
   }
 
-  std::vector<std::uint8_t> marked(mh.num_original_vertices(), 0);
-  std::vector<std::uint8_t> unmarked(mh.num_original_vertices(), 0);
+  auto& marked = rc.marked(mh.num_original_vertices());
+  auto& unmarked = rc.unmarked(mh.num_original_vertices());
 
   while (mh.num_live_vertices() > 0) {
     if (out.stages >= opt.max_rounds) {
@@ -94,10 +108,7 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
     double p = opt.probability_override;
     if (p <= 0.0) {
       if (opt.recompute_probability) {
-        const auto lists = live_edge_lists(mh);
-        const auto dstats = compute_degree_stats(
-            std::span<const VertexList>(lists.data(), lists.size()),
-            opt.stats);
+        const auto dstats = live_degree_stats(mh, opt.stats, rc);
         stats.delta = dstats.delta;
         p = bl_probability(dstats, opt.a_factor);
         if (metrics) {

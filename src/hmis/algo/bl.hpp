@@ -28,6 +28,10 @@
 #include "hmis/hypergraph/degree_stats.hpp"
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 
+namespace hmis::engine {
+class RoundContext;
+}
+
 namespace hmis::algo {
 
 struct BlOptions : CommonOptions {
@@ -54,8 +58,14 @@ struct BlOutcome {
   std::size_t stages = 0;
   std::vector<StageStats> trace;
 };
+/// `ctx` supplies the reusable per-round scratch (mark bytes, degree-stats
+/// edge lists) — see engine/round_context.hpp.  Callers running BL many
+/// times (SBL's inner rounds, the engine's sessions) pass one context so
+/// the steady-state stage loop allocates nothing; nullptr uses a run-local
+/// context.  Results are bit-identical either way.
 [[nodiscard]] BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
-                               par::Metrics* metrics = nullptr);
+                               par::Metrics* metrics = nullptr,
+                               engine::RoundContext* ctx = nullptr);
 
 /// Convenience wrapper: run BL on a hypergraph and return a full Result.
 [[nodiscard]] Result bl(const Hypergraph& h, const BlOptions& opt = BlOptions{});

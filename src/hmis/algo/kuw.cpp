@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hmis/engine/round_context.hpp"
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
 #include "hmis/par/sort.hpp"
@@ -12,14 +13,16 @@
 namespace hmis::algo {
 
 KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
-                   par::Metrics* metrics) {
+                   par::Metrics* metrics, engine::RoundContext* ctx) {
   KuwOutcome out;
   const util::CounterRng rng(opt.seed);
 
   mh.set_pool(par::resolve_pool(opt.pool));
   mh.singleton_cascade();
 
-  std::vector<std::uint32_t> position(mh.num_original_vertices(), 0);
+  engine::RoundContext local_ctx;
+  engine::RoundContext& rc = ctx != nullptr ? *ctx : local_ctx;
+  auto& position = rc.positions(mh.num_original_vertices());
 
   while (mh.num_live_vertices() > 0) {
     if (out.rounds >= opt.max_rounds) {

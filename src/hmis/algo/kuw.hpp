@@ -24,6 +24,10 @@
 #include "hmis/hypergraph/hypergraph.hpp"
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 
+namespace hmis::engine {
+class RoundContext;
+}
+
 namespace hmis::algo {
 
 struct KuwOptions : CommonOptions {};
@@ -35,8 +39,11 @@ struct KuwOutcome {
   std::size_t rounds = 0;
   std::vector<StageStats> trace;
 };
+/// `ctx` supplies reusable per-round scratch (the permutation-rank array);
+/// nullptr uses a run-local context.  Bit-identical either way.
 [[nodiscard]] KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
-                                 par::Metrics* metrics = nullptr);
+                                 par::Metrics* metrics = nullptr,
+                                 engine::RoundContext* ctx = nullptr);
 
 [[nodiscard]] Result kuw_mis(const Hypergraph& h,
                              const KuwOptions& opt = KuwOptions{});

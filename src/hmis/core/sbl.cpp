@@ -5,6 +5,7 @@
 
 #include "hmis/algo/greedy.hpp"
 #include "hmis/core/theory.hpp"
+#include "hmis/engine/round_context.hpp"
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 #include "hmis/hypergraph/validate.hpp"
 #include "hmis/par/parallel_for.hpp"
@@ -41,18 +42,22 @@ std::size_t live_dimension(const MutableHypergraph& mh, par::Metrics* metrics,
 /// compaction: the blue offsets come from an exclusive scan, and the red
 /// position of a non-blue id i is i minus the blues before it.  Both lists
 /// come out ascending, so the result is independent of the chunk
-/// decomposition (and therefore of the thread count).
-std::pair<std::vector<VertexId>, std::vector<VertexId>> split_by_mask(
-    const std::vector<std::uint8_t>& blue_mask,
-    const std::vector<VertexId>& to_original, par::Metrics* metrics,
-    par::ThreadPool* pool) {
+/// decomposition (and therefore of the thread count).  Outputs and scan
+/// scratch live in the round context, so the per-round fold-back reuses
+/// capacity instead of allocating.
+void split_by_mask(const std::vector<std::uint8_t>& blue_mask,
+                   const std::vector<VertexId>& to_original,
+                   engine::RoundContext& ctx, par::Metrics* metrics,
+                   par::ThreadPool* pool) {
   const std::size_t k = to_original.size();
-  std::vector<std::uint32_t> blue_offset(k);
+  auto& blue_offset = ctx.split_offsets(k);
   const std::uint32_t total_blue = par::exclusive_scan<std::uint32_t>(
       k, [&](std::size_t i) { return blue_mask[i] != 0 ? 1u : 0u; },
       blue_offset.data(), metrics, pool);
-  std::vector<VertexId> blue(total_blue);
-  std::vector<VertexId> red(k - total_blue);
+  auto& blue = ctx.blue_out();
+  auto& red = ctx.red_out();
+  blue.resize(total_blue);
+  red.resize(k - total_blue);
   par::parallel_for(
       0, k,
       [&](std::size_t i) {
@@ -63,7 +68,6 @@ std::pair<std::vector<VertexId>, std::vector<VertexId>> split_by_mask(
         }
       },
       metrics, pool);
-  return {std::move(blue), std::move(red)};
 }
 
 struct AttemptOutcome {
@@ -79,7 +83,7 @@ struct AttemptOutcome {
 
 AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
                            const SblParams& params, std::uint64_t attempt_seed,
-                           par::Metrics* metrics) {
+                           par::Metrics* metrics, engine::RoundContext& ctx) {
   AttemptOutcome out;
   const util::CounterRng rng(attempt_seed);
   // The residual graph's own maintenance (sampling snapshots, fold-back
@@ -95,7 +99,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
     blopt.seed = rng.child(0xB1).seed();
     blopt.record_trace = false;
     blopt.pool = opt.pool;
-    const auto outcome = algo::bl_run(mh, blopt, metrics);
+    const auto outcome = algo::bl_run(mh, blopt, metrics, &ctx);
     out.success = outcome.success;
     out.failure_reason = outcome.failure_reason;
     out.inner_stages = outcome.stages;
@@ -104,7 +108,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
     return out;
   }
 
-  util::DynamicBitset keep(h.num_vertices());
+  util::DynamicBitset& keep = ctx.keep_mask(h.num_vertices());
   while (mh.num_live_vertices() >= params.loop_threshold) {
     if (out.rounds >= opt.max_rounds) {
       out.success = false;
@@ -136,7 +140,11 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
     // evaluation order, so the marking loop parallelizes with idempotent
     // atomic bit sets and stays bit-identical across thread counts.
     const auto live = mh.live_vertices();
-    MutableHypergraph::Induced induced;
+    // The round's residual frame comes out of the context's double-buffered
+    // arena: the build reuses the previous rounds' CSR capacity, and the
+    // returned frame stays valid through the inner BL and the fold-back
+    // below (the next build lands in the other buffer).
+    const MutableHypergraph::Induced* induced = nullptr;
     std::size_t resample = 0;
     for (;;) {
       const std::uint64_t stream =
@@ -151,8 +159,8 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
           metrics, opt.pool);
       stats.sampled = keep.count();
       dimension_scan.wait();  // no-op after the first resample iteration
-      induced = mh.induced_subgraph(keep);
-      stats.sample_dimension = induced.graph.dimension();
+      induced = &ctx.induced_frame(mh, keep);
+      stats.sample_dimension = induced->graph.dimension();
       if (metrics) {
         metrics->add(mh.num_live_vertices() + mh.total_live_edge_size(),
                      par::log_depth(mh.num_live_vertices() + 1));
@@ -177,13 +185,13 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
     stats.resamples = resample;
 
     // ---- Run BL on H' (line 11). -----------------------------------------
-    if (!induced.to_original.empty()) {
+    if (!induced->to_original.empty()) {
       algo::BlOptions blopt = opt.bl;
       blopt.seed = rng.child(0x1000 + out.rounds).seed();
       blopt.record_trace = false;
       blopt.pool = opt.pool;
-      MutableHypergraph inner(induced.graph, par::resolve_pool(opt.pool));
-      const auto outcome = algo::bl_run(inner, blopt, metrics);
+      MutableHypergraph inner(induced->graph, par::resolve_pool(opt.pool));
+      const auto outcome = algo::bl_run(inner, blopt, metrics, &ctx);
       if (!outcome.success) {
         out.success = false;
         out.failure_reason = "inner BL failed: " + outcome.failure_reason;
@@ -193,8 +201,8 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       stats.inner_stages = outcome.stages;
 
       // ---- Fold the coloring back (lines 12-20). -------------------------
-      const std::size_t k = induced.to_original.size();
-      std::vector<std::uint8_t> blue_mask(k, 0);
+      const std::size_t k = induced->to_original.size();
+      auto& blue_mask = ctx.blue_mask(k);
       par::parallel_for(
           0, k,
           [&](std::size_t local) {
@@ -202,8 +210,9 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
                 inner.color(static_cast<VertexId>(local)) == Color::Blue;
           },
           metrics, opt.pool);
-      const auto [blue, red] =
-          split_by_mask(blue_mask, induced.to_original, metrics, opt.pool);
+      split_by_mask(blue_mask, induced->to_original, ctx, metrics, opt.pool);
+      const auto& blue = ctx.blue_out();
+      const auto& red = ctx.red_out();
       stats.added_blue = blue.size();
       stats.forced_red = red.size();
       const std::size_t edges_before = mh.num_live_edges();
@@ -242,7 +251,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       kopt.seed = rng.child(0xC0DE).seed();
       kopt.max_rounds = opt.max_rounds;
       kopt.pool = opt.pool;
-      const auto outcome = algo::kuw_run(mh, kopt, metrics);
+      const auto outcome = algo::kuw_run(mh, kopt, metrics, &ctx);
       if (!outcome.success) {
         out.success = false;
         out.failure_reason = "base-case KUW failed: " + outcome.failure_reason;
@@ -252,17 +261,18 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       out.inner_stages += outcome.rounds;
     } else {
       // Sequential greedy on the residual structure.
-      const auto snapshot = mh.live_snapshot();
+      const auto& snapshot = ctx.snapshot_frame(mh);
       algo::GreedyOptions gopt;
       gopt.seed = rng.child(0x93ED).seed();
       const auto res = algo::greedy_mis(snapshot.graph, gopt);
-      std::vector<std::uint8_t> is_blue(snapshot.to_original.size(), 0);
+      auto& is_blue = ctx.blue_mask(snapshot.to_original.size());
       par::parallel_for(
           0, res.independent_set.size(),
           [&](std::size_t i) { is_blue[res.independent_set[i]] = 1; },
           metrics, opt.pool);
-      const auto [blue, red] =
-          split_by_mask(is_blue, snapshot.to_original, metrics, opt.pool);
+      split_by_mask(is_blue, snapshot.to_original, ctx, metrics, opt.pool);
+      const auto& blue = ctx.blue_out();
+      const auto& red = ctx.red_out();
       mh.color_blue(blue);
       mh.color_red(red);
       if (metrics) {
@@ -322,10 +332,13 @@ algo::Result sbl(const Hypergraph& h, const SblOptions& opt) {
       resolve_sbl_params(h.num_vertices(), h.num_edges(), opt);
   const util::CounterRng master(opt.seed);
 
+  // One round context for the whole run: every attempt (and every round and
+  // inner BL within it) reuses the same arena frames and scratch.
+  engine::RoundContext ctx;
   for (std::size_t attempt = 0; attempt <= opt.max_restarts; ++attempt) {
     AttemptOutcome outcome =
         run_attempt(h, opt, params, master.child(attempt).seed(),
-                    &result.metrics);
+                    &result.metrics, ctx);
     result.rounds += outcome.rounds;
     result.inner_stages += outcome.inner_stages;
     result.resamples += outcome.resamples;

@@ -1,0 +1,247 @@
+#include "hmis/engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "hmis/util/check.hpp"
+#include "hmis/util/timer.hpp"
+
+namespace hmis::engine {
+
+namespace detail {
+
+/// Shared per-session state.  Owned jointly by the engine's session list
+/// and the SolveFuture; the GroupState inside must stay alive until the
+/// scheduler's final pending-decrement, which the engine guarantees by
+/// sweeping sessions only after group.done() (done() becomes true *at* that
+/// decrement, and the scheduler never touches the group afterwards).
+struct SessionState {
+  par::GroupState group;
+  std::promise<SolveResponse> promise;
+  std::future<SolveResponse> future;
+};
+
+}  // namespace detail
+
+/// The scheduler task node of one session: owns the request and a reference
+/// on the shared state; frees itself at the end of invoke.
+struct Engine::SessionTask : par::Task {
+  SolveRequest req;
+  std::shared_ptr<detail::SessionState> state;
+  Engine* engine = nullptr;
+  std::uint64_t session_id = 0;
+  util::Timer queued;  ///< started at submit
+};
+
+Engine::Engine(const EngineOptions& opt) : max_inflight_(opt.max_inflight) {
+  if (opt.pool != nullptr) {
+    pool_ = opt.pool;
+  } else {
+    owned_pool_ = std::make_unique<par::ThreadPool>(opt.threads);
+    pool_ = owned_pool_.get();
+  }
+  sched_baseline_ = pool_->stats();
+}
+
+Engine::~Engine() { drain(); }
+
+void Engine::run_session(par::Task* task) {
+  auto* node = static_cast<SessionTask*>(task);
+  Engine* engine = node->engine;
+  SolveResponse resp;
+  resp.tag = node->req.tag;
+  resp.session_id = node->session_id;
+  resp.queue_seconds = node->queued.seconds();
+  util::Timer solve_timer;
+  try {
+    core::FindOptions fopt;
+    fopt.seed = node->req.seed;
+    fopt.record_trace = node->req.record_trace;
+    fopt.verify = node->req.verify;
+    fopt.sbl = node->req.sbl;
+    fopt.sbl.pool = nullptr;  // sessions run on the engine pool, always
+    fopt.pool = &engine->pool();
+    resp.run = core::find_mis(*node->req.graph, node->req.algorithm, fopt);
+    resp.solve_seconds = solve_timer.seconds();
+    node->state->promise.set_value(std::move(resp));
+  } catch (...) {
+    engine->failed_.fetch_add(1, std::memory_order_relaxed);
+    node->state->promise.set_exception(std::current_exception());
+  }
+  engine->completed_.fetch_add(1, std::memory_order_relaxed);
+  engine->inflight_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    // Pairing the notify with the (empty) critical section guarantees a
+    // backpressured submitter is either before its predicate check (and
+    // will read the decremented counter) or already parked (and gets the
+    // wakeup) — no lost slot-freed signals.
+    std::lock_guard<std::mutex> lock(engine->mutex_);
+  }
+  engine->slot_freed_.notify_all();
+  delete node;
+  // The scheduler still decrements state->group after this returns; the
+  // engine's session list keeps the state alive past that point.
+}
+
+SolveFuture Engine::submit(SolveRequest req) {
+  HMIS_CHECK(req.graph != nullptr, "SolveRequest without a hypergraph");
+
+  // Backpressure: reserve the in-flight slot atomically (check-then-act
+  // would let concurrent submitters overshoot the cap).  While capped, a
+  // zero-worker engine help-runs a session (the submitting thread is the
+  // only lane there is); with workers the submitter sleeps on the
+  // completion condvar instead — it wakes the moment ANY slot frees rather
+  // than after one whole victim session.  The short timeout keeps even
+  // pathological shapes (sessions submitting into their own capped engine)
+  // making polled progress.
+  for (;;) {
+    std::size_t cur = inflight_.load(std::memory_order_relaxed);
+    if (max_inflight_ == 0 || cur < max_inflight_) {
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_relaxed)) {
+        break;  // slot reserved
+      }
+      continue;  // lost the race, re-read
+    }
+    if (pool_->scheduler().num_workers() == 0) {
+      std::shared_ptr<detail::SessionState> victim;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sweep_completed_locked();
+        for (const auto& s : sessions_) {
+          if (!s->group.done()) {
+            victim = s;
+            break;
+          }
+        }
+      }
+      if (victim != nullptr) {
+        pool_->scheduler().wait(victim->group);
+      } else {
+        // The counter is about to drop (a racing submitter holds a
+        // reservation it has not spawned yet) — yield and re-read.
+        std::this_thread::yield();
+      }
+    } else {
+      std::unique_lock<std::mutex> lock(mutex_);
+      slot_freed_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return inflight_.load(std::memory_order_relaxed) < max_inflight_;
+      });
+    }
+  }
+  // From here the reservation must reach the spawn or be returned — an
+  // allocation throw below would otherwise shrink the cap forever.
+  struct SlotGuard {
+    Engine* engine;
+    bool armed = true;
+    ~SlotGuard() {
+      if (armed) {
+        engine->inflight_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  } slot{this};
+
+  auto state = std::make_shared<detail::SessionState>();
+  state->future = state->promise.get_future();
+  auto node = std::make_unique<SessionTask>();
+  node->req = std::move(req);
+  node->state = state;
+  node->engine = this;
+  node->session_id = submitted_.fetch_add(1, std::memory_order_relaxed);
+  node->group = &state->group;
+  node->invoke = &Engine::run_session;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sweep_completed_locked();
+    sessions_.push_back(state);
+  }
+  // The slot was already reserved above; only the high-water mark is left.
+  const std::size_t now = inflight_.load(std::memory_order_relaxed);
+  std::size_t peak = peak_inflight_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_inflight_.compare_exchange_weak(peak, now,
+                                               std::memory_order_relaxed)) {
+  }
+
+  state->group.add(1);
+  try {
+    pool_->scheduler().spawn(node.get());
+  } catch (...) {
+    state->group.cancel(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), state),
+                    sessions_.end());
+    throw;  // SlotGuard returns the reservation
+  }
+  slot.armed = false;  // run_session owns the slot now
+  node.release();      // owned by the scheduler until run_session frees it
+  return SolveFuture(std::move(state), pool_);
+}
+
+std::vector<SolveFuture> Engine::submit_all(std::vector<SolveRequest> reqs) {
+  std::vector<SolveFuture> futures;
+  futures.reserve(reqs.size());
+  for (auto& r : reqs) futures.push_back(submit(std::move(r)));
+  return futures;
+}
+
+void Engine::drain() {
+  for (;;) {
+    std::shared_ptr<detail::SessionState> next;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& s : sessions_) {
+        if (!s->group.done()) {
+          next = s;
+          break;
+        }
+      }
+      if (next == nullptr) {
+        sweep_completed_locked();
+        return;
+      }
+    }
+    pool_->scheduler().wait(next->group);
+  }
+}
+
+void Engine::sweep_completed_locked() {
+  // done() flips at the scheduler's final group decrement, after which the
+  // scheduler never touches the group again — so releasing the engine's
+  // reference here is safe even if the future was dropped long ago.
+  sessions_.erase(
+      std::remove_if(sessions_.begin(), sessions_.end(),
+                     [](const auto& s) { return s->group.done(); }),
+      sessions_.end());
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.inflight = inflight_.load(std::memory_order_relaxed);
+  out.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
+  out.scheduler = pool_->stats() - sched_baseline_;
+  return out;
+}
+
+bool SolveFuture::ready() const noexcept {
+  return state_ != nullptr && state_->group.done();
+}
+
+void SolveFuture::wait() {
+  HMIS_CHECK(state_ != nullptr, "wait() on an empty SolveFuture");
+  pool_->scheduler().wait(state_->group);
+}
+
+SolveResponse SolveFuture::get() {
+  wait();
+  auto state = std::move(state_);
+  return state->future.get();
+}
+
+}  // namespace hmis::engine

@@ -1,0 +1,182 @@
+// Engine: the async batched solve front end (the library's server shape).
+//
+//   hmis::engine::Engine eng({.threads = 8});
+//   auto f1 = eng.submit({.graph = g1, .algorithm = core::Algorithm::SBL});
+//   auto f2 = eng.submit({.graph = g2});        // any thread may submit
+//   auto r1 = f1.get();                         // helps run work while waiting
+//
+// One Engine owns (or adopts) one work-stealing ThreadPool and multiplexes
+// every submitted solve session onto it: each session is a scheduler task
+// that runs `core::find_mis`, whose internal parallel kernels then fork
+// nested sub-tasks on the same workers.  Sessions therefore interleave at
+// kernel granularity — a long SBL solve does not block a short BL solve —
+// and any number of threads can submit concurrently (the scheduler's
+// injection queue takes care of foreign submitters).
+//
+// Determinism: a session's result is a pure function of its SolveRequest.
+// Each session draws from its own counter-RNG stream (seeded by the
+// request's seed — the engine never mixes in submission order, session ids,
+// or timing), and the round kernels are bit-identical for any thread count
+// by the library-wide contract (DESIGN.md §3–4).  Hence the same request
+// returns byte-identical Results whether solved alone, inside any batch
+// composition, or on an engine with 1, 2, or 8 threads —
+// tests/test_engine.cpp enforces exactly that.
+//
+// Waiting helps: SolveFuture::get()/wait() and Engine::drain() execute
+// queued sessions while blocked, so an engine whose pool has zero workers
+// (threads = 1) still completes everything — on the caller's thread.
+//
+// Lifetime: the Engine must outlive its SolveFutures.  Destroying the
+// engine drains in-flight sessions first; dropping a SolveFuture without
+// get() abandons the result but never the session (the engine keeps the
+// session state alive until it completes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/par/thread_pool.hpp"
+
+namespace hmis::engine {
+
+/// One solve session's input.  The hypergraph is shared (sessions outlive
+/// the submitting scope); `share()` below wraps a value.
+struct SolveRequest {
+  std::shared_ptr<const Hypergraph> graph;
+  core::Algorithm algorithm = core::Algorithm::Auto;
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+  bool verify = true;
+  /// SBL-specific knobs pass through (its pool field is ignored — sessions
+  /// always run on the engine's pool).
+  core::SblOptions sbl{};
+  /// Caller label echoed in the response (batch reporting).
+  std::string tag;
+};
+
+/// Move a hypergraph into shared ownership for SolveRequest::graph.
+[[nodiscard]] inline std::shared_ptr<const Hypergraph> share(Hypergraph g) {
+  return std::make_shared<const Hypergraph>(std::move(g));
+}
+
+struct SolveResponse {
+  std::string tag;
+  std::uint64_t session_id = 0;  ///< submission counter (reporting only)
+  core::MisRun run;
+  double queue_seconds = 0.0;  ///< submit -> session start
+  double solve_seconds = 0.0;  ///< session start -> completion
+};
+
+namespace detail {
+struct SessionState;
+}
+
+/// Handle on one in-flight session.  Move-only.  get() blocks (helping run
+/// queued work) and rethrows any exception the session raised
+/// (e.g. util::CheckError from an algorithm contract violation).
+class SolveFuture {
+ public:
+  SolveFuture() = default;
+  SolveFuture(SolveFuture&&) noexcept = default;
+  SolveFuture& operator=(SolveFuture&&) noexcept = default;
+  SolveFuture(const SolveFuture&) = delete;
+  SolveFuture& operator=(const SolveFuture&) = delete;
+  ~SolveFuture() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// True once the session completed (never blocks).
+  [[nodiscard]] bool ready() const noexcept;
+  /// Block until completion, executing queued engine work while waiting.
+  void wait();
+  /// wait(), then consume the response (valid() becomes false).
+  [[nodiscard]] SolveResponse get();
+
+ private:
+  friend class Engine;
+  SolveFuture(std::shared_ptr<detail::SessionState> state,
+              par::ThreadPool* pool)
+      : state_(std::move(state)), pool_(pool) {}
+
+  std::shared_ptr<detail::SessionState> state_;
+  par::ThreadPool* pool_ = nullptr;
+};
+
+struct EngineOptions {
+  /// Lanes of the engine-owned pool (0 = hardware concurrency).  Ignored
+  /// when `pool` is set.
+  std::size_t threads = 0;
+  /// Adopt an external pool instead of owning one (it must outlive the
+  /// engine).
+  par::ThreadPool* pool = nullptr;
+  /// Backpressure: submit() blocks — helping run sessions — while this many
+  /// sessions are in flight.  0 = unbounded.
+  std::size_t max_inflight = 0;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  ///< sessions that threw (future rethrows)
+  std::size_t inflight = 0;
+  std::size_t peak_inflight = 0;
+  par::SchedulerStats scheduler;  ///< pool counters since engine creation
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& opt = {});
+  /// Drains in-flight sessions, then releases the pool if owned.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueue a solve session; callable from any thread.  Throws
+  /// util::CheckError if the request has no graph.
+  [[nodiscard]] SolveFuture submit(SolveRequest req);
+
+  /// Submit a whole batch, futures in request order.
+  [[nodiscard]] std::vector<SolveFuture> submit_all(
+      std::vector<SolveRequest> reqs);
+
+  /// Block until every session submitted so far completed (helps run them).
+  /// Sessions submitted concurrently with drain() are not covered.
+  void drain();
+
+  [[nodiscard]] EngineStats stats() const;
+
+  [[nodiscard]] par::ThreadPool& pool() const noexcept { return *pool_; }
+
+ private:
+  struct SessionTask;
+  static void run_session(par::Task* task);
+  void sweep_completed_locked();
+
+  std::unique_ptr<par::ThreadPool> owned_pool_;
+  par::ThreadPool* pool_ = nullptr;
+  par::SchedulerStats sched_baseline_;
+  std::size_t max_inflight_ = 0;
+
+  mutable std::mutex mutex_;
+  /// Signaled by every session completion; backpressured submitters on a
+  /// pool with workers sleep here until an in-flight slot frees.
+  std::condition_variable slot_freed_;
+  /// Owns every not-yet-reaped session (keeps the session's GroupState
+  /// alive through the scheduler's final decrement; swept lazily once
+  /// done()).
+  std::vector<std::shared_ptr<detail::SessionState>> sessions_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> peak_inflight_{0};
+};
+
+}  // namespace hmis::engine

@@ -1,0 +1,36 @@
+#include "hmis/engine/frame_arena.hpp"
+
+namespace hmis::engine {
+
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t frame_bytes(const ResidualFrame& f) noexcept {
+  const auto& s = f.scratch;
+  // The Induced graph's CSR arrays are private to Hypergraph; their *live*
+  // sizes are visible through the public accessors and bound the pinned
+  // capacity from below — good enough for a footprint gauge (the scratch,
+  // which dominates at peak, is counted by true capacity).
+  const Hypergraph& g = f.induced.graph;
+  const std::size_t graph_bytes =
+      g.total_edge_size() * sizeof(VertexId) +
+      (g.num_edges() + 1) * sizeof(std::size_t) +
+      (g.num_vertices() + 1) * sizeof(std::size_t) +
+      g.total_edge_size() * sizeof(EdgeId);
+  return graph_bytes + vec_bytes(f.induced.to_original) +
+         vec_bytes(s.to_local) + vec_bytes(s.voffset) + vec_bytes(s.inside) +
+         vec_bytes(s.emit) + vec_bytes(s.cand) + vec_bytes(s.local_edge) +
+         vec_bytes(s.estart) + vec_bytes(s.deg);
+}
+
+}  // namespace
+
+std::size_t FrameArena::capacity_bytes() const noexcept {
+  return frame_bytes(frames_[0]) + frame_bytes(frames_[1]);
+}
+
+}  // namespace hmis::engine

@@ -1,0 +1,68 @@
+// FrameArena: double-buffered, capacity-reusing storage for the residual
+// frames (induced subgraphs / live snapshots) the round-structured
+// algorithms rebuild every round.
+//
+// A ResidualFrame bundles an `Induced` (the CSR output) with the
+// `InducedScratch` needed to build it.  The arena owns two frames and hands
+// them out round-robin via acquire(): the frame returned by the PREVIOUS
+// acquire() is never touched by the next one, so a caller can still be
+// consuming round r's frame (an inner BL solving it, a trace callback
+// reading it) while round r+1 builds into the other buffer.  A frame
+// reference stays valid until the second acquire() after it.
+//
+// Reuse is capacity-only: every build fully re-initializes the frame's
+// contents (MutableHypergraph's `_into` kernels resize/assign each buffer),
+// so a dirty recycled frame yields bit-identical results to a fresh one —
+// the equivalence suites run both ways to enforce it.  After a warm-up
+// build at peak residual size, subsequent rounds perform no heap
+// allocation; `capacity_bytes()` exposes the high-water footprint and
+// `acquires()` the rebuild count for the engine stats and benches.
+//
+// Layering: this header (and round_context.hpp) is the *low* half of the
+// engine subsystem — it depends only on the hypergraph layer and is used by
+// algo/core round loops.  engine/engine.hpp is the high half, sitting above
+// core (DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+
+namespace hmis::engine {
+
+/// One arena-backed residual frame: an induced CSR plus its build scratch.
+struct ResidualFrame {
+  MutableHypergraph::Induced induced;
+  MutableHypergraph::InducedScratch scratch;
+};
+
+class FrameArena {
+ public:
+  /// Rotate to the other buffer and return it for (re)building.  The frame
+  /// returned by the previous acquire() is left untouched.
+  [[nodiscard]] ResidualFrame& acquire() {
+    current_ ^= 1;
+    ++acquires_;
+    return frames_[current_];
+  }
+
+  /// The most recently acquired frame (undefined before the first acquire).
+  [[nodiscard]] ResidualFrame& current() noexcept {
+    return frames_[current_];
+  }
+
+  /// Number of acquire() calls — one per frame rebuild.
+  [[nodiscard]] std::uint64_t acquires() const noexcept { return acquires_; }
+
+  /// Total heap capacity currently pinned by both frames (high-water mark
+  /// of the residual sizes seen so far).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept;
+
+ private:
+  ResidualFrame frames_[2];
+  std::size_t current_ = 1;  // first acquire() returns frames_[0]
+  std::uint64_t acquires_ = 0;
+};
+
+}  // namespace hmis::engine

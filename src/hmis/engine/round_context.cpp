@@ -1,0 +1,45 @@
+#include "hmis/engine/round_context.hpp"
+
+namespace hmis::engine {
+
+const MutableHypergraph::Induced& RoundContext::induced_frame(
+    const MutableHypergraph& mh, const util::DynamicBitset& keep) {
+  ResidualFrame& frame = arena_.acquire();
+  mh.induced_subgraph_into(keep, frame.induced, frame.scratch);
+  return frame.induced;
+}
+
+const MutableHypergraph::Induced& RoundContext::snapshot_frame(
+    const MutableHypergraph& mh) {
+  ResidualFrame& frame = arena_.acquire();
+  mh.live_snapshot_into(frame.induced, frame.scratch);
+  return frame.induced;
+}
+
+util::DynamicBitset& RoundContext::keep_mask(std::size_t n) {
+  if (keep_.size() != n) keep_.resize(n);
+  keep_.clear_all();
+  return keep_;
+}
+
+std::vector<std::uint8_t>& RoundContext::marked(std::size_t n) {
+  marked_.assign(n, 0);
+  return marked_;
+}
+
+std::vector<std::uint8_t>& RoundContext::unmarked(std::size_t n) {
+  unmarked_.assign(n, 0);
+  return unmarked_;
+}
+
+std::vector<std::uint8_t>& RoundContext::blue_mask(std::size_t n) {
+  blue_mask_.assign(n, 0);
+  return blue_mask_;
+}
+
+std::vector<std::uint32_t>& RoundContext::positions(std::size_t n) {
+  positions_.assign(n, 0);
+  return positions_;
+}
+
+}  // namespace hmis::engine

@@ -1,0 +1,93 @@
+// RoundContext: the reusable per-round residual lifecycle shared by the
+// round-structured solvers (core/sbl, algo/bl, algo/kuw).
+//
+// Each round of those algorithms used to allocate fresh storage for the
+// same transient structures: the sample keep-mask, the induced residual
+// frame (a full CSR build), per-vertex mark bytes, the fold-back coloring
+// split.  A RoundContext owns all of that scratch once per solve session
+// and re-initializes it per round, so the steady-state round loop performs
+// no heap allocation (bench_engine_throughput measures the difference).
+// Frames come from a double-buffered FrameArena: the frame built for round
+// r stays valid while round r+1 builds into the other buffer.
+//
+// Reuse never changes results: every accessor returns storage re-
+// initialized to exactly the state a fresh allocation would have (cleared
+// bitset, zeroed bytes, rebuilt frame), so algorithms using a shared
+// context remain bit-identical to their historical per-round-allocation
+// selves — the determinism suites cover both entry paths.
+//
+// A RoundContext is single-session state: not thread-safe, one solver at a
+// time.  The engine gives every concurrent session its own context.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hmis/engine/frame_arena.hpp"
+#include "hmis/hypergraph/mutable_hypergraph.hpp"
+#include "hmis/util/bitset.hpp"
+
+namespace hmis::engine {
+
+class RoundContext {
+ public:
+  // ---- Residual frames (arena-backed, double-buffered) --------------------
+
+  /// Build the subgraph of `mh` induced by `keep` into the next arena frame
+  /// and return it.  Valid until the second frame build after this one.
+  const MutableHypergraph::Induced& induced_frame(
+      const MutableHypergraph& mh, const util::DynamicBitset& keep);
+
+  /// Build a live snapshot of `mh` into the next arena frame.
+  const MutableHypergraph::Induced& snapshot_frame(
+      const MutableHypergraph& mh);
+
+  // ---- Per-round scratch --------------------------------------------------
+
+  /// Sample keep-mask: resized to n, all bits cleared.
+  util::DynamicBitset& keep_mask(std::size_t n);
+
+  /// Zeroed byte masks (BL's marked/unmarked, SBL's fold-back blue mask).
+  std::vector<std::uint8_t>& marked(std::size_t n);
+  std::vector<std::uint8_t>& unmarked(std::size_t n);
+  std::vector<std::uint8_t>& blue_mask(std::size_t n);
+
+  /// Zeroed per-vertex positions (KUW's permutation ranks).
+  std::vector<std::uint32_t>& positions(std::size_t n);
+
+  /// Outer vector for materialized live-edge lists (BL's degree-stats
+  /// input).  Grown but never shrunk, so the inner vectors keep their
+  /// capacity across rounds; callers track the live count themselves.
+  std::vector<VertexList>& edge_lists() noexcept { return edge_lists_; }
+
+  /// Fold-back split outputs (SBL's blue/red partition of a sample).
+  std::vector<VertexId>& blue_out() noexcept { return blue_out_; }
+  std::vector<VertexId>& red_out() noexcept { return red_out_; }
+
+  /// Scan-offset scratch for the fold-back split (fully overwritten).
+  std::vector<std::uint32_t>& split_offsets(std::size_t n) {
+    split_offsets_.resize(n);
+    return split_offsets_;
+  }
+
+  // ---- Instrumentation ----------------------------------------------------
+
+  [[nodiscard]] FrameArena& arena() noexcept { return arena_; }
+  [[nodiscard]] std::uint64_t frames_built() const noexcept {
+    return arena_.acquires();
+  }
+
+ private:
+  FrameArena arena_;
+  util::DynamicBitset keep_;
+  std::vector<std::uint8_t> marked_;
+  std::vector<std::uint8_t> unmarked_;
+  std::vector<std::uint8_t> blue_mask_;
+  std::vector<std::uint32_t> positions_;
+  std::vector<VertexList> edge_lists_;
+  std::vector<VertexId> blue_out_;
+  std::vector<VertexId> red_out_;
+  std::vector<std::uint32_t> split_offsets_;
+};
+
+}  // namespace hmis::engine

@@ -15,7 +15,6 @@
 #include <algorithm>
 #include <atomic>
 
-#include "hmis/hypergraph/builder.hpp"
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
 #include "hmis/par/scan.hpp"
@@ -449,89 +448,198 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
 
 MutableHypergraph::Induced MutableHypergraph::induced_subgraph(
     const util::DynamicBitset& keep) const {
-  if (!use_parallel(n_ + edges_.size())) {
-    return induced_subgraph_serial(keep);
-  }
-  return induced_subgraph_parallel(keep);
-}
-
-MutableHypergraph::Induced MutableHypergraph::induced_subgraph_serial(
-    const util::DynamicBitset& keep) const {
   Induced out;
-  std::vector<VertexId> to_local(n_, kInvalidVertex);
-  for (VertexId v = 0; v < n_; ++v) {
-    if (color_[v] == Color::None && keep.test(v)) {
-      to_local[v] = static_cast<VertexId>(out.to_original.size());
-      out.to_original.push_back(v);
-    }
-  }
-  HypergraphBuilder b(out.to_original.size());
-  VertexList local;
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    if (!edge_live_[e]) continue;
-    const auto& verts = edges_[e];
-    bool inside = true;
-    local.clear();
-    for (const VertexId v : verts) {
-      if (to_local[v] == kInvalidVertex) {
-        inside = false;
-        break;
-      }
-      local.push_back(to_local[v]);
-    }
-    if (inside) {
-      b.add_edge(std::span<const VertexId>(local.data(), local.size()));
-    }
-  }
-  out.graph = b.build();
+  InducedScratch scratch;
+  build_induced(&keep, out, scratch);
   return out;
 }
 
-MutableHypergraph::Induced MutableHypergraph::induced_subgraph_parallel(
-    const util::DynamicBitset& keep) const {
+MutableHypergraph::Induced MutableHypergraph::live_snapshot() const {
   Induced out;
+  InducedScratch scratch;
+  build_induced(nullptr, out, scratch);
+  return out;
+}
+
+void MutableHypergraph::induced_subgraph_into(const util::DynamicBitset& keep,
+                                              Induced& out,
+                                              InducedScratch& scratch) const {
+  build_induced(&keep, out, scratch);
+}
+
+void MutableHypergraph::live_snapshot_into(Induced& out,
+                                           InducedScratch& scratch) const {
+  build_induced(nullptr, out, scratch);
+}
+
+void MutableHypergraph::build_induced(const util::DynamicBitset* keep,
+                                      Induced& out,
+                                      InducedScratch& scratch) const {
+  if (!use_parallel(n_ + edges_.size())) {
+    build_induced_serial(keep, out, scratch);
+  } else {
+    build_induced_parallel(keep, out, scratch);
+  }
+}
+
+// Serial flavour: direct CSR assembly with the same passes as the parallel
+// kernel (relabel, classify, canonical-survivor dedupe, emit in original
+// edge order).  This replaced an HypergraphBuilder round-trip — the builder
+// allocates fresh storage per call, which is exactly what the arena-backed
+// frames exist to avoid — and produces the identical graph: the builder's
+// first-insertion-wins dedupe keeps the smallest original edge id at its
+// position in edge order, which is what the (size, lex, id) canonical
+// survivor emits here.
+void MutableHypergraph::build_induced_serial(const util::DynamicBitset* keep,
+                                             Induced& out,
+                                             InducedScratch& scratch) const {
   const std::size_t m = edges_.size();
   const auto kept = [&](std::size_t v) {
-    return color_[v] == Color::None && keep.test(v);
+    return color_[v] == Color::None && (keep == nullptr || keep->test(v));
+  };
+
+  // Relabel kept live vertices.
+  scratch.to_local.assign(n_, kInvalidVertex);
+  out.to_original.clear();
+  for (VertexId v = 0; v < n_; ++v) {
+    if (kept(v)) {
+      scratch.to_local[v] = static_cast<VertexId>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+  const std::size_t k = out.to_original.size();
+
+  // Candidate edges: live and entirely inside the kept set.
+  scratch.cand.clear();
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!edge_live_[e]) continue;
+    bool inside = true;
+    for (const VertexId v : edges_[e]) {
+      if (scratch.to_local[v] == kInvalidVertex) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) scratch.cand.push_back(e);
+  }
+
+  // Canonical-survivor dedupe: order by (size, lex, id), emit group heads.
+  std::sort(scratch.cand.begin(), scratch.cand.end(),
+            [this](EdgeId a, EdgeId b) {
+              if (edges_[a].size() != edges_[b].size()) {
+                return edges_[a].size() < edges_[b].size();
+              }
+              if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
+              return a < b;
+            });
+  scratch.emit.assign(m, 0);
+  for (std::size_t i = 0; i < scratch.cand.size(); ++i) {
+    if (i > 0 && edges_[scratch.cand[i - 1]] == edges_[scratch.cand[i]]) {
+      continue;
+    }
+    scratch.emit[scratch.cand[i]] = 1;
+  }
+
+  // Edge CSR in original edge-id order; local_edge doubles as the
+  // original->local edge id map for the incidence fill below.
+  Hypergraph& g = out.graph;
+  g.n_ = k;
+  g.edge_offsets_.clear();
+  g.edge_offsets_.push_back(0);
+  g.edge_vertices_.clear();
+  scratch.local_edge.resize(m);
+  scratch.deg.assign(k, 0);
+  std::size_t dim = 0;
+  std::size_t min_size = SIZE_MAX;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!scratch.emit[e]) continue;
+    scratch.local_edge[e] =
+        static_cast<std::uint32_t>(g.edge_offsets_.size() - 1);
+    for (const VertexId v : edges_[e]) {
+      g.edge_vertices_.push_back(scratch.to_local[v]);
+      ++scratch.deg[scratch.to_local[v]];
+    }
+    g.edge_offsets_.push_back(g.edge_vertices_.size());
+    dim = std::max(dim, edges_[e].size());
+    min_size = std::min(min_size, edges_[e].size());
+  }
+  const std::size_t num_out_edges = g.edge_offsets_.size() - 1;
+  g.dimension_ = dim;
+  g.min_edge_size_ = num_out_edges == 0 ? 0 : min_size;
+
+  // Vertex -> incident edge CSR (voffset doubles as the fill cursor).
+  g.vertex_offsets_.resize(k + 1);
+  scratch.voffset.resize(k);
+  std::size_t total_incidence = 0;
+  for (std::size_t lv = 0; lv < k; ++lv) {
+    g.vertex_offsets_[lv] = total_incidence;
+    scratch.voffset[lv] = static_cast<std::uint32_t>(total_incidence);
+    total_incidence += scratch.deg[lv];
+  }
+  g.vertex_offsets_[k] = total_incidence;
+  g.vertex_edges_.resize(total_incidence);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!scratch.emit[e]) continue;
+    for (const VertexId v : edges_[e]) {
+      g.vertex_edges_[scratch.voffset[scratch.to_local[v]]++] =
+          scratch.local_edge[e];
+    }
+  }
+}
+
+void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
+                                               Induced& out,
+                                               InducedScratch& scratch) const {
+  const std::size_t m = edges_.size();
+  const auto kept = [&](std::size_t v) {
+    return color_[v] == Color::None && (keep == nullptr || keep->test(v));
   };
 
   // ---- Pass 1: relabel kept live vertices (scan compaction). --------------
-  std::vector<std::uint32_t> voffset(n_);
+  scratch.voffset.resize(n_);
   const std::uint32_t k = par::exclusive_scan<std::uint32_t>(
-      n_, [&](std::size_t v) { return kept(v) ? 1u : 0u; }, voffset.data(),
-      nullptr, pool_);
-  std::vector<VertexId> to_local(n_, kInvalidVertex);
+      n_, [&](std::size_t v) { return kept(v) ? 1u : 0u; },
+      scratch.voffset.data(), nullptr, pool_);
+  scratch.to_local.resize(n_);
   out.to_original.resize(k);
   par::parallel_for(
       0, n_,
       [&](std::size_t v) {
         if (kept(v)) {
-          to_local[v] = voffset[v];
-          out.to_original[voffset[v]] = static_cast<VertexId>(v);
+          scratch.to_local[v] = scratch.voffset[v];
+          out.to_original[scratch.voffset[v]] = static_cast<VertexId>(v);
+        } else {
+          scratch.to_local[v] = kInvalidVertex;
         }
       },
       nullptr, pool_);
 
   // ---- Pass 2: classify edges — live and entirely inside the sample. ------
-  std::vector<std::uint8_t> inside(m, 0);
+  scratch.inside.resize(m);
   par::parallel_for(
       0, m,
       [&](std::size_t e) {
-        if (!edge_live_[e]) return;
-        for (const VertexId v : edges_[e]) {
-          if (to_local[v] == kInvalidVertex) return;
+        std::uint8_t in = edge_live_[e] ? 1 : 0;
+        if (in) {
+          for (const VertexId v : edges_[e]) {
+            if (scratch.to_local[v] == kInvalidVertex) {
+              in = 0;
+              break;
+            }
+          }
         }
-        inside[e] = 1;
+        scratch.inside[e] = in;
       },
       nullptr, pool_);
 
   // ---- Dedupe: collapse equal-content inside edges, smallest id wins ------
-  // (matches HypergraphBuilder's first-insertion-wins rule).  Relabeling is
+  // (matches the serial first-insertion-wins rule).  Relabeling is
   // monotonic, so comparing ORIGINAL vertex lists orders local content too.
-  auto cand = par::pack_indices(
-      m, [&](std::size_t e) { return inside[e] != 0; }, nullptr, pool_);
+  par::pack_indices_into(
+      m, [&](std::size_t e) { return scratch.inside[e] != 0; },
+      scratch.local_edge, scratch.cand, nullptr, pool_);
   par::parallel_sort(
-      cand,
+      scratch.cand,
       [this](EdgeId a, EdgeId b) {
         if (edges_[a].size() != edges_[b].size()) {
           return edges_[a].size() < edges_[b].size();
@@ -540,42 +648,48 @@ MutableHypergraph::Induced MutableHypergraph::induced_subgraph_parallel(
         return a < b;
       },
       nullptr, pool_);
-  std::vector<std::uint8_t> emit(m, 0);
+  scratch.emit.resize(m);
   par::parallel_for(
-      0, cand.size(),
+      0, m, [&](std::size_t e) { scratch.emit[e] = scratch.inside[e]; },
+      nullptr, pool_);
+  par::parallel_for(
+      0, scratch.cand.size(),
       [&](std::size_t i) {
-        if (i > 0 && edges_[cand[i - 1]] == edges_[cand[i]]) return;
-        emit[cand[i]] = 1;
+        if (i > 0 && edges_[scratch.cand[i - 1]] == edges_[scratch.cand[i]]) {
+          scratch.emit[scratch.cand[i]] = 0;
+        }
       },
       nullptr, pool_);
 
   // ---- Edge CSR, emitted in original edge-id order. -----------------------
-  std::vector<std::uint32_t> local_edge(m);
+  scratch.local_edge.resize(m);
   const std::uint32_t num_out_edges = par::exclusive_scan<std::uint32_t>(
-      m, [&](std::size_t e) { return emit[e] ? 1u : 0u; }, local_edge.data(),
-      nullptr, pool_);
-  std::vector<std::size_t> estart(m);
+      m, [&](std::size_t e) { return scratch.emit[e] ? 1u : 0u; },
+      scratch.local_edge.data(), nullptr, pool_);
+  scratch.estart.resize(m);
   const std::size_t total_size = par::exclusive_scan<std::size_t>(
-      m, [&](std::size_t e) { return emit[e] ? edges_[e].size() : 0; },
-      estart.data(), nullptr, pool_);
+      m, [&](std::size_t e) { return scratch.emit[e] ? edges_[e].size() : 0; },
+      scratch.estart.data(), nullptr, pool_);
 
   Hypergraph& g = out.graph;
   g.n_ = k;
-  g.edge_offsets_.assign(num_out_edges + 1, 0);
+  g.edge_offsets_.resize(num_out_edges + 1);
+  g.edge_offsets_[0] = 0;
   g.edge_vertices_.resize(total_size);
   par::parallel_for(
       0, m,
       [&](std::size_t e) {
-        if (!emit[e]) return;
-        std::size_t pos = estart[e];
+        if (!scratch.emit[e]) return;
+        std::size_t pos = scratch.estart[e];
         for (const VertexId v : edges_[e]) {
-          g.edge_vertices_[pos++] = to_local[v];
+          g.edge_vertices_[pos++] = scratch.to_local[v];
         }
-        g.edge_offsets_[local_edge[e] + 1] = pos;
+        g.edge_offsets_[scratch.local_edge[e] + 1] = pos;
       },
       nullptr, pool_);
   g.dimension_ = par::reduce_max<std::size_t>(
-      0, m, 0, [&](std::size_t e) { return emit[e] ? edges_[e].size() : 0; },
+      0, m, 0,
+      [&](std::size_t e) { return scratch.emit[e] ? edges_[e].size() : 0; },
       nullptr, pool_);
   g.min_edge_size_ =
       num_out_edges == 0
@@ -583,7 +697,7 @@ MutableHypergraph::Induced MutableHypergraph::induced_subgraph_parallel(
           : par::reduce_min<std::size_t>(
                 0, m, SIZE_MAX,
                 [&](std::size_t e) {
-                  return emit[e] ? edges_[e].size() : SIZE_MAX;
+                  return scratch.emit[e] ? edges_[e].size() : SIZE_MAX;
                 },
                 nullptr, pool_);
 
@@ -592,18 +706,22 @@ MutableHypergraph::Induced MutableHypergraph::induced_subgraph_parallel(
   // vertex fills its own slice by walking its ORIGINAL incidence list in
   // ascending edge order — emitted local ids ascend with original ids, so
   // the incidence lists come out sorted with no cross-thread writes.
-  std::vector<std::uint32_t> deg(k, 0);
+  scratch.deg.resize(k);
+  par::parallel_for(
+      0, k, [&](std::size_t lv) { scratch.deg[lv] = 0; }, nullptr, pool_);
   par::parallel_for(
       0, m,
       [&](std::size_t e) {
-        if (!emit[e]) return;
-        for (const VertexId v : edges_[e]) atomic_increment(deg[to_local[v]]);
+        if (!scratch.emit[e]) return;
+        for (const VertexId v : edges_[e]) {
+          atomic_increment(scratch.deg[scratch.to_local[v]]);
+        }
       },
       nullptr, pool_);
   g.vertex_offsets_.resize(k + 1);
   const std::size_t total_incidence = par::exclusive_scan<std::size_t>(
-      k, [&](std::size_t lv) { return deg[lv]; }, g.vertex_offsets_.data(),
-      nullptr, pool_);
+      k, [&](std::size_t lv) { return scratch.deg[lv]; },
+      g.vertex_offsets_.data(), nullptr, pool_);
   g.vertex_offsets_[k] = total_incidence;
   g.vertex_edges_.resize(total_incidence);
   par::parallel_for(
@@ -612,20 +730,13 @@ MutableHypergraph::Induced MutableHypergraph::induced_subgraph_parallel(
         const VertexId ov = out.to_original[lv];
         std::size_t pos = g.vertex_offsets_[lv];
         for (const EdgeId e : original_->edges_of(ov)) {
-          if (emit[e] && std::binary_search(edges_[e].begin(), edges_[e].end(),
-                                            ov)) {
-            g.vertex_edges_[pos++] = local_edge[e];
+          if (scratch.emit[e] &&
+              std::binary_search(edges_[e].begin(), edges_[e].end(), ov)) {
+            g.vertex_edges_[pos++] = scratch.local_edge[e];
           }
         }
       },
       nullptr, pool_);
-  return out;
-}
-
-MutableHypergraph::Induced MutableHypergraph::live_snapshot() const {
-  util::DynamicBitset all(n_);
-  all.set_all();
-  return induced_subgraph(all);
 }
 
 }  // namespace hmis

@@ -143,6 +143,23 @@ class MutableHypergraph {
     std::vector<VertexId> to_original; ///< local id -> original id
   };
 
+  /// Reusable scratch for the induced-CSR builds.  Every buffer is fully
+  /// re-initialized by each build (values never leak between calls — only
+  /// capacity is reused), so one scratch can serve any sequence of
+  /// induced_subgraph_into / live_snapshot_into calls, even against
+  /// different MutableHypergraphs.  engine::FrameArena pairs one of these
+  /// with an Induced to form an arena-backed residual frame.
+  struct InducedScratch {
+    std::vector<VertexId> to_local;
+    std::vector<std::uint32_t> voffset;
+    std::vector<std::uint8_t> inside;
+    std::vector<std::uint8_t> emit;
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> local_edge;
+    std::vector<std::size_t> estart;
+    std::vector<std::uint32_t> deg;
+  };
+
   /// The subhypergraph induced by the live vertices in `keep`: its vertices
   /// are all kept live vertices, its edges are the live edges entirely
   /// contained in `keep` (Algorithm 1, line 7: E' = {e in E : e ⊆ V'}),
@@ -153,15 +170,28 @@ class MutableHypergraph {
   /// Compact snapshot of the current live structure (for stats modules).
   [[nodiscard]] Induced live_snapshot() const;
 
+  /// Allocation-lean flavours: build into `out`, reusing its CSR capacity
+  /// and `scratch`'s buffers.  Identical output to the value-returning
+  /// flavours (which are now thin wrappers); after a warm-up build at peak
+  /// size, subsequent builds perform no heap allocation.
+  void induced_subgraph_into(const util::DynamicBitset& keep, Induced& out,
+                             InducedScratch& scratch) const;
+  void live_snapshot_into(Induced& out, InducedScratch& scratch) const;
+
  private:
   void delete_edge(EdgeId e);
   /// Parallel kernels behind the public mutations (pool_ != nullptr path).
   void parallel_shrink_blue(std::span<const VertexId> vs);
   void parallel_delete_red(std::span<const VertexId> vs);
-  [[nodiscard]] Induced induced_subgraph_parallel(
-      const util::DynamicBitset& keep) const;
-  [[nodiscard]] Induced induced_subgraph_serial(
-      const util::DynamicBitset& keep) const;
+  /// One implementation behind both extraction flavours; `keep == nullptr`
+  /// means "every live vertex" (the live_snapshot case, which then needs no
+  /// all-ones bitset).
+  void build_induced(const util::DynamicBitset* keep, Induced& out,
+                     InducedScratch& scratch) const;
+  void build_induced_serial(const util::DynamicBitset* keep, Induced& out,
+                            InducedScratch& scratch) const;
+  void build_induced_parallel(const util::DynamicBitset* keep, Induced& out,
+                              InducedScratch& scratch) const;
   /// Sum of original degrees over `vs` — the upper bound on incident work
   /// that decides whether a mutation is worth the parallel path.
   [[nodiscard]] std::size_t incident_work(std::span<const VertexId> vs) const;

@@ -69,22 +69,39 @@ T inclusive_scan(std::size_t n, Values&& values, T* out,
   return total;
 }
 
-/// Stream compaction: indices i in [0, n) with pred(i), in ascending order.
+/// Stream compaction into caller-owned storage: `out` receives the indices
+/// i in [0, n) with pred(i), ascending; `offsets` is scratch.  Both vectors
+/// are resized (reusing capacity — the allocation-free path for per-round
+/// callers like the residual-frame builds); returns the match count.
 template <typename Pred>
-[[nodiscard]] std::vector<std::uint32_t> pack_indices(
-    std::size_t n, Pred&& pred, Metrics* metrics = nullptr,
-    ThreadPool* pool = nullptr, std::size_t grain = 0) {
-  std::vector<std::uint32_t> offsets(n);
+std::size_t pack_indices_into(std::size_t n, Pred&& pred,
+                              std::vector<std::uint32_t>& offsets,
+                              std::vector<std::uint32_t>& out,
+                              Metrics* metrics = nullptr,
+                              ThreadPool* pool = nullptr,
+                              std::size_t grain = 0) {
+  offsets.resize(n);
   const std::uint32_t total = exclusive_scan<std::uint32_t>(
       n, [&](std::size_t i) { return pred(i) ? 1u : 0u; }, offsets.data(),
       metrics, pool, grain);
-  std::vector<std::uint32_t> out(total);
+  out.resize(total);
   parallel_for(
       0, n,
       [&](std::size_t i) {
         if (pred(i)) out[offsets[i]] = static_cast<std::uint32_t>(i);
       },
       metrics, pool, grain);
+  return total;
+}
+
+/// Stream compaction: indices i in [0, n) with pred(i), in ascending order.
+template <typename Pred>
+[[nodiscard]] std::vector<std::uint32_t> pack_indices(
+    std::size_t n, Pred&& pred, Metrics* metrics = nullptr,
+    ThreadPool* pool = nullptr, std::size_t grain = 0) {
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> out;
+  pack_indices_into(n, pred, offsets, out, metrics, pool, grain);
   return out;
 }
 

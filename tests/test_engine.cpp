@@ -1,0 +1,358 @@
+// Engine determinism contract: a session's Result is a pure function of its
+// SolveRequest — independent of batch composition (solved alone vs inside
+// any mix of other sessions) and of the engine's thread count (1 = zero-
+// worker pool, 2, HMIS_TEST_THREADS).  Byte-identical means the whole
+// Result payload: the independent set, round/stage/resample counters, and
+// the modeled EREW metrics.
+//
+// Also covers the engine's async mechanics (futures helping on zero-worker
+// pools, exception propagation, backpressure, drain, dropped futures) and
+// the arena-backed residual frames underneath it (a dirty recycled frame
+// must rebuild to exactly what a fresh extraction returns).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/engine/engine.hpp"
+#include "hmis/engine/round_context.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/validate.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+#include "test_threads.hpp"
+
+namespace {
+
+using namespace hmis;
+
+/// The byte-comparable payload of a Result (seconds excluded — wall clock is
+/// the one legitimately nondeterministic field).
+struct Canon {
+  std::vector<VertexId> independent_set;
+  bool success = false;
+  std::size_t rounds = 0;
+  std::uint64_t inner_stages = 0;
+  std::size_t resamples = 0;
+  std::uint64_t work = 0;
+  std::uint64_t depth = 0;
+  std::uint64_t calls = 0;
+
+  friend bool operator==(const Canon&, const Canon&) = default;
+};
+
+Canon canon(const algo::Result& r) {
+  return {r.independent_set, r.success,      r.rounds,
+          r.inner_stages,    r.resamples,    r.metrics.work,
+          r.metrics.depth,   r.metrics.calls};
+}
+
+/// A target request solved via a dedicated ThreadPool through the blocking
+/// facade — the engine-free reference.
+Canon blocking_reference(const std::shared_ptr<const Hypergraph>& g,
+                         core::Algorithm a, std::uint64_t seed) {
+  par::ThreadPool pool(2);
+  core::FindOptions opt;
+  opt.seed = seed;
+  opt.pool = &pool;
+  const auto run = core::find_mis(*g, a, opt);
+  EXPECT_TRUE(run.result.success) << run.result.failure_reason;
+  EXPECT_TRUE(run.verdict.ok());
+  return canon(run.result);
+}
+
+engine::SolveRequest make_request(std::shared_ptr<const Hypergraph> g,
+                                  core::Algorithm a, std::uint64_t seed) {
+  engine::SolveRequest req;
+  req.graph = std::move(g);
+  req.algorithm = a;
+  req.seed = seed;
+  return req;
+}
+
+/// Shared fixtures: one SBL-regime target, one BL target, plus decoys of
+/// varied shape to build mixed batches around the targets.
+struct Instances {
+  std::shared_ptr<const Hypergraph> sbl_target =
+      engine::share(gen::sbl_regime(1200, 0.6, 12, 5));
+  std::shared_ptr<const Hypergraph> bl_target =
+      engine::share(gen::uniform_random(1500, 4500, 3, 19));
+  std::shared_ptr<const Hypergraph> decoy_a =
+      engine::share(gen::mixed_arity(900, 1800, 2, 5, 23));
+  std::shared_ptr<const Hypergraph> decoy_b =
+      engine::share(gen::sbl_regime(800, 0.6, 10, 7));
+};
+
+const Instances& instances() {
+  static const Instances kInstances;
+  return kInstances;
+}
+
+// ---- Determinism: batch composition ----------------------------------------
+
+TEST(EngineDeterminism, SoloVsMixedBatchBitIdentical) {
+  const auto& inst = instances();
+  const auto sbl_ref =
+      blocking_reference(inst.sbl_target, core::Algorithm::SBL, 5);
+  const auto bl_ref =
+      blocking_reference(inst.bl_target, core::Algorithm::BL, 19);
+
+  // Solo: each target alone on its own engine.
+  engine::Engine solo({.threads = 2});
+  const auto solo_sbl =
+      solo.submit(make_request(inst.sbl_target, core::Algorithm::SBL, 5))
+          .get();
+  const auto solo_bl =
+      solo.submit(make_request(inst.bl_target, core::Algorithm::BL, 19))
+          .get();
+  EXPECT_EQ(canon(solo_sbl.run.result), sbl_ref);
+  EXPECT_EQ(canon(solo_bl.run.result), bl_ref);
+
+  // Mixed batch: the same requests surrounded by decoys — including a decoy
+  // sharing the SBL target's graph under a different seed — all in flight
+  // at once.
+  engine::Engine mixed({.threads = 2});
+  std::vector<engine::SolveRequest> batch;
+  batch.push_back(make_request(inst.decoy_a, core::Algorithm::Auto, 1));
+  batch.push_back(make_request(inst.sbl_target, core::Algorithm::SBL, 5));
+  batch.push_back(make_request(inst.sbl_target, core::Algorithm::SBL, 99));
+  batch.push_back(make_request(inst.bl_target, core::Algorithm::BL, 19));
+  batch.push_back(make_request(inst.decoy_b, core::Algorithm::SBL, 3));
+  auto futures = mixed.submit_all(std::move(batch));
+  const auto mixed_sbl = futures[1].get();
+  const auto mixed_bl = futures[3].get();
+  EXPECT_EQ(canon(mixed_sbl.run.result), sbl_ref);
+  EXPECT_EQ(canon(mixed_bl.run.result), bl_ref);
+  // The different-seed twin must run independently, not inherit state.
+  const auto twin = futures[2].get();
+  EXPECT_TRUE(twin.run.result.success);
+  EXPECT_NE(canon(twin.run.result).independent_set, sbl_ref.independent_set);
+  mixed.drain();
+}
+
+// ---- Determinism: engine thread count ---------------------------------------
+
+TEST(EngineDeterminism, ThreadCountIndependence) {
+  const auto& inst = instances();
+  std::vector<std::vector<Canon>> per_thread_results;
+  for (const std::size_t threads : hmis_test::engine_thread_sweep()) {
+    engine::Engine eng({.threads = threads});
+    std::vector<engine::SolveRequest> batch;
+    batch.push_back(make_request(inst.sbl_target, core::Algorithm::SBL, 5));
+    batch.push_back(make_request(inst.bl_target, core::Algorithm::BL, 19));
+    batch.push_back(make_request(inst.decoy_b, core::Algorithm::SBL, 7));
+    batch.push_back(make_request(inst.decoy_a, core::Algorithm::KUW, 11));
+    auto futures = eng.submit_all(std::move(batch));
+    std::vector<Canon> results;
+    for (auto& f : futures) {
+      const auto resp = f.get();
+      ASSERT_TRUE(resp.run.result.success)
+          << "threads=" << threads << ": " << resp.run.result.failure_reason;
+      EXPECT_TRUE(resp.run.verdict.ok()) << "threads=" << threads;
+      results.push_back(canon(resp.run.result));
+    }
+    per_thread_results.push_back(std::move(results));
+  }
+  for (std::size_t t = 1; t < per_thread_results.size(); ++t) {
+    EXPECT_EQ(per_thread_results[0], per_thread_results[t])
+        << "engine thread sweep diverged at sweep index " << t;
+  }
+}
+
+// ---- Async mechanics --------------------------------------------------------
+
+TEST(EngineFuture, GetHelpsOnZeroWorkerEngine) {
+  // threads = 1 means the pool has no worker threads at all: sessions run
+  // only because get() helps execute queued tasks on the calling thread.
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 1});
+  auto f1 = eng.submit(make_request(inst.decoy_a, core::Algorithm::Auto, 1));
+  auto f2 = eng.submit(make_request(inst.decoy_b, core::Algorithm::SBL, 3));
+  const auto r2 = f2.get();  // out of submission order, on purpose
+  const auto r1 = f1.get();
+  EXPECT_TRUE(r1.run.result.success);
+  EXPECT_TRUE(r2.run.result.success);
+  EXPECT_TRUE(r1.run.verdict.ok());
+  EXPECT_TRUE(r2.run.verdict.ok());
+}
+
+TEST(EngineFuture, SessionExceptionRethrownByGet) {
+  // Luby on a dimension-3 instance violates its HMIS_CHECK envelope inside
+  // the session; the error must surface at get(), not kill the engine.
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 2});
+  auto bad = eng.submit(make_request(inst.bl_target, core::Algorithm::Luby, 1));
+  EXPECT_THROW((void)bad.get(), util::CheckError);
+  // The engine survives and solves the next session normally.
+  auto good =
+      eng.submit(make_request(inst.decoy_a, core::Algorithm::Auto, 1));
+  EXPECT_TRUE(good.get().run.result.success);
+  EXPECT_EQ(eng.stats().failed, 1u);
+}
+
+TEST(EngineSubmit, RejectsRequestWithoutGraph) {
+  engine::Engine eng({.threads = 1});
+  engine::SolveRequest empty;
+  EXPECT_THROW((void)eng.submit(std::move(empty)), util::CheckError);
+}
+
+TEST(EngineBackpressure, MaxInflightBoundsAndCompletes) {
+  // A single submitter with max_inflight = 2: submit() must help-run
+  // sessions to get below the cap (this also exercises backpressure on a
+  // zero-worker engine), and the in-flight high-water mark stays bounded.
+  const auto& inst = instances();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    engine::Engine eng({.threads = threads, .max_inflight = 2});
+    std::vector<engine::SolveFuture> futures;
+    for (std::uint64_t s = 1; s <= 8; ++s) {
+      futures.push_back(
+          eng.submit(make_request(inst.decoy_a, core::Algorithm::Auto, s)));
+    }
+    for (auto& f : futures) {
+      EXPECT_TRUE(f.get().run.result.success);
+    }
+    const auto stats = eng.stats();
+    EXPECT_EQ(stats.completed, 8u);
+    EXPECT_LE(stats.peak_inflight, 2u) << "threads=" << threads;
+  }
+}
+
+TEST(EngineBackpressure, ConcurrentSubmittersRespectTheCap) {
+  // The in-flight slot is reserved with a CAS before the session spawns, so
+  // racing submitters cannot overshoot max_inflight (a check-then-act
+  // version could reach cap + submitters - 1).
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 2, .max_inflight = 2});
+  std::mutex futures_mutex;
+  std::vector<engine::SolveFuture> futures;
+  std::vector<std::thread> submitters;
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::uint64_t s = 0; s < 4; ++s) {
+        auto f = eng.submit(
+            make_request(inst.decoy_a, core::Algorithm::Auto, 100 * t + s));
+        const std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().run.result.success);
+  }
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.completed, 16u);
+  EXPECT_LE(stats.peak_inflight, 2u);
+}
+
+TEST(EngineDrain, DrainsEverySubmittedSession) {
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 2});
+  std::vector<engine::SolveFuture> futures;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    futures.push_back(
+        eng.submit(make_request(inst.decoy_a, core::Algorithm::Auto, s)));
+  }
+  eng.drain();
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.ready());
+    EXPECT_TRUE(f.get().run.result.success);  // get() after drain is fine
+  }
+}
+
+TEST(EngineDrain, DroppedFutureSessionStillCompletes) {
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 2});
+  {
+    auto f = eng.submit(make_request(inst.decoy_b, core::Algorithm::SBL, 3));
+    // f dropped here without get(): the result is abandoned, the session
+    // is not.
+  }
+  eng.drain();
+  EXPECT_EQ(eng.stats().completed, 1u);
+  EXPECT_EQ(eng.stats().inflight, 0u);
+}
+
+// ---- Arena-backed frames underneath the engine ------------------------------
+
+TEST(RoundContextFrames, DirtyRecycledFrameEqualsFreshExtraction) {
+  // Build frames from one hypergraph, then reuse the same (dirty) context
+  // against another with interleaved mutations: every rebuild must equal a
+  // fresh extraction bit for bit.
+  const Hypergraph a = gen::sbl_regime(600, 0.6, 8, 21);
+  const Hypergraph b = gen::uniform_random(900, 1800, 4, 22);
+  engine::RoundContext ctx;
+
+  MutableHypergraph ma(a);
+  (void)ctx.snapshot_frame(ma);  // dirty the buffers with a's shape
+
+  MutableHypergraph mb(b);
+  const util::CounterRng rng(77);
+  for (int round = 0; round < 4; ++round) {
+    // A deterministic mutation step: exclude a pseudo-random live vertex,
+    // then take both extraction paths and compare.
+    const auto live = mb.live_vertices();
+    if (live.empty()) break;
+    const VertexId victim = live[rng.bits(round, 0) % live.size()];
+    mb.color_red(std::span<const VertexId>(&victim, 1));
+    mb.singleton_cascade();
+
+    util::DynamicBitset keep(b.num_vertices());
+    for (VertexId v = 0; v < b.num_vertices(); ++v) {
+      if (rng.bernoulli(0.5, 1000 + round, v)) keep.set(v);
+    }
+
+    const auto fresh_snap = mb.live_snapshot();
+    const auto& arena_snap = ctx.snapshot_frame(mb);
+    EXPECT_EQ(fresh_snap.to_original, arena_snap.to_original);
+    EXPECT_EQ(fresh_snap.graph.edges_as_lists(),
+              arena_snap.graph.edges_as_lists());
+    EXPECT_EQ(fresh_snap.graph.num_vertices(),
+              arena_snap.graph.num_vertices());
+    EXPECT_EQ(fresh_snap.graph.dimension(), arena_snap.graph.dimension());
+    EXPECT_EQ(fresh_snap.graph.min_edge_size(),
+              arena_snap.graph.min_edge_size());
+
+    const auto fresh_ind = mb.induced_subgraph(keep);
+    const auto& arena_ind = ctx.induced_frame(mb, keep);
+    EXPECT_EQ(fresh_ind.to_original, arena_ind.to_original);
+    EXPECT_EQ(fresh_ind.graph.edges_as_lists(),
+              arena_ind.graph.edges_as_lists());
+    // Incidence CSR equality, via degrees of every local vertex.
+    ASSERT_EQ(fresh_ind.graph.num_vertices(), arena_ind.graph.num_vertices());
+    for (VertexId lv = 0; lv < fresh_ind.graph.num_vertices(); ++lv) {
+      EXPECT_EQ(fresh_ind.graph.degree(lv), arena_ind.graph.degree(lv));
+    }
+  }
+  EXPECT_GT(ctx.frames_built(), 0u);
+  EXPECT_GT(ctx.arena().capacity_bytes(), 0u);
+}
+
+TEST(RoundContextFrames, DoubleBufferKeepsPreviousFrameIntact) {
+  const Hypergraph h = gen::mixed_arity(700, 1400, 2, 4, 31);
+  MutableHypergraph mh(h);
+  engine::RoundContext ctx;
+
+  const auto& first = ctx.snapshot_frame(mh);
+  const auto first_edges = first.graph.edges_as_lists();
+  const auto first_map = first.to_original;
+
+  // Mutate and build the next frame: the first frame must not move.
+  const VertexId victim = mh.live_vertices().front();
+  mh.color_red(std::span<const VertexId>(&victim, 1));
+  const auto& second = ctx.snapshot_frame(mh);
+
+  EXPECT_EQ(first.graph.edges_as_lists(), first_edges);
+  EXPECT_EQ(first.to_original, first_map);
+  EXPECT_NE(&first, &second);
+  EXPECT_LT(second.to_original.size(), first_map.size());
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <vector>
 
 namespace hmis_test {
 
@@ -14,6 +15,13 @@ inline std::size_t max_test_threads() {
     if (v >= 1) return static_cast<std::size_t>(v);
   }
   return 8;
+}
+
+/// Thread counts the engine determinism suites sweep: 1 (a zero-worker
+/// pool — sessions run on the waiting caller), 2, and the sanitizer-widened
+/// maximum.  Results must be byte-identical across the whole sweep.
+inline std::vector<std::size_t> engine_thread_sweep() {
+  return {1, 2, max_test_threads()};
 }
 
 }  // namespace hmis_test

@@ -3,8 +3,16 @@
 //   hmis gen   <family> <out.hg> [options]   generate an instance
 //   hmis stats <in.hg>                       analyze + recommend (planner)
 //   hmis solve <in.hg> [--algo A] [--seed S] [--threads T] [--out sets.txt]
-//              [--stats]  (print EREW work/depth + scheduler spawn/steal/join
-//                          counters alongside the round metrics)
+//              [--stats] [--format text|json]
+//              (--stats prints EREW work/depth + scheduler spawn/steal/join
+//               counters alongside the round metrics; json always carries
+//               them)
+//   hmis batch <manifest> [--algo A] [--seed S] [--threads T]
+//              [--max-inflight N] [--format text|json]
+//              solve many instances through one async engine; the manifest
+//              has one instance per line:  <path> [algo=A] [seed=S] [tag=T]
+//              ('#' starts a comment, blank lines ignored; algo/seed default
+//               to the command-line flags, tag to the path)
 //   hmis verify <in.hg> <set.txt>            check independence/maximality
 //   hmis color <in.hg> [--algo A]            strong coloring via iterated MIS
 //
@@ -17,6 +25,9 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,9 +41,91 @@ using namespace hmis;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hmis <gen|stats|solve|verify|color> ... (see header "
-               "comment / README)\n");
+               "usage: hmis <gen|stats|solve|batch|verify|color> ... (see "
+               "header comment / README)\n");
   return 2;
+}
+
+// ---- JSON helpers (no external deps; enough for the --format json mode) ----
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One solved run as a JSON object (shared by solve and batch).
+std::string run_json(const std::string& tag, const core::MisRun& run,
+                     double queue_seconds) {
+  const auto& m = run.result.metrics;
+  std::ostringstream os;
+  os << "{\"tag\":\"" << json_escape(tag) << "\",\"algorithm\":\""
+     << core::algorithm_name(run.algorithm) << "\",\"success\":"
+     << (run.result.success ? "true" : "false");
+  if (!run.result.success) {
+    os << ",\"failure\":\"" << json_escape(run.result.failure_reason) << "\"}";
+    return os.str();
+  }
+  os << ",\"size\":" << run.result.independent_set.size()
+     << ",\"rounds\":" << run.result.rounds
+     << ",\"inner_stages\":" << run.result.inner_stages
+     << ",\"resamples\":" << run.result.resamples << ",\"time_ms\":"
+     << run.result.seconds * 1e3 << ",\"queue_ms\":" << queue_seconds * 1e3
+     << ",\"verified\":" << (run.verdict.ok() ? "true" : "false")
+     << ",\"metrics\":{\"work\":" << m.work << ",\"depth\":" << m.depth
+     << ",\"calls\":" << m.calls << "}}";
+  return os.str();
+}
+
+std::string scheduler_json(std::size_t threads,
+                           const par::SchedulerStats& sched) {
+  std::ostringstream os;
+  os << "{\"threads\":" << threads << ",\"spawns\":" << sched.spawns
+     << ",\"steals\":" << sched.steals << ",\"joins\":" << sched.joins << "}";
+  return os.str();
+}
+
+enum class OutputFormat { Text, Json };
+
+bool parse_format(const std::string& value, OutputFormat* out) {
+  if (value == "text") {
+    *out = OutputFormat::Text;
+    return true;
+  }
+  if (value == "json") {
+    *out = OutputFormat::Json;
+    return true;
+  }
+  std::fprintf(stderr, "unknown format '%s' (want text|json)\n",
+               value.c_str());
+  return false;
 }
 
 core::Algorithm parse_algorithm(const std::string& name) {
@@ -108,6 +201,7 @@ int cmd_solve(const std::vector<std::string>& args) {
   core::FindOptions opt;
   std::string out_path;
   bool print_stats = false;
+  OutputFormat format = OutputFormat::Text;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--algo" && i + 1 < args.size()) {
       algorithm = parse_algorithm(args[++i]);
@@ -119,6 +213,8 @@ int cmd_solve(const std::vector<std::string>& args) {
       out_path = args[++i];
     } else if (args[i] == "--stats") {
       print_stats = true;
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      if (!parse_format(args[++i], &format)) return 2;
     } else {
       return usage();
     }
@@ -137,33 +233,222 @@ int cmd_solve(const std::vector<std::string>& args) {
   const par::SchedulerStats sched_before = par::global_pool().stats();
   const auto run = core::find_mis(h, algorithm, opt);
   const par::SchedulerStats sched = par::global_pool().stats() - sched_before;
-  if (!run.result.success) {
-    std::fprintf(stderr, "FAILED: %s\n", run.result.failure_reason.c_str());
-    return 1;
-  }
-  std::printf("algorithm=%s |I|=%zu rounds=%zu time_ms=%.2f verified=%s\n",
-              std::string(core::algorithm_name(run.algorithm)).c_str(),
-              run.result.independent_set.size(), run.result.rounds,
-              run.result.seconds * 1e3, run.verdict.ok() ? "yes" : "NO");
-  if (print_stats) {
-    const auto& m = run.result.metrics;
-    std::printf("stats: work=%llu depth=%llu calls=%llu inner_stages=%llu\n",
-                static_cast<unsigned long long>(m.work),
-                static_cast<unsigned long long>(m.depth),
-                static_cast<unsigned long long>(m.calls),
-                static_cast<unsigned long long>(run.result.inner_stages));
-    std::printf("scheduler: threads=%zu spawns=%llu steals=%llu joins=%llu\n",
-                par::global_pool().num_threads(),
-                static_cast<unsigned long long>(sched.spawns),
-                static_cast<unsigned long long>(sched.steals),
-                static_cast<unsigned long long>(sched.joins));
+  if (format == OutputFormat::Json) {
+    // One machine-readable object: result + EREW metrics + scheduler
+    // counters (the dashboard/bench-script feed).
+    std::printf("{\"mode\":\"solve\",\"instance\":\"%s\",\"n\":%zu,"
+                "\"m\":%zu,\"result\":%s,\"scheduler\":%s}\n",
+                json_escape(args[0]).c_str(), h.num_vertices(), h.num_edges(),
+                run_json(args[0], run, 0.0).c_str(),
+                scheduler_json(par::global_pool().num_threads(),
+                               sched).c_str());
+    if (!run.result.success) return 1;
+  } else {
+    if (!run.result.success) {
+      std::fprintf(stderr, "FAILED: %s\n", run.result.failure_reason.c_str());
+      return 1;
+    }
+    std::printf("algorithm=%s |I|=%zu rounds=%zu time_ms=%.2f verified=%s\n",
+                std::string(core::algorithm_name(run.algorithm)).c_str(),
+                run.result.independent_set.size(), run.result.rounds,
+                run.result.seconds * 1e3, run.verdict.ok() ? "yes" : "NO");
+    if (print_stats) {
+      const auto& m = run.result.metrics;
+      std::printf("stats: work=%llu depth=%llu calls=%llu inner_stages=%llu\n",
+                  static_cast<unsigned long long>(m.work),
+                  static_cast<unsigned long long>(m.depth),
+                  static_cast<unsigned long long>(m.calls),
+                  static_cast<unsigned long long>(run.result.inner_stages));
+      std::printf("scheduler: threads=%zu spawns=%llu steals=%llu joins=%llu\n",
+                  par::global_pool().num_threads(),
+                  static_cast<unsigned long long>(sched.spawns),
+                  static_cast<unsigned long long>(sched.steals),
+                  static_cast<unsigned long long>(sched.joins));
+    }
   }
   if (!out_path.empty()) {
     std::ofstream os(out_path);
     for (const VertexId v : run.result.independent_set) os << v << '\n';
-    std::printf("wrote %s\n", out_path.c_str());
+    if (format == OutputFormat::Text) std::printf("wrote %s\n", out_path.c_str());
   }
   return run.verdict.ok() ? 0 : 1;
+}
+
+// ---- hmis batch: many instances, one async engine --------------------------
+
+struct ManifestEntry {
+  std::string path;
+  std::string tag;
+  core::Algorithm algorithm = core::Algorithm::Auto;
+  std::uint64_t seed = 0;
+  bool has_algo = false;
+  bool has_seed = false;
+};
+
+bool parse_manifest(const std::string& path,
+                    std::vector<ManifestEntry>* entries) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::fprintf(stderr, "cannot read manifest %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    ManifestEntry entry;
+    if (!(ls >> entry.path)) continue;  // blank / comment-only line
+    entry.tag = entry.path;
+    std::string token;
+    while (ls >> token) {
+      if (token.rfind("algo=", 0) == 0) {
+        entry.algorithm = parse_algorithm(token.substr(5));
+        entry.has_algo = true;
+      } else if (token.rfind("seed=", 0) == 0) {
+        entry.seed = std::strtoull(token.c_str() + 5, nullptr, 10);
+        entry.has_seed = true;
+      } else if (token.rfind("tag=", 0) == 0) {
+        entry.tag = token.substr(4);
+      } else {
+        std::fprintf(stderr, "%s:%zu: unknown manifest token '%s'\n",
+                     path.c_str(), lineno, token.c_str());
+        return false;
+      }
+    }
+    entries->push_back(std::move(entry));
+  }
+  return true;
+}
+
+int cmd_batch(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  core::Algorithm default_algo = core::Algorithm::Auto;
+  std::uint64_t default_seed = 1;
+  engine::EngineOptions eopt;
+  OutputFormat format = OutputFormat::Text;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--algo" && i + 1 < args.size()) {
+      default_algo = parse_algorithm(args[++i]);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      default_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      eopt.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--max-inflight" && i + 1 < args.size()) {
+      eopt.max_inflight = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      if (!parse_format(args[++i], &format)) return 2;
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<ManifestEntry> entries;
+  if (!parse_manifest(args[0], &entries)) return 2;
+  if (entries.empty()) {
+    std::fprintf(stderr, "manifest %s lists no instances\n", args[0].c_str());
+    return 2;
+  }
+
+  // Load everything up front (so I/O cost stays out of the solve clock),
+  // one Hypergraph per *distinct* path — a sweep manifest rerunning one
+  // instance under many seeds shares a single copy (SolveRequest::graph is
+  // a shared_ptr for exactly this).  Then submit the whole batch to one
+  // engine and collect in order.
+  std::map<std::string, std::shared_ptr<const Hypergraph>> loaded;
+  std::vector<engine::SolveRequest> requests;
+  requests.reserve(entries.size());
+  for (const auto& entry : entries) {
+    auto& graph = loaded[entry.path];
+    if (graph == nullptr) graph = engine::share(load_hypergraph(entry.path));
+    engine::SolveRequest req;
+    req.graph = graph;
+    req.algorithm = entry.has_algo ? entry.algorithm : default_algo;
+    req.seed = entry.has_seed ? entry.seed : default_seed;
+    req.tag = entry.tag;
+    requests.push_back(std::move(req));
+  }
+
+  util::Timer wall;
+  engine::Engine eng(eopt);
+  auto futures = eng.submit_all(std::move(requests));
+
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::ostringstream results_json;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const std::string& tag = entries[i].tag;
+    std::string row;
+    try {
+      const engine::SolveResponse resp = futures[i].get();
+      const bool good = resp.run.result.success && resp.run.verdict.ok();
+      good ? ++ok : ++failed;
+      if (format == OutputFormat::Json) {
+        row = run_json(tag, resp.run, resp.queue_seconds);
+      } else if (resp.run.result.success) {
+        std::printf(
+            "tag=%s algorithm=%s |I|=%zu rounds=%zu queue_ms=%.2f "
+            "time_ms=%.2f verified=%s\n",
+            tag.c_str(),
+            std::string(core::algorithm_name(resp.run.algorithm)).c_str(),
+            resp.run.result.independent_set.size(), resp.run.result.rounds,
+            resp.queue_seconds * 1e3, resp.run.result.seconds * 1e3,
+            resp.run.verdict.ok() ? "yes" : "NO");
+      } else {
+        std::printf("tag=%s FAILED: %s\n", tag.c_str(),
+                    resp.run.result.failure_reason.c_str());
+      }
+    } catch (const std::exception& e) {
+      ++failed;
+      if (format == OutputFormat::Json) {
+        row = "{\"tag\":\"" + json_escape(tag) +
+              "\",\"success\":false,\"failure\":\"" + json_escape(e.what()) +
+              "\"}";
+      } else {
+        std::printf("tag=%s ERROR: %s\n", tag.c_str(), e.what());
+      }
+    }
+    if (format == OutputFormat::Json) {
+      if (i > 0) results_json << ',';
+      results_json << row;
+    }
+  }
+  const double wall_seconds = wall.seconds();
+  const auto stats = eng.stats();
+
+  if (format == OutputFormat::Json) {
+    std::printf(
+        "{\"mode\":\"batch\",\"manifest\":\"%s\",\"results\":[%s],"
+        "\"summary\":{\"instances\":%zu,\"ok\":%zu,\"failed\":%zu,"
+        "\"wall_ms\":%g,\"solves_per_sec\":%g},"
+        "\"engine\":{\"submitted\":%llu,\"completed\":%llu,\"failed\":%llu,"
+        "\"peak_inflight\":%zu,\"scheduler\":%s}}\n",
+        json_escape(args[0]).c_str(), results_json.str().c_str(),
+        entries.size(), ok, failed, wall_seconds * 1e3,
+        wall_seconds > 0 ? static_cast<double>(entries.size()) / wall_seconds
+                         : 0.0,
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.failed), stats.peak_inflight,
+        scheduler_json(eng.pool().num_threads(), stats.scheduler).c_str());
+  } else {
+    std::printf(
+        "batch: instances=%zu ok=%zu failed=%zu wall_ms=%.2f "
+        "solves_per_sec=%.2f\n",
+        entries.size(), ok, failed, wall_seconds * 1e3,
+        wall_seconds > 0 ? static_cast<double>(entries.size()) / wall_seconds
+                         : 0.0);
+    std::printf(
+        "engine: threads=%zu peak_inflight=%zu spawns=%llu steals=%llu "
+        "joins=%llu\n",
+        eng.pool().num_threads(), stats.peak_inflight,
+        static_cast<unsigned long long>(stats.scheduler.spawns),
+        static_cast<unsigned long long>(stats.scheduler.steals),
+        static_cast<unsigned long long>(stats.scheduler.joins));
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_verify(const std::vector<std::string>& args) {
@@ -225,6 +510,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "batch") return cmd_batch(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "color") return cmd_color(args);
   } catch (const std::exception& e) {
