@@ -8,9 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,4 +87,60 @@ inline int finish(int argc, char** argv) {
   return 0;
 }
 
+/// Allocations recorded by the global operator-new hook.  Only defined when
+/// the binary placed HMIS_BENCH_DEFINE_ALLOC_HOOK() at global scope in
+/// exactly one translation unit (linking fails otherwise, which is the
+/// point: an alloc-asserting bench that forgot the hook would silently
+/// report zeros).  Counts every allocation on every thread; report *deltas*
+/// around identically-shaped sections.
+std::uint64_t allocations();
+
 }  // namespace hmis::bench
+
+// ---- Global allocation-counting hook ---------------------------------------
+// Replaces the global allocation functions for the defining binary only, so
+// any bench can assert allocation behavior (allocs/round, steady-state-zero
+// arena claims).  Place the macro at global scope, once per binary:
+//
+//   HMIS_BENCH_DEFINE_ALLOC_HOOK()
+//
+// The replacement news are malloc-backed, so free() IS the matching
+// deallocator — the pragma silences gcc's heuristic pairing check.
+#define HMIS_BENCH_DEFINE_ALLOC_HOOK()                                        \
+  namespace hmis::bench {                                                     \
+  namespace detail {                                                          \
+  inline std::atomic<std::uint64_t> g_allocations{0};                         \
+  }                                                                           \
+  std::uint64_t allocations() {                                               \
+    return detail::g_allocations.load(std::memory_order_relaxed);             \
+  }                                                                           \
+  }                                                                           \
+  void* operator new(std::size_t size) {                                      \
+    hmis::bench::detail::g_allocations.fetch_add(1,                           \
+                                                 std::memory_order_relaxed);  \
+    if (void* p = std::malloc(size ? size : 1)) return p;                     \
+    throw std::bad_alloc();                                                   \
+  }                                                                           \
+  void* operator new[](std::size_t size) { return ::operator new(size); }     \
+  void* operator new(std::size_t size, const std::nothrow_t&) noexcept {      \
+    hmis::bench::detail::g_allocations.fetch_add(1,                           \
+                                                 std::memory_order_relaxed);  \
+    return std::malloc(size ? size : 1);                                      \
+  }                                                                           \
+  void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {\
+    return ::operator new(size, tag);                                         \
+  }                                                                           \
+  _Pragma("GCC diagnostic push")                                              \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")               \
+  void operator delete(void* p) noexcept { std::free(p); }                    \
+  void operator delete[](void* p) noexcept { std::free(p); }                  \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }       \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }     \
+  void operator delete(void* p, const std::nothrow_t&) noexcept {             \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept {           \
+    std::free(p);                                                             \
+  }                                                                           \
+  _Pragma("GCC diagnostic pop")                                               \
+  static_assert(true, "require a trailing semicolon-free placement")

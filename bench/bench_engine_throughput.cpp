@@ -22,56 +22,14 @@
 //                   note.
 #include "bench_common.hpp"
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
-
-// ---- Global allocation counter ---------------------------------------------
-// Replaces the global allocation functions for this binary only.  The
-// counter includes every allocation on the calling thread (vectors, closures,
-// strings); the tables below always report *deltas* around the measured
-// section, with the compared sections shaped identically.
-
-namespace {
-std::atomic<std::uint64_t> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size ? size : 1);
-}
-void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
-  return ::operator new(size, tag);
-}
-// The replacement news above are malloc-backed, so free() IS the matching
-// deallocator — silence gcc's heuristic pairing check.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-#pragma GCC diagnostic pop
+// Global allocation counter: bench_common.hpp's hook (deltas around
+// identically-shaped sections; see the macro's comment).
+HMIS_BENCH_DEFINE_ALLOC_HOOK();
 
 namespace {
 
 using namespace hmis;
-
-std::uint64_t allocations() {
-  return g_allocations.load(std::memory_order_relaxed);
-}
+using hmis::bench::allocations;
 
 // ---- eng:alloc -------------------------------------------------------------
 

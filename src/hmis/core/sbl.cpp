@@ -26,14 +26,15 @@ constexpr std::uint64_t kResampleStride = 1'000'003;
 
 /// Parallel dimension scan of the residual hypergraph: max size over live
 /// edges.  Dead edges contribute 0, so the reduction runs over the original
-/// edge ids without materializing a live-edge list first.
+/// edge ids without materializing a live-edge list first; the slab's size
+/// array makes each probe one load instead of a span construction.
 std::size_t live_dimension(const MutableHypergraph& mh, par::Metrics* metrics,
                            par::ThreadPool* pool) {
   return par::reduce_max<std::size_t>(
       0, mh.original().num_edges(), 0,
       [&](std::size_t e) {
         const EdgeId id = static_cast<EdgeId>(e);
-        return mh.edge_live(id) ? mh.edge(id).size() : std::size_t{0};
+        return mh.edge_live(id) ? mh.edge_size(id) : std::size_t{0};
       },
       metrics, pool);
 }

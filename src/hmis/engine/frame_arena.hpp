@@ -18,6 +18,13 @@
 // allocation; `capacity_bytes()` exposes the high-water footprint and
 // `acquires()` the rebuild count for the engine stats and benches.
 //
+// The builds themselves read the slab data plane (DESIGN.md §7): the
+// relabel pass scans the live mask word-level, and the vertex→edge fill
+// walks the live-incidence index instead of the original CSR — the
+// mutation-side scratch for that index (batch gathers, compaction sweeps)
+// is owned by the MutableHypergraph itself and reused across rounds the
+// same capacity-only way.
+//
 // Layering: this header (and round_context.hpp) is the *low* half of the
 // engine subsystem — it depends only on the hypergraph layer and is used by
 // algo/core round loops.  engine/engine.hpp is the high half, sitting above

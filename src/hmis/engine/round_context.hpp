@@ -16,6 +16,12 @@
 // context remain bit-identical to their historical per-round-allocation
 // selves — the determinism suites cover both entry paths.
 //
+// The other half of the round's transient state — the batch-incidence
+// gathers and compaction sweeps of the slab data plane (DESIGN.md §7) —
+// is scratch owned by the MutableHypergraph those rounds mutate, reused
+// across batches under the same capacity-only rule, so a steady-state
+// round allocates nothing on either side.
+//
 // A RoundContext is single-session state: not thread-safe, one solver at a
 // time.  The engine gives every concurrent session its own context.
 #pragma once

@@ -1,19 +1,31 @@
-// Residual hypergraph maintenance, in two interchangeable flavours per
-// operation: a plain serial loop (pool == nullptr, or sub-grain input) and a
-// deterministic parallel kernel on the attached ThreadPool.  The flavours
-// must agree bit-for-bit — the kernels therefore use only order-independent
-// ingredients:
+// Residual hypergraph maintenance on the flat slab data plane (DESIGN.md §7),
+// in two interchangeable flavours per operation: a plain serial loop
+// (pool == nullptr, or sub-grain input) and a deterministic parallel kernel
+// on the attached ThreadPool.  The flavours must agree bit-for-bit — the
+// kernels therefore use only order-independent ingredients:
 //   * exclusive-scan compaction for every packed output (ascending ids),
+//   * sort + adjacent-unique for batch-incidence gathers (ascending ids,
+//     independent of which batch vertex contributed an edge first),
 //   * index-order reduction for max/total sizes,
 //   * idempotent atomic bit sets/resets for edge liveness marking,
 //   * commutative atomic counters for degree bookkeeping (each (edge,
 //     vertex) pair contributes exactly once, so the final sums are exact),
 //   * a total (size, lex, id) sort order wherever duplicates must pick a
 //     canonical survivor.
+//
+// Output sensitivity: the batch mutations never scan all m edges.  They
+// walk the live-incidence index of the batch vertices (cost: the touched
+// incidence), and the singleton cascade consumes a pending queue fed by the
+// only operation that shrinks edges (color_blue).  Stale incidence entries
+// (edges that died) are compacted out after deletions under a
+// half-occupancy rule, so walks stay O(live incident edges) amortized; the
+// compaction trigger and result depend only on the post-operation liveness
+// state, keeping the index evolution identical on every flavour.
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
@@ -41,93 +53,120 @@ MutableHypergraph::MutableHypergraph(const Hypergraph& h, par::ThreadPool* pool)
     : original_(&h), n_(h.num_vertices()), pool_(pool) {
   color_.assign(n_, Color::None);
   live_vertex_count_ = n_;
+  live_mask_.resize(n_, true);
   const std::size_t m = h.num_edges();
-  edges_.resize(m);
-  if (pool_ == nullptr) {
-    for (EdgeId e = 0; e < m; ++e) {
-      const auto verts = h.edge(e);
-      edges_[e].assign(verts.begin(), verts.end());
-    }
-  } else {
-    par::parallel_for(
-        0, m,
-        [&](std::size_t e) {
-          const auto verts = h.edge(static_cast<EdgeId>(e));
-          edges_[e].assign(verts.begin(), verts.end());
-        },
-        nullptr, pool_);
-  }
+  // Both slabs start as one memcpy of the original CSR payload.  Spans
+  // never move (edges shrink in place, incidence lists only lose entries),
+  // so these are the last content allocations for the object's lifetime.
+  edge_pool_ = h.edge_vertices_;
+  inc_pool_ = h.vertex_edges_;
+  edge_size_.resize(m);
+  inc_len_.resize(n_);
+  live_degree_.resize(n_);
   edge_live_.resize(m, true);
   live_edge_count_ = m;
-  live_degree_.assign(n_, 0);
+  const auto fill_edge = [&](std::size_t e) {
+    edge_size_[e] =
+        static_cast<std::uint32_t>(h.edge_size(static_cast<EdgeId>(e)));
+  };
+  const auto fill_vertex = [&](std::size_t v) {
+    const auto deg =
+        static_cast<std::uint32_t>(h.degree(static_cast<VertexId>(v)));
+    inc_len_[v] = deg;
+    live_degree_[v] = deg;
+  };
   if (pool_ == nullptr) {
-    for (VertexId v = 0; v < n_; ++v) {
-      live_degree_[v] = static_cast<std::uint32_t>(h.degree(v));
-    }
+    for (std::size_t e = 0; e < m; ++e) fill_edge(e);
+    for (std::size_t v = 0; v < n_; ++v) fill_vertex(v);
   } else {
-    par::parallel_for(
-        0, n_,
-        [&](std::size_t v) {
-          live_degree_[v] =
-              static_cast<std::uint32_t>(h.degree(static_cast<VertexId>(v)));
-        },
-        nullptr, pool_);
+    par::parallel_for(0, m, fill_edge, nullptr, pool_);
+    par::parallel_for(0, n_, fill_vertex, nullptr, pool_);
   }
+  live_entries_ = h.total_edge_size();
+  // Seed the singleton queue: edges born at size 1 are pending from the
+  // start; afterwards only color_blue can create new singletons.  Both
+  // flavours emit the same ascending list.
+  if (use_parallel(m)) {
+    singleton_pending_ = par::pack_indices(
+        m, [&](std::size_t e) { return edge_size_[e] == 1; }, nullptr, pool_);
+  } else {
+    for (EdgeId e = 0; e < m; ++e) {
+      if (edge_size_[e] == 1) singleton_pending_.push_back(e);
+    }
+  }
+}
+
+bool MutableHypergraph::edge_equal(EdgeId a, EdgeId b) const noexcept {
+  if (edge_size_[a] != edge_size_[b]) return false;
+  const auto sa = edge(a);
+  const auto sb = edge(b);
+  return std::equal(sa.begin(), sa.end(), sb.begin());
+}
+
+bool MutableHypergraph::edge_size_lex_id_less(EdgeId a,
+                                              EdgeId b) const noexcept {
+  if (edge_size_[a] != edge_size_[b]) return edge_size_[a] < edge_size_[b];
+  // Equal sizes: one three-way pass decides lex order and equality at once
+  // (this comparator runs O(E log E) times per dedupe/build sort).
+  const auto sa = edge(a);
+  const auto sb = edge(b);
+  const auto cmp = std::lexicographical_compare_three_way(
+      sa.begin(), sa.end(), sb.begin(), sb.end());
+  if (cmp != 0) return cmp < 0;
+  return a < b;
 }
 
 std::vector<VertexId> MutableHypergraph::live_vertices() const {
   if (!use_parallel(n_)) {
     std::vector<VertexId> out;
     out.reserve(live_vertex_count_);
-    for (VertexId v = 0; v < n_; ++v) {
-      if (color_[v] == Color::None) out.push_back(v);
-    }
+    live_mask_.for_each_set_bit(
+        [&](std::size_t v) { out.push_back(static_cast<VertexId>(v)); });
     return out;
   }
   return par::pack_indices(
-      n_, [&](std::size_t v) { return color_[v] == Color::None; }, nullptr,
-      pool_);
+      n_, [&](std::size_t v) { return live_mask_.test(v); }, nullptr, pool_);
 }
 
 std::vector<EdgeId> MutableHypergraph::live_edges() const {
-  if (!use_parallel(edges_.size())) {
+  if (!use_parallel(edge_size_.size())) {
     std::vector<EdgeId> out;
     out.reserve(live_edge_count_);
-    for (EdgeId e = 0; e < edges_.size(); ++e) {
-      if (edge_live_[e]) out.push_back(e);
-    }
+    edge_live_.for_each_set_bit(
+        [&](std::size_t e) { out.push_back(static_cast<EdgeId>(e)); });
     return out;
   }
   return par::pack_indices(
-      edges_.size(), [&](std::size_t e) { return bool{edge_live_[e]}; },
+      edge_size_.size(), [&](std::size_t e) { return bool{edge_live_[e]}; },
       nullptr, pool_);
 }
 
 std::size_t MutableHypergraph::max_live_edge_size() const {
-  if (!use_parallel(edges_.size())) {
+  if (!use_parallel(edge_size_.size())) {
     std::size_t d = 0;
-    for (EdgeId e = 0; e < edges_.size(); ++e) {
-      if (edge_live_[e]) d = std::max(d, edges_[e].size());
-    }
+    edge_live_.for_each_set_bit(
+        [&](std::size_t e) { d = std::max<std::size_t>(d, edge_size_[e]); });
     return d;
   }
   return par::reduce_max<std::size_t>(
-      0, edges_.size(), 0,
-      [&](std::size_t e) { return edge_live_[e] ? edges_[e].size() : 0; },
+      0, edge_size_.size(), 0,
+      [&](std::size_t e) {
+        return edge_live_[e] ? std::size_t{edge_size_[e]} : std::size_t{0};
+      },
       nullptr, pool_);
 }
 
 std::size_t MutableHypergraph::total_live_edge_size() const {
-  if (!use_parallel(edges_.size())) {
+  if (!use_parallel(edge_size_.size())) {
     std::size_t total = 0;
-    for (EdgeId e = 0; e < edges_.size(); ++e) {
-      if (edge_live_[e]) total += edges_[e].size();
-    }
+    edge_live_.for_each_set_bit([&](std::size_t e) { total += edge_size_[e]; });
     return total;
   }
   return par::reduce_sum<std::size_t>(
-      0, edges_.size(),
-      [&](std::size_t e) { return edge_live_[e] ? edges_[e].size() : 0; },
+      0, edge_size_.size(),
+      [&](std::size_t e) {
+        return edge_live_[e] ? std::size_t{edge_size_[e]} : std::size_t{0};
+      },
       nullptr, pool_);
 }
 
@@ -148,17 +187,21 @@ void MutableHypergraph::delete_edge(EdgeId e) {
   if (!edge_live_[e]) return;
   edge_live_.reset(e);
   --live_edge_count_;
-  for (const VertexId v : edges_[e]) {
+  const VertexId* verts = edge_pool_.data() + edge_offset(e);
+  const std::uint32_t sz = edge_size_[e];
+  for (std::uint32_t r = 0; r < sz; ++r) {
     // Members of a live edge are always live vertices (invariant), so the
     // degree bookkeeping only ever touches live vertices.
-    --live_degree_[v];
+    --live_degree_[verts[r]];
   }
+  live_entries_ -= sz;
+  stale_entries_ += sz;
 }
 
 std::size_t MutableHypergraph::incident_work(
     std::span<const VertexId> vs) const {
   std::size_t work = vs.size();
-  for (const VertexId v : vs) work += original_->edges_of(v).size();
+  for (const VertexId v : vs) work += live_degree_[v];
   return work;
 }
 
@@ -169,6 +212,135 @@ bool MutableHypergraph::use_parallel(std::size_t work) const {
          work >= par::default_grain();
 }
 
+void MutableHypergraph::compact_incidence(VertexId v) {
+  const std::size_t lo = inc_offset(v);
+  const std::uint32_t len = inc_len_[v];
+  std::uint32_t w = 0;
+  for (std::uint32_t j = 0; j < len; ++j) {
+    const EdgeId e = inc_pool_[lo + j];
+    if (edge_live_[e]) inc_pool_[lo + w++] = e;
+  }
+  inc_len_[v] = w;  // == live_degree_[v]: one live entry per live edge of v
+}
+
+void MutableHypergraph::maybe_compact_incidence() {
+  // Debt-triggered sweep: deletions bank their orphaned entries in
+  // stale_entries_; once the debt reaches both half the live entries and
+  // the mask's word count, one pass compacts every stale live list and
+  // forgives the debt.  The word-count floor keeps the endgame honest:
+  // without it, tiny batches late in a solve (live_entries_ near zero)
+  // would pay the O(n/64) mask scan over and over for a handful of
+  // deletions.  The trigger is a pure function of counters every flavour
+  // maintains identically (num_words is a constant of the instance), so
+  // the sweep fires at the same operations on every thread count; the
+  // sweep itself compacts per-vertex (disjoint slabs) and only reads the
+  // liveness bitset, so its result is order-independent.  Cost:
+  // O(n/64 + live entries + debt) per sweep, and both non-debt terms are
+  // bounded by the debt at the trigger — O(1) amortized per deleted
+  // entry — and zero for operations that never build up debt.
+  if (stale_entries_ < 64 || stale_entries_ * 2 < live_entries_ ||
+      stale_entries_ < live_mask_.num_words()) {
+    return;
+  }
+  const auto sweep_word = [&](std::size_t base, std::uint64_t w) {
+    while (w != 0) {
+      const auto v = static_cast<VertexId>(
+          base + static_cast<std::size_t>(std::countr_zero(w)));
+      w &= w - 1;
+      if (inc_len_[v] != live_degree_[v]) compact_incidence(v);
+    }
+  };
+  if (use_parallel(live_entries_ + stale_entries_)) {
+    par::parallel_for(
+        0, live_mask_.num_words(),
+        [&](std::size_t wi) { sweep_word(wi * 64, live_mask_.word(wi)); },
+        nullptr, pool_);
+  } else {
+    live_mask_.for_each_set_word(sweep_word);
+  }
+  stale_entries_ = 0;
+}
+
+std::size_t MutableHypergraph::gather_batch_incidence(
+    std::span<const VertexId> vs, std::size_t work) {
+  const std::size_t m = edge_size_.size();
+  // Dense regime: a batch touching a constant fraction of the edge set is
+  // gathered faster by marking a full-width bitset and packing it (the
+  // marking still walks only the batch incidence; only the pack is O(m),
+  // which the touch size already is, up to the constant below).
+  if (work >= m / 8) {
+    // One zero-fill per batch: resize only when the width changed (resize
+    // reassigns every word), otherwise just clear.
+    if (touched_mask_.size() != m) {
+      touched_mask_.resize(m);
+    } else {
+      touched_mask_.clear_all();
+    }
+    par::parallel_for(
+        0, vs.size(),
+        [&](std::size_t i) {
+          const VertexId v = vs[i];
+          const std::size_t lo = inc_offset(v);
+          const std::uint32_t len = inc_len_[v];
+          for (std::uint32_t j = 0; j < len; ++j) {
+            const EdgeId e = inc_pool_[lo + j];
+            if (edge_live_[e]) touched_mask_.set_atomic(e);
+          }
+        },
+        nullptr, pool_);
+    return par::pack_indices_into(
+        m, [&](std::size_t e) { return touched_mask_.test(e); },
+        pack_offsets_, touched_edges_, nullptr, pool_);
+  }
+  // Sparse regime: every live entry in a live vertex's list is an edge
+  // still containing it, and there are exactly live_degree_ of them — so
+  // the slice sizes are known up front and the gather is a scan + fill.
+  // Sorting and adjacent-unique then canonicalize the edge list (an edge
+  // shared by several batch vertices appears once, ascending), independent
+  // of chunking.  Cost: O(touch log touch), never O(m).  Entry counts run
+  // in size_t: the summed batch incidence is not bounded by the 32-bit id
+  // space.
+  batch_offsets_.resize(vs.size());
+  const std::size_t total = par::exclusive_scan<std::size_t>(
+      vs.size(),
+      [&](std::size_t i) { return std::size_t{live_degree_[vs[i]]}; },
+      batch_offsets_.data(), nullptr, pool_);
+  batch_edges_.resize(total);
+  par::parallel_for(
+      0, vs.size(),
+      [&](std::size_t i) {
+        const VertexId v = vs[i];
+        const std::size_t lo = inc_offset(v);
+        const std::uint32_t len = inc_len_[v];
+        std::size_t pos = batch_offsets_[i];
+        for (std::uint32_t j = 0; j < len; ++j) {
+          const EdgeId e = inc_pool_[lo + j];
+          if (edge_live_[e]) batch_edges_[pos++] = e;
+        }
+      },
+      nullptr, pool_);
+  par::parallel_sort(batch_edges_, std::less<EdgeId>{}, nullptr, pool_);
+  // Adjacent-unique pack (size_t flavour of par::pack_indices_into).
+  const auto first_occurrence = [&](std::size_t i) {
+    return i == 0 || batch_edges_[i - 1] != batch_edges_[i];
+  };
+  unique_offsets_.resize(total);
+  const std::size_t cnt = par::exclusive_scan<std::size_t>(
+      total,
+      [&](std::size_t i) { return first_occurrence(i) ? std::size_t{1} : 0; },
+      unique_offsets_.data(), nullptr, pool_);
+  touched_edges_.resize(cnt);
+  par::parallel_for(
+      0, total,
+      [&](std::size_t i) {
+        if (first_occurrence(i)) {
+          touched_edges_[unique_offsets_[i]] = batch_edges_[i];
+        }
+      },
+      nullptr, pool_);
+  return cnt;
+}
+
 void MutableHypergraph::color_blue(std::span<const VertexId> vs) {
   // Coloring itself stays serial: it is O(|vs|) and keeps the duplicate /
   // non-live checks exact (a racing parallel version could let a duplicate
@@ -176,139 +348,173 @@ void MutableHypergraph::color_blue(std::span<const VertexId> vs) {
   for (const VertexId v : vs) {
     HMIS_CHECK(color_[v] == Color::None, "coloring a non-live vertex blue");
     color_[v] = Color::Blue;
+    live_mask_.reset(v);
     --live_vertex_count_;
   }
-  if (use_parallel(incident_work(vs))) {
-    parallel_shrink_blue(vs);
+  const std::size_t work = incident_work(vs);
+  // Each batch vertex leaves each of its live edges exactly once, so the
+  // live entry count drops by the batch's live incidence.  (The orphaned
+  // index entries sit in the now-dead batch vertices' own lists, which are
+  // never walked again — blue creates no debt in live lists.)
+  live_entries_ -= work - vs.size();
+  if (use_parallel(work)) {
+    parallel_shrink_blue(vs, work);
     return;
   }
-  // Shrink live incident edges.  A vertex leaves an edge only here, when it
-  // turns blue.
+  // Shrink live incident edges, walking the live-incidence index: only the
+  // edges touching the batch are visited, never all m.  A vertex leaves an
+  // edge only here, when it turns blue.
   for (const VertexId v : vs) {
-    for (const EdgeId e : original_->edges_of(v)) {
+    const std::size_t lo = inc_offset(v);
+    const std::uint32_t len = inc_len_[v];
+    for (std::uint32_t j = 0; j < len; ++j) {
+      const EdgeId e = inc_pool_[lo + j];
       if (!edge_live_[e]) continue;
-      auto& verts = edges_[e];
-      const auto it = std::lower_bound(verts.begin(), verts.end(), v);
-      if (it != verts.end() && *it == v) {
-        verts.erase(it);
-        --live_degree_[v];  // v no longer counted in this edge
-        HMIS_CHECK(!verts.empty(),
-                   "edge became fully blue: independence violated");
-      }
+      // A live entry's edge still contains v: the only removal site is this
+      // loop, and v was live until this batch.
+      VertexId* verts = edge_begin(e);
+      std::uint32_t sz = edge_size_[e];
+      VertexId* it = std::lower_bound(verts, verts + sz, v);
+      std::move(it + 1, verts + sz, it);  // order-preserving in-place erase
+      edge_size_[e] = --sz;
+      --live_degree_[v];  // v no longer counted in this edge
+      HMIS_CHECK(sz != 0, "edge became fully blue: independence violated");
+      if (sz == 1) singleton_pending_.push_back(e);
     }
   }
 }
 
-void MutableHypergraph::parallel_shrink_blue(std::span<const VertexId> vs) {
-  const std::size_t m = edges_.size();
-  // Pass 1: mark candidate edges (original incidence of vs; idempotent bit
-  // sets, edge_live_ is read-only here).
-  util::DynamicBitset touched(m);
-  par::parallel_for(
-      0, vs.size(),
-      [&](std::size_t i) {
-        for (const EdgeId e : original_->edges_of(vs[i])) {
-          if (edge_live_[e]) touched.set_atomic(e);
-        }
-      },
-      nullptr, pool_);
-  const auto hit = par::pack_indices(
-      m, [&](std::size_t e) { return touched.test(e); }, nullptr, pool_);
+void MutableHypergraph::parallel_shrink_blue(std::span<const VertexId> vs,
+                                             std::size_t work) {
+  // Pass 1: gather the distinct live edges incident to the batch (the only
+  // edges whose contents can change).
+  const std::size_t touched = gather_batch_incidence(vs, work);
   // Pass 2: each touched edge drops its just-blued members in one sweep.
   // Edges are disjoint work items; only the degree counters are shared, and
   // each removed (edge, vertex) pair decrements exactly once.
   par::parallel_for(
-      0, hit.size(),
-      [&](std::size_t i) {
-        auto& verts = edges_[hit[i]];
-        const auto keep_end =
-            std::remove_if(verts.begin(), verts.end(), [&](VertexId u) {
-              if (color_[u] != Color::Blue) return false;
-              atomic_decrement(live_degree_[u]);
-              return true;
-            });
-        HMIS_CHECK(keep_end != verts.begin(),
-                   "edge became fully blue: independence violated");
-        verts.erase(keep_end, verts.end());
+      0, touched,
+      [&](std::size_t j) {
+        const EdgeId e = touched_edges_[j];
+        VertexId* verts = edge_begin(e);
+        const std::uint32_t sz = edge_size_[e];
+        std::uint32_t w = 0;
+        for (std::uint32_t r = 0; r < sz; ++r) {
+          const VertexId u = verts[r];
+          if (color_[u] == Color::Blue) {
+            atomic_decrement(live_degree_[u]);
+          } else {
+            verts[w++] = u;
+          }
+        }
+        HMIS_CHECK(w != 0, "edge became fully blue: independence violated");
+        edge_size_[e] = w;
       },
       nullptr, pool_);
+  // New singletons feed the cascade queue, ascending (touched is sorted).
+  for (std::size_t j = 0; j < touched; ++j) {
+    const EdgeId e = touched_edges_[j];
+    if (edge_size_[e] == 1) singleton_pending_.push_back(e);
+  }
 }
 
 void MutableHypergraph::color_red(std::span<const VertexId> vs) {
   for (const VertexId v : vs) {
     HMIS_CHECK(color_[v] == Color::None, "coloring a non-live vertex red");
     color_[v] = Color::Red;
+    live_mask_.reset(v);
     --live_vertex_count_;
   }
-  if (use_parallel(incident_work(vs))) {
-    parallel_delete_red(vs);
+  const std::size_t work = incident_work(vs);
+  if (use_parallel(work)) {
+    parallel_delete_red(vs, work);
     return;
   }
+  // Delete every live edge incident to the batch.  A live incidence entry's
+  // edge still contains its vertex, so no membership test is needed.
   for (const VertexId v : vs) {
-    for (const EdgeId e : original_->edges_of(v)) {
+    const std::size_t lo = inc_offset(v);
+    const std::uint32_t len = inc_len_[v];
+    for (std::uint32_t j = 0; j < len; ++j) {
+      const EdgeId e = inc_pool_[lo + j];
       if (!edge_live_[e]) continue;
-      // The live edge may have shrunk; it contains v iff v is still listed.
-      const auto& verts = edges_[e];
-      if (std::binary_search(verts.begin(), verts.end(), v)) {
-        delete_edge(e);
-      }
+      delete_edge(e);
     }
   }
+  maybe_compact_incidence();
 }
 
-void MutableHypergraph::parallel_delete_red(std::span<const VertexId> vs) {
-  const std::size_t m = edges_.size();
-  // Pass 1: mark doomed edges — live edges still CONTAINING a red vertex.
-  // Nothing is mutated except the scratch bitset, so the membership tests
-  // race with nothing.
-  util::DynamicBitset doomed(m);
+void MutableHypergraph::parallel_delete_red(std::span<const VertexId> vs,
+                                            std::size_t work) {
+  // Pass 1: gather the distinct doomed edges — live edges containing a
+  // batch vertex.  Nothing is mutated, so the walks race with nothing.
+  const std::size_t doomed = gather_batch_incidence(vs, work);
+  // Pass 2: delete each doomed edge exactly once.
   par::parallel_for(
-      0, vs.size(),
-      [&](std::size_t i) {
-        const VertexId v = vs[i];
-        for (const EdgeId e : original_->edges_of(v)) {
-          if (!edge_live_[e]) continue;
-          const auto& verts = edges_[e];
-          if (std::binary_search(verts.begin(), verts.end(), v)) {
-            doomed.set_atomic(e);
-          }
+      0, doomed,
+      [&](std::size_t j) {
+        const EdgeId e = touched_edges_[j];
+        edge_live_.reset_atomic(e);
+        const VertexId* verts = edge_pool_.data() + edge_offset(e);
+        const std::uint32_t sz = edge_size_[e];
+        for (std::uint32_t r = 0; r < sz; ++r) {
+          atomic_decrement(live_degree_[verts[r]]);
         }
       },
       nullptr, pool_);
-  const auto dead = par::pack_indices(
-      m, [&](std::size_t e) { return doomed.test(e); }, nullptr, pool_);
-  // Pass 2: delete each doomed edge exactly once.
-  par::parallel_for(
-      0, dead.size(),
-      [&](std::size_t i) {
-        const EdgeId e = dead[i];
-        edge_live_.reset_atomic(e);
-        for (const VertexId u : edges_[e]) atomic_decrement(live_degree_[u]);
-      },
-      nullptr, pool_);
-  live_edge_count_ -= dead.size();
+  live_edge_count_ -= doomed;
+  // Entry accounting for the batch: edge_size_ is untouched by deletion,
+  // so the doomed sizes are still readable.
+  std::size_t orphaned = 0;
+  for (std::size_t j = 0; j < doomed; ++j) {
+    orphaned += edge_size_[touched_edges_[j]];
+  }
+  live_entries_ -= orphaned;
+  stale_entries_ += orphaned;
+  maybe_compact_incidence();
 }
 
 std::vector<VertexId> MutableHypergraph::singleton_cascade() {
-  // Collect current singletons; deleting edges never shrinks others, so one
-  // sweep plus one batched exclusion suffices.  Distinct vertices only —
-  // duplicate singleton edges {v},{v} force v red once.
-  const std::size_t m = edges_.size();
+  // Consume the pending queue instead of rescanning all m edges: the only
+  // operation that shrinks edges (color_blue) appends every edge that hits
+  // size 1, and the constructor seeds the edges born at size 1 — so live
+  // singletons are always a subset of the queue.  Deleting edges never
+  // shrinks others, so one sweep plus one batched exclusion suffices.
+  // Distinct vertices only — duplicate singleton edges {v},{v} force v red
+  // once.  The queue's order may differ between flavours (serial discovery
+  // vs ascending batch order), but the sort below makes the output — and
+  // everything observable — identical.
   std::vector<VertexId> reds;
-  if (use_parallel(m)) {
-    const auto singles = par::pack_indices(
-        m,
-        [&](std::size_t e) { return edge_live_[e] && edges_[e].size() == 1; },
+  const std::size_t pending = singleton_pending_.size();
+  if (use_parallel(pending)) {
+    // Pack the live singletons' queue slots, gather their vertices, sort —
+    // the same collection the serial walk does, scaled to the pool.
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> slots;
+    const std::size_t cnt = par::pack_indices_into(
+        pending,
+        [&](std::size_t j) {
+          const EdgeId e = singleton_pending_[j];
+          return edge_live_[e] && edge_size_[e] == 1;
+        },
+        offsets, slots, nullptr, pool_);
+    reds.resize(cnt);
+    par::parallel_for(
+        0, cnt,
+        [&](std::size_t j) {
+          reds[j] = edge_pool_[edge_offset(singleton_pending_[slots[j]])];
+        },
         nullptr, pool_);
-    reds = par::gather<VertexId>(
-        singles, [&](std::size_t e) { return edges_[e][0]; }, nullptr, pool_);
     par::parallel_sort(reds, std::less<VertexId>{}, nullptr, pool_);
   } else {
-    for (EdgeId e = 0; e < m; ++e) {
-      if (edge_live_[e] && edges_[e].size() == 1) reds.push_back(edges_[e][0]);
+    for (const EdgeId e : singleton_pending_) {
+      if (edge_live_[e] && edge_size_[e] == 1) {
+        reds.push_back(edge_pool_[edge_offset(e)]);
+      }
     }
     std::sort(reds.begin(), reds.end());
   }
+  singleton_pending_.clear();
   reds.erase(std::unique(reds.begin(), reds.end()), reds.end());
   if (!reds.empty()) {
     // Red exclusions commute (they only delete edges), so the whole batch is
@@ -321,16 +527,14 @@ std::vector<VertexId> MutableHypergraph::singleton_cascade() {
 std::vector<VertexId> MutableHypergraph::isolated_live_vertices() const {
   if (!use_parallel(n_)) {
     std::vector<VertexId> out;
-    for (VertexId v = 0; v < n_; ++v) {
-      if (color_[v] == Color::None && live_degree_[v] == 0) out.push_back(v);
-    }
+    live_mask_.for_each_set_bit([&](std::size_t v) {
+      if (live_degree_[v] == 0) out.push_back(static_cast<VertexId>(v));
+    });
     return out;
   }
   return par::pack_indices(
       n_,
-      [&](std::size_t v) {
-        return color_[v] == Color::None && live_degree_[v] == 0;
-      },
+      [&](std::size_t v) { return live_mask_.test(v) && live_degree_[v] == 0; },
       nullptr, pool_);
 }
 
@@ -339,11 +543,7 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
   // canonical survivor of a duplicate group — the smallest id — does not
   // depend on sort implementation or thread count.
   const auto by_size_lex_id = [this](EdgeId a, EdgeId b) {
-    if (edges_[a].size() != edges_[b].size()) {
-      return edges_[a].size() < edges_[b].size();
-    }
-    if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
-    return a < b;
+    return edge_size_lex_id_less(a, b);
   };
 
   if (!use_parallel(live_edge_count_)) {
@@ -354,8 +554,8 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
     std::vector<std::vector<EdgeId>> kept_incident(n_);
     EdgeId prev = kInvalidEdge;
     for (const EdgeId e : order) {
-      const auto& verts = edges_[e];
-      if (prev != kInvalidEdge && edges_[prev] == verts) {
+      const auto verts = edge(e);
+      if (prev != kInvalidEdge && edge_equal(prev, e)) {
         delete_edge(e);
         ++removed;
         continue;
@@ -365,7 +565,7 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
       bool dominated = false;
       for (const VertexId v : verts) {
         for (const EdgeId k : kept_incident[v]) {
-          const auto& f = edges_[k];
+          const auto f = edge(k);
           if (f.size() < verts.size() &&
               std::includes(verts.begin(), verts.end(), f.begin(), f.end())) {
             dominated = true;
@@ -382,6 +582,7 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
       for (const VertexId v : verts) kept_incident[v].push_back(e);
       prev = e;
     }
+    maybe_compact_incidence();
     return removed;
   }
 
@@ -392,7 +593,7 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
   // itself dominated, a minimal subset below it also witnesses, so checking
   // against ALL non-duplicate live edges matches the incremental serial
   // answer exactly.)
-  const std::size_t m = edges_.size();
+  const std::size_t m = edge_size_.size();
   std::vector<EdgeId> order = live_edges();
   par::parallel_sort(order, by_size_lex_id, nullptr, pool_);
   // state: 0 = dead, 1 = live canonical, 2 = live duplicate.
@@ -401,7 +602,7 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
       0, order.size(),
       [&](std::size_t i) {
         const EdgeId e = order[i];
-        const bool dup = i > 0 && edges_[order[i - 1]] == edges_[e];
+        const bool dup = i > 0 && edge_equal(order[i - 1], e);
         state[e] = dup ? 2 : 1;
       },
       nullptr, pool_);
@@ -414,14 +615,17 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
           gone[e] = 1;
           return;
         }
-        const auto& verts = edges_[e];
-        // A strict subset shares each of its current members with e, and its
-        // current members are a subset of its ORIGINAL members — so it shows
-        // up in the original incidence list of at least one member of e.
+        const auto verts = edge(e);
+        // A strict subset shares each of its current members with e, and
+        // every live edge of a live vertex sits in that vertex's incidence
+        // list — so walking the lists of e's members finds every witness.
         for (const VertexId v : verts) {
-          for (const EdgeId f : original_->edges_of(v)) {
+          const std::size_t lo = inc_offset(v);
+          const std::uint32_t len = inc_len_[v];
+          for (std::uint32_t j = 0; j < len; ++j) {
+            const EdgeId f = inc_pool_[lo + j];
             if (state[f] != 1 || f == e) continue;
-            const auto& fv = edges_[f];
+            const auto fv = edge(f);
             if (fv.size() < verts.size() &&
                 std::includes(verts.begin(), verts.end(), fv.begin(),
                               fv.end())) {
@@ -439,10 +643,19 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
       [&](std::size_t i) {
         const EdgeId e = del[i];
         edge_live_.reset_atomic(e);
-        for (const VertexId u : edges_[e]) atomic_decrement(live_degree_[u]);
+        const VertexId* verts = edge_pool_.data() + edge_offset(e);
+        const std::uint32_t sz = edge_size_[e];
+        for (std::uint32_t r = 0; r < sz; ++r) {
+          atomic_decrement(live_degree_[verts[r]]);
+        }
       },
       nullptr, pool_);
   live_edge_count_ -= del.size();
+  std::size_t orphaned = 0;
+  for (const EdgeId e : del) orphaned += edge_size_[e];
+  live_entries_ -= orphaned;
+  stale_entries_ += orphaned;
+  maybe_compact_incidence();
   return del.size();
 }
 
@@ -475,7 +688,7 @@ void MutableHypergraph::live_snapshot_into(Induced& out,
 void MutableHypergraph::build_induced(const util::DynamicBitset* keep,
                                       Induced& out,
                                       InducedScratch& scratch) const {
-  if (!use_parallel(n_ + edges_.size())) {
+  if (!use_parallel(n_ + edge_size_.size())) {
     build_induced_serial(keep, out, scratch);
   } else {
     build_induced_parallel(keep, out, scratch);
@@ -484,57 +697,50 @@ void MutableHypergraph::build_induced(const util::DynamicBitset* keep,
 
 // Serial flavour: direct CSR assembly with the same passes as the parallel
 // kernel (relabel, classify, canonical-survivor dedupe, emit in original
-// edge order).  This replaced an HypergraphBuilder round-trip — the builder
-// allocates fresh storage per call, which is exactly what the arena-backed
-// frames exist to avoid — and produces the identical graph: the builder's
+// edge order), word-level over the liveness bitsets so the kept set is
+// found at memory speed.  Produces the graph the HypergraphBuilder would:
 // first-insertion-wins dedupe keeps the smallest original edge id at its
 // position in edge order, which is what the (size, lex, id) canonical
 // survivor emits here.
 void MutableHypergraph::build_induced_serial(const util::DynamicBitset* keep,
                                              Induced& out,
                                              InducedScratch& scratch) const {
-  const std::size_t m = edges_.size();
-  const auto kept = [&](std::size_t v) {
-    return color_[v] == Color::None && (keep == nullptr || keep->test(v));
-  };
+  const std::size_t m = edge_size_.size();
 
-  // Relabel kept live vertices.
+  // Relabel kept live vertices: walk live & keep one word at a time.
   scratch.to_local.assign(n_, kInvalidVertex);
   out.to_original.clear();
-  for (VertexId v = 0; v < n_; ++v) {
-    if (kept(v)) {
+  const std::uint64_t* kw = keep != nullptr ? keep->words().data() : nullptr;
+  const std::size_t W = live_mask_.num_words();
+  for (std::size_t wi = 0; wi < W; ++wi) {
+    std::uint64_t w = live_mask_.word(wi);
+    if (kw != nullptr) w &= kw[wi];
+    const std::size_t base = wi * 64;
+    while (w != 0) {
+      const std::size_t v =
+          base + static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
       scratch.to_local[v] = static_cast<VertexId>(out.to_original.size());
-      out.to_original.push_back(v);
+      out.to_original.push_back(static_cast<VertexId>(v));
     }
   }
   const std::size_t k = out.to_original.size();
 
   // Candidate edges: live and entirely inside the kept set.
   scratch.cand.clear();
-  for (EdgeId e = 0; e < m; ++e) {
-    if (!edge_live_[e]) continue;
-    bool inside = true;
-    for (const VertexId v : edges_[e]) {
-      if (scratch.to_local[v] == kInvalidVertex) {
-        inside = false;
-        break;
-      }
+  edge_live_.for_each_set_bit([&](std::size_t e) {
+    for (const VertexId v : edge(static_cast<EdgeId>(e))) {
+      if (scratch.to_local[v] == kInvalidVertex) return;
     }
-    if (inside) scratch.cand.push_back(e);
-  }
+    scratch.cand.push_back(static_cast<std::uint32_t>(e));
+  });
 
   // Canonical-survivor dedupe: order by (size, lex, id), emit group heads.
   std::sort(scratch.cand.begin(), scratch.cand.end(),
-            [this](EdgeId a, EdgeId b) {
-              if (edges_[a].size() != edges_[b].size()) {
-                return edges_[a].size() < edges_[b].size();
-              }
-              if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
-              return a < b;
-            });
+            [this](EdgeId a, EdgeId b) { return edge_size_lex_id_less(a, b); });
   scratch.emit.assign(m, 0);
   for (std::size_t i = 0; i < scratch.cand.size(); ++i) {
-    if (i > 0 && edges_[scratch.cand[i - 1]] == edges_[scratch.cand[i]]) {
+    if (i > 0 && edge_equal(scratch.cand[i - 1], scratch.cand[i])) {
       continue;
     }
     scratch.emit[scratch.cand[i]] = 1;
@@ -555,13 +761,13 @@ void MutableHypergraph::build_induced_serial(const util::DynamicBitset* keep,
     if (!scratch.emit[e]) continue;
     scratch.local_edge[e] =
         static_cast<std::uint32_t>(g.edge_offsets_.size() - 1);
-    for (const VertexId v : edges_[e]) {
+    for (const VertexId v : edge(e)) {
       g.edge_vertices_.push_back(scratch.to_local[v]);
       ++scratch.deg[scratch.to_local[v]];
     }
     g.edge_offsets_.push_back(g.edge_vertices_.size());
-    dim = std::max(dim, edges_[e].size());
-    min_size = std::min(min_size, edges_[e].size());
+    dim = std::max<std::size_t>(dim, edge_size_[e]);
+    min_size = std::min<std::size_t>(min_size, edge_size_[e]);
   }
   const std::size_t num_out_edges = g.edge_offsets_.size() - 1;
   g.dimension_ = dim;
@@ -580,7 +786,7 @@ void MutableHypergraph::build_induced_serial(const util::DynamicBitset* keep,
   g.vertex_edges_.resize(total_incidence);
   for (EdgeId e = 0; e < m; ++e) {
     if (!scratch.emit[e]) continue;
-    for (const VertexId v : edges_[e]) {
+    for (const VertexId v : edge(e)) {
       g.vertex_edges_[scratch.voffset[scratch.to_local[v]]++] =
           scratch.local_edge[e];
     }
@@ -590,26 +796,42 @@ void MutableHypergraph::build_induced_serial(const util::DynamicBitset* keep,
 void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
                                                Induced& out,
                                                InducedScratch& scratch) const {
-  const std::size_t m = edges_.size();
-  const auto kept = [&](std::size_t v) {
-    return color_[v] == Color::None && (keep == nullptr || keep->test(v));
-  };
+  const std::size_t m = edge_size_.size();
 
-  // ---- Pass 1: relabel kept live vertices (scan compaction). --------------
-  scratch.voffset.resize(n_);
+  // ---- Pass 1: relabel kept live vertices (word-level scan compaction). ---
+  // The scan runs over 64-vertex words (popcount of live & keep), then each
+  // word expands its own slice — O(n/64 + kept) work instead of n
+  // per-vertex predicate evaluations.
+  const std::uint64_t* kw = keep != nullptr ? keep->words().data() : nullptr;
+  const std::size_t W = live_mask_.num_words();
+  scratch.voffset.resize(W);
   const std::uint32_t k = par::exclusive_scan<std::uint32_t>(
-      n_, [&](std::size_t v) { return kept(v) ? 1u : 0u; },
+      W,
+      [&](std::size_t wi) {
+        std::uint64_t w = live_mask_.word(wi);
+        if (kw != nullptr) w &= kw[wi];
+        return static_cast<std::uint32_t>(std::popcount(w));
+      },
       scratch.voffset.data(), nullptr, pool_);
   scratch.to_local.resize(n_);
   out.to_original.resize(k);
   par::parallel_for(
-      0, n_,
-      [&](std::size_t v) {
-        if (kept(v)) {
-          scratch.to_local[v] = scratch.voffset[v];
-          out.to_original[scratch.voffset[v]] = static_cast<VertexId>(v);
-        } else {
-          scratch.to_local[v] = kInvalidVertex;
+      0, W,
+      [&](std::size_t wi) {
+        std::uint64_t w = live_mask_.word(wi);
+        if (kw != nullptr) w &= kw[wi];
+        const std::size_t base = wi * 64;
+        const std::size_t hi = std::min<std::size_t>(64, n_ - base);
+        std::uint32_t next = scratch.voffset[wi];
+        for (std::size_t b = 0; b < hi; ++b) {
+          const std::size_t v = base + b;
+          if ((w >> b) & 1u) {
+            scratch.to_local[v] = next;
+            out.to_original[next] = static_cast<VertexId>(v);
+            ++next;
+          } else {
+            scratch.to_local[v] = kInvalidVertex;
+          }
         }
       },
       nullptr, pool_);
@@ -621,7 +843,7 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       [&](std::size_t e) {
         std::uint8_t in = edge_live_[e] ? 1 : 0;
         if (in) {
-          for (const VertexId v : edges_[e]) {
+          for (const VertexId v : edge(static_cast<EdgeId>(e))) {
             if (scratch.to_local[v] == kInvalidVertex) {
               in = 0;
               break;
@@ -640,13 +862,7 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       scratch.local_edge, scratch.cand, nullptr, pool_);
   par::parallel_sort(
       scratch.cand,
-      [this](EdgeId a, EdgeId b) {
-        if (edges_[a].size() != edges_[b].size()) {
-          return edges_[a].size() < edges_[b].size();
-        }
-        if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
-        return a < b;
-      },
+      [this](EdgeId a, EdgeId b) { return edge_size_lex_id_less(a, b); },
       nullptr, pool_);
   scratch.emit.resize(m);
   par::parallel_for(
@@ -655,7 +871,7 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
   par::parallel_for(
       0, scratch.cand.size(),
       [&](std::size_t i) {
-        if (i > 0 && edges_[scratch.cand[i - 1]] == edges_[scratch.cand[i]]) {
+        if (i > 0 && edge_equal(scratch.cand[i - 1], scratch.cand[i])) {
           scratch.emit[scratch.cand[i]] = 0;
         }
       },
@@ -668,7 +884,10 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       scratch.local_edge.data(), nullptr, pool_);
   scratch.estart.resize(m);
   const std::size_t total_size = par::exclusive_scan<std::size_t>(
-      m, [&](std::size_t e) { return scratch.emit[e] ? edges_[e].size() : 0; },
+      m,
+      [&](std::size_t e) {
+        return scratch.emit[e] ? std::size_t{edge_size_[e]} : std::size_t{0};
+      },
       scratch.estart.data(), nullptr, pool_);
 
   Hypergraph& g = out.graph;
@@ -681,7 +900,7 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       [&](std::size_t e) {
         if (!scratch.emit[e]) return;
         std::size_t pos = scratch.estart[e];
-        for (const VertexId v : edges_[e]) {
+        for (const VertexId v : edge(static_cast<EdgeId>(e))) {
           g.edge_vertices_[pos++] = scratch.to_local[v];
         }
         g.edge_offsets_[scratch.local_edge[e] + 1] = pos;
@@ -689,7 +908,9 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       nullptr, pool_);
   g.dimension_ = par::reduce_max<std::size_t>(
       0, m, 0,
-      [&](std::size_t e) { return scratch.emit[e] ? edges_[e].size() : 0; },
+      [&](std::size_t e) {
+        return scratch.emit[e] ? std::size_t{edge_size_[e]} : std::size_t{0};
+      },
       nullptr, pool_);
   g.min_edge_size_ =
       num_out_edges == 0
@@ -697,15 +918,18 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
           : par::reduce_min<std::size_t>(
                 0, m, SIZE_MAX,
                 [&](std::size_t e) {
-                  return scratch.emit[e] ? edges_[e].size() : SIZE_MAX;
+                  return scratch.emit[e] ? std::size_t{edge_size_[e]}
+                                         : std::size_t{SIZE_MAX};
                 },
                 nullptr, pool_);
 
   // ---- Vertex -> incident edge CSR. ---------------------------------------
   // Degree histogram first (commutative atomic counts), then every local
-  // vertex fills its own slice by walking its ORIGINAL incidence list in
-  // ascending edge order — emitted local ids ascend with original ids, so
-  // the incidence lists come out sorted with no cross-thread writes.
+  // vertex fills its own slice by walking its LIVE incidence list in
+  // ascending edge order — every emitted edge of a live vertex sits in that
+  // list (it never left: only blue coloring removes a vertex from an edge),
+  // emitted local ids ascend with original ids, so the incidence lists come
+  // out sorted with no cross-thread writes and no membership tests.
   scratch.deg.resize(k);
   par::parallel_for(
       0, k, [&](std::size_t lv) { scratch.deg[lv] = 0; }, nullptr, pool_);
@@ -713,14 +937,14 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       0, m,
       [&](std::size_t e) {
         if (!scratch.emit[e]) return;
-        for (const VertexId v : edges_[e]) {
+        for (const VertexId v : edge(static_cast<EdgeId>(e))) {
           atomic_increment(scratch.deg[scratch.to_local[v]]);
         }
       },
       nullptr, pool_);
   g.vertex_offsets_.resize(k + 1);
   const std::size_t total_incidence = par::exclusive_scan<std::size_t>(
-      k, [&](std::size_t lv) { return scratch.deg[lv]; },
+      k, [&](std::size_t lv) { return std::size_t{scratch.deg[lv]}; },
       g.vertex_offsets_.data(), nullptr, pool_);
   g.vertex_offsets_[k] = total_incidence;
   g.vertex_edges_.resize(total_incidence);
@@ -729,9 +953,11 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       [&](std::size_t lv) {
         const VertexId ov = out.to_original[lv];
         std::size_t pos = g.vertex_offsets_[lv];
-        for (const EdgeId e : original_->edges_of(ov)) {
-          if (scratch.emit[e] &&
-              std::binary_search(edges_[e].begin(), edges_[e].end(), ov)) {
+        const std::size_t lo = inc_offset(ov);
+        const std::uint32_t len = inc_len_[ov];
+        for (std::uint32_t j = 0; j < len; ++j) {
+          const EdgeId e = inc_pool_[lo + j];
+          if (scratch.emit[e]) {
             g.vertex_edges_[pos++] = scratch.local_edge[e];
           }
         }

@@ -17,6 +17,23 @@
 // Vertex ids are stable: they always refer to the original hypergraph, so
 // the final blue set can be validated directly against the input.
 //
+// ---- The residual data plane (DESIGN.md §7) --------------------------------
+//
+// Edge contents live in one flat SLAB: a single contiguous vertex pool with
+// a constant per-edge {offset, live_size} span (the offsets are the original
+// CSR's — edges only ever shrink, in place, order-preserving, so a span
+// never moves or reallocates).  Alongside it the structure maintains a
+// vertex → live-edge INCIDENCE INDEX: a flat edge-id pool with a per-vertex
+// {offset, len} span whose live entries are exactly the live edges
+// containing that vertex (an entry goes stale when its edge dies; a
+// debt-triggered sweep compacts every stale list once the orphaned entries
+// reach half of the live ones, so list walks cost O(live incident edges)
+// amortized and maintenance costs O(1) per deleted entry).  Batch mutations
+// (color_blue / color_red / singleton_cascade) are OUTPUT-SENSITIVE: they
+// visit only the edges incident to the colored batch — never all m edges —
+// so a round's cost tracks the edges it touches, which is what the paper's
+// work bounds assume.
+//
 // ---- Parallel execution & the determinism contract -------------------------
 //
 // Every query and mutation runs as a deterministic parallel kernel when a
@@ -25,18 +42,26 @@
 // produce bit-identical state — same colors, counts, degrees, edge contents,
 // snapshots, and removal counts — for any thread count; the kernels achieve
 // this with fixed chunk decompositions, index-order combination (scan /
-// reduce / pack), and idempotent or commutative atomics (bitset bits, degree
-// counters whose final values are order-independent sums).
-// tests/test_mutable_hypergraph_parallel.cpp enforces the contract.
+// reduce / pack / sort+unique), and idempotent or commutative atomics
+// (bitset bits, degree counters whose final values are order-independent
+// sums).  The incidence index itself evolves as a pure function of the
+// operation sequence: the compaction sweep triggers on two deterministically
+// maintained counters (stale vs live entries, both post-operation values)
+// and preserves ascending edge-id order, so the acceleration structure is
+// bit-identical across thread counts too, dead entries included.
+// tests/test_mutable_hypergraph_parallel.cpp enforces the contract, and the
+// reference-model suites check the slab against vector-of-vectors
+// semantics element for element.
 //
 // Thread-safety rules: a MutableHypergraph is NOT itself thread-safe — all
 // public methods must be called from one thread; the parallelism is internal
 // (fork-join on the attached pool, fully joined before each method returns).
-// Concurrent const queries without an intervening mutation are safe, and —
-// because the pool is a work-stealing scheduler with nested fork-join
-// (DESIGN.md §4) — every kernel here is callable from *inside* a task
-// already running on the same pool (e.g. a par::TaskGroup closure that
-// scans one MutableHypergraph while the spawning thread queries another).
+// Concurrent const queries without an intervening mutation are safe (const
+// paths never compact the incidence index), and — because the pool is a
+// work-stealing scheduler with nested fork-join (DESIGN.md §4) — every
+// kernel here is callable from *inside* a task already running on the same
+// pool (e.g. a par::TaskGroup closure that scans one MutableHypergraph
+// while the spawning thread queries another).
 #pragma once
 
 #include <span>
@@ -83,9 +108,15 @@ class MutableHypergraph {
   [[nodiscard]] bool edge_live(EdgeId e) const noexcept {
     return edge_live_[e];
   }
-  /// Current (shrunken) vertex list of a live edge; sorted.
+  /// Current (shrunken) vertex list of a live edge; sorted.  A view into
+  /// the slab — stable across mutations of OTHER edges, invalidated for
+  /// this edge only in the sense that its contents shrink in place.
   [[nodiscard]] std::span<const VertexId> edge(EdgeId e) const noexcept {
-    return {edges_[e].data(), edges_[e].size()};
+    return {edge_pool_.data() + edge_offset(e), edge_size_[e]};
+  }
+  /// Current size of edge e (cheaper than edge(e).size() on hot paths).
+  [[nodiscard]] std::size_t edge_size(EdgeId e) const noexcept {
+    return edge_size_[e];
   }
   /// Original incident edge ids of v (superset of live incident edges).
   [[nodiscard]] std::span<const EdgeId> original_edges_of(
@@ -95,6 +126,10 @@ class MutableHypergraph {
   /// Number of live edges currently containing live vertex v.
   [[nodiscard]] std::size_t live_degree(VertexId v) const noexcept {
     return live_degree_[v];
+  }
+  /// Live vertices as a bitset (bit v set iff color(v) == None).
+  [[nodiscard]] const util::DynamicBitset& live_vertex_mask() const noexcept {
+    return live_mask_;
   }
 
   [[nodiscard]] std::vector<VertexId> live_vertices() const;
@@ -115,15 +150,20 @@ class MutableHypergraph {
   /// Color every vertex in `vs` blue; shrinks live incident edges.
   /// `vs` must be duplicate-free live vertices.
   /// HMIS_CHECK-fails if any edge would become empty (independence broken).
+  /// Output-sensitive: O(batch incident edges), never O(m).
   void color_blue(std::span<const VertexId> vs);
 
   /// Color every vertex in `vs` red; deletes live incident edges.
   /// `vs` must be duplicate-free live vertices.
+  /// Output-sensitive: O(batch incident edges + deleted edge sizes).
   void color_red(std::span<const VertexId> vs);
 
   /// Apply the singleton rule until exhaustion: every live edge of size 1
   /// forces its vertex red (deleting that edge and all other edges containing
   /// the vertex).  Returns the vertices turned red, ascending.
+  /// Output-sensitive: consumes the pending-singleton queue fed by
+  /// color_blue (edges are only ever shrunk there), so a cascade costs
+  /// O(new singletons + their incident work), never an O(m) rescan.
   std::vector<VertexId> singleton_cascade();
 
   /// Live vertices with no live incident edge — they are unconstrained and
@@ -151,6 +191,8 @@ class MutableHypergraph {
   /// with an Induced to form an arena-backed residual frame.
   struct InducedScratch {
     std::vector<VertexId> to_local;
+    // Parallel flavour: word-level relabel offsets (one per 64-vertex
+    // word); serial flavour: per-vertex incidence fill cursors.
     std::vector<std::uint32_t> voffset;
     std::vector<std::uint8_t> inside;
     std::vector<std::uint8_t> emit;
@@ -179,10 +221,52 @@ class MutableHypergraph {
   void live_snapshot_into(Induced& out, InducedScratch& scratch) const;
 
  private:
+  /// Constant span offsets come straight from the original CSR: edges only
+  /// shrink in place, and an incidence list only loses entries, so neither
+  /// slab ever relocates.
+  [[nodiscard]] std::size_t edge_offset(EdgeId e) const noexcept {
+    return original_->edge_offsets_[e];
+  }
+  [[nodiscard]] std::size_t inc_offset(VertexId v) const noexcept {
+    return original_->vertex_offsets_[v];
+  }
+  [[nodiscard]] VertexId* edge_begin(EdgeId e) noexcept {
+    return edge_pool_.data() + edge_offset(e);
+  }
+  /// Edge-content equality for canonical-survivor dedupe.
+  [[nodiscard]] bool edge_equal(EdgeId a, EdgeId b) const noexcept;
+  /// The (size, lex, id) total order shared by every dedupe flavour.
+  [[nodiscard]] bool edge_size_lex_id_less(EdgeId a, EdgeId b) const noexcept;
+
   void delete_edge(EdgeId e);
   /// Parallel kernels behind the public mutations (pool_ != nullptr path).
-  void parallel_shrink_blue(std::span<const VertexId> vs);
-  void parallel_delete_red(std::span<const VertexId> vs);
+  /// `work` is the batch's incident work (the use_parallel argument),
+  /// reused to pick the gather flavour.
+  void parallel_shrink_blue(std::span<const VertexId> vs, std::size_t work);
+  void parallel_delete_red(std::span<const VertexId> vs, std::size_t work);
+  /// Gather the distinct LIVE edges incident to the batch `vs` into
+  /// touched_edges_ (ascending).  Returns the distinct count.  Two
+  /// flavours behind one deterministic result: sparse batches pay
+  /// O(batch incidence log) (per-vertex slices, sort, adjacent-unique);
+  /// batches touching a constant fraction of the edge set mark a full-width
+  /// bitset and pack it — cheaper than sorting once the touch is dense.
+  /// The flavour choice is a pure function of (work, m), so every thread
+  /// count takes the same one.
+  [[nodiscard]] std::size_t gather_batch_incidence(std::span<const VertexId> vs,
+                                                   std::size_t work);
+  /// Drop stale entries from v's incidence list (keeps live entries in
+  /// ascending edge-id order; afterwards len == live_degree).
+  void compact_incidence(VertexId v);
+  /// Debt-triggered index maintenance: every edge deletion adds its size to
+  /// stale_entries_; once the debt reaches half of the live entry count,
+  /// one sweep compacts every stale live list (word-level walk of the live
+  /// mask).  The sweep costs O(n/64 + live entries + debt), so maintenance
+  /// amortizes to O(1) per deleted entry, per-operation cost for small
+  /// deletions is zero, and the trigger — a pure function of two
+  /// deterministically-maintained counters — fires identically on every
+  /// flavour, keeping the index evolution bit-identical across thread
+  /// counts.
+  void maybe_compact_incidence();
   /// One implementation behind both extraction flavours; `keep == nullptr`
   /// means "every live vertex" (the live_snapshot case, which then needs no
   /// all-ones bitset).
@@ -192,8 +276,9 @@ class MutableHypergraph {
                             InducedScratch& scratch) const;
   void build_induced_parallel(const util::DynamicBitset* keep, Induced& out,
                               InducedScratch& scratch) const;
-  /// Sum of original degrees over `vs` — the upper bound on incident work
-  /// that decides whether a mutation is worth the parallel path.
+  /// Sum of live degrees over `vs` — the work a batch mutation touches,
+  /// used to decide whether the parallel flavour pays.  A pure function of
+  /// observable state, so every variant gates identically.
   [[nodiscard]] std::size_t incident_work(std::span<const VertexId> vs) const;
   /// True when the parallel flavour should run: a pool with real workers is
   /// attached and the operation is above the grain.  A 1-thread pool runs
@@ -206,9 +291,35 @@ class MutableHypergraph {
   std::size_t n_;
   par::ThreadPool* pool_ = nullptr;
   std::vector<Color> color_;
-  std::vector<VertexList> edges_;      // current vertex list per edge
+
+  // ---- Slab data plane ----------------------------------------------------
+  std::vector<VertexId> edge_pool_;      // flat vertex pool; span per edge
+  std::vector<std::uint32_t> edge_size_; // live size per edge span
   util::DynamicBitset edge_live_;
+  util::DynamicBitset live_mask_;        // bit v set iff vertex v live
+
+  // ---- Live-incidence index -----------------------------------------------
+  std::vector<EdgeId> inc_pool_;          // flat edge-id pool; span per vertex
+  std::vector<std::uint32_t> inc_len_;    // current list length per vertex
   std::vector<std::uint32_t> live_degree_;  // live incident edges per vertex
+  std::vector<EdgeId> singleton_pending_;   // edges shrunk to size 1
+
+  // ---- Mutation scratch (capacity reused; values never leak) --------------
+  // Entry counts are size_t end to end (like the hypergraph CSR offsets):
+  // a batch's summed live degrees may exceed 2^32 even though vertex/edge
+  // IDS stay 32-bit.
+  std::vector<std::size_t> batch_offsets_;    // sparse: per-vertex slices
+  std::vector<std::size_t> unique_offsets_;   // sparse: unique-pack offsets
+  std::vector<EdgeId> batch_edges_;
+  std::vector<EdgeId> touched_edges_;
+  std::vector<std::uint32_t> pack_offsets_;   // dense: pack over m (< 2^32)
+  util::DynamicBitset touched_mask_;  // m bits; dense-gather marking
+
+  // ---- Incidence maintenance accounting -----------------------------------
+  std::size_t live_entries_ = 0;   // Σ live_degree over all vertices
+  std::size_t stale_entries_ = 0;  // entries orphaned by deletions since
+                                   // the last compaction sweep
+
   std::size_t live_vertex_count_ = 0;
   std::size_t live_edge_count_ = 0;
 };

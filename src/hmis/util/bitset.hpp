@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -56,6 +57,42 @@ class DynamicBitset {
 
   /// Indices of set bits, ascending.
   [[nodiscard]] std::vector<std::uint32_t> to_indices() const;
+
+  /// Number of 64-bit words backing the bitset.
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return words_.size();
+  }
+  /// Raw word at index wi (bits [wi*64, wi*64+64)).  Tail bits beyond
+  /// size() are always zero.
+  [[nodiscard]] std::uint64_t word(std::size_t wi) const noexcept {
+    return words_[wi];
+  }
+
+  /// Word-level visit of every NONZERO word, ascending: f(base, word) where
+  /// `base` is the bit index of the word's bit 0.  The backbone of the
+  /// output-sensitive kernels: skipping zero words costs one load each, so a
+  /// sparse bitset is traversed in O(words) instead of O(size) bit tests,
+  /// and callers can popcount/ctz the word themselves.
+  template <typename F>
+  void for_each_set_word(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      const std::uint64_t w = words_[wi];
+      if (w != 0) f(wi * 64, w);
+    }
+  }
+
+  /// Set-bit visit, ascending: f(i) for every set bit i.  Implemented on
+  /// for_each_set_word with a countr_zero peel, so the cost is
+  /// O(words + set bits), never O(size).
+  template <typename F>
+  void for_each_set_bit(F&& f) const {
+    for_each_set_word([&](std::size_t base, std::uint64_t w) {
+      while (w != 0) {
+        f(base + static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    });
+  }
 
   [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
     return words_;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "test_reference_model.hpp"
+
 #include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
 #include "hmis/util/check.hpp"
 
 namespace {
@@ -181,6 +184,94 @@ TEST(MutableHypergraph, BlueVerticesAscending) {
   const std::vector<VertexId> vs = {4, 0, 2};
   mh.color_blue(vs);
   EXPECT_EQ(mh.blue_vertices(), (std::vector<VertexId>{0, 2, 4}));
+}
+
+// ---- Slab vs vector-of-vectors reference model -----------------------------
+// The flat-slab data plane (PR 5) must stay element-for-element identical to
+// the seed's vector-of-vectors semantics: edge contents and order, liveness,
+// degrees, counts, cascade outputs and dedupe removals, under long
+// interleaved mutation sequences.  test_reference_model.hpp holds the model;
+// the parallel suite replays the same property against pooled variants.
+
+TEST(MutableHypergraphModel, LongInterleavedMixedArity) {
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    const Hypergraph h = gen::mixed_arity(120, 260, 2, 6, seed);
+    MutableHypergraph mh(h);
+    hmis_test::run_model_property_script(h, {&mh}, {"serial-slab"},
+                                         seed * 7919, 60);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MutableHypergraphModel, LongInterleavedWithPlantedDuplicates) {
+  // Duplicates and strict supersets make dedupe and the cascade interact:
+  // shrinking can re-create duplicates mid-sequence.
+  util::Xoshiro256ss rng(2024);
+  HypergraphBuilder b(90);
+  b.dedupe_edges(false);
+  std::vector<VertexList> base;
+  for (int i = 0; i < 120; ++i) {
+    VertexList e;
+    const std::size_t arity = 2 + rng.below(4);
+    while (e.size() < arity) {
+      const auto v = static_cast<VertexId>(rng.below(90));
+      if (std::find(e.begin(), e.end(), v) == e.end()) e.push_back(v);
+    }
+    std::sort(e.begin(), e.end());
+    base.push_back(e);
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+  }
+  for (int i = 0; i < 60; ++i) {
+    VertexList e = base[rng.below(base.size())];
+    if (i % 2 == 0) {
+      auto v = static_cast<VertexId>(rng.below(90));
+      while (std::find(e.begin(), e.end(), v) != e.end()) {
+        v = static_cast<VertexId>(rng.below(90));
+      }
+      e.push_back(v);
+      std::sort(e.begin(), e.end());
+    }
+    b.add_edge(std::span<const VertexId>(e.data(), e.size()));
+  }
+  const Hypergraph h = b.build();
+  MutableHypergraph mh(h);
+  hmis_test::run_model_property_script(h, {&mh}, {"serial-slab"}, 1234, 80);
+}
+
+TEST(MutableHypergraphModel, SingletonQueueMatchesFullRescan) {
+  // The slab cascade consumes a pending queue instead of rescanning all m
+  // edges; drive a shrink-heavy sequence (small arities, blue-leaning) and
+  // check every cascade against the model's full rescan.
+  const Hypergraph h = gen::mixed_arity(100, 240, 2, 3, 77);
+  MutableHypergraph mh(h);
+  hmis_test::ReferenceResidual model(h);
+  util::Xoshiro256ss rng(5150);
+  while (model.num_live_vertices() > 0) {
+    const auto live = model.live_vertices();
+    std::vector<VertexId> vs;
+    std::vector<std::uint8_t> in_s(h.num_vertices(), 0);
+    const std::size_t batch = 1 + rng.below(8);
+    for (std::size_t t = 0; t < batch; ++t) {
+      const VertexId v = live[rng.below(live.size())];
+      if (in_s[v] || model.completes_edge(in_s, v)) continue;
+      in_s[v] = 1;
+      vs.push_back(v);
+    }
+    if (vs.empty()) {
+      // Every remaining vertex completes an edge: exclude one instead.
+      vs.push_back(live[rng.below(live.size())]);
+      model.color_red(vs);
+      mh.color_red(vs);
+    } else {
+      model.color_blue(vs);
+      mh.color_blue(vs);
+    }
+    const auto want = model.singleton_cascade();
+    EXPECT_EQ(want, mh.singleton_cascade());
+    hmis_test::expect_matches_model(model, mh, "shrink-heavy");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_EQ(mh.num_live_vertices(), 0u);
 }
 
 }  // namespace

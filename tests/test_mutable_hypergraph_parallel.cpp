@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "test_reference_model.hpp"
 #include "test_threads.hpp"
 
 #include "hmis/hypergraph/builder.hpp"
@@ -340,6 +341,39 @@ TEST_F(MutableHypergraphParallel, ConstructionStateIdentical) {
   MutableHypergraph serial(h);
   MutableHypergraph pooled(h, &pn);
   EXPECT_EQ(observe(serial), observe(pooled));
+}
+
+// ---- Reference model vs the slab at every pool width -----------------------
+// The vector-of-vectors model (test_reference_model.hpp) is the seed's
+// semantics; the slab must match it element for element not just serially
+// but through the parallel kernels at 1/2/max threads, under long
+// interleaved mutation sequences — this pins the whole rewrite (slab
+// compaction, incidence gather, singleton queue, debt-triggered sweeps)
+// against first-principles behavior rather than against itself.
+
+TEST_F(MutableHypergraphParallel, ReferenceModelLongInterleavedSmall) {
+  for (const std::uint64_t seed : {7u, 23u}) {
+    const Hypergraph h = gen::mixed_arity(150, 320, 2, 6, seed);
+    par::ThreadPool p1(1), p2(2), pn(hmis_test::max_test_threads());
+    MutableHypergraph serial(h);
+    MutableHypergraph m1(h, &p1), m2(h, &p2), mn(h, &pn);
+    hmis_test::run_model_property_script(
+        h, {&serial, &m1, &m2, &mn},
+        {"serial", "pool(1)", "pool(2)", "pool(max)"}, seed * 131, 50);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(MutableHypergraphParallel, ReferenceModelLongInterleavedLarge) {
+  // Above the parallel grain, so the pooled variants exercise the hybrid
+  // gather (sparse and dense regimes), the parallel compaction sweep, and
+  // the parallel dedupe against the model.
+  const Hypergraph h = gen::mixed_arity(1600, 3400, 2, 6, 29);
+  par::ThreadPool p2(2), pn(hmis_test::max_test_threads());
+  MutableHypergraph serial(h);
+  MutableHypergraph m2(h, &p2), mn(h, &pn);
+  hmis_test::run_model_property_script(
+      h, {&serial, &m2, &mn}, {"serial", "pool(2)", "pool(max)"}, 4242, 14);
 }
 
 }  // namespace

@@ -92,6 +92,53 @@ TEST(DynamicBitset, ZeroSize) {
   EXPECT_EQ(b.count(), 0u);
   EXPECT_TRUE(b.none());
   EXPECT_TRUE(b.to_indices().empty());
+  b.for_each_set_word([](std::size_t, std::uint64_t) { FAIL(); });
+  b.for_each_set_bit([](std::size_t) { FAIL(); });
+}
+
+TEST(DynamicBitset, ForEachSetWordSkipsZeroWords) {
+  DynamicBitset b(300);  // five words
+  b.set(1);
+  b.set(64);
+  b.set(65);
+  b.set(299);
+  std::vector<std::pair<std::size_t, std::uint64_t>> seen;
+  b.for_each_set_word(
+      [&](std::size_t base, std::uint64_t w) { seen.emplace_back(base, w); });
+  ASSERT_EQ(seen.size(), 3u);  // words 2 and 3 are zero and never visited
+  EXPECT_EQ(seen[0].first, 0u);
+  EXPECT_EQ(seen[0].second, std::uint64_t{1} << 1);
+  EXPECT_EQ(seen[1].first, 64u);
+  EXPECT_EQ(seen[1].second, (std::uint64_t{1} << 0) | (std::uint64_t{1} << 1));
+  EXPECT_EQ(seen[2].first, 256u);
+  EXPECT_EQ(seen[2].second, std::uint64_t{1} << (299 - 256));
+}
+
+TEST(DynamicBitset, ForEachSetBitMatchesToIndices) {
+  DynamicBitset b(513);  // tail word in play
+  for (std::size_t i = 0; i < 513; i += 7) b.set(i);
+  b.set(512);
+  std::vector<std::uint32_t> seen;
+  b.for_each_set_bit(
+      [&](std::size_t i) { seen.push_back(static_cast<std::uint32_t>(i)); });
+  EXPECT_EQ(seen, b.to_indices());
+}
+
+TEST(DynamicBitset, ForEachSetBitDenseAscending) {
+  DynamicBitset b(130, true);
+  std::size_t expect = 0;
+  b.for_each_set_bit([&](std::size_t i) {
+    EXPECT_EQ(i, expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, 130u);
+}
+
+TEST(DynamicBitset, WordAccessorsExposeTailInvariant) {
+  DynamicBitset b(70, true);
+  ASSERT_EQ(b.num_words(), 2u);
+  EXPECT_EQ(b.word(0), ~std::uint64_t{0});
+  EXPECT_EQ(b.word(1), (std::uint64_t{1} << 6) - 1);  // bits 64..69 only
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Perf trajectory harness: run the bench suite and emit BENCH_PR<N>.json so
+# future PRs can diff solves/sec, allocs/round, and coloring-kernel timings
+# against a recorded baseline.
+#
+# Usage:
+#   tools/run_benches.sh                 # full scale, writes BENCH_PR5.json
+#   HMIS_BENCH_SCALE=quick tools/run_benches.sh   # smoke scale
+#   BUILD_DIR=build-dev OUT=BENCH_PR6.json tools/run_benches.sh
+#
+# The script only parses the greppable "tag:" tables the bench binaries
+# print (machine-stable by design, DESIGN.md §5); google-benchmark timing
+# cases are skipped (--benchmark_filter=NONE) to keep runtime bounded.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_PR5.json}
+SCALE=${HMIS_BENCH_SCALE:-full}
+LOG_DIR=$(mktemp -d)
+trap 'rm -rf "$LOG_DIR"' EXIT
+
+run_bench() {
+  local name=$1
+  local bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "run_benches: $bin not built (configure with benchmark installed)" >&2
+    return 1
+  fi
+  echo "run_benches: running $name ..." >&2
+  # A bench exiting nonzero (e.g. the legacy-vs-slab divergence cross-check
+  # in bench_coloring_kernels, or an HMIS_CHECK abort) must fail the whole
+  # harness — a baseline built on a broken run is worse than none.
+  if ! "$bin" --benchmark_filter=NONE >"$LOG_DIR/$name.log"; then
+    echo "run_benches: $name FAILED — no baseline written" >&2
+    exit 1
+  fi
+}
+
+run_bench bench_engine_throughput
+run_bench bench_coloring_kernels
+
+# ---- Table extractors ------------------------------------------------------
+# Emit the numeric rows between "==== <tag> ..." and "==== end <tag> ====",
+# as JSON objects (one per row), comma-joined.
+
+table_rows() {  # $1 = log file, $2 = tag
+  awk -v tag="$2" '
+    $0 ~ "^==== " tag " " { inside = 1; next }
+    $0 ~ "^==== end " tag { inside = 0 }
+    inside && $1 ~ /^[0-9]/ { print }
+  ' "$1"
+}
+
+json_engine_alloc() {
+  table_rows "$LOG_DIR/bench_engine_throughput.log" "eng:alloc" | awk '
+    { gsub(/x$/, "", $6);
+      printf "%s{\"threads\":%s,\"frame\":\"%s\",\"rounds\":%s,\"fresh_allocs_per_round\":%s,\"arena_allocs_per_round\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4, $5 }'
+}
+
+json_engine_throughput() {
+  table_rows "$LOG_DIR/bench_engine_throughput.log" "eng:throughput" | awk '
+    { printf "%s{\"threads\":%s,\"instances\":%s,\"blocking_solves_per_sec\":%s,\"engine_solves_per_sec\":%s,\"identical\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4, ($6=="yes"?"true":"false") }'
+}
+
+json_coloring() {  # $1 = col:blue | col:red
+  table_rows "$LOG_DIR/bench_coloring_kernels.log" "$1" | awk '
+    { gsub(/%$/, "", $2); gsub(/x$/, "", $7);
+      printf "%s{\"threads\":%s,\"batch_pct\":%s,\"batch\":%s,\"batches\":%s,\"legacy_us_per_batch\":%s,\"slab_us_per_batch\":%s,\"speedup\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4, $5, $6, $7 }'
+}
+
+json_coloring_alloc() {
+  table_rows "$LOG_DIR/bench_coloring_kernels.log" "col:alloc" | awk '
+    { gsub(/%$/, "", $2);
+      printf "%s{\"threads\":%s,\"batch_pct\":%s,\"batches\":%s,\"allocs_per_batch\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4 }'
+}
+
+# Every section must have extracted at least one row — an empty array means
+# the table format drifted and the baseline would be silently hollow.
+require_rows() {
+  local label=$1 rows=$2
+  if [[ -z "$rows" ]]; then
+    echo "run_benches: no rows extracted for $label — table format drifted?" >&2
+    exit 1
+  fi
+}
+
+ENGINE_ALLOC=$(json_engine_alloc)
+ENGINE_THROUGHPUT=$(json_engine_throughput)
+COLORING_BLUE=$(json_coloring col:blue)
+COLORING_RED=$(json_coloring col:red)
+COLORING_ALLOC=$(json_coloring_alloc)
+require_rows "eng:alloc" "$ENGINE_ALLOC"
+require_rows "eng:throughput" "$ENGINE_THROUGHPUT"
+require_rows "col:blue" "$COLORING_BLUE"
+require_rows "col:red" "$COLORING_RED"
+require_rows "col:alloc" "$COLORING_ALLOC"
+
+{
+  printf '{\n'
+  printf '  "pr": 5,\n'
+  printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "scale": "%s",\n' "$SCALE"
+  printf '  "host_cpus": %s,\n' "$(nproc)"
+  printf '  "engine_alloc": [%s],\n' "$ENGINE_ALLOC"
+  printf '  "engine_throughput": [%s],\n' "$ENGINE_THROUGHPUT"
+  printf '  "coloring_blue": [%s],\n' "$COLORING_BLUE"
+  printf '  "coloring_red": [%s],\n' "$COLORING_RED"
+  printf '  "coloring_alloc": [%s]\n' "$COLORING_ALLOC"
+  printf '}\n'
+} >"$OUT"
+
+echo "run_benches: wrote $OUT" >&2
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$OUT" >/dev/null && echo "run_benches: $OUT is valid JSON" >&2
+fi
