@@ -156,6 +156,8 @@ DResult max_partial_expectation(const WeightedHypergraph& wh, double p,
       acc[hash_sorted(e.data(), all.data(), s)] += w;
     }
   }
+  // Iteration order cannot change the result here:
+  // HMIS_LINT_ALLOW(hmis-banned-nondeterminism: max over doubles is a commutative fold)
   for (const auto& [key, value] : acc) {
     (void)key;
     out.value = std::max(out.value, value);
@@ -183,9 +185,12 @@ WeightedHypergraph migration_system(std::span<const VertexList> edges,
     nk.push_back(std::move(y));
   }
 
-  // All (k-j)-subsets Y of each Z ∈ N_k(X), deduplicated; weight
-  // w'(Y) = |N_j(X ∪ Y)| computed afterwards against the full edge list.
-  std::unordered_map<std::uint64_t, VertexList> subsets;
+  // All (k-j)-subsets Y of each Z ∈ N_k(X), deduplicated by value and kept
+  // in sorted order — the system's edge order is part of the deterministic
+  // output, so it must not depend on hash-table internals, and two distinct
+  // subsets must never collapse onto one hash.  Weight w'(Y) = |N_j(X ∪ Y)|
+  // is computed afterwards against the full edge list.
+  std::vector<VertexList> subsets;
   const std::size_t take = k - j;
   std::vector<std::uint32_t> comb(take);
   for (const auto& z : nk) {
@@ -198,11 +203,7 @@ WeightedHypergraph migration_system(std::span<const VertexList> edges,
     for (;;) {
       VertexList y(take);
       for (std::size_t q = 0; q < take; ++q) y[q] = z[comb[q]];
-      std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ take;
-      for (const VertexId v : y) {
-        h = util::mix64(h ^ util::splitmix64(v + 0x9e3779b9ULL));
-      }
-      subsets.emplace(h, std::move(y));
+      subsets.push_back(std::move(y));
       // Successor: bump the rightmost index that has room.
       std::size_t q = take;
       while (q > 0 &&
@@ -214,9 +215,10 @@ WeightedHypergraph migration_system(std::span<const VertexList> edges,
       for (std::size_t r = q; r < take; ++r) comb[r] = comb[r - 1] + 1;
     }
   }
+  std::sort(subsets.begin(), subsets.end());
+  subsets.erase(std::unique(subsets.begin(), subsets.end()), subsets.end());
 
-  for (auto& [h, y] : subsets) {
-    (void)h;
+  for (const auto& y : subsets) {
     VertexList xy;
     std::merge(x.begin(), x.end(), y.begin(), y.end(), std::back_inserter(xy));
     // w'(Y) = |N_j(X ∪ Y)|: edges of size |xy| + j containing xy.

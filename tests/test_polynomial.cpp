@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "hmis/hypergraph/builder.hpp"
 #include "hmis/hypergraph/generators.hpp"
@@ -169,6 +171,31 @@ TEST(MigrationSystem, EmptyWhenNoBigEdges) {
   const auto wh = migration_system(
       std::span<const VertexList>(lists.data(), lists.size()), 4, {0}, 1, 2);
   EXPECT_TRUE(wh.edges.empty());
+}
+
+TEST(MigrationSystem, EdgesAreSortedDistinctAndInputOrderInvariant) {
+  // Regression: the subset pool used to be keyed by a 64-bit hash and
+  // iterated in unordered_map order, so the emitted edge order depended on
+  // hash-table internals (and a hash collision could silently drop a
+  // distinct subset).  The system's edges must come out value-deduplicated,
+  // lexicographically sorted, and identical for any permutation of the
+  // input edge list.
+  const auto h = make_hypergraph(
+      8, {{0, 1, 2, 4}, {0, 2, 3, 5}, {0, 1, 3, 6}, {0, 2, 3, 7}});
+  const auto lists = h.edges_as_lists();
+  const auto wh = migration_system(
+      std::span<const VertexList>(lists.data(), lists.size()), 8, {0}, 1, 3);
+  ASSERT_FALSE(wh.edges.empty());
+  EXPECT_TRUE(std::is_sorted(wh.edges.begin(), wh.edges.end()));
+  EXPECT_EQ(std::adjacent_find(wh.edges.begin(), wh.edges.end()),
+            wh.edges.end());
+
+  std::vector<VertexList> shuffled(lists.rbegin(), lists.rend());
+  const auto wh2 = migration_system(
+      std::span<const VertexList>(shuffled.data(), shuffled.size()), 8, {0},
+      1, 3);
+  EXPECT_EQ(wh.edges, wh2.edges);
+  EXPECT_EQ(wh.weights, wh2.weights);
 }
 
 TEST(MigrationSystem, KMinusJTwoSubsets) {
