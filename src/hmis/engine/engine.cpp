@@ -77,7 +77,7 @@ void Engine::run_session(par::Task* task) {
     // backpressured submitter is either before its predicate check (and
     // will read the decremented counter) or already parked (and gets the
     // wakeup) — no lost slot-freed signals.
-    std::lock_guard<std::mutex> lock(engine->mutex_);
+    util::MutexLock lock(engine->mutex_);
   }
   engine->slot_freed_.notify_all();
   delete node;
@@ -108,7 +108,7 @@ SolveFuture Engine::submit(SolveRequest req) {
     if (pool_->scheduler().num_workers() == 0) {
       std::shared_ptr<detail::SessionState> victim;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         sweep_completed_locked();
         for (const auto& s : sessions_) {
           if (!s->group.done()) {
@@ -125,7 +125,7 @@ SolveFuture Engine::submit(SolveRequest req) {
         std::this_thread::yield();
       }
     } else {
-      std::unique_lock<std::mutex> lock(mutex_);
+      util::UniqueLock lock(mutex_);
       slot_freed_.wait_for(lock, std::chrono::milliseconds(1), [&] {
         return inflight_.load(std::memory_order_relaxed) < max_inflight_;
       });
@@ -154,7 +154,7 @@ SolveFuture Engine::submit(SolveRequest req) {
   node->invoke = &Engine::run_session;
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     sweep_completed_locked();
     sessions_.push_back(state);
   }
@@ -171,7 +171,7 @@ SolveFuture Engine::submit(SolveRequest req) {
     pool_->scheduler().spawn(node.get());
   } catch (...) {
     state->group.cancel(1);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), state),
                     sessions_.end());
     throw;  // SlotGuard returns the reservation
@@ -192,7 +192,7 @@ void Engine::drain() {
   for (;;) {
     std::shared_ptr<detail::SessionState> next;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       for (const auto& s : sessions_) {
         if (!s->group.done()) {
           next = s;

@@ -33,15 +33,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "hmis/core/mis.hpp"
 #include "hmis/par/thread_pool.hpp"
+#include "hmis/util/sync.hpp"
 
 namespace hmis::engine {
 
@@ -139,7 +138,7 @@ class Engine {
 
   /// Enqueue a solve session; callable from any thread.  Throws
   /// util::CheckError if the request has no graph.
-  [[nodiscard]] SolveFuture submit(SolveRequest req);
+  [[nodiscard]] SolveFuture submit(SolveRequest req) HMIS_EXCLUDES(mutex_);
 
   /// Submit a whole batch, futures in request order.
   [[nodiscard]] std::vector<SolveFuture> submit_all(
@@ -147,7 +146,7 @@ class Engine {
 
   /// Block until every session submitted so far completed (helps run them).
   /// Sessions submitted concurrently with drain() are not covered.
-  void drain();
+  void drain() HMIS_EXCLUDES(mutex_);
 
   [[nodiscard]] EngineStats stats() const;
 
@@ -156,21 +155,22 @@ class Engine {
  private:
   struct SessionTask;
   static void run_session(par::Task* task);
-  void sweep_completed_locked();
+  void sweep_completed_locked() HMIS_REQUIRES(mutex_);
 
   std::unique_ptr<par::ThreadPool> owned_pool_;
   par::ThreadPool* pool_ = nullptr;
   par::SchedulerStats sched_baseline_;
   std::size_t max_inflight_ = 0;
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   /// Signaled by every session completion; backpressured submitters on a
   /// pool with workers sleep here until an in-flight slot frees.
-  std::condition_variable slot_freed_;
+  util::CondVar slot_freed_;
   /// Owns every not-yet-reaped session (keeps the session's GroupState
   /// alive through the scheduler's final decrement; swept lazily once
   /// done()).
-  std::vector<std::shared_ptr<detail::SessionState>> sessions_;
+  std::vector<std::shared_ptr<detail::SessionState>> sessions_
+      HMIS_GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

@@ -20,7 +20,7 @@ thread_local ThreadBinding tls_binding;
 // ---- GroupState ------------------------------------------------------------
 
 void GroupState::record_error(std::exception_ptr err) {
-  const std::lock_guard<std::mutex> lock(error_mutex_);
+  const util::MutexLock lock(error_mutex_);
   if (!error_) {
     error_ = std::move(err);
     failed_.store(true, std::memory_order_release);
@@ -35,7 +35,7 @@ void GroupState::rethrow_if_error() {
   // the stale error would poison every later join.
   std::exception_ptr err;
   {
-    const std::lock_guard<std::mutex> lock(error_mutex_);
+    const util::MutexLock lock(error_mutex_);
     err = std::move(error_);
     error_ = nullptr;
     failed_.store(false, std::memory_order_release);
@@ -84,7 +84,7 @@ void Scheduler::spawn(Task* task) {
   if (Worker* self = current_worker()) {
     self->deque.push(task);
   } else {
-    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    const util::MutexLock lock(inject_mutex_);
     injected_.push_back(task);
     inject_size_.store(injected_.size(), std::memory_order_relaxed);
   }
@@ -96,7 +96,7 @@ void Scheduler::bump_activity() {
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     // Empty critical section: serializes with a sleeper between its
     // predicate check and its actual sleep, closing the notify window.
-    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    const util::MutexLock lock(sleep_mutex_);
     sleep_cv_.notify_all();
   }
 }
@@ -106,7 +106,7 @@ Task* Scheduler::find_task(Worker* self) {
     if (Task* t = self->deque.pop()) return t;
   }
   if (inject_size_.load(std::memory_order_relaxed) != 0) {
-    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    const util::MutexLock lock(inject_mutex_);
     if (!injected_.empty()) {
       Task* t = injected_.front();
       injected_.pop_front();
@@ -161,7 +161,7 @@ void Scheduler::worker_main(Worker& self) {
       continue;
     }
     if (stop_.load(std::memory_order_seq_cst)) return;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    util::UniqueLock lock(sleep_mutex_);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     sleep_cv_.wait(lock, [&] {
       return stop_.load(std::memory_order_seq_cst) ||
@@ -182,7 +182,7 @@ void Scheduler::wait(GroupState& group) {
       continue;
     }
     if (group.done()) break;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    util::UniqueLock lock(sleep_mutex_);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     sleep_cv_.wait(lock, [&] {
       return group.done() ||

@@ -23,18 +23,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "hmis/par/metrics.hpp"
 #include "hmis/par/work_steal_deque.hpp"
+#include "hmis/util/sync.hpp"
 
 namespace hmis::par {
 
@@ -73,18 +72,18 @@ class GroupState {
   }
 
   /// Record an exception; the first one wins, later ones are dropped.
-  void record_error(std::exception_ptr err);
+  void record_error(std::exception_ptr err) HMIS_EXCLUDES(error_mutex_);
 
   /// Rethrow the recorded exception, if any, clearing it first so the
   /// group is reusable after an exceptional join.  Call only after done().
-  void rethrow_if_error();
+  void rethrow_if_error() HMIS_EXCLUDES(error_mutex_);
 
  private:
   friend class Scheduler;
   std::atomic<std::size_t> pending_{0};
   std::atomic<bool> failed_{false};
-  std::mutex error_mutex_;
-  std::exception_ptr error_;
+  util::Mutex error_mutex_;
+  std::exception_ptr error_ HMIS_GUARDED_BY(error_mutex_);
 };
 
 class Scheduler {
@@ -104,14 +103,14 @@ class Scheduler {
   /// Enqueue a task whose group has already been add()-registered.  From a
   /// worker of this scheduler the task goes to that worker's own deque;
   /// from any other thread it goes to the injection queue.
-  void spawn(Task* task);
+  void spawn(Task* task) HMIS_EXCLUDES(inject_mutex_, sleep_mutex_);
 
   /// Help-first join: execute queued tasks (own deque, injection queue,
   /// steals) until `group.done()`, sleeping only when no task is runnable
   /// anywhere.  Reentrant — tasks executed while helping may themselves
   /// spawn and wait.  Does not rethrow; callers follow with
   /// `group.rethrow_if_error()`.
-  void wait(GroupState& group);
+  void wait(GroupState& group) HMIS_EXCLUDES(inject_mutex_, sleep_mutex_);
 
   /// Fork-join chunked loop: body(c) for every c in [0, chunks), exactly
   /// once each, chunk identity independent of scheduling.  The calling
@@ -138,24 +137,24 @@ class Scheduler {
     std::size_t steal_cursor = 0;  // rotating victim start, owner-only
   };
 
-  void worker_main(Worker& self);
+  void worker_main(Worker& self) HMIS_EXCLUDES(inject_mutex_, sleep_mutex_);
   /// Pop/steal one runnable task: own deque first (nullptr self skips it),
   /// then the injection queue, then other workers' deques.
-  Task* find_task(Worker* self);
+  Task* find_task(Worker* self) HMIS_EXCLUDES(inject_mutex_);
   /// Run one task and resolve its group (records error, final decrement,
   /// completion wakeup).  Never throws.
   void execute(Task* task);
   /// Bump the activity epoch and wake sleepers.  Called after every spawn
   /// and every group completion; the seq_cst epoch/sleeper handshake in
   /// wait()/worker_main() makes lost wakeups impossible.
-  void bump_activity();
+  void bump_activity() HMIS_EXCLUDES(sleep_mutex_);
   [[nodiscard]] Worker* current_worker() const noexcept;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex inject_mutex_;
-  std::deque<Task*> injected_;
+  util::Mutex inject_mutex_;
+  std::deque<Task*> injected_ HMIS_GUARDED_BY(inject_mutex_);
   /// Lock-free emptiness hint for the injection queue: find_task() skips
   /// the mutex when this reads 0, keeping the per-worker steal path free of
   /// the global lock (the activity epoch covers the race with a concurrent
@@ -163,8 +162,8 @@ class Scheduler {
   /// rescans).  Updated under inject_mutex_.
   std::atomic<std::size_t> inject_size_{0};
 
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  util::Mutex sleep_mutex_;
+  util::CondVar sleep_cv_;
   std::atomic<std::uint64_t> activity_{0};
   std::atomic<std::size_t> sleepers_{0};
   std::atomic<std::size_t> external_cursor_{0};

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "hmis/util/sync.hpp"
 
 namespace hmis::par {
 
@@ -32,9 +33,9 @@ namespace {
 // user would be a use-after-free — the retired list keeps every pool alive
 // (its workers idle on a condvar) until process exit.
 struct GlobalPoolSlot {
-  std::mutex mutex;
+  util::Mutex mutex;
   std::atomic<ThreadPool*> current{nullptr};
-  std::vector<std::unique_ptr<ThreadPool>> owned;  // guarded by mutex
+  std::vector<std::unique_ptr<ThreadPool>> owned HMIS_GUARDED_BY(mutex);
 };
 
 GlobalPoolSlot& pool_slot() {
@@ -49,7 +50,7 @@ ThreadPool& global_pool() {
   if (ThreadPool* pool = slot.current.load(std::memory_order_acquire)) {
     return *pool;
   }
-  const std::lock_guard<std::mutex> lock(slot.mutex);
+  const util::MutexLock lock(slot.mutex);
   if (ThreadPool* pool = slot.current.load(std::memory_order_relaxed)) {
     return *pool;  // another thread won the race to create it
   }
@@ -67,7 +68,7 @@ void set_global_threads(std::size_t threads) {
     // the current pool or a retired one — so processes that toggle the
     // thread count per phase reuse workers instead of accumulating a new
     // pool (and its parked threads) on every call.
-    const std::lock_guard<std::mutex> lock(slot.mutex);
+    const util::MutexLock lock(slot.mutex);
     for (const auto& pool : slot.owned) {
       if (pool->num_threads() == want) {
         slot.current.store(pool.get(), std::memory_order_release);
@@ -79,7 +80,7 @@ void set_global_threads(std::size_t threads) {
   // then publish.  A concurrent same-size call may race us here and retire
   // one redundant pool — growth stays bounded by the set of sizes used.
   auto replacement = std::make_unique<ThreadPool>(want);
-  const std::lock_guard<std::mutex> lock(slot.mutex);
+  const util::MutexLock lock(slot.mutex);
   slot.owned.push_back(std::move(replacement));
   slot.current.store(slot.owned.back().get(), std::memory_order_release);
 }

@@ -1,0 +1,106 @@
+// Annotated synchronization primitives (DESIGN.md §8).
+//
+// Thin zero-cost veneers over the std types that carry the clang
+// thread-safety capability annotations from `thread_annotations.hpp` —
+// libstdc++'s own std::mutex / std::lock_guard are not annotated, so code
+// that wants its lock discipline statically checked uses these instead.
+// Semantics are exactly the wrapped std primitive's:
+//
+//   Mutex      ~ std::mutex                 (a "mutex" capability)
+//   MutexLock  ~ std::lock_guard<std::mutex> (scoped capability)
+//   UniqueLock ~ std::unique_lock<std::mutex> (scoped capability, condvar-able)
+//   CondVar    ~ std::condition_variable     (waits on a UniqueLock)
+//
+// The condition-variable wait predicate runs with the lock held, but the
+// analysis cannot see through std::condition_variable's unlock/relock — the
+// standard convention (Abseil, LLVM) applies: the scoped guard object is the
+// unit of analysis, and the wait is semantically lock-preserving.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "hmis/util/thread_annotations.hpp"
+
+namespace hmis::util {
+
+class CondVar;
+
+/// std::mutex with the clang "mutex" capability attached.
+class HMIS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HMIS_ACQUIRE() { m_.lock(); }
+  void unlock() HMIS_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() HMIS_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  friend class UniqueLock;
+  std::mutex m_;
+};
+
+/// Scoped lock, the std::lock_guard shape: acquires in the constructor,
+/// releases in the destructor, no unlock/relock in between.
+class HMIS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) HMIS_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() HMIS_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Scoped lock that a CondVar can wait on (the std::unique_lock shape).
+/// Always holds the lock for the analysis' purposes; the transient release
+/// inside CondVar::wait is invisible to it by design (see header comment).
+class HMIS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) HMIS_ACQUIRE(m) : lock_(m.m_) {}
+  // Explicit body: the release annotation must sit on a declarator, and the
+  // actual unlock happens in the member unique_lock's destructor right after.
+  ~UniqueLock() HMIS_RELEASE() {}  // NOLINT(modernize-use-equals-default)
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over Mutex/UniqueLock.  The predicate overloads
+/// mirror the std ones: the predicate is evaluated with the lock held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename Pred>
+  void wait(UniqueLock& lock, Pred&& pred) {
+    cv_.wait(lock.lock_, std::forward<Pred>(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Pred&& pred) {
+    return cv_.wait_for(lock.lock_, timeout, std::forward<Pred>(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hmis::util

@@ -1,0 +1,57 @@
+// Clang thread-safety annotation macros (DESIGN.md §8).
+//
+// Under clang the HMIS_* macros expand to the capability-analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), so lock discipline
+// — which mutex guards which state, which functions require or exclude which
+// locks — is checked at compile time by `-Wthread-safety` (the clang CI job
+// builds with it under `-Werror`).  Under every other compiler they expand to
+// nothing: the annotations are pure metadata and never change behavior.
+//
+// libstdc++'s std::mutex is not an annotated capability, so annotating code
+// uses the thin wrappers in `hmis/util/sync.hpp` (Mutex, MutexLock,
+// UniqueLock, CondVar) instead of the std types directly.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HMIS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HMIS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability (lockable).
+#define HMIS_CAPABILITY(x) HMIS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability for its lifetime.
+#define HMIS_SCOPED_CAPABILITY HMIS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member `x` may only be read/written while holding the capability.
+#define HMIS_GUARDED_BY(x) HMIS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointee is guarded (the pointer itself is not).
+#define HMIS_PT_GUARDED_BY(x) HMIS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability/ies to be held by the caller.
+#define HMIS_REQUIRES(...) \
+  HMIS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability/ies and does not release them.
+#define HMIS_ACQUIRE(...) \
+  HMIS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability/ies held by the caller.
+#define HMIS_RELEASE(...) \
+  HMIS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define HMIS_TRY_ACQUIRE(ret, ...) \
+  HMIS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the capability/ies (deadlock prevention).
+#define HMIS_EXCLUDES(...) HMIS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the returned object.
+#define HMIS_RETURN_CAPABILITY(x) HMIS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function (document why).
+#define HMIS_NO_THREAD_SAFETY_ANALYSIS \
+  HMIS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,202 @@
+// Tests for the hmis_lint checker: lexer/suppression unit tests plus the
+// fixture corpus under tools/hmis_lint/test/fixtures/.  Every fixture line
+// marked `HMIS-FLAG: <check>` must produce exactly that diagnostic and
+// nothing else — asserted as set equality, so false positives in clean
+// fixtures fail just as loudly as false negatives in flagged ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checks.hpp"
+#include "lint_source.hpp"
+
+namespace {
+
+using hmis::lint::Diagnostic;
+using hmis::lint::SourceFile;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(HMIS_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// (line, check) pairs expected from `HMIS-FLAG: a, b` markers.
+std::set<std::pair<std::size_t, std::string>> expected_flags(
+    const std::string& content) {
+  std::set<std::pair<std::size_t, std::string>> expected;
+  std::istringstream ss(content);
+  std::string line_text;
+  std::size_t line = 0;
+  while (std::getline(ss, line_text)) {
+    ++line;
+    const std::string tag = "HMIS-FLAG:";
+    const std::size_t pos = line_text.find(tag);
+    if (pos == std::string::npos) continue;
+    std::istringstream checks(line_text.substr(pos + tag.size()));
+    std::string check;
+    while (std::getline(checks, check, ',')) {
+      check.erase(std::remove_if(check.begin(), check.end(), ::isspace),
+                  check.end());
+      if (!check.empty()) expected.emplace(line, check);
+    }
+  }
+  return expected;
+}
+
+void expect_fixture_matches(const std::string& name) {
+  std::string content;
+  ASSERT_TRUE(hmis::lint::read_file(fixture_path(name), content))
+      << "missing fixture " << fixture_path(name);
+  const SourceFile file(fixture_path(name), content);
+  std::vector<Diagnostic> diags;
+  hmis::lint::run_checks_on_file(file, {}, diags);
+  std::set<std::pair<std::size_t, std::string>> actual;
+  for (const Diagnostic& d : diags) actual.emplace(d.line, d.check);
+  EXPECT_EQ(actual, expected_flags(content)) << "fixture " << name;
+}
+
+TEST(HmisLintFixtures, NonatomicSharedWriteFlagged) {
+  expect_fixture_matches("nonatomic_shared_write_flagged.cpp");
+}
+TEST(HmisLintFixtures, NonatomicSharedWriteClean) {
+  expect_fixture_matches("nonatomic_shared_write_clean.cpp");
+}
+TEST(HmisLintFixtures, BannedNondeterminismFlagged) {
+  expect_fixture_matches("banned_nondeterminism_flagged.cpp");
+}
+TEST(HmisLintFixtures, BannedNondeterminismClean) {
+  expect_fixture_matches("banned_nondeterminism_clean.cpp");
+}
+TEST(HmisLintFixtures, GrainSentinelFlagged) {
+  expect_fixture_matches("grain_sentinel_flagged.cpp");
+}
+TEST(HmisLintFixtures, GrainSentinelClean) {
+  expect_fixture_matches("grain_sentinel_clean.cpp");
+}
+TEST(HmisLintFixtures, PoolPlumbingFlagged) {
+  expect_fixture_matches("pool_plumbing_flagged.cpp");
+}
+TEST(HmisLintFixtures, PoolPlumbingClean) {
+  expect_fixture_matches("pool_plumbing_clean.cpp");
+}
+
+TEST(HmisLintRegistry, FourChecksRegistered) {
+  std::vector<std::string> names;
+  for (const auto& c : hmis::lint::all_checks()) {
+    names.emplace_back(c->name());
+  }
+  const std::vector<std::string> expected = {
+      "hmis-nonatomic-shared-write", "hmis-banned-nondeterminism",
+      "hmis-grain-sentinel", "hmis-pool-plumbing"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(HmisLintRegistry, CheckFilterSelects) {
+  const std::string src = R"cpp(
+void f(const MisOptions& opt) {
+  ThreadPool& tp = par::global_pool();
+  par::parallel_for(0, 8, [](std::size_t) {}, nullptr, &tp, 64);
+}
+)cpp";
+  const SourceFile file("algo/fake.cpp", src);
+  std::vector<Diagnostic> all;
+  hmis::lint::run_checks_on_file(file, {}, all);
+  ASSERT_EQ(all.size(), 2u);
+  std::vector<Diagnostic> only_pool;
+  hmis::lint::run_checks_on_file(file, {"hmis-pool-plumbing"}, only_pool);
+  ASSERT_EQ(only_pool.size(), 1u);
+  EXPECT_EQ(only_pool[0].check, "hmis-pool-plumbing");
+}
+
+TEST(HmisLintLexer, TokensCarryLineAndColumn) {
+  const SourceFile file("x.cpp", "int a = 1;\n  a += 2;\n");
+  const auto& toks = file.tokens();
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[0].col, 1u);
+  EXPECT_EQ(toks[5].text, "a");
+  EXPECT_EQ(toks[5].line, 2u);
+  EXPECT_EQ(toks[5].col, 3u);
+  EXPECT_EQ(toks[6].text, "+=");  // longest-match punctuator
+}
+
+TEST(HmisLintLexer, CommentsAndStringsAreOpaque) {
+  const SourceFile file("x.cpp",
+                        "// rand() in a comment\n"
+                        "const char* s = \"rand()\";\n"
+                        "auto r = R\"(rand())\";\n");
+  for (const auto& t : file.tokens()) {
+    if (t.kind == hmis::lint::TokenKind::Identifier) {
+      EXPECT_NE(t.text, "rand");
+    }
+  }
+}
+
+TEST(HmisLintSuppressions, NolintVariants) {
+  const SourceFile file("x.cpp",
+                        "int a; // NOLINT\n"
+                        "int b; // NOLINT(hmis-grain-sentinel)\n"
+                        "// NOLINTNEXTLINE(hmis-pool-plumbing)\n"
+                        "int c;\n"
+                        "int d;\n");
+  EXPECT_TRUE(file.suppressed(1, "hmis-grain-sentinel"));  // blanket
+  EXPECT_TRUE(file.suppressed(2, "hmis-grain-sentinel"));
+  EXPECT_FALSE(file.suppressed(2, "hmis-pool-plumbing"));
+  EXPECT_TRUE(file.suppressed(4, "hmis-pool-plumbing"));
+  EXPECT_FALSE(file.suppressed(5, "hmis-pool-plumbing"));
+}
+
+TEST(HmisLintSuppressions, AllowRequiresReason) {
+  const SourceFile with_reason(
+      "x.cpp", "// HMIS_LINT_ALLOW(hmis-banned-nondeterminism: metering)\n"
+               "auto t = clock::now();\n");
+  EXPECT_TRUE(with_reason.suppressed(2, "hmis-banned-nondeterminism"));
+  const SourceFile reasonless(
+      "x.cpp", "// HMIS_LINT_ALLOW(hmis-banned-nondeterminism)\n"
+               "auto t = clock::now();\n");
+  EXPECT_FALSE(reasonless.suppressed(2, "hmis-banned-nondeterminism"));
+  const SourceFile empty_reason(
+      "x.cpp", "// HMIS_LINT_ALLOW(hmis-banned-nondeterminism:   )\n"
+               "auto t = clock::now();\n");
+  EXPECT_FALSE(empty_reason.suppressed(2, "hmis-banned-nondeterminism"));
+}
+
+TEST(HmisLintSource, MatchForwardAndSplitArgs) {
+  const SourceFile file("x.cpp", "f(a, g(b, c), std::pair<int, int>{d, e});");
+  const auto& toks = file.tokens();
+  ASSERT_GT(toks.size(), 2u);
+  ASSERT_EQ(toks[1].text, "(");
+  const std::size_t close = hmis::lint::match_forward(toks, 1);
+  ASSERT_LT(close, toks.size());
+  EXPECT_EQ(toks[close].text, ")");
+  const auto args = hmis::lint::split_args(toks, 1, close);
+  ASSERT_EQ(args.size(), 3u);  // commas inside () {} and <> stay inside
+  EXPECT_EQ(toks[args[0].first].text, "a");
+  EXPECT_EQ(toks[args[1].first].text, "g");
+  EXPECT_EQ(toks[args[2].first].text, "std");
+}
+
+TEST(HmisLintSource, CompileCommandsFiles) {
+  const std::string json = R"([
+    {"directory": "/b", "command": "c++ ...", "file": "/src/z.cpp"},
+    {"directory": "/b", "command": "c++ ...", "file": "/src/a.cpp"},
+    {"directory": "/b", "command": "c++ ...", "file": "/src/a.cpp"}
+  ])";
+  const auto files = hmis::lint::compile_commands_files(json);
+  const std::vector<std::string> expected = {"/src/a.cpp", "/src/z.cpp"};
+  EXPECT_EQ(files, expected);  // sorted, deduplicated
+}
+
+TEST(HmisLintFormat, ClangStyleRendering) {
+  const Diagnostic d{"src/x.cpp", 12, 7, "hmis-grain-sentinel", "msg"};
+  EXPECT_EQ(hmis::lint::format_diagnostic(d),
+            "src/x.cpp:12:7: warning: msg [hmis-grain-sentinel]");
+}
+
+}  // namespace

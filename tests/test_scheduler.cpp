@@ -291,3 +291,33 @@ TEST(SchedulerEdge, ManyConcurrentGroupsOnSharedPool) {
 }
 
 }  // namespace
+
+// ---- Thread-safety annotation fixture ---------------------------------------
+//
+// Deliberate lock-discipline misuse, compiled only by the CMake-driven
+// compile-fail test (hmis_thread_safety_fixture): under clang with
+// -Wthread-safety -Werror these two functions must REFUSE to compile,
+// proving the annotations in util/sync.hpp and the retrofitted headers
+// actually reject the bug class (a PR 3-style unsynchronized write to
+// guarded state).  Never enabled in a normal build.
+#ifdef HMIS_LINT_FIXTURE
+namespace hmis_lint_fixture {
+
+struct GuardedCounter {
+  hmis::util::Mutex mutex;
+  int value HMIS_GUARDED_BY(mutex) = 0;
+
+  void locked_bump() HMIS_REQUIRES(mutex) { ++value; }
+};
+
+// expected-error: writing variable 'value' requires holding mutex
+int write_without_lock(GuardedCounter& c) {
+  c.value = 7;
+  return c.value;
+}
+
+// expected-error: calling function 'locked_bump' requires holding mutex
+void call_requires_without_lock(GuardedCounter& c) { c.locked_bump(); }
+
+}  // namespace hmis_lint_fixture
+#endif  // HMIS_LINT_FIXTURE

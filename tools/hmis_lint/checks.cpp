@@ -1,0 +1,813 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hmis::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::Identifier && t.text == text;
+}
+
+/// True when tokens[i] names a call head: identifier directly followed by
+/// "(".  `allow_member` admits `x.name(...)` / `x->name(...)` heads.
+[[nodiscard]] bool is_call_head(const Tokens& toks, std::size_t i,
+                                bool allow_member) {
+  if (toks[i].kind != TokenKind::Identifier) return false;
+  if (i + 1 >= toks.size() || toks[i + 1].text != "(") return false;
+  if (!allow_member && i > 0 &&
+      (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+    return false;
+  }
+  return true;
+}
+
+/// Skip a template argument list starting at the "<" in toks[i]; returns the
+/// index just past the matching ">" (treating "<<"/">>" as two brackets).
+/// Returns `i` unchanged when toks[i] is not "<".
+[[nodiscard]] std::size_t skip_angles(const Tokens& toks, std::size_t i) {
+  if (i >= toks.size() || toks[i].text != "<") return i;
+  int depth = 0;
+  for (std::size_t k = i; k < toks.size(); ++k) {
+    const std::string& t = toks[k].text;
+    if (t == "<") depth += 1;
+    if (t == "<<") depth += 2;
+    if (t == ">") depth -= 1;
+    if (t == ">>") depth -= 2;
+    if (t == ";" || t == "{") return i;  // ran off the expression: not angles
+    if (depth <= 0) return k + 1;
+  }
+  return i;
+}
+
+/// Nonzero *integer* literal (handles 0x/0b/octal, ' separators, suffixes).
+[[nodiscard]] bool is_nonzero_int_literal(const Token& t) {
+  if (t.kind != TokenKind::Number) return false;
+  std::string digits;
+  for (const char c : t.text) {
+    if (c == '\'') continue;
+    digits.push_back(c);
+  }
+  if (digits.find('.') != std::string::npos) return false;
+  const bool hex =
+      digits.size() > 1 && digits[0] == '0' && (digits[1] == 'x' || digits[1] == 'X');
+  if (!hex && (digits.find('e') != std::string::npos ||
+               digits.find('E') != std::string::npos)) {
+    return false;  // decimal float exponent
+  }
+  while (!digits.empty()) {
+    const char c = digits.back();
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' ||
+        c == 'Z') {
+      digits.pop_back();
+    } else {
+      break;
+    }
+  }
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(digits.c_str(), &end, 0);
+  return end == digits.c_str() + digits.size() && v != 0;
+}
+
+void emit(std::vector<Diagnostic>& out, const SourceFile& file,
+          const Token& at, std::string_view check, std::string message) {
+  out.push_back(
+      {file.path(), at.line, at.col, std::string(check), std::move(message)});
+}
+
+// ---- hmis-grain-sentinel -----------------------------------------------------
+
+/// Grain-taking primitives and the 0-based position of their grain
+/// parameter.  A call that fills every slot up to and including the grain
+/// position with a nonzero integer literal in that slot hardcodes the grain
+/// and bypasses the HMIS_GRAIN override.
+struct GrainSite {
+  std::string_view callee;
+  std::size_t grain_index;
+};
+constexpr GrainSite kGrainSites[] = {
+    {"parallel_for", 5},  {"parallel_for_chunks", 5}, {"reduce", 7},
+    {"reduce_sum", 5},    {"reduce_max", 6},          {"reduce_min", 6},
+    {"count_if", 5},      {"exclusive_scan", 5},      {"inclusive_scan", 5},
+    {"pack_indices_into", 6}, {"pack_indices", 4},    {"parallel_sort", 4},
+    {"plan_chunks", 2},
+};
+
+class GrainSentinelCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "hmis-grain-sentinel";
+  }
+
+  void run(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    const Tokens& toks = file.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::Identifier) continue;
+      const GrainSite* site = nullptr;
+      for (const GrainSite& s : kGrainSites) {
+        if (toks[i].text == s.callee) {
+          site = &s;
+          break;
+        }
+      }
+      if (site == nullptr) continue;
+      // Possibly explicit template args: reduce_sum<std::size_t>(...).
+      std::size_t open = i + 1;
+      if (open < toks.size() && toks[open].text == "<") {
+        open = skip_angles(toks, open);
+      }
+      if (open >= toks.size() || toks[open].text != "(") continue;
+      if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+        continue;  // member of some other type
+      }
+      const std::size_t close = match_forward(toks, open);
+      if (close >= toks.size()) continue;
+      const auto args = split_args(toks, open, close);
+      if (args.size() <= site->grain_index) continue;  // grain defaulted
+      const auto [b, e] = args[site->grain_index];
+      if (e != b + 1) continue;  // not a lone literal (variable, expr, 0u?)
+      if (!is_nonzero_int_literal(toks[b])) continue;
+      emit(out, file, toks[b], name(),
+           "hardcoded grain literal '" + toks[b].text + "' passed to " +
+               std::string(site->callee) +
+               "; use the 0-means-default sentinel so HMIS_GRAIN tunes every "
+               "primitive");
+    }
+  }
+};
+
+// ---- hmis-pool-plumbing ------------------------------------------------------
+
+class PoolPlumbingCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "hmis-pool-plumbing";
+  }
+
+  void run(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    // The par/ layer owns the global-pool machinery; everything else must
+    // thread the caller's pool (CommonOptions::pool et al.) downward.
+    if (file.path().find("/par/") != std::string::npos) return;
+    const Tokens& toks = file.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_call_head(toks, i, /*allow_member=*/false)) continue;
+      if (toks[i].text == "global_pool") {
+        emit(out, file, toks[i], name(),
+             "library code must not reach for global_pool(); thread the "
+             "caller's pool (opt.pool) down instead — entry points resolve "
+             "it once via resolve_pool(opt.pool)");
+        continue;
+      }
+      if (toks[i].text == "resolve_pool") {
+        const std::size_t close = match_forward(toks, i + 1);
+        if (close >= toks.size()) continue;
+        const auto args = split_args(toks, i + 1, close);
+        if (args.size() == 1 && args[0].second == args[0].first + 1 &&
+            is_ident(toks[args[0].first], "nullptr")) {
+          emit(out, file, toks[i], name(),
+               "resolve_pool(nullptr) is global_pool() in disguise; pass the "
+               "caller's pool through");
+        }
+      }
+    }
+  }
+};
+
+// ---- hmis-banned-nondeterminism ----------------------------------------------
+
+constexpr std::string_view kBannedCalls[] = {
+    "rand",  "srand",        "rand_r",       "drand48",
+    "time",  "gettimeofday", "timespec_get", "clock",
+};
+
+class BannedNondeterminismCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "hmis-banned-nondeterminism";
+  }
+
+  void run(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    const Tokens& toks = file.tokens();
+
+    // Pass 1: names declared with an unordered container type.
+    std::unordered_set<std::string> unordered_names;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::Identifier) continue;
+      const std::string& t = toks[i].text;
+      if (t != "unordered_map" && t != "unordered_set" &&
+          t != "unordered_multimap" && t != "unordered_multiset") {
+        continue;
+      }
+      std::size_t j = skip_angles(toks, i + 1);
+      // Reference/pointer declarators and cv-qualifiers sit between the
+      // template-id and the declared name: unordered_map<K, V>& histo.
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "&&" ||
+              toks[j].text == "*" || toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::Identifier) {
+        unordered_names.insert(toks[j].text);
+      }
+    }
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& tok = toks[i];
+      if (tok.kind != TokenKind::Identifier) continue;
+
+      // Entropy from the environment.
+      if (tok.text == "random_device") {
+        emit(out, file, tok, name(),
+             "std::random_device draws nondeterministic entropy; derive all "
+             "randomness from the request seed via util::CounterRng");
+        continue;
+      }
+      // C RNG / wall-clock calls.
+      if (is_call_head(toks, i, /*allow_member=*/false)) {
+        for (const std::string_view banned : kBannedCalls) {
+          if (tok.text == banned) {
+            emit(out, file, tok, name(),
+                 "'" + tok.text +
+                     "()' is a nondeterministic source; results must be pure "
+                     "functions of the seed (counter-RNG) and timing must go "
+                     "through util::Timer");
+            break;
+          }
+        }
+      }
+      // Any clock's ::now() — steady_clock, system_clock, etc.
+      if (tok.text == "now" && i > 0 && toks[i - 1].text == "::" &&
+          i + 1 < toks.size() && toks[i + 1].text == "(") {
+        emit(out, file, tok, name(),
+             "clock ::now() in library code; wall time must not feed result "
+             "paths (wrap metering in util::Timer and justify with "
+             "HMIS_LINT_ALLOW)");
+        continue;
+      }
+      // Iteration over unordered containers: range-for and .begin().
+      if (tok.text == "for" && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        const std::size_t close = match_forward(toks, i + 1);
+        if (close >= toks.size()) continue;
+        // The range-for colon is a lone ":" at top level ("::" is one token).
+        int depth = 0;
+        for (std::size_t k = i + 2; k < close; ++k) {
+          const std::string& t = toks[k].text;
+          if (t == "(" || t == "[" || t == "{") ++depth;
+          if (t == ")" || t == "]" || t == "}") --depth;
+          if (depth == 0 && t == ":") {
+            for (std::size_t r = k + 1; r < close; ++r) {
+              if (toks[r].kind == TokenKind::Identifier &&
+                  unordered_names.count(toks[r].text) != 0) {
+                emit(out, file, toks[r], name(),
+                     "iteration over unordered container '" + toks[r].text +
+                         "' — hash order must not feed output order; sort "
+                         "first or use a sorted container");
+                break;
+              }
+            }
+            break;
+          }
+        }
+        continue;
+      }
+      if ((tok.text == "begin" || tok.text == "cbegin" ||
+           tok.text == "rbegin") &&
+          i >= 2 && (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+          toks[i - 2].kind == TokenKind::Identifier &&
+          unordered_names.count(toks[i - 2].text) != 0 &&
+          i + 1 < toks.size() && toks[i + 1].text == "(") {
+        emit(out, file, toks[i - 2], name(),
+             "iteration over unordered container '" + toks[i - 2].text +
+                 "' — hash order must not feed output order; sort first or "
+                 "use a sorted container");
+        continue;
+      }
+      // Address-as-value ordering.
+      if (tok.text == "reinterpret_cast" && i + 1 < toks.size() &&
+          toks[i + 1].text == "<") {
+        const std::size_t end = skip_angles(toks, i + 1);
+        for (std::size_t k = i + 2; k + 1 < end; ++k) {
+          if (toks[k].text == "uintptr_t" || toks[k].text == "intptr_t") {
+            emit(out, file, tok, name(),
+                 "reinterpret_cast to an integer address: pointer values are "
+                 "allocation-order nondeterministic and must not feed "
+                 "ordering or hashing");
+            break;
+          }
+        }
+        continue;
+      }
+      if (tok.text == "less" && i + 1 < toks.size() &&
+          toks[i + 1].text == "<") {
+        const std::size_t end = skip_angles(toks, i + 1);
+        for (std::size_t k = i + 2; k + 1 < end; ++k) {
+          if (toks[k].text == "*") {
+            emit(out, file, tok, name(),
+                 "std::less over pointers orders by address — "
+                 "allocation-order nondeterminism; order by id or value "
+                 "instead");
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---- hmis-nonatomic-shared-write ---------------------------------------------
+
+/// Backward partner of match_forward: toks[close] is ] ) or }; returns the
+/// index of the matching opener, or npos-equivalent (toks.size()).
+[[nodiscard]] std::size_t match_backward(const Tokens& toks,
+                                         std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (toks[i].kind != TokenKind::Punct) continue;
+    const std::string& t = toks[i].text;
+    if (t == ")" || t == "]" || t == "}") ++depth;
+    if (t == "(" || t == "[" || t == "{") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+constexpr std::string_view kAssignOps[] = {
+    "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+};
+
+/// Keywords that look like a preceding "type" in the local-declaration scan.
+[[nodiscard]] bool is_decl_blocker(const std::string& t) {
+  static const std::unordered_set<std::string> kBlockers = {
+      "return", "else",     "case",    "goto",   "new",      "delete",
+      "throw",  "sizeof",   "if",      "while",  "for",      "switch",
+      "do",     "using",    "namespace", "template", "operator", "catch",
+      "co_return", "co_yield", "co_await", "typedef", "break", "continue",
+  };
+  return kBlockers.count(t) != 0;
+}
+
+/// Calls that do not launder disjointness away in the taint analysis: pure
+/// order/cast helpers through which a chunk-local index stays chunk-local.
+[[nodiscard]] bool is_transparent_call(const std::string& t) {
+  static const std::unordered_set<std::string> kTransparent = {
+      "min", "max", "static_cast", "const_cast", "size_t", "ptrdiff_t",
+  };
+  return kTransparent.count(t) != 0;
+}
+
+struct LambdaInfo {
+  bool by_ref_default = false;
+  std::unordered_set<std::string> ref_captures;
+  std::unordered_set<std::string> params;
+  std::size_t body_begin = 0;  // token index just inside '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+  bool valid = false;
+};
+
+/// Parse a lambda whose '[' is at toks[open].
+[[nodiscard]] LambdaInfo parse_lambda(const Tokens& toks, std::size_t open) {
+  LambdaInfo info;
+  const std::size_t cap_close = match_forward(toks, open);
+  if (cap_close >= toks.size()) return info;
+  for (const auto& [b, e] : split_args(toks, open, cap_close)) {
+    if (b >= e) continue;
+    if (toks[b].text == "&") {
+      if (e == b + 1) {
+        info.by_ref_default = true;
+      } else if (toks[b + 1].kind == TokenKind::Identifier) {
+        info.ref_captures.insert(toks[b + 1].text);  // &x and &x = expr
+      }
+    }
+  }
+  std::size_t i = cap_close + 1;
+  if (i < toks.size() && toks[i].text == "(") {
+    const std::size_t pclose = match_forward(toks, i);
+    if (pclose >= toks.size()) return info;
+    for (const auto& [b, e] : split_args(toks, i, pclose)) {
+      // Last identifier of the declarator is the parameter name.
+      for (std::size_t k = e; k-- > b;) {
+        if (toks[k].kind == TokenKind::Identifier) {
+          info.params.insert(toks[k].text);
+          break;
+        }
+      }
+    }
+    i = pclose + 1;
+  }
+  while (i < toks.size() && toks[i].text != "{") {
+    if (toks[i].text == ";" || toks[i].text == ")") return info;  // not a body
+    ++i;
+  }
+  if (i >= toks.size()) return info;
+  const std::size_t body_close = match_forward(toks, i);
+  if (body_close >= toks.size()) return info;
+  info.body_begin = i + 1;
+  info.body_end = body_close;
+  info.valid = true;
+  return info;
+}
+
+/// One write found in a lambda body.
+struct Write {
+  std::size_t base;            // token index of the base identifier
+  bool has_subscript = false;  // base[...] present
+  std::size_t sub_begin = 0;   // tokens inside the first subscript
+  std::size_t sub_end = 0;
+};
+
+/// Extract the lvalue written by the operator at `op` (an assignment token,
+/// or the target side of ++/--).  Returns false when the shape is not a
+/// recognizable ident / ident[expr] / ident.member... chain.
+[[nodiscard]] bool extract_lvalue(const Tokens& toks, std::size_t body_begin,
+                                  std::size_t end_excl, Write& w) {
+  // Walk backwards over a postfix chain: ident ([..] | .ident | ->ident)*
+  std::size_t i = end_excl;
+  std::size_t first_sub_open = toks.size();
+  std::size_t first_sub_close = toks.size();
+  std::size_t base = toks.size();
+  while (i > body_begin) {
+    const Token& t = toks[i - 1];
+    if (t.text == "]") {
+      const std::size_t open = match_backward(toks, i - 1);
+      if (open >= toks.size() || open < body_begin) return false;
+      first_sub_open = open;
+      first_sub_close = i - 1;
+      i = open;
+      continue;
+    }
+    if (t.kind == TokenKind::Identifier) {
+      base = i - 1;
+      if (i - 1 > body_begin) {
+        const std::string& prev = toks[i - 2].text;
+        if (prev == "." || prev == "->") {
+          i -= 2;  // member chain: keep walking to the true base
+          continue;
+        }
+        if (prev == "::") return false;  // qualified name: not a capture
+      }
+      break;
+    }
+    return false;  // ')' or operator: unanalyzable lvalue (skip, stay quiet)
+  }
+  if (base >= toks.size()) return false;
+  w.base = base;
+  // Only a subscript on the *base* segment proves per-index disjointness;
+  // the last-seen subscript while walking backwards is the leftmost one.
+  if (first_sub_open < toks.size() && first_sub_open > base) {
+    w.has_subscript = true;
+    w.sub_begin = first_sub_open + 1;
+    w.sub_end = first_sub_close;
+  }
+  return true;
+}
+
+class NonatomicSharedWriteCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "hmis-nonatomic-shared-write";
+  }
+
+  void run(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    const Tokens& toks = file.tokens();
+
+    // Names declared std::atomic / atomic_ref anywhere in the file: writes
+    // through them are synchronization, not races.
+    std::unordered_set<std::string> atomic_names;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if (t != "atomic" && t != "atomic_ref" && t != "atomic_flag") continue;
+      std::size_t j = skip_angles(toks, i + 1);
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "&&" ||
+              toks[j].text == "*" || toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokenKind::Identifier) {
+        atomic_names.insert(toks[j].text);
+      }
+    }
+
+    // Chunked parallel primitives: the body lambda's writes must be atomic
+    // or land in per-chunk disjoint index ranges.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::Identifier) continue;
+      const std::string& callee = toks[i].text;
+      if (callee != "parallel_for" && callee != "parallel_for_chunks" &&
+          callee != "run_chunks") {
+        continue;
+      }
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      const std::size_t close = match_forward(toks, i + 1);
+      if (close >= toks.size()) continue;
+      for (const auto& [b, e] : split_args(toks, i + 1, close)) {
+        if (b < e && toks[b].text == "[") {
+          analyze_lambda(file, toks, b, atomic_names, out);
+        }
+      }
+    }
+
+    // TaskGroup closures: flag an identifier written by-reference in two or
+    // more closures of the same group — those closures run concurrently.
+    analyze_task_groups(file, toks, atomic_names, out);
+  }
+
+ private:
+  void analyze_lambda(const SourceFile& file, const Tokens& toks,
+                      std::size_t open,
+                      const std::unordered_set<std::string>& atomic_names,
+                      std::vector<Diagnostic>& out) const {
+    const LambdaInfo lam = parse_lambda(toks, open);
+    if (!lam.valid) return;
+    if (!lam.by_ref_default && lam.ref_captures.empty()) return;
+
+    // Pass A: locals and chunk-index taint.  A name is *tainted* when its
+    // value is derived from a lambda parameter (the chunk/index argument)
+    // by pure arithmetic — writes subscripted by a tainted expression hit
+    // per-chunk disjoint ranges.  Loads through calls (mh.edge(...)) and
+    // range-for element bindings yield *values*, which different chunks can
+    // share, so they deliberately break the derivation.
+    std::unordered_set<std::string> locals;
+    std::unordered_set<std::string> tainted;
+    for (const std::string& p : lam.params) tainted.insert(p);
+
+    auto expr_tainted = [&](std::size_t b, std::size_t e) {
+      bool has_tainted = false;
+      for (std::size_t k = b; k < e; ++k) {
+        if (toks[k].kind != TokenKind::Identifier) continue;
+        if (k + 1 < e && toks[k + 1].text == "(" &&
+            !is_transparent_call(toks[k].text)) {
+          return false;  // value laundered through a call
+        }
+        if (tainted.count(toks[k].text) != 0) has_tainted = true;
+      }
+      return has_tainted;
+    };
+
+    // Positions that continue a multi-declarator statement, e.g. `b` in
+    // `const VertexId a = verts[0], b = verts[1];`.
+    std::unordered_set<std::size_t> chained_decls;
+    for (std::size_t k = lam.body_begin; k < lam.body_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokenKind::Identifier || is_decl_blocker(t.text)) continue;
+      if (k == lam.body_begin) continue;
+      const Token& prev = toks[k - 1];
+      const bool decl_shaped =
+          (prev.kind == TokenKind::Identifier && !is_decl_blocker(prev.text)) ||
+          prev.text == ">" || prev.text == "*" || prev.text == "&" ||
+          prev.text == "&&" || chained_decls.count(k) != 0;
+      if (!decl_shaped) continue;
+      if (k + 1 >= lam.body_end) continue;
+      const std::string& next = toks[k + 1].text;
+      if (next == "=" && k + 2 < lam.body_end) {
+        // Declaration with initializer: find the init expression's end.
+        std::size_t e = k + 2;
+        int depth = 0;
+        while (e < lam.body_end) {
+          const std::string& tt = toks[e].text;
+          if (tt == "(" || tt == "[" || tt == "{") ++depth;
+          if (tt == ")" || tt == "]" || tt == "}") {
+            if (depth == 0) break;
+            --depth;
+          }
+          if (depth == 0 && (tt == ";" || tt == ",")) break;
+          ++e;
+        }
+        if (e < lam.body_end && toks[e].text == ",") {
+          chained_decls.insert(e + 1);  // next declarator in the statement
+        }
+        locals.insert(t.text);
+        if (expr_tainted(k + 2, e)) {
+          tainted.insert(t.text);
+        } else {
+          tainted.erase(t.text);
+        }
+      } else if (next == ";" || next == "{" || next == ":" || next == ",") {
+        if (next == ",") chained_decls.insert(k + 2);  // `int a, b;`
+        locals.insert(t.text);  // plain decl / range-for binding: untainted
+        tainted.erase(t.text);
+      }
+    }
+
+    // Pass B: writes.
+    auto handle_write = [&](const Write& w) {
+      const std::string& base = toks[w.base].text;
+      if (locals.count(base) != 0 || lam.params.count(base) != 0) return;
+      if (atomic_names.count(base) != 0) return;
+      if (!lam.by_ref_default && lam.ref_captures.count(base) == 0) return;
+      if (w.has_subscript && expr_tainted(w.sub_begin, w.sub_end)) return;
+      const std::string where =
+          w.has_subscript
+              ? "subscript is not derived from the chunk/loop parameter"
+              : "scalar/member store";
+      emit(out, file, toks[w.base], name(),
+           "plain store to by-ref captured '" + base +
+               "' inside a parallel body (" + where +
+               "): distinct chunks may hit the same location — use "
+               "std::atomic_ref (idempotent relaxed store) or write only to "
+               "per-chunk disjoint index ranges");
+    };
+
+    for (std::size_t k = lam.body_begin; k < lam.body_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokenKind::Punct) continue;
+      bool is_assign = false;
+      for (const std::string_view op : kAssignOps) {
+        if (t.text == op) {
+          is_assign = true;
+          break;
+        }
+      }
+      Write w;
+      if (is_assign) {
+        if (extract_lvalue(toks, lam.body_begin, k, w)) handle_write(w);
+      } else if (t.text == "++" || t.text == "--") {
+        if (k + 1 < lam.body_end &&
+            toks[k + 1].kind == TokenKind::Identifier) {
+          // Prefix: scan forward over the postfix chain to its end.
+          std::size_t e = k + 1;
+          while (e < lam.body_end) {
+            if (toks[e].kind == TokenKind::Identifier) {
+              ++e;
+            } else if (toks[e].text == "[") {
+              e = match_forward(toks, e) + 1;
+            } else if (toks[e].text == "." || toks[e].text == "->") {
+              ++e;
+            } else {
+              break;
+            }
+          }
+          if (extract_lvalue(toks, k + 1, e, w)) handle_write(w);
+        } else if (extract_lvalue(toks, lam.body_begin, k, w)) {
+          handle_write(w);  // postfix
+        }
+      }
+    }
+  }
+
+  struct ClosureWrite {
+    std::size_t closure = 0;  // 1-based closure ordinal within the group
+    std::size_t token = 0;    // token index of the written base identifier
+  };
+
+  void analyze_task_groups(const SourceFile& file, const Tokens& toks,
+                           const std::unordered_set<std::string>& atomic_names,
+                           std::vector<Diagnostic>& out) const {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "TaskGroup")) continue;
+      if (i + 1 >= toks.size() ||
+          toks[i + 1].kind != TokenKind::Identifier) {
+        continue;
+      }
+      const std::string group = toks[i + 1].text;
+      // Collect by-ref writes per closure of this group within the file.  An
+      // identifier written from a single closure is that closure's private
+      // output (the sbl/bl left/right pattern); written from two or more, the
+      // closures race on it.
+      std::unordered_map<std::string, std::vector<ClosureWrite>> writers;
+      std::size_t closures = 0;
+      for (std::size_t k = i + 2; k + 3 < toks.size(); ++k) {
+        if (!is_ident(toks[k], group) || toks[k + 1].text != "." ||
+            !is_ident(toks[k + 2], "run") || toks[k + 3].text != "(") {
+          continue;
+        }
+        const std::size_t close = match_forward(toks, k + 3);
+        if (close >= toks.size()) continue;
+        const auto args = split_args(toks, k + 3, close);
+        if (args.empty() || toks[args[0].first].text != "[") continue;
+        const LambdaInfo lam = parse_lambda(toks, args[0].first);
+        if (!lam.valid) continue;
+        ++closures;
+        collect_closure_writes(toks, lam, atomic_names, closures, writers);
+        k = close;
+      }
+      for (const auto& [ident, hits] : writers) {
+        const bool multi_closure =
+            std::any_of(hits.begin(), hits.end(), [&](const ClosureWrite& h) {
+              return h.closure != hits.front().closure;
+            });
+        if (!multi_closure) continue;
+        for (const ClosureWrite& hit : hits) {
+          emit(out, file, toks[hit.token], name(),
+               "'" + ident +
+                   "' is written by-reference from more than one closure of "
+                   "TaskGroup '" + group +
+                   "' — closures run concurrently; give each closure its own "
+                   "output or use std::atomic_ref");
+        }
+      }
+    }
+  }
+
+  void collect_closure_writes(
+      const Tokens& toks, const LambdaInfo& lam,
+      const std::unordered_set<std::string>& atomic_names, std::size_t closure,
+      std::unordered_map<std::string, std::vector<ClosureWrite>>& writers)
+      const {
+    if (!lam.by_ref_default && lam.ref_captures.empty()) return;
+    // Locals declared in the closure body (decl-shaped predecessor, same
+    // approximation as the chunked analysis).
+    std::unordered_set<std::string> locals;
+    for (std::size_t k = lam.body_begin; k < lam.body_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokenKind::Identifier || is_decl_blocker(t.text)) continue;
+      if (k == lam.body_begin) continue;
+      const Token& prev = toks[k - 1];
+      if ((prev.kind == TokenKind::Identifier && !is_decl_blocker(prev.text)) ||
+          prev.text == ">" || prev.text == "*" || prev.text == "&" ||
+          prev.text == "&&") {
+        locals.insert(t.text);
+      }
+    }
+    for (std::size_t k = lam.body_begin; k < lam.body_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokenKind::Punct) continue;
+      bool is_assign = false;
+      for (const std::string_view op : kAssignOps) {
+        if (t.text == op) {
+          is_assign = true;
+          break;
+        }
+      }
+      Write w;
+      bool got = false;
+      if (is_assign) {
+        got = extract_lvalue(toks, lam.body_begin, k, w);
+      } else if (t.text == "++" || t.text == "--") {
+        if (k + 1 < lam.body_end &&
+            toks[k + 1].kind == TokenKind::Identifier) {
+          got = extract_lvalue(toks, k + 1, k + 2, w);  // prefix
+        } else {
+          got = extract_lvalue(toks, lam.body_begin, k, w);  // postfix
+        }
+      }
+      if (!got) continue;
+      const std::string& base = toks[w.base].text;
+      if (locals.count(base) != 0 || lam.params.count(base) != 0) continue;
+      if (atomic_names.count(base) != 0) continue;
+      if (!lam.by_ref_default && lam.ref_captures.count(base) == 0) continue;
+      writers[base].push_back({closure, w.base});
+    }
+  }
+};
+
+}  // namespace
+
+// ---- Registry and driver -----------------------------------------------------
+
+const std::vector<std::unique_ptr<Check>>& all_checks() {
+  static const std::vector<std::unique_ptr<Check>> checks = [] {
+    std::vector<std::unique_ptr<Check>> v;
+    v.push_back(std::make_unique<NonatomicSharedWriteCheck>());
+    v.push_back(std::make_unique<BannedNondeterminismCheck>());
+    v.push_back(std::make_unique<GrainSentinelCheck>());
+    v.push_back(std::make_unique<PoolPlumbingCheck>());
+    return v;
+  }();
+  return checks;
+}
+
+void run_checks_on_file(const SourceFile& file,
+                        const std::vector<std::string>& checks,
+                        std::vector<Diagnostic>& out) {
+  std::vector<Diagnostic> found;
+  for (const auto& check : all_checks()) {
+    if (!checks.empty() &&
+        std::find(checks.begin(), checks.end(), check->name()) ==
+            checks.end()) {
+      continue;
+    }
+    check->run(file, found);
+  }
+  found.erase(std::remove_if(found.begin(), found.end(),
+                             [&](const Diagnostic& d) {
+                               return file.suppressed(d.line, d.check);
+                             }),
+              found.end());
+  std::sort(found.begin(), found.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.line, a.col, a.check) <
+                     std::tie(b.line, b.col, b.check);
+            });
+  out.insert(out.end(), std::make_move_iterator(found.begin()),
+             std::make_move_iterator(found.end()));
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  std::ostringstream ss;
+  ss << d.file << ":" << d.line << ":" << d.col << ": warning: " << d.message
+     << " [" << d.check << "]";
+  return ss.str();
+}
+
+}  // namespace hmis::lint

@@ -1,0 +1,63 @@
+// hmis_lint checks: the four project-contract rules (DESIGN.md §8).
+//
+//   hmis-nonatomic-shared-write   plain stores through by-ref-captured state
+//                                 inside parallel_for / parallel_for_chunks /
+//                                 run_chunks bodies (and racing TaskGroup
+//                                 closures) unless atomic or provably into
+//                                 per-chunk disjoint index ranges — the PR 3
+//                                 inhibit-byte bug class.
+//   hmis-banned-nondeterminism    std::random_device / rand / time / *::now()
+//                                 in library code, iteration over
+//                                 unordered_{map,set}, address-as-value
+//                                 ordering — counter-RNG and sorted orders
+//                                 only.
+//   hmis-grain-sentinel           hardcoded nonzero grain literals passed to
+//                                 the parallel primitives instead of the
+//                                 0-means-default sentinel (which is what the
+//                                 HMIS_GRAIN override hooks).
+//   hmis-pool-plumbing            global_pool() (or resolve_pool(nullptr))
+//                                 reached for from inside src/hmis/ library
+//                                 code instead of threading opt.pool — the
+//                                 permutation_mis review bug class.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_source.hpp"
+
+namespace hmis::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string check;
+  std::string message;
+};
+
+class Check {
+ public:
+  virtual ~Check() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Append diagnostics for `file`.  Suppression filtering happens in the
+  /// driver, not here.
+  virtual void run(const SourceFile& file,
+                   std::vector<Diagnostic>& out) const = 0;
+};
+
+/// All registered checks, in stable (reporting) order.
+[[nodiscard]] const std::vector<std::unique_ptr<Check>>& all_checks();
+
+/// Run `checks` (empty = all) over one file, apply suppressions, and append
+/// the surviving diagnostics sorted by (line, col, check).
+void run_checks_on_file(const SourceFile& file,
+                        const std::vector<std::string>& checks,
+                        std::vector<Diagnostic>& out);
+
+/// clang-tidy-style rendering: `file:line:col: warning: msg [check]`.
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
+
+}  // namespace hmis::lint

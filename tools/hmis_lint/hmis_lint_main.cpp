@@ -1,0 +1,142 @@
+// hmis_lint driver.
+//
+// Usage:
+//   hmis_lint [--compile-commands <path>] [--check <name>]...
+//             [--filter <path-prefix>] [--list-checks] [file...]
+//
+// Files come from explicit arguments plus (when --compile-commands is given)
+// the distinct "file" entries of the database, sorted for deterministic
+// output.  Exit status is 1 when any diagnostic survives suppression, 2 on
+// usage/IO errors, 0 otherwise.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "lint_source.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int rc) {
+  os << "usage: hmis_lint [--compile-commands <path>] [--check <name>]...\n"
+        "                 [--filter <path-prefix>] [--list-checks] [file...]\n"
+        "\n"
+        "Runs the hmis project checks over the given sources (and every file\n"
+        "listed in the compile_commands.json, when provided).  --check limits\n"
+        "the run to the named checks; --filter keeps only files whose path\n"
+        "starts with the prefix.  Exits 1 if any diagnostic is emitted.\n";
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> checks;
+  std::vector<std::string> filters;
+  std::string compile_commands;
+  bool list_checks = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "hmis_lint: missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg == "--compile-commands") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      compile_commands = v;
+    } else if (arg == "--check") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      checks.emplace_back(v);
+    } else if (arg == "--filter") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      filters.emplace_back(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "hmis_lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_checks) {
+    for (const auto& check : hmis::lint::all_checks()) {
+      std::cout << check->name() << "\n";
+    }
+    return 0;
+  }
+
+  for (const std::string& name : checks) {
+    const auto& all = hmis::lint::all_checks();
+    const bool known =
+        std::any_of(all.begin(), all.end(),
+                     [&](const auto& c) { return c->name() == name; });
+    if (!known) {
+      std::cerr << "hmis_lint: unknown check '" << name
+                << "' (see --list-checks)\n";
+      return 2;
+    }
+  }
+
+  if (!compile_commands.empty()) {
+    std::string json;
+    if (!hmis::lint::read_file(compile_commands, json)) {
+      std::cerr << "hmis_lint: cannot read " << compile_commands << "\n";
+      return 2;
+    }
+    for (std::string& f : hmis::lint::compile_commands_files(json)) {
+      files.push_back(std::move(f));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  if (!filters.empty()) {
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [&](const std::string& f) {
+                                 return std::none_of(
+                                     filters.begin(), filters.end(),
+                                     [&](const std::string& p) {
+                                       return f.rfind(p, 0) == 0;
+                                     });
+                               }),
+                files.end());
+  }
+  if (files.empty()) {
+    std::cerr << "hmis_lint: no input files\n";
+    return usage(std::cerr, 2);
+  }
+
+  bool io_error = false;
+  std::vector<hmis::lint::Diagnostic> diags;
+  for (const std::string& path : files) {
+    std::string content;
+    if (!hmis::lint::read_file(path, content)) {
+      std::cerr << "hmis_lint: cannot read " << path << "\n";
+      io_error = true;
+      continue;
+    }
+    const hmis::lint::SourceFile file(path, content);
+    hmis::lint::run_checks_on_file(file, checks, diags);
+  }
+
+  for (const auto& d : diags) {
+    std::cout << hmis::lint::format_diagnostic(d) << "\n";
+  }
+  std::cerr << "hmis_lint: " << diags.size() << " diagnostic"
+            << (diags.size() == 1 ? "" : "s") << " across " << files.size()
+            << " file" << (files.size() == 1 ? "" : "s") << "\n";
+  if (io_error) return 2;
+  return diags.empty() ? 0 : 1;
+}

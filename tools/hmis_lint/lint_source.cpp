@@ -1,0 +1,300 @@
+#include "lint_source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace hmis::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$';
+}
+[[nodiscard]] bool ident_cont(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuators, longest first so greedy matching works.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  ".*",
+};
+
+}  // namespace
+
+SourceFile::SourceFile(std::string path, std::string_view src)
+    : path_(std::move(path)) {
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  const std::size_t n = src.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+    // Line comment: harvest suppressions, skip to newline.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t comment_line = line;
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      add_suppression(comment_line, src.substr(i + 2, end - i - 2));
+      advance(end - i);
+      continue;
+    }
+    // Block comment: suppressions attach to the line the comment starts on.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t comment_line = line;
+      std::size_t end = src.find("*/", i + 2);
+      end = end == std::string_view::npos ? n : end + 2;
+      add_suppression(comment_line, src.substr(i + 2, end - i - 2));
+      advance(end - i);
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string delim(src.substr(i + 2, d - i - 2));
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, d);
+      end = end == std::string_view::npos ? n : end + closer.size();
+      tokens_.push_back({TokenKind::String, std::string(src.substr(i, end - i)),
+                         tok_line, tok_col});
+      code_lines_.insert(tok_line);
+      advance(end - i);
+      continue;
+    }
+    // String / char literal (backslash escapes, no line continuation).
+    if (c == '"' || c == '\'') {
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        j += src[j] == '\\' ? 2 : 1;
+      }
+      const std::size_t end = std::min(n, j + 1);
+      tokens_.push_back({TokenKind::String, std::string(src.substr(i, end - i)),
+                         tok_line, tok_col});
+      code_lines_.insert(tok_line);
+      advance(end - i);
+      continue;
+    }
+    // Preprocessor directive: lex the line normally except the leading '#'
+    // (checks want to see e.g. `#include <chrono>` tokens — '#', 'include').
+    // Number (incl. leading-dot floats and digit separators / suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      std::size_t j = i;
+      while (j < n && (ident_cont(src[j]) || src[j] == '\'' || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      tokens_.push_back(
+          {TokenKind::Number, std::string(src.substr(i, j - i)), tok_line,
+           tok_col});
+      code_lines_.insert(tok_line);
+      advance(j - i);
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      std::size_t j = i;
+      while (j < n && ident_cont(src[j])) ++j;
+      tokens_.push_back(
+          {TokenKind::Identifier, std::string(src.substr(i, j - i)), tok_line,
+           tok_col});
+      code_lines_.insert(tok_line);
+      advance(j - i);
+      continue;
+    }
+    // Punctuator, longest match first.
+    {
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      std::size_t len = 1;
+      for (const std::string_view p : kPuncts) {
+        if (src.substr(i, p.size()) == p) {
+          len = p.size();
+          break;
+        }
+      }
+      tokens_.push_back(
+          {TokenKind::Punct, std::string(src.substr(i, len)), tok_line,
+           tok_col});
+      code_lines_.insert(tok_line);
+      advance(len);
+    }
+  }
+}
+
+void SourceFile::add_suppression(std::size_t line,
+                                 std::string_view body) {
+  const auto note = [&](std::size_t target, std::string check) {
+    suppressions_[target].insert(std::move(check));
+  };
+  // NOLINTNEXTLINE / NOLINT, optionally with a (check,check) list.
+  for (const bool next_line : {true, false}) {
+    const std::string_view tag = next_line ? "NOLINTNEXTLINE" : "NOLINT";
+    std::size_t pos = body.find(tag);
+    // "NOLINT" also occurs inside "NOLINTNEXTLINE"; skip that hit.
+    while (!next_line && pos != std::string_view::npos &&
+           body.substr(pos).rfind("NOLINTNEXTLINE", 0) == 0) {
+      pos = body.find(tag, pos + tag.size());
+    }
+    if (pos == std::string_view::npos) continue;
+    const std::size_t target = next_line ? line + 1 : line;
+    const std::size_t after = pos + tag.size();
+    if (after < body.size() && body[after] == '(') {
+      const std::size_t close = body.find(')', after);
+      std::string list(body.substr(after + 1,
+                                   close == std::string_view::npos
+                                       ? std::string_view::npos
+                                       : close - after - 1));
+      std::stringstream ss(list);
+      std::string check;
+      while (std::getline(ss, check, ',')) {
+        check.erase(std::remove_if(check.begin(), check.end(), ::isspace),
+                    check.end());
+        if (!check.empty()) note(target, check);
+      }
+    } else {
+      note(target, "");  // blanket
+    }
+  }
+  // HMIS_LINT_ALLOW(check-name: reason) — the project suppression, which
+  // *requires* a justification after the colon.
+  constexpr std::string_view kAllow = "HMIS_LINT_ALLOW(";
+  const std::size_t pos = body.find(kAllow);
+  if (pos == std::string_view::npos) return;
+  const std::size_t open = pos + kAllow.size() - 1;
+  const std::size_t close = body.find(')', open);
+  if (close == std::string_view::npos) return;
+  const std::string_view inner = body.substr(open + 1, close - open - 1);
+  const std::size_t colon = inner.find(':');
+  if (colon == std::string_view::npos) return;
+  std::string check(inner.substr(0, colon));
+  check.erase(std::remove_if(check.begin(), check.end(), ::isspace),
+              check.end());
+  std::string_view reason = inner.substr(colon + 1);
+  while (!reason.empty() && std::isspace(static_cast<unsigned char>(
+                                reason.front())) != 0) {
+    reason.remove_prefix(1);
+  }
+  if (check.empty() || reason.empty()) return;  // reason is mandatory
+  // A trailing allow suppresses its own line; an allow on a comment-only
+  // line suppresses the next code line (resolved lazily in suppressed()).
+  suppressions_[line].insert(check);
+  suppressions_[line + 1].insert(check);
+}
+
+bool SourceFile::suppressed(std::size_t line, std::string_view check) const {
+  const auto it = suppressions_.find(line);
+  if (it == suppressions_.end()) return false;
+  return it->second.count("") != 0 ||
+         it->second.count(std::string(check)) != 0;
+}
+
+bool read_file(const std::string& path, std::string& content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  content = ss.str();
+  return true;
+}
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open) {
+  const std::string& o = tokens[open].text;
+  const std::string close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::Punct) continue;
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") {
+      --depth;
+      if (depth == 0) {
+        return t == close ? i : tokens.size();  // mismatched kind: bail
+      }
+    }
+  }
+  return tokens.size();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& tokens, std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  if (close <= open + 1) return args;  // zero args
+  int paren = 0;
+  int angle = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& t = tokens[i].text;
+    if (tokens[i].kind == TokenKind::Punct) {
+      if (t == "(" || t == "[" || t == "{") ++paren;
+      if (t == ")" || t == "]" || t == "}") --paren;
+      // Angle tracking is heuristic (comparisons look like brackets); only
+      // trust it when it stays balanced within the argument.
+      if (t == "<") ++angle;
+      if (t == ">") angle = std::max(0, angle - 1);
+      if (t == "," && paren == 0 && angle == 0) {
+        args.emplace_back(begin, i);
+        begin = i + 1;
+      }
+    }
+  }
+  args.emplace_back(begin, close);
+  return args;
+}
+
+std::vector<std::string> compile_commands_files(std::string_view json) {
+  std::vector<std::string> files;
+  constexpr std::string_view kKey = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(kKey, pos)) != std::string_view::npos) {
+    pos += kKey.size();
+    while (pos < json.size() &&
+           (json[pos] == ':' ||
+            std::isspace(static_cast<unsigned char>(json[pos])) != 0)) {
+      ++pos;
+    }
+    if (pos >= json.size() || json[pos] != '"') continue;
+    const std::size_t end = json.find('"', pos + 1);
+    if (end == std::string_view::npos) break;
+    files.emplace_back(json.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace hmis::lint

@@ -1,0 +1,90 @@
+// hmis_lint source layer: lexing C++ into a token stream plus the
+// comment-driven suppression map (NOLINT / HMIS_LINT_ALLOW).
+//
+// hmis_lint is a first-party, dependency-free checker in the clang-tidy
+// mold: a registry of named checks runs over the translation units listed in
+// compile_commands.json and emits `file:line:col: warning: ... [check-name]`
+// diagnostics.  The checks enforce *syntactic* project contracts (DESIGN.md
+// §8) — which writes appear inside parallel bodies, which RNG/clock sources
+// are named, which literal arguments reach the parallel primitives — so a
+// deterministic lexer plus small structural parsers is the right tool; no
+// clang AST is needed, and the container/CI image needs no LLVM dev
+// packages.  Check logic lives in checks.{hpp,cpp}; this header owns
+// tokens, balanced-delimiter navigation, and suppressions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hmis::lint {
+
+enum class TokenKind {
+  Identifier,  // keywords are identifiers too; checks match by spelling
+  Number,      // integer / floating literal, suffixes included
+  String,      // "...", R"(...)", '...'
+  Punct,       // one operator/punctuator, longest-match (e.g. "<<=", "::")
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Punct;
+  std::string text;
+  std::size_t line = 0;  // 1-based
+  std::size_t col = 0;   // 1-based
+};
+
+/// One lexed file: tokens (comments/whitespace stripped), plus the
+/// suppression map harvested from comments.
+class SourceFile {
+ public:
+  /// Lexes `content` as `path`.  Never fails: unrecognized bytes become
+  /// single-character punctuators.
+  SourceFile(std::string path, std::string_view content);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// True when a diagnostic of `check` on `line` is suppressed by a
+  /// NOLINT / NOLINT(check) / NOLINTNEXTLINE(check) comment or an
+  /// HMIS_LINT_ALLOW(check: reason) comment (the reason is mandatory —
+  /// a reasonless allow does not suppress).
+  [[nodiscard]] bool suppressed(std::size_t line,
+                                std::string_view check) const;
+
+ private:
+  void add_suppression(std::size_t line, std::string_view comment_body);
+
+  std::string path_;
+  std::vector<Token> tokens_;
+  /// line -> suppressed check names; the empty string means "all checks".
+  std::unordered_map<std::size_t, std::unordered_set<std::string>>
+      suppressions_;
+  /// Lines that contain at least one code token (a bare suppression comment
+  /// on its own line applies to the next code line).
+  std::unordered_set<std::size_t> code_lines_;
+};
+
+/// Load a file from disk; returns false (and leaves `content` empty) when
+/// unreadable.
+[[nodiscard]] bool read_file(const std::string& path, std::string& content);
+
+/// Index of the token matching the opener at `open` (tokens[open] must be
+/// one of ( [ { <-less-than is NOT supported here).  Returns tokens.size()
+/// when unbalanced.
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& tokens,
+                                        std::size_t open);
+
+/// Split the top-level comma-separated argument ranges of a call whose "("
+/// is at `open` and ")" at `close`: returns [begin, end) token index pairs.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& tokens, std::size_t open, std::size_t close);
+
+/// Extract the distinct "file" entries of a compile_commands.json, sorted.
+/// Tolerant of the CMake output shape only: scans for `"file"` keys.
+[[nodiscard]] std::vector<std::string> compile_commands_files(
+    std::string_view json);
+
+}  // namespace hmis::lint

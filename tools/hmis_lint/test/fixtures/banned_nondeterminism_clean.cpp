@@ -1,0 +1,56 @@
+// hmis_lint fixture — hmis-banned-nondeterminism, clean cases.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+// Counter-RNG: randomness is a pure function of (seed, stream, counter).
+std::uint64_t round_priority(const util::CounterRng& rng, std::uint64_t stage,
+                             VertexId v) {
+  return rng.priority(stage, v);
+}
+
+// Ordered map: iteration order is the key order, deterministic.
+std::vector<int> histogram_keys(const std::map<int, int>& histo) {
+  std::vector<int> keys;
+  for (const auto& [k, n] : histo) {
+    (void)n;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+// Unordered lookup (no iteration) is fine: order never escapes.  (Named
+// differently from the ordered map above: the checker's container-type
+// harvest is by name, file-wide.)
+int lookup(const std::unordered_map<int, int>& index, int key) {
+  const auto it = index.find(key);
+  return it == index.end() ? 0 : it->second;
+}
+
+// Unordered accumulation drained through an explicit sort before the order
+// can escape.
+std::vector<int> sorted_keys(const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  keys.reserve(counts.size());
+  for (int k = 0; k < 64; ++k) {
+    if (counts.count(k) != 0) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Ordering by id, not by address.
+void sort_nodes(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+}
+
+// Metering with a justified allow: the reading feeds metrics, not results.
+std::uint64_t metered_stamp() {
+  // HMIS_LINT_ALLOW(hmis-banned-nondeterminism: metrics-only reading, mirrors util::Timer)
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}

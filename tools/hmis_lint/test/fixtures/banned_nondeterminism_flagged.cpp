@@ -1,0 +1,54 @@
+// hmis_lint fixture — hmis-banned-nondeterminism, flagged cases.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+// Environment entropy: results must be pure functions of the request seed.
+std::uint64_t seed_from_entropy() {
+  std::random_device rd;  // HMIS-FLAG: hmis-banned-nondeterminism
+  return static_cast<std::uint64_t>(rd());
+}
+
+// C RNG.
+double jitter() {
+  return static_cast<double>(rand()) / RAND_MAX;  // HMIS-FLAG: hmis-banned-nondeterminism
+}
+
+// Wall clock in a result path.
+std::uint64_t stage_stamp() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());  // HMIS-FLAG: hmis-banned-nondeterminism
+}
+
+// Hash-table iteration order feeding output order.
+std::vector<int> histogram_keys(const std::unordered_map<int, int>& histo) {
+  std::vector<int> keys;
+  for (const auto& [k, n] : histo) {  // HMIS-FLAG: hmis-banned-nondeterminism
+    (void)n;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+// Explicit iterator walk over an unordered container.
+int first_bucket(const std::unordered_map<int, int>& histo) {
+  std::unordered_set<int> seen;
+  auto it = seen.begin();  // HMIS-FLAG: hmis-banned-nondeterminism
+  (void)it;
+  return histo.empty() ? 0 : 1;
+}
+
+// Pointer value as an ordering key: allocation-order nondeterminism.
+std::uint64_t order_key(const Node* node) {
+  return static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(node));  // HMIS-FLAG: hmis-banned-nondeterminism
+}
+
+// std::less over pointers orders by address.
+void sort_nodes(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(), std::less<Node*>{});  // HMIS-FLAG: hmis-banned-nondeterminism
+}

@@ -1,0 +1,30 @@
+// hmis_lint fixture — hmis-grain-sentinel, clean cases.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// The sentinel itself: 0 means "defer to default_grain() / HMIS_GRAIN".
+void relabel(std::vector<std::uint32_t>& ids, std::size_t n, Metrics* m,
+             ThreadPool* pool) {
+  par::parallel_for(
+      0, n, [&](std::size_t i) { ids[i] = ids[i] + 1; }, m, pool, 0);
+}
+
+// Grain defaulted entirely.
+std::uint64_t total(std::span<const std::uint32_t> w, Metrics* m,
+                    ThreadPool* pool) {
+  return par::reduce_sum<std::uint64_t>(
+      0, w.size(), [&](std::size_t i) { return w[i]; }, m, pool);
+}
+
+// Computed grain: a named value can be tuned and traced, unlike a literal.
+void order(std::vector<std::uint32_t>& v, const Tuning& tuning, Metrics* m,
+           ThreadPool* pool) {
+  par::parallel_sort(v, std::less<std::uint32_t>{}, m, pool,
+                     tuning.sort_grain);
+}
+
+// Two-argument plan_chunks defers to the default grain.
+ChunkPlan plan(std::size_t n, std::size_t threads) {
+  return par::plan_chunks(n, threads);
+}

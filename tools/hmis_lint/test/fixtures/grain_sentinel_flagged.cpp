@@ -1,0 +1,32 @@
+// hmis_lint fixture — hmis-grain-sentinel, flagged cases.
+//
+// Hardcoded grain literals defeat the 0-means-default sentinel: the env
+// override (HMIS_GRAIN) and per-pool tuning only see calls that pass 0 or a
+// computed value.  The PR 3 third-pass parallel_sort regression was exactly
+// a hardcoded literal.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void relabel(std::vector<std::uint32_t>& ids, std::size_t n, Metrics* m,
+             ThreadPool* pool) {
+  par::parallel_for(
+      0, n, [&](std::size_t i) { ids[i] = ids[i] + 1; }, m, pool,
+      4096);  // HMIS-FLAG: hmis-grain-sentinel
+}
+
+std::uint64_t total(std::span<const std::uint32_t> w, Metrics* m,
+                    ThreadPool* pool) {
+  return par::reduce_sum<std::uint64_t>(
+      0, w.size(), [&](std::size_t i) { return w[i]; }, m, pool,
+      1024);  // HMIS-FLAG: hmis-grain-sentinel
+}
+
+void order(std::vector<std::uint32_t>& v, Metrics* m, ThreadPool* pool) {
+  par::parallel_sort(v, std::less<std::uint32_t>{}, m, pool,
+                     2048);  // HMIS-FLAG: hmis-grain-sentinel
+}
+
+ChunkPlan plan(std::size_t n, std::size_t threads) {
+  return par::plan_chunks(n, threads, 512);  // HMIS-FLAG: hmis-grain-sentinel
+}

@@ -1,0 +1,84 @@
+// hmis_lint fixture — hmis-nonatomic-shared-write, clean cases.
+// Every pattern here is a sanctioned parallel write; the harness asserts
+// zero diagnostics on this file.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// The shipped PR 3 fix: idempotent relaxed store through std::atomic_ref.
+void inhibit_losers(MutableHypergraph& mh, std::span<const EdgeId> edges,
+                    std::vector<std::uint8_t>& inhibited, const Round& round) {
+  par::parallel_for(
+      0, edges.size(),
+      [&](std::size_t i) {
+        for (const VertexId v : mh.edge(edges[i])) {
+          if (!round.wins(v)) {
+            std::atomic_ref<std::uint8_t>(inhibited[v])
+                .store(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      nullptr, nullptr);
+}
+
+// Disjoint writes: v is derived from the loop parameter by a pure subscript
+// load, so distinct iterations hit distinct slots of marked.
+void mark_live(std::span<const VertexId> live, std::vector<std::uint8_t>& marked) {
+  par::parallel_for(
+      0, live.size(),
+      [&](std::size_t i) {
+        const VertexId v = live[i];
+        marked[v] = 1;
+      },
+      nullptr, nullptr);
+}
+
+// Scatter through a precomputed offset table: offsets[i] is injective by
+// construction (exclusive scan), and the subscript is derived from i.
+void scatter(std::span<const std::size_t> offsets,
+             std::span<const VertexId> src, std::vector<VertexId>& out) {
+  par::parallel_for(
+      0, src.size(),
+      [&](std::size_t i) { out[offsets[i]] = src[i]; }, nullptr, nullptr);
+}
+
+// Per-chunk partials: block_sums[c] is chunk-private by the chunk index.
+std::uint64_t chunked_sum(std::span<const std::uint32_t> data, ThreadPool& tp,
+                          const ChunkPlan& plan,
+                          std::vector<std::uint64_t>& block_sums) {
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = plan.lo(c); i < plan.hi(c); ++i) acc += data[i];
+    block_sums[c] = acc;
+  });
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : block_sums) total += s;
+  return total;
+}
+
+// Atomic counter shared across chunks.
+std::size_t count_marked(const std::vector<std::uint8_t>& marked,
+                         ThreadPool& tp, const ChunkPlan& plan) {
+  std::atomic<std::size_t> total{0};
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    std::size_t local = 0;
+    for (std::size_t i = plan.lo(c); i < plan.hi(c); ++i) {
+      local += marked[i] != 0 ? 1u : 0u;
+    }
+    total += local;
+  });
+  return total.load();
+}
+
+// One output identifier per TaskGroup closure (the sbl/bl split pattern).
+std::size_t count_both_sides(std::span<const VertexId> verts,
+                             std::size_t mid, ThreadPool* pool) {
+  par::TaskGroup tg(pool);
+  std::size_t left = 0;
+  std::size_t right = 0;
+  tg.run([&] { left = scan_range(verts, 0, mid); });
+  tg.run([&] { right = scan_range(verts, mid, verts.size()); });
+  tg.wait();
+  return left + right;
+}

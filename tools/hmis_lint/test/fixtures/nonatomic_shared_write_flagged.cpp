@@ -1,0 +1,63 @@
+// hmis_lint fixture — hmis-nonatomic-shared-write, flagged cases.
+//
+// Lines carrying a flag marker must produce exactly the named diagnostic;
+// the harness asserts set equality, so any extra or missing diagnostic on
+// this file is a test failure.  Fixtures are lexed, never compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// The PR 3 inhibit-byte bug, verbatim shape: the endpoint `v` comes out of
+// the edge's vertex list, and distinct edges share endpoints across chunks,
+// so two chunks can race on inhibited[v].  (The shipped fix stores through
+// std::atomic_ref — see the clean fixture.)
+void inhibit_losers(MutableHypergraph& mh, std::span<const EdgeId> edges,
+                    std::vector<std::uint8_t>& inhibited, const Round& round) {
+  par::parallel_for(
+      0, edges.size(),
+      [&](std::size_t i) {
+        for (const VertexId v : mh.edge(edges[i])) {
+          if (!round.wins(v)) {
+            inhibited[v] = 1;  // HMIS-FLAG: hmis-nonatomic-shared-write
+          }
+        }
+      },
+      nullptr, nullptr);
+}
+
+// By-ref captured scalar bumped from every chunk: a lost-update race.
+std::size_t count_marked(const std::vector<std::uint8_t>& marked,
+                         ThreadPool& tp, const ChunkPlan& plan) {
+  std::size_t total = 0;
+  tp.run_chunks(plan.chunks, [&](std::size_t c) {
+    for (std::size_t i = plan.lo(c); i < plan.hi(c); ++i) {
+      if (marked[i] != 0) {
+        ++total;  // HMIS-FLAG: hmis-nonatomic-shared-write
+      }
+    }
+  });
+  return total;
+}
+
+// Subscript laundered through a call: f(i) is a value, not a chunk-private
+// index, so two chunks may compute the same slot.
+void scatter_by_value(std::vector<std::uint32_t>& hist, std::size_t n,
+                      const Mapper& f) {
+  par::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        hist[f.bucket(i)] += 1;  // HMIS-FLAG: hmis-nonatomic-shared-write
+      },
+      nullptr, nullptr);
+}
+
+// Two closures of one TaskGroup accumulating into the same identifier.
+std::size_t count_both_sides(std::span<const VertexId> verts,
+                             std::size_t mid, ThreadPool* pool) {
+  par::TaskGroup tg(pool);
+  std::size_t hits = 0;
+  tg.run([&] { hits += scan_range(verts, 0, mid); });  // HMIS-FLAG: hmis-nonatomic-shared-write
+  tg.run([&] { hits += scan_range(verts, mid, verts.size()); });  // HMIS-FLAG: hmis-nonatomic-shared-write
+  tg.wait();
+  return hits;
+}

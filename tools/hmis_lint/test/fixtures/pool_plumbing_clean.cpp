@@ -1,0 +1,19 @@
+// hmis_lint fixture — hmis-pool-plumbing, clean cases.
+#include <cstddef>
+
+// Entry points resolve the caller's pool exactly once and pass it down.
+MisResult solve_rounds(const Hypergraph& h, const MisOptions& opt) {
+  MisResult result;
+  ThreadPool& tp = par::resolve_pool(opt.pool);
+  for (std::size_t round = 0; round < opt.max_rounds; ++round) {
+    step(h, tp, result);
+  }
+  return result;
+}
+
+// Inner layers take the already-resolved pool as a parameter.
+void step_all(const Hypergraph& h, ThreadPool& tp, MisResult& result) {
+  par::parallel_for(
+      0, h.num_vertices(), [&](std::size_t i) { result.touch(i); }, nullptr,
+      &tp);
+}

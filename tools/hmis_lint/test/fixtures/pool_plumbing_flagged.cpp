@@ -1,0 +1,22 @@
+// hmis_lint fixture — hmis-pool-plumbing, flagged cases.
+//
+// The permutation_mis review bug class: library code grabbing the process
+// pool directly instead of threading the caller's opt.pool, which breaks
+// nested engines and the zero-worker injection path.
+#include <cstddef>
+#include <vector>
+
+MisResult solve_rounds(const Hypergraph& h, const MisOptions& opt) {
+  MisResult result;
+  ThreadPool& tp = par::global_pool();  // HMIS-FLAG: hmis-pool-plumbing
+  for (std::size_t round = 0; round < opt.max_rounds; ++round) {
+    step(h, tp, result);
+  }
+  return result;
+}
+
+void warmup(const MisOptions& opt) {
+  (void)opt;
+  ThreadPool& tp = par::resolve_pool(nullptr);  // HMIS-FLAG: hmis-pool-plumbing
+  tp.run_chunks({}, [](std::size_t) {});
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run the project lint stack (DESIGN.md §8) — the same sequence the lint CI
+# job runs, so a clean local pass means a green lint job:
+#
+#   1. clang-tidy with the curated .clang-tidy baseline, over every library
+#      translation unit in compile_commands.json (skipped with a notice when
+#      clang-tidy is not installed — the CI job always has it);
+#   2. hmis_lint, the first-party checker (tools/hmis_lint/), over the
+#      library sources and headers.
+#
+# Usage: tools/run_lint.sh [build-dir]       (default: ./build)
+# Exits nonzero when either stage emits any diagnostic.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+if [[ ! -f "$BUILD/compile_commands.json" ]]; then
+  echo "run_lint: configuring $BUILD (compile_commands.json missing)" >&2
+  cmake -S "$ROOT" -B "$BUILD" >/dev/null
+fi
+
+fail=0
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy ($(clang-tidy --version | sed -n 's/.*version /version /p' | head -1)) =="
+  # Deterministic, sorted file list: the library translation units only;
+  # headers are covered through HeaderFilterRegex.
+  mapfile -t TIDY_SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+  clang-tidy -p "$BUILD" --quiet "${TIDY_SOURCES[@]}" || fail=1
+else
+  echo "== clang-tidy not installed; skipping the baseline (the lint CI job runs it) =="
+fi
+
+echo "== hmis_lint =="
+cmake --build "$BUILD" --target hmis_lint -j "$(nproc)" >/dev/null
+mapfile -t HEADERS < <(find "$ROOT/src" -name '*.hpp' | sort)
+"$BUILD/tools/hmis_lint/hmis_lint" \
+  --compile-commands "$BUILD/compile_commands.json" \
+  --filter "$ROOT/src/" \
+  "${HEADERS[@]}" || fail=1
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "run_lint: FAILED (diagnostics above)" >&2
+else
+  echo "run_lint: clean"
+fi
+exit "$fail"
