@@ -1,0 +1,115 @@
+// serve:cache_hit — the zero-allocation contract of the server's hot path.
+//
+// A repeated solve of a loaded graph must be served entirely from existing
+// storage: string_view request parse, heterogeneous registry lookup, POD
+// cache key, LRU splice, and a frame write of the cached payload.  The
+// table prints allocations per cache-hit handle() call, counted with the
+// global operator-new hook, and the bench HARD-FAILS on any nonzero count —
+// this is the enforcement half of the comment in ServeCore::handle_solve.
+#include <cinttypes>
+
+#include "bench_common.hpp"
+#include "hmis/net/server.hpp"
+
+// Global allocation counter: bench_common.hpp's hook (deltas around
+// identically-shaped sections; see the macro's comment).
+HMIS_BENCH_DEFINE_ALLOC_HOOK();
+
+namespace {
+
+using namespace hmis;
+using hmis::bench::allocations;
+
+/// Swallows frames without copying them — the bench measures the core, not
+/// a socket, and the sink must not contribute allocations of its own.
+class NullSink final : public net::FrameSink {
+ public:
+  bool frame(std::string_view payload) override {
+    benchmark::DoNotOptimize(payload.data());
+    bytes_ += payload.size();
+    return true;
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+constexpr std::string_view kHitRequest =
+    R"({"op":"solve","graph":"g","algo":"sbl","seed":7})";
+
+void run_cache_hit_table() {
+  hmis::bench::print_header(
+      "serve:cache_hit",
+      "heap allocations per cache-hit solve request (contract: zero)");
+  const std::size_t n = hmis::bench::quick_mode() ? 1000 : 4000;
+  const std::size_t hits = hmis::bench::quick_mode() ? 500 : 5000;
+
+  net::ServeOptions opt;
+  opt.threads = 2;
+  net::ServeCore core(opt);
+  core.registry().put("g", gen::uniform_random(n, n + n / 2, 3, 11));
+
+  NullSink sink;
+  // Miss once (computes and inserts the payload), hit once (any lazily
+  // grown state settles) — only then is the steady state on the clock.
+  for (int warm = 0; warm < 2; ++warm) {
+    if (core.handle(kHitRequest, nullptr, &sink) !=
+        net::ServeCore::Outcome::Continue) {
+      std::fprintf(stderr, "serve:cache_hit: warm-up request failed\n");
+      std::exit(1);
+    }
+  }
+
+  const std::uint64_t before = allocations();
+  for (std::size_t i = 0; i < hits; ++i) {
+    if (core.handle(kHitRequest, nullptr, &sink) !=
+        net::ServeCore::Outcome::Continue) {
+      std::fprintf(stderr, "serve:cache_hit: hit request failed\n");
+      std::exit(1);
+    }
+  }
+  const std::uint64_t delta = allocations() - before;
+
+  const net::ServeStats stats = core.stats();
+  std::printf("%10s %10s %14s %14s %12s\n", "hits", "misses", "payload_bytes",
+              "allocations", "allocs/hit");
+  std::printf("%10" PRIu64 " %10" PRIu64 " %14" PRIu64 " %14" PRIu64
+              " %12.4f\n",
+              stats.cache.hits, stats.cache.misses, sink.bytes(), delta,
+              static_cast<double>(delta) / static_cast<double>(hits));
+  hmis::bench::print_footer("serve:cache_hit");
+
+  if (delta != 0) {
+    std::fprintf(stderr,
+                 "serve:cache_hit: contract violated — %" PRIu64
+                 " allocations across %zu cache hits (expected 0)\n",
+                 delta, hits);
+    std::exit(1);
+  }
+}
+
+void BM_ServeCacheHit(benchmark::State& state) {
+  net::ServeOptions opt;
+  opt.threads = 2;
+  net::ServeCore core(opt);
+  core.registry().put("g", gen::uniform_random(2000, 3000, 3, 11));
+  NullSink sink;
+  if (core.handle(kHitRequest, nullptr, &sink) !=
+      net::ServeCore::Outcome::Continue) {
+    state.SkipWithError("warm-up solve failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.handle(kHitRequest, nullptr, &sink));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCacheHit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_cache_hit_table();
+  return hmis::bench::finish(argc, argv);
+}

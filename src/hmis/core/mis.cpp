@@ -36,6 +36,14 @@ std::string_view algorithm_name(Algorithm a) noexcept {
   return "?";
 }
 
+std::optional<Algorithm> algorithm_from_name(std::string_view name) noexcept {
+  for (const Algorithm a : all_algorithms()) {
+    if (name == algorithm_name(a)) return a;
+  }
+  if (name == "auto") return Algorithm::Auto;
+  return std::nullopt;
+}
+
 std::span<const Algorithm> all_algorithms() noexcept {
   static constexpr std::array<Algorithm, 8> kAll = {
       Algorithm::Greedy,   Algorithm::PermutationGreedy,
@@ -94,6 +102,18 @@ MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
     // opt.sbl.pool usable as the fallback for the SBL pass-through).
     if (opt.pool != nullptr) o.pool = opt.pool;
   };
+  // on_progress rides the per-stage hooks of the algorithms that have them
+  // (BL-family on_stage, SBL on_round); stats.stage is 0-based, the hook
+  // reports rounds *completed*.
+  const auto wire_bl_progress = [&](auto& o) {
+    if (!opt.on_progress) return;
+    auto prev = std::move(o.on_stage);
+    o.on_stage = [&opt, prev = std::move(prev)](
+                     const MutableHypergraph& mh, const algo::StageStats& s) {
+      if (prev) prev(mh, s);
+      opt.on_progress(s.stage + 1);
+    };
+  };
 
   switch (run.algorithm) {
     case Algorithm::Greedy: {
@@ -117,12 +137,14 @@ MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
     case Algorithm::BL: {
       algo::BlOptions o;
       common(o);
+      wire_bl_progress(o);
       run.result = algo::bl(h, o);
       break;
     }
     case Algorithm::LinearBL: {
       algo::LinearBlOptions o;
       common(o);
+      wire_bl_progress(o);
       run.result = algo::linear_bl(h, o);
       break;
     }
@@ -141,6 +163,14 @@ MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
     case Algorithm::SBL: {
       SblOptions o = opt.sbl;
       common(o);
+      if (opt.on_progress) {
+        auto prev = std::move(o.on_round);
+        o.on_round = [&opt, prev = std::move(prev)](
+                         const algo::StageStats& s) {
+          if (prev) prev(s);
+          opt.on_progress(s.stage + 1);
+        };
+      }
       run.result = sbl(h, o);
       break;
     }

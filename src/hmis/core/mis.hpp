@@ -6,6 +6,8 @@
 //   // run.result.independent_set, run.verdict.ok(), run.result.rounds, ...
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string_view>
 
 #include "hmis/algo/result.hpp"
@@ -29,6 +31,13 @@ enum class Algorithm {
 
 [[nodiscard]] std::string_view algorithm_name(Algorithm a) noexcept;
 
+/// Inverse of algorithm_name (plus "auto" → Auto).  nullopt on unknown
+/// names — callers decide how to fail; nothing in the library exits the
+/// process over a bad algorithm string (it used to: untrusted input must
+/// never be fatal inside a server or mid-manifest).
+[[nodiscard]] std::optional<Algorithm> algorithm_from_name(
+    std::string_view name) noexcept;
+
 /// All Algorithm values (for sweeps), excluding Auto.
 [[nodiscard]] std::span<const Algorithm> all_algorithms() noexcept;
 
@@ -44,6 +53,14 @@ struct FindOptions {
   par::ThreadPool* pool = nullptr;
   /// SBL-specific knobs pass through; other algorithms use their defaults.
   SblOptions sbl;
+  /// Observation hook: called after every completed outer round with the
+  /// 1-based count of rounds finished so far.  Wired for the algorithms
+  /// that expose stage callbacks (SBL, BL, LinearBL); the others complete
+  /// silently.  Purely observational — the callback sequence is itself a
+  /// deterministic function of (graph, algorithm, seed), and the solve's
+  /// Result is unaffected.  Powers `hmis serve`'s streaming progress
+  /// frames (DESIGN.md §9).
+  std::function<void(std::size_t)> on_progress;
 };
 
 struct MisRun {

@@ -96,6 +96,11 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
   // run BL on it directly (line 26).  mh is fresh here, so its dimension is
   // exactly the input's cached one — no scan needed.
   if (h.dimension() <= params.d) {
+    algo::StageStats stats;
+    stats.stage = 0;
+    stats.live_vertices = mh.num_live_vertices();
+    stats.live_edges = mh.num_live_edges();
+    stats.dimension = h.dimension();
     algo::BlOptions blopt = opt.bl;
     blopt.seed = rng.child(0xB1).seed();
     blopt.record_trace = false;
@@ -106,6 +111,9 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
     out.inner_stages = outcome.stages;
     out.rounds = 1;
     out.independent_set = mh.blue_vertices();
+    stats.inner_stages = outcome.stages;
+    if (opt.record_trace) out.trace.push_back(stats);
+    if (opt.on_round) opt.on_round(stats);
     return out;
   }
 

@@ -63,6 +63,7 @@ void Engine::run_session(par::Task* task) {
     fopt.sbl = node->req.sbl;
     fopt.sbl.pool = nullptr;  // sessions run on the engine pool, always
     fopt.pool = &engine->pool();
+    fopt.on_progress = node->req.on_progress;
     resp.run = core::find_mis(*node->req.graph, node->req.algorithm, fopt);
     resp.solve_seconds = solve_timer.seconds();
     node->state->promise.set_value(std::move(resp));

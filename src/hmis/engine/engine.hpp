@@ -57,6 +57,10 @@ struct SolveRequest {
   core::SblOptions sbl{};
   /// Caller label echoed in the response (batch reporting).
   std::string tag;
+  /// Forwarded to FindOptions::on_progress: fires on an engine worker
+  /// thread after every completed outer round (1-based count).  Must be
+  /// thread-safe and must not block for long — it runs inside the session.
+  std::function<void(std::size_t)> on_progress;
 };
 
 /// Move a hypergraph into shared ownership for SolveRequest::graph.

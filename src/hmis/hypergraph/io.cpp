@@ -1,5 +1,7 @@
 #include "hmis/hypergraph/io.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -18,22 +20,42 @@ void write_hypergraph(std::ostream& os, const Hypergraph& h) {
   }
 }
 
+namespace {
+
+/// Vertex ids are VertexId (u32) on the wire and in memory, and
+/// kInvalidVertex is reserved — a header declaring more vertices than that
+/// is either garbage or a file this build cannot represent.
+constexpr std::uint64_t kMaxVertices = kInvalidVertex;
+
+/// True iff the stream has nothing left on this line but whitespace.
+/// Corrupt files must fail loudly: an edge line with extra tokens would
+/// otherwise round-trip to a silently different hypergraph.
+bool line_exhausted(std::istringstream& ls) {
+  std::string extra;
+  return !(ls >> extra);
+}
+
+}  // namespace
+
 Hypergraph read_hypergraph(std::istream& is) {
   std::string line;
   std::string magic;
-  std::size_t n = 0, m = 0;
+  std::uint64_t n = 0, m = 0;
   // Header (skipping comments).
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream hs(line);
     hs >> magic >> n >> m;
     HMIS_CHECK(!hs.fail() && magic == "hg1", "bad hypergraph header");
+    std::string extra;
+    HMIS_CHECK(!(hs >> extra), "trailing tokens after hypergraph header");
     break;
   }
   HMIS_CHECK(magic == "hg1", "missing hypergraph header");
+  HMIS_CHECK(n <= kMaxVertices, "header vertex count exceeds VertexId range");
   HypergraphBuilder b(n);
   b.dedupe_edges(false);  // round-trip exactly what was written
-  std::size_t read_edges = 0;
+  std::uint64_t read_edges = 0;
   VertexList e;
   while (read_edges < m && std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -46,8 +68,10 @@ Hypergraph read_hypergraph(std::istream& is) {
       VertexId v;
       ls >> v;
       HMIS_CHECK(!ls.fail(), "truncated edge line");
+      HMIS_CHECK(v < n, "edge references vertex out of range");
       e.push_back(v);
     }
+    HMIS_CHECK(line_exhausted(ls), "trailing tokens on edge line");
     b.add_edge(std::span<const VertexId>(e.data(), e.size()));
     ++read_edges;
   }
@@ -110,6 +134,8 @@ void write_hypergraph_binary(std::ostream& os, const Hypergraph& h) {
   put_u64(os, h.num_edges());
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
     const auto verts = h.edge(e);
+    HMIS_CHECK(verts.size() <= 0xFFFFFFFFull,
+               "edge arity does not fit the u32 wire field");
     put_u32(os, static_cast<std::uint32_t>(verts.size()));
     for (const VertexId v : verts) put_u32(os, v);
   }
@@ -121,16 +147,61 @@ Hypergraph read_hypergraph_binary(std::istream& is) {
   is.read(magic, 4);
   HMIS_CHECK(is.good() && std::equal(magic, magic + 4, kBinaryMagic),
              "bad binary hypergraph magic");
+
+  // The stream is untrusted (`hmis serve` feeds uploaded graphs through
+  // here): every size the header declares is capped against the bytes that
+  // actually exist before anything is allocated or looped over.  On a
+  // seekable stream the remaining length is exact; otherwise (pipes) the
+  // declared sizes are only bounded by the per-value EOF checks and
+  // reserve() is capped to a constant.
+  std::uint64_t bytes_left = 0;
+  bool bounded = false;
+  const std::istream::pos_type cur = is.tellg();
+  if (cur != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(cur);
+    if (end != std::istream::pos_type(-1) && is.good() && end >= cur) {
+      bytes_left = static_cast<std::uint64_t>(end - cur);
+      bounded = true;
+    } else {
+      is.clear();
+      is.seekg(cur);
+    }
+  } else {
+    is.clear();
+  }
+
   const std::uint64_t n = get_u64(is);
   const std::uint64_t m = get_u64(is);
+  HMIS_CHECK(n <= kMaxVertices, "header vertex count exceeds VertexId range");
+  if (bounded) {
+    bytes_left -= 16;  // n + m just consumed; magic preceded tellg()
+    // Every edge costs at least 8 bytes (u32 arity + at least one vertex —
+    // empty edges are rejected below), so a header declaring more edges
+    // than the stream could hold is garbage, not a long read.
+    HMIS_CHECK(m <= bytes_left / 8,
+               "declared edge count exceeds remaining stream length");
+  }
   HypergraphBuilder b(n);
   b.dedupe_edges(false);
   VertexList e;
   for (std::uint64_t i = 0; i < m; ++i) {
     const std::uint32_t k = get_u32(is);
+    HMIS_CHECK(k >= 1, "binary edge with zero vertices");
+    if (bounded) {
+      bytes_left -= 4;
+      HMIS_CHECK(k <= bytes_left / 4,
+                 "declared edge arity exceeds remaining stream length");
+      bytes_left -= std::uint64_t{4} * k;
+    }
     e.clear();
-    e.reserve(k);
-    for (std::uint32_t j = 0; j < k; ++j) e.push_back(get_u32(is));
+    e.reserve(bounded ? k : std::min<std::uint32_t>(k, 4096));
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const std::uint32_t v = get_u32(is);
+      HMIS_CHECK(v < n, "edge references vertex out of range");
+      e.push_back(v);
+    }
     b.add_edge(std::span<const VertexId>(e.data(), e.size()));
   }
   return b.build();

@@ -1,0 +1,60 @@
+#include "hmis/net/client.hpp"
+
+#include "hmis/util/json.hpp"
+
+namespace hmis::net {
+
+bool Client::connect(const std::string& host, std::uint16_t port) {
+  sock_ = connect_to(host, port);
+  return sock_.valid();
+}
+
+Client::Reply Client::collect() {
+  Reply reply;
+  std::string frame;
+  for (;;) {
+    if (read_frame(sock_, &frame, max_frame_bytes_) != FrameStatus::Ok) {
+      return reply;  // transport_ok stays false
+    }
+    const auto event = util::json_find(frame, "event");
+    if (event && event->kind == util::JsonValue::Kind::String &&
+        event->raw == "progress") {
+      reply.progress.push_back(frame);
+      continue;
+    }
+    reply.payload = std::move(frame);
+    reply.transport_ok = true;
+    return reply;
+  }
+}
+
+Client::Reply Client::request(std::string_view json) {
+  if (!write_frame(sock_, json)) return Reply{};
+  return collect();
+}
+
+Client::Reply Client::load(std::string_view name, std::string_view graph_bytes,
+                           std::string_view format) {
+  std::string req = "{\"op\":\"load\",\"name\":\"";
+  req += util::json_escape(name);
+  req += '"';
+  if (!format.empty()) {
+    req += ",\"format\":\"";
+    req += util::json_escape(format);
+    req += '"';
+  }
+  req += '}';
+  if (!write_frame(sock_, req)) return Reply{};
+  if (!write_frame(sock_, graph_bytes)) return Reply{};
+  return collect();
+}
+
+bool Client::send_frame(std::string_view payload) {
+  return write_frame(sock_, payload);
+}
+
+FrameStatus Client::read_one(std::string* out) {
+  return read_frame(sock_, out, max_frame_bytes_);
+}
+
+}  // namespace hmis::net

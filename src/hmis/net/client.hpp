@@ -1,0 +1,53 @@
+// Minimal hmis wire-protocol client (DESIGN.md §9): enough for the test
+// suite, the CI smoke, and the `hmis request` verb — connect, send one
+// JSON request, collect streamed progress frames, return the final
+// response.  Not a public SDK; the protocol doc is the contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hmis/net/protocol.hpp"
+#include "hmis/net/socket.hpp"
+
+namespace hmis::net {
+
+class Client {
+ public:
+  Client() = default;
+
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port);
+  [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
+  void close() noexcept { sock_.close(); }
+
+  struct Reply {
+    bool transport_ok = false;  ///< final frame arrived (payload is valid)
+    std::string payload;        ///< the final (non-progress) response
+    std::vector<std::string> progress;  ///< progress frames, arrival order
+  };
+
+  /// Send one JSON request payload and read frames until the final
+  /// response.  Progress frames ({"event":"progress",...}) are collected,
+  /// never returned as the payload.
+  [[nodiscard]] Reply request(std::string_view json);
+
+  /// The two-frame load sequence: the request, then the raw graph bytes.
+  /// `format` is "hg1", "hgb1", or empty (server sniffs).
+  [[nodiscard]] Reply load(std::string_view name, std::string_view graph_bytes,
+                           std::string_view format = {});
+
+  /// Escape hatch for protocol tests: one raw frame, no response handling.
+  [[nodiscard]] bool send_frame(std::string_view payload);
+  /// Read a single frame without classification.
+  [[nodiscard]] FrameStatus read_one(std::string* out);
+
+ private:
+  Reply collect();
+
+  Socket sock_;
+  std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace hmis::net

@@ -1,0 +1,191 @@
+#include "hmis/net/protocol.hpp"
+
+#include <sstream>
+
+#include "hmis/util/json.hpp"
+
+namespace hmis::net {
+
+FrameStatus read_frame(Socket& s, std::string* out, std::size_t max_bytes) {
+  unsigned char header[4];
+  switch (s.recv_exact(header, 4)) {
+    case Socket::RecvStatus::Eof:
+      return FrameStatus::Eof;
+    case Socket::RecvStatus::Error:
+      return FrameStatus::Error;
+    case Socket::RecvStatus::Ok:
+      break;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > max_bytes) return FrameStatus::TooLarge;
+  out->resize(len);
+  if (len == 0) return FrameStatus::Ok;
+  return s.recv_exact(out->data(), len) == Socket::RecvStatus::Ok
+             ? FrameStatus::Ok
+             : FrameStatus::Error;
+}
+
+bool write_frame(Socket& s, std::string_view payload) {
+  if (payload.size() > 0xFFFFFFFFull) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len & 0xFF),
+      static_cast<unsigned char>((len >> 8) & 0xFF),
+      static_cast<unsigned char>((len >> 16) & 0xFF),
+      static_cast<unsigned char>((len >> 24) & 0xFF),
+  };
+  return s.send_all(header, 4) && s.send_all(payload.data(), payload.size());
+}
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::BadRequest:
+      return "BAD_REQUEST";
+    case ErrorCode::NotFound:
+      return "NOT_FOUND";
+    case ErrorCode::DeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ErrorCode::ResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::FrameTooLarge:
+      return "FRAME_TOO_LARGE";
+    case ErrorCode::ShuttingDown:
+      return "SHUTTING_DOWN";
+    case ErrorCode::Internal:
+      return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+std::string error_payload(ErrorCode code, std::string_view message) {
+  std::string out = "{\"ok\":false,\"code\":\"";
+  out += error_code_name(code);
+  out += "\",\"error\":\"";
+  out += util::json_escape(message);
+  out += "\"}";
+  return out;
+}
+
+std::string result_json(const core::MisRun& run) {
+  std::ostringstream os;
+  os << "{\"algorithm\":\"" << core::algorithm_name(run.algorithm)
+     << "\",\"success\":" << (run.result.success ? "true" : "false");
+  if (!run.result.success) {
+    os << ",\"failure\":\"" << util::json_escape(run.result.failure_reason)
+       << "\"}";
+    return os.str();
+  }
+  const auto& m = run.result.metrics;
+  os << ",\"size\":" << run.result.independent_set.size()
+     << ",\"rounds\":" << run.result.rounds
+     << ",\"inner_stages\":" << run.result.inner_stages
+     << ",\"resamples\":" << run.result.resamples
+     << ",\"verified\":" << (run.verdict.ok() ? "true" : "false")
+     << ",\"metrics\":{\"work\":" << m.work << ",\"depth\":" << m.depth
+     << ",\"calls\":" << m.calls << "},\"set\":[";
+  for (std::size_t i = 0; i < run.result.independent_set.size(); ++i) {
+    if (i > 0) os << ',';
+    os << run.result.independent_set[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string solve_payload(const core::MisRun& run) {
+  return "{\"ok\":true,\"result\":" + result_json(run) + "}";
+}
+
+std::string progress_payload(std::size_t rounds) {
+  return "{\"ok\":true,\"event\":\"progress\",\"rounds\":" +
+         std::to_string(rounds) + "}";
+}
+
+namespace {
+
+bool parse_op(std::string_view name, Request::Op* out) {
+  if (name == "ping") *out = Request::Op::Ping;
+  else if (name == "load") *out = Request::Op::Load;
+  else if (name == "unload") *out = Request::Op::Unload;
+  else if (name == "list") *out = Request::Op::List;
+  else if (name == "solve") *out = Request::Op::Solve;
+  else if (name == "stats") *out = Request::Op::Stats;
+  else if (name == "shutdown") *out = Request::Op::Shutdown;
+  else return false;
+  return true;
+}
+
+bool fail(std::string* error, std::string_view message) {
+  error->assign(message);
+  return false;
+}
+
+}  // namespace
+
+bool parse_request(std::string_view payload, Request* out, std::string* error) {
+  util::JsonObjectScanner sc(payload);
+  std::string_view key;
+  util::JsonValue val;
+  bool have_op = false;
+  while (sc.next(&key, &val)) {
+    if (key == "op") {
+      if (val.kind != util::JsonValue::Kind::String ||
+          !parse_op(val.raw, &out->op)) {
+        return fail(error, "unknown op");
+      }
+      have_op = true;
+    } else if (key == "graph" || key == "name") {
+      if (val.kind != util::JsonValue::Kind::String) {
+        return fail(error, "graph/name must be a string");
+      }
+      out->graph = val.raw;
+    } else if (key == "algo") {
+      if (val.kind != util::JsonValue::Kind::String) {
+        return fail(error, "algo must be a string");
+      }
+      out->algo = val.raw;
+    } else if (key == "format") {
+      if (val.kind != util::JsonValue::Kind::String) {
+        return fail(error, "format must be a string");
+      }
+      out->format = val.raw;
+    } else if (key == "seed") {
+      const auto seed = util::json_u64(val);
+      if (!seed) return fail(error, "seed must be an unsigned integer");
+      out->seed = *seed;
+    } else if (key == "deadline_ms") {
+      const auto d = util::json_f64(val);
+      if (!d || *d < 0) {
+        return fail(error, "deadline_ms must be a non-negative number");
+      }
+      out->deadline_ms = *d;
+    } else if (key == "progress") {
+      const auto p = util::json_u64(val);
+      if (!p) return fail(error, "progress must be an unsigned integer");
+      out->progress_every = *p;
+    } else if (key == "delay_ms") {
+      const auto d = util::json_f64(val);
+      if (!d || *d < 0) {
+        return fail(error, "delay_ms must be a non-negative number");
+      }
+      out->delay_ms = *d;
+    } else {
+      // Unknown keys are rejected, not ignored: a typoed "sedd" silently
+      // solving with the default seed is exactly the garbage-in/garbage-out
+      // class this surface exists to kill.
+      return fail(error, "unknown request key");
+    }
+  }
+  if (!sc.ok()) return fail(error, "malformed JSON request");
+  if (!have_op) return fail(error, "request missing op");
+  // String fields may contain escapes; registry names are matched byte-wise
+  // against the raw span, so reject escapes outright (names are plain).
+  if (out->graph.find('\\') != std::string_view::npos) {
+    return fail(error, "graph names must not contain escapes");
+  }
+  return true;
+}
+
+}  // namespace hmis::net

@@ -1,0 +1,98 @@
+// The hmis wire protocol (DESIGN.md §9): length-framed JSON over TCP.
+//
+//   frame    := u32 little-endian payload length, then payload bytes
+//   request  := one flat JSON object, e.g. {"op":"solve","graph":"g",
+//               "algo":"sbl","seed":7}
+//   response := {"ok":true,...} | {"ok":false,"code":"...","error":"..."}
+//
+// A `load` request is immediately followed by ONE raw (non-JSON) frame
+// carrying the graph bytes (text "hg1" or binary "HGB1" format — sniffed
+// unless the request pins "format").  A `solve` with "progress":N streams
+// {"ok":true,"event":"progress","rounds":R} frames before the final
+// response.
+//
+// Determinism across the wire: the solve response payload is built by
+// solve_payload() from the MisRun alone — no timestamps, tags, session
+// ids, or thread counts — so the same (graph digest, algorithm, seed) is
+// byte-identical whether solved blocking, through the engine, or served
+// over TCP, and the response itself is the unit the result cache stores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/net/socket.hpp"
+
+namespace hmis::net {
+
+/// Hard ceiling a reader enforces BEFORE trusting a frame header: a
+/// crafted u32 length must bound allocation, not drive it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+enum class FrameStatus {
+  Ok,
+  Eof,       ///< clean close at a frame boundary
+  TooLarge,  ///< declared length exceeds the cap (header consumed, payload
+             ///< not — the connection is unusable afterwards)
+  Error      ///< truncated frame or socket error
+};
+
+/// Read one frame into *out (capacity is reused across calls — the hot
+/// request path does not allocate once the buffer has grown).
+[[nodiscard]] FrameStatus read_frame(Socket& s, std::string* out,
+                                     std::size_t max_bytes);
+/// Write one frame.  False on socket error.
+[[nodiscard]] bool write_frame(Socket& s, std::string_view payload);
+
+// ---- Response payload builders ---------------------------------------------
+
+enum class ErrorCode {
+  BadRequest,
+  NotFound,
+  DeadlineExceeded,
+  ResourceExhausted,
+  FrameTooLarge,
+  ShuttingDown,
+  Internal,
+};
+[[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
+[[nodiscard]] std::string error_payload(ErrorCode code,
+                                        std::string_view message);
+
+/// Canonical deterministic JSON for one solved run: a pure function of the
+/// MisRun (includes the full independent set; excludes wall-clock and any
+/// submission context).
+[[nodiscard]] std::string result_json(const core::MisRun& run);
+
+/// The full solve response payload: {"ok":true,"result":<result_json>}.
+[[nodiscard]] std::string solve_payload(const core::MisRun& run);
+
+/// One streaming progress frame: {"ok":true,"event":"progress","rounds":R}.
+[[nodiscard]] std::string progress_payload(std::size_t rounds);
+
+// ---- Request parsing -------------------------------------------------------
+
+/// A parsed request.  String fields are views into the request buffer,
+/// which must stay alive while the request is handled (the parse itself
+/// allocates nothing — part of the zero-alloc cache-hit contract).
+struct Request {
+  enum class Op { Ping, Load, Unload, List, Solve, Stats, Shutdown };
+  Op op = Op::Ping;
+  std::string_view graph;       ///< solve/unload: registry name; load: name
+  std::string_view algo;        ///< solve; empty = "auto"
+  std::string_view format;      ///< load: "hg1" | "hgb1"; empty = sniff
+  std::uint64_t seed = 1;       ///< solve
+  double deadline_ms = -1.0;    ///< solve; < 0 = server default
+  std::uint64_t progress_every = 0;  ///< solve; 0 = no progress frames
+  double delay_ms = 0.0;        ///< solve; test-only (enable_test_ops)
+};
+
+/// Strict parse: unknown keys, wrong value types, and malformed JSON all
+/// fail (hostile input is rejected, not coerced).  On failure fills
+/// *error with a one-line message and returns false.
+[[nodiscard]] bool parse_request(std::string_view payload, Request* out,
+                                 std::string* error);
+
+}  // namespace hmis::net

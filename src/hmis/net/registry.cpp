@@ -1,0 +1,94 @@
+#include "hmis/net/registry.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "hmis/hypergraph/io.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/rng.hpp"
+
+namespace hmis::net {
+
+std::uint64_t hypergraph_digest(const Hypergraph& h) {
+  // Chained avalanche over the logical content.  Edge sizes are folded in
+  // alongside the vertices so (…,{a,b},{c},…) and (…,{a},{b,c},…) differ.
+  std::uint64_t d = util::mix64(0x48474431ull ^ h.num_vertices());  // "HGD1"
+  d = util::mix64(d ^ h.num_edges());
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto verts = h.edge(e);
+    d = util::mix64(d ^ verts.size());
+    for (const VertexId v : verts) d = util::mix64(d ^ v);
+  }
+  return d;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, 16);
+}
+
+GraphRegistry::Entry GraphRegistry::put(std::string name, Hypergraph graph) {
+  return put_shared(std::move(name),
+                    std::make_shared<const Hypergraph>(std::move(graph)));
+}
+
+GraphRegistry::Entry GraphRegistry::put_shared(
+    std::string name, std::shared_ptr<const Hypergraph> graph) {
+  HMIS_CHECK(graph != nullptr, "registering a null hypergraph");
+  const std::uint64_t digest = hypergraph_digest(*graph);
+  Entry entry{std::move(graph), digest};
+  util::MutexLock lock(mutex_);
+  graphs_[std::move(name)] = entry;
+  return entry;
+}
+
+GraphRegistry::Entry GraphRegistry::load_file(const std::string& name,
+                                              const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HMIS_CHECK(is.good(), "cannot open file for reading: " + path);
+  char magic[4] = {0, 0, 0, 0};
+  is.read(magic, 4);
+  is.clear();
+  is.seekg(0);
+  const bool binary = is.gcount() == 4 && magic[0] == 'H' && magic[1] == 'G' &&
+                      magic[2] == 'B' && magic[3] == '1';
+  Hypergraph h = binary ? read_hypergraph_binary(is) : read_hypergraph(is);
+  return put(name, std::move(h));
+}
+
+std::optional<GraphRegistry::Entry> GraphRegistry::find(
+    std::string_view name) const {
+  util::MutexLock lock(mutex_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool GraphRegistry::unload(std::string_view name) {
+  util::MutexLock lock(mutex_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) return false;
+  graphs_.erase(it);
+  return true;
+}
+
+std::vector<GraphInfo> GraphRegistry::list() const {
+  util::MutexLock lock(mutex_);
+  std::vector<GraphInfo> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) {
+    out.push_back(GraphInfo{name, entry.digest, entry.graph->num_vertices(),
+                            entry.graph->num_edges()});
+  }
+  return out;
+}
+
+std::size_t GraphRegistry::size() const {
+  util::MutexLock lock(mutex_);
+  return graphs_.size();
+}
+
+}  // namespace hmis::net

@@ -1,0 +1,73 @@
+// Named, refcounted graph registry (DESIGN.md §9).
+//
+// The shared store behind `hmis serve` (preloads + `load` requests) and
+// `hmis batch` (one instance per distinct manifest path).  Entries hold
+// shared_ptrs: `unload` unbinds the name immediately while every in-flight
+// solve keeps its own reference alive — the shared_ptr IS the refcount.
+// Each entry carries the graph's content digest, the cache-key half that
+// makes result caching safe across load/unload/reload cycles: the digest
+// follows the bytes, not the name.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/util/sync.hpp"
+#include "hmis/util/thread_annotations.hpp"
+
+namespace hmis::net {
+
+/// Platform-stable 64-bit content digest of (n, m, every edge's vertex
+/// list, in edge order).  Two hypergraphs with equal CSR content collide
+/// only as a generic 64-bit hash would.
+[[nodiscard]] std::uint64_t hypergraph_digest(const Hypergraph& h);
+
+/// Digest rendered as fixed-width lowercase hex (wire representation —
+/// u64 does not survive JSON number parsers).
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+struct GraphInfo {
+  std::string name;
+  std::uint64_t digest = 0;
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+};
+
+class GraphRegistry {
+ public:
+  struct Entry {
+    std::shared_ptr<const Hypergraph> graph;
+    std::uint64_t digest = 0;
+  };
+
+  /// Register (or replace) `name`.  Replacing never invalidates running
+  /// solves — they hold their own references.
+  Entry put(std::string name, Hypergraph graph);
+  Entry put_shared(std::string name, std::shared_ptr<const Hypergraph> graph);
+
+  /// Load from disk and register.  Sniffs the binary magic ("HGB1") vs the
+  /// text format.  Throws util::CheckError on unreadable/corrupt files.
+  Entry load_file(const std::string& name, const std::string& path);
+
+  /// Lookup by name; allocation-free on the hit path (heterogeneous find).
+  [[nodiscard]] std::optional<Entry> find(std::string_view name) const;
+
+  /// Unbind the name.  False if it was not registered.
+  bool unload(std::string_view name);
+
+  /// Snapshot, name-ascending (deterministic listing).
+  [[nodiscard]] std::vector<GraphInfo> list() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable util::Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> graphs_ HMIS_GUARDED_BY(mutex_);
+};
+
+}  // namespace hmis::net

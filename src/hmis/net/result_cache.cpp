@@ -1,0 +1,46 @@
+#include "hmis/net/result_cache.hpp"
+
+#include <utility>
+
+namespace hmis::net {
+
+std::shared_ptr<const std::string> ResultCache::find(const Key& key) {
+  if (max_entries_ == 0) return nullptr;
+  util::MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh, no allocation
+  return it->second->payload;
+}
+
+void ResultCache::insert(const Key& key,
+                         std::shared_ptr<const std::string> payload) {
+  if (max_entries_ == 0 || payload == nullptr) return;
+  util::MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Determinism makes a second value for the same key byte-identical by
+    // contract; keep the existing bytes, refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, std::move(payload)});
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+  while (index_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  util::MutexLock lock(mutex_);
+  return Stats{hits_, misses_, insertions_, evictions_, index_.size()};
+}
+
+}  // namespace hmis::net

@@ -1,0 +1,78 @@
+// Result cache (DESIGN.md §9): serialized solve responses keyed by the
+// full determinism domain of a solve — (graph content digest, requested
+// algorithm, seed).  Because a solve response is a pure function of that
+// key (the library-wide determinism contract), the cached value never goes
+// stale: repeated hot-corpus queries are an O(1) lookup plus a write of
+// the shared bytes.
+//
+// The hit path allocates nothing: POD key, unordered_map::find, an LRU
+// splice (pointer surgery), and a shared_ptr copy.  Bounded by max_entries
+// with least-recently-used eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "hmis/util/rng.hpp"
+#include "hmis/util/sync.hpp"
+#include "hmis/util/thread_annotations.hpp"
+
+namespace hmis::net {
+
+class ResultCache {
+ public:
+  struct Key {
+    std::uint64_t digest = 0;
+    std::uint8_t algorithm = 0;  ///< the REQUESTED algo (Auto caches as Auto
+                                 ///< — its resolution is deterministic per
+                                 ///< graph, so the entry is still pure)
+    std::uint64_t seed = 0;
+    bool operator==(const Key&) const = default;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  /// max_entries 0 disables the cache (find always misses, insert drops).
+  explicit ResultCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// nullptr on miss; a hit refreshes the entry's LRU position.
+  [[nodiscard]] std::shared_ptr<const std::string> find(const Key& key);
+
+  void insert(const Key& key, std::shared_ptr<const std::string> payload);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(util::mix64(
+          k.digest ^ util::mix64(k.seed ^ (std::uint64_t{k.algorithm} << 56))));
+    }
+  };
+  struct Node {
+    Key key;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  const std::size_t max_entries_;
+  mutable util::Mutex mutex_;
+  /// Front = most recently used.
+  std::list<Node> lru_ HMIS_GUARDED_BY(mutex_);
+  std::unordered_map<Key, std::list<Node>::iterator, KeyHash> index_
+      HMIS_GUARDED_BY(mutex_);
+  std::uint64_t hits_ HMIS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ HMIS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t insertions_ HMIS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ HMIS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace hmis::net

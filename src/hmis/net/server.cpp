@@ -1,0 +1,423 @@
+#include "hmis/net/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "hmis/hypergraph/io.hpp"
+#include "hmis/util/check.hpp"
+#include "hmis/util/json.hpp"
+#include "hmis/util/timer.hpp"
+
+namespace hmis::net {
+
+// ---- AdmissionGate ---------------------------------------------------------
+
+bool ServeCore::AdmissionGate::acquire(double remaining_ms) {
+  if (capacity_ == 0) return true;
+  util::UniqueLock lock(mutex_);
+  const auto admitted = [this]() HMIS_REQUIRES(mutex_) {
+    return inflight_ < capacity_;
+  };
+  if (remaining_ms < 0) {
+    freed_.wait(lock, admitted);
+  } else if (!freed_.wait_for(
+                 lock, std::chrono::duration<double, std::milli>(remaining_ms),
+                 admitted)) {
+    return false;
+  }
+  ++inflight_;
+  return true;
+}
+
+void ServeCore::AdmissionGate::release() {
+  {
+    util::MutexLock lock(mutex_);
+    --inflight_;
+  }
+  freed_.notify_one();
+}
+
+// ---- ServeCore -------------------------------------------------------------
+
+ServeCore::ServeCore(const ServeOptions& opt)
+    : opt_(opt),
+      engine_(engine::EngineOptions{.threads = opt.threads,
+                                    .pool = nullptr,
+                                    .max_inflight = opt.max_inflight}),
+      cache_(opt.cache_entries),
+      gate_(opt.max_inflight) {}
+
+ServeCore::Outcome ServeCore::respond_error(FrameSink* sink, ErrorCode code,
+                                            std::string_view message) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return sink->frame(error_payload(code, message)) ? Outcome::Continue
+                                                   : Outcome::Close;
+}
+
+ServeCore::Outcome ServeCore::handle(std::string_view payload,
+                                     FrameSource* source, FrameSink* sink) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Request req;
+  std::string parse_err;
+  if (!parse_request(payload, &req, &parse_err)) {
+    return respond_error(sink, ErrorCode::BadRequest, parse_err);
+  }
+  switch (req.op) {
+    case Request::Op::Ping:
+      return sink->frame("{\"ok\":true}") ? Outcome::Continue : Outcome::Close;
+    case Request::Op::Load:
+      return handle_load(req, source, sink);
+    case Request::Op::Unload: {
+      if (req.graph.empty()) {
+        return respond_error(sink, ErrorCode::BadRequest,
+                             "unload requires a graph name");
+      }
+      if (!registry_.unload(req.graph)) {
+        return respond_error(sink, ErrorCode::NotFound, "graph not loaded");
+      }
+      return sink->frame("{\"ok\":true}") ? Outcome::Continue : Outcome::Close;
+    }
+    case Request::Op::List: {
+      std::ostringstream os;
+      os << "{\"ok\":true,\"graphs\":[";
+      bool first = true;
+      for (const GraphInfo& g : registry_.list()) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"" << util::json_escape(g.name) << "\",\"digest\":\""
+           << digest_hex(g.digest) << "\",\"vertices\":" << g.num_vertices
+           << ",\"edges\":" << g.num_edges << "}";
+      }
+      os << "]}";
+      return sink->frame(os.str()) ? Outcome::Continue : Outcome::Close;
+    }
+    case Request::Op::Solve:
+      return handle_solve(req, sink);
+    case Request::Op::Stats: {
+      const ServeStats s = stats();
+      std::ostringstream os;
+      os << "{\"ok\":true,\"stats\":{\"requests\":" << s.requests
+         << ",\"solves\":" << s.solves << ",\"rejected\":" << s.rejected
+         << ",\"cache\":{\"hits\":" << s.cache.hits
+         << ",\"misses\":" << s.cache.misses
+         << ",\"insertions\":" << s.cache.insertions
+         << ",\"evictions\":" << s.cache.evictions
+         << ",\"entries\":" << s.cache.entries
+         << "},\"engine\":{\"submitted\":" << s.engine.submitted
+         << ",\"completed\":" << s.engine.completed
+         << ",\"failed\":" << s.engine.failed
+         << ",\"inflight\":" << s.engine.inflight
+         << "},\"graphs\":" << s.graphs << ",\"shutting_down\":"
+         << (shutting_down() ? "true" : "false") << "}}";
+      return sink->frame(os.str()) ? Outcome::Continue : Outcome::Close;
+    }
+    case Request::Op::Shutdown: {
+      begin_shutdown();
+      (void)sink->frame("{\"ok\":true,\"event\":\"shutting_down\"}");
+      return Outcome::Shutdown;
+    }
+  }
+  return respond_error(sink, ErrorCode::Internal, "unhandled op");
+}
+
+ServeCore::Outcome ServeCore::handle_load(const Request& req,
+                                          FrameSource* source,
+                                          FrameSink* sink) {
+  // The graph frame ALWAYS follows a load request; pull it before any
+  // validation so an error response never leaves the stream desynced.
+  std::string bytes;
+  if (source == nullptr || !source->next_frame(&bytes)) {
+    (void)respond_error(sink, ErrorCode::BadRequest,
+                        "missing or unreadable graph frame after load");
+    return Outcome::Close;  // nothing sane can follow
+  }
+  if (shutting_down()) {
+    return respond_error(sink, ErrorCode::ShuttingDown, "server is draining");
+  }
+  if (req.graph.empty()) {
+    return respond_error(sink, ErrorCode::BadRequest, "load requires a name");
+  }
+  bool binary;
+  if (req.format.empty()) {
+    binary = bytes.size() >= 4 && bytes.compare(0, 4, "HGB1") == 0;
+  } else if (req.format == "hg1") {
+    binary = false;
+  } else if (req.format == "hgb1") {
+    binary = true;
+  } else {
+    return respond_error(sink, ErrorCode::BadRequest,
+                         "format must be \"hg1\" or \"hgb1\"");
+  }
+  try {
+    std::istringstream is(bytes);
+    Hypergraph g = binary ? read_hypergraph_binary(is) : read_hypergraph(is);
+    const GraphRegistry::Entry entry =
+        registry_.put(std::string(req.graph), std::move(g));
+    std::ostringstream os;
+    os << "{\"ok\":true,\"graph\":\"" << util::json_escape(req.graph)
+       << "\",\"digest\":\"" << digest_hex(entry.digest)
+       << "\",\"vertices\":" << entry.graph->num_vertices()
+       << ",\"edges\":" << entry.graph->num_edges() << "}";
+    return sink->frame(os.str()) ? Outcome::Continue : Outcome::Close;
+  } catch (const util::CheckError& e) {
+    // Hostile/corrupt graph bytes are a CLIENT error — the validated
+    // readers (io.cpp) turned them into a CheckError instead of a crash.
+    return respond_error(sink, ErrorCode::BadRequest, e.what());
+  } catch (const std::exception& e) {
+    return respond_error(sink, ErrorCode::Internal, e.what());
+  }
+}
+
+ServeCore::Outcome ServeCore::handle_solve(const Request& req,
+                                           FrameSink* sink) {
+  util::Timer elapsed;  // deadline anchor: request receipt
+  if (shutting_down()) {
+    return respond_error(sink, ErrorCode::ShuttingDown, "server is draining");
+  }
+  if (req.graph.empty()) {
+    return respond_error(sink, ErrorCode::BadRequest,
+                         "solve requires a graph name");
+  }
+  const auto algo =
+      core::algorithm_from_name(req.algo.empty() ? "auto" : req.algo);
+  if (!algo) {
+    return respond_error(sink, ErrorCode::BadRequest, "unknown algorithm");
+  }
+  const auto entry = registry_.find(req.graph);
+  if (!entry) {
+    return respond_error(sink, ErrorCode::NotFound, "graph not loaded");
+  }
+  if (!core::supports(*algo, *entry->graph)) {
+    return respond_error(sink, ErrorCode::BadRequest,
+                         "algorithm does not support this instance");
+  }
+
+  const ResultCache::Key key{entry->digest, static_cast<std::uint8_t>(*algo),
+                             req.seed};
+  if (const auto hit = cache_.find(key)) {
+    // The zero-allocation hot path: parse, registry find, cache find, and
+    // this write all reuse or share existing storage
+    // (bench_serve_cache_hit asserts allocations() == 0 across it).
+    return sink->frame(*hit) ? Outcome::Continue : Outcome::Close;
+  }
+
+  const double deadline_ms =
+      req.deadline_ms >= 0 ? req.deadline_ms : opt_.default_deadline_ms;
+  const auto remaining_ms = [&elapsed, deadline_ms]() -> double {
+    return deadline_ms <= 0 ? -1.0 : deadline_ms - elapsed.millis();
+  };
+  if (deadline_ms > 0 && remaining_ms() <= 0) {
+    return respond_error(sink, ErrorCode::DeadlineExceeded,
+                         "deadline expired before admission");
+  }
+  if (!gate_.acquire(remaining_ms())) {
+    return respond_error(sink, ErrorCode::DeadlineExceeded,
+                         "deadline expired waiting for an admission slot");
+  }
+  struct TicketGuard {
+    AdmissionGate& gate;
+    ~TicketGuard() { gate.release(); }
+  } ticket{gate_};
+
+  if (opt_.enable_test_ops && req.delay_ms > 0) {
+    // Test-only congestion: occupy the admission slot without solving.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(req.delay_ms));
+  }
+  if (deadline_ms > 0 && remaining_ms() <= 0) {
+    return respond_error(sink, ErrorCode::DeadlineExceeded,
+                         "deadline expired before the solve started");
+  }
+
+  engine::SolveRequest sr;
+  sr.graph = entry->graph;
+  sr.algorithm = *algo;
+  sr.seed = req.seed;
+  if (req.progress_every > 0) {
+    const std::uint64_t every = req.progress_every;
+    sr.on_progress = [sink, every](std::size_t rounds) {
+      if (rounds % every == 0) (void)sink->frame(progress_payload(rounds));
+    };
+  }
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  core::MisRun run;
+  try {
+    run = engine_.submit(std::move(sr)).get().run;
+  } catch (const std::exception& e) {
+    return respond_error(sink, ErrorCode::Internal, e.what());
+  }
+  auto response = std::make_shared<const std::string>(solve_payload(run));
+  // Cache even when the deadline lapsed mid-solve: the work is done and the
+  // bytes are pure, so the retry is a free hit.
+  cache_.insert(key, response);
+  if (deadline_ms > 0 && remaining_ms() <= 0) {
+    return respond_error(sink, ErrorCode::DeadlineExceeded,
+                         "solve completed after the deadline");
+  }
+  return sink->frame(*response) ? Outcome::Continue : Outcome::Close;
+}
+
+ServeStats ServeCore::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.solves = solves_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  s.engine = engine_.stats();
+  s.graphs = registry_.size();
+  return s;
+}
+
+// ---- Server ----------------------------------------------------------------
+
+namespace {
+
+/// Frame writer over one connection's socket.  The mutex serializes final
+/// responses against progress frames fired from engine worker threads; once
+/// a write fails the sink goes dead (no point torturing a broken pipe).
+class SocketSink final : public FrameSink {
+ public:
+  explicit SocketSink(Socket& sock) : sock_(sock) {}
+  bool frame(std::string_view payload) override {
+    util::MutexLock lock(mutex_);
+    if (!alive_) return false;
+    alive_ = write_frame(sock_, payload);
+    return alive_;
+  }
+
+ private:
+  Socket& sock_;
+  util::Mutex mutex_;
+  bool alive_ HMIS_GUARDED_BY(mutex_) = true;
+};
+
+class SocketSource final : public FrameSource {
+ public:
+  SocketSource(Socket& sock, std::size_t max_bytes)
+      : sock_(sock), max_bytes_(max_bytes) {}
+  bool next_frame(std::string* out) override {
+    return read_frame(sock_, out, max_bytes_) == FrameStatus::Ok;
+  }
+
+ private:
+  Socket& sock_;
+  std::size_t max_bytes_;
+};
+
+}  // namespace
+
+Server::Server(const ServeOptions& opt)
+    : core_(opt), listener_(opt.host, opt.port, /*backlog=*/128) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  HMIS_CHECK(!acceptor_.joinable(), "Server::start() called twice");
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_stop() noexcept {
+  stop_.store(true);
+  core_.begin_shutdown();
+  listener_.wake();
+  {
+    util::MutexLock lock(state_mutex_);
+    stop_requested_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::stop() {
+  request_stop();
+  {
+    util::MutexLock lock(join_mutex_);
+    if (acceptor_.joinable()) acceptor_.join();
+  }
+  core_.engine().drain();
+}
+
+void Server::wait_until_stopped() {
+  util::UniqueLock lock(state_mutex_);
+  stopped_cv_.wait(lock, [this]() HMIS_REQUIRES(state_mutex_) {
+    return stop_requested_;
+  });
+}
+
+void Server::accept_loop() {
+  while (!stop_.load()) {
+    Socket sock = listener_.accept();
+    if (stop_.load()) break;
+    if (!sock.valid()) continue;  // woken or transient accept failure
+    util::MutexLock lock(conns_mutex_);
+    sweep_finished_locked();
+    if (active_connections_.load() >= core_.options().max_connections) {
+      (void)write_frame(sock, error_payload(ErrorCode::ResourceExhausted,
+                                            "connection limit reached"));
+      continue;  // socket closes on scope exit
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    active_connections_.fetch_add(1);
+    conn->worker = std::thread([this, raw] { serve_connection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+  // Graceful drain: half-close every read side so idle connections see EOF
+  // while in-flight requests run to completion and deliver their responses,
+  // then join.  Connection threads never touch conns_, so once the accept
+  // loop stops adding, the snapshot below is the complete set.
+  std::vector<std::unique_ptr<Conn>> remaining;
+  {
+    util::MutexLock lock(conns_mutex_);
+    remaining.swap(conns_);
+  }
+  for (const auto& c : remaining) c->sock.shutdown_read();
+  for (const auto& c : remaining) {
+    if (c->worker.joinable()) c->worker.join();
+  }
+}
+
+void Server::sweep_finished_locked() {
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->worker.joinable()) (*it)->worker.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::serve_connection(Conn* conn) {
+  SocketSink sink(conn->sock);
+  SocketSource source(conn->sock, core_.options().max_frame_bytes);
+  std::string buf;
+  for (;;) {
+    const FrameStatus st =
+        read_frame(conn->sock, &buf, core_.options().max_frame_bytes);
+    if (st == FrameStatus::TooLarge) {
+      // The length header was consumed but the payload was not read — the
+      // stream is desynced, so the error frame is this connection's last.
+      (void)sink.frame(error_payload(ErrorCode::FrameTooLarge,
+                                     "request frame exceeds the size cap"));
+      break;
+    }
+    if (st != FrameStatus::Ok) break;  // clean EOF or socket error
+    const ServeCore::Outcome outcome = core_.handle(buf, &source, &sink);
+    if (outcome == ServeCore::Outcome::Continue) continue;
+    if (outcome == ServeCore::Outcome::Shutdown) request_stop();
+    break;
+  }
+  // Tell the peer we are done NOW: the fd itself is closed later, on the
+  // acceptor thread, when this Conn is swept or drained — but that sweep
+  // only runs on accept activity, and a client waiting for EOF after an
+  // error frame must not depend on another connection arriving first.
+  conn->sock.shutdown_both();
+  conn->done.store(true);
+  active_connections_.fetch_sub(1);
+}
+
+}  // namespace hmis::net

@@ -1,0 +1,208 @@
+// `hmis serve` (DESIGN.md §9): a long-lived solve server on the Engine.
+//
+// Split in two so the request plane is testable without sockets:
+//
+//   ServeCore  — the full request handler: graph registry, result cache,
+//                admission control, engine submission, response building.
+//                Speaks frames-in/frames-out through tiny interfaces; a
+//                test or bench drives it directly and can assert the
+//                cache-hit path allocates nothing.
+//   Server     — the TCP shell: accept loop (self-pipe wakeable), one
+//                thread per connection, connection cap, graceful drain.
+//
+// Admission control is layered: a server-side ticket gate (bounded by
+// max_inflight, waited on with the request's deadline) sits in FRONT of the
+// engine's own max_inflight backpressure, so a request that cannot start in
+// time gets a clean DEADLINE_EXCEEDED instead of blocking a connection
+// thread indefinitely; the engine's gate remains as backstop.
+//
+// Determinism across the wire: a solve response payload is a pure function
+// of (graph digest, algorithm, seed) — see protocol.hpp — which is what
+// makes the result cache sound and lets tests require byte-identical
+// responses vs a blocking core::find_mis at any thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "hmis/engine/engine.hpp"
+#include "hmis/net/protocol.hpp"
+#include "hmis/net/registry.hpp"
+#include "hmis/net/result_cache.hpp"
+#include "hmis/net/socket.hpp"
+#include "hmis/util/sync.hpp"
+#include "hmis/util/thread_annotations.hpp"
+
+namespace hmis::net {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back with Server::port()
+  /// Engine pool lanes (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Solve admission tickets AND the engine's backstop gate.  0 = unbounded.
+  std::size_t max_inflight = 16;
+  /// Concurrent connections; excess accepts get RESOURCE_EXHAUSTED + close.
+  std::size_t max_connections = 64;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Applied to solves that do not carry their own deadline.  0 = none.
+  double default_deadline_ms = 0.0;
+  /// Result-cache capacity in entries (0 disables caching).
+  std::size_t cache_entries = 1024;
+  /// Honor the test-only "delay_ms" request field (sleeps while HOLDING the
+  /// admission ticket — how tests congest the gate deterministically).
+  /// Never enabled by the CLI.
+  bool enable_test_ops = false;
+};
+
+/// Downstream half of a connection: where response/progress frames go.
+/// frame() returns false once the peer is unreachable; implementations must
+/// tolerate calls from engine worker threads (progress streaming).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual bool frame(std::string_view payload) = 0;
+};
+
+/// Upstream half: pulls the raw graph-bytes frame that follows a `load`
+/// request.  False on EOF/error/oversize.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  virtual bool next_frame(std::string* out) = 0;
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t solves = 0;       ///< engine submissions (cache misses)
+  std::uint64_t rejected = 0;     ///< error responses of any kind
+  ResultCache::Stats cache;
+  engine::EngineStats engine;
+  std::size_t graphs = 0;
+};
+
+class ServeCore {
+ public:
+  explicit ServeCore(const ServeOptions& opt);
+
+  enum class Outcome {
+    Continue,  ///< response sent, keep the connection
+    Close,     ///< peer unreachable / frame write failed
+    Shutdown   ///< shutdown op accepted — stop the whole server
+  };
+
+  /// Handle one request payload end to end (including the trailing graph
+  /// frame of a `load`, pulled from `source`).  Never throws: every failure
+  /// becomes an {"ok":false,...} frame.  `source` may be null when the
+  /// caller cannot supply follow-up frames (load then fails cleanly).
+  Outcome handle(std::string_view payload, FrameSource* source,
+                 FrameSink* sink);
+
+  /// After this, solve/load requests get SHUTTING_DOWN; ping/stats/list
+  /// still answer (drain visibility).
+  void begin_shutdown() noexcept { shutting_down_.store(true); }
+  [[nodiscard]] bool shutting_down() const noexcept {
+    return shutting_down_.load();
+  }
+
+  [[nodiscard]] GraphRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] engine::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const noexcept { return opt_; }
+
+ private:
+  /// Counted tickets in front of the engine; acquire() gives up at the
+  /// caller's deadline.
+  class AdmissionGate {
+   public:
+    explicit AdmissionGate(std::size_t capacity) : capacity_(capacity) {}
+    /// remaining_ms < 0 waits forever.  False = deadline expired un-admitted.
+    [[nodiscard]] bool acquire(double remaining_ms);
+    void release();
+
+   private:
+    const std::size_t capacity_;
+    util::Mutex mutex_;
+    util::CondVar freed_;
+    std::size_t inflight_ HMIS_GUARDED_BY(mutex_) = 0;
+  };
+
+  Outcome respond_error(FrameSink* sink, ErrorCode code,
+                        std::string_view message);
+  Outcome handle_solve(const Request& req, FrameSink* sink);
+  Outcome handle_load(const Request& req, FrameSource* source,
+                      FrameSink* sink);
+
+  const ServeOptions opt_;
+  engine::Engine engine_;
+  GraphRegistry registry_;
+  ResultCache cache_;
+  AdmissionGate gate_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+/// The TCP shell.  Lifecycle: construct (binds), start() (spawns the accept
+/// thread), then stop() — or let a connection's `shutdown` op trigger
+/// request_stop() and call stop() to join.  stop() is a graceful drain:
+/// half-closes every connection's read side (in-flight requests finish and
+/// their responses are delivered), joins all threads, drains the engine.
+class Server {
+ public:
+  explicit Server(const ServeOptions& opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void start();
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+  [[nodiscard]] ServeCore& core() noexcept { return core_; }
+
+  /// Begin shutdown without blocking: flips the stop flag, marks the core
+  /// shutting-down, wakes the acceptor.  Safe from connection threads and
+  /// the CLI's signal watcher.
+  void request_stop() noexcept;
+  /// request_stop() + join everything.  Idempotent; safe after a
+  /// connection-initiated stop.
+  void stop();
+  /// Block until a request_stop() from elsewhere (signal, shutdown op).
+  void wait_until_stopped();
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread worker;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+  void sweep_finished_locked() HMIS_REQUIRES(conns_mutex_);
+
+  ServeCore core_;
+  Listener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> active_connections_{0};
+
+  util::Mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_ HMIS_GUARDED_BY(conns_mutex_);
+
+  util::Mutex state_mutex_;
+  util::CondVar stopped_cv_;
+  bool stop_requested_ HMIS_GUARDED_BY(state_mutex_) = false;
+
+  /// Serializes joiners; distinct from state_mutex_ so a connection thread
+  /// calling request_stop() never blocks behind a stop() that is joining.
+  util::Mutex join_mutex_;
+};
+
+}  // namespace hmis::net

@@ -1,0 +1,171 @@
+#include "hmis/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "hmis/util/check.hpp"
+
+namespace hmis::net {
+
+namespace {
+
+// A peer that resets mid-write raises SIGPIPE by default, which would kill
+// the whole server over one broken connection; per-send suppression keeps
+// the failure local (send_all just returns false).
+constexpr int kSendFlags = MSG_NOSIGNAL;
+
+bool fill_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::send_all(const void* data, std::size_t len) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t sent = ::send(fd_, p, len, kSendFlags);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    len -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+Socket::RecvStatus Socket::recv_exact(void* data, std::size_t len) noexcept {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::recv(fd_, p + got, len - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::Error;
+    }
+    if (r == 0) {
+      return got == 0 ? RecvStatus::Eof : RecvStatus::Error;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return RecvStatus::Ok;
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port, int backlog) {
+  sockaddr_in addr;
+  HMIS_CHECK(fill_addr(host, port, &addr), "bad listen address: " + host);
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  HMIS_CHECK(fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd_, backlog) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    HMIS_CHECK(false, std::string("cannot listen on ") + host + ": " +
+                          std::strerror(err));
+  }
+  // Resolve the actual port (meaningful when asked for 0 = ephemeral).
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  HMIS_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+                 0,
+             "getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  HMIS_CHECK(::pipe2(pipe_fds, O_CLOEXEC) == 0, "pipe2() failed");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+Socket Listener::accept() {
+  pollfd fds[2];
+  fds[0] = {fd_, POLLIN, 0};
+  fds[1] = {wake_read_, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drained[16];
+      (void)!::read(wake_read_, drained, sizeof(drained));
+      return Socket();  // woken — caller re-checks its stop flag
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (conn < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return Socket();
+      }
+      return Socket(conn);
+    }
+  }
+}
+
+void Listener::wake() noexcept {
+  const char byte = 1;
+  (void)!::write(wake_write_, &byte, 1);
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  if (!fill_addr(host, port, &addr)) return Socket();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Socket();
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Socket();
+  }
+  return Socket(fd);
+}
+
+}  // namespace hmis::net

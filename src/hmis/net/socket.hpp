@@ -1,0 +1,93 @@
+// Minimal RAII POSIX TCP sockets for the hmis wire layer (DESIGN.md §9).
+//
+// Deliberately tiny and dependency-free: blocking stream sockets, an
+// acceptor with a self-pipe wakeup (so shutdown never races a blocking
+// accept), and exact-read/write-all helpers.  IPv4 only — the server binds
+// loopback by default; fronting real traffic across machines is a
+// reverse-proxy's job, not this file's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hmis::net {
+
+/// One connected stream socket.  Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Write all `len` bytes; false on any error or peer reset.
+  bool send_all(const void* data, std::size_t len) noexcept;
+
+  enum class RecvStatus {
+    Ok,    ///< exactly `len` bytes read
+    Eof,   ///< clean close before the FIRST byte (frame boundary)
+    Error  ///< error, or close mid-read (truncated frame)
+  };
+  /// Read exactly `len` bytes.
+  RecvStatus recv_exact(void* data, std::size_t len) noexcept;
+
+  /// Half-close the read side: a peer blocked sending sees nothing, but our
+  /// next read returns EOF — how the server tells idle connections to wind
+  /// down during a drain.
+  void shutdown_read() noexcept;
+
+  /// Full shutdown: the peer sees EOF immediately.  Unlike close(), the fd
+  /// stays valid, so this is safe from a thread that does not own the
+  /// socket's lifetime (a racing close() would free the fd number for
+  /// reuse; shutdown() cannot).
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket plus a self-pipe: accept() blocks in poll() on both, so
+/// wake() (any thread, async-signal-safe) interrupts it without closing the
+/// listener under a racing accept.
+class Listener {
+ public:
+  /// Binds and listens.  `port` 0 picks an ephemeral port (read it back
+  /// with port()).  Throws util::CheckError on failure (address in use,
+  /// bad host, ...).
+  Listener(const std::string& host, std::uint16_t port, int backlog);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a connection arrives or wake() is called; an invalid
+  /// Socket means "woken or transient failure" — the caller re-checks its
+  /// stop flag and loops.
+  [[nodiscard]] Socket accept();
+
+  /// Interrupt a blocking accept().  Async-signal-safe (one write()).
+  void wake() noexcept;
+
+ private:
+  int fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Client-side connect.  Returns an invalid Socket on failure.
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port);
+
+}  // namespace hmis::net

@@ -1,0 +1,323 @@
+#include "hmis/util/json.hpp"
+
+#include <cstdio>
+
+#include "hmis/util/parse.hpp"
+
+namespace hmis::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Exact JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+bool is_json_number(std::string_view s) noexcept {
+  std::size_t i = 0;
+  const auto digits = [&]() noexcept {
+    const std::size_t begin = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > begin;
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i < s.size() && s[i] == '0') {
+    ++i;  // a leading zero must stand alone
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == s.size();
+}
+
+}  // namespace
+
+JsonObjectScanner::JsonObjectScanner(std::string_view text) : text_(text) {}
+
+void JsonObjectScanner::skip_ws() noexcept {
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+    ++pos_;
+  }
+}
+
+bool JsonObjectScanner::scan_string(std::string_view* out) noexcept {
+  // pos_ sits on the opening quote.
+  const std::size_t begin = ++pos_;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '\\') {
+      pos_ += 2;  // skip the escaped character (validity checked on decode)
+      continue;
+    }
+    if (c == '"') {
+      *out = text_.substr(begin, pos_ - begin);
+      ++pos_;
+      return true;
+    }
+    ++pos_;
+  }
+  return false;  // unterminated
+}
+
+bool JsonObjectScanner::scan_value(JsonValue* out) noexcept {
+  skip_ws();
+  if (pos_ >= text_.size()) return false;
+  const char c = text_[pos_];
+  if (c == '"') {
+    out->kind = JsonValue::Kind::String;
+    return scan_string(&out->raw);
+  }
+  if (c == '{' || c == '[') {
+    // Slice the whole nested structure, tracking depth and string state.
+    const std::size_t begin = pos_;
+    int depth = 0;
+    bool in_string = false;
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if (in_string) {
+        if (d == '\\') {
+          ++pos_;
+        } else if (d == '"') {
+          in_string = false;
+        }
+      } else if (d == '"') {
+        in_string = true;
+      } else if (d == '{' || d == '[') {
+        ++depth;
+      } else if (d == '}' || d == ']') {
+        --depth;
+        if (depth == 0) {
+          ++pos_;
+          out->kind = c == '{' ? JsonValue::Kind::Object
+                               : JsonValue::Kind::Array;
+          out->raw = text_.substr(begin, pos_ - begin);
+          return true;
+        }
+        if (depth < 0) return false;
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  // Bare literal: number / true / false / null.
+  const std::size_t begin = pos_;
+  while (pos_ < text_.size()) {
+    const char d = text_[pos_];
+    const bool literal_char = (d >= '0' && d <= '9') || (d >= 'a' && d <= 'z') ||
+                              d == '-' || d == '+' || d == '.' || d == 'E';
+    if (!literal_char) break;
+    ++pos_;
+  }
+  if (pos_ == begin) return false;
+  out->raw = text_.substr(begin, pos_ - begin);
+  if (out->raw == "true" || out->raw == "false") {
+    out->kind = JsonValue::Kind::Bool;
+  } else if (out->raw == "null") {
+    out->kind = JsonValue::Kind::Null;
+  } else {
+    // Anything else must be a real JSON number: `tru`, `nul`, `1.2.3` and
+    // friends are malformed input, not Numbers for downstream code to trip
+    // over.
+    if (!is_json_number(out->raw)) return false;
+    out->kind = JsonValue::Kind::Number;
+  }
+  return true;
+}
+
+bool JsonObjectScanner::next(std::string_view* key, JsonValue* value) {
+  if (error_ || closed_) return false;
+  skip_ws();
+  if (!started_) {
+    if (pos_ >= text_.size() || text_[pos_] != '{') {
+      fail();
+      return false;
+    }
+    ++pos_;
+    started_ = true;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      closed_ = true;
+      skip_ws();
+      if (pos_ != text_.size()) fail();  // trailing garbage
+      return false;
+    }
+  } else {
+    if (pos_ >= text_.size()) {
+      fail();
+      return false;
+    }
+    if (text_[pos_] == '}') {
+      ++pos_;
+      closed_ = true;
+      skip_ws();
+      if (pos_ != text_.size()) fail();
+      return false;
+    }
+    if (text_[pos_] != ',') {
+      fail();
+      return false;
+    }
+    ++pos_;
+    skip_ws();
+  }
+  if (pos_ >= text_.size() || text_[pos_] != '"' || !scan_string(key)) {
+    fail();
+    return false;
+  }
+  skip_ws();
+  if (pos_ >= text_.size() || text_[pos_] != ':') {
+    fail();
+    return false;
+  }
+  ++pos_;
+  if (!scan_value(value)) {
+    fail();
+    return false;
+  }
+  skip_ws();
+  return true;
+}
+
+std::optional<std::uint64_t> json_u64(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::Number) return std::nullopt;
+  return parse_u64(v.raw);
+}
+
+std::optional<double> json_f64(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::Number) return std::nullopt;
+  return parse_f64(v.raw);
+}
+
+std::optional<bool> json_bool(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::Bool) return std::nullopt;
+  return v.raw == "true";
+}
+
+std::optional<std::string> json_string(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::String) return std::nullopt;
+  std::string out;
+  out.reserve(v.raw.size());
+  for (std::size_t i = 0; i < v.raw.size(); ++i) {
+    const char c = v.raw[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= v.raw.size()) return std::nullopt;
+    switch (v.raw[i]) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case '/':
+        out += '/';
+        break;
+      case 'b':
+        out += '\b';
+        break;
+      case 'f':
+        out += '\f';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (i + 4 >= v.raw.size()) return std::nullopt;
+        std::uint32_t cp = 0;
+        for (int j = 0; j < 4; ++j) {
+          const char h = v.raw[++i];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') {
+            cp |= static_cast<std::uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+          } else {
+            return std::nullopt;
+          }
+        }
+        // UTF-8 encode (BMP only; surrogate pairs rejected — our own
+        // escaper never emits them).
+        if (cp >= 0xD800 && cp <= 0xDFFF) return std::nullopt;
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xC0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::optional<JsonValue> json_find(std::string_view object_text,
+                                   std::string_view key) {
+  JsonObjectScanner sc(object_text);
+  std::string_view k;
+  JsonValue v;
+  std::optional<JsonValue> found;
+  while (sc.next(&k, &v)) {
+    if (k == key) found = v;
+  }
+  if (!sc.ok()) return std::nullopt;
+  return found;
+}
+
+}  // namespace hmis::util

@@ -1,0 +1,78 @@
+// Minimal JSON utilities: the escaper behind every --format json emitter
+// and a zero-allocation scanner for the net/ wire protocol's flat request
+// objects (DESIGN.md §9).
+//
+// This is deliberately not a general JSON library.  The scanner walks ONE
+// object and yields raw value slices; nested objects/arrays come back as
+// unparsed spans (callers that need to descend run another scanner on the
+// slice).  Strings are returned as their quoted interior — unescape with
+// json_string when the bytes matter.  Duplicate keys are the caller's
+// problem (last one wins under the usual "iterate and switch" idiom).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hmis::util {
+
+/// Escape for embedding inside a JSON string literal (quotes not added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// One value slice inside a JSON document.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+  Kind kind = Kind::Null;
+  /// Exact character span: for String the interior (no quotes, still
+  /// escaped); for Object/Array the full bracketed slice; otherwise the
+  /// literal token.
+  std::string_view raw;
+};
+
+/// Scanner over one flat JSON object.  Allocation-free: every yielded view
+/// aliases the input buffer, which must outlive the scan.
+///
+///   JsonObjectScanner sc(payload);
+///   std::string_view key; JsonValue val;
+///   while (sc.next(&key, &val)) { ... }
+///   if (!sc.ok()) { /* malformed */ }
+class JsonObjectScanner {
+ public:
+  explicit JsonObjectScanner(std::string_view text);
+
+  /// Advance to the next key/value pair; false at the end of the object or
+  /// on malformed input (check ok() to distinguish).
+  bool next(std::string_view* key, JsonValue* value);
+
+  /// True iff the input was one well-formed object followed by only
+  /// whitespace.  Meaningful once next() has returned false.
+  [[nodiscard]] bool ok() const noexcept { return !error_ && closed_; }
+
+ private:
+  void fail() noexcept { error_ = true; }
+  void skip_ws() noexcept;
+  bool scan_string(std::string_view* out) noexcept;
+  bool scan_value(JsonValue* out) noexcept;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool started_ = false;
+  bool closed_ = false;
+  bool error_ = false;
+};
+
+/// Typed accessors for scanner values.  nullopt on kind mismatch or
+/// unparsable content.
+[[nodiscard]] std::optional<std::uint64_t> json_u64(const JsonValue& v);
+[[nodiscard]] std::optional<double> json_f64(const JsonValue& v);
+[[nodiscard]] std::optional<bool> json_bool(const JsonValue& v);
+/// Unescapes a String value (\" \\ \/ \b \f \n \r \t \uXXXX → UTF-8).
+[[nodiscard]] std::optional<std::string> json_string(const JsonValue& v);
+
+/// Convenience for tests and the client: locate a top-level key inside an
+/// object document.  nullopt if absent or the document is malformed.
+[[nodiscard]] std::optional<JsonValue> json_find(std::string_view object_text,
+                                                 std::string_view key);
+
+}  // namespace hmis::util

@@ -1,0 +1,40 @@
+#include "hmis/util/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace hmis::util {
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t out = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // overflow
+    }
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s.front()))) {
+    return std::nullopt;  // strtod would silently skip leading whitespace
+  }
+  const std::string buf(s);  // strtod needs a NUL terminator
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;  // trailing junk
+  if (errno == ERANGE) return std::nullopt;                  // over/underflow
+  if (!std::isfinite(v)) return std::nullopt;                // "inf", "nan"
+  return v;
+}
+
+}  // namespace hmis::util

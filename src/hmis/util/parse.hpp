@@ -1,0 +1,26 @@
+// Strict numeric parsing for untrusted text (CLI flags, batch manifests,
+// wire requests).
+//
+// Bare strtoull/strtod swallow garbage: they skip leading whitespace,
+// accept signs and trailing junk, and yield 0 when nothing parses at all —
+// so `--threads foo` used to silently serialize a run.  These helpers
+// accept exactly one complete numeric token and report failure instead of
+// guessing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hmis::util {
+
+/// The entire string must be a base-10 unsigned integer fitting u64 (no
+/// sign, no whitespace, no trailing characters).  nullopt otherwise.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// The entire string must be a finite floating-point literal (strtod
+/// grammar, endptr + errno checked; leading whitespace rejected, inf/nan
+/// rejected).  nullopt otherwise.
+[[nodiscard]] std::optional<double> parse_f64(std::string_view s);
+
+}  // namespace hmis::util

@@ -137,4 +137,109 @@ TEST(Io, EmptyHypergraphRoundTrips) {
   EXPECT_EQ(back.num_edges(), 0u);
 }
 
+// ---- Hostile-input corpus ---------------------------------------------------
+// Both readers sit on the untrusted surface (`hmis serve` accepts uploaded
+// graphs); every crafted header below must become a CheckError, never an
+// unbounded loop, allocation, or silent misparse.
+
+TEST(IoHostile, TextRejectsTrailingTokensOnEdgeLine) {
+  std::istringstream is("hg1 3 1\n2 0 1 99\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+TEST(IoHostile, TextRejectsTrailingTokensAfterHeader) {
+  std::istringstream is("hg1 3 1 junk\n2 0 1\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+TEST(IoHostile, TextRejectsVertexCountBeyondVertexIdRange) {
+  // 2^33 vertices cannot be represented by u32 VertexIds.
+  std::istringstream is("hg1 8589934592 0\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+TEST(IoHostile, TextRejectsNegativeVertexId) {
+  // operator>> on an unsigned wraps "-1" to 4294967295 without failing; the
+  // v < n range check must still catch it (n is capped at kInvalidVertex).
+  std::istringstream is("hg1 3 1\n2 0 -1\n");
+  EXPECT_THROW((void)read_hypergraph(is), util::CheckError);
+}
+
+namespace hostile {
+
+std::string u64le(std::uint64_t x) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((x >> (8 * i)) & 0xFF);
+  return out;
+}
+
+std::string u32le(std::uint32_t x) {
+  std::string out(4, '\0');
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((x >> (8 * i)) & 0xFF);
+  return out;
+}
+
+std::string header(std::uint64_t n, std::uint64_t m) {
+  return "HGB1" + u64le(n) + u64le(m);
+}
+
+Hypergraph read(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return read_hypergraph_binary(is);
+}
+
+}  // namespace hostile
+
+TEST(IoHostile, BinaryRejectsHugeDeclaredEdgeCount) {
+  // m = 2^60 with a near-empty stream: the remaining-length bound must kill
+  // it before the edge loop ever runs.
+  EXPECT_THROW((void)hostile::read(hostile::header(4, 1ull << 60) +
+                                   hostile::u32le(1) + hostile::u32le(0)),
+               util::CheckError);
+}
+
+TEST(IoHostile, BinaryRejectsHugeDeclaredArity) {
+  // One edge claiming 2^32-1 vertices in a 12-byte body: the per-edge
+  // remaining-length bound fires before reserve()/the vertex loop.
+  EXPECT_THROW((void)hostile::read(hostile::header(4, 1) +
+                                   hostile::u32le(0xFFFFFFFFu) +
+                                   hostile::u32le(0) + hostile::u32le(1)),
+               util::CheckError);
+}
+
+TEST(IoHostile, BinaryRejectsZeroArityEdge) {
+  EXPECT_THROW((void)hostile::read(hostile::header(4, 1) + hostile::u32le(0)),
+               util::CheckError);
+}
+
+TEST(IoHostile, BinaryRejectsVertexOutOfRange) {
+  EXPECT_THROW((void)hostile::read(hostile::header(4, 1) + hostile::u32le(2) +
+                                   hostile::u32le(0) + hostile::u32le(9)),
+               util::CheckError);
+}
+
+TEST(IoHostile, BinaryRejectsVertexCountBeyondVertexIdRange) {
+  EXPECT_THROW((void)hostile::read(hostile::header(1ull << 40, 0)),
+               util::CheckError);
+}
+
+TEST(IoHostile, BinaryRejectsEdgeCountJustOverStreamBudget) {
+  // Boundary case: stream holds exactly one minimal edge (8 bytes) but the
+  // header declares two.
+  EXPECT_THROW((void)hostile::read(hostile::header(4, 2) + hostile::u32le(1) +
+                                   hostile::u32le(0)),
+               util::CheckError);
+}
+
+TEST(IoHostile, BinaryAcceptsExactStreamBudget) {
+  // The same boundary from the other side: a well-formed minimal stream
+  // must keep parsing (the bounds are caps, not off-by-one tripwires).
+  const Hypergraph h = hostile::read(hostile::header(4, 1) +
+                                     hostile::u32le(2) + hostile::u32le(0) +
+                                     hostile::u32le(3));
+  EXPECT_EQ(h.num_vertices(), 4u);
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_EQ(h.edges_as_lists()[0], (VertexList{0, 3}));
+}
+
 }  // namespace

@@ -1,0 +1,527 @@
+// The serving stack (DESIGN.md §9): registry, cache, protocol, ServeCore,
+// and the TCP Server — including the tentpole guarantee that a served solve
+// response is byte-identical to the equivalent blocking core::find_mis for
+// any server thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/hypergraph/io.hpp"
+#include "hmis/net/client.hpp"
+#include "hmis/net/protocol.hpp"
+#include "hmis/net/registry.hpp"
+#include "hmis/net/result_cache.hpp"
+#include "hmis/net/server.hpp"
+#include "hmis/util/json.hpp"
+
+namespace {
+
+using namespace hmis;
+
+std::string text_bytes(const Hypergraph& h) {
+  std::ostringstream os;
+  write_hypergraph(os, h);
+  return os.str();
+}
+
+std::string binary_bytes(const Hypergraph& h) {
+  std::ostringstream os(std::ios::binary);
+  write_hypergraph_binary(os, h);
+  return os.str();
+}
+
+std::string_view error_code_of(const std::string& payload) {
+  const auto code = util::json_find(payload, "code");
+  return code ? code->raw : std::string_view{};
+}
+
+bool is_ok(const std::string& payload) {
+  const auto ok = util::json_find(payload, "ok");
+  return ok && ok->raw == "true";
+}
+
+// ---- digest & registry ------------------------------------------------------
+
+TEST(NetDigest, ContentDetermined) {
+  const Hypergraph a = gen::uniform_random(50, 80, 3, 7);
+  const Hypergraph b = gen::uniform_random(50, 80, 3, 7);
+  const Hypergraph c = gen::uniform_random(50, 80, 3, 8);
+  EXPECT_EQ(net::hypergraph_digest(a), net::hypergraph_digest(b));
+  EXPECT_NE(net::hypergraph_digest(a), net::hypergraph_digest(c));
+}
+
+TEST(NetDigest, EdgeBoundariesMatter) {
+  // (…,{0,1},{2},…) vs (…,{0},{1,2},…): same vertex stream, different
+  // edges — the arity folding must separate them.
+  const Hypergraph a = make_hypergraph(3, {{0, 1}, {2}});
+  const Hypergraph b = make_hypergraph(3, {{0}, {1, 2}});
+  EXPECT_NE(net::hypergraph_digest(a), net::hypergraph_digest(b));
+}
+
+TEST(NetDigest, HexIsFixedWidth) {
+  EXPECT_EQ(net::digest_hex(0), "0000000000000000");
+  EXPECT_EQ(net::digest_hex(0xABCDEF), "0000000000abcdef");
+}
+
+TEST(NetRegistry, PutFindUnloadList) {
+  net::GraphRegistry reg;
+  reg.put("a", gen::uniform_random(30, 40, 3, 1));
+  reg.put("b", gen::uniform_random(10, 15, 2, 2));
+  EXPECT_EQ(reg.size(), 2u);
+  const auto found = reg.find("a");
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found->graph->num_vertices(), 30u);
+  EXPECT_FALSE(reg.find("missing"));
+
+  const auto listing = reg.list();
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0].name, "a");  // name-ascending
+  EXPECT_EQ(listing[1].name, "b");
+
+  EXPECT_TRUE(reg.unload("a"));
+  EXPECT_FALSE(reg.unload("a"));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(NetRegistry, UnloadKeepsInFlightReferencesAlive) {
+  net::GraphRegistry reg;
+  reg.put("g", gen::uniform_random(25, 30, 3, 3));
+  const auto held = reg.find("g");
+  ASSERT_TRUE(held);
+  EXPECT_TRUE(reg.unload("g"));
+  // The name is gone but the shared_ptr IS the refcount.
+  EXPECT_EQ(held->graph->num_vertices(), 25u);
+}
+
+TEST(NetRegistry, LoadFileSniffsBothFormats) {
+  const Hypergraph h = gen::uniform_random(20, 25, 3, 5);
+  const std::string tpath = ::testing::TempDir() + "/net_reg_t.hg";
+  const std::string bpath = ::testing::TempDir() + "/net_reg_b.hgb";
+  save_hypergraph(tpath, h);
+  save_hypergraph_binary(bpath, h);
+  net::GraphRegistry reg;
+  const auto t = reg.load_file("t", tpath);
+  const auto b = reg.load_file("b", bpath);
+  EXPECT_EQ(t.digest, b.digest);
+  EXPECT_EQ(t.graph->edges_as_lists(), b.graph->edges_as_lists());
+  std::remove(tpath.c_str());
+  std::remove(bpath.c_str());
+}
+
+// ---- result cache -----------------------------------------------------------
+
+TEST(NetResultCache, HitMissAndLruEviction) {
+  net::ResultCache cache(2);
+  const net::ResultCache::Key k1{1, 0, 1}, k2{2, 0, 1}, k3{3, 0, 1};
+  EXPECT_EQ(cache.find(k1), nullptr);
+  cache.insert(k1, std::make_shared<const std::string>("r1"));
+  cache.insert(k2, std::make_shared<const std::string>("r2"));
+  const auto hit = cache.find(k1);  // refreshes k1: k2 is now LRU
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "r1");
+  cache.insert(k3, std::make_shared<const std::string>("r3"));  // evicts k2
+  EXPECT_EQ(cache.find(k2), nullptr);
+  EXPECT_NE(cache.find(k1), nullptr);
+  EXPECT_NE(cache.find(k3), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(NetResultCache, KeyIsTheFullDeterminismDomain) {
+  net::ResultCache cache(16);
+  cache.insert({5, 1, 9}, std::make_shared<const std::string>("x"));
+  EXPECT_EQ(cache.find({5, 1, 8}), nullptr);  // different seed
+  EXPECT_EQ(cache.find({5, 2, 9}), nullptr);  // different algorithm
+  EXPECT_EQ(cache.find({6, 1, 9}), nullptr);  // different graph
+  EXPECT_NE(cache.find({5, 1, 9}), nullptr);
+}
+
+TEST(NetResultCache, ZeroCapacityDisables) {
+  net::ResultCache cache(0);
+  cache.insert({1, 0, 1}, std::make_shared<const std::string>("r"));
+  EXPECT_EQ(cache.find({1, 0, 1}), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- request parsing --------------------------------------------------------
+
+TEST(NetProtocol, ParsesSolveRequest) {
+  net::Request req;
+  std::string err;
+  ASSERT_TRUE(net::parse_request(
+      R"({"op":"solve","graph":"g","algo":"sbl","seed":9,"deadline_ms":250,"progress":2})",
+      &req, &err))
+      << err;
+  EXPECT_EQ(req.op, net::Request::Op::Solve);
+  EXPECT_EQ(req.graph, "g");
+  EXPECT_EQ(req.algo, "sbl");
+  EXPECT_EQ(req.seed, 9u);
+  EXPECT_EQ(req.deadline_ms, 250.0);
+  EXPECT_EQ(req.progress_every, 2u);
+}
+
+TEST(NetProtocol, RejectsHostileRequests) {
+  const char* bad[] = {
+      R"({"op":"solve","graph":"g","sedd":1})",  // typoed key: reject, not
+                                                 // solve-with-default-seed
+      R"({"op":"nuke"})",                        // unknown op
+      R"({"graph":"g"})",                        // missing op
+      R"({"op":"solve","seed":-1})",             // negative seed
+      R"({"op":"solve","seed":1.5})",            // non-integer seed
+      R"({"op":"solve","deadline_ms":-5})",      // negative deadline
+      R"({"op":"solve","graph":7})",             // wrong type
+      R"({"op":"solve"} extra)",                 // trailing garbage
+      R"(not json at all)",
+      R"({"op":"solve","graph":"a\\b"})",        // escapes in names
+  };
+  for (const char* payload : bad) {
+    net::Request req;
+    std::string err;
+    EXPECT_FALSE(net::parse_request(payload, &req, &err))
+        << "accepted: " << payload;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+// ---- ServeCore (socket-free) ------------------------------------------------
+
+class CollectSink final : public net::FrameSink {
+ public:
+  bool frame(std::string_view payload) override {
+    frames.emplace_back(payload);
+    return true;
+  }
+  std::vector<std::string> frames;
+};
+
+class QueueSource final : public net::FrameSource {
+ public:
+  explicit QueueSource(std::vector<std::string> frames)
+      : frames_(std::move(frames)) {}
+  bool next_frame(std::string* out) override {
+    if (next_ >= frames_.size()) return false;
+    *out = frames_[next_++];
+    return true;
+  }
+
+ private:
+  std::vector<std::string> frames_;
+  std::size_t next_ = 0;
+};
+
+/// One request through a core; expects exactly one response frame.
+std::string roundtrip(net::ServeCore& core, const std::string& request,
+                      net::FrameSource* source = nullptr) {
+  CollectSink sink;
+  EXPECT_EQ(core.handle(request, source, &sink),
+            net::ServeCore::Outcome::Continue);
+  EXPECT_EQ(sink.frames.size(), 1u);
+  return sink.frames.empty() ? std::string() : sink.frames.back();
+}
+
+net::ServeOptions test_core_options(std::size_t threads) {
+  net::ServeOptions opt;
+  opt.threads = threads;
+  opt.max_inflight = 4;
+  opt.enable_test_ops = true;
+  return opt;
+}
+
+TEST(NetServeCore, SolveMatchesBlockingFindMisByteForByte) {
+  const Hypergraph h = gen::uniform_random(400, 600, 3, 11);
+  core::FindOptions fopt;
+  fopt.seed = 7;
+  const std::string expected =
+      net::solve_payload(core::find_mis(h, core::Algorithm::SBL, fopt));
+
+  // The tentpole contract: 1, 2, and 8 server threads all serve the exact
+  // bytes the blocking solve produced.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    net::ServeCore core(test_core_options(threads));
+    core.registry().put("g", h);
+    const std::string got = roundtrip(
+        core, R"({"op":"solve","graph":"g","algo":"sbl","seed":7})");
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(NetServeCore, CacheHitServesIdenticalBytes) {
+  net::ServeCore core(test_core_options(2));
+  core.registry().put("g", gen::uniform_random(200, 300, 3, 3));
+  const std::string req = R"({"op":"solve","graph":"g","algo":"sbl","seed":5})";
+  const std::string first = roundtrip(core, req);
+  const std::string second = roundtrip(core, req);
+  EXPECT_EQ(first, second);
+  const net::ServeStats stats = core.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.solves, 1u);  // the second request never hit the engine
+  EXPECT_EQ(stats.engine.submitted, 1u);
+}
+
+TEST(NetServeCore, ReloadedGraphStillHitsByDigest) {
+  // The cache key follows the bytes, not the name: unload + reload of the
+  // same content must hit.
+  const Hypergraph h = gen::uniform_random(150, 200, 3, 13);
+  net::ServeCore core(test_core_options(2));
+  core.registry().put("g", h);
+  const std::string req = R"({"op":"solve","graph":"g","algo":"sbl","seed":2})";
+  (void)roundtrip(core, req);
+  EXPECT_TRUE(is_ok(roundtrip(core, R"({"op":"unload","graph":"g"})")));
+  core.registry().put("g", h);
+  (void)roundtrip(core, req);
+  EXPECT_EQ(core.stats().cache.hits, 1u);
+}
+
+TEST(NetServeCore, ErrorPaths) {
+  net::ServeCore core(test_core_options(2));
+  core.registry().put("g", gen::uniform_random(50, 60, 3, 1));
+  EXPECT_EQ(error_code_of(roundtrip(
+                core, R"({"op":"solve","graph":"nope","seed":1})")),
+            "NOT_FOUND");
+  EXPECT_EQ(error_code_of(roundtrip(
+                core, R"({"op":"solve","graph":"g","algo":"quantum"})")),
+            "BAD_REQUEST");
+  EXPECT_EQ(error_code_of(roundtrip(core, R"({"op":"solve"})")),
+            "BAD_REQUEST");
+  EXPECT_EQ(error_code_of(roundtrip(core, R"({"op":"unload","graph":"x"})")),
+            "NOT_FOUND");
+  EXPECT_EQ(error_code_of(roundtrip(core, "garbage")), "BAD_REQUEST");
+  // Luby requires dimension <= 2; the envelope check must answer
+  // BAD_REQUEST instead of letting the engine throw.
+  EXPECT_EQ(error_code_of(roundtrip(
+                core, R"({"op":"solve","graph":"g","algo":"luby"})")),
+            "BAD_REQUEST");
+}
+
+TEST(NetServeCore, LoadOverTheWire) {
+  const Hypergraph h = gen::uniform_random(80, 120, 3, 9);
+  net::ServeCore core(test_core_options(2));
+  {
+    QueueSource source({text_bytes(h)});
+    const std::string resp =
+        roundtrip(core, R"({"op":"load","name":"t"})", &source);
+    EXPECT_TRUE(is_ok(resp)) << resp;
+  }
+  {
+    QueueSource source({binary_bytes(h)});
+    const std::string resp =
+        roundtrip(core, R"({"op":"load","name":"b","format":"hgb1"})",
+                  &source);
+    EXPECT_TRUE(is_ok(resp)) << resp;
+  }
+  const auto t = core.registry().find("t");
+  const auto b = core.registry().find("b");
+  ASSERT_TRUE(t && b);
+  EXPECT_EQ(t->digest, b->digest);
+}
+
+TEST(NetServeCore, LoadRejectsCorruptBytesAndStaysUsable) {
+  net::ServeCore core(test_core_options(2));
+  QueueSource source({"hg1 3 1\n2 0 99\n"});  // vertex out of range
+  const std::string resp =
+      roundtrip(core, R"({"op":"load","name":"bad"})", &source);
+  EXPECT_EQ(error_code_of(resp), "BAD_REQUEST");
+  EXPECT_EQ(core.registry().size(), 0u);
+  // The graph frame was consumed despite the failure — the next request on
+  // this logical stream parses normally.
+  EXPECT_TRUE(is_ok(roundtrip(core, R"({"op":"ping"})")));
+}
+
+TEST(NetServeCore, ShutdownGatesNewWork) {
+  net::ServeCore core(test_core_options(2));
+  core.registry().put("g", gen::uniform_random(40, 50, 3, 1));
+  CollectSink sink;
+  EXPECT_EQ(core.handle(R"({"op":"shutdown"})", nullptr, &sink),
+            net::ServeCore::Outcome::Shutdown);
+  EXPECT_EQ(error_code_of(roundtrip(
+                core, R"({"op":"solve","graph":"g","seed":1})")),
+            "SHUTTING_DOWN");
+  // Observability ops still answer during the drain.
+  EXPECT_TRUE(is_ok(roundtrip(core, R"({"op":"ping"})")));
+  EXPECT_TRUE(is_ok(roundtrip(core, R"({"op":"stats"})")));
+}
+
+TEST(NetServeCore, DeadlineExceededOnCongestedGate) {
+  net::ServeOptions opt = test_core_options(2);
+  opt.max_inflight = 1;
+  net::ServeCore core(opt);
+  core.registry().put("g", gen::uniform_random(60, 80, 3, 1));
+  // Occupy the single admission ticket with a test-op delay...
+  std::thread occupant([&core] {
+    CollectSink sink;
+    (void)core.handle(
+        R"({"op":"solve","graph":"g","seed":1,"delay_ms":400})", nullptr,
+        &sink);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // ...so a short-deadline request cannot be admitted in time.
+  const std::string resp = roundtrip(
+      core, R"({"op":"solve","graph":"g","seed":2,"deadline_ms":40})");
+  EXPECT_EQ(error_code_of(resp), "DEADLINE_EXCEEDED");
+  occupant.join();
+}
+
+TEST(NetServeCore, ProgressFramesPrecedeFinalResponse) {
+  net::ServeCore core(test_core_options(2));
+  core.registry().put("g", gen::uniform_random(500, 800, 3, 21));
+  CollectSink sink;
+  EXPECT_EQ(core.handle(
+                R"({"op":"solve","graph":"g","algo":"sbl","seed":3,"progress":1})",
+                nullptr, &sink),
+            net::ServeCore::Outcome::Continue);
+  ASSERT_GE(sink.frames.size(), 2u);  // at least one round + the response
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i + 1 < sink.frames.size(); ++i) {
+    const auto event = util::json_find(sink.frames[i], "event");
+    ASSERT_TRUE(event && event->raw == "progress") << sink.frames[i];
+    const auto rounds = util::json_find(sink.frames[i], "rounds");
+    ASSERT_TRUE(rounds);
+    const auto r = util::json_u64(*rounds);
+    ASSERT_TRUE(r);
+    EXPECT_GT(*r, prev);  // strictly increasing, 1-based
+    prev = *r;
+  }
+  EXPECT_TRUE(is_ok(sink.frames.back()));
+  EXPECT_FALSE(util::json_find(sink.frames.back(), "event"));
+}
+
+// ---- the TCP server ---------------------------------------------------------
+
+net::ServeOptions loopback_options() {
+  net::ServeOptions opt;
+  opt.port = 0;  // ephemeral
+  opt.threads = 2;
+  opt.max_inflight = 4;
+  opt.enable_test_ops = true;
+  return opt;
+}
+
+TEST(NetServer, EndToEndSolveLoadCacheShutdown) {
+  const Hypergraph h = gen::uniform_random(300, 450, 3, 17);
+  core::FindOptions fopt;
+  fopt.seed = 4;
+  const std::string expected =
+      net::solve_payload(core::find_mis(h, core::Algorithm::SBL, fopt));
+
+  net::Server server(loopback_options());
+  server.start();
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  EXPECT_TRUE(is_ok(client.request(R"({"op":"ping"})").payload));
+
+  const auto loaded = client.load("g", binary_bytes(h));
+  ASSERT_TRUE(loaded.transport_ok);
+  EXPECT_TRUE(is_ok(loaded.payload)) << loaded.payload;
+  const auto digest = util::json_find(loaded.payload, "digest");
+  ASSERT_TRUE(digest);
+  EXPECT_EQ(digest->raw, net::digest_hex(net::hypergraph_digest(h)));
+
+  const std::string solve_req =
+      R"({"op":"solve","graph":"g","algo":"sbl","seed":4})";
+  const auto first = client.request(solve_req);
+  ASSERT_TRUE(first.transport_ok);
+  EXPECT_EQ(first.payload, expected);  // byte-identical across the wire
+  const auto second = client.request(solve_req);
+  EXPECT_EQ(second.payload, expected);  // cache hit, same bytes
+  EXPECT_EQ(server.core().stats().cache.hits, 1u);
+
+  const auto bye = client.request(R"({"op":"shutdown"})");
+  EXPECT_TRUE(is_ok(bye.payload));
+  server.stop();  // idempotent with the wire-initiated stop
+}
+
+TEST(NetServer, SolveWithProgressStreamsOverTheWire) {
+  net::Server server(loopback_options());
+  server.core().registry().put("g", gen::uniform_random(500, 800, 3, 29));
+  server.start();
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto reply = client.request(
+      R"({"op":"solve","graph":"g","algo":"sbl","seed":1,"progress":1})");
+  ASSERT_TRUE(reply.transport_ok);
+  EXPECT_TRUE(is_ok(reply.payload));
+  EXPECT_GE(reply.progress.size(), 1u);
+  server.stop();
+}
+
+TEST(NetServer, MalformedRequestKeepsConnectionUsable) {
+  net::Server server(loopback_options());
+  server.start();
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto bad = client.request(R"({"op":"solve","unknown_key":1})");
+  ASSERT_TRUE(bad.transport_ok);
+  EXPECT_EQ(error_code_of(bad.payload), "BAD_REQUEST");
+  EXPECT_TRUE(is_ok(client.request(R"({"op":"ping"})").payload));
+  server.stop();
+}
+
+TEST(NetServer, OversizedFrameIsRejectedAndClosed) {
+  net::ServeOptions opt = loopback_options();
+  opt.max_frame_bytes = 64;
+  net::Server server(opt);
+  server.start();
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.send_frame(std::string(200, 'x')));
+  std::string resp;
+  ASSERT_EQ(client.read_one(&resp), net::FrameStatus::Ok);
+  EXPECT_EQ(error_code_of(resp), "FRAME_TOO_LARGE");
+  // The stream is desynced by design; the server closes after responding.
+  EXPECT_EQ(client.read_one(&resp), net::FrameStatus::Eof);
+  server.stop();
+}
+
+TEST(NetServer, ConnectionCapRefusesWithResourceExhausted) {
+  net::ServeOptions opt = loopback_options();
+  opt.max_connections = 1;
+  net::Server server(opt);
+  server.start();
+  net::Client first;
+  ASSERT_TRUE(first.connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(is_ok(first.request(R"({"op":"ping"})").payload));
+  net::Client second;
+  ASSERT_TRUE(second.connect("127.0.0.1", server.port()));
+  std::string resp;
+  ASSERT_EQ(second.read_one(&resp), net::FrameStatus::Ok);
+  EXPECT_EQ(error_code_of(resp), "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(second.read_one(&resp), net::FrameStatus::Eof);
+  // The admitted connection is unaffected.
+  EXPECT_TRUE(is_ok(first.request(R"({"op":"ping"})").payload));
+  server.stop();
+}
+
+TEST(NetServer, GracefulDrainDeliversInFlightResponses) {
+  net::Server server(loopback_options());
+  server.core().registry().put("g", gen::uniform_random(200, 300, 3, 5));
+  server.start();
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  // An admitted slow request (test-op delay), then a stop racing it: the
+  // drain must deliver the response before the connection is torn down.
+  std::atomic<bool> got_ok{false};
+  std::thread requester([&client, &got_ok] {
+    const auto reply = client.request(
+        R"({"op":"solve","graph":"g","seed":1,"delay_ms":200})");
+    got_ok.store(reply.transport_ok && is_ok(reply.payload));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  requester.join();
+  EXPECT_TRUE(got_ok.load());
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "hmis/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+using namespace hmis::util;
+
+TEST(JsonEscape, EscapesControlAndStructural) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\t"), "line\\nbreak\\t");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+std::vector<std::pair<std::string, std::string>> scan_all(
+    std::string_view text, bool* ok) {
+  JsonObjectScanner sc(text);
+  std::vector<std::pair<std::string, std::string>> out;
+  std::string_view key;
+  JsonValue val;
+  while (sc.next(&key, &val)) out.emplace_back(std::string(key),
+                                               std::string(val.raw));
+  *ok = sc.ok();
+  return out;
+}
+
+TEST(JsonScanner, WalksFlatObject) {
+  bool ok = false;
+  const auto kvs =
+      scan_all(R"({"op":"solve","seed":42,"deep":{"x":[1,2]},"b":true})", &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(kvs.size(), 4u);
+  EXPECT_EQ(kvs[0], (std::pair<std::string, std::string>{"op", "solve"}));
+  EXPECT_EQ(kvs[1].second, "42");
+  EXPECT_EQ(kvs[2].second, R"({"x":[1,2]})");  // nested slice, unparsed
+  EXPECT_EQ(kvs[3].second, "true");
+}
+
+TEST(JsonScanner, EmptyObjectIsOk) {
+  bool ok = false;
+  EXPECT_TRUE(scan_all("  { } ", &ok).empty());
+  EXPECT_TRUE(ok);
+}
+
+TEST(JsonScanner, RejectsTrailingGarbage) {
+  bool ok = true;
+  (void)scan_all(R"({"a":1} trailing)", &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(JsonScanner, RejectsMalformed) {
+  for (const char* bad : {"", "{", "{\"a\"}", "{\"a\":}", "{\"a\":1,}",
+                          "{a:1}", "[1,2]", "{\"a\":1 \"b\":2}",
+                          "{\"unterminated", "{\"a\":tru}"}) {
+    bool ok = true;
+    (void)scan_all(bad, &ok);
+    EXPECT_FALSE(ok) << "accepted malformed input: " << bad;
+  }
+}
+
+TEST(JsonTyped, U64AndF64AndBool) {
+  const auto num = [](std::string_view raw) {
+    return JsonValue{JsonValue::Kind::Number, raw};
+  };
+  EXPECT_EQ(json_u64(num("42")), 42u);
+  EXPECT_FALSE(json_u64(num("-1")));
+  EXPECT_FALSE(json_u64(num("1.5")));
+  EXPECT_EQ(json_f64(num("2.5")), 2.5);
+  EXPECT_EQ(json_f64(num("-3")), -3.0);
+  EXPECT_EQ(json_bool(JsonValue{JsonValue::Kind::Bool, "true"}), true);
+  // Kind mismatches fail instead of coercing.
+  EXPECT_FALSE(json_u64(JsonValue{JsonValue::Kind::String, "42"}));
+}
+
+TEST(JsonTyped, StringUnescapes) {
+  const auto str = [](std::string_view raw) {
+    return JsonValue{JsonValue::Kind::String, raw};
+  };
+  EXPECT_EQ(json_string(str("plain")), "plain");
+  EXPECT_EQ(json_string(str(R"(a\"b\\c\n)")), "a\"b\\c\n");
+  EXPECT_EQ(json_string(str(R"(Aé)")), "A\xc3\xa9");
+  EXPECT_FALSE(json_string(str(R"(\x41)")));      // bad escape
+  EXPECT_FALSE(json_string(str(R"(\ud800 lone)")));  // unpaired surrogate
+}
+
+TEST(JsonFind, LocatesTopLevelKeys) {
+  const std::string_view doc =
+      R"({"ok":true,"result":{"size":3},"code":"NOT_FOUND"})";
+  const auto ok = json_find(doc, "ok");
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(ok->raw, "true");
+  const auto result = json_find(doc, "result");
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->kind, JsonValue::Kind::Object);
+  EXPECT_EQ(result->raw, R"({"size":3})");
+  EXPECT_FALSE(json_find(doc, "size"));  // nested, not top-level
+  EXPECT_FALSE(json_find("not json", "ok"));
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "hmis/util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace {
+
+using hmis::util::parse_f64;
+using hmis::util::parse_u64;
+
+TEST(ParseU64, AcceptsCleanDecimals) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("7"), 7u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::uint64_t(18446744073709551615ull));
+}
+
+TEST(ParseU64, RejectsEmptyAndWhitespace) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64(" "));
+  EXPECT_FALSE(parse_u64(" 1"));
+  EXPECT_FALSE(parse_u64("1 "));
+  EXPECT_FALSE(parse_u64("\t3"));
+}
+
+TEST(ParseU64, RejectsSignsAndJunk) {
+  // These are exactly the inputs bare strtoull silently swallowed:
+  // `--threads foo` became threads=0 and serialized the run.
+  EXPECT_FALSE(parse_u64("foo"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64("12abc"));
+  EXPECT_FALSE(parse_u64("0x10"));
+  EXPECT_FALSE(parse_u64("1.5"));
+  EXPECT_FALSE(parse_u64("1e3"));
+}
+
+TEST(ParseU64, RejectsOverflow) {
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // 2^64
+  EXPECT_FALSE(parse_u64("99999999999999999999999999"));
+  // Leading zeros are fine — still the same base-10 value.
+  EXPECT_EQ(parse_u64("007"), 7u);
+}
+
+TEST(ParseF64, AcceptsFloatLiterals) {
+  EXPECT_EQ(parse_f64("0"), 0.0);
+  EXPECT_EQ(parse_f64("2.5"), 2.5);
+  EXPECT_EQ(parse_f64("-0.125"), -0.125);
+  EXPECT_EQ(parse_f64("1e-3"), 1e-3);
+  EXPECT_EQ(parse_f64(".5"), 0.5);
+}
+
+TEST(ParseF64, RejectsJunk) {
+  EXPECT_FALSE(parse_f64(""));
+  EXPECT_FALSE(parse_f64(" 1"));
+  EXPECT_FALSE(parse_f64("1 "));
+  EXPECT_FALSE(parse_f64("abc"));
+  EXPECT_FALSE(parse_f64("1.2.3"));
+  EXPECT_FALSE(parse_f64("--1"));
+  EXPECT_FALSE(parse_f64("1f"));
+}
+
+TEST(ParseF64, RejectsNonFinite) {
+  EXPECT_FALSE(parse_f64("inf"));
+  EXPECT_FALSE(parse_f64("-inf"));
+  EXPECT_FALSE(parse_f64("nan"));
+  EXPECT_FALSE(parse_f64("INF"));
+}
+
+}  // namespace

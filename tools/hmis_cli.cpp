@@ -13,6 +13,15 @@
 //              has one instance per line:  <path> [algo=A] [seed=S] [tag=T]
 //              ('#' starts a comment, blank lines ignored; algo/seed default
 //               to the command-line flags, tag to the path)
+//   hmis serve [--host H] [--port P] [--threads T] [--max-inflight N]
+//              [--max-connections N] [--cache N] [--deadline-ms D]
+//              [--load name=path]... [--port-file F]
+//              long-lived solve server on the engine (DESIGN.md §9); --port 0
+//              picks an ephemeral port (written to --port-file for scripts);
+//              SIGTERM/SIGINT or a `shutdown` request drain gracefully
+//   hmis request [--host H] --port P <json>  send one request, print the
+//              response (progress frames go to stderr); or
+//   hmis request --port P --load name=path   upload a graph file
 //   hmis verify <in.hg> <set.txt>            check independence/maximality
 //   hmis color <in.hg> [--algo A]            strong coloring via iterated MIS
 //
@@ -21,86 +30,112 @@
 //   linear   n m arity seed        | planted n m arity fraction seed
 //   graph    n m seed              | interval n window stride
 //   sunflower core petal petals    | sbl     n beta max_arity seed
+//
+// Argument parsing is strict (util/parse.hpp): every numeric flag and
+// manifest field must be a clean decimal — `--threads foo` is a hard error,
+// not a silent 0 that serializes the run.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "hmis/core/coloring.hpp"
 #include "hmis/core/planner.hpp"
 #include "hmis/hmis.hpp"
+#include "hmis/net/client.hpp"
+#include "hmis/net/registry.hpp"
+#include "hmis/net/server.hpp"
+#include "hmis/util/json.hpp"
+#include "hmis/util/parse.hpp"
 
 namespace {
 
 using namespace hmis;
+using util::json_escape;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hmis <gen|stats|solve|batch|verify|color> ... (see "
-               "header comment / README)\n");
+               "usage: hmis <gen|stats|solve|batch|serve|request|verify|color>"
+               " ... (see header comment / README)\n");
   return 2;
 }
 
-// ---- JSON helpers (no external deps; enough for the --format json mode) ----
+/// A rejected command line / manifest / flag value.  Thrown from the arg
+/// helpers, caught in main: prints the message and exits 2 — no library
+/// code ever exits the process on untrusted input.
+struct CliError {
+  std::string message;
+};
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+[[noreturn]] void fail(std::string message) {
+  throw CliError{std::move(message)};
 }
 
-/// One solved run as a JSON object (shared by solve and batch).
-std::string run_json(const std::string& tag, const core::MisRun& run,
-                     double queue_seconds) {
-  const auto& m = run.result.metrics;
-  std::ostringstream os;
-  os << "{\"tag\":\"" << json_escape(tag) << "\",\"algorithm\":\""
-     << core::algorithm_name(run.algorithm) << "\",\"success\":"
-     << (run.result.success ? "true" : "false");
-  if (!run.result.success) {
-    os << ",\"failure\":\"" << json_escape(run.result.failure_reason) << "\"}";
-    return os.str();
+std::uint64_t parse_u64_or_fail(const std::string& value, const char* what) {
+  const auto v = util::parse_u64(value);
+  if (!v) {
+    fail("invalid " + std::string(what) + " '" + value +
+         "' (want an unsigned decimal integer)");
   }
-  os << ",\"size\":" << run.result.independent_set.size()
-     << ",\"rounds\":" << run.result.rounds
-     << ",\"inner_stages\":" << run.result.inner_stages
-     << ",\"resamples\":" << run.result.resamples << ",\"time_ms\":"
-     << run.result.seconds * 1e3 << ",\"queue_ms\":" << queue_seconds * 1e3
-     << ",\"verified\":" << (run.verdict.ok() ? "true" : "false")
-     << ",\"metrics\":{\"work\":" << m.work << ",\"depth\":" << m.depth
-     << ",\"calls\":" << m.calls << "}}";
+  return *v;
+}
+
+double parse_f64_or_fail(const std::string& value, const char* what) {
+  const auto v = util::parse_f64(value);
+  if (!v) fail("invalid " + std::string(what) + " '" + value + "'");
+  return *v;
+}
+
+std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t i,
+                      const char* what) {
+  if (i >= args.size()) fail("missing argument: " + std::string(what));
+  return parse_u64_or_fail(args[i], what);
+}
+
+double arg_f64(const std::vector<std::string>& args, std::size_t i,
+               const char* what) {
+  if (i >= args.size()) fail("missing argument: " + std::string(what));
+  return parse_f64_or_fail(args[i], what);
+}
+
+/// Value of a `--flag value` pair; advances *i past the value.
+const std::string& flag_value(const std::vector<std::string>& args,
+                              std::size_t* i, const char* flag) {
+  if (*i + 1 >= args.size()) fail(std::string(flag) + " requires a value");
+  return args[++*i];
+}
+
+std::uint64_t flag_u64(const std::vector<std::string>& args, std::size_t* i,
+                       const char* flag) {
+  return parse_u64_or_fail(flag_value(args, i, flag), flag);
+}
+
+core::Algorithm parse_algorithm(const std::string& name) {
+  const auto a = core::algorithm_from_name(name);
+  if (!a) fail("unknown algorithm '" + name + "'");
+  return *a;
+}
+
+// ---- JSON emission ---------------------------------------------------------
+// The canonical per-run object comes from net::result_json so `hmis solve
+// --format json` and a served solve response carry the byte-identical
+// "result" member (the CI smoke asserts exactly that); wall-clock and
+// submission context live in sibling objects.
+
+std::string timing_json(double solve_seconds, double queue_seconds) {
+  std::ostringstream os;
+  os << "{\"solve_ms\":" << solve_seconds * 1e3
+     << ",\"queue_ms\":" << queue_seconds * 1e3 << "}";
   return os.str();
 }
 
@@ -114,37 +149,10 @@ std::string scheduler_json(std::size_t threads,
 
 enum class OutputFormat { Text, Json };
 
-bool parse_format(const std::string& value, OutputFormat* out) {
-  if (value == "text") {
-    *out = OutputFormat::Text;
-    return true;
-  }
-  if (value == "json") {
-    *out = OutputFormat::Json;
-    return true;
-  }
-  std::fprintf(stderr, "unknown format '%s' (want text|json)\n",
-               value.c_str());
-  return false;
-}
-
-core::Algorithm parse_algorithm(const std::string& name) {
-  for (const auto a : core::all_algorithms()) {
-    if (name == core::algorithm_name(a)) return a;
-  }
-  if (name == "auto") return core::Algorithm::Auto;
-  std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t i) {
-  if (i >= args.size()) std::exit(usage());
-  return std::strtoull(args[i].c_str(), nullptr, 10);
-}
-
-double arg_f64(const std::vector<std::string>& args, std::size_t i) {
-  if (i >= args.size()) std::exit(usage());
-  return std::strtod(args[i].c_str(), nullptr);
+OutputFormat parse_format(const std::string& value) {
+  if (value == "text") return OutputFormat::Text;
+  if (value == "json") return OutputFormat::Json;
+  fail("unknown format '" + value + "' (want text|json)");
 }
 
 int cmd_gen(const std::vector<std::string>& args) {
@@ -153,32 +161,37 @@ int cmd_gen(const std::vector<std::string>& args) {
   const std::string out = args[1];
   Hypergraph h;
   if (family == "uniform") {
-    h = gen::uniform_random(arg_u64(args, 2), arg_u64(args, 3),
-                            arg_u64(args, 4), arg_u64(args, 5));
+    h = gen::uniform_random(arg_u64(args, 2, "n"), arg_u64(args, 3, "m"),
+                            arg_u64(args, 4, "arity"),
+                            arg_u64(args, 5, "seed"));
   } else if (family == "mixed") {
-    h = gen::mixed_arity(arg_u64(args, 2), arg_u64(args, 3),
-                         arg_u64(args, 4), arg_u64(args, 5),
-                         arg_u64(args, 6));
+    h = gen::mixed_arity(arg_u64(args, 2, "n"), arg_u64(args, 3, "m"),
+                         arg_u64(args, 4, "min"), arg_u64(args, 5, "max"),
+                         arg_u64(args, 6, "seed"));
   } else if (family == "linear") {
-    h = gen::linear_random(arg_u64(args, 2), arg_u64(args, 3),
-                           arg_u64(args, 4), arg_u64(args, 5));
+    h = gen::linear_random(arg_u64(args, 2, "n"), arg_u64(args, 3, "m"),
+                           arg_u64(args, 4, "arity"),
+                           arg_u64(args, 5, "seed"));
   } else if (family == "planted") {
-    h = gen::planted_mis(arg_u64(args, 2), arg_u64(args, 3),
-                         arg_u64(args, 4), arg_f64(args, 5),
-                         arg_u64(args, 6));
+    h = gen::planted_mis(arg_u64(args, 2, "n"), arg_u64(args, 3, "m"),
+                         arg_u64(args, 4, "arity"),
+                         arg_f64(args, 5, "fraction"),
+                         arg_u64(args, 6, "seed"));
   } else if (family == "graph") {
-    h = gen::random_graph(arg_u64(args, 2), arg_u64(args, 3),
-                          arg_u64(args, 4));
+    h = gen::random_graph(arg_u64(args, 2, "n"), arg_u64(args, 3, "m"),
+                          arg_u64(args, 4, "seed"));
   } else if (family == "interval") {
-    h = gen::interval(arg_u64(args, 2), arg_u64(args, 3), arg_u64(args, 4));
+    h = gen::interval(arg_u64(args, 2, "n"), arg_u64(args, 3, "window"),
+                      arg_u64(args, 4, "stride"));
   } else if (family == "sunflower") {
-    h = gen::sunflower(arg_u64(args, 2), arg_u64(args, 3), arg_u64(args, 4));
+    h = gen::sunflower(arg_u64(args, 2, "core"), arg_u64(args, 3, "petal"),
+                       arg_u64(args, 4, "petals"));
   } else if (family == "sbl") {
-    h = gen::sbl_regime(arg_u64(args, 2), arg_f64(args, 3),
-                        arg_u64(args, 4), arg_u64(args, 5));
+    h = gen::sbl_regime(arg_u64(args, 2, "n"), arg_f64(args, 3, "beta"),
+                        arg_u64(args, 4, "max_arity"),
+                        arg_u64(args, 5, "seed"));
   } else {
-    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
-    return 2;
+    fail("unknown family '" + family + "'");
   }
   save_hypergraph(out, h);
   std::printf("wrote %s: n=%zu m=%zu dim=%zu\n", out.c_str(),
@@ -203,18 +216,18 @@ int cmd_solve(const std::vector<std::string>& args) {
   bool print_stats = false;
   OutputFormat format = OutputFormat::Text;
   for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--algo" && i + 1 < args.size()) {
-      algorithm = parse_algorithm(args[++i]);
-    } else if (args[i] == "--seed" && i + 1 < args.size()) {
-      opt.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
-    } else if (args[i] == "--threads" && i + 1 < args.size()) {
-      par::set_global_threads(std::strtoull(args[++i].c_str(), nullptr, 10));
-    } else if (args[i] == "--out" && i + 1 < args.size()) {
-      out_path = args[++i];
+    if (args[i] == "--algo") {
+      algorithm = parse_algorithm(flag_value(args, &i, "--algo"));
+    } else if (args[i] == "--seed") {
+      opt.seed = flag_u64(args, &i, "--seed");
+    } else if (args[i] == "--threads") {
+      par::set_global_threads(flag_u64(args, &i, "--threads"));
+    } else if (args[i] == "--out") {
+      out_path = flag_value(args, &i, "--out");
     } else if (args[i] == "--stats") {
       print_stats = true;
-    } else if (args[i] == "--format" && i + 1 < args.size()) {
-      if (!parse_format(args[++i], &format)) return 2;
+    } else if (args[i] == "--format") {
+      format = parse_format(flag_value(args, &i, "--format"));
     } else {
       return usage();
     }
@@ -234,12 +247,13 @@ int cmd_solve(const std::vector<std::string>& args) {
   const auto run = core::find_mis(h, algorithm, opt);
   const par::SchedulerStats sched = par::global_pool().stats() - sched_before;
   if (format == OutputFormat::Json) {
-    // One machine-readable object: result + EREW metrics + scheduler
-    // counters (the dashboard/bench-script feed).
+    // One machine-readable object: the canonical result (byte-identical to
+    // a served response's "result") + wall-clock + scheduler counters.
     std::printf("{\"mode\":\"solve\",\"instance\":\"%s\",\"n\":%zu,"
-                "\"m\":%zu,\"result\":%s,\"scheduler\":%s}\n",
+                "\"m\":%zu,\"result\":%s,\"timing\":%s,\"scheduler\":%s}\n",
                 json_escape(args[0]).c_str(), h.num_vertices(), h.num_edges(),
-                run_json(args[0], run, 0.0).c_str(),
+                net::result_json(run).c_str(),
+                timing_json(run.result.seconds, 0.0).c_str(),
                 scheduler_json(par::global_pool().num_threads(),
                                sched).c_str());
     if (!run.result.success) return 1;
@@ -285,13 +299,10 @@ struct ManifestEntry {
   bool has_seed = false;
 };
 
-bool parse_manifest(const std::string& path,
-                    std::vector<ManifestEntry>* entries) {
+std::vector<ManifestEntry> parse_manifest(const std::string& path) {
   std::ifstream is(path);
-  if (!is.good()) {
-    std::fprintf(stderr, "cannot read manifest %s\n", path.c_str());
-    return false;
-  }
+  if (!is.good()) fail("cannot read manifest " + path);
+  std::vector<ManifestEntry> entries;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
@@ -303,24 +314,30 @@ bool parse_manifest(const std::string& path,
     if (!(ls >> entry.path)) continue;  // blank / comment-only line
     entry.tag = entry.path;
     std::string token;
+    const std::string at = path + ":" + std::to_string(lineno);
     while (ls >> token) {
       if (token.rfind("algo=", 0) == 0) {
-        entry.algorithm = parse_algorithm(token.substr(5));
+        const auto a = core::algorithm_from_name(token.substr(5));
+        if (!a) fail(at + ": unknown algorithm '" + token.substr(5) + "'");
+        entry.algorithm = *a;
         entry.has_algo = true;
       } else if (token.rfind("seed=", 0) == 0) {
-        entry.seed = std::strtoull(token.c_str() + 5, nullptr, 10);
+        const auto s = util::parse_u64(token.substr(5));
+        if (!s) {
+          fail(at + ": invalid seed '" + token.substr(5) +
+               "' (want an unsigned decimal integer)");
+        }
+        entry.seed = *s;
         entry.has_seed = true;
       } else if (token.rfind("tag=", 0) == 0) {
         entry.tag = token.substr(4);
       } else {
-        std::fprintf(stderr, "%s:%zu: unknown manifest token '%s'\n",
-                     path.c_str(), lineno, token.c_str());
-        return false;
+        fail(at + ": unknown manifest token '" + token + "'");
       }
     }
-    entries->push_back(std::move(entry));
+    entries.push_back(std::move(entry));
   }
-  return true;
+  return entries;
 }
 
 int cmd_batch(const std::vector<std::string>& args) {
@@ -330,41 +347,38 @@ int cmd_batch(const std::vector<std::string>& args) {
   engine::EngineOptions eopt;
   OutputFormat format = OutputFormat::Text;
   for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--algo" && i + 1 < args.size()) {
-      default_algo = parse_algorithm(args[++i]);
-    } else if (args[i] == "--seed" && i + 1 < args.size()) {
-      default_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
-    } else if (args[i] == "--threads" && i + 1 < args.size()) {
-      eopt.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
-    } else if (args[i] == "--max-inflight" && i + 1 < args.size()) {
-      eopt.max_inflight = std::strtoull(args[++i].c_str(), nullptr, 10);
-    } else if (args[i] == "--format" && i + 1 < args.size()) {
-      if (!parse_format(args[++i], &format)) return 2;
+    if (args[i] == "--algo") {
+      default_algo = parse_algorithm(flag_value(args, &i, "--algo"));
+    } else if (args[i] == "--seed") {
+      default_seed = flag_u64(args, &i, "--seed");
+    } else if (args[i] == "--threads") {
+      eopt.threads = flag_u64(args, &i, "--threads");
+    } else if (args[i] == "--max-inflight") {
+      eopt.max_inflight = flag_u64(args, &i, "--max-inflight");
+    } else if (args[i] == "--format") {
+      format = parse_format(flag_value(args, &i, "--format"));
     } else {
       return usage();
     }
   }
 
-  std::vector<ManifestEntry> entries;
-  if (!parse_manifest(args[0], &entries)) return 2;
-  if (entries.empty()) {
-    std::fprintf(stderr, "manifest %s lists no instances\n", args[0].c_str());
-    return 2;
-  }
+  const std::vector<ManifestEntry> entries = parse_manifest(args[0]);
+  if (entries.empty()) fail("manifest " + args[0] + " lists no instances");
 
-  // Load everything up front (so I/O cost stays out of the solve clock),
-  // one Hypergraph per *distinct* path — a sweep manifest rerunning one
-  // instance under many seeds shares a single copy (SolveRequest::graph is
-  // a shared_ptr for exactly this).  Then submit the whole batch to one
-  // engine and collect in order.
-  std::map<std::string, std::shared_ptr<const Hypergraph>> loaded;
+  // Load everything up front (so I/O cost stays out of the solve clock)
+  // through a GraphRegistry keyed by path — the same store `hmis serve`
+  // uses.  A sweep manifest rerunning one instance under many seeds shares
+  // a single Hypergraph (SolveRequest::graph is a shared_ptr for exactly
+  // this).  Then submit the whole batch to one engine and collect in order.
+  net::GraphRegistry registry;
   std::vector<engine::SolveRequest> requests;
   requests.reserve(entries.size());
   for (const auto& entry : entries) {
-    auto& graph = loaded[entry.path];
-    if (graph == nullptr) graph = engine::share(load_hypergraph(entry.path));
+    auto found = registry.find(entry.path);
+    const net::GraphRegistry::Entry reg =
+        found ? *found : registry.load_file(entry.path, entry.path);
     engine::SolveRequest req;
-    req.graph = graph;
+    req.graph = reg.graph;
     req.algorithm = entry.has_algo ? entry.algorithm : default_algo;
     req.seed = entry.has_seed ? entry.seed : default_seed;
     req.tag = entry.tag;
@@ -386,7 +400,10 @@ int cmd_batch(const std::vector<std::string>& args) {
       const bool good = resp.run.result.success && resp.run.verdict.ok();
       good ? ++ok : ++failed;
       if (format == OutputFormat::Json) {
-        row = run_json(tag, resp.run, resp.queue_seconds);
+        row = "{\"tag\":\"" + json_escape(tag) +
+              "\",\"result\":" + net::result_json(resp.run) +
+              ",\"timing\":" +
+              timing_json(resp.solve_seconds, resp.queue_seconds) + "}";
       } else if (resp.run.result.success) {
         std::printf(
             "tag=%s algorithm=%s |I|=%zu rounds=%zu queue_ms=%.2f "
@@ -403,9 +420,8 @@ int cmd_batch(const std::vector<std::string>& args) {
     } catch (const std::exception& e) {
       ++failed;
       if (format == OutputFormat::Json) {
-        row = "{\"tag\":\"" + json_escape(tag) +
-              "\",\"success\":false,\"failure\":\"" + json_escape(e.what()) +
-              "\"}";
+        row = "{\"tag\":\"" + json_escape(tag) + "\",\"error\":\"" +
+              json_escape(e.what()) + "\"}";
       } else {
         std::printf("tag=%s ERROR: %s\n", tag.c_str(), e.what());
       }
@@ -451,6 +467,159 @@ int cmd_batch(const std::vector<std::string>& args) {
   return failed == 0 ? 0 : 1;
 }
 
+// ---- hmis serve: the long-lived solve server --------------------------------
+
+// SIGTERM/SIGINT funnel through a self-pipe (the only async-signal-safe
+// option); a watcher thread turns the byte into a graceful request_stop().
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void cli_stop_signal_handler(int) {
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  net::ServeOptions sopt;
+  std::vector<std::pair<std::string, std::string>> preloads;  // name, path
+  std::string port_file;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--host") {
+      sopt.host = flag_value(args, &i, "--host");
+    } else if (args[i] == "--port") {
+      const std::uint64_t p = flag_u64(args, &i, "--port");
+      if (p > 65535) fail("--port must be <= 65535");
+      sopt.port = static_cast<std::uint16_t>(p);
+    } else if (args[i] == "--threads") {
+      sopt.threads = flag_u64(args, &i, "--threads");
+    } else if (args[i] == "--max-inflight") {
+      sopt.max_inflight = flag_u64(args, &i, "--max-inflight");
+    } else if (args[i] == "--max-connections") {
+      sopt.max_connections = flag_u64(args, &i, "--max-connections");
+    } else if (args[i] == "--cache") {
+      sopt.cache_entries = flag_u64(args, &i, "--cache");
+    } else if (args[i] == "--deadline-ms") {
+      const double d = parse_f64_or_fail(flag_value(args, &i, "--deadline-ms"),
+                                         "--deadline-ms");
+      if (d < 0) fail("--deadline-ms must be non-negative");
+      sopt.default_deadline_ms = d;
+    } else if (args[i] == "--load") {
+      const std::string& spec = flag_value(args, &i, "--load");
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        preloads.emplace_back(spec, spec);  // name = path
+      } else {
+        preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      }
+    } else if (args[i] == "--port-file") {
+      port_file = flag_value(args, &i, "--port-file");
+    } else {
+      return usage();
+    }
+  }
+
+  net::Server server(sopt);
+  for (const auto& [name, path] : preloads) {
+    const auto entry = server.core().registry().load_file(name, path);
+    std::fprintf(stderr, "hmis serve: loaded %s from %s (n=%zu m=%zu)\n",
+                 name.c_str(), path.c_str(), entry.graph->num_vertices(),
+                 entry.graph->num_edges());
+  }
+  server.start();
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    if (!pf.good()) fail("cannot write port file " + port_file);
+    pf << server.port() << '\n';
+  }
+  std::printf("hmis serve: listening on %s:%u (threads=%zu max_inflight=%zu "
+              "max_connections=%zu cache=%zu)\n",
+              sopt.host.c_str(), server.port(), sopt.threads,
+              sopt.max_inflight, sopt.max_connections, sopt.cache_entries);
+  std::fflush(stdout);
+
+  if (::pipe2(g_signal_pipe, O_CLOEXEC) != 0) fail("pipe2() failed");
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = cli_stop_signal_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  std::thread watcher([&server] {
+    char byte = 0;
+    if (::read(g_signal_pipe[0], &byte, 1) == 1 && byte == 1) {
+      server.request_stop();
+    }
+  });
+
+  server.wait_until_stopped();
+  // A wire-initiated shutdown leaves the watcher blocked on the pipe; a
+  // distinct byte unblocks it without a second request_stop().
+  const char done = 2;
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &done, 1);
+  watcher.join();
+  server.stop();
+  const net::ServeStats stats = server.core().stats();
+  std::printf("hmis serve: drained (requests=%llu solves=%llu cache_hits=%llu"
+              " rejected=%llu)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.solves),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.rejected));
+  return 0;
+}
+
+int cmd_request(const std::vector<std::string>& args) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string payload;
+  std::string load_spec;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--host") {
+      host = flag_value(args, &i, "--host");
+    } else if (args[i] == "--port") {
+      const std::uint64_t p = flag_u64(args, &i, "--port");
+      if (p == 0 || p > 65535) fail("--port must be in 1..65535");
+      port = static_cast<std::uint16_t>(p);
+    } else if (args[i] == "--load") {
+      load_spec = flag_value(args, &i, "--load");
+    } else if (payload.empty() && !args[i].empty() && args[i][0] == '{') {
+      payload = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (port == 0) fail("--port is required");
+  if (payload.empty() == load_spec.empty()) {
+    fail("pass exactly one of a JSON request or --load name=path");
+  }
+
+  net::Client client;
+  if (!client.connect(host, port)) {
+    fail("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  net::Client::Reply reply;
+  if (!load_spec.empty()) {
+    const auto eq = load_spec.find('=');
+    const std::string name =
+        eq == std::string::npos ? load_spec : load_spec.substr(0, eq);
+    const std::string path =
+        eq == std::string::npos ? load_spec : load_spec.substr(eq + 1);
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) fail("cannot read " + path);
+    std::ostringstream bytes;
+    bytes << is.rdbuf();
+    reply = client.load(name, bytes.str());
+  } else {
+    reply = client.request(payload);
+  }
+  for (const std::string& p : reply.progress) {
+    std::fprintf(stderr, "%s\n", p.c_str());
+  }
+  if (!reply.transport_ok) fail("connection closed before a response");
+  std::printf("%s\n", reply.payload.c_str());
+  // Exit status mirrors the response's "ok" flag so shell scripts can gate.
+  const auto ok = util::json_find(reply.payload, "ok");
+  return (ok && ok->raw == "true") ? 0 : 1;
+}
+
 int cmd_verify(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const Hypergraph h = load_hypergraph(args[0]);
@@ -481,10 +650,10 @@ int cmd_color(const std::vector<std::string>& args) {
   const Hypergraph h = load_hypergraph(args[0]);
   core::ColoringOptions opt;
   for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--algo" && i + 1 < args.size()) {
-      opt.algorithm = parse_algorithm(args[++i]);
-    } else if (args[i] == "--seed" && i + 1 < args.size()) {
-      opt.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    if (args[i] == "--algo") {
+      opt.algorithm = parse_algorithm(flag_value(args, &i, "--algo"));
+    } else if (args[i] == "--seed") {
+      opt.seed = flag_u64(args, &i, "--seed");
     } else {
       return usage();
     }
@@ -511,8 +680,13 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "request") return cmd_request(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "color") return cmd_color(args);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "error: %s\n", e.message.c_str());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
