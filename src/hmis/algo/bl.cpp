@@ -230,7 +230,7 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
 Result bl(const Hypergraph& h, const BlOptions& opt) {
   util::Timer timer;
   Result result;
-  MutableHypergraph mh(h);
+  MutableHypergraph mh(h, nullptr, opt.shards);
   BlOutcome outcome = bl_run(mh, opt, &result.metrics);
   result.success = outcome.success;
   result.failure_reason = std::move(outcome.failure_reason);

@@ -98,7 +98,7 @@ KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
 Result kuw_mis(const Hypergraph& h, const KuwOptions& opt) {
   util::Timer timer;
   Result result;
-  MutableHypergraph mh(h);
+  MutableHypergraph mh(h, nullptr, opt.shards);
   KuwOutcome outcome = kuw_run(mh, opt, &result.metrics);
   result.success = outcome.success;
   result.failure_reason = std::move(outcome.failure_reason);

@@ -15,7 +15,7 @@ Result luby_mis(const Hypergraph& h, const LubyOptions& opt) {
   util::Timer timer;
   Result result;
   const util::CounterRng rng(opt.seed);
-  MutableHypergraph mh(h, par::resolve_pool(opt.pool));
+  MutableHypergraph mh(h, par::resolve_pool(opt.pool), opt.shards);
 
   mh.singleton_cascade();  // size-1 edges exclude their vertex outright
 

@@ -14,7 +14,7 @@ Result permutation_mis(const Hypergraph& h, const PermutationOptions& opt) {
   util::Timer timer;
   Result result;
   const util::CounterRng rng(opt.seed);
-  MutableHypergraph mh(h, par::resolve_pool(opt.pool));
+  MutableHypergraph mh(h, par::resolve_pool(opt.pool), opt.shards);
 
   mh.dedupe_and_minimalize();
   mh.singleton_cascade();

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "hmis/hypergraph/shard_plan.hpp"
 #include "hmis/hypergraph/types.hpp"
 #include "hmis/par/metrics.hpp"
 
@@ -64,6 +65,11 @@ struct CommonOptions {
   /// pool).  All randomness is counter-based, so results are bit-identical
   /// for any pool size.
   par::ThreadPool* pool = nullptr;
+  /// Shard plan for every MutableHypergraph the run builds (shard count +
+  /// worker-affinity rotation).  Results are byte-identical for any value
+  /// by the determinism contract; the engine rotates affinity_offset per
+  /// session so concurrent sessions spread their hot shards.
+  ShardConfig shards;
 };
 
 }  // namespace hmis::algo

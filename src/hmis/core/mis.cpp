@@ -101,6 +101,7 @@ MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
     // A facade-level pool overrides any per-algorithm default (keeps
     // opt.sbl.pool usable as the fallback for the SBL pass-through).
     if (opt.pool != nullptr) o.pool = opt.pool;
+    o.shards = opt.shards;
   };
   // on_progress rides the per-stage hooks of the algorithms that have them
   // (BL-family on_stage, SBL on_round); stats.stage is 0-based, the hook

@@ -51,6 +51,9 @@ struct FindOptions {
   /// (nullptr = process-global pool).  Counter-based randomness keeps the
   /// returned set bit-identical for any pool size.
   par::ThreadPool* pool = nullptr;
+  /// Shard plan for the residual data plane (forwarded into
+  /// CommonOptions::shards).  Never affects the returned set.
+  ShardConfig shards;
   /// SBL-specific knobs pass through; other algorithms use their defaults.
   SblOptions sbl;
   /// Observation hook: called after every completed outer round with the

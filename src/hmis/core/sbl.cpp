@@ -90,7 +90,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
   // The residual graph's own maintenance (sampling snapshots, fold-back
   // coloring, cascades) runs on the attempt's pool — this is where the
   // round cost O(n + Σ|e|) lives.
-  MutableHypergraph mh(h, par::resolve_pool(opt.pool));
+  MutableHypergraph mh(h, par::resolve_pool(opt.pool), opt.shards);
 
   // Algorithm 1 line 3: if the whole hypergraph already has dimension <= d,
   // run BL on it directly (line 26).  mh is fresh here, so its dimension is
@@ -199,7 +199,9 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
       blopt.seed = rng.child(0x1000 + out.rounds).seed();
       blopt.record_trace = false;
       blopt.pool = opt.pool;
-      MutableHypergraph inner(induced->graph, par::resolve_pool(opt.pool));
+      blopt.shards = ctx.shards;
+      MutableHypergraph inner(induced->graph, par::resolve_pool(opt.pool),
+                              ctx.shards);
       const auto outcome = algo::bl_run(inner, blopt, metrics, &ctx);
       if (!outcome.success) {
         out.success = false;
@@ -342,8 +344,10 @@ algo::Result sbl(const Hypergraph& h, const SblOptions& opt) {
   const util::CounterRng master(opt.seed);
 
   // One round context for the whole run: every attempt (and every round and
-  // inner BL within it) reuses the same arena frames and scratch.
+  // inner BL within it) reuses the same arena frames and scratch — and one
+  // shard plan, so per-round residual rebuilds keep the session geometry.
   engine::RoundContext ctx;
+  ctx.shards = opt.shards;
   for (std::size_t attempt = 0; attempt <= opt.max_restarts; ++attempt) {
     AttemptOutcome outcome =
         run_attempt(h, opt, params, master.child(attempt).seed(),

@@ -63,6 +63,13 @@ void Engine::run_session(par::Task* task) {
     fopt.sbl = node->req.sbl;
     fopt.sbl.pool = nullptr;  // sessions run on the engine pool, always
     fopt.pool = &engine->pool();
+    fopt.shards = node->req.shards;
+    if (fopt.shards.affinity_offset == 0) {
+      // Per-session shard plan: rotate the shard→worker placement hints by
+      // the session id so concurrent sessions' hot shards land on
+      // different workers (pure scheduling; results are unaffected).
+      fopt.shards.affinity_offset = static_cast<std::size_t>(node->session_id);
+    }
     fopt.on_progress = node->req.on_progress;
     resp.run = core::find_mis(*node->req.graph, node->req.algorithm, fopt);
     resp.solve_seconds = solve_timer.seconds();

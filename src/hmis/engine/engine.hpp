@@ -55,6 +55,11 @@ struct SolveRequest {
   /// SBL-specific knobs pass through (its pool field is ignored — sessions
   /// always run on the engine's pool).
   core::SblOptions sbl{};
+  /// Residual data-plane shard plan for this session.  When
+  /// affinity_offset is left 0, the engine substitutes the session id so
+  /// concurrent sessions rotate their shard→worker placement hints across
+  /// different workers (scheduling only — results never depend on it).
+  ShardConfig shards{};
   /// Caller label echoed in the response (batch reporting).
   std::string tag;
   /// Forwarded to FindOptions::on_progress: fires on an engine worker

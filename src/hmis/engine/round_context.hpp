@@ -37,6 +37,13 @@ namespace hmis::engine {
 
 class RoundContext {
  public:
+  /// The session's residual shard plan: every MutableHypergraph rebuilt
+  /// from this context's frames (SBL's per-round inner residual) uses this
+  /// config, so one session keeps one geometry — and the engine's
+  /// per-session affinity rotation reaches the round loop.  Results never
+  /// depend on it (determinism contract).
+  ShardConfig shards{};
+
   // ---- Residual frames (arena-backed, double-buffered) --------------------
 
   /// Build the subgraph of `mh` induced by `keep` into the next arena frame

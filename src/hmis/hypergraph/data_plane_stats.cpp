@@ -1,0 +1,52 @@
+#include "hmis/hypergraph/data_plane_stats.hpp"
+
+#include <atomic>
+
+namespace hmis {
+
+namespace {
+
+struct Counters {
+  std::atomic<std::uint64_t> sweeps{0};
+  std::atomic<std::uint64_t> swept_entries{0};
+  std::atomic<std::uint64_t> stale_deposited{0};
+  std::atomic<std::uint64_t> sparse_gathers{0};
+  std::atomic<std::uint64_t> dense_gathers{0};
+};
+
+Counters& counters() noexcept {
+  static Counters c;
+  return c;
+}
+
+}  // namespace
+
+DataPlaneStats data_plane_stats() noexcept {
+  Counters& c = counters();
+  return {c.sweeps.load(std::memory_order_relaxed),
+          c.swept_entries.load(std::memory_order_relaxed),
+          c.stale_deposited.load(std::memory_order_relaxed),
+          c.sparse_gathers.load(std::memory_order_relaxed),
+          c.dense_gathers.load(std::memory_order_relaxed)};
+}
+
+namespace detail {
+
+void note_sweeps(std::uint64_t sweeps, std::uint64_t swept_entries) noexcept {
+  counters().sweeps.fetch_add(sweeps, std::memory_order_relaxed);
+  counters().swept_entries.fetch_add(swept_entries,
+                                     std::memory_order_relaxed);
+}
+
+void note_stale(std::uint64_t entries) noexcept {
+  counters().stale_deposited.fetch_add(entries, std::memory_order_relaxed);
+}
+
+void note_gather(bool dense) noexcept {
+  (dense ? counters().dense_gathers : counters().sparse_gathers)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace hmis

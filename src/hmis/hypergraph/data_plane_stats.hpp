@@ -1,0 +1,53 @@
+// Process-wide residual-data-plane counters (DESIGN.md §10).
+//
+// MutableHypergraph instances come and go (one per solve, plus one per SBL
+// round frame), so per-instance debt counters die with their structure.
+// These process-lifetime monotonic counters are what `hmis solve --stats`
+// and the serve `stats` op report: subtract two snapshots to meter a phase,
+// exactly like SchedulerStats.
+//
+// They describe MAINTENANCE, not results: by the determinism contract the
+// MIS output is byte-identical across thread and shard counts, while these
+// counters legitimately vary with the shard plan (more shards = more,
+// smaller sweeps).  That is why they live here and NOT in algo::Result —
+// Result must compare equal across shard counts.
+//
+// All counters are relaxed atomics bumped once per batch operation (never
+// per edge/entry on a hot inner loop, except the O(size) deposit that
+// already did O(size) work).
+#pragma once
+
+#include <cstdint>
+
+namespace hmis {
+
+struct DataPlaneStats {
+  std::uint64_t sweeps = 0;          ///< per-shard compaction sweeps run
+  std::uint64_t swept_entries = 0;   ///< stale debt forgiven by those sweeps
+  std::uint64_t stale_deposited = 0; ///< incidence entries orphaned by edge
+                                     ///< deletions (the debt inflow)
+  std::uint64_t sparse_gathers = 0;  ///< batch gathers via per-shard
+                                     ///< sort + k-way concat merge
+  std::uint64_t dense_gathers = 0;   ///< batch gathers via per-shard
+                                     ///< bitset-OR marking
+};
+
+[[nodiscard]] constexpr DataPlaneStats operator-(
+    DataPlaneStats a, const DataPlaneStats& b) noexcept {
+  return {a.sweeps - b.sweeps, a.swept_entries - b.swept_entries,
+          a.stale_deposited - b.stale_deposited,
+          a.sparse_gathers - b.sparse_gathers,
+          a.dense_gathers - b.dense_gathers};
+}
+
+/// Snapshot of the process-lifetime counters.
+[[nodiscard]] DataPlaneStats data_plane_stats() noexcept;
+
+namespace detail {
+/// Producer hooks (MutableHypergraph only).
+void note_sweeps(std::uint64_t sweeps, std::uint64_t swept_entries) noexcept;
+void note_stale(std::uint64_t entries) noexcept;
+void note_gather(bool dense) noexcept;
+}  // namespace detail
+
+}  // namespace hmis

@@ -1,35 +1,43 @@
-// Residual hypergraph maintenance on the flat slab data plane (DESIGN.md §7),
-// in two interchangeable flavours per operation: a plain serial loop
-// (pool == nullptr, or sub-grain input) and a deterministic parallel kernel
-// on the attached ThreadPool.  The flavours must agree bit-for-bit — the
-// kernels therefore use only order-independent ingredients:
+// Residual hypergraph maintenance on the sharded slab data plane
+// (DESIGN.md §7, §10), in two interchangeable flavours per operation: a
+// plain serial loop (pool == nullptr, or sub-grain input) and a
+// deterministic parallel kernel on the attached ThreadPool.  The flavours
+// must agree bit-for-bit — the kernels therefore use only order-independent
+// ingredients:
 //   * exclusive-scan compaction for every packed output (ascending ids),
-//   * sort + adjacent-unique for batch-incidence gathers (ascending ids,
-//     independent of which batch vertex contributed an edge first),
+//   * per-shard sort + unique runs combined by the deterministic merge
+//     layer (par/shard_merge.hpp) for batch-incidence gathers — disjoint
+//     ascending runs, so the concat equals the unsharded sort + unique,
 //   * index-order reduction for max/total sizes,
-//   * idempotent atomic bit sets/resets for edge liveness marking,
+//   * idempotent atomic bit sets/resets for edge liveness and dirty marking,
 //   * commutative atomic counters for degree bookkeeping (each (edge,
 //     vertex) pair contributes exactly once, so the final sums are exact),
 //   * a total (size, lex, id) sort order wherever duplicates must pick a
 //     canonical survivor.
 //
 // Output sensitivity: the batch mutations never scan all m edges.  They
-// walk the live-incidence index of the batch vertices (cost: the touched
+// walk the live-incidence segments of the batch vertices (cost: the touched
 // incidence), and the singleton cascade consumes a pending queue fed by the
 // only operation that shrinks edges (color_blue).  Stale incidence entries
-// (edges that died) are compacted out after deletions under a
-// half-occupancy rule, so walks stay O(live incident edges) amortized; the
-// compaction trigger and result depend only on the post-operation liveness
-// state, keeping the index evolution identical on every flavour.
+// (edges that died) are compacted out PER SHARD under a per-shard
+// half-occupancy rule: a deletion banks its debt in its own shard and marks
+// its members dirty there, so a hot shard sweeps its dirty segments while
+// cold shards pay one counter compare.  The triggers and results depend
+// only on per-shard counters every flavour maintains identically, keeping
+// the index evolution bit-identical across thread counts for a fixed plan;
+// across plans sweep timing differs but is unobservable (walks filter on
+// edge liveness).
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <bit>
 
+#include "hmis/hypergraph/data_plane_stats.hpp"
 #include "hmis/par/parallel_for.hpp"
 #include "hmis/par/reduce.hpp"
 #include "hmis/par/scan.hpp"
+#include "hmis/par/shard_merge.hpp"
 #include "hmis/par/sort.hpp"
 #include "hmis/util/check.hpp"
 
@@ -49,40 +57,114 @@ inline void atomic_increment(std::uint32_t& counter) noexcept {
 
 }  // namespace
 
-MutableHypergraph::MutableHypergraph(const Hypergraph& h, par::ThreadPool* pool)
-    : original_(&h), n_(h.num_vertices()), pool_(pool) {
+MutableHypergraph::MutableHypergraph(const Hypergraph& h, par::ThreadPool* pool,
+                                     const ShardConfig& config)
+    : original_(&h),
+      n_(h.num_vertices()),
+      pool_(pool),
+      plan_(plan_shards(h.num_edges(), config,
+                        pool != nullptr ? pool->num_threads() : 1)) {
   color_.assign(n_, Color::None);
   live_vertex_count_ = n_;
   live_mask_.resize(n_, true);
   const std::size_t m = h.num_edges();
-  // Both slabs start as one memcpy of the original CSR payload.  Spans
-  // never move (edges shrink in place, incidence lists only lose entries),
-  // so these are the last content allocations for the object's lifetime.
-  edge_pool_ = h.edge_vertices_;
-  inc_pool_ = h.vertex_edges_;
+  const std::size_t S = plan_.count;
   edge_size_.resize(m);
-  inc_len_.resize(n_);
   live_degree_.resize(n_);
   edge_live_.resize(m, true);
   live_edge_count_ = m;
+  // Per-shard slab: each shard copies its contiguous slice of the original
+  // CSR payload.  Spans never move (edges shrink in place, incidence
+  // segments only lose entries), so these are the last content allocations
+  // for the object's lifetime.
+  edge_pools_.resize(S);
+  shard_payload_base_.resize(S);
+  shard_state_.resize(S);
+  dirty_.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::size_t elo = plan_.shard_begin(s);
+    const std::size_t ehi = std::min(m, elo + plan_.stride);
+    const std::size_t plo = h.edge_offsets_[elo];
+    const std::size_t phi = h.edge_offsets_[ehi];
+    shard_payload_base_[s] = plo;
+    edge_pools_[s].assign(h.edge_vertices_.begin() + plo,
+                          h.edge_vertices_.begin() + phi);
+    dirty_[s].resize(n_);
+  }
   const auto fill_edge = [&](std::size_t e) {
     edge_size_[e] =
         static_cast<std::uint32_t>(h.edge_size(static_cast<EdgeId>(e)));
   };
   const auto fill_vertex = [&](std::size_t v) {
-    const auto deg =
+    live_degree_[v] =
         static_cast<std::uint32_t>(h.degree(static_cast<VertexId>(v)));
-    inc_len_[v] = deg;
-    live_degree_[v] = deg;
+  };
+  // Per-shard incidence index: count each vertex's entries per shard (its
+  // CSR row is ascending, so the shard cursor only moves forward), lay the
+  // segments out vertex-ascending within each shard pool, then fill.
+  inc_pools_.resize(S);
+  inc_seg_len_.assign(n_ * S, 0);
+  inc_seg_off_.resize(n_ * S);
+  const auto count_row = [&](std::size_t v) {
+    std::size_t s = 0;
+    std::size_t end = plan_.stride;
+    const std::size_t row = v * S;
+    for (const EdgeId e : h.edges_of(static_cast<VertexId>(v))) {
+      while (e >= end) {
+        ++s;
+        end += plan_.stride;
+      }
+      ++inc_seg_len_[row + s];
+    }
+  };
+  const auto fill_row = [&](std::size_t v) {
+    std::size_t s = 0;
+    std::size_t end = plan_.stride;
+    std::size_t prev = SIZE_MAX;
+    std::size_t w = 0;
+    const std::size_t row = v * S;
+    for (const EdgeId e : h.edges_of(static_cast<VertexId>(v))) {
+      while (e >= end) {
+        ++s;
+        end += plan_.stride;
+      }
+      if (s != prev) {
+        w = inc_seg_off_[row + s];
+        prev = s;
+      }
+      inc_pools_[s][w++] = e;
+    }
   };
   if (pool_ == nullptr) {
     for (std::size_t e = 0; e < m; ++e) fill_edge(e);
     for (std::size_t v = 0; v < n_; ++v) fill_vertex(v);
+    for (std::size_t v = 0; v < n_; ++v) count_row(v);
   } else {
     par::parallel_for(0, m, fill_edge, nullptr, pool_);
     par::parallel_for(0, n_, fill_vertex, nullptr, pool_);
+    par::parallel_for(0, n_, count_row, nullptr, pool_);
   }
-  live_entries_ = h.total_edge_size();
+  {
+    // Serial pass: per-shard running totals become the segment offsets
+    // (one cache-friendly sweep over the (v, s) grid).
+    std::vector<std::size_t> totals(S, 0);
+    for (std::size_t v = 0; v < n_; ++v) {
+      const std::size_t row = v * S;
+      for (std::size_t s = 0; s < S; ++s) {
+        inc_seg_off_[row + s] = totals[s];
+        totals[s] += inc_seg_len_[row + s];
+      }
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      inc_pools_[s].resize(totals[s]);
+      shard_state_[s].live_entries = totals[s];
+    }
+  }
+  if (pool_ == nullptr) {
+    for (std::size_t v = 0; v < n_; ++v) fill_row(v);
+  } else {
+    par::parallel_for(0, n_, fill_row, nullptr, pool_);
+  }
   // Seed the singleton queue: edges born at size 1 are pending from the
   // start; afterwards only color_blue can create new singletons.  Both
   // flavours emit the same ascending list.
@@ -94,6 +176,12 @@ MutableHypergraph::MutableHypergraph(const Hypergraph& h, par::ThreadPool* pool)
       if (edge_size_[e] == 1) singleton_pending_.push_back(e);
     }
   }
+}
+
+MutableHypergraph::ShardDebt MutableHypergraph::shard_debt(
+    std::size_t s) const noexcept {
+  const ShardState& st = shard_state_[s];
+  return {st.live_entries, st.stale_entries, st.sweeps, st.swept_entries};
 }
 
 bool MutableHypergraph::edge_equal(EdgeId a, EdgeId b) const noexcept {
@@ -187,15 +275,51 @@ void MutableHypergraph::delete_edge(EdgeId e) {
   if (!edge_live_[e]) return;
   edge_live_.reset(e);
   --live_edge_count_;
-  const VertexId* verts = edge_pool_.data() + edge_offset(e);
+  const std::size_t s = plan_.shard_of(e);
+  const VertexId* verts =
+      edge_pools_[s].data() + (edge_offset(e) - shard_payload_base_[s]);
   const std::uint32_t sz = edge_size_[e];
+  util::DynamicBitset& dirty = dirty_[s];
   for (std::uint32_t r = 0; r < sz; ++r) {
     // Members of a live edge are always live vertices (invariant), so the
-    // degree bookkeeping only ever touches live vertices.
+    // degree bookkeeping only ever touches live vertices.  Each member's
+    // (vertex, shard) segment just gained a stale entry.
     --live_degree_[verts[r]];
+    dirty.set(verts[r]);
   }
-  live_entries_ -= sz;
-  stale_entries_ += sz;
+  shard_state_[s].live_entries -= sz;
+  shard_state_[s].stale_entries += sz;
+  detail::note_stale(sz);
+}
+
+void MutableHypergraph::account_deleted_sorted(
+    std::span<const EdgeId> deleted) {
+  // edge_size_ is untouched by deletion, so the doomed sizes are still
+  // readable.  `deleted` ascends, so each shard's edges form one contiguous
+  // run and the shard cursor only moves forward.
+  std::size_t orphaned_total = 0;
+  std::size_t s = 0;
+  std::size_t end = plan_.stride;
+  std::size_t orphaned = 0;
+  for (const EdgeId e : deleted) {
+    while (e >= end) {
+      if (orphaned != 0) {
+        shard_state_[s].live_entries -= orphaned;
+        shard_state_[s].stale_entries += orphaned;
+        orphaned_total += orphaned;
+        orphaned = 0;
+      }
+      ++s;
+      end += plan_.stride;
+    }
+    orphaned += edge_size_[e];
+  }
+  if (orphaned != 0) {
+    shard_state_[s].live_entries -= orphaned;
+    shard_state_[s].stale_entries += orphaned;
+    orphaned_total += orphaned;
+  }
+  detail::note_stale(orphaned_total);
 }
 
 std::size_t MutableHypergraph::incident_work(
@@ -212,133 +336,147 @@ bool MutableHypergraph::use_parallel(std::size_t work) const {
          work >= par::default_grain();
 }
 
-void MutableHypergraph::compact_incidence(VertexId v) {
-  const std::size_t lo = inc_offset(v);
-  const std::uint32_t len = inc_len_[v];
+void MutableHypergraph::compact_segment(VertexId v, std::size_t s) {
+  EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(v, s)];
+  const std::uint32_t len = inc_seg_len_[seg(v, s)];
   std::uint32_t w = 0;
   for (std::uint32_t j = 0; j < len; ++j) {
-    const EdgeId e = inc_pool_[lo + j];
-    if (edge_live_[e]) inc_pool_[lo + w++] = e;
+    const EdgeId e = p[j];
+    if (edge_live_[e]) p[w++] = e;
   }
-  inc_len_[v] = w;  // == live_degree_[v]: one live entry per live edge of v
+  inc_seg_len_[seg(v, s)] = w;
 }
 
-void MutableHypergraph::maybe_compact_incidence() {
-  // Debt-triggered sweep: deletions bank their orphaned entries in
-  // stale_entries_; once the debt reaches both half the live entries and
-  // the mask's word count, one pass compacts every stale live list and
-  // forgives the debt.  The word-count floor keeps the endgame honest:
-  // without it, tiny batches late in a solve (live_entries_ near zero)
-  // would pay the O(n/64) mask scan over and over for a handful of
-  // deletions.  The trigger is a pure function of counters every flavour
-  // maintains identically (num_words is a constant of the instance), so
-  // the sweep fires at the same operations on every thread count; the
-  // sweep itself compacts per-vertex (disjoint slabs) and only reads the
-  // liveness bitset, so its result is order-independent.  Cost:
-  // O(n/64 + live entries + debt) per sweep, and both non-debt terms are
-  // bounded by the debt at the trigger — O(1) amortized per deleted
-  // entry — and zero for operations that never build up debt.
-  if (stale_entries_ < 64 || stale_entries_ * 2 < live_entries_ ||
-      stale_entries_ < live_mask_.num_words()) {
-    return;
-  }
+void MutableHypergraph::sweep_shard(std::size_t s) {
+  // Compact every dirty LIVE vertex's segment (dead vertices' segments are
+  // never walked again, so their debt is forgiven unswept — exactly like
+  // the old global sweep skipped non-live mask bits).  Dirty bits are only
+  // ever set by deletions and only cleared here, so dirty ∧ live is exactly
+  // the set of segments with stale entries.
+  ShardState& st = shard_state_[s];
+  util::DynamicBitset& dirty = dirty_[s];
   const auto sweep_word = [&](std::size_t base, std::uint64_t w) {
     while (w != 0) {
       const auto v = static_cast<VertexId>(
           base + static_cast<std::size_t>(std::countr_zero(w)));
       w &= w - 1;
-      if (inc_len_[v] != live_degree_[v]) compact_incidence(v);
+      compact_segment(v, s);
     }
   };
-  if (use_parallel(live_entries_ + stale_entries_)) {
+  if (use_parallel(st.live_entries + st.stale_entries)) {
     par::parallel_for(
-        0, live_mask_.num_words(),
-        [&](std::size_t wi) { sweep_word(wi * 64, live_mask_.word(wi)); },
+        0, dirty.num_words(),
+        [&](std::size_t wi) {
+          const std::uint64_t w = dirty.word(wi) & live_mask_.word(wi);
+          if (w != 0) sweep_word(wi * 64, w);
+        },
         nullptr, pool_);
   } else {
-    live_mask_.for_each_set_word(sweep_word);
+    dirty.for_each_set_word([&](std::size_t base, std::uint64_t w) {
+      w &= live_mask_.word(base / 64);
+      if (w != 0) sweep_word(base, w);
+    });
   }
-  stale_entries_ = 0;
+  dirty.clear_all();
+  st.swept_entries += st.stale_entries;
+  st.stale_entries = 0;
+  ++st.sweeps;
+}
+
+void MutableHypergraph::maybe_compact_shards() {
+  // Per-shard debt-triggered sweep: deletions bank their orphaned entries
+  // in their OWN shard's stale counter; once a shard's debt reaches both
+  // half of ITS live entries and the dirty mask's word count, that shard
+  // alone compacts its dirty segments and forgives its debt.  The word
+  // floor keeps the endgame honest (without it, tiny late batches would
+  // pay the O(n/64) mask scan for a handful of deletions), and the 64
+  // floor keeps micro-instances from sweeping per deletion.  The trigger
+  // is a pure function of per-shard counters every flavour maintains
+  // identically, so for a fixed plan the sweeps fire at the same
+  // operations on every thread count; cold shards cost one compare.
+  // Cost per sweep: O(n/64 + shard live entries + shard debt), and both
+  // non-debt terms are bounded by the debt at the trigger — O(1) amortized
+  // per deleted entry.
+  std::uint64_t sweeps = 0;
+  std::uint64_t swept = 0;
+  for (std::size_t s = 0; s < plan_.count; ++s) {
+    ShardState& st = shard_state_[s];
+    if (st.stale_entries < 64 || st.stale_entries * 2 < st.live_entries ||
+        st.stale_entries < live_mask_.num_words()) {
+      continue;
+    }
+    const std::size_t debt = st.stale_entries;
+    sweep_shard(s);
+    ++sweeps;
+    swept += debt;
+  }
+  if (sweeps != 0) detail::note_sweeps(sweeps, swept);
 }
 
 std::size_t MutableHypergraph::gather_batch_incidence(
     std::span<const VertexId> vs, std::size_t work) {
   const std::size_t m = edge_size_.size();
+  const std::size_t S = plan_.count;
   // Dense regime: a batch touching a constant fraction of the edge set is
   // gathered faster by marking a full-width bitset and packing it (the
   // marking still walks only the batch incidence; only the pack is O(m),
-  // which the touch size already is, up to the constant below).
+  // which the touch size already is, up to the constant below).  Each shard
+  // zero-fills and marks its OWN word range (the stride is a multiple of
+  // 64), so the per-shard bitset-OR needs no atomics and no global clear.
   if (work >= m / 8) {
-    // One zero-fill per batch: resize only when the width changed (resize
-    // reassigns every word), otherwise just clear.
-    if (touched_mask_.size() != m) {
-      touched_mask_.resize(m);
-    } else {
-      touched_mask_.clear_all();
-    }
-    par::parallel_for(
-        0, vs.size(),
-        [&](std::size_t i) {
-          const VertexId v = vs[i];
-          const std::size_t lo = inc_offset(v);
-          const std::uint32_t len = inc_len_[v];
-          for (std::uint32_t j = 0; j < len; ++j) {
-            const EdgeId e = inc_pool_[lo + j];
-            if (edge_live_[e]) touched_mask_.set_atomic(e);
+    detail::note_gather(/*dense=*/true);
+    if (touched_mask_.size() != m) touched_mask_.resize(m);
+    std::uint64_t* words = touched_mask_.word_data();
+    par::parallel_for_shards(
+        S,
+        [&](std::size_t s) {
+          const std::size_t wlo = plan_.shard_begin(s) / 64;
+          const std::size_t whi = std::min(
+              touched_mask_.num_words(),
+              (plan_.shard_begin(s) + plan_.stride) / 64);
+          std::fill(words + wlo, words + whi, 0);
+          for (const VertexId v : vs) {
+            const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(v, s)];
+            const std::uint32_t len = inc_seg_len_[seg(v, s)];
+            for (std::uint32_t j = 0; j < len; ++j) {
+              const EdgeId e = p[j];
+              if (edge_live_[e]) words[e >> 6] |= 1ULL << (e & 63);
+            }
           }
         },
-        nullptr, pool_);
+        plan_.affinity_offset, pool_);
     return par::pack_indices_into(
         m, [&](std::size_t e) { return touched_mask_.test(e); },
         pack_offsets_, touched_edges_, nullptr, pool_);
   }
-  // Sparse regime: every live entry in a live vertex's list is an edge
-  // still containing it, and there are exactly live_degree_ of them — so
-  // the slice sizes are known up front and the gather is a scan + fill.
-  // Sorting and adjacent-unique then canonicalize the edge list (an edge
-  // shared by several batch vertices appears once, ascending), independent
-  // of chunking.  Cost: O(touch log touch), never O(m).  Entry counts run
-  // in size_t: the summed batch incidence is not bounded by the 32-bit id
-  // space.
-  batch_offsets_.resize(vs.size());
-  const std::size_t total = par::exclusive_scan<std::size_t>(
-      vs.size(),
-      [&](std::size_t i) { return std::size_t{live_degree_[vs[i]]}; },
-      batch_offsets_.data(), nullptr, pool_);
-  batch_edges_.resize(total);
-  par::parallel_for(
-      0, vs.size(),
-      [&](std::size_t i) {
-        const VertexId v = vs[i];
-        const std::size_t lo = inc_offset(v);
-        const std::uint32_t len = inc_len_[v];
-        std::size_t pos = batch_offsets_[i];
-        for (std::uint32_t j = 0; j < len; ++j) {
-          const EdgeId e = inc_pool_[lo + j];
-          if (edge_live_[e]) batch_edges_[pos++] = e;
+  // Sparse regime: fan out per shard — each shard collects the batch's live
+  // entries from its own segments, sorts, and uniques, producing one
+  // duplicate-free ascending run per shard.  The runs cover disjoint
+  // ascending edge ranges by construction, so the deterministic merge is a
+  // concat (par/shard_merge.hpp) and the result equals the unsharded
+  // sort + adjacent-unique for every shard count.  Cost: O(touch log touch)
+  // total, never O(m).
+  detail::note_gather(/*dense=*/false);
+  shard_runs_.resize(S);
+  par::parallel_for_shards(
+      S,
+      [&](std::size_t s) {
+        std::vector<EdgeId>& run = shard_runs_[s];
+        run.clear();
+        for (const VertexId v : vs) {
+          const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(v, s)];
+          const std::uint32_t len = inc_seg_len_[seg(v, s)];
+          for (std::uint32_t j = 0; j < len; ++j) {
+            const EdgeId e = p[j];
+            if (edge_live_[e]) run.push_back(e);
+          }
         }
+        std::sort(run.begin(), run.end());
+        run.erase(std::unique(run.begin(), run.end()), run.end());
       },
-      nullptr, pool_);
-  par::parallel_sort(batch_edges_, std::less<EdgeId>{}, nullptr, pool_);
-  // Adjacent-unique pack (size_t flavour of par::pack_indices_into).
-  const auto first_occurrence = [&](std::size_t i) {
-    return i == 0 || batch_edges_[i - 1] != batch_edges_[i];
-  };
-  unique_offsets_.resize(total);
-  const std::size_t cnt = par::exclusive_scan<std::size_t>(
-      total,
-      [&](std::size_t i) { return first_occurrence(i) ? std::size_t{1} : 0; },
-      unique_offsets_.data(), nullptr, pool_);
-  touched_edges_.resize(cnt);
-  par::parallel_for(
-      0, total,
-      [&](std::size_t i) {
-        if (first_occurrence(i)) {
-          touched_edges_[unique_offsets_[i]] = batch_edges_[i];
-        }
-      },
-      nullptr, pool_);
-  return cnt;
+      plan_.affinity_offset, pool_);
+  return par::shard::concat_sorted_runs_into(shard_runs_, run_offsets_,
+                                             touched_edges_, pool_);
 }
 
 void MutableHypergraph::color_blue(std::span<const VertexId> vs) {
@@ -352,34 +490,39 @@ void MutableHypergraph::color_blue(std::span<const VertexId> vs) {
     --live_vertex_count_;
   }
   const std::size_t work = incident_work(vs);
-  // Each batch vertex leaves each of its live edges exactly once, so the
-  // live entry count drops by the batch's live incidence.  (The orphaned
-  // index entries sit in the now-dead batch vertices' own lists, which are
-  // never walked again — blue creates no debt in live lists.)
-  live_entries_ -= work - vs.size();
   if (use_parallel(work)) {
     parallel_shrink_blue(vs, work);
     return;
   }
-  // Shrink live incident edges, walking the live-incidence index: only the
-  // edges touching the batch are visited, never all m.  A vertex leaves an
-  // edge only here, when it turns blue.
+  // Shrink live incident edges, walking the live-incidence segments: only
+  // the edges touching the batch are visited, never all m.  A vertex leaves
+  // an edge only here, when it turns blue.  Each batch vertex leaves each
+  // of its live edges exactly once, so every shard's live entry count drops
+  // by the live entries walked in its segments.  (The orphaned index
+  // entries sit in the now-dead batch vertices' own segments, which are
+  // never walked again — blue creates no debt in live segments.)
+  const std::size_t S = plan_.count;
   for (const VertexId v : vs) {
-    const std::size_t lo = inc_offset(v);
-    const std::uint32_t len = inc_len_[v];
-    for (std::uint32_t j = 0; j < len; ++j) {
-      const EdgeId e = inc_pool_[lo + j];
-      if (!edge_live_[e]) continue;
-      // A live entry's edge still contains v: the only removal site is this
-      // loop, and v was live until this batch.
-      VertexId* verts = edge_begin(e);
-      std::uint32_t sz = edge_size_[e];
-      VertexId* it = std::lower_bound(verts, verts + sz, v);
-      std::move(it + 1, verts + sz, it);  // order-preserving in-place erase
-      edge_size_[e] = --sz;
-      --live_degree_[v];  // v no longer counted in this edge
-      HMIS_CHECK(sz != 0, "edge became fully blue: independence violated");
-      if (sz == 1) singleton_pending_.push_back(e);
+    for (std::size_t s = 0; s < S; ++s) {
+      const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(v, s)];
+      const std::uint32_t len = inc_seg_len_[seg(v, s)];
+      std::size_t removed = 0;
+      for (std::uint32_t j = 0; j < len; ++j) {
+        const EdgeId e = p[j];
+        if (!edge_live_[e]) continue;
+        ++removed;
+        // A live entry's edge still contains v: the only removal site is
+        // this loop, and v was live until this batch.
+        VertexId* verts = edge_begin(e);
+        std::uint32_t sz = edge_size_[e];
+        VertexId* it = std::lower_bound(verts, verts + sz, v);
+        std::move(it + 1, verts + sz, it);  // order-preserving in-place erase
+        edge_size_[e] = --sz;
+        --live_degree_[v];  // v no longer counted in this edge
+        HMIS_CHECK(sz != 0, "edge became fully blue: independence violated");
+        if (sz == 1) singleton_pending_.push_back(e);
+      }
+      shard_state_[s].live_entries -= removed;
     }
   }
 }
@@ -391,7 +534,10 @@ void MutableHypergraph::parallel_shrink_blue(std::span<const VertexId> vs,
   const std::size_t touched = gather_batch_incidence(vs, work);
   // Pass 2: each touched edge drops its just-blued members in one sweep.
   // Edges are disjoint work items; only the degree counters are shared, and
-  // each removed (edge, vertex) pair decrements exactly once.
+  // each removed (edge, vertex) pair decrements exactly once.  Each edge
+  // records how many members it lost so the serial accounting pass below
+  // can charge the right shard.
+  shrink_removed_.resize(touched);
   par::parallel_for(
       0, touched,
       [&](std::size_t j) {
@@ -409,13 +555,29 @@ void MutableHypergraph::parallel_shrink_blue(std::span<const VertexId> vs,
         }
         HMIS_CHECK(w != 0, "edge became fully blue: independence violated");
         edge_size_[e] = w;
+        shrink_removed_[j] = sz - w;
       },
       nullptr, pool_);
-  // New singletons feed the cascade queue, ascending (touched is sorted).
+  // Serial epilogue: per-shard live-entry accounting (every removed
+  // (edge, vertex) pair was one live entry in the edge's shard — the same
+  // count the serial flavour accumulates segment by segment) and the
+  // singleton feed, ascending (touched is sorted, so shard runs are
+  // contiguous and the cursor only moves forward).
+  std::size_t s = 0;
+  std::size_t end = plan_.stride;
+  std::size_t removed = 0;
   for (std::size_t j = 0; j < touched; ++j) {
     const EdgeId e = touched_edges_[j];
+    while (e >= end) {
+      shard_state_[s].live_entries -= removed;
+      removed = 0;
+      ++s;
+      end += plan_.stride;
+    }
+    removed += shrink_removed_[j];
     if (edge_size_[e] == 1) singleton_pending_.push_back(e);
   }
+  shard_state_[s].live_entries -= removed;
 }
 
 void MutableHypergraph::color_red(std::span<const VertexId> vs) {
@@ -433,15 +595,9 @@ void MutableHypergraph::color_red(std::span<const VertexId> vs) {
   // Delete every live edge incident to the batch.  A live incidence entry's
   // edge still contains its vertex, so no membership test is needed.
   for (const VertexId v : vs) {
-    const std::size_t lo = inc_offset(v);
-    const std::uint32_t len = inc_len_[v];
-    for (std::uint32_t j = 0; j < len; ++j) {
-      const EdgeId e = inc_pool_[lo + j];
-      if (!edge_live_[e]) continue;
-      delete_edge(e);
-    }
+    for_each_live_incident(v, [&](EdgeId e) { delete_edge(e); });
   }
-  maybe_compact_incidence();
+  maybe_compact_shards();
 }
 
 void MutableHypergraph::parallel_delete_red(std::span<const VertexId> vs,
@@ -449,29 +605,26 @@ void MutableHypergraph::parallel_delete_red(std::span<const VertexId> vs,
   // Pass 1: gather the distinct doomed edges — live edges containing a
   // batch vertex.  Nothing is mutated, so the walks race with nothing.
   const std::size_t doomed = gather_batch_incidence(vs, work);
-  // Pass 2: delete each doomed edge exactly once.
+  // Pass 2: delete each doomed edge exactly once.  Dirty marking is an
+  // idempotent atomic bit set — racing markers of the same vertex agree.
   par::parallel_for(
       0, doomed,
       [&](std::size_t j) {
         const EdgeId e = touched_edges_[j];
         edge_live_.reset_atomic(e);
-        const VertexId* verts = edge_pool_.data() + edge_offset(e);
+        const std::size_t s = plan_.shard_of(e);
+        const VertexId* verts =
+            edge_pools_[s].data() + (edge_offset(e) - shard_payload_base_[s]);
         const std::uint32_t sz = edge_size_[e];
         for (std::uint32_t r = 0; r < sz; ++r) {
           atomic_decrement(live_degree_[verts[r]]);
+          dirty_[s].set_atomic(verts[r]);
         }
       },
       nullptr, pool_);
   live_edge_count_ -= doomed;
-  // Entry accounting for the batch: edge_size_ is untouched by deletion,
-  // so the doomed sizes are still readable.
-  std::size_t orphaned = 0;
-  for (std::size_t j = 0; j < doomed; ++j) {
-    orphaned += edge_size_[touched_edges_[j]];
-  }
-  live_entries_ -= orphaned;
-  stale_entries_ += orphaned;
-  maybe_compact_incidence();
+  account_deleted_sorted({touched_edges_.data(), doomed});
+  maybe_compact_shards();
 }
 
 std::vector<VertexId> MutableHypergraph::singleton_cascade() {
@@ -502,14 +655,14 @@ std::vector<VertexId> MutableHypergraph::singleton_cascade() {
     par::parallel_for(
         0, cnt,
         [&](std::size_t j) {
-          reds[j] = edge_pool_[edge_offset(singleton_pending_[slots[j]])];
+          reds[j] = edge(singleton_pending_[slots[j]]).front();
         },
         nullptr, pool_);
     par::parallel_sort(reds, std::less<VertexId>{}, nullptr, pool_);
   } else {
     for (const EdgeId e : singleton_pending_) {
       if (edge_live_[e] && edge_size_[e] == 1) {
-        reds.push_back(edge_pool_[edge_offset(e)]);
+        reds.push_back(edge(e).front());
       }
     }
     std::sort(reds.begin(), reds.end());
@@ -582,7 +735,7 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
       for (const VertexId v : verts) kept_incident[v].push_back(e);
       prev = e;
     }
-    maybe_compact_incidence();
+    maybe_compact_shards();
     return removed;
   }
 
@@ -594,6 +747,7 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
   // against ALL non-duplicate live edges matches the incremental serial
   // answer exactly.)
   const std::size_t m = edge_size_.size();
+  const std::size_t S = plan_.count;
   std::vector<EdgeId> order = live_edges();
   par::parallel_sort(order, by_size_lex_id, nullptr, pool_);
   // state: 0 = dead, 1 = live canonical, 2 = live duplicate.
@@ -618,19 +772,22 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
         const auto verts = edge(e);
         // A strict subset shares each of its current members with e, and
         // every live edge of a live vertex sits in that vertex's incidence
-        // list — so walking the lists of e's members finds every witness.
+        // segments — so walking the segments of e's members finds every
+        // witness (stale entries are filtered by the state check).
         for (const VertexId v : verts) {
-          const std::size_t lo = inc_offset(v);
-          const std::uint32_t len = inc_len_[v];
-          for (std::uint32_t j = 0; j < len; ++j) {
-            const EdgeId f = inc_pool_[lo + j];
-            if (state[f] != 1 || f == e) continue;
-            const auto fv = edge(f);
-            if (fv.size() < verts.size() &&
-                std::includes(verts.begin(), verts.end(), fv.begin(),
-                              fv.end())) {
-              gone[e] = 1;
-              return;
+          for (std::size_t s = 0; s < S; ++s) {
+            const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(v, s)];
+            const std::uint32_t len = inc_seg_len_[seg(v, s)];
+            for (std::uint32_t j = 0; j < len; ++j) {
+              const EdgeId f = p[j];
+              if (state[f] != 1 || f == e) continue;
+              const auto fv = edge(f);
+              if (fv.size() < verts.size() &&
+                  std::includes(verts.begin(), verts.end(), fv.begin(),
+                                fv.end())) {
+                gone[e] = 1;
+                return;
+              }
             }
           }
         }
@@ -643,19 +800,19 @@ std::size_t MutableHypergraph::dedupe_and_minimalize() {
       [&](std::size_t i) {
         const EdgeId e = del[i];
         edge_live_.reset_atomic(e);
-        const VertexId* verts = edge_pool_.data() + edge_offset(e);
+        const std::size_t s = plan_.shard_of(e);
+        const VertexId* verts =
+            edge_pools_[s].data() + (edge_offset(e) - shard_payload_base_[s]);
         const std::uint32_t sz = edge_size_[e];
         for (std::uint32_t r = 0; r < sz; ++r) {
           atomic_decrement(live_degree_[verts[r]]);
+          dirty_[s].set_atomic(verts[r]);
         }
       },
       nullptr, pool_);
   live_edge_count_ -= del.size();
-  std::size_t orphaned = 0;
-  for (const EdgeId e : del) orphaned += edge_size_[e];
-  live_entries_ -= orphaned;
-  stale_entries_ += orphaned;
-  maybe_compact_incidence();
+  account_deleted_sorted(del);
+  maybe_compact_shards();
   return del.size();
 }
 
@@ -925,11 +1082,12 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
 
   // ---- Vertex -> incident edge CSR. ---------------------------------------
   // Degree histogram first (commutative atomic counts), then every local
-  // vertex fills its own slice by walking its LIVE incidence list in
-  // ascending edge order — every emitted edge of a live vertex sits in that
-  // list (it never left: only blue coloring removes a vertex from an edge),
-  // emitted local ids ascend with original ids, so the incidence lists come
-  // out sorted with no cross-thread writes and no membership tests.
+  // vertex fills its own slice by walking its LIVE incidence segments in
+  // shard order — ascending edge ids overall, and every emitted edge of a
+  // live vertex sits in those segments (it never left: only blue coloring
+  // removes a vertex from an edge).  Emitted local ids ascend with original
+  // ids, so the incidence lists come out sorted with no cross-thread writes
+  // and no membership tests.
   scratch.deg.resize(k);
   par::parallel_for(
       0, k, [&](std::size_t lv) { scratch.deg[lv] = 0; }, nullptr, pool_);
@@ -948,17 +1106,20 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
       g.vertex_offsets_.data(), nullptr, pool_);
   g.vertex_offsets_[k] = total_incidence;
   g.vertex_edges_.resize(total_incidence);
+  const std::size_t S = plan_.count;
   par::parallel_for(
       0, k,
       [&](std::size_t lv) {
         const VertexId ov = out.to_original[lv];
         std::size_t pos = g.vertex_offsets_[lv];
-        const std::size_t lo = inc_offset(ov);
-        const std::uint32_t len = inc_len_[ov];
-        for (std::uint32_t j = 0; j < len; ++j) {
-          const EdgeId e = inc_pool_[lo + j];
-          if (scratch.emit[e]) {
-            g.vertex_edges_[pos++] = scratch.local_edge[e];
+        for (std::size_t s = 0; s < S; ++s) {
+          const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(ov, s)];
+          const std::uint32_t len = inc_seg_len_[seg(ov, s)];
+          for (std::uint32_t j = 0; j < len; ++j) {
+            const EdgeId e = p[j];
+            if (scratch.emit[e]) {
+              g.vertex_edges_[pos++] = scratch.local_edge[e];
+            }
           }
         }
       },

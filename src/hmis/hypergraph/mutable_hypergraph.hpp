@@ -17,41 +17,55 @@
 // Vertex ids are stable: they always refer to the original hypergraph, so
 // the final blue set can be validated directly against the input.
 //
-// ---- The residual data plane (DESIGN.md §7) --------------------------------
+// ---- The sharded residual data plane (DESIGN.md §7, §10) -------------------
 //
-// Edge contents live in one flat SLAB: a single contiguous vertex pool with
-// a constant per-edge {offset, live_size} span (the offsets are the original
-// CSR's — edges only ever shrink, in place, order-preserving, so a span
-// never moves or reallocates).  Alongside it the structure maintains a
-// vertex → live-edge INCIDENCE INDEX: a flat edge-id pool with a per-vertex
-// {offset, len} span whose live entries are exactly the live edges
-// containing that vertex (an entry goes stale when its edge dies; a
-// debt-triggered sweep compacts every stale list once the orphaned entries
-// reach half of the live ones, so list walks cost O(live incident edges)
-// amortized and maintenance costs O(1) per deleted entry).  Batch mutations
-// (color_blue / color_red / singleton_cascade) are OUTPUT-SENSITIVE: they
-// visit only the edges incident to the colored batch — never all m edges —
-// so a round's cost tracks the edges it touches, which is what the paper's
-// work bounds assume.
+// The edge slab and the vertex → live-edge incidence index are SHARDED by
+// contiguous edge range (shard_plan.hpp; count defaults to the pool width,
+// stride a multiple of 64 so each shard owns whole words of every
+// edge-indexed bitset):
+//
+//  * SLAB — per-shard contiguous vertex pools with a constant per-edge
+//    {offset, live_size} span (offsets are the original CSR's; edges only
+//    ever shrink in place, order-preserving, so a span never moves and the
+//    pools never reallocate).
+//  * INCIDENCE INDEX — per-shard edge-id pools holding, for every vertex v,
+//    one SEGMENT per shard: the (v, s) segment's live entries are exactly
+//    v's live edges within shard s, ascending.  Walking v's segments in
+//    shard order yields v's live incident edges ascending overall — the
+//    same sequence the unsharded index produced, which is why observable
+//    results are invariant in the shard count.
+//  * DEBT — per-shard {live, stale} entry counters plus a per-shard dirty
+//    vertex mask.  An edge deletion banks its size in ITS shard's stale
+//    counter and marks its members dirty there; once a shard's debt passes
+//    half its live entries (with the same absolute/word floors as before,
+//    per shard) that shard alone sweeps its dirty segments — a hot shard
+//    compacts without touching cold ones.
+//
+// Batch mutations (color_blue / color_red / singleton_cascade) remain
+// OUTPUT-SENSITIVE: they visit only the edges incident to the colored batch
+// — never all m edges — so a round's cost tracks the edges it touches,
+// which is what the paper's work bounds assume.
 //
 // ---- Parallel execution & the determinism contract -------------------------
 //
 // Every query and mutation runs as a deterministic parallel kernel when a
 // `par::ThreadPool` is attached (set_pool / constructor), and as the plain
-// serial loop when none is (pool == nullptr).  The two paths are REQUIRED to
-// produce bit-identical state — same colors, counts, degrees, edge contents,
-// snapshots, and removal counts — for any thread count; the kernels achieve
-// this with fixed chunk decompositions, index-order combination (scan /
-// reduce / pack / sort+unique), and idempotent or commutative atomics
-// (bitset bits, degree counters whose final values are order-independent
-// sums).  The incidence index itself evolves as a pure function of the
-// operation sequence: the compaction sweep triggers on two deterministically
-// maintained counters (stale vs live entries, both post-operation values)
-// and preserves ascending edge-id order, so the acceleration structure is
-// bit-identical across thread counts too, dead entries included.
-// tests/test_mutable_hypergraph_parallel.cpp enforces the contract, and the
-// reference-model suites check the slab against vector-of-vectors
-// semantics element for element.
+// serial loop when none is (pool == nullptr).  The two paths are REQUIRED
+// to produce bit-identical state — same colors, counts, degrees, edge
+// contents, snapshots, and removal counts — for any thread count AND any
+// shard count; the kernels achieve this with fixed chunk decompositions,
+// index-order combination (scan / reduce / pack / sort+unique), idempotent
+// or commutative atomics, and the cross-shard merge layer
+// (par/shard_merge.hpp): per-shard gathers produce disjoint ascending runs
+// whose deterministic concatenation equals the unsharded gather, and dense
+// gathers mark word-owned regions of one touch mask.  For a FIXED shard
+// count the index internals (segment contents, debt counters, sweep times)
+// are additionally bit-identical across thread counts; across shard counts
+// only the observable state is — sweeps fire per shard, but walks filter
+// on edge liveness, so sweep timing is unobservable by construction.
+// tests/test_mutable_hypergraph_parallel.cpp enforces both contracts, and
+// the reference-model suites check the slab against vector-of-vectors
+// semantics element for element at shard counts {1, 2, 7}.
 //
 // Thread-safety rules: a MutableHypergraph is NOT itself thread-safe — all
 // public methods must be called from one thread; the parallelism is internal
@@ -68,6 +82,7 @@
 #include <vector>
 
 #include "hmis/hypergraph/hypergraph.hpp"
+#include "hmis/hypergraph/shard_plan.hpp"
 #include "hmis/util/bitset.hpp"
 
 namespace hmis::par {
@@ -82,11 +97,17 @@ class MutableHypergraph {
  public:
   /// `pool` powers the internal parallel kernels; nullptr means every
   /// operation runs its serial fallback (bit-identical results either way).
+  /// `config` picks the shard plan (shard_plan.hpp); the default derives
+  /// the count from HMIS_SHARDS or the pool width — results are identical
+  /// for every choice, only locality/parallelism of the maintenance moves.
   explicit MutableHypergraph(const Hypergraph& h,
-                             par::ThreadPool* pool = nullptr);
+                             par::ThreadPool* pool = nullptr,
+                             const ShardConfig& config = {});
 
   /// Attach/detach the pool after construction (algorithms thread their
-  /// CommonOptions::pool through here so every maintenance step inherits it).
+  /// CommonOptions::pool through here so every maintenance step inherits
+  /// it).  The shard plan is fixed at construction — swapping pools never
+  /// re-shards.
   void set_pool(par::ThreadPool* pool) noexcept { pool_ = pool; }
   [[nodiscard]] par::ThreadPool* pool() const noexcept { return pool_; }
 
@@ -109,10 +130,13 @@ class MutableHypergraph {
     return edge_live_[e];
   }
   /// Current (shrunken) vertex list of a live edge; sorted.  A view into
-  /// the slab — stable across mutations of OTHER edges, invalidated for
-  /// this edge only in the sense that its contents shrink in place.
+  /// the edge's shard pool — stable across mutations of OTHER edges,
+  /// invalidated for this edge only in the sense that its contents shrink
+  /// in place.
   [[nodiscard]] std::span<const VertexId> edge(EdgeId e) const noexcept {
-    return {edge_pool_.data() + edge_offset(e), edge_size_[e]};
+    const std::size_t s = plan_.shard_of(e);
+    return {edge_pools_[s].data() + (edge_offset(e) - shard_payload_base_[s]),
+            edge_size_[e]};
   }
   /// Current size of edge e (cheaper than edge(e).size() on hot paths).
   [[nodiscard]] std::size_t edge_size(EdgeId e) const noexcept {
@@ -144,6 +168,22 @@ class MutableHypergraph {
   [[nodiscard]] const Hypergraph& original() const noexcept {
     return *original_;
   }
+
+  // ---- Shard introspection (benches / tests / stats) ----------------------
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return plan_.count;
+  }
+  /// One shard's debt ledger.  live/stale are the current counters; sweeps
+  /// and swept_entries accumulate over the object's lifetime — the bench
+  /// asserts cold shards keep sweeps == 0 while hot shards pay.
+  struct ShardDebt {
+    std::size_t live_entries = 0;
+    std::size_t stale_entries = 0;
+    std::uint64_t sweeps = 0;
+    std::uint64_t swept_entries = 0;
+  };
+  [[nodiscard]] ShardDebt shard_debt(std::size_t s) const noexcept;
 
   // ---- Coloring operations ------------------------------------------------
 
@@ -222,16 +262,32 @@ class MutableHypergraph {
 
  private:
   /// Constant span offsets come straight from the original CSR: edges only
-  /// shrink in place, and an incidence list only loses entries, so neither
-  /// slab ever relocates.
+  /// shrink in place, and an incidence segment only loses entries, so no
+  /// pool ever relocates.  edge_offset is global; a shard pool's local
+  /// offset is edge_offset(e) - shard_payload_base_[shard].
   [[nodiscard]] std::size_t edge_offset(EdgeId e) const noexcept {
     return original_->edge_offsets_[e];
   }
-  [[nodiscard]] std::size_t inc_offset(VertexId v) const noexcept {
-    return original_->vertex_offsets_[v];
-  }
   [[nodiscard]] VertexId* edge_begin(EdgeId e) noexcept {
-    return edge_pool_.data() + edge_offset(e);
+    const std::size_t s = plan_.shard_of(e);
+    return edge_pools_[s].data() + (edge_offset(e) - shard_payload_base_[s]);
+  }
+  /// Index of vertex v's segment metadata for shard s (vertex-major: the
+  /// hot walks iterate one vertex's S segments contiguously).
+  [[nodiscard]] std::size_t seg(VertexId v, std::size_t s) const noexcept {
+    return static_cast<std::size_t>(v) * plan_.count + s;
+  }
+  /// Walk the live incidence entries of v — all shards in order, so edge
+  /// ids ascend overall — calling f(EdgeId) per live entry.
+  template <typename F>
+  void for_each_live_incident(VertexId v, F&& f) const {
+    for (std::size_t s = 0; s < plan_.count; ++s) {
+      const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(v, s)];
+      const std::uint32_t len = inc_seg_len_[seg(v, s)];
+      for (std::uint32_t j = 0; j < len; ++j) {
+        if (edge_live_[p[j]]) f(p[j]);
+      }
+    }
   }
   /// Edge-content equality for canonical-survivor dedupe.
   [[nodiscard]] bool edge_equal(EdgeId a, EdgeId b) const noexcept;
@@ -239,34 +295,43 @@ class MutableHypergraph {
   [[nodiscard]] bool edge_size_lex_id_less(EdgeId a, EdgeId b) const noexcept;
 
   void delete_edge(EdgeId e);
+  /// Per-shard {live -= , stale += } accounting for a sorted ascending list
+  /// of deleted edges (the parallel red/dedupe flavours — sorted means each
+  /// shard's edges form one contiguous run).  Serial; also feeds the
+  /// process-wide data-plane counters.
+  void account_deleted_sorted(std::span<const EdgeId> deleted);
   /// Parallel kernels behind the public mutations (pool_ != nullptr path).
   /// `work` is the batch's incident work (the use_parallel argument),
   /// reused to pick the gather flavour.
   void parallel_shrink_blue(std::span<const VertexId> vs, std::size_t work);
   void parallel_delete_red(std::span<const VertexId> vs, std::size_t work);
   /// Gather the distinct LIVE edges incident to the batch `vs` into
-  /// touched_edges_ (ascending).  Returns the distinct count.  Two
-  /// flavours behind one deterministic result: sparse batches pay
-  /// O(batch incidence log) (per-vertex slices, sort, adjacent-unique);
-  /// batches touching a constant fraction of the edge set mark a full-width
-  /// bitset and pack it — cheaper than sorting once the touch is dense.
-  /// The flavour choice is a pure function of (work, m), so every thread
-  /// count takes the same one.
+  /// touched_edges_ (ascending).  Returns the distinct count.  Fans out
+  /// per shard and combines through the deterministic merge layer
+  /// (par/shard_merge.hpp): sparse batches sort+unique one run per shard
+  /// and concat the disjoint runs; batches touching a constant fraction of
+  /// the edge set mark each shard's word-owned region of a full-width
+  /// bitset (per-shard bitset-OR) and pack it.  The flavour choice is a
+  /// pure function of (work, m), so every thread AND shard count takes the
+  /// same one, and both produce the shard-count-independent ascending list.
   [[nodiscard]] std::size_t gather_batch_incidence(std::span<const VertexId> vs,
                                                    std::size_t work);
-  /// Drop stale entries from v's incidence list (keeps live entries in
-  /// ascending edge-id order; afterwards len == live_degree).
-  void compact_incidence(VertexId v);
-  /// Debt-triggered index maintenance: every edge deletion adds its size to
-  /// stale_entries_; once the debt reaches half of the live entry count,
-  /// one sweep compacts every stale live list (word-level walk of the live
-  /// mask).  The sweep costs O(n/64 + live entries + debt), so maintenance
-  /// amortizes to O(1) per deleted entry, per-operation cost for small
-  /// deletions is zero, and the trigger — a pure function of two
-  /// deterministically-maintained counters — fires identically on every
-  /// flavour, keeping the index evolution bit-identical across thread
-  /// counts.
-  void maybe_compact_incidence();
+  /// Drop stale entries from v's shard-s segment (keeps live entries in
+  /// ascending edge-id order).
+  void compact_segment(VertexId v, std::size_t s);
+  /// Sweep one shard: compact every dirty live vertex's segment, clear the
+  /// dirty mask, forgive the shard's stale debt.
+  void sweep_shard(std::size_t s);
+  /// Debt-triggered per-shard index maintenance: each shard sweeps when ITS
+  /// stale counter reaches half of ITS live entries (with the same 64-entry
+  /// and word-count floors as the old global sweep, per shard) — a pure
+  /// function of per-shard counters every flavour maintains identically, so
+  /// for a fixed shard plan the sweeps fire at the same operations on every
+  /// thread count.  Across shard plans sweep timing differs, but walks
+  /// filter on edge liveness, so it is unobservable.  A sweep costs
+  /// O(n/64 + shard live entries + shard debt) — amortized O(1) per deleted
+  /// entry — and shards without debt cost one counter compare.
+  void maybe_compact_shards();
   /// One implementation behind both extraction flavours; `keep == nullptr`
   /// means "every live vertex" (the live_snapshot case, which then needs no
   /// all-ones bitset).
@@ -290,35 +355,44 @@ class MutableHypergraph {
   const Hypergraph* original_;
   std::size_t n_;
   par::ThreadPool* pool_ = nullptr;
+  ShardPlan plan_;
   std::vector<Color> color_;
 
-  // ---- Slab data plane ----------------------------------------------------
-  std::vector<VertexId> edge_pool_;      // flat vertex pool; span per edge
-  std::vector<std::uint32_t> edge_size_; // live size per edge span
+  // ---- Sharded slab data plane --------------------------------------------
+  std::vector<std::vector<VertexId>> edge_pools_;  // one vertex pool per shard
+  std::vector<std::size_t> shard_payload_base_;    // CSR offset of pool start
+  std::vector<std::uint32_t> edge_size_;           // live size per edge span
   util::DynamicBitset edge_live_;
-  util::DynamicBitset live_mask_;        // bit v set iff vertex v live
+  util::DynamicBitset live_mask_;                  // bit v set iff v live
 
-  // ---- Live-incidence index -----------------------------------------------
-  std::vector<EdgeId> inc_pool_;          // flat edge-id pool; span per vertex
-  std::vector<std::uint32_t> inc_len_;    // current list length per vertex
-  std::vector<std::uint32_t> live_degree_;  // live incident edges per vertex
-  std::vector<EdgeId> singleton_pending_;   // edges shrunk to size 1
+  // ---- Sharded live-incidence index ---------------------------------------
+  std::vector<std::vector<EdgeId>> inc_pools_;  // one edge-id pool per shard
+  std::vector<std::size_t> inc_seg_off_;   // (v, s) -> offset into pool s
+  std::vector<std::uint32_t> inc_seg_len_; // (v, s) -> current segment length
+  std::vector<std::uint32_t> live_degree_; // live incident edges per vertex
+  std::vector<EdgeId> singleton_pending_;  // edges shrunk to size 1
+
+  // ---- Per-shard debt accounting ------------------------------------------
+  struct ShardState {
+    std::size_t live_entries = 0;   // Σ over v of v's live entries in shard
+    std::size_t stale_entries = 0;  // entries orphaned since the last sweep
+    std::uint64_t sweeps = 0;
+    std::uint64_t swept_entries = 0;
+  };
+  std::vector<ShardState> shard_state_;
+  std::vector<util::DynamicBitset> dirty_;  // per shard: vertices with stale
+                                            // entries in that shard's pool
 
   // ---- Mutation scratch (capacity reused; values never leak) --------------
   // Entry counts are size_t end to end (like the hypergraph CSR offsets):
   // a batch's summed live degrees may exceed 2^32 even though vertex/edge
   // IDS stay 32-bit.
-  std::vector<std::size_t> batch_offsets_;    // sparse: per-vertex slices
-  std::vector<std::size_t> unique_offsets_;   // sparse: unique-pack offsets
-  std::vector<EdgeId> batch_edges_;
+  std::vector<std::vector<EdgeId>> shard_runs_;  // sparse: per-shard gathers
+  std::vector<std::size_t> run_offsets_;         // sparse: concat offsets
   std::vector<EdgeId> touched_edges_;
+  std::vector<std::uint32_t> shrink_removed_;    // blue: per-edge removals
   std::vector<std::uint32_t> pack_offsets_;   // dense: pack over m (< 2^32)
   util::DynamicBitset touched_mask_;  // m bits; dense-gather marking
-
-  // ---- Incidence maintenance accounting -----------------------------------
-  std::size_t live_entries_ = 0;   // Σ live_degree over all vertices
-  std::size_t stale_entries_ = 0;  // entries orphaned by deletions since
-                                   // the last compaction sweep
 
   std::size_t live_vertex_count_ = 0;
   std::size_t live_edge_count_ = 0;

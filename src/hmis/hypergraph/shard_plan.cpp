@@ -1,0 +1,44 @@
+#include "hmis/hypergraph/shard_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hmis {
+
+namespace {
+
+/// HMIS_SHARDS parser: positive integer, bounded to keep the per-shard
+/// metadata (S * n segment table) sane; anything else means "unset".
+[[nodiscard]] std::size_t parse_shards(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return 0;  // trailing junk / not a number
+  if (v == 0 || v > 4096) return 0;           // zero or absurd: ignore
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::size_t env_shards() {
+  static const std::size_t cached = parse_shards(std::getenv("HMIS_SHARDS"));
+  return cached;
+}
+
+ShardPlan plan_shards(std::size_t m, const ShardConfig& config,
+                      std::size_t pool_width) {
+  std::size_t want = config.shards;
+  if (want == 0) want = env_shards();
+  if (want == 0) want = std::max<std::size_t>(1, pool_width);
+  ShardPlan plan;
+  plan.affinity_offset = config.affinity_offset;
+  if (m == 0) return plan;  // one empty 64-edge shard
+  // Stride: ceil(m / want) rounded UP to a multiple of 64 (word ownership),
+  // then the effective count re-derived — never more shards than needed.
+  const std::size_t raw = (m + want - 1) / want;
+  plan.stride = std::max<std::size_t>(64, (raw + 63) / 64 * 64);
+  plan.count = (m + plan.stride - 1) / plan.stride;
+  return plan;
+}
+
+}  // namespace hmis

@@ -1,0 +1,61 @@
+// Shard geometry for the residual data plane (DESIGN.md §10).
+//
+// MutableHypergraph splits its edge slab and vertex→edge incidence index
+// into SHARDS: contiguous edge-id ranges of equal stride.  The plan is a
+// pure function of (m, config, pool width) — never of timing — so every
+// flavour of every kernel sees the same geometry, and the per-shard debt
+// counters it drives evolve identically across thread counts.
+//
+// The stride is rounded up to a multiple of 64 so each shard owns whole
+// 64-bit words of every edge-indexed bitset (edge liveness, dense-gather
+// touch masks).  Word ownership is what lets the dense gather's per-shard
+// bitset-OR run without atomics: two shards never write the same word.
+//
+// Shard-count resolution (first match wins):
+//   1. ShardConfig::shards        (explicit per-call override)
+//   2. HMIS_SHARDS environment    (read once per process, like HMIS_GRAIN)
+//   3. pool width                 (1 when no pool is attached)
+#pragma once
+
+#include <cstddef>
+
+namespace hmis {
+
+/// Per-structure sharding knobs, threaded through CommonOptions /
+/// FindOptions / RoundContext down to every MutableHypergraph build.
+struct ShardConfig {
+  /// Shard count override; 0 = auto (HMIS_SHARDS env, else pool width).
+  /// Results are byte-identical for every value by the determinism
+  /// contract — this only moves the parallelism/locality trade-off.
+  std::size_t shards = 0;
+  /// Rotates the shard→worker placement hints (scheduling only, never
+  /// results).  The engine sets this per session so concurrent sessions
+  /// spread their hot shards across different workers.
+  std::size_t affinity_offset = 0;
+};
+
+/// Resolved geometry: `count` shards of `stride` edges each (the last one
+/// ragged).  stride is a multiple of 64 and >= 64; m == 0 keeps one empty
+/// shard so shard_of() is never called on it.
+struct ShardPlan {
+  std::size_t count = 1;
+  std::size_t stride = 64;
+  std::size_t affinity_offset = 0;
+
+  [[nodiscard]] std::size_t shard_of(std::size_t e) const noexcept {
+    return e / stride;
+  }
+  [[nodiscard]] std::size_t shard_begin(std::size_t s) const noexcept {
+    return s * stride;
+  }
+};
+
+/// The HMIS_SHARDS environment override, or 0 when unset/invalid.  Read
+/// once and cached (determinism: one run, one geometry per (m, width)).
+[[nodiscard]] std::size_t env_shards();
+
+/// Resolve the plan for m edges.  Pure in (m, config, pool_width, env).
+[[nodiscard]] ShardPlan plan_shards(std::size_t m, const ShardConfig& config,
+                                    std::size_t pool_width);
+
+}  // namespace hmis

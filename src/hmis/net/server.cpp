@@ -109,6 +109,11 @@ ServeCore::Outcome ServeCore::handle(std::string_view payload,
          << ",\"completed\":" << s.engine.completed
          << ",\"failed\":" << s.engine.failed
          << ",\"inflight\":" << s.engine.inflight
+         << "},\"data_plane\":{\"sweeps\":" << s.data_plane.sweeps
+         << ",\"swept_entries\":" << s.data_plane.swept_entries
+         << ",\"stale_deposited\":" << s.data_plane.stale_deposited
+         << ",\"sparse_gathers\":" << s.data_plane.sparse_gathers
+         << ",\"dense_gathers\":" << s.data_plane.dense_gathers
          << "},\"graphs\":" << s.graphs << ",\"shutting_down\":"
          << (shutting_down() ? "true" : "false") << "}}";
       return sink->frame(os.str()) ? Outcome::Continue : Outcome::Close;
@@ -266,6 +271,7 @@ ServeStats ServeCore::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   s.engine = engine_.stats();
+  s.data_plane = data_plane_stats();
   s.graphs = registry_.size();
   return s;
 }

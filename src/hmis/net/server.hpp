@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "hmis/engine/engine.hpp"
+#include "hmis/hypergraph/data_plane_stats.hpp"
 #include "hmis/net/protocol.hpp"
 #include "hmis/net/registry.hpp"
 #include "hmis/net/result_cache.hpp"
@@ -83,6 +84,7 @@ struct ServeStats {
   std::uint64_t rejected = 0;     ///< error responses of any kind
   ResultCache::Stats cache;
   engine::EngineStats engine;
+  DataPlaneStats data_plane;      ///< residual data-plane maintenance
   std::size_t graphs = 0;
 };
 

@@ -37,13 +37,17 @@ struct Metrics {
 /// run while `Metrics` (and every algorithm result) stays bit-identical.
 struct SchedulerStats {
   std::uint64_t spawns = 0;
-  std::uint64_t steals = 0;
+  std::uint64_t steals = 0;        // total = steals_local + steals_remote
+  std::uint64_t steals_local = 0;  // victim on the thief's NUMA node
+  std::uint64_t steals_remote = 0; // cross-node victim, or external thief
   std::uint64_t joins = 0;
 };
 
 [[nodiscard]] constexpr SchedulerStats operator-(
     SchedulerStats a, const SchedulerStats& b) noexcept {
-  return {a.spawns - b.spawns, a.steals - b.steals, a.joins - b.joins};
+  return {a.spawns - b.spawns, a.steals - b.steals,
+          a.steals_local - b.steals_local, a.steals_remote - b.steals_remote,
+          a.joins - b.joins};
 }
 
 /// EREW depth charged for a data-parallel map over n items.

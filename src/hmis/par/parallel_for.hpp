@@ -16,16 +16,26 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
+#include <type_traits>
+#include <vector>
 
 #include "hmis/par/metrics.hpp"
 #include "hmis/par/thread_pool.hpp"
 
 namespace hmis::par {
 
-/// Built-in minimum items per chunk before a loop bothers going parallel.
+/// Built-in minimum items per chunk before a loop bothers going parallel,
+/// calibrated for a 1-wide pool.  Wider pools re-derive a finer grain (see
+/// width_derived_grain) so the split count tracks the parallelism on offer.
 inline constexpr std::size_t kMinGrain = 1024;
+
+/// Floor for the width-derived grain: chunks never get cheaper than this,
+/// no matter how wide the pool — below it the spawn/steal overhead of a
+/// chunk exceeds its body.
+inline constexpr std::size_t kGrainFloor = 128;
 
 namespace detail {
 
@@ -39,6 +49,16 @@ namespace detail {
   return static_cast<std::size_t>(v);
 }
 
+/// Slot holding the pool-width-derived grain component.  Rewritten only by
+/// set_global_threads (an explicit reconfiguration point), so within one
+/// configuration the grain is a constant — the determinism contract's
+/// "one run, one grain" becomes "one configuration, one grain", and results
+/// stay bit-identical across configurations by the flavour contract anyway.
+[[nodiscard]] inline std::atomic<std::size_t>& width_grain_slot() noexcept {
+  static std::atomic<std::size_t> slot{kMinGrain};
+  return slot;
+}
+
 }  // namespace detail
 
 /// The HMIS_GRAIN environment override, or 0 when unset/invalid.  Read once
@@ -50,12 +70,40 @@ namespace detail {
   return cached;
 }
 
+/// The grain a pool of `width` lanes derives when HMIS_GRAIN is unset:
+/// kMinGrain scaled down by the width (an n-item loop splits into enough
+/// chunks to feed every lane once n >= kMinGrain), floored at kGrainFloor.
+[[nodiscard]] constexpr std::size_t derive_grain_for_width(
+    std::size_t width) noexcept {
+  if (width <= 1) return kMinGrain;
+  return std::max(kGrainFloor, kMinGrain / width);
+}
+
+/// The current width-derived grain component (updated by
+/// set_global_threads; kMinGrain until the first call).
+[[nodiscard]] inline std::size_t width_derived_grain() noexcept {
+  return detail::width_grain_slot().load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+/// set_global_threads' hook: re-derive the default grain for the new pool
+/// width.  HMIS_GRAIN stays the override — env_grain() wins in
+/// default_grain() regardless of what this stores.
+inline void rederive_grain_for_width(std::size_t width) noexcept {
+  width_grain_slot().store(derive_grain_for_width(width),
+                           std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
 /// The grain used when callers pass 0: the HMIS_GRAIN override if set, else
-/// kMinGrain.  Primitives with a coarser built-in default (parallel_sort)
-/// consult env_grain() directly so the one knob tunes them all.
+/// the width-derived value.  Primitives with a coarser built-in default
+/// (parallel_sort) consult env_grain() directly so the one knob tunes them
+/// all.
 [[nodiscard]] inline std::size_t default_grain() {
   const std::size_t env = env_grain();
-  return env != 0 ? env : kMinGrain;
+  return env != 0 ? env : width_derived_grain();
 }
 
 struct ChunkPlan {
@@ -96,6 +144,66 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& f,
     const std::size_t hi = std::min(end, lo + plan.chunk_size);
     for (std::size_t i = lo; i < hi; ++i) f(i);
   });
+}
+
+namespace detail {
+
+/// One shard body invocation; intrusive task for parallel_for_shards.
+template <typename Body>
+struct ShardTask : Task {
+  Body* body = nullptr;
+  std::size_t shard = 0;
+};
+
+}  // namespace detail
+
+/// Fork-join over shard indices [0, count): f(s) exactly once per shard,
+/// each spawned with the placement hint (affinity_offset + s) — shard s
+/// lands on worker (affinity_offset + s) mod workers when that worker gets
+/// to it first (hints steer scheduling only; stealing keeps every shard
+/// runnable everywhere, so results never depend on placement).  The engine
+/// rotates affinity_offset per session to spread concurrent sessions' hot
+/// shards across the pool.  The calling thread participates via the
+/// help-first join; the first exception is rethrown after every shard ran.
+template <typename Body>
+void parallel_for_shards(std::size_t count, Body&& f,
+                         std::size_t affinity_offset = 0,
+                         ThreadPool* pool = nullptr) {
+  if (count == 0) return;
+  ThreadPool& tp = pool ? *pool : global_pool();
+  if (count == 1 || tp.num_threads() <= 1) {
+    for (std::size_t s = 0; s < count; ++s) f(s);
+    return;
+  }
+  using TaskT = detail::ShardTask<std::remove_reference_t<Body>>;
+  Scheduler& sched = tp.scheduler();
+  GroupState group;
+  std::vector<TaskT> tasks(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    TaskT& t = tasks[s];
+    t.invoke = [](Task* task) {
+      auto* st = static_cast<TaskT*>(task);
+      (*st->body)(st->shard);
+    };
+    t.group = &group;
+    t.body = &f;
+    t.shard = s;
+    group.add(1);
+    try {
+      sched.spawn_hinted(&t, affinity_offset + s);
+    } catch (...) {
+      // Enqueue failed: run the shard inline so it still executes exactly
+      // once; its exception (if any) joins the group's first-wins slot.
+      group.cancel(1);
+      try {
+        f(s);
+      } catch (...) {
+        group.record_error(std::current_exception());
+      }
+    }
+  }
+  sched.wait(group);
+  group.rethrow_if_error();
 }
 
 /// parallel_for_chunks: calls f(chunk_index, lo, hi) per contiguous chunk.

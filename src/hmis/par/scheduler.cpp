@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hmis/par/topology.hpp"
+
 namespace hmis::par {
 
 namespace {
@@ -46,12 +48,22 @@ void GroupState::rethrow_if_error() {
 // ---- Scheduler lifecycle ---------------------------------------------------
 
 Scheduler::Scheduler(std::size_t workers) {
+  // Topology-aware placement: one planned CPU per worker (cores before SMT
+  // siblings, node-packed) and a nearest-first victim order derived from
+  // it.  On single-node machines (or without sysfs) every victim is
+  // "local" and the order degenerates to the classic rotation.
+  const std::vector<CpuInfo> placement =
+      plan_worker_cpus(Topology::system(), workers);
+  std::vector<std::vector<std::size_t>> victim_orders =
+      plan_victim_orders(placement);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->sched = this;
     w->id = i;
-    w->steal_cursor = i + 1;  // spread first-victim choices
+    w->cpu = placement[i].cpu;
+    w->node = placement[i].node;
+    w->victims = std::move(victim_orders[i]);
     workers_.push_back(std::move(w));
   }
   // Launch only after workers_ is fully built: worker threads scan the
@@ -91,6 +103,34 @@ void Scheduler::spawn(Task* task) {
   bump_activity();
 }
 
+void Scheduler::spawn_hinted(Task* task, std::size_t hint) {
+  if (workers_.empty()) {
+    spawn(task);
+    return;
+  }
+  spawns_.fetch_add(1, std::memory_order_relaxed);
+  Worker& target = *workers_[hint % workers_.size()];
+  if (current_worker() == &target) {
+    target.deque.push(task);
+  } else {
+    const util::MutexLock lock(target.mailbox_mutex);
+    target.mailbox.push_back(task);
+    target.mailbox_size.store(target.mailbox.size(),
+                              std::memory_order_relaxed);
+  }
+  bump_activity();
+}
+
+Task* Scheduler::take_mailbox(Worker& w) {
+  if (w.mailbox_size.load(std::memory_order_relaxed) == 0) return nullptr;
+  const util::MutexLock lock(w.mailbox_mutex);
+  if (w.mailbox.empty()) return nullptr;
+  Task* t = w.mailbox.front();
+  w.mailbox.pop_front();
+  w.mailbox_size.store(w.mailbox.size(), std::memory_order_relaxed);
+  return t;
+}
+
 void Scheduler::bump_activity() {
   activity_.fetch_add(1, std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
@@ -104,6 +144,7 @@ void Scheduler::bump_activity() {
 Task* Scheduler::find_task(Worker* self) {
   if (self != nullptr) {
     if (Task* t = self->deque.pop()) return t;
+    if (Task* t = take_mailbox(*self)) return t;
   }
   if (inject_size_.load(std::memory_order_relaxed) != 0) {
     const util::MutexLock lock(inject_mutex_);
@@ -116,17 +157,33 @@ Task* Scheduler::find_task(Worker* self) {
   }
   const std::size_t n = workers_.size();
   if (n == 0) return nullptr;
+  const auto rob = [&](Worker& victim, bool local) -> Task* {
+    Task* t = victim.deque.steal();
+    // A victim's mailbox is fair game too: hints steer locality, they never
+    // gate progress — an idle thief beats a busy "preferred" worker.
+    if (t == nullptr) t = take_mailbox(victim);
+    if (t == nullptr) return nullptr;
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    (local ? steals_local_ : steals_remote_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return t;
+  };
+  if (self != nullptr) {
+    // Nearest-first: same-core victims, then same-node, then remote — the
+    // order was planned from the machine topology at construction.
+    for (const std::size_t j : self->victims) {
+      Worker& victim = *workers_[j];
+      if (Task* t = rob(victim, victim.node == self->node)) return t;
+    }
+    return nullptr;
+  }
+  // External thief (a non-worker thread helping in wait()): no topology
+  // position, so rotate round-robin and count the steal as remote.
   const std::size_t start =
-      self != nullptr
-          ? self->steal_cursor++
-          : external_cursor_.fetch_add(1, std::memory_order_relaxed);
+      external_cursor_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t k = 0; k < n; ++k) {
     Worker& victim = *workers_[(start + k) % n];
-    if (&victim == self) continue;
-    if (Task* t = victim.deque.steal()) {
-      steals_.fetch_add(1, std::memory_order_relaxed);
-      return t;
-    }
+    if (Task* t = rob(victim, /*local=*/false)) return t;
   }
   return nullptr;
 }
@@ -151,6 +208,9 @@ void Scheduler::execute(Task* task) {
 
 void Scheduler::worker_main(Worker& self) {
   tls_binding = {this, &self};
+  // Placement is advisory by default; HMIS_PIN=1 turns it into an actual
+  // affinity mask (best effort — see topology.hpp for why this is opt-in).
+  if (pin_workers_enabled()) pin_current_thread(self.cpu);
   for (;;) {
     // Epoch before the scan: any spawn that the scan misses bumps the epoch
     // afterwards, so the sleep predicate below sees it (seq_cst handshake

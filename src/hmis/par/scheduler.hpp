@@ -105,6 +105,15 @@ class Scheduler {
   /// from any other thread it goes to the injection queue.
   void spawn(Task* task) HMIS_EXCLUDES(inject_mutex_, sleep_mutex_);
 
+  /// Enqueue with a placement hint: the task lands in worker
+  /// (hint mod num_workers)'s mailbox (or straight on its deque when the
+  /// caller IS that worker).  Hints steer locality only — every worker's
+  /// steal loop also drains other mailboxes, so a hinted task can never be
+  /// stranded and results never depend on placement.  With zero workers
+  /// this degrades to spawn().
+  void spawn_hinted(Task* task, std::size_t hint)
+      HMIS_EXCLUDES(inject_mutex_, sleep_mutex_);
+
   /// Help-first join: execute queued tasks (own deque, injection queue,
   /// steals) until `group.done()`, sleeping only when no task is runnable
   /// anywhere.  Reentrant — tasks executed while helping may themselves
@@ -126,6 +135,8 @@ class Scheduler {
   [[nodiscard]] SchedulerStats stats() const noexcept {
     return {spawns_.load(std::memory_order_relaxed),
             steals_.load(std::memory_order_relaxed),
+            steals_local_.load(std::memory_order_relaxed),
+            steals_remote_.load(std::memory_order_relaxed),
             joins_.load(std::memory_order_relaxed)};
   }
 
@@ -134,13 +145,28 @@ class Scheduler {
     WorkStealDeque<Task> deque;
     Scheduler* sched = nullptr;
     std::size_t id = 0;
-    std::size_t steal_cursor = 0;  // rotating victim start, owner-only
+    // ---- Topology placement (constant after construction) -----------------
+    int cpu = -1;   ///< planned CPU (pinned only under HMIS_PIN=1)
+    int node = 0;   ///< NUMA node of the planned CPU
+    std::vector<std::size_t> victims;  ///< steal order, nearest-first
+    // ---- Affinity mailbox --------------------------------------------------
+    // Hinted spawns for this worker.  A mutex-guarded deque, not a
+    // Chase–Lev deque: only hinted spawns pass through it (a few per
+    // fork-join), so contention is negligible and FIFO order is fine.
+    util::Mutex mailbox_mutex;
+    std::deque<Task*> mailbox HMIS_GUARDED_BY(mailbox_mutex);
+    /// Lock-free emptiness hint (same protocol as inject_size_).
+    std::atomic<std::size_t> mailbox_size{0};
   };
 
   void worker_main(Worker& self) HMIS_EXCLUDES(inject_mutex_, sleep_mutex_);
-  /// Pop/steal one runnable task: own deque first (nullptr self skips it),
-  /// then the injection queue, then other workers' deques.
+  /// Pop/steal one runnable task: own deque and mailbox first (nullptr self
+  /// skips both), then the injection queue, then other workers' deques and
+  /// mailboxes — workers in their nearest-first victim order, external
+  /// threads by rotating cursor.
   Task* find_task(Worker* self) HMIS_EXCLUDES(inject_mutex_);
+  /// Drain one task from w's mailbox (nullptr when empty).
+  Task* take_mailbox(Worker& w);
   /// Run one task and resolve its group (records error, final decrement,
   /// completion wakeup).  Never throws.
   void execute(Task* task);
@@ -171,6 +197,8 @@ class Scheduler {
 
   std::atomic<std::uint64_t> spawns_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steals_local_{0};
+  std::atomic<std::uint64_t> steals_remote_{0};
   std::atomic<std::uint64_t> joins_{0};
 };
 

@@ -1,0 +1,113 @@
+// Deterministic cross-shard merge layer (DESIGN.md §10).
+//
+// The sharded data plane fans gathers out per shard; each shard produces a
+// sorted duplicate-free run of edge ids.  These helpers combine the runs
+// into one ascending list whose content depends only on the runs' union —
+// never on shard count, chunking, or execution order — which is the step
+// that keeps results byte-identical across shard counts.
+//
+// Two sparse flavours:
+//  * concat_sorted_runs_into — the data-plane fast path.  Shards cover
+//    DISJOINT ascending edge ranges, so the k-way merge degenerates to an
+//    exclusive scan of run sizes plus disjoint copies (checked here).
+//  * kway_merge_unique_into — the general ascending k-way merge with
+//    adjacent-unique, for runs that may interleave or overlap.  The concat
+//    path is observationally equal to it whenever the runs are disjoint.
+//
+// The dense flavour is a per-shard bitset-OR: each shard owns whole 64-bit
+// words of the touch mask (the shard stride is a multiple of 64), so the OR
+// is realized as non-atomic writes into the owner's word range; or_words is
+// the explicit combine for mask regions that are NOT word-owned.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/util/check.hpp"
+
+namespace hmis::par::shard {
+
+/// Concatenate sorted, pairwise-disjoint ascending runs (runs[s] entirely
+/// below runs[s+1]) into `out`, ascending; returns the total count.
+/// `offsets` is reusable scratch (one slot per run).  HMIS_CHECK-fails if
+/// the runs are not actually disjoint-ascending — the data plane guarantees
+/// it by construction (shard s gathers only edges in shard s's range).
+template <typename T>
+std::size_t concat_sorted_runs_into(const std::vector<std::vector<T>>& runs,
+                                    std::vector<std::size_t>& offsets,
+                                    std::vector<T>& out,
+                                    ThreadPool* pool = nullptr) {
+  const std::size_t k = runs.size();
+  offsets.resize(k);
+  std::size_t total = 0;
+  bool seen = false;
+  T prev_back{};
+  for (std::size_t s = 0; s < k; ++s) {
+    offsets[s] = total;
+    total += runs[s].size();
+    if (runs[s].empty()) continue;
+    HMIS_CHECK(!seen || prev_back < runs[s].front(),
+               "shard runs overlap: per-shard gather produced an edge "
+               "outside its shard's range");
+    prev_back = runs[s].back();
+    seen = true;
+  }
+  out.resize(total);
+  const auto copy_run = [&](std::size_t s) {
+    std::copy(runs[s].begin(), runs[s].end(), out.begin() + offsets[s]);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && total >= default_grain()) {
+    parallel_for_shards(k, copy_run, /*affinity_offset=*/0, pool);
+  } else {
+    for (std::size_t s = 0; s < k; ++s) copy_run(s);
+  }
+  return total;
+}
+
+/// General ascending k-way merge with adjacent-unique: `out` receives the
+/// sorted union of the (individually sorted) runs, duplicates collapsed.
+/// Serial — the run count is the shard count, which is pool-width sized;
+/// used where disjointness is not guaranteed, and as the reference the
+/// concat fast path is tested against.
+template <typename T>
+std::size_t kway_merge_unique_into(const std::vector<std::vector<T>>& runs,
+                                   std::vector<T>& out) {
+  const std::size_t k = runs.size();
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  out.clear();
+  out.reserve(total);
+  std::vector<std::size_t> cursor(k, 0);
+  for (;;) {
+    bool any = false;
+    T best{};
+    for (std::size_t s = 0; s < k; ++s) {
+      if (cursor[s] == runs[s].size()) continue;
+      const T v = runs[s][cursor[s]];
+      if (!any || v < best) {
+        best = v;
+        any = true;
+      }
+    }
+    if (!any) break;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (cursor[s] != runs[s].size() && runs[s][cursor[s]] == best) {
+        ++cursor[s];
+      }
+    }
+    out.push_back(best);
+  }
+  return out.size();
+}
+
+/// Dense combine for mask regions without word ownership: dst |= src over
+/// n words.  Order-independent (OR is commutative and idempotent), so any
+/// shard-combination schedule yields the same mask.
+inline void or_words(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+}  // namespace hmis::par::shard

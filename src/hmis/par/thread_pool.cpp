@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "hmis/par/parallel_for.hpp"
 #include "hmis/util/sync.hpp"
 
 namespace hmis::par {
@@ -62,6 +63,11 @@ ThreadPool& global_pool() {
 
 void set_global_threads(std::size_t threads) {
   const std::size_t want = threads == 0 ? 1 : threads;
+  // The default grain tracks the global pool's width (HMIS_GRAIN, read
+  // once, still overrides inside default_grain()).  Re-derived here — the
+  // explicit reconfiguration point — not per call, so within one
+  // configuration the grain stays a constant of the run.
+  detail::rederive_grain_for_width(want);
   GlobalPoolSlot& slot = pool_slot();
   {
     // Republish an existing pool of the right size when one is available —

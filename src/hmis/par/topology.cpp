@@ -1,0 +1,231 @@
+#include "hmis/par/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hmis::par {
+
+namespace {
+
+/// Read a small sysfs file; empty string on failure.
+[[nodiscard]] std::string read_sysfs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Parse one decimal integer out of [first, last); -1 on failure.
+[[nodiscard]] int parse_int(const char* first, const char* last) noexcept {
+  int value = -1;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || value < 0) return -1;
+  return value;
+}
+
+/// Parse a whole sysfs integer file (e.g. topology/core_id); -1 on failure.
+[[nodiscard]] int read_sysfs_int(const std::string& path) {
+  const std::string text = read_sysfs(path);
+  return parse_int(text.data(), text.data() + text.size());
+}
+
+[[nodiscard]] Topology probe_topology() {
+#if defined(__linux__)
+  Topology topo;
+  topo.num_nodes = 0;
+  // Node enumeration: node ids are dense in practice but the probe tolerates
+  // gaps by scanning a bounded id range past the first miss.
+  int misses = 0;
+  for (int node = 0; misses < 8 && node < 1024; ++node) {
+    const std::string list = read_sysfs("/sys/devices/system/node/node" +
+                                        std::to_string(node) + "/cpulist");
+    if (list.empty()) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    const std::vector<int> cpus = parse_cpu_list(list);
+    for (const int cpu : cpus) {
+      CpuInfo info;
+      info.cpu = cpu;
+      info.node = node;
+      const std::string base =
+          "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+      const int core = read_sysfs_int(base + "core_id");
+      const int package = read_sysfs_int(base + "physical_package_id");
+      // Partial sysfs (no per-cpu topology): treat each CPU as its own
+      // core on package 0 — placement still avoids double-booking.
+      info.core = core >= 0 ? core : cpu;
+      info.package = package >= 0 ? package : 0;
+      topo.cpus.push_back(info);
+    }
+    ++topo.num_nodes;
+  }
+  if (!topo.cpus.empty()) {
+    std::sort(topo.cpus.begin(), topo.cpus.end(),
+              [](const CpuInfo& a, const CpuInfo& b) { return a.cpu < b.cpu; });
+    topo.num_nodes = std::max(topo.num_nodes, 1);
+    return topo;
+  }
+#endif
+  return fallback_topology(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(std::string_view text) {
+  std::vector<int> out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\n' || text[i] == '\t')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  while (i < text.size()) {
+    const char* first = text.data() + i;
+    int lo = -1;
+    const auto [p1, e1] = std::from_chars(first, text.data() + text.size(), lo);
+    if (e1 != std::errc{} || lo < 0) return {};
+    i = static_cast<std::size_t>(p1 - text.data());
+    int hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      const auto [p2, e2] =
+          std::from_chars(text.data() + i, text.data() + text.size(), hi);
+      if (e2 != std::errc{} || hi < lo) return {};
+      i = static_cast<std::size_t>(p2 - text.data());
+    }
+    for (int c = lo; c <= hi; ++c) out.push_back(c);
+    skip_ws();
+    if (i == text.size()) break;
+    if (text[i] != ',') return {};
+    ++i;
+    skip_ws();
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Topology fallback_topology(std::size_t cpus) {
+  Topology topo;
+  topo.num_nodes = 1;
+  topo.cpus.reserve(cpus);
+  for (std::size_t c = 0; c < cpus; ++c) {
+    CpuInfo info;
+    info.cpu = static_cast<int>(c);
+    info.node = 0;
+    info.package = 0;
+    info.core = static_cast<int>(c);
+    topo.cpus.push_back(info);
+  }
+  return topo;
+}
+
+const Topology& Topology::system() {
+  static const Topology cached = probe_topology();
+  return cached;
+}
+
+std::vector<CpuInfo> plan_worker_cpus(const Topology& topo,
+                                      std::size_t workers) {
+  std::vector<CpuInfo> order = topo.cpus;
+  if (order.empty()) order = fallback_topology(1).cpus;
+  // smt_rank: a CPU's index among the threads of its own core.  Rank-0
+  // threads (one per physical core) come first in the placement order.
+  std::sort(order.begin(), order.end(),
+            [](const CpuInfo& a, const CpuInfo& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.package != b.package) return a.package < b.package;
+              if (a.core != b.core) return a.core < b.core;
+              return a.cpu < b.cpu;
+            });
+  std::vector<int> smt_rank(order.size(), 0);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const bool same_core = order[i].node == order[i - 1].node &&
+                           order[i].package == order[i - 1].package &&
+                           order[i].core == order[i - 1].core;
+    smt_rank[i] = same_core ? smt_rank[i - 1] + 1 : 0;
+  }
+  std::vector<std::size_t> idx(order.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return smt_rank[a] < smt_rank[b];
+  });
+  std::vector<CpuInfo> placement;
+  placement.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    placement.push_back(order[idx[w % idx.size()]]);
+  }
+  return placement;
+}
+
+std::vector<std::vector<std::size_t>> plan_victim_orders(
+    const std::vector<CpuInfo>& workers) {
+  const std::size_t n = workers.size();
+  std::vector<std::vector<std::size_t>> orders(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& order = orders[i];
+    order.reserve(n == 0 ? 0 : n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    const auto distance = [&](std::size_t j) {
+      if (workers[j].node != workers[i].node) return 2;
+      if (workers[j].package == workers[i].package &&
+          workers[j].core == workers[i].core) {
+        return 0;
+      }
+      return 1;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const int da = distance(a);
+                       const int db = distance(b);
+                       if (da != db) return da < db;
+                       // Rotate ties by (victim - self) so worker i starts
+                       // its scan at its right-hand neighbour, i+1 at its
+                       // own — thieves fan out instead of convoying.
+                       return (a + n - i) % n < (b + n - i) % n;
+                     });
+  }
+  return orders;
+}
+
+bool pin_workers_enabled() {
+  static const bool cached = [] {
+    const char* v = std::getenv("HMIS_PIN");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+  }();
+  return cached;
+}
+
+void pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Best effort: failure (cgroup restrictions, offline CPU) leaves the
+  // thread floating, which is always correct.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace hmis::par

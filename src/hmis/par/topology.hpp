@@ -1,0 +1,78 @@
+// CPU/NUMA topology probe and topology-aware worker placement (DESIGN.md §10).
+//
+// The scheduler consumes three things:
+//  * a Topology — one CpuInfo per online CPU, read from
+//    /sys/devices/system/node/node*/cpulist and
+//    /sys/devices/system/cpu/cpu*/topology/{core_id,physical_package_id};
+//    when sysfs is absent or partial (containers, non-Linux), the probe
+//    degrades to a single-node flat topology over hardware_concurrency —
+//    every policy below still works, it just has nothing to discriminate;
+//  * a worker→CPU placement (plan_worker_cpus): distinct physical cores
+//    first, packed node by node, SMT siblings only after every core is
+//    taken — so small pools stay on one node's cores and large pools spill
+//    to the next node before hyperthreads;
+//  * a per-worker victim order (plan_victim_orders): nearest-first — same
+//    core, then same node, then remote — with a per-worker rotation inside
+//    each distance class so thieves do not all hammer the same victim.
+//
+// Everything except Topology::system() is a pure function of its inputs
+// (unit-testable without sysfs); placement affects only WHERE work runs,
+// never results — the determinism contract does not depend on it.
+//
+// Actual thread pinning (sched_setaffinity) is opt-in via HMIS_PIN=1:
+// processes routinely hold several pools (the global pool plus
+// test/bench-local ones), and pinning them all to the same CPU list would
+// oversubscribe cores that the OS scheduler otherwise balances.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace hmis::par {
+
+/// One online CPU's position in the machine hierarchy.
+struct CpuInfo {
+  int cpu = -1;      ///< CPU id (as in /sys/devices/system/cpu/cpuN)
+  int node = 0;      ///< NUMA node id
+  int package = 0;   ///< physical package (socket) id
+  int core = 0;      ///< core id within the package
+};
+
+struct Topology {
+  std::vector<CpuInfo> cpus;  ///< online CPUs, ascending by cpu id
+  int num_nodes = 1;
+
+  /// The machine's topology, probed once per process (sysfs on Linux,
+  /// single-node fallback otherwise).
+  [[nodiscard]] static const Topology& system();
+};
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into ascending CPU ids.  Returns
+/// an empty vector on malformed input (the probe then falls back).
+[[nodiscard]] std::vector<int> parse_cpu_list(std::string_view text);
+
+/// Single-node flat topology over `cpus` CPUs (the graceful fallback).
+[[nodiscard]] Topology fallback_topology(std::size_t cpus);
+
+/// Deterministic worker→CPU placement: one CpuInfo per worker, cores
+/// before SMT siblings, node-packed, wrapping when workers exceed CPUs.
+/// Never empty output for workers > 0 (falls back to CPU 0 on an empty
+/// topology).
+[[nodiscard]] std::vector<CpuInfo> plan_worker_cpus(const Topology& topo,
+                                                    std::size_t workers);
+
+/// Nearest-first victim order for each worker: orders[i] lists every other
+/// worker index, same-core victims first, then same-node, then remote;
+/// ties rotate by (victim - i) so contention spreads.
+[[nodiscard]] std::vector<std::vector<std::size_t>> plan_victim_orders(
+    const std::vector<CpuInfo>& workers);
+
+/// True when HMIS_PIN=1 requests actual thread affinity (read once).
+[[nodiscard]] bool pin_workers_enabled();
+
+/// Pin the calling thread to `cpu` (best effort; no-op off-Linux or on
+/// failure).  Only called when pin_workers_enabled().
+void pin_current_thread(int cpu);
+
+}  // namespace hmis::par

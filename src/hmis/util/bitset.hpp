@@ -98,6 +98,12 @@ class DynamicBitset {
     return words_;
   }
 
+  /// Mutable raw word access, for kernels with exclusive word-range
+  /// ownership (the sharded dense gather: the shard stride is a multiple
+  /// of 64, so each shard owns whole words and writes them without
+  /// atomics).  Callers must keep bits beyond size() zero.
+  [[nodiscard]] std::uint64_t* word_data() noexcept { return words_.data(); }
+
   friend bool operator==(const DynamicBitset& a,
                          const DynamicBitset& b) noexcept {
     return a.size_ == b.size_ && a.words_ == b.words_;

@@ -65,4 +65,34 @@ TEST(GrainEnv, CachedValueIgnoresLaterChanges) {
   EXPECT_EQ(default_grain(), latched);
 }
 
+TEST(GrainEnv, WidthDerivedGrainTracksSetGlobalThreads) {
+  // Regression: the default grain used to be computed once per process, so
+  // a process that started 1-wide and later called set_global_threads(8)
+  // kept the coarse 1-wide grain and split 8x too few chunks.  The
+  // width-derived component must now follow every reconfiguration (while
+  // the HMIS_GRAIN env override, latched once, still wins when present —
+  // which the assertions below stay agnostic to, so this test passes
+  // whether or not an earlier test in the binary latched an override).
+  const std::size_t env = env_grain();
+
+  set_global_threads(1);
+  EXPECT_EQ(width_derived_grain(), derive_grain_for_width(1));
+  EXPECT_EQ(width_derived_grain(), kMinGrain);
+  EXPECT_EQ(default_grain(), env != 0 ? env : width_derived_grain());
+
+  set_global_threads(8);
+  EXPECT_EQ(width_derived_grain(), derive_grain_for_width(8));
+  EXPECT_EQ(width_derived_grain(), std::max(kGrainFloor, kMinGrain / 8));
+  EXPECT_EQ(default_grain(), env != 0 ? env : width_derived_grain());
+
+  set_global_threads(2);
+  EXPECT_EQ(width_derived_grain(), derive_grain_for_width(2));
+  EXPECT_EQ(default_grain(), env != 0 ? env : width_derived_grain());
+
+  // Restore the 1-wide derivation so later tests in this binary see the
+  // same grain they would have without this test.
+  set_global_threads(1);
+  EXPECT_EQ(width_derived_grain(), kMinGrain);
+}
+
 }  // namespace

@@ -66,6 +66,12 @@ TEST(HmisLintFixtures, NonatomicSharedWriteFlagged) {
 TEST(HmisLintFixtures, NonatomicSharedWriteClean) {
   expect_fixture_matches("nonatomic_shared_write_clean.cpp");
 }
+TEST(HmisLintFixtures, ShardCounterFlagged) {
+  expect_fixture_matches("shard_counter_flagged.cpp");
+}
+TEST(HmisLintFixtures, ShardCounterClean) {
+  expect_fixture_matches("shard_counter_clean.cpp");
+}
 TEST(HmisLintFixtures, BannedNondeterminismFlagged) {
   expect_fixture_matches("banned_nondeterminism_flagged.cpp");
 }

@@ -238,6 +238,96 @@ TEST(MutableHypergraphModel, LongInterleavedWithPlantedDuplicates) {
   hmis_test::run_model_property_script(h, {&mh}, {"serial-slab"}, 1234, 80);
 }
 
+// ---- Shard-count invariance (DESIGN.md §10) --------------------------------
+// The sharded slab + incidence index must be invisible: at shard counts
+// {1, 2, 7} every observable quantity matches the vector-of-vectors model
+// element for element through long interleaved scripts.  (The parallel suite
+// repeats this matrix at threads {1, 2, max}.)
+
+TEST(MutableHypergraphModel, ShardCountsMatchUnshardedModel) {
+  for (const std::uint64_t seed : {13u, 57u}) {
+    const Hypergraph h = gen::mixed_arity(120, 260, 2, 6, seed);
+    MutableHypergraph s1(h, nullptr, ShardConfig{.shards = 1});
+    MutableHypergraph s2(h, nullptr, ShardConfig{.shards = 2});
+    MutableHypergraph s7(h, nullptr, ShardConfig{.shards = 7});
+    EXPECT_EQ(s1.shard_count(), 1u);
+    hmis_test::run_model_property_script(
+        h, {&s1, &s2, &s7}, {"shards(1)", "shards(2)", "shards(7)"},
+        seed * 6151, 60);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MutableHypergraphShards, GeometryFollowsConfig) {
+  // 512 arity-2 edges; an explicit 4-way split gives stride 128 (already a
+  // multiple of 64) and exactly 4 shards.  A 7-way request on the same m
+  // rounds the stride up to a word multiple and re-derives the count —
+  // never more shards than needed.
+  HypergraphBuilder b(1024);
+  for (EdgeId e = 0; e < 512; ++e) {
+    b.add_edge({static_cast<VertexId>(2 * e), static_cast<VertexId>(2 * e + 1)});
+  }
+  const Hypergraph h = b.build();
+  MutableHypergraph four(h, nullptr, ShardConfig{.shards = 4});
+  EXPECT_EQ(four.shard_count(), 4u);
+  MutableHypergraph seven(h, nullptr, ShardConfig{.shards = 7});
+  const ShardPlan plan = plan_shards(512, ShardConfig{.shards = 7}, 1);
+  EXPECT_EQ(seven.shard_count(), plan.count);
+  EXPECT_EQ(plan.stride % 64, 0u);
+  EXPECT_LE(plan.count, 7u);
+  // m == 0 keeps one (empty) shard.
+  const Hypergraph empty = make_hypergraph(3, {});
+  MutableHypergraph none(empty, nullptr, ShardConfig{.shards = 7});
+  EXPECT_EQ(none.shard_count(), 1u);
+}
+
+TEST(MutableHypergraphShards, DebtLedgerIsPerShard) {
+  // Edge e = {2e, 2e+1}: each vertex has degree 1, so deleting an edge is
+  // attributable to exactly one shard's ledger.  4 shards of 128 edges.
+  HypergraphBuilder b(1024);
+  for (EdgeId e = 0; e < 512; ++e) {
+    b.add_edge({static_cast<VertexId>(2 * e), static_cast<VertexId>(2 * e + 1)});
+  }
+  const Hypergraph h = b.build();
+  MutableHypergraph mh(h, nullptr, ShardConfig{.shards = 4});
+  ASSERT_EQ(mh.shard_count(), 4u);
+  std::size_t live_total = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto debt = mh.shard_debt(s);
+    EXPECT_EQ(debt.live_entries, 256u) << "shard " << s;
+    EXPECT_EQ(debt.stale_entries, 0u) << "shard " << s;
+    EXPECT_EQ(debt.sweeps, 0u) << "shard " << s;
+    live_total += debt.live_entries;
+  }
+  EXPECT_EQ(live_total, mh.total_live_edge_size());
+
+  // Deleting edge 200 (shard 1: edges [128, 256)) banks its 2 entries in
+  // shard 1's stale counter and nowhere else.
+  const VertexId v = 400;  // endpoint of edge 200 only
+  mh.color_red(std::span<const VertexId>(&v, 1));
+  EXPECT_EQ(mh.shard_debt(1).stale_entries, 2u);
+  EXPECT_EQ(mh.shard_debt(1).live_entries, 254u);
+  EXPECT_EQ(mh.shard_debt(0).stale_entries, 0u);
+  EXPECT_EQ(mh.shard_debt(2).stale_entries, 0u);
+  EXPECT_EQ(mh.shard_debt(3).stale_entries, 0u);
+
+  // Killing every shard-0 edge in one batch pushes shard 0's debt past the
+  // trigger: it alone sweeps; the cold shards never pay.
+  std::vector<VertexId> batch;
+  for (EdgeId e = 0; e < 128; ++e) batch.push_back(static_cast<VertexId>(2 * e));
+  mh.color_red(batch);
+  const auto hot = mh.shard_debt(0);
+  EXPECT_EQ(hot.live_entries, 0u);
+  EXPECT_EQ(hot.stale_entries, 0u);  // forgiven by the sweep
+  EXPECT_GE(hot.sweeps, 1u);
+  EXPECT_EQ(hot.swept_entries, 256u);
+  for (std::size_t s = 2; s < 4; ++s) {
+    EXPECT_EQ(mh.shard_debt(s).sweeps, 0u) << "cold shard " << s;
+    EXPECT_EQ(mh.shard_debt(s).live_entries, 256u) << "cold shard " << s;
+  }
+  EXPECT_EQ(mh.num_live_edges(), 512u - 129u);
+}
+
 TEST(MutableHypergraphModel, SingletonQueueMatchesFullRescan) {
   // The slab cascade consumes a pending queue instead of rescanning all m
   // edges; drive a shrink-heavy sequence (small arities, blue-leaning) and

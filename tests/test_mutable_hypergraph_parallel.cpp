@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "test_reference_model.hpp"
@@ -374,6 +375,82 @@ TEST_F(MutableHypergraphParallel, ReferenceModelLongInterleavedLarge) {
   MutableHypergraph m2(h, &p2), mn(h, &pn);
   hmis_test::run_model_property_script(
       h, {&serial, &m2, &mn}, {"serial", "pool(2)", "pool(max)"}, 4242, 14);
+}
+
+// ---- Shard matrix: counts {1, 2, 7} x threads {1, 2, max} ------------------
+// The shard plan is the one internal degree of freedom the determinism
+// contract does NOT fix bit-identically (sweep timing differs per plan), so
+// this matrix pins the OBSERVABLE state of every (shards, threads) cell to
+// the unsharded vector-of-vectors model after every op of an interleaved
+// script — the full cross product, not just the pool-width diagonal the
+// suites above cover implicitly.
+
+TEST_F(MutableHypergraphParallel, ShardMatrixMatchesModelSmall) {
+  const Hypergraph h = gen::mixed_arity(160, 340, 2, 6, 31);
+  par::ThreadPool p1(1), p2(2), pn(hmis_test::max_test_threads());
+  par::ThreadPool* pools[] = {&p1, &p2, &pn};
+  const char* pool_names[] = {"1", "2", "max"};
+  const std::size_t shard_counts[] = {1, 2, 7};
+
+  std::vector<MutableHypergraph> variants;
+  variants.reserve(10);
+  std::vector<std::string> labels;
+  labels.reserve(10);
+  variants.emplace_back(h);  // unsharded serial reference
+  labels.emplace_back("serial/unsharded");
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (const std::size_t s : shard_counts) {
+      variants.emplace_back(h, pools[p], ShardConfig{.shards = s});
+      labels.emplace_back(std::string("pool(") + pool_names[p] + ")/shards(" +
+                          std::to_string(s) + ")");
+    }
+  }
+  std::vector<MutableHypergraph*> ptrs;
+  std::vector<const char*> names;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    ptrs.push_back(&variants[i]);
+    names.push_back(labels[i].c_str());
+  }
+  hmis_test::run_model_property_script(h, ptrs, names, 8675309, 40);
+}
+
+TEST_F(MutableHypergraphParallel, ShardMatrixMatchesModelLarge) {
+  // Above the grain so the per-shard parallel kernels (fan-out gathers,
+  // dense word-owned marking, per-shard sweeps) actually engage; the worst
+  // mismatches (requested 7 shards vs re-derived count, ragged last shard)
+  // are exercised by m = 3400 (stride 512, 7 shards).
+  const Hypergraph h = gen::mixed_arity(1600, 3400, 2, 6, 53);
+  par::ThreadPool p2(2), pn(hmis_test::max_test_threads());
+  MutableHypergraph serial(h);
+  MutableHypergraph a(h, &p2, ShardConfig{.shards = 2});
+  MutableHypergraph b(h, &p2, ShardConfig{.shards = 7});
+  MutableHypergraph c(h, &pn, ShardConfig{.shards = 1});
+  MutableHypergraph d(h, &pn, ShardConfig{.shards = 7});
+  EXPECT_EQ(b.shard_count(), 7u);
+  hmis_test::run_model_property_script(
+      h, {&serial, &a, &b, &c, &d},
+      {"serial", "pool(2)/shards(2)", "pool(2)/shards(7)", "pool(max)/shards(1)",
+       "pool(max)/shards(7)"},
+      999331, 12);
+}
+
+TEST_F(MutableHypergraphParallel, ShardCountDefaultsToPoolWidth) {
+  // Auto resolution (shards == 0, HMIS_SHARDS unset in the test env): the
+  // plan takes the pool width; serial construction keeps one shard.
+  // (plan_shards sees the same cached env, so the expectations stay valid
+  // even under a CI rerun that exports HMIS_SHARDS.)
+  const Hypergraph h = gen::mixed_arity(900, 2000, 2, 5, 61);
+  MutableHypergraph serial(h);
+  EXPECT_EQ(serial.shard_count(),
+            plan_shards(h.num_edges(), ShardConfig{}, 1).count);
+  if (env_shards() == 0) {
+    EXPECT_EQ(serial.shard_count(), 1u);
+  }
+  par::ThreadPool p4(4);
+  MutableHypergraph pooled(h, &p4);
+  EXPECT_EQ(pooled.shard_count(),
+            plan_shards(h.num_edges(), ShardConfig{}, 4).count);
+  EXPECT_EQ(observe(serial), observe(pooled));
 }
 
 }  // namespace

@@ -104,6 +104,87 @@ TEST(SblParallel, FacadePoolPassThrough) {
   EXPECT_TRUE(r1.verdict.ok());
 }
 
+// ---- Shard-count invariance of the full Result -----------------------------
+// The shard plan (DESIGN.md §10) moves only locality: the ENTIRE Result —
+// set, round counts, traces, modeled metrics — must compare equal at shard
+// counts {1, 2, 7} and at auto resolution, through both SBL (which rebuilds
+// a sharded residual per sampled round) and the BL core.  seconds is the
+// one wall-clock field and is excluded.
+
+void expect_same_stage(const algo::StageStats& a, const algo::StageStats& b,
+                       const char* what) {
+  EXPECT_EQ(a.stage, b.stage) << what;
+  EXPECT_EQ(a.live_vertices, b.live_vertices) << what;
+  EXPECT_EQ(a.live_edges, b.live_edges) << what;
+  EXPECT_EQ(a.dimension, b.dimension) << what;
+  EXPECT_EQ(a.delta, b.delta) << what;
+  EXPECT_EQ(a.p, b.p) << what;
+  EXPECT_EQ(a.marked, b.marked) << what;
+  EXPECT_EQ(a.unmarked, b.unmarked) << what;
+  EXPECT_EQ(a.added_blue, b.added_blue) << what;
+  EXPECT_EQ(a.forced_red, b.forced_red) << what;
+  EXPECT_EQ(a.edges_deleted, b.edges_deleted) << what;
+  EXPECT_EQ(a.sampled, b.sampled) << what;
+  EXPECT_EQ(a.sample_dimension, b.sample_dimension) << what;
+  EXPECT_EQ(a.resamples, b.resamples) << what;
+  EXPECT_EQ(a.inner_stages, b.inner_stages) << what;
+}
+
+void expect_same_result(const algo::Result& a, const algo::Result& b,
+                        const char* what) {
+  EXPECT_EQ(a.independent_set, b.independent_set) << what;
+  EXPECT_EQ(a.success, b.success) << what;
+  EXPECT_EQ(a.failure_reason, b.failure_reason) << what;
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.inner_stages, b.inner_stages) << what;
+  EXPECT_EQ(a.resamples, b.resamples) << what;
+  EXPECT_EQ(a.metrics.work, b.metrics.work) << what;
+  EXPECT_EQ(a.metrics.depth, b.metrics.depth) << what;
+  EXPECT_EQ(a.metrics.calls, b.metrics.calls) << what;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << what;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    expect_same_stage(a.trace[i], b.trace[i], what);
+  }
+}
+
+TEST(SblParallel, FullResultEqualAcrossShardCounts) {
+  par::ThreadPool p2(2), p8(8);
+  const Hypergraph h = gen::sbl_regime(1000, 0.6, 12, 9);
+  const auto run = [&](std::size_t shards, par::ThreadPool* pool) {
+    core::SblOptions opt;
+    opt.seed = 9;
+    opt.pool = pool;
+    opt.record_trace = true;
+    opt.shards.shards = shards;
+    return core::sbl(h, opt);
+  };
+  const algo::Result base = run(1, nullptr);  // serial, one shard
+  ASSERT_TRUE(base.success) << base.failure_reason;
+  expect_same_result(base, run(0, &p8), "auto shards, 8 threads");
+  expect_same_result(base, run(2, &p2), "2 shards, 2 threads");
+  expect_same_result(base, run(7, &p8), "7 shards, 8 threads");
+  expect_same_result(base, run(7, nullptr), "7 shards, serial");
+}
+
+TEST(BlParallel, FullResultEqualAcrossShardCounts) {
+  par::ThreadPool p2(2), p8(8);
+  const Hypergraph h = gen::uniform_random(1400, 4200, 3, 11);
+  const auto run = [&](std::size_t shards, par::ThreadPool* pool) {
+    algo::BlOptions opt;
+    opt.seed = 11;
+    opt.pool = pool;
+    opt.record_trace = true;
+    opt.shards.shards = shards;
+    return algo::bl(h, opt);
+  };
+  const algo::Result base = run(1, nullptr);
+  ASSERT_TRUE(base.success) << base.failure_reason;
+  expect_same_result(base, run(0, &p8), "auto shards, 8 threads");
+  expect_same_result(base, run(2, &p2), "2 shards, 2 threads");
+  expect_same_result(base, run(7, &p8), "7 shards, 8 threads");
+  expect_same_result(base, run(7, nullptr), "7 shards, serial");
+}
+
 // ---- plan_chunks edge cases ------------------------------------------------
 
 TEST(PlanChunks, EmptyRangeYieldsZeroChunks) {

@@ -1,0 +1,342 @@
+// Topology probe, worker placement, victim ordering, and the cross-shard
+// merge layer (DESIGN.md §10).
+//
+// Everything below Topology::system() is a pure function of its inputs, so
+// the placement policies are tested against hand-crafted multi-node SMT
+// topologies regardless of the machine the tests run on (CI containers
+// typically expose a single CPU).  The merge helpers are tested against
+// their general k-way reference, including the parallel concat path and the
+// disjointness check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "hmis/hypergraph/shard_plan.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/shard_merge.hpp"
+#include "hmis/par/thread_pool.hpp"
+#include "hmis/par/topology.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+using namespace hmis::par;
+
+// ---- parse_cpu_list --------------------------------------------------------
+
+TEST(TopologyParse, SingleValuesAndRanges) {
+  EXPECT_EQ(parse_cpu_list("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(TopologyParse, SysfsTrailingNewlineAndSpaces) {
+  // Real /sys/devices/system/node/nodeN/cpulist files end in '\n'.
+  EXPECT_EQ(parse_cpu_list("0-1\n"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(parse_cpu_list(" 2 , 4 "), (std::vector<int>{2, 4}));
+}
+
+TEST(TopologyParse, OutputSortedAndDeduped) {
+  EXPECT_EQ(parse_cpu_list("4,1,3,1-2"), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TopologyParse, MalformedInputsYieldEmpty) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("abc").empty());
+  EXPECT_TRUE(parse_cpu_list("1;2").empty());
+  EXPECT_TRUE(parse_cpu_list("3-1").empty());  // inverted range
+  EXPECT_TRUE(parse_cpu_list("-2").empty());
+}
+
+// ---- fallback topology and the live probe ----------------------------------
+
+TEST(TopologyProbe, FallbackIsFlatSingleNode) {
+  const Topology topo = fallback_topology(4);
+  EXPECT_EQ(topo.num_nodes, 1);
+  ASSERT_EQ(topo.cpus.size(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(topo.cpus[c].cpu, c);
+    EXPECT_EQ(topo.cpus[c].node, 0);
+    EXPECT_EQ(topo.cpus[c].core, c);  // each CPU its own core: no false SMT
+  }
+}
+
+TEST(TopologyProbe, SystemProbeIsSaneAndCached) {
+  const Topology& topo = Topology::system();
+  EXPECT_GE(topo.num_nodes, 1);
+  ASSERT_FALSE(topo.cpus.empty());
+  EXPECT_TRUE(std::is_sorted(
+      topo.cpus.begin(), topo.cpus.end(),
+      [](const CpuInfo& a, const CpuInfo& b) { return a.cpu < b.cpu; }));
+  EXPECT_EQ(&topo, &Topology::system());  // one probe per process
+}
+
+// ---- plan_worker_cpus ------------------------------------------------------
+
+/// Two NUMA nodes, two physical cores each, two SMT threads per core; the
+/// interleaved cpu-id numbering (siblings at +4) mirrors common x86 layouts.
+Topology two_node_smt() {
+  Topology topo;
+  topo.num_nodes = 2;
+  const auto add = [&](int cpu, int node, int package, int core) {
+    topo.cpus.push_back(CpuInfo{cpu, node, package, core});
+  };
+  add(0, 0, 0, 0);
+  add(1, 0, 0, 1);
+  add(2, 1, 1, 0);
+  add(3, 1, 1, 1);
+  add(4, 0, 0, 0);  // SMT sibling of cpu 0
+  add(5, 0, 0, 1);  // sibling of cpu 1
+  add(6, 1, 1, 0);  // sibling of cpu 2
+  add(7, 1, 1, 1);  // sibling of cpu 3
+  return topo;
+}
+
+std::vector<int> cpu_ids(const std::vector<CpuInfo>& placement) {
+  std::vector<int> out;
+  for (const CpuInfo& info : placement) out.push_back(info.cpu);
+  return out;
+}
+
+TEST(TopologyPlacement, CoresBeforeSmtSiblingsNodePacked) {
+  const Topology topo = two_node_smt();
+  // 4 workers: one per physical core, node 0's cores first.
+  EXPECT_EQ(cpu_ids(plan_worker_cpus(topo, 4)), (std::vector<int>{0, 1, 2, 3}));
+  // 2 workers stay on node 0's distinct cores — never an SMT pair.
+  EXPECT_EQ(cpu_ids(plan_worker_cpus(topo, 2)), (std::vector<int>{0, 1}));
+  // 8 workers: all cores, then all siblings in the same node-packed order.
+  EXPECT_EQ(cpu_ids(plan_worker_cpus(topo, 8)),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TopologyPlacement, WrapsWhenWorkersExceedCpus) {
+  const Topology topo = two_node_smt();
+  EXPECT_EQ(cpu_ids(plan_worker_cpus(topo, 10)),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 0, 1}));
+}
+
+TEST(TopologyPlacement, EmptyTopologyFallsBackToCpu0) {
+  const Topology empty;
+  const auto placement = plan_worker_cpus(empty, 3);
+  ASSERT_EQ(placement.size(), 3u);
+  for (const CpuInfo& info : placement) EXPECT_EQ(info.cpu, 0);
+}
+
+// ---- plan_victim_orders ----------------------------------------------------
+
+TEST(TopologyVictims, NearestFirstWithRotation) {
+  // Workers: 0 and 1 share a core on node 0, 2 is another node-0 core,
+  // 3 lives on node 1.
+  std::vector<CpuInfo> workers = {
+      CpuInfo{0, 0, 0, 0},
+      CpuInfo{4, 0, 0, 0},  // SMT sibling of worker 0
+      CpuInfo{1, 0, 0, 1},
+      CpuInfo{2, 1, 1, 0},
+  };
+  const auto orders = plan_victim_orders(workers);
+  ASSERT_EQ(orders.size(), 4u);
+  // Same core, then same node, then remote.
+  EXPECT_EQ(orders[0], (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(orders[1], (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(orders[2], (std::vector<std::size_t>{0, 1, 3}));
+  // Worker 3 sees everyone at distance 2; the rotation starts its scan at
+  // its right-hand neighbour (wrapping to 0).
+  EXPECT_EQ(orders[3], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TopologyVictims, TieRotationSpreadsThieves) {
+  // A flat 4-worker topology: every victim is equidistant, so each worker's
+  // order must start at its successor — no two workers share a first victim.
+  const Topology topo = fallback_topology(4);
+  const auto orders = plan_victim_orders(plan_worker_cpus(topo, 4));
+  ASSERT_EQ(orders.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(orders[i].size(), 3u);
+    EXPECT_EQ(orders[i].front(), (i + 1) % 4) << "worker " << i;
+    // And each order is a permutation of everyone else.
+    auto sorted = orders[i];
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::size_t> want;
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (j != i) want.push_back(j);
+    }
+    EXPECT_EQ(sorted, want) << "worker " << i;
+  }
+}
+
+TEST(TopologyVictims, DegenerateSizes) {
+  EXPECT_TRUE(plan_victim_orders({}).empty());
+  const auto solo = plan_victim_orders({CpuInfo{0, 0, 0, 0}});
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_TRUE(solo[0].empty());
+}
+
+TEST(TopologyPinning, NegativeCpuIsANoOp) {
+  pin_current_thread(-1);  // must not crash or pin anything
+}
+
+// ---- shard plan geometry ---------------------------------------------------
+
+TEST(ShardPlanGeometry, StrideIsWordMultipleAndCoversM) {
+  for (const std::size_t m : {1u, 63u, 64u, 65u, 1000u, 4096u, 100000u}) {
+    for (const std::size_t want : {1u, 2u, 7u, 16u}) {
+      const ShardPlan plan = plan_shards(m, ShardConfig{.shards = want}, 1);
+      EXPECT_EQ(plan.stride % 64, 0u) << m << "/" << want;
+      EXPECT_GE(plan.stride, 64u);
+      EXPECT_LE(plan.count, want) << m << "/" << want;
+      EXPECT_GE(plan.count * plan.stride, m) << m << "/" << want;
+      EXPECT_LT((plan.count - 1) * plan.stride, m) << m << "/" << want;
+      EXPECT_EQ(plan.shard_of(m - 1), plan.count - 1);
+      EXPECT_EQ(plan.shard_of(0), 0u);
+    }
+  }
+}
+
+TEST(ShardPlanGeometry, EmptyGraphKeepsOneShard) {
+  const ShardPlan plan = plan_shards(0, ShardConfig{.shards = 7}, 8);
+  EXPECT_EQ(plan.count, 1u);
+  EXPECT_EQ(plan.stride, 64u);
+}
+
+TEST(ShardPlanGeometry, ConfigOverridesPoolWidth) {
+  const ShardPlan plan = plan_shards(10000, ShardConfig{.shards = 3}, 8);
+  EXPECT_EQ(plan.count, 3u);
+  const ShardPlan wide = plan_shards(100000, ShardConfig{}, 8);
+  // Auto resolution: pool width (unless HMIS_SHARDS overrides in this
+  // process — in which case both calls see the same cached value).
+  EXPECT_EQ(wide.count, plan_shards(100000, ShardConfig{}, 8).count);
+  if (env_shards() == 0) {
+    EXPECT_EQ(wide.count, 8u);
+  }
+}
+
+TEST(ShardPlanGeometry, AffinityOffsetPassesThrough) {
+  const ShardPlan plan =
+      plan_shards(512, ShardConfig{.shards = 2, .affinity_offset = 5}, 1);
+  EXPECT_EQ(plan.affinity_offset, 5u);
+}
+
+// ---- cross-shard merge layer -----------------------------------------------
+
+TEST(ShardMerge, ConcatEqualsKwayOnDisjointRuns) {
+  const std::vector<std::vector<std::uint32_t>> runs = {
+      {1, 4, 9}, {}, {64, 70}, {128}, {}};
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> concat, reference;
+  EXPECT_EQ(shard::concat_sorted_runs_into(runs, offsets, concat), 6u);
+  EXPECT_EQ(shard::kway_merge_unique_into(runs, reference), 6u);
+  EXPECT_EQ(concat, reference);
+  EXPECT_EQ(offsets, (std::vector<std::size_t>{0, 3, 3, 5, 6}));
+}
+
+TEST(ShardMerge, ConcatParallelPathMatchesSerial) {
+  // Big enough that the pooled path takes parallel_for at grain 1.
+  std::vector<std::vector<std::uint32_t>> runs(8);
+  std::uint32_t next = 0;
+  for (auto& run : runs) {
+    for (int i = 0; i < 400; ++i) run.push_back(next += 1 + (next % 3));
+  }
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> serial_out, pooled_out;
+  const std::size_t total =
+      shard::concat_sorted_runs_into(runs, offsets, serial_out);
+  ThreadPool pool(4);
+  EXPECT_EQ(shard::concat_sorted_runs_into(runs, offsets, pooled_out, &pool),
+            total);
+  EXPECT_EQ(serial_out, pooled_out);
+  EXPECT_TRUE(std::is_sorted(pooled_out.begin(), pooled_out.end()));
+}
+
+TEST(ShardMerge, ConcatChecksDisjointness) {
+  // Run 1 dips below run 0's back — the data plane can never produce this,
+  // so the helper must fail loudly rather than emit an unsorted gather.
+  const std::vector<std::vector<std::uint32_t>> overlapping = {{10, 20},
+                                                               {15, 30}};
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(shard::concat_sorted_runs_into(overlapping, offsets, out),
+               util::CheckError);
+}
+
+TEST(ShardMerge, KwayHandlesOverlapAndDuplicates) {
+  const std::vector<std::vector<std::uint32_t>> runs = {
+      {1, 5, 9}, {2, 5, 8, 9}, {9, 10}};
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(shard::kway_merge_unique_into(runs, out), 6u);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 2, 5, 8, 9, 10}));
+}
+
+TEST(ShardMerge, OrWordsIsUnionOverWords) {
+  std::vector<std::uint64_t> dst = {0x0F, 0x00, ~0ULL};
+  const std::vector<std::uint64_t> src = {0xF0, 0x01, 0x123};
+  shard::or_words(dst.data(), src.data(), dst.size());
+  EXPECT_EQ(dst[0], 0xFFu);
+  EXPECT_EQ(dst[1], 0x01u);
+  EXPECT_EQ(dst[2], ~0ULL);
+}
+
+// ---- parallel_for_shards ---------------------------------------------------
+
+TEST(ParallelForShards, EachShardRunsExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t count : {0u, 1u, 3u, 16u, 100u}) {
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h.store(0);
+    parallel_for_shards(
+        count, [&](std::size_t s) { hits[s].fetch_add(1); },
+        /*affinity_offset=*/0, &pool);
+    for (std::size_t s = 0; s < count; ++s) {
+      EXPECT_EQ(hits[s].load(), 1) << "shard " << s << " of " << count;
+    }
+  }
+}
+
+TEST(ParallelForShards, AffinityOffsetNeverChangesCoverage) {
+  // Placement hints steer scheduling only; every offset (including ones far
+  // beyond the worker count) must execute the same shard set.
+  ThreadPool pool(3);
+  for (const std::size_t offset : {0u, 1u, 7u, 1000u}) {
+    std::vector<std::atomic<int>> hits(12);
+    for (auto& h : hits) h.store(0);
+    parallel_for_shards(
+        hits.size(), [&](std::size_t s) { hits[s].fetch_add(1); }, offset,
+        &pool);
+    for (std::size_t s = 0; s < hits.size(); ++s) {
+      EXPECT_EQ(hits[s].load(), 1) << "offset " << offset;
+    }
+  }
+}
+
+TEST(ParallelForShards, SerialFallbackWithoutWorkers) {
+  // threads <= 1 runs inline in shard order on the calling thread.
+  ThreadPool solo(1);
+  std::vector<std::size_t> order;
+  parallel_for_shards(
+      5, [&](std::size_t s) { order.push_back(s); }, 0, &solo);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForShards, FirstExceptionPropagatesAfterJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for_shards(
+          8,
+          [&](std::size_t s) {
+            ran.fetch_add(1);
+            if (s == 3) throw std::runtime_error("shard failure");
+          },
+          0, &pool),
+      std::runtime_error);
+  // The join is a barrier: every shard ran (exactly once) before rethrow.
+  EXPECT_EQ(ran.load(), 8);
+}
+
+}  // namespace

@@ -2,11 +2,13 @@
 //
 //   hmis gen   <family> <out.hg> [options]   generate an instance
 //   hmis stats <in.hg>                       analyze + recommend (planner)
-//   hmis solve <in.hg> [--algo A] [--seed S] [--threads T] [--out sets.txt]
-//              [--stats] [--format text|json]
+//   hmis solve <in.hg> [--algo A] [--seed S] [--threads T] [--shards K]
+//              [--out sets.txt] [--stats] [--format text|json]
 //              (--stats prints EREW work/depth + scheduler spawn/steal/join
-//               counters alongside the round metrics; json always carries
-//               them)
+//               counters + residual data-plane sweep/debt counters alongside
+//               the round metrics; json always carries them.  --shards
+//               overrides the residual shard count — results are identical
+//               for every value, see HMIS_SHARDS in the README)
 //   hmis batch <manifest> [--algo A] [--seed S] [--threads T]
 //              [--max-inflight N] [--format text|json]
 //              solve many instances through one async engine; the manifest
@@ -143,7 +145,22 @@ std::string scheduler_json(std::size_t threads,
                            const par::SchedulerStats& sched) {
   std::ostringstream os;
   os << "{\"threads\":" << threads << ",\"spawns\":" << sched.spawns
-     << ",\"steals\":" << sched.steals << ",\"joins\":" << sched.joins << "}";
+     << ",\"steals\":" << sched.steals
+     << ",\"steals_local\":" << sched.steals_local
+     << ",\"steals_remote\":" << sched.steals_remote
+     << ",\"joins\":" << sched.joins << "}";
+  return os.str();
+}
+
+// Residual data-plane counters (per-shard sweeps, stale debt, gather
+// flavours) — metered the same way as the scheduler: subtract a snapshot
+// taken around the solve.
+std::string data_plane_json(const DataPlaneStats& dp) {
+  std::ostringstream os;
+  os << "{\"sweeps\":" << dp.sweeps << ",\"swept_entries\":" << dp.swept_entries
+     << ",\"stale_deposited\":" << dp.stale_deposited
+     << ",\"sparse_gathers\":" << dp.sparse_gathers
+     << ",\"dense_gathers\":" << dp.dense_gathers << "}";
   return os.str();
 }
 
@@ -222,6 +239,8 @@ int cmd_solve(const std::vector<std::string>& args) {
       opt.seed = flag_u64(args, &i, "--seed");
     } else if (args[i] == "--threads") {
       par::set_global_threads(flag_u64(args, &i, "--threads"));
+    } else if (args[i] == "--shards") {
+      opt.shards.shards = flag_u64(args, &i, "--shards");
     } else if (args[i] == "--out") {
       out_path = flag_value(args, &i, "--out");
     } else if (args[i] == "--stats") {
@@ -244,18 +263,23 @@ int cmd_solve(const std::vector<std::string>& args) {
   // --stats reports this run's spawns/steals/joins, not process history.
   // (Algorithms resolve a null FindOptions::pool to the global pool.)
   const par::SchedulerStats sched_before = par::global_pool().stats();
+  const DataPlaneStats dp_before = data_plane_stats();
   const auto run = core::find_mis(h, algorithm, opt);
   const par::SchedulerStats sched = par::global_pool().stats() - sched_before;
+  const DataPlaneStats dp = data_plane_stats() - dp_before;
   if (format == OutputFormat::Json) {
     // One machine-readable object: the canonical result (byte-identical to
-    // a served response's "result") + wall-clock + scheduler counters.
+    // a served response's "result") + wall-clock + scheduler + data-plane
+    // counters.
     std::printf("{\"mode\":\"solve\",\"instance\":\"%s\",\"n\":%zu,"
-                "\"m\":%zu,\"result\":%s,\"timing\":%s,\"scheduler\":%s}\n",
+                "\"m\":%zu,\"result\":%s,\"timing\":%s,\"scheduler\":%s,"
+                "\"data_plane\":%s}\n",
                 json_escape(args[0]).c_str(), h.num_vertices(), h.num_edges(),
                 net::result_json(run).c_str(),
                 timing_json(run.result.seconds, 0.0).c_str(),
                 scheduler_json(par::global_pool().num_threads(),
-                               sched).c_str());
+                               sched).c_str(),
+                data_plane_json(dp).c_str());
     if (!run.result.success) return 1;
   } else {
     if (!run.result.success) {
@@ -273,11 +297,21 @@ int cmd_solve(const std::vector<std::string>& args) {
                   static_cast<unsigned long long>(m.depth),
                   static_cast<unsigned long long>(m.calls),
                   static_cast<unsigned long long>(run.result.inner_stages));
-      std::printf("scheduler: threads=%zu spawns=%llu steals=%llu joins=%llu\n",
+      std::printf("scheduler: threads=%zu spawns=%llu steals=%llu "
+                  "(local=%llu remote=%llu) joins=%llu\n",
                   par::global_pool().num_threads(),
                   static_cast<unsigned long long>(sched.spawns),
                   static_cast<unsigned long long>(sched.steals),
+                  static_cast<unsigned long long>(sched.steals_local),
+                  static_cast<unsigned long long>(sched.steals_remote),
                   static_cast<unsigned long long>(sched.joins));
+      std::printf("data_plane: sweeps=%llu swept=%llu stale=%llu "
+                  "gathers_sparse=%llu gathers_dense=%llu\n",
+                  static_cast<unsigned long long>(dp.sweeps),
+                  static_cast<unsigned long long>(dp.swept_entries),
+                  static_cast<unsigned long long>(dp.stale_deposited),
+                  static_cast<unsigned long long>(dp.sparse_gathers),
+                  static_cast<unsigned long long>(dp.dense_gathers));
     }
   }
   if (!out_path.empty()) {

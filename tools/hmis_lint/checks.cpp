@@ -504,7 +504,7 @@ class NonatomicSharedWriteCheck final : public Check {
       if (toks[i].kind != TokenKind::Identifier) continue;
       const std::string& callee = toks[i].text;
       if (callee != "parallel_for" && callee != "parallel_for_chunks" &&
-          callee != "run_chunks") {
+          callee != "parallel_for_shards" && callee != "run_chunks") {
         continue;
       }
       if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
@@ -532,11 +532,13 @@ class NonatomicSharedWriteCheck final : public Check {
     if (!lam.by_ref_default && lam.ref_captures.empty()) return;
 
     // Pass A: locals and chunk-index taint.  A name is *tainted* when its
-    // value is derived from a lambda parameter (the chunk/index argument)
-    // by pure arithmetic — writes subscripted by a tainted expression hit
-    // per-chunk disjoint ranges.  Loads through calls (mh.edge(...)) and
-    // range-for element bindings yield *values*, which different chunks can
-    // share, so they deliberately break the derivation.
+    // value is derived from a lambda parameter (the chunk/shard/index
+    // argument) by pure arithmetic or subscripted loads — writes subscripted
+    // by a tainted expression hit per-chunk disjoint ranges.  Call results
+    // (mh.edge(...), wrap(s + 1)) and range-for element bindings yield
+    // *values*, which different chunks can share: a call subexpression
+    // contributes no taint, but it does not poison the derivation around it
+    // (pool[s].data() + off stays shard-local).
     std::unordered_set<std::string> locals;
     std::unordered_set<std::string> tainted;
     for (const std::string& p : lam.params) tainted.insert(p);
@@ -547,7 +549,15 @@ class NonatomicSharedWriteCheck final : public Check {
         if (toks[k].kind != TokenKind::Identifier) continue;
         if (k + 1 < e && toks[k + 1].text == "(" &&
             !is_transparent_call(toks[k].text)) {
-          return false;  // value laundered through a call
+          // A call yields a VALUE distinct chunks/shards can share, so
+          // neither the callee nor its arguments witness disjointness — but
+          // derivations AROUND the call still do (pool.data() + offset[s]
+          // stays shard-local even though data() itself proves nothing).
+          // Skip just the call; keep scanning the rest of the expression.
+          const std::size_t close = match_forward(toks, k + 1);
+          if (close >= e) return has_tainted;
+          k = close;
+          continue;
         }
         if (tainted.count(toks[k].text) != 0) has_tainted = true;
       }

@@ -1,0 +1,55 @@
+// hmis_lint fixture — hmis-nonatomic-shared-write, sharded data plane,
+// clean cases.  Every pattern here is a sanctioned per-shard write; the
+// harness asserts zero diagnostics on this file.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// The PR 8 debt ledger, verbatim shape: parallel_for_shards hands each task
+// its own shard index, so ShardState slots are task-private even though the
+// vector itself is shared by reference.
+void account_removals(std::vector<ShardState>& shard_state_,
+                      std::span<const std::uint32_t> removed_per_shard,
+                      std::size_t shard_count, ThreadPool* pool) {
+  par::parallel_for_shards(
+      shard_count,
+      [&](std::size_t s) {
+        shard_state_[s].live_entries -= removed_per_shard[s];
+        shard_state_[s].stale_entries += removed_per_shard[s];
+      },
+      0, pool);
+}
+
+// The dense gather: the edge id is loaded out of shard s's own incidence
+// segment, so the word it owns is reachable from exactly one shard.  The
+// derivation passes through calls (.data(), seg(v, s)) — taint must survive
+// the surrounding pointer arithmetic.
+void mark_shard_edges(const std::vector<Pool>& inc_pools_,
+                      std::span<const std::uint32_t> inc_seg_off_,
+                      std::span<const std::uint32_t> inc_seg_len_,
+                      VertexId v, std::size_t shard_count,
+                      std::uint64_t* words, ThreadPool* pool) {
+  par::parallel_for_shards(
+      shard_count,
+      [&](std::size_t s) {
+        const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(v, s)];
+        for (std::uint32_t j = 0; j < inc_seg_len_[seg(v, s)]; ++j) {
+          const EdgeId e = p[j];
+          words[e >> 6] |= 1ULL << (e & 63);
+        }
+      },
+      0, pool);
+}
+
+// Per-shard output runs: shard_runs_[s] is shard-private by the shard index,
+// and member calls on the shard's own run are fine.
+void rebuild_runs(std::vector<ShardRun>& shard_runs_, std::size_t shard_count,
+                  const ShardPlan& plan_, ThreadPool* pool) {
+  par::parallel_for_shards(
+      shard_count,
+      [&](std::size_t s) {
+        shard_runs_[s].clear();
+        shard_runs_[s].reserve(plan_.stride);
+      },
+      0, pool);
+}

@@ -1,0 +1,49 @@
+// hmis_lint fixture — hmis-nonatomic-shared-write, sharded data plane,
+// flagged cases.
+//
+// Lines carrying a flag marker must produce exactly the named diagnostic;
+// the harness asserts set equality.  Fixtures are lexed, never compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// A single scalar debt total bumped from every shard: lost-update race.
+// Per-shard ledgers exist precisely so this shape never ships.
+std::uint64_t total_stale(const std::vector<ShardState>& shard_state_,
+                          std::size_t shard_count, ThreadPool* pool) {
+  std::uint64_t total = 0;
+  par::parallel_for_shards(
+      shard_count,
+      [&](std::size_t s) {
+        total += shard_state_[s].stale_entries;  // HMIS-FLAG: hmis-nonatomic-shared-write
+      },
+      0, pool);
+  return total;
+}
+
+// Subscript laundered through a call: owner_of(s) is a value, not the shard
+// index itself, so two shards may compute the same slot.
+void scatter_by_owner(std::vector<std::uint32_t>& counts,
+                      std::size_t shard_count, ThreadPool* pool) {
+  par::parallel_for_shards(
+      shard_count,
+      [&](std::size_t s) {
+        counts[owner_of(s)] += 1;  // HMIS-FLAG: hmis-nonatomic-shared-write
+      },
+      0, pool);
+}
+
+// Writing a NEIGHBOUR shard's ledger: s + 1 wraps into another task's slot,
+// so the subscript-by-shard-parameter exemption must not apply to offsets
+// that leave the shard.  (The wrap index is a fresh local laundered through
+// a call, so the derivation from s is severed.)
+void steal_from_next(std::vector<ShardState>& shard_state_,
+                     std::size_t shard_count, ThreadPool* pool) {
+  par::parallel_for_shards(
+      shard_count,
+      [&](std::size_t s) {
+        const std::size_t next = wrap(s + 1, shard_count);
+        shard_state_[next].live_entries += 1;  // HMIS-FLAG: hmis-nonatomic-shared-write
+      },
+      0, pool);
+}

@@ -4,9 +4,10 @@
 # against a recorded baseline.
 #
 # Usage:
-#   tools/run_benches.sh                 # full scale, writes BENCH_PR5.json
+#   tools/run_benches.sh                 # full scale, writes BENCH_PR<PR>.json
 #   HMIS_BENCH_SCALE=quick tools/run_benches.sh   # smoke scale
-#   BUILD_DIR=build-dev OUT=BENCH_PR6.json tools/run_benches.sh
+#   PR=9 tools/run_benches.sh            # stamp + name for a different PR
+#   BUILD_DIR=build-dev OUT=custom.json tools/run_benches.sh
 #
 # The script only parses the greppable "tag:" tables the bench binaries
 # print (machine-stable by design, DESIGN.md §5); google-benchmark timing
@@ -15,7 +16,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${OUT:-BENCH_PR5.json}
+PR=${PR:-8}
+OUT=${OUT:-BENCH_PR${PR}.json}
 SCALE=${HMIS_BENCH_SCALE:-full}
 LOG_DIR=$(mktemp -d)
 trap 'rm -rf "$LOG_DIR"' EXIT
@@ -39,6 +41,7 @@ run_bench() {
 
 run_bench bench_engine_throughput
 run_bench bench_coloring_kernels
+run_bench bench_shard_scaling
 
 # ---- Table extractors ------------------------------------------------------
 # Emit the numeric rows between "==== <tag> ..." and "==== end <tag> ====",
@@ -72,6 +75,24 @@ json_coloring() {  # $1 = col:blue | col:red
              (NR>1?",":""), $1, $2, $3, $4, $5, $6, $7 }'
 }
 
+json_shard_debt() {
+  table_rows "$LOG_DIR/bench_shard_scaling.log" "shard:debt" | awk '
+    { printf "%s{\"threads\":%s,\"schedule\":\"%s\",\"batches\":%s,\"hot_shards\":%s,\"cold_sweeps\":%s,\"sweeps\":%s,\"swept_entries\":%s,\"us_per_batch\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4, $5, $6, $7, $8 }'
+}
+
+json_shard_scaling() {
+  table_rows "$LOG_DIR/bench_shard_scaling.log" "shard:scaling" | awk '
+    { printf "%s{\"threads\":%s,\"shards\":%s,\"batches\":%s,\"us_per_batch\":%s,\"live_edges\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4, $5 }'
+}
+
+json_shard_alloc() {
+  table_rows "$LOG_DIR/bench_shard_scaling.log" "shard:alloc" | awk '
+    { printf "%s{\"threads\":%s,\"shards\":%s,\"batches\":%s,\"allocs_per_batch\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4 }'
+}
+
 json_coloring_alloc() {
   table_rows "$LOG_DIR/bench_coloring_kernels.log" "col:alloc" | awk '
     { gsub(/%$/, "", $2);
@@ -94,15 +115,21 @@ ENGINE_THROUGHPUT=$(json_engine_throughput)
 COLORING_BLUE=$(json_coloring col:blue)
 COLORING_RED=$(json_coloring col:red)
 COLORING_ALLOC=$(json_coloring_alloc)
+SHARD_DEBT=$(json_shard_debt)
+SHARD_SCALING=$(json_shard_scaling)
+SHARD_ALLOC=$(json_shard_alloc)
 require_rows "eng:alloc" "$ENGINE_ALLOC"
 require_rows "eng:throughput" "$ENGINE_THROUGHPUT"
 require_rows "col:blue" "$COLORING_BLUE"
 require_rows "col:red" "$COLORING_RED"
 require_rows "col:alloc" "$COLORING_ALLOC"
+require_rows "shard:debt" "$SHARD_DEBT"
+require_rows "shard:scaling" "$SHARD_SCALING"
+require_rows "shard:alloc" "$SHARD_ALLOC"
 
 {
   printf '{\n'
-  printf '  "pr": 5,\n'
+  printf '  "pr": %s,\n' "$PR"
   printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "scale": "%s",\n' "$SCALE"
   printf '  "host_cpus": %s,\n' "$(nproc)"
@@ -110,7 +137,10 @@ require_rows "col:alloc" "$COLORING_ALLOC"
   printf '  "engine_throughput": [%s],\n' "$ENGINE_THROUGHPUT"
   printf '  "coloring_blue": [%s],\n' "$COLORING_BLUE"
   printf '  "coloring_red": [%s],\n' "$COLORING_RED"
-  printf '  "coloring_alloc": [%s]\n' "$COLORING_ALLOC"
+  printf '  "coloring_alloc": [%s],\n' "$COLORING_ALLOC"
+  printf '  "shard_debt": [%s],\n' "$SHARD_DEBT"
+  printf '  "shard_scaling": [%s],\n' "$SHARD_SCALING"
+  printf '  "shard_alloc": [%s]\n' "$SHARD_ALLOC"
   printf '}\n'
 } >"$OUT"
 
