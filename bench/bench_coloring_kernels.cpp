@@ -276,13 +276,15 @@ Workload make_workload() {
   // exercises the pending queue against the seed's full rescan.
   const std::size_t n = quick ? 20000 : 100000;
   const std::size_t m = quick ? 20000 : 100000;
-  w.graph = gen::uniform_random(n, m, 2, 17);
+  w.graph = hmis::bench::bench_graph(
+      [&] { return gen::uniform_random(n, m, 2, 17); });
   w.fractions = {0.001, 0.01, 0.1};
   const std::size_t max_batches = quick ? 8 : 16;
   std::uint64_t seed = 5;
   for (const double f : w.fractions) {
     const auto batch = std::max<std::size_t>(
-        1, static_cast<std::size_t>(static_cast<double>(n) * f));
+        1, static_cast<std::size_t>(
+               static_cast<double>(w.graph.num_vertices()) * f));
     w.blue_batches.push_back(
         plan_blue_batches(w.graph, batch, max_batches, seed));
     w.red_batches.push_back(

@@ -72,6 +72,23 @@ inline core::MisRun run_algorithm(const Hypergraph& h, core::Algorithm a,
   return run;
 }
 
+/// Corpus override: when HMIS_BENCH_GRAPH=<path> is set, benches that
+/// build their primary instance through this helper load that file
+/// instead of calling the compiled-in generator (format sniffed; HGB2
+/// files are mapped zero-copy).  Any bench can therefore run against a
+/// checked-in corpus instance without recompiling:
+///
+///   HMIS_BENCH_GRAPH=corpus/uniform_l.hgb2 build/bench/bench_coloring_kernels
+template <typename MakeFn>
+inline Hypergraph bench_graph(MakeFn&& make) {
+  if (const char* path = std::getenv("HMIS_BENCH_GRAPH")) {
+    std::fprintf(stderr, "bench: instance override HMIS_BENCH_GRAPH=%s\n",
+                 path);
+    return load_hypergraph(path);
+  }
+  return make();
+}
+
 /// Geometric sweep n = base * 2^k, k in [0, steps).
 inline std::vector<std::size_t> pow2_sweep(std::size_t base,
                                            std::size_t steps) {

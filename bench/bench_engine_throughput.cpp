@@ -39,7 +39,8 @@ void run_alloc_table() {
                    "(fresh per-round storage vs arena-backed frames)");
   const std::size_t n = hmis::bench::quick_mode() ? 2000 : 6000;
   const std::size_t rounds = hmis::bench::quick_mode() ? 20 : 50;
-  const Hypergraph h = gen::sbl_regime(n, 0.6, 12, 17);
+  const Hypergraph h =
+      hmis::bench::bench_graph([&] { return gen::sbl_regime(n, 0.6, 12, 17); });
 
   std::printf("%8s %16s %10s %18s %18s %8s\n", "threads", "frame", "rounds",
               "fresh_allocs/rnd", "arena_allocs/rnd", "ratio");

@@ -1,0 +1,224 @@
+// bench_graph_load — the zero-copy ingest trajectory (ISSUE 9 tentpole).
+//
+// Tables:
+//   load:format  — one row per on-disk encoding: file bytes, load wall
+//                  time, throughput, and the operator-new allocation delta
+//                  of the load.  The mapped HGB2 row must load >= 10x
+//                  faster than the HGB1 streamed read and allocate O(1)
+//                  (a handful of control blocks, never per-edge storage);
+//                  both are asserted at full scale.
+//   load:solve   — solve Results from the mapped graph vs the owned-storage
+//                  graph at 1/2/8 threads; the result JSON must be
+//                  byte-identical (asserted).
+//   load:corpus  — the checked-in corpus swept end to end: mapped load
+//                  time plus a strong-coloring run per instance, so the
+//                  BENCH_PR trajectories compare structure classes like
+//                  against like.  Quick mode sweeps the *_s instances.
+//
+// The primary instance honors HMIS_BENCH_GRAPH (bench_common); the corpus
+// directory comes from HMIS_BENCH_CORPUS (default "corpus", resolved
+// relative to the working directory — run from the repo root).
+#include <stdlib.h>  // mkdtemp
+#include <unistd.h>  // rmdir
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hmis/core/coloring.hpp"
+#include "hmis/net/protocol.hpp"
+#include "hmis/util/timer.hpp"
+
+HMIS_BENCH_DEFINE_ALLOC_HOOK();
+
+namespace {
+
+using namespace hmis;
+
+std::size_t file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  return is.good() ? static_cast<std::size_t>(is.tellg()) : 0;
+}
+
+struct LoadSample {
+  double ms = 0;
+  std::uint64_t allocs = 0;
+};
+
+/// Best-of-3 load, with the allocation delta of the best run's shape (the
+/// counts are identical across runs — the loader is deterministic).
+template <typename LoadFn>
+LoadSample measure_load(LoadFn&& load) {
+  LoadSample best;
+  for (int rep = 0; rep < 3; ++rep) {
+    const std::uint64_t a0 = bench::allocations();
+    util::Timer t;
+    const Hypergraph h = load();
+    const double ms = t.millis();
+    const std::uint64_t allocs = bench::allocations() - a0;
+    benchmark::DoNotOptimize(h.num_edges());
+    if (rep == 0 || ms < best.ms) best = {ms, allocs};
+  }
+  return best;
+}
+
+void fail(const char* msg) {
+  std::fprintf(stderr, "bench_graph_load: %s\n", msg);
+  std::exit(1);
+}
+
+int run_format_table(const std::string& dir, const Hypergraph& g) {
+  const std::string text_path = dir + "/g.hg";
+  const std::string hgb1_path = dir + "/g.hgb1";
+  const std::string hgb2_path = dir + "/g.hgb2";
+  save_hypergraph(text_path, g);
+  save_hypergraph_binary(hgb1_path, g);
+  save_hypergraph_hgb2(hgb2_path, g);
+
+  bench::print_header("load:format",
+                      "graph load by encoding (best of 3, one instance)");
+  std::printf("%6zu vertices, %zu edges, dim %zu\n", g.num_vertices(),
+              g.num_edges(), g.dimension());
+  std::printf("%14s %12s %10s %10s %12s\n", "format", "bytes", "ms", "MB/s",
+              "allocs");
+  struct Row {
+    const char* name;
+    std::string path;
+    LoadSample s;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"text", text_path,
+                  measure_load([&] { return load_hypergraph_text(text_path); })});
+  rows.push_back(
+      {"hgb1", hgb1_path,
+       measure_load([&] { return load_hypergraph_binary(hgb1_path); })});
+  rows.push_back(
+      {"hgb2_owned", hgb2_path,
+       measure_load([&] { return load_hypergraph_hgb2(hgb2_path); })});
+  rows.push_back(
+      {"hgb2_mapped", hgb2_path,
+       measure_load([&] { return load_hypergraph_mapped(hgb2_path); })});
+  for (const Row& r : rows) {
+    const auto bytes = static_cast<double>(file_bytes(r.path));
+    std::printf("%14s %12zu %10.3f %10.1f %12llu\n", r.name,
+                file_bytes(r.path), r.s.ms, bytes / 1048576.0 / (r.s.ms / 1e3),
+                static_cast<unsigned long long>(r.s.allocs));
+  }
+  bench::print_footer("load:format");
+
+  const double speedup = rows[1].s.ms / rows[3].s.ms;
+  std::printf("mapped HGB2 vs streamed HGB1: %.1fx faster, %llu allocations\n",
+              speedup, static_cast<unsigned long long>(rows[3].s.allocs));
+  // The mapped load allocates control blocks (shared_ptr, spans, the
+  // Hypergraph's empty vectors), never per-edge storage: the count must be
+  // constant no matter how many edges the instance has.
+  if (rows[3].s.allocs > 32) fail("mapped load allocation count not O(1)");
+  if (!bench::quick_mode() && speedup < 10.0) {
+    fail("mapped HGB2 load less than 10x faster than HGB1 streamed read");
+  }
+  return 0;
+}
+
+void run_solve_table(const std::string& dir, const Hypergraph& owned) {
+  const std::string hgb2_path = dir + "/g.hgb2";
+  const Hypergraph mapped = load_hypergraph_mapped(hgb2_path);
+  bench::print_header("load:solve",
+                      "solve Result parity: mapped vs owned storage");
+  std::printf("%8s %10s\n", "threads", "identical");
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    par::ThreadPool& pool = bench::pool_with_threads(threads);
+    core::FindOptions opt;
+    opt.seed = 7;
+    opt.pool = &pool;
+    const auto a = core::find_mis(owned, core::Algorithm::PermutationMIS, opt);
+    const auto b = core::find_mis(mapped, core::Algorithm::PermutationMIS, opt);
+    const bool same = net::result_json(a) == net::result_json(b);
+    std::printf("%8zu %10s\n", threads, same ? "yes" : "NO");
+    if (!same) fail("mapped-storage solve diverged from owned storage");
+  }
+  bench::print_footer("load:solve");
+}
+
+void run_corpus_table() {
+  const char* env = std::getenv("HMIS_BENCH_CORPUS");
+  const std::string dir = env != nullptr ? env : "corpus";
+  std::ifstream manifest(dir + "/MANIFEST.sha256");
+  if (!manifest.good()) {
+    std::fprintf(stderr,
+                 "bench_graph_load: no corpus at %s/MANIFEST.sha256 — "
+                 "skipping load:corpus\n",
+                 dir.c_str());
+    return;
+  }
+  // Manifest lines are "<sha256>  <name>.hgb2"; the manifest order is the
+  // sweep order (deterministic, no directory iteration).
+  std::vector<std::string> names;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    const auto pos = line.find("  ");
+    if (pos == std::string::npos) continue;
+    names.push_back(line.substr(pos + 2));
+  }
+  const bool quick = bench::quick_mode();
+  bench::print_header("load:corpus",
+                      "checked-in corpus: mapped load + strong coloring");
+  std::printf("%16s %8s %8s %5s %10s %8s %12s\n", "instance", "n", "m", "dim",
+              "load_ms", "colors", "color_ms");
+  par::ThreadPool& pool = bench::pool_with_threads(0);
+  for (const std::string& name : names) {
+    if (quick && name.find("_s.") == std::string::npos) continue;
+    const std::string path = dir + "/" + name;
+    util::Timer tl;
+    const Hypergraph h = load_hypergraph_mapped(path);
+    const double load_ms = tl.millis();
+    core::ColoringOptions copt;
+    copt.pool = &pool;
+    util::Timer tc;
+    const auto coloring = core::strong_coloring(h, copt);
+    const double color_ms = tc.millis();
+    if (!coloring.success || !core::is_strong_coloring(h, coloring.color)) {
+      fail("strong coloring failed on a corpus instance");
+    }
+    // Row key: instance stem without the .hgb2 suffix.
+    std::string stem = name;
+    if (const auto dot = stem.rfind(".hgb2"); dot != std::string::npos) {
+      stem.resize(dot);
+    }
+    std::printf("%16s %8zu %8zu %5zu %10.3f %8d %12.3f\n", stem.c_str(),
+                h.num_vertices(), h.num_edges(), h.dimension(), load_ms,
+                coloring.num_colors, color_ms);
+  }
+  bench::print_footer("load:corpus");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = hmis::bench::quick_mode();
+  char tmpl[] = "/tmp/hmis_bench_load.XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) fail("mkdtemp failed");
+  const std::string dir = tmpl;
+
+  // Primary instance: match the largest corpus instance's shape so the
+  // load:format numbers and the acceptance criterion line up; HGB1's
+  // per-edge streamed read pays sort+validate+insert per edge while the
+  // mapped load is one mmap plus a linear validation scan.
+  const Hypergraph g = hmis::bench::bench_graph([&] {
+    const std::size_t n = quick ? 10000 : 40000;
+    return hmis::gen::uniform_random(n, 2 * n, 3, 902);
+  });
+  run_format_table(dir, g);
+  run_solve_table(dir, g);
+  run_corpus_table();
+
+  for (const char* f : {"/g.hg", "/g.hgb1", "/g.hgb2"}) {
+    std::remove((dir + f).c_str());
+  }
+  ::rmdir(dir.c_str());
+  return hmis::bench::finish(argc, argv);
+}

@@ -190,8 +190,9 @@ void run_scaling_table() {
   const bool quick = hmis::bench::quick_mode();
   const std::size_t n = quick ? 8000 : 40000;
   const std::size_t m = quick ? 20000 : 100000;
-  const Hypergraph h = gen::mixed_arity(n, m, 2, 6, 71);
-  const std::size_t batch = n / 100;
+  const Hypergraph h =
+      hmis::bench::bench_graph([&] { return gen::mixed_arity(n, m, 2, 6, 71); });
+  const std::size_t batch = std::max<std::size_t>(1, h.num_vertices() / 100);
   const auto batches =
       shuffled_red_batches(h, batch, quick ? 8 : 16, 2026);
 

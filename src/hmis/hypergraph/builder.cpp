@@ -87,35 +87,36 @@ Hypergraph HypergraphBuilder::build() {
 
   Hypergraph h;
   h.n_ = n_;
-  h.edge_offsets_.assign(1, 0);
-  h.edge_offsets_.reserve(edges.size() + 1);
+  h.own_edge_offsets_.assign(1, 0);
+  h.own_edge_offsets_.reserve(edges.size() + 1);
   std::size_t total = 0;
   for (const auto& e : edges) total += e.size();
-  h.edge_vertices_.reserve(total);
+  h.own_edge_vertices_.reserve(total);
   h.dimension_ = 0;
   h.min_edge_size_ = edges.empty() ? 0 : SIZE_MAX;
   for (const auto& e : edges) {
-    h.edge_vertices_.insert(h.edge_vertices_.end(), e.begin(), e.end());
-    h.edge_offsets_.push_back(h.edge_vertices_.size());
+    h.own_edge_vertices_.insert(h.own_edge_vertices_.end(), e.begin(), e.end());
+    h.own_edge_offsets_.push_back(h.own_edge_vertices_.size());
     h.dimension_ = std::max(h.dimension_, e.size());
     h.min_edge_size_ = std::min(h.min_edge_size_, e.size());
   }
   if (edges.empty()) h.min_edge_size_ = 0;
 
   // Vertex -> incident edge CSR (counting sort over edge memberships).
-  h.vertex_offsets_.assign(n_ + 1, 0);
-  for (const VertexId v : h.edge_vertices_) ++h.vertex_offsets_[v + 1];
+  h.own_vertex_offsets_.assign(n_ + 1, 0);
+  for (const VertexId v : h.own_edge_vertices_) ++h.own_vertex_offsets_[v + 1];
   for (std::size_t v = 0; v < n_; ++v) {
-    h.vertex_offsets_[v + 1] += h.vertex_offsets_[v];
+    h.own_vertex_offsets_[v + 1] += h.own_vertex_offsets_[v];
   }
-  h.vertex_edges_.resize(h.edge_vertices_.size());
-  std::vector<std::size_t> cursor(h.vertex_offsets_.begin(),
-                                  h.vertex_offsets_.end() - 1);
+  h.own_vertex_edges_.resize(h.own_edge_vertices_.size());
+  std::vector<std::size_t> cursor(h.own_vertex_offsets_.begin(),
+                                  h.own_vertex_offsets_.end() - 1);
   for (EdgeId e = 0; e < edges.size(); ++e) {
     for (const VertexId v : edges[e]) {
-      h.vertex_edges_[cursor[v]++] = e;
+      h.own_vertex_edges_[cursor[v]++] = e;
     }
   }
+  h.rebind_owned_();
   return h;
 }
 

@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "hmis/hypergraph/builder.hpp"
+#include "hmis/par/parallel_for.hpp"
+#include "hmis/par/sort.hpp"
 #include "hmis/util/check.hpp"
 #include "hmis/util/math.hpp"
 #include "hmis/util/rng.hpp"
@@ -19,6 +21,125 @@ std::uint64_t edge_key(const VertexList& e) {
     h = util::mix64(h ^ util::splitmix64(v + 0x2545f4914f6cdd1dULL));
   }
   return h;
+}
+
+/// Uniform integer in [0, bound) from a counter draw (scaled multiply; the
+/// 2^-64-scale bias is irrelevant for instance generation and keeps the
+/// draw a pure function of its coordinates).
+std::uint64_t counter_below(const util::CounterRng& rng, std::uint64_t stream,
+                            std::uint64_t counter,
+                            std::uint64_t bound) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(rng.bits(stream, counter)) * bound) >>
+      64);
+}
+
+// Counter-RNG draw streams used by the samplers below.  Floyd's loop
+// indexes stream 0 by j, so the other draws live on their own streams.
+constexpr std::uint64_t kStreamFloyd = 0;
+constexpr std::uint64_t kStreamArity = 1;
+constexpr std::uint64_t kStreamRedirect = 2;
+
+/// Floyd's distinct-subset sample of [0, n), sorted, driven entirely by
+/// counter draws: the subset is a pure function of (rng seed, n, arity).
+void counter_sample_subset(std::size_t n, std::size_t arity,
+                           const util::CounterRng& rng, VertexList& e) {
+  e.clear();
+  e.reserve(arity);
+  for (std::size_t j = n - arity; j < n; ++j) {
+    const auto t =
+        static_cast<VertexId>(counter_below(rng, kStreamFloyd, j, j + 1));
+    if (std::find(e.begin(), e.end(), t) == e.end()) {
+      e.push_back(t);
+    } else {
+      e.push_back(static_cast<VertexId>(j));
+    }
+  }
+  std::sort(e.begin(), e.end());
+}
+
+/// Parallel distinct-edge engine shared by the sampling families.
+///
+/// Candidate slots are numbered globally; slot s samples from the
+/// independent counter-RNG stream root.child(s), so every candidate is a
+/// pure function of (seed, s).  Each round draws a batch of slots with
+/// parallel_for, sorts (key, slot) to find batch-internal duplicates
+/// (lowest slot wins, matching serial first-insertion-wins), drops keys
+/// already accepted in earlier rounds, then accepts survivors in slot
+/// order until m edges exist.  Nothing depends on thread count or
+/// evaluation order, so the generated graph is bit-identical for any pool.
+///
+/// `sample(rng, out)` fills one candidate; returning false discards the
+/// slot (e.g. planted_mis redirects that collapse below arity 2).
+template <typename SampleFn>
+Hypergraph sample_distinct_edges(std::size_t n, std::size_t m,
+                                 std::uint64_t seed, par::ThreadPool* pool,
+                                 const char* saturated_msg,
+                                 SampleFn&& sample) {
+  const util::CounterRng root(seed);
+  HypergraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<VertexList> cand;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint8_t> valid;
+  std::vector<std::uint8_t> take;
+  std::size_t made = 0;
+  std::uint64_t next_slot = 0;
+  // Same attempt budget as the serial rejection samplers had.
+  const std::uint64_t max_slots = 50 * static_cast<std::uint64_t>(m) + 1000;
+  while (made < m && next_slot < max_slots) {
+    const std::size_t want = m - made;
+    const auto batch = static_cast<std::size_t>(std::min<std::uint64_t>(
+        want + want / 4 + 32, max_slots - next_slot));
+    if (cand.size() < batch) cand.resize(batch);
+    keys.resize(batch);
+    valid.assign(batch, 0);
+    take.assign(batch, 0);
+    par::parallel_for(
+        0, batch,
+        [&](std::size_t i) {
+          const util::CounterRng rng = root.child(next_slot + i);
+          valid[i] = sample(rng, cand[i]) ? 1 : 0;
+          keys[i] = valid[i] ? edge_key(cand[i]) : 0;
+        },
+        nullptr, pool);
+    order.resize(batch);
+    par::parallel_for(
+        0, batch,
+        [&](std::size_t i) { order[i] = static_cast<std::uint32_t>(i); },
+        nullptr, pool);
+    par::parallel_sort(
+        order,
+        [&](std::uint32_t a, std::uint32_t c) {
+          return keys[a] != keys[c] ? keys[a] < keys[c] : a < c;
+        },
+        nullptr, pool);
+    // `seen` is only read this pass (inserts happen in the serial accept
+    // loop below), so concurrent lookups are safe.
+    par::parallel_for(
+        0, batch,
+        [&](std::size_t i) {
+          const std::uint32_t s = order[i];
+          if (!valid[s]) return;
+          if (i > 0 && valid[order[i - 1]] && keys[order[i - 1]] == keys[s]) {
+            return;  // batch-internal duplicate; the lowest slot survives
+          }
+          if (seen.contains(keys[s])) return;
+          take[s] = 1;
+        },
+        nullptr, pool);
+    for (std::size_t i = 0; i < batch && made < m; ++i) {
+      if (!take[i]) continue;
+      seen.insert(keys[i]);
+      b.add_edge(std::span<const VertexId>(cand[i].data(), cand[i].size()));
+      ++made;
+    }
+    next_slot += batch;
+  }
+  HMIS_CHECK(made == m, saturated_msg);
+  return b.build();
 }
 
 /// Sample a sorted arity-subset of [0, n) without replacement.
@@ -42,54 +163,34 @@ VertexList sample_subset(std::size_t n, std::size_t arity,
 }  // namespace
 
 Hypergraph uniform_random(std::size_t n, std::size_t m, std::size_t arity,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, par::ThreadPool* pool) {
   HMIS_CHECK(arity >= 1 && arity <= n, "uniform_random: bad arity");
   const double space = util::binomial(static_cast<unsigned>(std::min<std::size_t>(n, 4096)),
                                       static_cast<unsigned>(std::min(arity, std::size_t{4096})));
   HMIS_CHECK(n > 4096 || static_cast<double>(m) <= space,
              "uniform_random: more edges requested than distinct subsets");
-  util::Xoshiro256ss rng(seed);
-  HypergraphBuilder b(n);
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(m * 2);
-  std::size_t made = 0;
-  std::size_t attempts = 0;
-  const std::size_t max_attempts = 50 * m + 1000;
-  while (made < m && attempts < max_attempts) {
-    ++attempts;
-    VertexList e = sample_subset(n, arity, rng);
-    if (seen.insert(edge_key(e)).second) {
-      b.add_edge(std::span<const VertexId>(e.data(), e.size()));
-      ++made;
-    }
-  }
-  HMIS_CHECK(made == m, "uniform_random: rejection sampling saturated");
-  return b.build();
+  return sample_distinct_edges(
+      n, m, seed, pool, "uniform_random: rejection sampling saturated",
+      [n, arity](const util::CounterRng& rng, VertexList& e) {
+        counter_sample_subset(n, arity, rng, e);
+        return true;
+      });
 }
 
 Hypergraph mixed_arity(std::size_t n, std::size_t m, std::size_t min_arity,
-                       std::size_t max_arity, std::uint64_t seed) {
+                       std::size_t max_arity, std::uint64_t seed,
+                       par::ThreadPool* pool) {
   HMIS_CHECK(min_arity >= 1 && min_arity <= max_arity && max_arity <= n,
              "mixed_arity: bad arity range");
-  util::Xoshiro256ss rng(seed);
-  HypergraphBuilder b(n);
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(m * 2);
-  std::size_t made = 0;
-  std::size_t attempts = 0;
-  const std::size_t max_attempts = 50 * m + 1000;
-  while (made < m && attempts < max_attempts) {
-    ++attempts;
-    const std::size_t arity =
-        min_arity + rng.below(max_arity - min_arity + 1);
-    VertexList e = sample_subset(n, arity, rng);
-    if (seen.insert(edge_key(e)).second) {
-      b.add_edge(std::span<const VertexId>(e.data(), e.size()));
-      ++made;
-    }
-  }
-  HMIS_CHECK(made == m, "mixed_arity: rejection sampling saturated");
-  return b.build();
+  return sample_distinct_edges(
+      n, m, seed, pool, "mixed_arity: rejection sampling saturated",
+      [n, min_arity, max_arity](const util::CounterRng& rng, VertexList& e) {
+        const std::size_t arity =
+            min_arity +
+            counter_below(rng, kStreamArity, 0, max_arity - min_arity + 1);
+        counter_sample_subset(n, arity, rng, e);
+        return true;
+      });
 }
 
 Hypergraph linear_random(std::size_t n, std::size_t m, std::size_t arity,
@@ -130,44 +231,37 @@ Hypergraph linear_random(std::size_t n, std::size_t m, std::size_t arity,
 }
 
 Hypergraph planted_mis(std::size_t n, std::size_t m, std::size_t arity,
-                       double fraction, std::uint64_t seed) {
+                       double fraction, std::uint64_t seed,
+                       par::ThreadPool* pool) {
   HMIS_CHECK(arity >= 2 && arity <= n, "planted_mis: bad arity");
   HMIS_CHECK(fraction > 0.0 && fraction < 1.0, "planted_mis: bad fraction");
   const auto planted = static_cast<std::size_t>(fraction * static_cast<double>(n));
   HMIS_CHECK(planted < n, "planted_mis: planted set too large");
   // Vertices [0, planted) form the planted independent set; every edge gets
   // at least one vertex from [planted, n).
-  util::Xoshiro256ss rng(seed);
-  HypergraphBuilder b(n);
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(m * 2);
-  std::size_t made = 0;
-  std::size_t attempts = 0;
-  const std::size_t max_attempts = 50 * m + 1000;
-  while (made < m && attempts < max_attempts) {
-    ++attempts;
-    VertexList e = sample_subset(n, arity, rng);
-    const bool touches_outside = std::any_of(
-        e.begin(), e.end(), [&](VertexId v) { return v >= planted; });
-    if (!touches_outside) {
-      // Redirect one member outside the planted set.
-      e[rng.below(e.size())] = static_cast<VertexId>(
-          planted + rng.below(n - planted));
-      std::sort(e.begin(), e.end());
-      e.erase(std::unique(e.begin(), e.end()), e.end());
-      if (e.size() < 2) continue;
-    }
-    if (seen.insert(edge_key(e)).second) {
-      b.add_edge(std::span<const VertexId>(e.data(), e.size()));
-      ++made;
-    }
-  }
-  HMIS_CHECK(made == m, "planted_mis: rejection sampling saturated");
-  return b.build();
+  return sample_distinct_edges(
+      n, m, seed, pool, "planted_mis: rejection sampling saturated",
+      [n, arity, planted](const util::CounterRng& rng, VertexList& e) {
+        counter_sample_subset(n, arity, rng, e);
+        const bool touches_outside = std::any_of(
+            e.begin(), e.end(), [&](VertexId v) { return v >= planted; });
+        if (!touches_outside) {
+          // Redirect one member outside the planted set.
+          e[counter_below(rng, kStreamRedirect, 0, e.size())] =
+              static_cast<VertexId>(
+                  planted + counter_below(rng, kStreamRedirect, 1,
+                                          n - planted));
+          std::sort(e.begin(), e.end());
+          e.erase(std::unique(e.begin(), e.end()), e.end());
+          if (e.size() < 2) return false;
+        }
+        return true;
+      });
 }
 
-Hypergraph random_graph(std::size_t n, std::size_t m, std::uint64_t seed) {
-  return uniform_random(n, m, 2, seed);
+Hypergraph random_graph(std::size_t n, std::size_t m, std::uint64_t seed,
+                        par::ThreadPool* pool) {
+  return uniform_random(n, m, 2, seed, pool);
 }
 
 Hypergraph interval(std::size_t n, std::size_t window, std::size_t stride) {
@@ -239,7 +333,7 @@ Hypergraph bounded_degree(std::size_t n, std::size_t m, std::size_t arity,
 }
 
 Hypergraph sbl_regime(std::size_t n, double beta, std::size_t max_arity,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, par::ThreadPool* pool) {
   const double nm = std::pow(static_cast<double>(n), beta);
   const auto m = static_cast<std::size_t>(std::max(1.0, nm));
   if (max_arity == 0) {
@@ -248,7 +342,7 @@ Hypergraph sbl_regime(std::size_t n, double beta, std::size_t max_arity,
     max_arity = std::max<std::size_t>(3, util::floor_log2(n));
   }
   max_arity = std::min(max_arity, n);
-  return mixed_arity(n, m, 2, max_arity, seed);
+  return mixed_arity(n, m, 2, max_arity, seed, pool);
 }
 
 }  // namespace hmis::gen

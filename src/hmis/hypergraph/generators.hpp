@@ -5,25 +5,38 @@
 // hypergraphs (Beame–Luby / Kelsen regime), linear hypergraphs
 // (Łuczak–Szymańska regime), bounded-edge-count general hypergraphs
 // (m <= n^β, the SBL regime), plus adversarial shapes for the baselines.
-// All generators are deterministic in (parameters, seed).
+//
+// All generators are deterministic in (parameters, seed).  The sampling
+// families (uniform_random, mixed_arity, planted_mis and their wrappers)
+// run on the work-stealing scheduler: candidate edges are drawn from
+// per-slot counter-RNG streams and deduped with a deterministic
+// lowest-slot-wins rule, so the generated graph is bit-identical for any
+// thread count (the same determinism contract as every parallel kernel).
+// The greedy families (linear_random, bounded_degree) are inherently
+// sequential acceptance processes and stay serial.
 #pragma once
 
 #include <cstdint>
 
 #include "hmis/hypergraph/hypergraph.hpp"
 
+namespace hmis::par {
+class ThreadPool;
+}
+
 namespace hmis::gen {
 
 /// m distinct edges, each a uniform random arity-subset of [0, n).
 /// Requires arity >= 1 and feasibility (enough distinct subsets).
 [[nodiscard]] Hypergraph uniform_random(std::size_t n, std::size_t m,
-                                        std::size_t arity, std::uint64_t seed);
+                                        std::size_t arity, std::uint64_t seed,
+                                        par::ThreadPool* pool = nullptr);
 
 /// m distinct edges with sizes uniform in [min_arity, max_arity].
 [[nodiscard]] Hypergraph mixed_arity(std::size_t n, std::size_t m,
                                      std::size_t min_arity,
-                                     std::size_t max_arity,
-                                     std::uint64_t seed);
+                                     std::size_t max_arity, std::uint64_t seed,
+                                     par::ThreadPool* pool = nullptr);
 
 /// Linear hypergraph (|e ∩ e'| <= 1): random arity-subsets accepted greedily
 /// while they share at most one vertex with every accepted edge (partial
@@ -37,11 +50,13 @@ namespace hmis::gen {
 /// S.  Useful for MIS-quality experiments with a known large IS.
 [[nodiscard]] Hypergraph planted_mis(std::size_t n, std::size_t m,
                                      std::size_t arity, double fraction,
-                                     std::uint64_t seed);
+                                     std::uint64_t seed,
+                                     par::ThreadPool* pool = nullptr);
 
 /// Ordinary random graph (arity 2) — the classic Luby setting.
 [[nodiscard]] Hypergraph random_graph(std::size_t n, std::size_t m,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      par::ThreadPool* pool = nullptr);
 
 /// Sliding-window interval hypergraph: edges {i, i+1, ..., i+window-1} for
 /// i = 0, stride, 2*stride, ...  Highly structured / overlapping.
@@ -67,7 +82,8 @@ namespace hmis::gen {
 /// the instance family Theorem 1 addresses: unbounded dimension, bounded
 /// edge count.
 [[nodiscard]] Hypergraph sbl_regime(std::size_t n, double beta,
-                                    std::size_t max_arity, std::uint64_t seed);
+                                    std::size_t max_arity, std::uint64_t seed,
+                                    par::ThreadPool* pool = nullptr);
 
 /// d-uniform random hypergraph with every vertex degree <= max_degree.
 /// Since BL's probability is p = 1/(2^{d+1}Δ(H)) and the dominant term of

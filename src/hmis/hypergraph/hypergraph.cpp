@@ -1,8 +1,73 @@
 #include "hmis/hypergraph/hypergraph.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace hmis {
+
+Hypergraph::Hypergraph(const Hypergraph& other)
+    : n_(other.n_),
+      own_edge_offsets_(other.own_edge_offsets_),
+      own_edge_vertices_(other.own_edge_vertices_),
+      own_vertex_offsets_(other.own_vertex_offsets_),
+      own_vertex_edges_(other.own_vertex_edges_),
+      keepalive_(other.keepalive_),
+      edge_offsets_(other.edge_offsets_),
+      edge_vertices_(other.edge_vertices_),
+      vertex_offsets_(other.vertex_offsets_),
+      vertex_edges_(other.vertex_edges_),
+      dimension_(other.dimension_),
+      min_edge_size_(other.min_edge_size_) {
+  // Borrowed spans stay valid (they point into the shared buffer); owned
+  // spans must follow the freshly copied vectors.
+  if (keepalive_ == nullptr) rebind_owned_();
+}
+
+Hypergraph& Hypergraph::operator=(const Hypergraph& other) {
+  if (this != &other) {
+    Hypergraph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Hypergraph::Hypergraph(Hypergraph&& other) noexcept
+    : n_(std::exchange(other.n_, 0)),
+      own_edge_offsets_(std::move(other.own_edge_offsets_)),
+      own_edge_vertices_(std::move(other.own_edge_vertices_)),
+      own_vertex_offsets_(std::move(other.own_vertex_offsets_)),
+      own_vertex_edges_(std::move(other.own_vertex_edges_)),
+      keepalive_(std::move(other.keepalive_)),
+      edge_offsets_(other.edge_offsets_),
+      edge_vertices_(other.edge_vertices_),
+      vertex_offsets_(other.vertex_offsets_),
+      vertex_edges_(other.vertex_edges_),
+      dimension_(std::exchange(other.dimension_, 0)),
+      min_edge_size_(std::exchange(other.min_edge_size_, 0)) {
+  // Vector move preserves heap buffers, so owned spans copied above still
+  // point at storage now owned by *this.  The moved-from object re-binds to
+  // its own (now empty) vectors: valid, empty, allocation-free.
+  other.rebind_owned_();
+}
+
+Hypergraph& Hypergraph::operator=(Hypergraph&& other) noexcept {
+  if (this != &other) {
+    n_ = std::exchange(other.n_, 0);
+    own_edge_offsets_ = std::move(other.own_edge_offsets_);
+    own_edge_vertices_ = std::move(other.own_edge_vertices_);
+    own_vertex_offsets_ = std::move(other.own_vertex_offsets_);
+    own_vertex_edges_ = std::move(other.own_vertex_edges_);
+    keepalive_ = std::move(other.keepalive_);
+    edge_offsets_ = other.edge_offsets_;
+    edge_vertices_ = other.edge_vertices_;
+    vertex_offsets_ = other.vertex_offsets_;
+    vertex_edges_ = other.vertex_edges_;
+    dimension_ = std::exchange(other.dimension_, 0);
+    min_edge_size_ = std::exchange(other.min_edge_size_, 0);
+    other.rebind_owned_();
+  }
+  return *this;
+}
 
 bool Hypergraph::edge_contains(EdgeId e, VertexId v) const noexcept {
   const auto verts = edge(e);

@@ -5,9 +5,22 @@
 // vertex -> incident edges, so algorithms can iterate either way without
 // rebuilding.  Construction goes through HypergraphBuilder, which sorts,
 // dedupes and validates.
+//
+// Storage comes in two flavours behind one type (DESIGN.md §11):
+//
+//  * owned    — the four CSR arrays live in member vectors (builder output,
+//               streamed loads, induced subgraphs).
+//  * borrowed — the arrays are read-only views into an externally owned
+//               buffer (an mmap'ed HGB2 file or an adopted wire frame),
+//               kept alive by `keepalive_`.  Nothing is copied: a mapped
+//               load is header validation plus pointer fixup.
+//
+// All accessors read through spans, so algorithms never see the
+// difference; copying a borrowed graph shares the backing buffer.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,9 +31,18 @@ namespace hmis {
 class HypergraphBuilder;
 class MutableHypergraph;
 
+namespace detail {
+struct CsrAccess;
+}
+
 class Hypergraph {
  public:
-  Hypergraph() = default;
+  Hypergraph() { rebind_owned_(); }
+  Hypergraph(const Hypergraph& other);
+  Hypergraph& operator=(const Hypergraph& other);
+  Hypergraph(Hypergraph&& other) noexcept;
+  Hypergraph& operator=(Hypergraph&& other) noexcept;
+  ~Hypergraph() = default;
 
   [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
   [[nodiscard]] std::size_t num_edges() const noexcept {
@@ -57,6 +79,26 @@ class Hypergraph {
     return edge_vertices_.size();
   }
 
+  /// True when the CSR arrays are views into an externally owned buffer
+  /// (mmap'ed file / adopted frame) instead of member vectors.
+  [[nodiscard]] bool is_mapped() const noexcept { return keepalive_ != nullptr; }
+
+  // Raw CSR views (serializers, digests).  edge_offsets has num_edges()+1
+  // entries, vertex_offsets num_vertices()+1; the two id arrays both have
+  // total_edge_size() entries.
+  [[nodiscard]] std::span<const std::size_t> edge_offsets() const noexcept {
+    return edge_offsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> edge_vertices() const noexcept {
+    return edge_vertices_;
+  }
+  [[nodiscard]] std::span<const std::size_t> vertex_offsets() const noexcept {
+    return vertex_offsets_;
+  }
+  [[nodiscard]] std::span<const EdgeId> vertex_edges() const noexcept {
+    return vertex_edges_;
+  }
+
   /// True if v appears in edge e (binary search).
   [[nodiscard]] bool edge_contains(EdgeId e, VertexId v) const noexcept;
 
@@ -70,12 +112,34 @@ class Hypergraph {
   // invariants (sorted duplicate-free edges, deduped edge set, ascending
   // incidence lists).
   friend class MutableHypergraph;
+  // io.cpp's adoption hook: the HGB2 loaders construct graphs directly from
+  // validated CSR arrays (owned or borrowed) without the builder.
+  friend struct detail::CsrAccess;
+
+  /// Point the view spans at the member vectors (owned storage).  Called
+  /// after every owned-storage (re)assembly; borrowed graphs never do —
+  /// their spans were fixed at adoption and the vectors stay empty.
+  void rebind_owned_() noexcept {
+    edge_offsets_ = {own_edge_offsets_.data(), own_edge_offsets_.size()};
+    edge_vertices_ = {own_edge_vertices_.data(), own_edge_vertices_.size()};
+    vertex_offsets_ = {own_vertex_offsets_.data(), own_vertex_offsets_.size()};
+    vertex_edges_ = {own_vertex_edges_.data(), own_vertex_edges_.size()};
+  }
 
   std::size_t n_ = 0;
-  std::vector<std::size_t> edge_offsets_{0};
-  std::vector<VertexId> edge_vertices_;
-  std::vector<std::size_t> vertex_offsets_;
-  std::vector<EdgeId> vertex_edges_;
+  // Owned storage (empty in borrowed mode).
+  std::vector<std::size_t> own_edge_offsets_{0};
+  std::vector<VertexId> own_edge_vertices_;
+  std::vector<std::size_t> own_vertex_offsets_;
+  std::vector<EdgeId> own_vertex_edges_;
+  // Borrowed-mode backing buffer (null in owned mode).  Shared so copies of
+  // a mapped graph share one mapping.
+  std::shared_ptr<const void> keepalive_;
+  // The views every accessor reads through.
+  std::span<const std::size_t> edge_offsets_;
+  std::span<const VertexId> edge_vertices_;
+  std::span<const std::size_t> vertex_offsets_;
+  std::span<const EdgeId> vertex_edges_;
   std::size_t dimension_ = 0;
   std::size_t min_edge_size_ = 0;
 };

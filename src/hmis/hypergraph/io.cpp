@@ -1,12 +1,18 @@
 #include "hmis/hypergraph/io.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "hmis/hypergraph/builder.hpp"
 #include "hmis/util/check.hpp"
+#include "hmis/util/mmap_file.hpp"
+#include "hmis/util/rng.hpp"
 
 namespace hmis {
 
@@ -86,7 +92,7 @@ void save_hypergraph(const std::string& path, const Hypergraph& h) {
   HMIS_CHECK(os.good(), "write failed: " + path);
 }
 
-Hypergraph load_hypergraph(const std::string& path) {
+Hypergraph load_hypergraph_text(const std::string& path) {
   std::ifstream is(path);
   HMIS_CHECK(is.good(), "cannot open file for reading: " + path);
   return read_hypergraph(is);
@@ -218,6 +224,503 @@ Hypergraph load_hypergraph_binary(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   HMIS_CHECK(is.good(), "cannot open file for reading: " + path);
   return read_hypergraph_binary(is);
+}
+
+// ---------------------------------------------------------------------------
+// HGB2: mmap-able CSR snapshot (layout in io.hpp, argument in DESIGN.md §11).
+
+namespace detail {
+
+// The loaders' construction hook: build a Hypergraph directly from
+// validated CSR arrays, bypassing the builder.  Only io.cpp constructs
+// these, and only after hgb2_check_csr has accepted the arrays.
+struct CsrAccess {
+  static Hypergraph adopt(std::shared_ptr<const void> keepalive,
+                          std::span<const std::size_t> eo,
+                          std::span<const VertexId> ev,
+                          std::span<const std::size_t> vo,
+                          std::span<const EdgeId> ve, std::size_t n,
+                          std::size_t dim, std::size_t min_sz) {
+    Hypergraph h;
+    h.n_ = n;
+    h.keepalive_ = std::move(keepalive);
+    h.edge_offsets_ = eo;
+    h.edge_vertices_ = ev;
+    h.vertex_offsets_ = vo;
+    h.vertex_edges_ = ve;
+    h.dimension_ = dim;
+    h.min_edge_size_ = min_sz;
+    return h;
+  }
+
+  static Hypergraph own(std::vector<std::size_t> eo, std::vector<VertexId> ev,
+                        std::vector<std::size_t> vo, std::vector<EdgeId> ve,
+                        std::size_t n, std::size_t dim, std::size_t min_sz) {
+    Hypergraph h;
+    h.n_ = n;
+    h.own_edge_offsets_ = std::move(eo);
+    h.own_edge_vertices_ = std::move(ev);
+    h.own_vertex_offsets_ = std::move(vo);
+    h.own_vertex_edges_ = std::move(ve);
+    h.dimension_ = dim;
+    h.min_edge_size_ = min_sz;
+    h.rebind_owned_();
+    return h;
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+constexpr char kHgb2Magic[4] = {'H', 'G', 'B', '2'};
+constexpr std::uint32_t kHgb2Version = 1;
+constexpr std::uint64_t kHgb2HeaderBytes = 144;
+constexpr std::uint64_t kHgb2SectionAlign = 64;
+constexpr std::uint64_t kHgb2FirstSection = 192;  // header rounded up to 64
+
+/// True when the section bytes can be reinterpreted as the in-memory
+/// arrays: on-disk values are u64/u32 little-endian, exactly the native
+/// layout of std::size_t / VertexId on a 64-bit little-endian build.
+constexpr bool kHgb2NativeLayout =
+    std::endian::native == std::endian::little && sizeof(std::size_t) == 8;
+
+/// Little-endian scalar loads.  memcpy compiles to one unaligned load on
+/// little-endian targets (the byteswap is only emitted on big-endian
+/// hardware); a byte-by-byte shift-or loop would make the checksum scan —
+/// the mapped loader's hottest loop — byte-bound instead of word-bound.
+std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t x;
+  std::memcpy(&x, p, 8);
+  if constexpr (std::endian::native == std::endian::big) {
+    x = __builtin_bswap64(x);
+  }
+  return x;
+}
+
+std::uint32_t load_le32(const unsigned char* p) {
+  std::uint32_t x;
+  std::memcpy(&x, p, 4);
+  if constexpr (std::endian::native == std::endian::big) {
+    x = __builtin_bswap32(x);
+  }
+  return x;
+}
+
+/// Section checksum over the little-endian byte image in 4-byte words
+/// (zero-padded tail).  Sixteen interleaved xor-multiply u32 lanes (word i
+/// feeds lane i % 16) folded through mix64 at the end, seeded with the
+/// section length so a truncation can't collide with its own prefix.  The
+/// lane structure is deliberate: the mapped loader checksums the whole
+/// file, and a serial mix64 chain is latency-bound while 16 independent
+/// u32 xor-multiply lanes autovectorize (u32 multiplies exist in SSE/AVX;
+/// u64 multiplies don't), making verification memory-bound instead.
+std::uint64_t hgb2_checksum(const unsigned char* p, std::uint64_t len) {
+  constexpr std::uint32_t kMul = 0x9e3779b1u;  // golden-ratio prime (odd)
+  std::uint32_t lane[16];
+  for (int k = 0; k < 16; ++k) {
+    lane[k] = static_cast<std::uint32_t>(
+        util::mix64(len ^ (0x4847423243534d31ULL + std::uint64_t(k))));
+  }
+  std::uint64_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    for (int k = 0; k < 16; ++k) {
+      lane[k] = (lane[k] ^ load_le32(p + i + 4 * std::uint64_t(k))) * kMul;
+    }
+  }
+  for (int k = 0; i < len; i += 4, ++k) {
+    std::uint32_t w = 0;
+    const std::uint64_t take = std::min<std::uint64_t>(4, len - i);
+    for (std::uint64_t j = 0; j < take; ++j) {
+      w |= std::uint32_t{p[i + j]} << (8 * j);
+    }
+    lane[k] = (lane[k] ^ w) * kMul;
+  }
+  std::uint64_t h = util::mix64(len ^ 0x4847423243534d31ULL);
+  for (int k = 0; k < 16; k += 2) {
+    h = util::mix64(h ^ (std::uint64_t{lane[k]} << 32 | lane[k + 1]));
+  }
+  return h;
+}
+
+struct Hgb2Section {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct Hgb2View {
+  const unsigned char* base = nullptr;
+  std::uint64_t n = 0, m = 0, dimension = 0, min_edge_size = 0, total = 0;
+  Hgb2Section sec[4];  // edge_offsets, edge_vertices, vertex_offsets,
+                       // vertex_edges
+  [[nodiscard]] const unsigned char* data(int i) const {
+    return base + sec[i].offset;
+  }
+};
+
+/// Structural validation of an untrusted HGB2 image: magic/version, header
+/// counts within id ranges, section table consistent with the counts,
+/// sections 64-byte aligned, monotone, non-overlapping and inside the
+/// file, checksums intact.  Pure reads — nothing is allocated, so hostile
+/// input is rejected before the loader commits any resources.
+Hgb2View hgb2_validate(const unsigned char* data, std::size_t size) {
+  HMIS_CHECK(size >= kHgb2HeaderBytes, "HGB2 image shorter than its header");
+  HMIS_CHECK(std::equal(data, data + 4,
+                        reinterpret_cast<const unsigned char*>(kHgb2Magic)),
+             "bad HGB2 magic");
+  HMIS_CHECK(load_le32(data + 4) == kHgb2Version, "unsupported HGB2 version");
+  Hgb2View v;
+  v.base = data;
+  v.n = load_le64(data + 8);
+  v.m = load_le64(data + 16);
+  v.dimension = load_le64(data + 24);
+  v.min_edge_size = load_le64(data + 32);
+  v.total = load_le64(data + 40);
+  HMIS_CHECK(v.n <= kMaxVertices, "header vertex count exceeds VertexId range");
+  HMIS_CHECK(v.m <= 0xFFFFFFFFull, "header edge count exceeds EdgeId range");
+  // Every edge-vertex entry costs 4 bytes on disk, so a total the file
+  // cannot hold is garbage; capping it here also makes the section-size
+  // arithmetic below overflow-free (n and m are already capped at 2^32).
+  HMIS_CHECK(v.total <= size / 4,
+             "declared total edge size exceeds file size");
+  const std::uint64_t want[4] = {(v.m + 1) * 8, v.total * 4, (v.n + 1) * 8,
+                                 v.total * 4};
+  std::uint64_t prev_end = kHgb2HeaderBytes;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned char* row = data + 48 + 24 * i;
+    v.sec[i].offset = load_le64(row);
+    v.sec[i].bytes = load_le64(row + 8);
+    v.sec[i].checksum = load_le64(row + 16);
+    HMIS_CHECK(v.sec[i].offset % kHgb2SectionAlign == 0,
+               "HGB2 section offset not 64-byte aligned");
+    HMIS_CHECK(v.sec[i].bytes == want[i],
+               "HGB2 section size disagrees with header counts");
+    HMIS_CHECK(v.sec[i].offset >= prev_end,
+               "HGB2 sections overlap or are out of order");
+    HMIS_CHECK(v.sec[i].offset <= size &&
+                   size - v.sec[i].offset >= v.sec[i].bytes,
+               "HGB2 section extends past end of file");
+    prev_end = v.sec[i].offset + v.sec[i].bytes;
+  }
+  for (int i = 0; i < 4; ++i) {
+    HMIS_CHECK(hgb2_checksum(v.data(i), v.sec[i].bytes) == v.sec[i].checksum,
+               "HGB2 section checksum mismatch");
+  }
+  return v;
+}
+
+/// Precise (per-element, branchy) form of the semantic CSR validation —
+/// the slow path that names the exact violation.  Only entered after the
+/// accumulating fast pass below already found the data bad.
+void hgb2_check_csr_slow(std::span<const std::size_t> eo,
+                         std::span<const VertexId> ev,
+                         std::span<const std::size_t> vo,
+                         std::span<const EdgeId> ve, const Hgb2View& v) {
+  const std::size_t m = v.m;
+  const std::size_t n = v.n;
+  const std::size_t total = v.total;
+  HMIS_CHECK(eo[0] == 0, "HGB2 edge_offsets must start at 0");
+  std::size_t dim = 0;
+  std::size_t min_sz = m == 0 ? 0 : SIZE_MAX;
+  for (std::size_t e = 0; e < m; ++e) {
+    HMIS_CHECK(eo[e] < eo[e + 1],
+               "HGB2 edge_offsets not strictly increasing (empty edge?)");
+    const std::size_t sz = eo[e + 1] - eo[e];
+    dim = std::max(dim, sz);
+    min_sz = std::min(min_sz, sz);
+  }
+  HMIS_CHECK(eo[m] == total,
+             "HGB2 edge_offsets end disagrees with total edge size");
+  HMIS_CHECK(dim == v.dimension && min_sz == v.min_edge_size,
+             "HGB2 header dimension/min edge size disagree with edge data");
+  for (std::size_t e = 0; e < m; ++e) {
+    for (std::size_t i = eo[e]; i < eo[e + 1]; ++i) {
+      HMIS_CHECK(ev[i] < n, "HGB2 edge references vertex out of range");
+      HMIS_CHECK(i == eo[e] || ev[i - 1] < ev[i],
+                 "HGB2 edge vertices not strictly ascending");
+    }
+  }
+  HMIS_CHECK(vo[0] == 0 && vo[n] == total,
+             "HGB2 vertex_offsets must close over the incidence array");
+  for (std::size_t u = 0; u < n; ++u) {
+    HMIS_CHECK(vo[u] <= vo[u + 1], "HGB2 vertex_offsets not monotone");
+    for (std::size_t i = vo[u]; i < vo[u + 1]; ++i) {
+      HMIS_CHECK(ve[i] < m, "HGB2 incidence references edge out of range");
+      HMIS_CHECK(i == vo[u] || ve[i - 1] < ve[i],
+                 "HGB2 incidence list not strictly ascending");
+    }
+  }
+  HMIS_CHECK(false, "HGB2 CSR validation failed");  // fast/slow disagreement
+}
+
+/// Semantic validation of the CSR arrays (native form, owned or borrowed):
+/// offsets monotone and closed over the id arrays, per-edge vertex lists
+/// strictly ascending and in range, per-vertex incidence lists strictly
+/// ascending and in range, header dimension/min consistent.  Everything an
+/// algorithm indexes with is checked before the graph escapes the loader.
+///
+/// Structured as branch-free accumulating passes (the compiler vectorizes
+/// the compares) so the mapped zero-copy load isn't dominated by its own
+/// safety scan; a bad image falls through to the per-element slow path for
+/// an exact message.
+void hgb2_check_csr(std::span<const std::size_t> eo,
+                    std::span<const VertexId> ev,
+                    std::span<const std::size_t> vo,
+                    std::span<const EdgeId> ve, const Hgb2View& v) {
+  const std::size_t m = v.m;
+  const std::size_t n = v.n;
+  const std::size_t total = v.total;
+  std::size_t bad = eo[0] != 0 || eo[m] != total || vo[0] != 0;
+  bad |= static_cast<std::size_t>(vo[n] != total);
+  std::size_t dim = 0;
+  std::size_t min_sz = m == 0 ? 0 : SIZE_MAX;
+  const std::size_t* eop = eo.data();
+  for (std::size_t e = 0; e < m; ++e) {
+    bad |= static_cast<std::size_t>(eop[e] >= eop[e + 1]);
+    const std::size_t sz = eop[e + 1] - eop[e];
+    dim = std::max(dim, sz);
+    min_sz = std::min(min_sz, sz);
+  }
+  bad |= static_cast<std::size_t>(dim != v.dimension);
+  bad |= static_cast<std::size_t>(min_sz != v.min_edge_size);
+  if (bad == 0) {
+    // "Strictly ascending within every list" via descent counting: every
+    // adjacent pair (i-1, i) of the id array is either interior to a list
+    // or sits on a list boundary (i == offset of the next list), so all
+    // interiors are ascending iff the total number of descents equals the
+    // number of descents at boundary positions.  The total is one flat
+    // vectorizable compare-sum; the boundary count is one load pair per
+    // list.  (Offsets are already known monotone and closed, so every
+    // index below is in range.)
+    const VertexId* evp = ev.data();
+    for (std::size_t i = 0; i < total; ++i) {
+      bad |= static_cast<std::size_t>(evp[i] >= n);
+    }
+    std::size_t desc_all = 0;
+    for (std::size_t i = 1; i < total; ++i) {
+      desc_all += static_cast<std::size_t>(evp[i - 1] >= evp[i]);
+    }
+    std::size_t desc_bound = 0;
+    for (std::size_t e = 1; e < m; ++e) {
+      const std::size_t b = eop[e];
+      desc_bound += static_cast<std::size_t>(evp[b - 1] >= evp[b]);
+    }
+    bad |= static_cast<std::size_t>(desc_all != desc_bound);
+
+    const std::size_t* vop = vo.data();
+    for (std::size_t u = 0; u < n; ++u) {
+      bad |= static_cast<std::size_t>(vop[u] > vop[u + 1]);
+    }
+    const EdgeId* vep = ve.data();
+    for (std::size_t i = 0; i < total; ++i) {
+      bad |= static_cast<std::size_t>(vep[i] >= m);
+    }
+    if (bad == 0) {
+      desc_all = 0;
+      for (std::size_t i = 1; i < total; ++i) {
+        desc_all += static_cast<std::size_t>(vep[i - 1] >= vep[i]);
+      }
+      desc_bound = 0;
+      for (std::size_t u = 1; u < n; ++u) {
+        const std::size_t b = vop[u];
+        // Empty incidence lists repeat a boundary offset — count each
+        // distinct boundary once (first occurrence), and only when it is
+        // interior to the array (an adjacent pair actually exists there).
+        if (b == 0 || b >= total || b == vop[u - 1]) continue;
+        desc_bound += static_cast<std::size_t>(vep[b - 1] >= vep[b]);
+      }
+      bad |= static_cast<std::size_t>(desc_all != desc_bound);
+    }
+  }
+  if (bad != 0) hgb2_check_csr_slow(eo, ev, vo, ve, v);
+}
+
+/// Decode the sections into owned vectors (any platform; per-value LE
+/// reads).  Used when the image can't be adopted in place.
+Hypergraph hgb2_owned_copy(const Hgb2View& v) {
+  std::vector<std::size_t> eo(v.m + 1);
+  std::vector<VertexId> ev(v.total);
+  std::vector<std::size_t> vo(v.n + 1);
+  std::vector<EdgeId> ve(v.total);
+  const unsigned char* p = v.data(0);
+  for (std::size_t i = 0; i < eo.size(); ++i) eo[i] = load_le64(p + 8 * i);
+  p = v.data(1);
+  for (std::size_t i = 0; i < ev.size(); ++i) ev[i] = load_le32(p + 4 * i);
+  p = v.data(2);
+  for (std::size_t i = 0; i < vo.size(); ++i) vo[i] = load_le64(p + 8 * i);
+  p = v.data(3);
+  for (std::size_t i = 0; i < ve.size(); ++i) ve[i] = load_le32(p + 4 * i);
+  hgb2_check_csr(eo, ev, vo, ve, v);
+  return detail::CsrAccess::own(std::move(eo), std::move(ev), std::move(vo),
+                                std::move(ve), v.n, v.dimension,
+                                v.min_edge_size);
+}
+
+/// Zero-copy adoption when the native layout matches the wire layout and
+/// the base pointer is 8-byte aligned (sections are 64-byte aligned
+/// relative to it); otherwise fall back to the owned copy.
+Hypergraph hgb2_adopt_or_copy(const Hgb2View& v,
+                              std::shared_ptr<const void> keepalive) {
+  // HMIS_LINT_ALLOW(hmis-banned-nondeterminism: alignment probe only — the address never feeds ordering or hashing, just the copy-vs-adopt branch, and both branches yield the same graph)
+  const bool aligned = reinterpret_cast<std::uintptr_t>(v.base) % 8 == 0;
+  if (kHgb2NativeLayout && aligned) {
+    const std::span<const std::size_t> eo{
+        reinterpret_cast<const std::size_t*>(v.data(0)),
+        static_cast<std::size_t>(v.m + 1)};
+    const std::span<const VertexId> ev{
+        reinterpret_cast<const VertexId*>(v.data(1)),
+        static_cast<std::size_t>(v.total)};
+    const std::span<const std::size_t> vo{
+        reinterpret_cast<const std::size_t*>(v.data(2)),
+        static_cast<std::size_t>(v.n + 1)};
+    const std::span<const EdgeId> ve{
+        reinterpret_cast<const EdgeId*>(v.data(3)),
+        static_cast<std::size_t>(v.total)};
+    hgb2_check_csr(eo, ev, vo, ve, v);
+    return detail::CsrAccess::adopt(std::move(keepalive), eo, ev, vo, ve,
+                                    v.n, v.dimension, v.min_edge_size);
+  }
+  return hgb2_owned_copy(v);
+}
+
+void append_u64(std::vector<unsigned char>& b, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    b.push_back(static_cast<unsigned char>((x >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_u32(std::vector<unsigned char>& b, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(static_cast<unsigned char>((x >> (8 * i)) & 0xFF));
+  }
+}
+
+void write_padded(std::ostream& os, std::uint64_t from, std::uint64_t to) {
+  static constexpr char kPad[kHgb2SectionAlign] = {};
+  while (from < to) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(to - from,
+                                                        sizeof(kPad));
+    os.write(kPad, static_cast<std::streamsize>(chunk));
+    from += chunk;
+  }
+}
+
+}  // namespace
+
+void write_hypergraph_hgb2(std::ostream& os, const Hypergraph& h) {
+  const auto eo = h.edge_offsets();
+  const auto ev = h.edge_vertices();
+  auto vo = h.vertex_offsets();
+  const auto ve = h.vertex_edges();
+  const std::uint64_t n = h.num_vertices();
+  const std::uint64_t m = h.num_edges();
+  const std::uint64_t total = h.total_edge_size();
+  // A default-constructed graph holds an empty vertex_offsets; on disk the
+  // array always has n+1 entries.
+  static constexpr std::size_t kZeroOffset = 0;
+  if (vo.empty()) vo = std::span<const std::size_t>(&kZeroOffset, 1);
+  HMIS_CHECK(eo.size() == m + 1 && vo.size() == n + 1 &&
+                 ev.size() == total && ve.size() == total,
+             "CSR arrays inconsistent with graph counts");
+
+  // Build the little-endian section images up front: their checksums go in
+  // the header, which is written first.
+  std::vector<unsigned char> img[4];
+  img[0].reserve(eo.size() * 8);
+  for (const std::size_t x : eo) append_u64(img[0], x);
+  img[1].reserve(ev.size() * 4);
+  for (const VertexId x : ev) append_u32(img[1], x);
+  img[2].reserve(vo.size() * 8);
+  for (const std::size_t x : vo) append_u64(img[2], x);
+  img[3].reserve(ve.size() * 4);
+  for (const EdgeId x : ve) append_u32(img[3], x);
+
+  std::uint64_t off[4];
+  std::uint64_t cursor = kHgb2FirstSection;
+  for (int i = 0; i < 4; ++i) {
+    off[i] = cursor;
+    cursor += img[i].size();
+    cursor = (cursor + kHgb2SectionAlign - 1) / kHgb2SectionAlign *
+             kHgb2SectionAlign;
+  }
+
+  std::vector<unsigned char> header;
+  header.reserve(kHgb2HeaderBytes);
+  header.insert(header.end(), kHgb2Magic, kHgb2Magic + 4);
+  append_u32(header, kHgb2Version);
+  append_u64(header, n);
+  append_u64(header, m);
+  append_u64(header, h.dimension());
+  append_u64(header, h.min_edge_size());
+  append_u64(header, total);
+  for (int i = 0; i < 4; ++i) {
+    append_u64(header, off[i]);
+    append_u64(header, img[i].size());
+    append_u64(header, hgb2_checksum(img[i].data(), img[i].size()));
+  }
+  os.write(reinterpret_cast<const char*>(header.data()),
+           static_cast<std::streamsize>(header.size()));
+  std::uint64_t pos = header.size();
+  for (int i = 0; i < 4; ++i) {
+    write_padded(os, pos, off[i]);
+    os.write(reinterpret_cast<const char*>(img[i].data()),
+             static_cast<std::streamsize>(img[i].size()));
+    pos = off[i] + img[i].size();
+  }
+  HMIS_CHECK(os.good(), "HGB2 write failed");
+}
+
+void save_hypergraph_hgb2(const std::string& path, const Hypergraph& h) {
+  std::ofstream os(path, std::ios::binary);
+  HMIS_CHECK(os.good(), "cannot open file for writing: " + path);
+  write_hypergraph_hgb2(os, h);
+  HMIS_CHECK(os.good(), "write failed: " + path);
+}
+
+Hypergraph load_hypergraph_hgb2(const std::string& path) {
+  const util::MmapFile f(path);
+  const Hgb2View v = hgb2_validate(f.data(), f.size());
+  return hgb2_owned_copy(v);
+}
+
+Hypergraph load_hypergraph_mapped(const std::string& path) {
+  auto f = std::make_shared<const util::MmapFile>(path);
+  const Hgb2View v = hgb2_validate(f->data(), f->size());
+  return hgb2_adopt_or_copy(v, f);
+}
+
+Hypergraph hypergraph_from_hgb2_buffer(
+    std::shared_ptr<const std::string> bytes) {
+  HMIS_CHECK(bytes != nullptr, "null HGB2 buffer");
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes->data());
+  const Hgb2View v = hgb2_validate(data, bytes->size());
+  return hgb2_adopt_or_copy(v, std::move(bytes));
+}
+
+std::uint64_t detail::hgb2_section_checksum(const unsigned char* data,
+                                            std::uint64_t len) {
+  return hgb2_checksum(data, len);
+}
+
+Hypergraph load_hypergraph(const std::string& path) {
+  unsigned char magic[4] = {0, 0, 0, 0};
+  {
+    std::ifstream is(path, std::ios::binary);
+    HMIS_CHECK(is.good(), "cannot open file for reading: " + path);
+    is.read(reinterpret_cast<char*>(magic), 4);
+    // A file shorter than 4 bytes matches no binary magic and falls
+    // through to the text parser, which reports it properly.
+  }
+  if (std::equal(magic, magic + 4,
+                 reinterpret_cast<const unsigned char*>(kHgb2Magic))) {
+    return load_hypergraph_mapped(path);
+  }
+  if (std::equal(magic, magic + 4,
+                 reinterpret_cast<const unsigned char*>(kBinaryMagic))) {
+    return load_hypergraph_binary(path);
+  }
+  return load_hypergraph_text(path);
 }
 
 }  // namespace hmis

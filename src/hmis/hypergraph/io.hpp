@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "hmis/hypergraph/hypergraph.hpp"
@@ -17,7 +18,14 @@ void write_hypergraph(std::ostream& os, const Hypergraph& h);
 [[nodiscard]] Hypergraph read_hypergraph(std::istream& is);
 
 void save_hypergraph(const std::string& path, const Hypergraph& h);
+
+/// Load a graph from `path`, auto-detecting the format from the leading
+/// magic bytes: "HGB2" maps the file zero-copy, "HGB1" streams the binary
+/// format, anything else is parsed as text hg1.
 [[nodiscard]] Hypergraph load_hypergraph(const std::string& path);
+
+/// Explicit-format loader for text hg1 (no sniffing).
+[[nodiscard]] Hypergraph load_hypergraph_text(const std::string& path);
 
 // Binary format ("HGB1"): magic, n, m as u64 little-endian, then per edge a
 // u32 size followed by u32 vertex ids.  Fixed-width: smaller and much
@@ -26,5 +34,47 @@ void write_hypergraph_binary(std::ostream& os, const Hypergraph& h);
 [[nodiscard]] Hypergraph read_hypergraph_binary(std::istream& is);
 void save_hypergraph_binary(const std::string& path, const Hypergraph& h);
 [[nodiscard]] Hypergraph load_hypergraph_binary(const std::string& path);
+
+// Mmap-able CSR snapshot ("HGB2", DESIGN.md §11).  Layout, all values
+// little-endian:
+//
+//   [  0]  magic "HGB2"                          (4 bytes)
+//   [  4]  u32  version (currently 1)
+//   [  8]  u64  n, m, dimension, min_edge_size, total_edge_size
+//   [ 48]  section table: 4 x { u64 offset, u64 bytes, u64 checksum }
+//   [192]  sections, in table order, each at a 64-byte-aligned offset
+//          (zero-padded gaps): edge_offsets (u64 x m+1),
+//          edge_vertices (u32 x total), vertex_offsets (u64 x n+1),
+//          vertex_edges (u32 x total) — the four CSR arrays exactly as
+//          Hypergraph holds them.
+//
+// Loading is header validation plus pointer fixup: on a 64-bit
+// little-endian build the section bytes ARE the in-memory arrays, so
+// load_hypergraph_mapped returns a borrowed-storage Hypergraph whose spans
+// point into the mapping — no per-edge parsing, no copies.
+void write_hypergraph_hgb2(std::ostream& os, const Hypergraph& h);
+void save_hypergraph_hgb2(const std::string& path, const Hypergraph& h);
+
+/// Owned-storage HGB2 load (copies the arrays out of the file; works on
+/// any platform).
+[[nodiscard]] Hypergraph load_hypergraph_hgb2(const std::string& path);
+
+/// Zero-copy HGB2 load: mmap + validate + pointer fixup.  The returned
+/// graph's is_mapped() is true and the mapping lives as long as any copy
+/// of the graph.  Falls back to the owned load on platforms where the
+/// in-memory and on-disk layouts differ.
+[[nodiscard]] Hypergraph load_hypergraph_mapped(const std::string& path);
+
+/// Adopt an in-memory HGB2 image (a serve graph frame) without copying
+/// when alignment permits; the buffer is kept alive by the graph.
+[[nodiscard]] Hypergraph hypergraph_from_hgb2_buffer(
+    std::shared_ptr<const std::string> bytes);
+
+namespace detail {
+/// The HGB2 section checksum, exposed so tests and external tooling can
+/// craft or re-sign section images without reimplementing the algorithm.
+[[nodiscard]] std::uint64_t hgb2_section_checksum(const unsigned char* data,
+                                                  std::uint64_t len);
+}  // namespace detail
 
 }  // namespace hmis

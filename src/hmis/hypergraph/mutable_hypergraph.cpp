@@ -907,9 +907,9 @@ void MutableHypergraph::build_induced_serial(const util::DynamicBitset* keep,
   // original->local edge id map for the incidence fill below.
   Hypergraph& g = out.graph;
   g.n_ = k;
-  g.edge_offsets_.clear();
-  g.edge_offsets_.push_back(0);
-  g.edge_vertices_.clear();
+  g.own_edge_offsets_.clear();
+  g.own_edge_offsets_.push_back(0);
+  g.own_edge_vertices_.clear();
   scratch.local_edge.resize(m);
   scratch.deg.assign(k, 0);
   std::size_t dim = 0;
@@ -917,37 +917,38 @@ void MutableHypergraph::build_induced_serial(const util::DynamicBitset* keep,
   for (EdgeId e = 0; e < m; ++e) {
     if (!scratch.emit[e]) continue;
     scratch.local_edge[e] =
-        static_cast<std::uint32_t>(g.edge_offsets_.size() - 1);
+        static_cast<std::uint32_t>(g.own_edge_offsets_.size() - 1);
     for (const VertexId v : edge(e)) {
-      g.edge_vertices_.push_back(scratch.to_local[v]);
+      g.own_edge_vertices_.push_back(scratch.to_local[v]);
       ++scratch.deg[scratch.to_local[v]];
     }
-    g.edge_offsets_.push_back(g.edge_vertices_.size());
+    g.own_edge_offsets_.push_back(g.own_edge_vertices_.size());
     dim = std::max<std::size_t>(dim, edge_size_[e]);
     min_size = std::min<std::size_t>(min_size, edge_size_[e]);
   }
-  const std::size_t num_out_edges = g.edge_offsets_.size() - 1;
+  const std::size_t num_out_edges = g.own_edge_offsets_.size() - 1;
   g.dimension_ = dim;
   g.min_edge_size_ = num_out_edges == 0 ? 0 : min_size;
 
   // Vertex -> incident edge CSR (voffset doubles as the fill cursor).
-  g.vertex_offsets_.resize(k + 1);
+  g.own_vertex_offsets_.resize(k + 1);
   scratch.voffset.resize(k);
   std::size_t total_incidence = 0;
   for (std::size_t lv = 0; lv < k; ++lv) {
-    g.vertex_offsets_[lv] = total_incidence;
+    g.own_vertex_offsets_[lv] = total_incidence;
     scratch.voffset[lv] = static_cast<std::uint32_t>(total_incidence);
     total_incidence += scratch.deg[lv];
   }
-  g.vertex_offsets_[k] = total_incidence;
-  g.vertex_edges_.resize(total_incidence);
+  g.own_vertex_offsets_[k] = total_incidence;
+  g.own_vertex_edges_.resize(total_incidence);
   for (EdgeId e = 0; e < m; ++e) {
     if (!scratch.emit[e]) continue;
     for (const VertexId v : edge(e)) {
-      g.vertex_edges_[scratch.voffset[scratch.to_local[v]]++] =
+      g.own_vertex_edges_[scratch.voffset[scratch.to_local[v]]++] =
           scratch.local_edge[e];
     }
   }
+  g.rebind_owned_();
 }
 
 void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
@@ -1049,18 +1050,18 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
 
   Hypergraph& g = out.graph;
   g.n_ = k;
-  g.edge_offsets_.resize(num_out_edges + 1);
-  g.edge_offsets_[0] = 0;
-  g.edge_vertices_.resize(total_size);
+  g.own_edge_offsets_.resize(num_out_edges + 1);
+  g.own_edge_offsets_[0] = 0;
+  g.own_edge_vertices_.resize(total_size);
   par::parallel_for(
       0, m,
       [&](std::size_t e) {
         if (!scratch.emit[e]) return;
         std::size_t pos = scratch.estart[e];
         for (const VertexId v : edge(static_cast<EdgeId>(e))) {
-          g.edge_vertices_[pos++] = scratch.to_local[v];
+          g.own_edge_vertices_[pos++] = scratch.to_local[v];
         }
-        g.edge_offsets_[scratch.local_edge[e] + 1] = pos;
+        g.own_edge_offsets_[scratch.local_edge[e] + 1] = pos;
       },
       nullptr, pool_);
   g.dimension_ = par::reduce_max<std::size_t>(
@@ -1100,30 +1101,31 @@ void MutableHypergraph::build_induced_parallel(const util::DynamicBitset* keep,
         }
       },
       nullptr, pool_);
-  g.vertex_offsets_.resize(k + 1);
+  g.own_vertex_offsets_.resize(k + 1);
   const std::size_t total_incidence = par::exclusive_scan<std::size_t>(
       k, [&](std::size_t lv) { return std::size_t{scratch.deg[lv]}; },
-      g.vertex_offsets_.data(), nullptr, pool_);
-  g.vertex_offsets_[k] = total_incidence;
-  g.vertex_edges_.resize(total_incidence);
+      g.own_vertex_offsets_.data(), nullptr, pool_);
+  g.own_vertex_offsets_[k] = total_incidence;
+  g.own_vertex_edges_.resize(total_incidence);
   const std::size_t S = plan_.count;
   par::parallel_for(
       0, k,
       [&](std::size_t lv) {
         const VertexId ov = out.to_original[lv];
-        std::size_t pos = g.vertex_offsets_[lv];
+        std::size_t pos = g.own_vertex_offsets_[lv];
         for (std::size_t s = 0; s < S; ++s) {
           const EdgeId* p = inc_pools_[s].data() + inc_seg_off_[seg(ov, s)];
           const std::uint32_t len = inc_seg_len_[seg(ov, s)];
           for (std::uint32_t j = 0; j < len; ++j) {
             const EdgeId e = p[j];
             if (scratch.emit[e]) {
-              g.vertex_edges_[pos++] = scratch.local_edge[e];
+              g.own_vertex_edges_[pos++] = scratch.local_edge[e];
             }
           }
         }
       },
       nullptr, pool_);
+  g.rebind_owned_();
 }
 
 }  // namespace hmis

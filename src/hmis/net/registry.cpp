@@ -47,16 +47,11 @@ GraphRegistry::Entry GraphRegistry::put_shared(
 
 GraphRegistry::Entry GraphRegistry::load_file(const std::string& name,
                                               const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  HMIS_CHECK(is.good(), "cannot open file for reading: " + path);
-  char magic[4] = {0, 0, 0, 0};
-  is.read(magic, 4);
-  is.clear();
-  is.seekg(0);
-  const bool binary = is.gcount() == 4 && magic[0] == 'H' && magic[1] == 'G' &&
-                      magic[2] == 'B' && magic[3] == '1';
-  Hypergraph h = binary ? read_hypergraph_binary(is) : read_hypergraph(is);
-  return put(name, std::move(h));
+  // load_hypergraph sniffs the magic: text hg1 and HGB1 stream through the
+  // builder, HGB2 is mapped zero-copy — the registry entry's shared graph
+  // keeps the mapping alive, and the digest below walks the mapped spans
+  // without materializing anything.
+  return put(name, load_hypergraph(path));
 }
 
 std::optional<GraphRegistry::Entry> GraphRegistry::find(

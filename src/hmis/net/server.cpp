@@ -144,22 +144,41 @@ ServeCore::Outcome ServeCore::handle_load(const Request& req,
   if (req.graph.empty()) {
     return respond_error(sink, ErrorCode::BadRequest, "load requires a name");
   }
-  bool binary;
+  enum class Wire { Text, Hgb1, Hgb2 };
+  Wire wire;
   if (req.format.empty()) {
-    binary = bytes.size() >= 4 && bytes.compare(0, 4, "HGB1") == 0;
+    if (bytes.size() >= 4 && bytes.compare(0, 4, "HGB2") == 0) {
+      wire = Wire::Hgb2;
+    } else if (bytes.size() >= 4 && bytes.compare(0, 4, "HGB1") == 0) {
+      wire = Wire::Hgb1;
+    } else {
+      wire = Wire::Text;
+    }
   } else if (req.format == "hg1") {
-    binary = false;
+    wire = Wire::Text;
   } else if (req.format == "hgb1") {
-    binary = true;
+    wire = Wire::Hgb1;
+  } else if (req.format == "hgb2") {
+    wire = Wire::Hgb2;
   } else {
     return respond_error(sink, ErrorCode::BadRequest,
-                         "format must be \"hg1\" or \"hgb1\"");
+                         "format must be \"hg1\", \"hgb1\" or \"hgb2\"");
   }
   try {
-    std::istringstream is(bytes);
-    Hypergraph g = binary ? read_hypergraph_binary(is) : read_hypergraph(is);
-    const GraphRegistry::Entry entry =
-        registry_.put(std::string(req.graph), std::move(g));
+    GraphRegistry::Entry entry;
+    if (wire == Wire::Hgb2) {
+      // Adopt the frame in place: the graph's CSR spans point into the
+      // frame bytes (kept alive by the shared buffer), so a large upload
+      // pays validation but no per-edge parse and no copy.
+      auto frame = std::make_shared<const std::string>(std::move(bytes));
+      Hypergraph g = hypergraph_from_hgb2_buffer(std::move(frame));
+      entry = registry_.put(std::string(req.graph), std::move(g));
+    } else {
+      std::istringstream is(bytes);
+      Hypergraph g = wire == Wire::Hgb1 ? read_hypergraph_binary(is)
+                                        : read_hypergraph(is);
+      entry = registry_.put(std::string(req.graph), std::move(g));
+    }
     std::ostringstream os;
     os << "{\"ok\":true,\"graph\":\"" << util::json_escape(req.graph)
        << "\",\"digest\":\"" << digest_hex(entry.digest)

@@ -1,0 +1,82 @@
+#include "hmis/util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "hmis/util/check.hpp"
+
+namespace hmis::util {
+
+namespace {
+
+std::string with_errno(const char* what, const std::string& path) {
+  return std::string(what) + " failed for " + path + ": " +
+         std::strerror(errno);
+}
+
+}  // namespace
+
+MmapFile::MmapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  HMIS_CHECK(fd >= 0, with_errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string msg = with_errno("fstat", path);
+    ::close(fd);
+    HMIS_CHECK(false, msg);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    HMIS_CHECK(false, "mmap target is not a regular file: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return;  // empty file: {nullptr, 0}
+  }
+  // MAP_POPULATE pre-faults the whole range in one pass; the loader
+  // validates every byte immediately after mapping, and taking ~size/4096
+  // minor faults one at a time during that scan costs more than the scan.
+#ifdef MAP_POPULATE
+  constexpr int kFlags = MAP_PRIVATE | MAP_POPULATE;
+#else
+  constexpr int kFlags = MAP_PRIVATE;
+#endif
+  void* p = ::mmap(nullptr, size, PROT_READ, kFlags, fd, 0);
+  const std::string msg = with_errno("mmap", path);
+  ::close(fd);  // the mapping holds its own reference to the file
+  HMIS_CHECK(p != MAP_FAILED, msg);
+  data_ = static_cast<const unsigned char*>(p);
+  size_ = size;
+}
+
+MmapFile::~MmapFile() { unmap_(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    unmap_();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MmapFile::unmap_() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace hmis::util

@@ -1,0 +1,39 @@
+// Read-only RAII file mapping.
+//
+// The storage backend of the zero-copy HGB2 loader (DESIGN.md §11): the
+// whole file is mapped PROT_READ/MAP_PRIVATE in one syscall and the
+// Hypergraph's CSR spans point straight into it — the mapping must
+// therefore outlive every view, which callers arrange by holding the
+// MmapFile in a shared_ptr alongside the spans.  Move-only; the fd is
+// closed immediately after mmap (the mapping keeps the file alive).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hmis::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Map `path` read-only.  Throws CheckError on open/stat/mmap failure.
+  /// An empty file maps to {nullptr, 0} (valid, nothing to read).
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  [[nodiscard]] const unsigned char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  void unmap_() noexcept;
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hmis::util

@@ -10,6 +10,7 @@
 #include "hmis/core/theory.hpp"
 #include "hmis/hypergraph/degree_stats.hpp"
 #include "hmis/hypergraph/validate.hpp"
+#include "hmis/par/thread_pool.hpp"
 
 namespace {
 
@@ -173,6 +174,35 @@ TEST(SblRegime, RespectsEdgeBudget) {
   EXPECT_NEAR(static_cast<double>(h.num_edges()),
               static_cast<double>(expected_m), 1.0);
   EXPECT_GE(h.dimension(), 3u);  // mixed arities up to ~log2 n
+}
+
+TEST(GeneratorsParallel, BitIdenticalAcrossThreadCounts) {
+  // The sampling families run on the scheduler with per-slot counter-RNG
+  // streams; the determinism contract says the output is bit-identical for
+  // any thread count (serial pool == nullptr included).
+  par::ThreadPool one(1);
+  par::ThreadPool three(3);
+  const auto check = [&](const char* name, auto&& make) {
+    SCOPED_TRACE(name);
+    const auto serial = make(static_cast<par::ThreadPool*>(nullptr));
+    EXPECT_EQ(serial.edges_as_lists(), make(&one).edges_as_lists());
+    EXPECT_EQ(serial.edges_as_lists(), make(&three).edges_as_lists());
+  };
+  check("uniform", [](par::ThreadPool* p) {
+    return gen::uniform_random(300, 900, 3, 41, p);
+  });
+  check("mixed", [](par::ThreadPool* p) {
+    return gen::mixed_arity(300, 700, 2, 6, 43, p);
+  });
+  check("planted", [](par::ThreadPool* p) {
+    return gen::planted_mis(300, 800, 3, 0.5, 47, p);
+  });
+  check("graph", [](par::ThreadPool* p) {
+    return gen::random_graph(250, 900, 53, p);
+  });
+  check("sbl", [](par::ThreadPool* p) {
+    return gen::sbl_regime(2500, 0.55, 10, 59, p);
+  });
 }
 
 }  // namespace

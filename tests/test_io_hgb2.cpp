@@ -1,0 +1,386 @@
+// HGB2 (mmap-able CSR snapshot) coverage: cross-format round-trip property
+// suite, mapped-storage semantics (copy/move/unlink, feeding the solver),
+// and the hostile-image corpus — every crafted header, section table, or
+// payload below must become a CheckError before the arrays are trusted,
+// never an out-of-bounds read or a silently different graph.
+#include "hmis/hypergraph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hmis/core/mis.hpp"
+#include "hmis/hypergraph/builder.hpp"
+#include "hmis/hypergraph/generators.hpp"
+#include "hmis/util/check.hpp"
+
+namespace {
+
+using namespace hmis;
+
+// True when the zero-copy adoption path is live on this platform; on other
+// builds the loader silently falls back to owned storage and the
+// is_mapped() expectations below don't apply.
+constexpr bool kNativeLayout =
+    std::endian::native == std::endian::little && sizeof(std::size_t) == 8;
+
+std::string hgb2_image(const Hypergraph& h) {
+  std::ostringstream os(std::ios::binary);
+  write_hypergraph_hgb2(os, h);
+  return os.str();
+}
+
+Hypergraph from_image(std::string img) {
+  return hypergraph_from_hgb2_buffer(
+      std::make_shared<const std::string>(std::move(img)));
+}
+
+std::uint64_t get64(const std::string& img, std::size_t off) {
+  std::uint64_t x;
+  std::memcpy(&x, img.data() + off, 8);
+  return x;
+}
+
+void put64(std::string& img, std::size_t off, std::uint64_t x) {
+  std::memcpy(img.data() + off, &x, 8);
+}
+
+void put32(std::string& img, std::size_t off, std::uint32_t x) {
+  std::memcpy(img.data() + off, &x, 4);
+}
+
+// Header field offsets (io.hpp layout comment).
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffN = 8;
+constexpr std::size_t kOffM = 16;
+constexpr std::size_t kOffDim = 24;
+constexpr std::size_t kOffTotal = 40;
+constexpr std::size_t kOffTable = 48;
+
+std::size_t sec_offset_field(int i) { return kOffTable + 24 * std::size_t(i); }
+std::size_t sec_bytes_field(int i) { return sec_offset_field(i) + 8; }
+std::size_t sec_checksum_field(int i) { return sec_offset_field(i) + 16; }
+
+/// Recompute and patch section i's checksum after tampering with its
+/// payload — the point of most hostile tests is to reach the *semantic*
+/// validation layer, which requires the integrity layer to pass.
+void resign(std::string& img, int i) {
+  const std::uint64_t off = get64(img, sec_offset_field(i));
+  const std::uint64_t bytes = get64(img, sec_bytes_field(i));
+  const auto* p = reinterpret_cast<const unsigned char*>(img.data() + off);
+  put64(img, sec_checksum_field(i), detail::hgb2_section_checksum(p, bytes));
+}
+
+// ---- Round-trip property suite ----------------------------------------------
+
+TEST(Hgb2, CrossFormatRoundTripAcrossFamilies) {
+  const std::vector<std::pair<const char*, Hypergraph>> families = {
+      {"uniform", gen::uniform_random(50, 80, 3, 5)},
+      {"mixed", gen::mixed_arity(60, 90, 2, 5, 7)},
+      {"linear", gen::linear_random(64, 70, 3, 9)},
+      {"planted", gen::planted_mis(50, 70, 3, 0.5, 13)},
+      {"graph", gen::random_graph(40, 60, 11)},
+      {"interval", gen::interval(50, 6, 3)},
+      {"sunflower", gen::sunflower(4, 3, 10)},
+  };
+  const std::string dir = ::testing::TempDir();
+  for (const auto& [name, h] : families) {
+    SCOPED_TRACE(name);
+    // text → graph
+    std::stringstream text;
+    write_hypergraph(text, h);
+    const Hypergraph via_text = read_hypergraph(text);
+    // hgb1 → graph
+    std::stringstream hgb1(std::ios::in | std::ios::out | std::ios::binary);
+    write_hypergraph_binary(hgb1, h);
+    const Hypergraph via_hgb1 = read_hypergraph_binary(hgb1);
+    // hgb2 → owned and mapped
+    const std::string path = dir + "/hgb2_rt.hgb2";
+    save_hypergraph_hgb2(path, h);
+    const Hypergraph via_owned = load_hypergraph_hgb2(path);
+    const Hypergraph via_mapped = load_hypergraph_mapped(path);
+    const Hypergraph via_buffer = from_image(hgb2_image(h));
+    std::remove(path.c_str());
+
+    const auto want = h.edges_as_lists();
+    EXPECT_EQ(via_text.edges_as_lists(), want);
+    EXPECT_EQ(via_hgb1.edges_as_lists(), want);
+    EXPECT_EQ(via_owned.edges_as_lists(), want);
+    EXPECT_EQ(via_mapped.edges_as_lists(), want);
+    EXPECT_EQ(via_buffer.edges_as_lists(), want);
+    EXPECT_EQ(via_mapped.num_vertices(), h.num_vertices());
+    EXPECT_EQ(via_mapped.dimension(), h.dimension());
+    EXPECT_EQ(via_mapped.min_edge_size(), h.min_edge_size());
+    EXPECT_FALSE(via_owned.is_mapped());
+    if (kNativeLayout) {
+      EXPECT_TRUE(via_mapped.is_mapped());
+    }
+  }
+}
+
+TEST(Hgb2, SniffingLoadDetectsAllThreeFormats) {
+  const Hypergraph h = gen::uniform_random(40, 60, 3, 17);
+  const std::string dir = ::testing::TempDir();
+  const std::string t = dir + "/sniff.hg";
+  const std::string b1 = dir + "/sniff.hgb1";
+  const std::string b2 = dir + "/sniff.hgb2";
+  save_hypergraph(t, h);
+  save_hypergraph_binary(b1, h);
+  save_hypergraph_hgb2(b2, h);
+  for (const auto& path : {t, b1, b2}) {
+    EXPECT_EQ(load_hypergraph(path).edges_as_lists(), h.edges_as_lists())
+        << path;
+  }
+  if (kNativeLayout) {
+    EXPECT_TRUE(load_hypergraph(b2).is_mapped());
+  }
+  for (const auto& path : {t, b1, b2}) std::remove(path.c_str());
+}
+
+TEST(Hgb2, EmptyAndDefaultGraphsRoundTrip) {
+  for (const Hypergraph& h : {HypergraphBuilder(9).build(), Hypergraph{}}) {
+    const Hypergraph back = from_image(hgb2_image(h));
+    EXPECT_EQ(back.num_vertices(), h.num_vertices());
+    EXPECT_EQ(back.num_edges(), 0u);
+    EXPECT_EQ(back.dimension(), 0u);
+  }
+}
+
+TEST(Hgb2, IsolatedVerticesRoundTrip) {
+  // Vertices 1, 5..8 have empty incidence lists — vertex_offsets repeats a
+  // boundary, the case the vectorized descent-count validation dedupes.
+  const Hypergraph h = make_hypergraph(10, {{0, 9}, {2, 3, 4}});
+  const Hypergraph back = from_image(hgb2_image(h));
+  EXPECT_EQ(back.edges_as_lists(), h.edges_as_lists());
+  EXPECT_EQ(back.num_vertices(), 10u);
+}
+
+TEST(Hgb2, AcceptsDescentsAtListBoundaries) {
+  // ev = [1 | 0]: a descent across the edge boundary (allowed — only
+  // within-list descents are violations).  The incidence array gets the
+  // mirrored shape: vertex 0's list [1], vertex 1's list [0].
+  const Hypergraph h = make_hypergraph(2, {{1}, {0}});
+  const Hypergraph back = from_image(hgb2_image(h));
+  EXPECT_EQ(back.edges_as_lists(), h.edges_as_lists());
+}
+
+// ---- Mapped-storage semantics -----------------------------------------------
+
+TEST(Hgb2, MappedSurvivesUnlinkCopyAndMove) {
+  const Hypergraph h = gen::mixed_arity(60, 90, 2, 5, 23);
+  const std::string path = ::testing::TempDir() + "/hgb2_unlink.hgb2";
+  save_hypergraph_hgb2(path, h);
+  Hypergraph mapped = load_hypergraph_mapped(path);
+  std::remove(path.c_str());  // POSIX: the mapping outlives the name
+
+  const Hypergraph copy = mapped;           // shares the mapping
+  const Hypergraph moved = std::move(mapped);  // transfers it
+  EXPECT_EQ(copy.edges_as_lists(), h.edges_as_lists());
+  EXPECT_EQ(moved.edges_as_lists(), h.edges_as_lists());
+  if (kNativeLayout) {
+    EXPECT_TRUE(copy.is_mapped());
+    EXPECT_TRUE(moved.is_mapped());
+    // The copy borrows the same bytes rather than materializing its own.
+    EXPECT_EQ(copy.edge(0).data(), moved.edge(0).data());
+  }
+}
+
+TEST(Hgb2, MappedGraphSolvesIdenticallyToOwned) {
+  const Hypergraph owned = gen::uniform_random(300, 500, 3, 31);
+  const Hypergraph mapped = from_image(hgb2_image(owned));
+  core::FindOptions opt;
+  opt.seed = 7;
+  const auto a = core::find_mis(owned, core::Algorithm::Auto, opt);
+  const auto b = core::find_mis(mapped, core::Algorithm::Auto, opt);
+  ASSERT_TRUE(a.result.success);
+  ASSERT_TRUE(b.result.success);
+  EXPECT_EQ(a.result.independent_set, b.result.independent_set);
+}
+
+// ---- Hostile-image corpus ---------------------------------------------------
+
+std::string base_image() {
+  return hgb2_image(make_hypergraph(4, {{0, 1}, {1, 2, 3}}));
+}
+
+void expect_rejected(std::string img) {
+  EXPECT_THROW((void)from_image(std::move(img)), util::CheckError);
+}
+
+TEST(Hgb2Hostile, SanityCheckTamperHelpersMatchWriter) {
+  // resign() on an untouched section must be a no-op — otherwise every
+  // "reaches the semantic layer" test below would silently be testing the
+  // checksum layer instead.
+  std::string img = base_image();
+  const std::string before = img;
+  for (int i = 0; i < 4; ++i) resign(img, i);
+  EXPECT_EQ(img, before);
+  EXPECT_NO_THROW((void)from_image(std::move(img)));
+}
+
+TEST(Hgb2Hostile, RejectsBadMagic) {
+  std::string img = base_image();
+  img[0] = 'X';
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsBadVersion) {
+  std::string img = base_image();
+  put32(img, kOffVersion, 2);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsTruncatedHeaderAndEmptyBuffer) {
+  expect_rejected(base_image().substr(0, 100));
+  expect_rejected(std::string());
+  expect_rejected(std::string("HGB2"));
+}
+
+TEST(Hgb2Hostile, RejectsTruncatedSection) {
+  std::string img = base_image();
+  img.resize(img.size() - 4);  // cuts into the last section
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsNonMonotoneSections) {
+  std::string img = base_image();
+  const std::uint64_t o0 = get64(img, sec_offset_field(0));
+  const std::uint64_t o1 = get64(img, sec_offset_field(1));
+  put64(img, sec_offset_field(0), o1);
+  put64(img, sec_offset_field(1), o0);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsOverlappingSections) {
+  std::string img = base_image();
+  put64(img, sec_offset_field(1), get64(img, sec_offset_field(0)));
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsMisalignedSectionOffset) {
+  std::string img = base_image();
+  put64(img, sec_offset_field(0), get64(img, sec_offset_field(0)) + 8);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsSectionSizeHeaderMismatch) {
+  std::string img = base_image();
+  put64(img, kOffM, get64(img, kOffM) + 1);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsVertexCountBeyondVertexIdRange) {
+  std::string img = base_image();
+  put64(img, kOffN, 1ull << 40);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsHugeDeclaredTotal) {
+  std::string img = base_image();
+  put64(img, kOffTotal, 1ull << 60);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsCorruptPayloadByChecksum) {
+  std::string img = base_image();
+  const std::uint64_t off = get64(img, sec_offset_field(1));
+  img[off] = static_cast<char>(img[off] ^ 0x40);  // flip a bit, no resign
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsTamperedChecksumField) {
+  std::string img = base_image();
+  put64(img, sec_checksum_field(2), get64(img, sec_checksum_field(2)) ^ 1);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsVertexOutOfRange) {
+  // ev = [0,1 | 1,2,3]; patch ev[0] to 9 with n = 4, re-sign so the
+  // semantic layer (not the checksum) is what rejects it.
+  std::string img = base_image();
+  put32(img, get64(img, sec_offset_field(1)), 9);
+  resign(img, 1);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsEmptyEdge) {
+  // eo = [0,2,5]; collapsing eo[1] to 0 declares an empty first edge.
+  std::string img = base_image();
+  put64(img, get64(img, sec_offset_field(0)) + 8, 0);
+  resign(img, 0);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsNonAscendingEdgeVertices) {
+  // Rewrite edge 0 as {1,0}: a within-edge descent.
+  std::string img = base_image();
+  const std::uint64_t off = get64(img, sec_offset_field(1));
+  put32(img, off, 1);
+  put32(img, off + 4, 0);
+  resign(img, 1);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsIncidenceEdgeOutOfRange) {
+  // ve entries are edge ids < m = 2; patch one to 7.
+  std::string img = base_image();
+  put32(img, get64(img, sec_offset_field(3)), 7);
+  resign(img, 3);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsNonAscendingIncidenceList) {
+  // Vertex 1's incidence list is [0,1] (ve[1..2]); reverse it.
+  std::string img = base_image();
+  const std::uint64_t off = get64(img, sec_offset_field(3));
+  put32(img, off + 4, 1);
+  put32(img, off + 8, 0);
+  resign(img, 3);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsHeaderDimensionMismatch) {
+  // The header fields aren't themselves checksummed — the semantic layer
+  // must cross-check them against the actual edge data.
+  std::string img = base_image();
+  put64(img, kOffDim, 4);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, RejectsVertexOffsetsNotClosingOverTotal) {
+  // vo = [0,1,3,4,5]; patch the final offset so vo[n] != total.
+  std::string img = base_image();
+  const std::uint64_t off = get64(img, sec_offset_field(2));
+  put64(img, off + 8 * 4, 4);
+  resign(img, 2);
+  expect_rejected(std::move(img));
+}
+
+TEST(Hgb2Hostile, MappedLoaderRejectsCorruptFileOnDisk) {
+  // Same gauntlet through the mmap path (the serve/file surface).
+  std::string img = base_image();
+  const std::uint64_t off = get64(img, sec_offset_field(1));
+  img[off] = static_cast<char>(img[off] ^ 0x01);
+  const std::string path = ::testing::TempDir() + "/hostile.hgb2";
+  std::ofstream(path, std::ios::binary) << img;
+  EXPECT_THROW((void)load_hypergraph_mapped(path), util::CheckError);
+  EXPECT_THROW((void)load_hypergraph(path), util::CheckError);  // sniffed
+  std::remove(path.c_str());
+}
+
+TEST(Hgb2Hostile, MappedLoaderRejectsDirectoryAndMissingFile) {
+  EXPECT_THROW((void)load_hypergraph_mapped(::testing::TempDir()),
+               util::CheckError);
+  EXPECT_THROW((void)load_hypergraph_mapped("/nonexistent/x.hgb2"),
+               util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in benchmark corpus (corpus/*.hgb2) and its
+# manifest.  One instance per generator family at two sizes (_s/_l); all
+# seeds fixed, so the output is bit-identical run to run — `git status`
+# after a regeneration should be clean unless the HGB2 format or a
+# generator deliberately changed.  Run from the repo root after building:
+#
+#   cmake -B build -S . && cmake --build build -j && tools/gen_corpus.sh
+#
+# The benches sweep these instances via bench_graph_load's load:corpus
+# table (manifest order); any bench can run against a single instance with
+# HMIS_BENCH_GRAPH=corpus/<name>.hgb2.
+set -euo pipefail
+
+HMIS=${HMIS:-build/tools/hmis}
+OUT=${OUT:-corpus}
+mkdir -p "$OUT"
+
+g() {
+  local name=$1
+  shift
+  "$HMIS" gen "$@" --format hgb2 >/dev/null
+  echo "  $name"
+}
+
+echo "generating corpus into $OUT/"
+g uniform_s   uniform   "$OUT/uniform_s.hgb2"   4000   8000 3 101
+g uniform_l   uniform   "$OUT/uniform_l.hgb2"  40000  80000 3 102
+g mixed_s     mixed     "$OUT/mixed_s.hgb2"     4000   7000 2 6 103
+g mixed_l     mixed     "$OUT/mixed_l.hgb2"    20000  40000 2 8 104
+g linear_s    linear    "$OUT/linear_s.hgb2"    5000   6000 3 105
+g linear_l    linear    "$OUT/linear_l.hgb2"   40000  50000 3 106
+g planted_s   planted   "$OUT/planted_s.hgb2"   4000   8000 3 0.5 107
+g planted_l   planted   "$OUT/planted_l.hgb2"  30000  60000 3 0.5 108
+g graph_s     graph     "$OUT/graph_s.hgb2"     5000  10000 109
+g graph_l     graph     "$OUT/graph_l.hgb2"    30000  60000 110
+g interval_s  interval  "$OUT/interval_s.hgb2"  5000 8 3
+g interval_l  interval  "$OUT/interval_l.hgb2" 60000 16 5
+g sunflower_s sunflower "$OUT/sunflower_s.hgb2" 6 3 1500
+g sunflower_l sunflower "$OUT/sunflower_l.hgb2" 8 4 5000
+g sbl_s       sbl       "$OUT/sbl_s.hgb2"       3000 0.6 10 111
+g sbl_l       sbl       "$OUT/sbl_l.hgb2"      20000 0.6 12 112
+
+(cd "$OUT" && sha256sum ./*.hgb2 | sed 's#\./##' > MANIFEST.sha256)
+echo "wrote $OUT/MANIFEST.sha256:"
+cat "$OUT/MANIFEST.sha256"

@@ -1,6 +1,11 @@
 // hmis — command-line front end for the hypermis library.
 //
-//   hmis gen   <family> <out.hg> [options]   generate an instance
+//   hmis gen   <family> <out.hg> [family args]
+//              [--format text|hgb1|hgb2] [--threads T]
+//              generate an instance (sampling families run on the
+//              scheduler; output identical for every thread count)
+//   hmis convert <in> <out> [--format text|hgb1|hgb2]
+//              re-encode a graph (input format sniffed; default out hgb2)
 //   hmis stats <in.hg>                       analyze + recommend (planner)
 //   hmis solve <in.hg> [--algo A] [--seed S] [--threads T] [--shards K]
 //              [--out sets.txt] [--stats] [--format text|json]
@@ -67,7 +72,8 @@ using util::json_escape;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hmis <gen|stats|solve|batch|serve|request|verify|color>"
+               "usage: hmis "
+               "<gen|convert|stats|solve|batch|serve|request|verify|color>"
                " ... (see header comment / README)\n");
   return 2;
 }
@@ -172,7 +178,35 @@ OutputFormat parse_format(const std::string& value) {
   fail("unknown format '" + value + "' (want text|json)");
 }
 
-int cmd_gen(const std::vector<std::string>& args) {
+void save_hypergraph_as(const std::string& path, const Hypergraph& h,
+                        const std::string& format) {
+  if (format == "text") {
+    save_hypergraph(path, h);
+  } else if (format == "hgb1") {
+    save_hypergraph_binary(path, h);
+  } else if (format == "hgb2") {
+    save_hypergraph_hgb2(path, h);
+  } else {
+    fail("unknown format '" + format + "' (want text|hgb1|hgb2)");
+  }
+}
+
+int cmd_gen(const std::vector<std::string>& raw) {
+  // Flags may follow the family positionals: --format text|hgb1|hgb2
+  // (default text) picks the output encoding, --threads T sizes the pool
+  // the sampling generators run on (output is identical for every T).
+  std::string format = "text";
+  std::vector<std::string> args;
+  args.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == "--format") {
+      format = flag_value(raw, &i, "--format");
+    } else if (raw[i] == "--threads") {
+      par::set_global_threads(flag_u64(raw, &i, "--threads"));
+    } else {
+      args.push_back(raw[i]);
+    }
+  }
   if (args.size() < 2) return usage();
   const std::string family = args[0];
   const std::string out = args[1];
@@ -210,9 +244,31 @@ int cmd_gen(const std::vector<std::string>& args) {
   } else {
     fail("unknown family '" + family + "'");
   }
-  save_hypergraph(out, h);
+  save_hypergraph_as(out, h, format);
   std::printf("wrote %s: n=%zu m=%zu dim=%zu\n", out.c_str(),
               h.num_vertices(), h.num_edges(), h.dimension());
+  return 0;
+}
+
+int cmd_convert(const std::vector<std::string>& raw) {
+  // hmis convert <in> <out> [--format text|hgb1|hgb2]
+  // Input format is sniffed (HGB2 inputs are mapped zero-copy); the output
+  // defaults to HGB2, the reason this verb exists.
+  std::string format = "hgb2";
+  std::vector<std::string> args;
+  args.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == "--format") {
+      format = flag_value(raw, &i, "--format");
+    } else {
+      args.push_back(raw[i]);
+    }
+  }
+  if (args.size() != 2) return usage();
+  const Hypergraph h = load_hypergraph(args[0]);
+  save_hypergraph_as(args[1], h, format);
+  std::printf("wrote %s (%s): n=%zu m=%zu dim=%zu\n", args[1].c_str(),
+              format.c_str(), h.num_vertices(), h.num_edges(), h.dimension());
   return 0;
 }
 
@@ -711,6 +767,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "convert") return cmd_convert(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "batch") return cmd_batch(args);

@@ -16,7 +16,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
-PR=${PR:-8}
+PR=${PR:-9}
 OUT=${OUT:-BENCH_PR${PR}.json}
 SCALE=${HMIS_BENCH_SCALE:-full}
 LOG_DIR=$(mktemp -d)
@@ -42,6 +42,7 @@ run_bench() {
 run_bench bench_engine_throughput
 run_bench bench_coloring_kernels
 run_bench bench_shard_scaling
+run_bench bench_graph_load
 
 # ---- Table extractors ------------------------------------------------------
 # Emit the numeric rows between "==== <tag> ..." and "==== end <tag> ====",
@@ -100,6 +101,34 @@ json_coloring_alloc() {
              (NR>1?",":""), $1, $2, $3, $4 }'
 }
 
+json_load_format() {
+  # Rows key on the format name (the table's one numeric-first line is the
+  # instance-shape banner, filtered out by the name match).
+  awk '
+    /^==== load:format / { inside = 1; next }
+    /^==== end load:format/ { inside = 0 }
+    inside && $1 ~ /^(text|hgb1|hgb2_owned|hgb2_mapped)$/ { print }
+  ' "$LOG_DIR/bench_graph_load.log" | awk '
+    { printf "%s{\"format\":\"%s\",\"bytes\":%s,\"ms\":%s,\"mb_per_sec\":%s,\"allocs\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4, $5 }'
+}
+
+json_load_solve() {
+  table_rows "$LOG_DIR/bench_graph_load.log" "load:solve" | awk '
+    { printf "%s{\"threads\":%s,\"identical\":%s}",
+             (NR>1?",":""), $1, ($2=="yes"?"true":"false") }'
+}
+
+json_load_corpus() {
+  awk '
+    /^==== load:corpus / { inside = 1; next }
+    /^==== end load:corpus/ { inside = 0 }
+    inside && NF == 7 && $2 ~ /^[0-9]/ { print }
+  ' "$LOG_DIR/bench_graph_load.log" | awk '
+    { printf "%s{\"instance\":\"%s\",\"n\":%s,\"m\":%s,\"dim\":%s,\"load_ms\":%s,\"colors\":%s,\"color_ms\":%s}",
+             (NR>1?",":""), $1, $2, $3, $4, $5, $6, $7 }'
+}
+
 # Every section must have extracted at least one row — an empty array means
 # the table format drifted and the baseline would be silently hollow.
 require_rows() {
@@ -118,6 +147,9 @@ COLORING_ALLOC=$(json_coloring_alloc)
 SHARD_DEBT=$(json_shard_debt)
 SHARD_SCALING=$(json_shard_scaling)
 SHARD_ALLOC=$(json_shard_alloc)
+LOAD_FORMAT=$(json_load_format)
+LOAD_SOLVE=$(json_load_solve)
+LOAD_CORPUS=$(json_load_corpus)
 require_rows "eng:alloc" "$ENGINE_ALLOC"
 require_rows "eng:throughput" "$ENGINE_THROUGHPUT"
 require_rows "col:blue" "$COLORING_BLUE"
@@ -126,6 +158,9 @@ require_rows "col:alloc" "$COLORING_ALLOC"
 require_rows "shard:debt" "$SHARD_DEBT"
 require_rows "shard:scaling" "$SHARD_SCALING"
 require_rows "shard:alloc" "$SHARD_ALLOC"
+require_rows "load:format" "$LOAD_FORMAT"
+require_rows "load:solve" "$LOAD_SOLVE"
+require_rows "load:corpus" "$LOAD_CORPUS"
 
 {
   printf '{\n'
@@ -140,7 +175,10 @@ require_rows "shard:alloc" "$SHARD_ALLOC"
   printf '  "coloring_alloc": [%s],\n' "$COLORING_ALLOC"
   printf '  "shard_debt": [%s],\n' "$SHARD_DEBT"
   printf '  "shard_scaling": [%s],\n' "$SHARD_SCALING"
-  printf '  "shard_alloc": [%s]\n' "$SHARD_ALLOC"
+  printf '  "shard_alloc": [%s],\n' "$SHARD_ALLOC"
+  printf '  "load_format": [%s],\n' "$LOAD_FORMAT"
+  printf '  "load_solve": [%s],\n' "$LOAD_SOLVE"
+  printf '  "load_corpus": [%s]\n' "$LOAD_CORPUS"
   printf '}\n'
 } >"$OUT"
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Verify the checked-in corpus: every instance's digest matches the
+# manifest, and `hmis convert` round-trips each one clean (hgb2 → text →
+# hgb2 reproduces the original file byte for byte, which exercises the
+# HGB2 reader, the text writer/reader, and the HGB2 writer against each
+# other).  CI runs this on every push; it also catches someone editing a
+# corpus file without regenerating the manifest.
+#
+#   cmake -B build -S . && cmake --build build -j && tools/verify_corpus.sh
+set -euo pipefail
+
+HMIS=${HMIS:-build/tools/hmis}
+CORPUS=${CORPUS:-corpus}
+
+[ -f "$CORPUS/MANIFEST.sha256" ] || {
+  echo "verify_corpus: no $CORPUS/MANIFEST.sha256" >&2
+  exit 1
+}
+
+(cd "$CORPUS" && sha256sum --quiet -c MANIFEST.sha256)
+echo "corpus digests match MANIFEST.sha256"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+while read -r _ name; do
+  "$HMIS" convert "$CORPUS/$name" "$tmp/rt.hg" --format text >/dev/null
+  "$HMIS" convert "$tmp/rt.hg" "$tmp/rt.hgb2" --format hgb2 >/dev/null
+  cmp -s "$CORPUS/$name" "$tmp/rt.hgb2" || {
+    echo "verify_corpus: $name does not round-trip through text" >&2
+    exit 1
+  }
+  echo "  round-trip ok: $name"
+done < "$CORPUS/MANIFEST.sha256"
+echo "corpus round-trips clean"
