@@ -56,6 +56,9 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
   const util::CounterRng rng(opt.seed);
   engine::RoundContext local_ctx;
   engine::RoundContext& rc = ctx != nullptr ? *ctx : local_ctx;
+  // A caller-provided context may already carry the session token (SBL's
+  // outer loop installs it); only adopt ours into a fresh context.
+  if (rc.cancel == nullptr) rc.cancel = opt.cancel;
 
   // The residual structure runs its maintenance (shrink, delete, dedupe,
   // scans) on the same pool as the algorithm's own primitives.
@@ -80,6 +83,7 @@ BlOutcome bl_run(MutableHypergraph& mh, const BlOptions& opt,
   auto& unmarked = rc.unmarked(mh.num_original_vertices());
 
   while (mh.num_live_vertices() > 0) {
+    rc.poll_cancel();
     if (out.stages >= opt.max_rounds) {
       out.success = false;
       out.failure_reason = "BL exceeded max_rounds";

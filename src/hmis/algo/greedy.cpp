@@ -11,7 +11,6 @@ namespace hmis::algo {
 
 Result greedy_mis_ordered(const Hypergraph& h, std::span<const VertexId> order,
                           const GreedyOptions& opt) {
-  (void)opt;
   util::Timer timer;
   Result result;
   const std::size_t m = h.num_edges();
@@ -21,7 +20,14 @@ Result greedy_mis_ordered(const Hypergraph& h, std::span<const VertexId> order,
     miss[e] = static_cast<std::uint32_t>(h.edge_size(e));
   }
   std::vector<std::uint8_t> in_set(h.num_vertices(), 0);
+  std::size_t since_poll = 0;
   for (const VertexId v : order) {
+    // Greedy has no rounds; poll the token on a fixed vertex stride so a
+    // cancelled sequential solve still unwinds promptly.
+    if (opt.cancel != nullptr && ++since_poll == 4096) {
+      since_poll = 0;
+      opt.cancel->throw_if_cancelled();
+    }
     bool blocked = false;
     for (const EdgeId e : h.edges_of(v)) {
       // If only v is missing from e, adding v would complete the edge.

@@ -22,9 +22,11 @@ KuwOutcome kuw_run(MutableHypergraph& mh, const KuwOptions& opt,
 
   engine::RoundContext local_ctx;
   engine::RoundContext& rc = ctx != nullptr ? *ctx : local_ctx;
+  if (rc.cancel == nullptr) rc.cancel = opt.cancel;
   auto& position = rc.positions(mh.num_original_vertices());
 
   while (mh.num_live_vertices() > 0) {
+    rc.poll_cancel();
     if (out.rounds >= opt.max_rounds) {
       out.success = false;
       out.failure_reason = "KUW exceeded max_rounds";

@@ -20,6 +20,7 @@ Result luby_mis(const Hypergraph& h, const LubyOptions& opt) {
   mh.singleton_cascade();  // size-1 edges exclude their vertex outright
 
   while (mh.num_live_vertices() > 0) {
+    if (opt.cancel != nullptr) opt.cancel->throw_if_cancelled();
     if (result.rounds >= opt.max_rounds) {
       result.success = false;
       result.failure_reason = "Luby exceeded max_rounds";

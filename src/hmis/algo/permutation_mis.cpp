@@ -20,6 +20,7 @@ Result permutation_mis(const Hypergraph& h, const PermutationOptions& opt) {
   mh.singleton_cascade();
 
   while (mh.num_live_vertices() > 0) {
+    if (opt.cancel != nullptr) opt.cancel->throw_if_cancelled();
     if (result.rounds >= opt.max_rounds) {
       result.success = false;
       result.failure_reason = "permutation_mis exceeded max_rounds";

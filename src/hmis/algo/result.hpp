@@ -13,6 +13,7 @@
 #include "hmis/hypergraph/shard_plan.hpp"
 #include "hmis/hypergraph/types.hpp"
 #include "hmis/par/metrics.hpp"
+#include "hmis/util/cancel.hpp"
 
 namespace hmis::par {
 class ThreadPool;
@@ -70,6 +71,10 @@ struct CommonOptions {
   /// by the determinism contract; the engine rotates affinity_offset per
   /// session so concurrent sessions spread their hot shards.
   ShardConfig shards;
+  /// Cooperative cancellation source (nullptr = never cancelled; must
+  /// outlive the run otherwise).  The round loops poll it at every outer
+  /// round boundary and unwind with util::CancelledError.
+  const util::CancelToken* cancel = nullptr;
 };
 
 }  // namespace hmis::algo

@@ -94,6 +94,9 @@ MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
   run.algorithm =
       algorithm == Algorithm::Auto ? choose_algorithm(h) : algorithm;
 
+  // Entry checkpoint: a request cancelled while queued never starts.
+  if (opt.cancel != nullptr) opt.cancel->throw_if_cancelled();
+
   const auto common = [&](auto& o) {
     o.seed = opt.seed;
     o.record_trace = opt.record_trace;
@@ -102,6 +105,7 @@ MisRun find_mis(const Hypergraph& h, Algorithm algorithm,
     // opt.sbl.pool usable as the fallback for the SBL pass-through).
     if (opt.pool != nullptr) o.pool = opt.pool;
     o.shards = opt.shards;
+    o.cancel = opt.cancel;
   };
   // on_progress rides the per-stage hooks of the algorithms that have them
   // (BL-family on_stage, SBL on_round); stats.stage is 0-based, the hook

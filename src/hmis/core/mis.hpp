@@ -64,6 +64,11 @@ struct FindOptions {
   /// Result is unaffected.  Powers `hmis serve`'s streaming progress
   /// frames (DESIGN.md §9).
   std::function<void(std::size_t)> on_progress;
+  /// Cooperative cancellation (forwarded into CommonOptions::cancel; also
+  /// checked once on entry so an already-cancelled request never starts).
+  /// The round-structured solvers poll it every outer round and unwind
+  /// with util::CancelledError; nullptr = never cancelled.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct MisRun {

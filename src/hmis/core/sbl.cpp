@@ -119,6 +119,7 @@ AttemptOutcome run_attempt(const Hypergraph& h, const SblOptions& opt,
 
   util::DynamicBitset& keep = ctx.keep_mask(h.num_vertices());
   while (mh.num_live_vertices() >= params.loop_threshold) {
+    ctx.poll_cancel();
     if (out.rounds >= opt.max_rounds) {
       out.success = false;
       out.failure_reason = "SBL exceeded max_rounds";
@@ -348,6 +349,7 @@ algo::Result sbl(const Hypergraph& h, const SblOptions& opt) {
   // shard plan, so per-round residual rebuilds keep the session geometry.
   engine::RoundContext ctx;
   ctx.shards = opt.shards;
+  ctx.cancel = opt.cancel;
   for (std::size_t attempt = 0; attempt <= opt.max_restarts; ++attempt) {
     AttemptOutcome outcome =
         run_attempt(h, opt, params, master.child(attempt).seed(),

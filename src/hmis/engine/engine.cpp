@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <new>
 #include <thread>
 #include <utility>
 
 #include "hmis/util/check.hpp"
+#include "hmis/util/fault.hpp"
 #include "hmis/util/timer.hpp"
 
 namespace hmis::engine {
@@ -18,7 +20,14 @@ namespace detail {
 /// sweeping sessions only after group.done() (done() becomes true *at* that
 /// decrement, and the scheduler never touches the group afterwards).
 struct SessionState {
+  explicit SessionState(const util::CancelToken* parent) : cancel(parent) {}
+
   par::GroupState group;
+  /// The session's cancellation latch: SolveFuture::cancel() trips it
+  /// directly; a request-supplied token (serve's per-connection sources)
+  /// participates as its parent.  run_session hands a pointer into the
+  /// solve, and the round loops poll it at round boundaries.
+  util::CancelToken cancel;
   std::promise<SolveResponse> promise;
   std::future<SolveResponse> future;
 };
@@ -71,9 +80,15 @@ void Engine::run_session(par::Task* task) {
       fopt.shards.affinity_offset = static_cast<std::size_t>(node->session_id);
     }
     fopt.on_progress = node->req.on_progress;
+    fopt.cancel = &node->state->cancel;
     resp.run = core::find_mis(*node->req.graph, node->req.algorithm, fopt);
     resp.solve_seconds = solve_timer.seconds();
     node->state->promise.set_value(std::move(resp));
+  } catch (const util::CancelledError&) {
+    // An expected outcome, not a failure: counted separately so operators
+    // can tell "clients hung up / cancelled" from "algorithm blew up".
+    engine->cancelled_.fetch_add(1, std::memory_order_relaxed);
+    node->state->promise.set_exception(std::current_exception());
   } catch (...) {
     engine->failed_.fetch_add(1, std::memory_order_relaxed);
     node->state->promise.set_exception(std::current_exception());
@@ -151,7 +166,12 @@ SolveFuture Engine::submit(SolveRequest req) {
     }
   } slot{this};
 
-  auto state = std::make_shared<detail::SessionState>();
+  // Injected allocation exhaustion for everything submit allocates below
+  // (session state, task node, request move).  Placed after the SlotGuard
+  // arms so the throw demonstrably returns the reserved slot.
+  if (HMIS_FAULT_POINT("alloc.engine.submit")) throw std::bad_alloc();
+
+  auto state = std::make_shared<detail::SessionState>(req.cancel);
   state->future = state->promise.get_future();
   auto node = std::make_unique<SessionTask>();
   node->req = std::move(req);
@@ -179,6 +199,11 @@ SolveFuture Engine::submit(SolveRequest req) {
     pool_->scheduler().spawn(node.get());
   } catch (...) {
     state->group.cancel(1);
+    // Un-count the submission: the session never existed as far as the
+    // stats are concerned, so submitted == completed still reconciles
+    // after a drain.  (A racing submitter may reuse the id — session_id
+    // is reporting-only, so a duplicate is harmless.)
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
     util::MutexLock lock(mutex_);
     sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), state),
                     sessions_.end());
@@ -231,6 +256,7 @@ EngineStats Engine::stats() const {
   out.submitted = submitted_.load(std::memory_order_relaxed);
   out.completed = completed_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
   out.inflight = inflight_.load(std::memory_order_relaxed);
   out.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
   out.scheduler = pool_->stats() - sched_baseline_;
@@ -239,6 +265,10 @@ EngineStats Engine::stats() const {
 
 bool SolveFuture::ready() const noexcept {
   return state_ != nullptr && state_->group.done();
+}
+
+void SolveFuture::cancel() noexcept {
+  if (state_ != nullptr) state_->cancel.cancel();
 }
 
 void SolveFuture::wait() {

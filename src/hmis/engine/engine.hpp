@@ -40,6 +40,7 @@
 
 #include "hmis/core/mis.hpp"
 #include "hmis/par/thread_pool.hpp"
+#include "hmis/util/cancel.hpp"
 #include "hmis/util/sync.hpp"
 
 namespace hmis::engine {
@@ -66,6 +67,11 @@ struct SolveRequest {
   /// thread after every completed outer round (1-based count).  Must be
   /// thread-safe and must not block for long — it runs inside the session.
   std::function<void(std::size_t)> on_progress;
+  /// Optional external cancellation source.  The session's own token (the
+  /// one SolveFuture::cancel() trips) chains to this, so cancelling either
+  /// unwinds the solve at its next round boundary with CancelledError.
+  /// Must outlive the session when non-null.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Move a hypergraph into shared ownership for SolveRequest::graph.
@@ -104,6 +110,11 @@ class SolveFuture {
   void wait();
   /// wait(), then consume the response (valid() becomes false).
   [[nodiscard]] SolveResponse get();
+  /// Request cooperative cancellation.  The session observes it at its
+  /// next round boundary and completes exceptionally with CancelledError
+  /// (get() rethrows it); a session that already finished is unaffected.
+  /// Safe from any thread, idempotent, never blocks.
+  void cancel() noexcept;
 
  private:
   friend class Engine;
@@ -130,7 +141,8 @@ struct EngineOptions {
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;  ///< sessions that threw (future rethrows)
+  std::uint64_t failed = 0;     ///< sessions that threw (future rethrows)
+  std::uint64_t cancelled = 0;  ///< sessions unwound by CancelledError
   std::size_t inflight = 0;
   std::size_t peak_inflight = 0;
   par::SchedulerStats scheduler;  ///< pool counters since engine creation
@@ -184,6 +196,7 @@ class Engine {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::size_t> peak_inflight_{0};
 };

@@ -32,6 +32,7 @@
 #include "hmis/engine/frame_arena.hpp"
 #include "hmis/hypergraph/mutable_hypergraph.hpp"
 #include "hmis/util/bitset.hpp"
+#include "hmis/util/cancel.hpp"
 
 namespace hmis::engine {
 
@@ -43,6 +44,18 @@ class RoundContext {
   /// per-session affinity rotation reaches the round loop.  Results never
   /// depend on it (determinism contract).
   ShardConfig shards{};
+
+  /// The session's cancellation source (null = never cancelled).  The
+  /// round-structured solvers call poll_cancel() at the top of every outer
+  /// round — the library-wide cancellation points (DESIGN.md §12).
+  const util::CancelToken* cancel = nullptr;
+
+  /// Throws CancelledError when the session has been cancelled.  One or
+  /// two relaxed atomic loads when armed; a null token is a single branch,
+  /// preserving the zero-alloc steady-state round contract.
+  void poll_cancel() const {
+    if (cancel != nullptr) cancel->throw_if_cancelled();
+  }
 
   // ---- Residual frames (arena-backed, double-buffered) --------------------
 

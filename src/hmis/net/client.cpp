@@ -1,10 +1,16 @@
 #include "hmis/net/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "hmis/util/json.hpp"
 
 namespace hmis::net {
 
 bool Client::connect(const std::string& host, std::uint16_t port) {
+  host_ = host;
+  port_ = port;
   sock_ = connect_to(host, port);
   return sock_.valid();
 }
@@ -28,9 +34,40 @@ Client::Reply Client::collect() {
   }
 }
 
+template <typename SendFn>
+Client::Reply Client::with_retry(const SendFn& send) {
+  const int attempts = std::max(1, retry_.max_attempts);
+  double backoff_ms = retry_.initial_backoff_ms;
+  Reply reply;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            std::min(backoff_ms, retry_.max_backoff_ms)));
+      }
+      backoff_ms =
+          std::min(backoff_ms * retry_.multiplier, retry_.max_backoff_ms);
+      if (!host_.empty()) sock_ = connect_to(host_, port_);
+    }
+    reply = Reply{};  // drop any partial progress from a dead attempt
+    if (sock_.valid() && send()) {
+      reply = collect();
+      reply.attempts = attempt;
+      if (reply.transport_ok) return reply;
+    }
+    // The attempt failed mid-stream, so the connection's framing state is
+    // unknown — a stale response (or half a response) may still be queued.
+    // Reusing it would hand the NEXT request the wrong reply, or block it
+    // forever on a garbage length header.  Always close; the next attempt
+    // (or the caller) starts from a fresh dial.
+    sock_.close();
+  }
+  reply.attempts = attempts;
+  return reply;
+}
+
 Client::Reply Client::request(std::string_view json) {
-  if (!write_frame(sock_, json)) return Reply{};
-  return collect();
+  return with_retry([&] { return write_frame(sock_, json); });
 }
 
 Client::Reply Client::load(std::string_view name, std::string_view graph_bytes,
@@ -44,9 +81,9 @@ Client::Reply Client::load(std::string_view name, std::string_view graph_bytes,
     req += '"';
   }
   req += '}';
-  if (!write_frame(sock_, req)) return Reply{};
-  if (!write_frame(sock_, graph_bytes)) return Reply{};
-  return collect();
+  return with_retry([&] {
+    return write_frame(sock_, req) && write_frame(sock_, graph_bytes);
+  });
 }
 
 bool Client::send_frame(std::string_view payload) {

@@ -14,6 +14,21 @@
 
 namespace hmis::net {
 
+/// Transport-failure retry (ISSUE 10).  Retries fire ONLY when no final
+/// response arrived (connect refused, send failed, connection died
+/// mid-reply) — an {"ok":false} response is an answer, not a transport
+/// failure, and is never retried.  This is sound because the wire ops are
+/// idempotent: solve responses are pure functions of (digest, algo, seed)
+/// and registry loads are content-addressed puts.  Backoff is capped
+/// exponential and fully deterministic (no jitter) so chaos schedules
+/// replay byte-for-byte.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total tries; 1 = no retry (the default)
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 250.0;
+  double multiplier = 2.0;
+};
+
 class Client {
  public:
   Client() = default;
@@ -22,19 +37,26 @@ class Client {
   [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
   void close() noexcept { sock_.close(); }
 
+  /// Applies to subsequent request()/load() calls; connect() remembers
+  /// host/port so a retry can re-dial a dead connection.
+  void set_retry(const RetryPolicy& policy) noexcept { retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry() const noexcept { return retry_; }
+
   struct Reply {
     bool transport_ok = false;  ///< final frame arrived (payload is valid)
     std::string payload;        ///< the final (non-progress) response
     std::vector<std::string> progress;  ///< progress frames, arrival order
+    int attempts = 1;           ///< tries consumed (retry observability)
   };
 
   /// Send one JSON request payload and read frames until the final
   /// response.  Progress frames ({"event":"progress",...}) are collected,
-  /// never returned as the payload.
+  /// never returned as the payload.  Retries per set_retry().
   [[nodiscard]] Reply request(std::string_view json);
 
   /// The two-frame load sequence: the request, then the raw graph bytes.
-  /// `format` is "hg1", "hgb1", or empty (server sniffs).
+  /// `format` is "hg1", "hgb1", or empty (server sniffs).  A retry resends
+  /// BOTH frames (the registry put is idempotent, so replays converge).
   [[nodiscard]] Reply load(std::string_view name, std::string_view graph_bytes,
                            std::string_view format = {});
 
@@ -45,9 +67,16 @@ class Client {
 
  private:
   Reply collect();
+  /// One attempt loop around `send` (which writes the request frames).
+  /// Reconnects between attempts; sleeps the deterministic backoff.
+  template <typename SendFn>
+  Reply with_retry(const SendFn& send);
 
   Socket sock_;
   std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  RetryPolicy retry_;
+  std::string host_;       ///< remembered for reconnect-on-retry
+  std::uint16_t port_ = 0;
 };
 
 }  // namespace hmis::net

@@ -1,7 +1,9 @@
 #include "hmis/net/protocol.hpp"
 
+#include <new>
 #include <sstream>
 
+#include "hmis/util/fault.hpp"
 #include "hmis/util/json.hpp"
 
 namespace hmis::net {
@@ -21,7 +23,17 @@ FrameStatus read_frame(Socket& s, std::string* out, std::size_t max_bytes) {
                             (static_cast<std::uint32_t>(header[2]) << 16) |
                             (static_cast<std::uint32_t>(header[3]) << 24);
   if (len > max_bytes) return FrameStatus::TooLarge;
-  out->resize(len);
+  // The one allocation a hostile-but-in-cap frame can force.  Exhaustion
+  // here is contained as Error rather than thrown: the length header is
+  // already consumed, so the stream is unusable — exactly the Error
+  // contract — and this function's callers include connection threads
+  // with no exception backstop.
+  try {
+    if (HMIS_FAULT_POINT("alloc.protocol")) throw std::bad_alloc();
+    out->resize(len);
+  } catch (const std::bad_alloc&) {
+    return FrameStatus::Error;
+  }
   if (len == 0) return FrameStatus::Ok;
   return s.recv_exact(out->data(), len) == Socket::RecvStatus::Ok
              ? FrameStatus::Ok
@@ -54,6 +66,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "FRAME_TOO_LARGE";
     case ErrorCode::ShuttingDown:
       return "SHUTTING_DOWN";
+    case ErrorCode::Cancelled:
+      return "CANCELLED";
     case ErrorCode::Internal:
       return "INTERNAL";
   }
@@ -112,6 +126,7 @@ bool parse_op(std::string_view name, Request::Op* out) {
   else if (name == "list") *out = Request::Op::List;
   else if (name == "solve") *out = Request::Op::Solve;
   else if (name == "stats") *out = Request::Op::Stats;
+  else if (name == "cancel") *out = Request::Op::Cancel;
   else if (name == "shutdown") *out = Request::Op::Shutdown;
   else return false;
   return true;
@@ -151,6 +166,11 @@ bool parse_request(std::string_view payload, Request* out, std::string* error) {
         return fail(error, "format must be a string");
       }
       out->format = val.raw;
+    } else if (key == "id") {
+      if (val.kind != util::JsonValue::Kind::String) {
+        return fail(error, "id must be a string");
+      }
+      out->id = val.raw;
     } else if (key == "seed") {
       const auto seed = util::json_u64(val);
       if (!seed) return fail(error, "seed must be an unsigned integer");
@@ -184,6 +204,9 @@ bool parse_request(std::string_view payload, Request* out, std::string* error) {
   // against the raw span, so reject escapes outright (names are plain).
   if (out->graph.find('\\') != std::string_view::npos) {
     return fail(error, "graph names must not contain escapes");
+  }
+  if (out->id.find('\\') != std::string_view::npos) {
+    return fail(error, "ids must not contain escapes");
   }
   return true;
 }

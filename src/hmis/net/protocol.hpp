@@ -55,6 +55,7 @@ enum class ErrorCode {
   ResourceExhausted,
   FrameTooLarge,
   ShuttingDown,
+  Cancelled,
   Internal,
 };
 [[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
@@ -78,11 +79,12 @@ enum class ErrorCode {
 /// which must stay alive while the request is handled (the parse itself
 /// allocates nothing — part of the zero-alloc cache-hit contract).
 struct Request {
-  enum class Op { Ping, Load, Unload, List, Solve, Stats, Shutdown };
+  enum class Op { Ping, Load, Unload, List, Solve, Stats, Cancel, Shutdown };
   Op op = Op::Ping;
   std::string_view graph;       ///< solve/unload: registry name; load: name
   std::string_view algo;        ///< solve; empty = "auto"
   std::string_view format;      ///< load: "hg1" | "hgb1"; empty = sniff
+  std::string_view id;          ///< solve: optional handle; cancel: target
   std::uint64_t seed = 1;       ///< solve
   double deadline_ms = -1.0;    ///< solve; < 0 = server default
   std::uint64_t progress_every = 0;  ///< solve; 0 = no progress frames

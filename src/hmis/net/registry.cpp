@@ -4,8 +4,11 @@
 #include <fstream>
 #include <utility>
 
+#include <new>
+
 #include "hmis/hypergraph/io.hpp"
 #include "hmis/util/check.hpp"
+#include "hmis/util/fault.hpp"
 #include "hmis/util/rng.hpp"
 
 namespace hmis::net {
@@ -38,6 +41,11 @@ GraphRegistry::Entry GraphRegistry::put(std::string name, Hypergraph graph) {
 GraphRegistry::Entry GraphRegistry::put_shared(
     std::string name, std::shared_ptr<const Hypergraph> graph) {
   HMIS_CHECK(graph != nullptr, "registering a null hypergraph");
+  // Injected exhaustion before the map insert: the registry must stay
+  // consistent (no partial entry) and the server must answer the load with
+  // a clean error, not die.  put() is idempotent, so a client retry after
+  // this failure converges to the same entry.
+  if (HMIS_FAULT_POINT("alloc.registry")) throw std::bad_alloc();
   const std::uint64_t digest = hypergraph_digest(*graph);
   Entry entry{std::move(graph), digest};
   util::MutexLock lock(mutex_);

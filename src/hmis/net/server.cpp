@@ -1,8 +1,13 @@
 #include "hmis/net/server.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <exception>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "hmis/hypergraph/io.hpp"
@@ -39,6 +44,11 @@ void ServeCore::AdmissionGate::release() {
   freed_.notify_one();
 }
 
+std::size_t ServeCore::AdmissionGate::inflight() const {
+  util::MutexLock lock(mutex_);
+  return inflight_;
+}
+
 // ---- ServeCore -------------------------------------------------------------
 
 ServeCore::ServeCore(const ServeOptions& opt)
@@ -57,7 +67,8 @@ ServeCore::Outcome ServeCore::respond_error(FrameSink* sink, ErrorCode code,
 }
 
 ServeCore::Outcome ServeCore::handle(std::string_view payload,
-                                     FrameSource* source, FrameSink* sink) {
+                                     FrameSource* source, FrameSink* sink,
+                                     const util::CancelToken* disconnect) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   Request req;
   std::string parse_err;
@@ -94,7 +105,9 @@ ServeCore::Outcome ServeCore::handle(std::string_view payload,
       return sink->frame(os.str()) ? Outcome::Continue : Outcome::Close;
     }
     case Request::Op::Solve:
-      return handle_solve(req, sink);
+      return handle_solve(req, sink, disconnect);
+    case Request::Op::Cancel:
+      return handle_cancel(req, sink);
     case Request::Op::Stats: {
       const ServeStats s = stats();
       std::ostringstream os;
@@ -105,9 +118,12 @@ ServeCore::Outcome ServeCore::handle(std::string_view payload,
          << ",\"insertions\":" << s.cache.insertions
          << ",\"evictions\":" << s.cache.evictions
          << ",\"entries\":" << s.cache.entries
-         << "},\"engine\":{\"submitted\":" << s.engine.submitted
+         << "},\"cancelled\":" << s.cancelled
+         << ",\"admission_inflight\":" << s.admission_inflight
+         << ",\"engine\":{\"submitted\":" << s.engine.submitted
          << ",\"completed\":" << s.engine.completed
          << ",\"failed\":" << s.engine.failed
+         << ",\"cancelled\":" << s.engine.cancelled
          << ",\"inflight\":" << s.engine.inflight
          << "},\"data_plane\":{\"sweeps\":" << s.data_plane.sweeps
          << ",\"swept_entries\":" << s.data_plane.swept_entries
@@ -194,8 +210,35 @@ ServeCore::Outcome ServeCore::handle_load(const Request& req,
   }
 }
 
-ServeCore::Outcome ServeCore::handle_solve(const Request& req,
-                                           FrameSink* sink) {
+ServeCore::Outcome ServeCore::handle_cancel(const Request& req,
+                                            FrameSink* sink) {
+  if (req.id.empty()) {
+    return respond_error(sink, ErrorCode::BadRequest, "cancel requires an id");
+  }
+  bool found = false;
+  {
+    // cancel() under the registry mutex: handle_solve erases its entry
+    // under the same mutex before its token leaves scope, so the pointer
+    // is live for exactly as long as it is findable.
+    util::MutexLock lock(ids_mutex_);
+    const auto it = inflight_ids_.find(req.id);
+    if (it != inflight_ids_.end()) {
+      it->second->cancel();
+      found = true;
+    }
+  }
+  if (!found) {
+    return respond_error(sink, ErrorCode::NotFound,
+                         "no in-flight solve with that id");
+  }
+  std::string out = "{\"ok\":true,\"cancelled\":\"";
+  out += util::json_escape(req.id);
+  out += "\"}";
+  return sink->frame(out) ? Outcome::Continue : Outcome::Close;
+}
+
+ServeCore::Outcome ServeCore::handle_solve(const Request& req, FrameSink* sink,
+                                           const util::CancelToken* disconnect) {
   util::Timer elapsed;  // deadline anchor: request receipt
   if (shutting_down()) {
     return respond_error(sink, ErrorCode::ShuttingDown, "server is draining");
@@ -227,6 +270,41 @@ ServeCore::Outcome ServeCore::handle_solve(const Request& req,
     return sink->frame(*hit) ? Outcome::Continue : Outcome::Close;
   }
 
+  // The request's cancellation latch: tripped by the `cancel` op (via the
+  // id registry below) or by the connection's peer-disconnect token.  Lives
+  // past this point only — the cache-hit return above never touches it, so
+  // the zero-alloc hit path stays untouched by cancellation machinery.
+  util::CancelToken request_cancel(disconnect);
+
+  // Register the optional id BEFORE admission: a solve stuck waiting for a
+  // ticket is exactly the kind another connection wants to cancel.
+  struct IdRegistration {
+    ServeCore* core = nullptr;
+    std::string id;
+    ~IdRegistration() {
+      if (core != nullptr) {
+        util::MutexLock lock(core->ids_mutex_);
+        core->inflight_ids_.erase(id);
+      }
+    }
+  } registration;
+  if (!req.id.empty()) {
+    util::MutexLock lock(ids_mutex_);
+    const auto [it, inserted] =
+        inflight_ids_.emplace(std::string(req.id), &request_cancel);
+    if (!inserted) {
+      return respond_error(sink, ErrorCode::BadRequest,
+                           "id already names an in-flight solve");
+    }
+    registration.core = this;
+    registration.id = it->first;
+  }
+  const auto respond_cancelled = [&]() -> Outcome {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return respond_error(sink, ErrorCode::Cancelled, "solve cancelled");
+  };
+  if (request_cancel.cancelled()) return respond_cancelled();
+
   const double deadline_ms =
       req.deadline_ms >= 0 ? req.deadline_ms : opt_.default_deadline_ms;
   const auto remaining_ms = [&elapsed, deadline_ms]() -> double {
@@ -247,9 +325,17 @@ ServeCore::Outcome ServeCore::handle_solve(const Request& req,
 
   if (opt_.enable_test_ops && req.delay_ms > 0) {
     // Test-only congestion: occupy the admission slot without solving.
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(req.delay_ms));
+    // Sliced so a cancel (or peer disconnect) frees the slot promptly
+    // instead of after the full delay.
+    util::Timer slept;
+    while (slept.millis() < req.delay_ms) {
+      if (request_cancel.cancelled()) return respond_cancelled();
+      const double left = req.delay_ms - slept.millis();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          left < 2.0 ? left : 2.0));
+    }
   }
+  if (request_cancel.cancelled()) return respond_cancelled();
   if (deadline_ms > 0 && remaining_ms() <= 0) {
     return respond_error(sink, ErrorCode::DeadlineExceeded,
                          "deadline expired before the solve started");
@@ -259,6 +345,7 @@ ServeCore::Outcome ServeCore::handle_solve(const Request& req,
   sr.graph = entry->graph;
   sr.algorithm = *algo;
   sr.seed = req.seed;
+  sr.cancel = &request_cancel;
   if (req.progress_every > 0) {
     const std::uint64_t every = req.progress_every;
     sr.on_progress = [sink, every](std::size_t rounds) {
@@ -269,6 +356,8 @@ ServeCore::Outcome ServeCore::handle_solve(const Request& req,
   core::MisRun run;
   try {
     run = engine_.submit(std::move(sr)).get().run;
+  } catch (const util::CancelledError&) {
+    return respond_cancelled();
   } catch (const std::exception& e) {
     return respond_error(sink, ErrorCode::Internal, e.what());
   }
@@ -288,6 +377,8 @@ ServeStats ServeCore::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.solves = solves_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.admission_inflight = gate_.inflight();
   s.cache = cache_.stats();
   s.engine = engine_.stats();
   s.data_plane = data_plane_stats();
@@ -332,6 +423,106 @@ class SocketSource final : public FrameSource {
 };
 
 }  // namespace
+
+// ---- DisconnectWatcher -----------------------------------------------------
+
+#ifdef POLLRDHUP
+constexpr short kHangupEvents = POLLRDHUP | POLLHUP | POLLERR | POLLNVAL;
+constexpr short kHangupPollFor = POLLRDHUP;
+#else
+constexpr short kHangupEvents = POLLHUP | POLLERR | POLLNVAL;
+constexpr short kHangupPollFor = 0;
+#endif
+
+Server::DisconnectWatcher::DisconnectWatcher() {
+  int pipe_fds[2];
+  HMIS_CHECK(::pipe2(pipe_fds, O_CLOEXEC) == 0, "pipe2() failed");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  thread_ = std::thread([this] { run(); });
+}
+
+Server::DisconnectWatcher::~DisconnectWatcher() {
+  disable();
+  ::close(wake_read_);
+  ::close(wake_write_);
+}
+
+void Server::DisconnectWatcher::watch(int fd, util::CancelToken* token) {
+  {
+    util::MutexLock lock(mutex_);
+    watched_.emplace_back(fd, token);
+  }
+  const char byte = 1;
+  (void)!::write(wake_write_, &byte, 1);
+}
+
+void Server::DisconnectWatcher::unwatch(int fd) {
+  {
+    // Same mutex as the cancel sweep in run(): after this returns, the
+    // token registered for fd can never be dereferenced again, so the
+    // caller may let it go out of scope.
+    util::MutexLock lock(mutex_);
+    for (auto it = watched_.begin(); it != watched_.end(); ++it) {
+      if (it->first == fd) {
+        watched_.erase(it);
+        break;
+      }
+    }
+  }
+  const char byte = 1;
+  (void)!::write(wake_write_, &byte, 1);
+}
+
+void Server::DisconnectWatcher::disable() {
+  stop_.store(true);
+  const char byte = 1;
+  (void)!::write(wake_write_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Server::DisconnectWatcher::run() {
+  std::vector<pollfd> fds;
+  std::vector<int> fd_order;
+  while (!stop_.load()) {
+    fds.clear();
+    fd_order.clear();
+    fds.push_back({wake_read_, POLLIN, 0});
+    {
+      util::MutexLock lock(mutex_);
+      for (const auto& [fd, token] : watched_) {
+        fds.push_back({fd, kHangupPollFor, 0});
+        fd_order.push_back(fd);
+      }
+    }
+    const int r = ::poll(fds.data(), fds.size(), -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;  // should not happen; fail closed (no more cancellations)
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drained[16];
+      (void)!::read(wake_read_, drained, sizeof(drained));
+    }
+    if (stop_.load()) return;
+    util::MutexLock lock(mutex_);
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & kHangupEvents) == 0) continue;
+      // Re-find under the mutex: the snapshot above raced with
+      // watch/unwatch, so fd_order[i-1] may already be gone (in which case
+      // the hangup belongs to a connection that finished on its own).
+      for (auto it = watched_.begin(); it != watched_.end(); ++it) {
+        if (it->first == fd_order[i - 1]) {
+          it->second->cancel();
+          watched_.erase(it);  // one-shot: the token latches forever
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---- Server ----------------------------------------------------------------
 
 Server::Server(const ServeOptions& opt)
     : core_(opt), listener_(opt.host, opt.port, /*backlog=*/128) {}
@@ -398,6 +589,10 @@ void Server::accept_loop() {
     util::MutexLock lock(conns_mutex_);
     remaining.swap(conns_);
   }
+  // MUST precede the half-close loop: shutdown_read() makes poll report
+  // RDHUP on our own fds, and the drain contract is that in-flight requests
+  // finish — they must not be cancelled as false peer-disconnects.
+  watcher_.disable();
   for (const auto& c : remaining) c->sock.shutdown_read();
   for (const auto& c : remaining) {
     if (c->worker.joinable()) c->worker.join();
@@ -419,6 +614,11 @@ void Server::sweep_finished_locked() {
 void Server::serve_connection(Conn* conn) {
   SocketSink sink(conn->sock);
   SocketSource source(conn->sock, core_.options().max_frame_bytes);
+  // One latch for the connection's whole life: once the peer hangs up, every
+  // subsequent request on this connection is moot, not just the one in
+  // flight when the hangup landed.
+  util::CancelToken peer_gone(nullptr);
+  watcher_.watch(conn->sock.fd(), &peer_gone);
   std::string buf;
   for (;;) {
     const FrameStatus st =
@@ -431,11 +631,15 @@ void Server::serve_connection(Conn* conn) {
       break;
     }
     if (st != FrameStatus::Ok) break;  // clean EOF or socket error
-    const ServeCore::Outcome outcome = core_.handle(buf, &source, &sink);
+    const ServeCore::Outcome outcome =
+        core_.handle(buf, &source, &sink, &peer_gone);
     if (outcome == ServeCore::Outcome::Continue) continue;
     if (outcome == ServeCore::Outcome::Shutdown) request_stop();
     break;
   }
+  // Unwatch BEFORE peer_gone dies (and before the half-close below, which
+  // would read as a hangup on our own fd).
+  watcher_.unwatch(conn->sock.fd());
   // Tell the peer we are done NOW: the fd itself is closed later, on the
   // acceptor thread, when this Conn is swept or drained — but that sweep
   // only runs on accept activity, and a client waiting for EOF after an

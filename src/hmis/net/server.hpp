@@ -34,8 +34,11 @@
 #include "hmis/hypergraph/data_plane_stats.hpp"
 #include "hmis/net/protocol.hpp"
 #include "hmis/net/registry.hpp"
+#include <map>
+
 #include "hmis/net/result_cache.hpp"
 #include "hmis/net/socket.hpp"
+#include "hmis/util/cancel.hpp"
 #include "hmis/util/sync.hpp"
 #include "hmis/util/thread_annotations.hpp"
 
@@ -82,6 +85,8 @@ struct ServeStats {
   std::uint64_t requests = 0;
   std::uint64_t solves = 0;       ///< engine submissions (cache misses)
   std::uint64_t rejected = 0;     ///< error responses of any kind
+  std::uint64_t cancelled = 0;    ///< solves ended by cancel/disconnect
+  std::size_t admission_inflight = 0;  ///< tickets currently held
   ResultCache::Stats cache;
   engine::EngineStats engine;
   DataPlaneStats data_plane;      ///< residual data-plane maintenance
@@ -102,8 +107,12 @@ class ServeCore {
   /// frame of a `load`, pulled from `source`).  Never throws: every failure
   /// becomes an {"ok":false,...} frame.  `source` may be null when the
   /// caller cannot supply follow-up frames (load then fails cleanly).
+  /// `disconnect` (optional) is the connection's peer-gone token: a solve
+  /// in flight when it trips unwinds with a CANCELLED response and releases
+  /// its admission + engine slots.
   Outcome handle(std::string_view payload, FrameSource* source,
-                 FrameSink* sink);
+                 FrameSink* sink,
+                 const util::CancelToken* disconnect = nullptr);
 
   /// After this, solve/load requests get SHUTTING_DOWN; ping/stats/list
   /// still answer (drain visibility).
@@ -126,19 +135,24 @@ class ServeCore {
     /// remaining_ms < 0 waits forever.  False = deadline expired un-admitted.
     [[nodiscard]] bool acquire(double remaining_ms);
     void release();
+    /// Tickets currently held (chaos-harness reconciliation: must read 0
+    /// once every connection drained).
+    [[nodiscard]] std::size_t inflight() const;
 
    private:
     const std::size_t capacity_;
-    util::Mutex mutex_;
+    mutable util::Mutex mutex_;
     util::CondVar freed_;
     std::size_t inflight_ HMIS_GUARDED_BY(mutex_) = 0;
   };
 
   Outcome respond_error(FrameSink* sink, ErrorCode code,
                         std::string_view message);
-  Outcome handle_solve(const Request& req, FrameSink* sink);
+  Outcome handle_solve(const Request& req, FrameSink* sink,
+                       const util::CancelToken* disconnect);
   Outcome handle_load(const Request& req, FrameSource* source,
                       FrameSink* sink);
+  Outcome handle_cancel(const Request& req, FrameSink* sink);
 
   const ServeOptions opt_;
   engine::Engine engine_;
@@ -149,6 +163,18 @@ class ServeCore {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+
+  /// In-flight solves that carried an "id", addressable by the `cancel`
+  /// op.  Values point at tokens on handle_solve stacks; entries are
+  /// erased (under this mutex) before those frames unwind, and
+  /// handle_cancel only dereferences while holding it — so no dangling.
+  /// std::map with transparent compare: the registration lookup takes the
+  /// request's string_view without materializing a key (cache-hit solves
+  /// never reach this map at all, preserving the zero-alloc hit path).
+  util::Mutex ids_mutex_;
+  std::map<std::string, util::CancelToken*, std::less<>> inflight_ids_
+      HMIS_GUARDED_BY(ids_mutex_);
 };
 
 /// The TCP shell.  Lifecycle: construct (binds), start() (spawns the accept
@@ -185,10 +211,42 @@ class Server {
     std::atomic<bool> done{false};
   };
 
+  /// Peer-disconnect detection: one poll thread watching every
+  /// connection's fd for POLLRDHUP while its worker is busy inside a solve
+  /// (a worker blocked in the engine is not reading the socket, so a
+  /// vanished client would otherwise hold its admission slot until the
+  /// solve finished).  On hangup the connection's token is cancelled; the
+  /// in-flight session unwinds and frees its slots.  disable() stops
+  /// cancellation permanently — the graceful drain half-closes read sides
+  /// locally, which poll also reports as RDHUP, and drain must let
+  /// in-flight requests finish.
+  class DisconnectWatcher {
+   public:
+    DisconnectWatcher();
+    ~DisconnectWatcher();
+
+    void watch(int fd, util::CancelToken* token);
+    void unwatch(int fd);
+    /// Idempotent: stop cancelling and join the poll thread.
+    void disable();
+
+   private:
+    void run();
+
+    util::Mutex mutex_;
+    std::vector<std::pair<int, util::CancelToken*>> watched_
+        HMIS_GUARDED_BY(mutex_);
+    std::atomic<bool> stop_{false};
+    int wake_read_ = -1;
+    int wake_write_ = -1;
+    std::thread thread_;
+  };
+
   void accept_loop();
   void serve_connection(Conn* conn);
   void sweep_finished_locked() HMIS_REQUIRES(conns_mutex_);
 
+  DisconnectWatcher watcher_;
   ServeCore core_;
   Listener listener_;
   std::thread acceptor_;

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "hmis/util/check.hpp"
+#include "hmis/util/fault.hpp"
 
 namespace hmis::net {
 
@@ -44,7 +45,18 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 bool Socket::send_all(const void* data, std::size_t len) noexcept {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
-    const ssize_t sent = ::send(fd_, p, len, kSendFlags);
+    // Injection mirrors the three real failure shapes of send(): a peer
+    // reset (hard error), a signal interruption (retry), and a partial
+    // transfer (the kernel accepted fewer bytes than offered — emulated by
+    // offering a single byte, the worst legal case for the loop).
+    if (HMIS_FAULT_POINT("net.write.reset")) {
+      errno = ECONNRESET;
+      return false;
+    }
+    if (HMIS_FAULT_POINT("net.write.eintr")) continue;
+    const std::size_t chunk =
+        len > 1 && HMIS_FAULT_POINT("net.write.short") ? 1 : len;
+    const ssize_t sent = ::send(fd_, p, chunk, kSendFlags);
     if (sent < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -59,7 +71,14 @@ Socket::RecvStatus Socket::recv_exact(void* data, std::size_t len) noexcept {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t r = ::recv(fd_, p + got, len - got, 0);
+    if (HMIS_FAULT_POINT("net.read.reset")) {
+      errno = ECONNRESET;
+      return RecvStatus::Error;
+    }
+    if (HMIS_FAULT_POINT("net.read.eintr")) continue;
+    const std::size_t want =
+        len - got > 1 && HMIS_FAULT_POINT("net.read.short") ? 1 : len - got;
+    const ssize_t r = ::recv(fd_, p + got, want, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
       return RecvStatus::Error;
@@ -140,6 +159,9 @@ Socket Listener::accept() {
       return Socket();  // woken — caller re-checks its stop flag
     }
     if ((fds[0].revents & POLLIN) != 0) {
+      // Injected transient accept failure (the ECONNABORTED shape): the
+      // pending connection stays queued and the next poll round takes it.
+      if (HMIS_FAULT_POINT("net.accept")) continue;
       const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
       if (conn < 0) {
         if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -162,8 +184,29 @@ Socket connect_to(const std::string& host, std::uint16_t port) {
   if (fd < 0) return Socket();
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    ::close(fd);
-    return Socket();
+    // EINTR does not abort a connect: the three-way handshake proceeds in
+    // the background and restarting connect() would return EALREADY.  The
+    // POSIX-blessed recovery is to wait for writability and read the final
+    // status out of SO_ERROR.
+    if (errno != EINTR) {
+      ::close(fd);
+      return Socket();
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    for (;;) {
+      const int r = ::poll(&pfd, 1, -1);
+      if (r > 0) break;
+      if (r < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return Socket();
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return Socket();
+    }
   }
   return Socket(fd);
 }

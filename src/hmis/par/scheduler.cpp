@@ -1,8 +1,10 @@
 #include "hmis/par/scheduler.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "hmis/par/topology.hpp"
+#include "hmis/util/fault.hpp"
 
 namespace hmis::par {
 
@@ -92,6 +94,12 @@ bool Scheduler::on_worker() const noexcept {
 // ---- Dispatch --------------------------------------------------------------
 
 void Scheduler::spawn(Task* task) {
+  // Injected spawn failure = deque/mailbox growth hitting allocation
+  // exhaustion.  Every caller already has a recovery contract: run_chunks
+  // falls back to inline execution, TaskGroup callers cancel() the
+  // registration, and Engine::submit unwinds the session (see the catch
+  // blocks at each call site) — so a throw here must never lose a task.
+  if (HMIS_FAULT_POINT("sched.spawn")) throw std::bad_alloc();
   spawns_.fetch_add(1, std::memory_order_relaxed);
   if (Worker* self = current_worker()) {
     self->deque.push(task);

@@ -1,0 +1,63 @@
+// Cooperative cancellation (DESIGN.md §12).
+//
+// A `CancelToken` is a one-way latch: once `cancel()` is called it stays
+// cancelled forever.  Long-running work polls `cancelled()` at natural
+// checkpoints (round boundaries in the MIS algorithms — see
+// engine::RoundContext::poll_cancel) and unwinds by throwing
+// `CancelledError`.  Tokens chain: a token constructed over a parent is
+// cancelled whenever the parent is, which lets a serve session merge two
+// independent cancellation sources (an explicit `cancel` op and
+// peer-disconnect detection) into the single pointer the engine sees.
+//
+// The token is intentionally minimal — no callbacks, no registration.
+// `cancelled()` is one (or two, when chained) relaxed atomic loads, cheap
+// enough for a per-round poll, and `cancel()` is safe from any thread,
+// including concurrently with polls.  Lifetime is the caller's problem, as
+// with every other options-struct pointer in this codebase: whoever passes
+// a token into a solve must keep it alive until the solve's future is
+// resolved.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace hmis::util {
+
+/// Thrown by `CancelToken::throw_if_cancelled` (and by code observing a
+/// cancelled token) to unwind a cooperatively-cancelled computation.
+/// Distinct from CheckError on purpose: cancellation is an expected
+/// outcome, not a contract violation, and callers dispatch on the type.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("cancelled") {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A child token: cancelled when either it or `parent` is cancelled.
+  /// `parent` may be null (equivalent to the default constructor) and must
+  /// outlive this token when non-null.
+  explicit CancelToken(const CancelToken* parent) noexcept
+      : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  void throw_if_cancelled() const {
+    if (cancelled()) throw CancelledError();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace hmis::util

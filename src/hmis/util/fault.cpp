@@ -1,0 +1,178 @@
+#include "hmis/util/fault.hpp"
+
+#include <cstdlib>
+
+#include "hmis/util/check.hpp"
+#include "hmis/util/parse.hpp"
+#include "hmis/util/rng.hpp"
+
+namespace hmis::util {
+
+namespace {
+
+// The armed plan plus a generation stamp.  Sites compare their cached
+// generation against `generation` and re-snapshot (resetting their ordinal)
+// when it moves — so fault_arm never has to enumerate sites, and sites in
+// TUs that were never rolled cost nothing.
+struct GlobalFault {
+  Mutex mutex;
+  FaultPlan plan HMIS_GUARDED_BY(mutex);
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+GlobalFault& global_fault() {
+  static GlobalFault g;
+  return g;
+}
+
+// FNV-1a over the site name: a stable per-site stream id so distinct sites
+// draw decorrelated schedules from the same (seed, rate).
+std::uint64_t site_stream(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Iterative '*' glob match (the classic two-pointer backtracking form; no
+// recursion, no allocation).
+bool glob_match(std::string_view pattern, std::string_view name) noexcept {
+  std::size_t p = 0;
+  std::size_t n = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == name[n] || pattern[p] == '?')) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+bool fault_sites_match(std::string_view globs,
+                       std::string_view name) noexcept {
+  while (!globs.empty()) {
+    const std::size_t semi = globs.find(';');
+    const std::string_view one =
+        semi == std::string_view::npos ? globs : globs.substr(0, semi);
+    if (!one.empty() && glob_match(one, name)) return true;
+    if (semi == std::string_view::npos) break;
+    globs.remove_prefix(semi + 1);
+  }
+  return false;
+}
+
+FaultPlan parse_fault_plan(std::string_view spec) {
+  FaultPlan plan;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    const std::string_view field =
+        comma == std::string_view::npos ? spec : spec.substr(0, comma);
+    const std::size_t eq = field.find('=');
+    HMIS_CHECK(eq != std::string_view::npos,
+               "fault plan field is not key=value: " + std::string(field));
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "seed") {
+      const auto seed = parse_u64(value);
+      HMIS_CHECK(seed.has_value(),
+                 "fault plan seed is not a u64: " + std::string(value));
+      plan.seed = *seed;
+    } else if (key == "rate") {
+      const auto rate = parse_f64(value);
+      HMIS_CHECK(rate.has_value() && *rate >= 0.0 && *rate <= 1.0,
+                 "fault plan rate is not in [0,1]: " + std::string(value));
+      plan.rate = *rate;
+    } else if (key == "sites") {
+      HMIS_CHECK(!value.empty(), "fault plan sites glob is empty");
+      plan.sites.assign(value);
+    } else {
+      HMIS_CHECK(false, "unknown fault plan key: " + std::string(key));
+    }
+    if (comma == std::string_view::npos) break;
+    spec.remove_prefix(comma + 1);
+  }
+  return plan;
+}
+
+void fault_arm(const FaultPlan& plan) {
+  HMIS_CHECK(plan.rate >= 0.0 && plan.rate <= 1.0,
+             "fault plan rate must be in [0,1]");
+  GlobalFault& g = global_fault();
+  {
+    MutexLock lock(g.mutex);
+    g.plan = plan;
+    // Bump *after* the plan is in place (release pairs with the acquire in
+    // FaultSite::roll): a site observing the new generation re-snapshots
+    // under g.mutex and necessarily sees the new plan.
+    g.generation.fetch_add(1, std::memory_order_release);
+    g.fires.store(0, std::memory_order_relaxed);
+  }
+  detail::g_fault_armed.store(true, std::memory_order_relaxed);
+}
+
+void fault_disarm() {
+  detail::g_fault_armed.store(false, std::memory_order_relaxed);
+}
+
+bool fault_armed() noexcept {
+  return detail::g_fault_armed.load(std::memory_order_relaxed);
+}
+
+bool fault_arm_from_env() {
+  const char* spec = std::getenv("HMIS_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  fault_arm(parse_fault_plan(spec));
+  return true;
+}
+
+std::uint64_t fault_fires() noexcept {
+  return global_fault().fires.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::atomic<bool> g_fault_armed{false};
+
+bool FaultSite::roll() {
+  GlobalFault& g = global_fault();
+  const std::uint64_t current =
+      g.generation.load(std::memory_order_acquire);
+  MutexLock lock(mutex_);
+  if (generation_ != current) {
+    // New plan since our last roll: re-snapshot and restart the ordinal
+    // sequence (re-arming the same seed replays the same schedule).
+    MutexLock plan_lock(g.mutex);
+    generation_ = g.generation.load(std::memory_order_relaxed);
+    ordinal_ = 0;
+    enabled_ = fault_sites_match(g.plan.sites, name_);
+    rate_ = g.plan.rate;
+    seed_ = g.plan.seed;
+    stream_ = site_stream(name_);
+  }
+  if (!enabled_ || rate_ <= 0.0) return false;
+  const std::uint64_t n = ordinal_++;
+  if (!CounterRng(seed_).bernoulli(rate_, stream_, n)) return false;
+  g.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace detail
+
+}  // namespace hmis::util

@@ -1,0 +1,136 @@
+// Deterministic fault injection (DESIGN.md §12).
+//
+// Failure-prone surfaces declare *named injection sites*:
+//
+//   if (HMIS_FAULT_POINT("net.read.reset")) { /* behave as ECONNRESET */ }
+//
+// and a test (or the HMIS_FAULT environment variable) arms a seeded
+// `FaultPlan` that decides, per site and per invocation, whether the site
+// fires.  The decision for the N-th invocation of site S is a pure function
+// of (plan.seed, plan.rate, S, N) through the same counter-RNG the solvers
+// use — so a fault schedule replays bit-identically from its seed, with no
+// dependence on wall-clock time or address-space layout.  (Under
+// concurrency the *assignment* of ordinals to racing invocations follows
+// the thread interleaving, like every other order-observing counter; serial
+// replays are exactly reproducible, which is what the chaos harness pins.)
+//
+// Disarmed cost is one relaxed atomic load and a predictable branch — no
+// allocation, no lock, no site registration (the per-site static is only
+// constructed on the first *armed* roll).  Building with
+// -DHMIS_FAULT_INJECTION=OFF compiles every site to a constant false.
+//
+// Site catalog (kept in sync with DESIGN.md §12):
+//   net.read.short / net.read.eintr / net.read.reset    socket recv loop
+//   net.write.short / net.write.eintr / net.write.reset socket send loop
+//   net.accept                                          listener accept
+//   alloc.protocol                                      frame payload alloc
+//   alloc.registry                                      registry graph put
+//   alloc.engine.submit                                 engine session alloc
+//   mmap.load                                           HGB2 file mapping
+//   sched.spawn                                         scheduler task spawn
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hmis/util/sync.hpp"
+
+// CMake defines HMIS_FAULT_INJECTION=0/1; default ON for direct inclusion.
+#ifndef HMIS_FAULT_INJECTION
+#define HMIS_FAULT_INJECTION 1
+#endif
+
+namespace hmis::util {
+
+/// A seeded fault schedule.  `sites` selects which injection sites
+/// participate: a ';'-separated list of globs where '*' matches any run of
+/// characters ("net.*;alloc.registry").  Sites not matched never fire.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double rate = 0.0;        ///< per-invocation fire probability in [0, 1]
+  std::string sites = "*";  ///< ';'-separated globs over site names
+};
+
+/// Parses "seed=N,rate=R,sites=GLOBS" (keys in any order, all optional).
+/// Throws CheckError on malformed keys or values — a mistyped fault spec
+/// must not silently degrade to "no faults".
+[[nodiscard]] FaultPlan parse_fault_plan(std::string_view spec);
+
+/// Installs `plan` and arms every injection site.  Per-site invocation
+/// ordinals and the global fire counter reset, so arming the same plan
+/// twice replays the same schedule.  Thread-safe; in-flight rolls settle on
+/// either the old or the new plan.
+void fault_arm(const FaultPlan& plan);
+
+/// Disarms all sites (every HMIS_FAULT_POINT returns false again).
+void fault_disarm();
+
+[[nodiscard]] bool fault_armed() noexcept;
+
+/// Arms from the HMIS_FAULT environment variable when it is set and
+/// non-empty ("seed=N,rate=R,sites=GLOBS").  Returns true when armed.
+bool fault_arm_from_env();
+
+/// Total fires across all sites since the last fault_arm().
+[[nodiscard]] std::uint64_t fault_fires() noexcept;
+
+/// '*'-wildcard glob match over a ';'-separated pattern list (exposed for
+/// tests; this is exactly the matcher `sites` uses).
+[[nodiscard]] bool fault_sites_match(std::string_view globs,
+                                     std::string_view name) noexcept;
+
+namespace detail {
+
+// Fast gate shared by every expansion of HMIS_FAULT_POINT.  Relaxed is
+// sufficient: arming strictly precedes the workload in every use, and a
+// stale read during the transition just means one more/fewer roll against
+// the old plan.
+extern std::atomic<bool> g_fault_armed;
+
+/// Per-expansion state behind HMIS_FAULT_POINT.  Constructed lazily on the
+/// first armed roll; re-syncs its config snapshot whenever the global plan
+/// generation moves (arm resets ordinals by bumping the generation).
+class FaultSite {
+ public:
+  explicit FaultSite(const char* name) noexcept : name_(name) {}
+
+  FaultSite(const FaultSite&) = delete;
+  FaultSite& operator=(const FaultSite&) = delete;
+
+  /// Slow path: only reached while armed.  Returns true when this
+  /// invocation of the site fires under the current plan.
+  [[nodiscard]] bool roll();
+
+ private:
+  const char* name_;
+  Mutex mutex_;
+  std::uint64_t generation_ HMIS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t ordinal_ HMIS_GUARDED_BY(mutex_) = 0;
+  bool enabled_ HMIS_GUARDED_BY(mutex_) = false;
+  double rate_ HMIS_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t seed_ HMIS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t stream_ HMIS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace detail
+
+}  // namespace hmis::util
+
+#if HMIS_FAULT_INJECTION
+// A lambda so each textual expansion owns its FaultSite; the static lives
+// *after* the disarmed early-return, so a never-armed process never even
+// constructs it (and pays exactly one relaxed load + branch per pass).
+#define HMIS_FAULT_POINT(site_name)                                        \
+  ([]() -> bool {                                                          \
+    if (!::hmis::util::detail::g_fault_armed.load(                         \
+            std::memory_order_relaxed)) {                                  \
+      return false;                                                        \
+    }                                                                      \
+    static ::hmis::util::detail::FaultSite hmis_fault_site{site_name};     \
+    return hmis_fault_site.roll();                                         \
+  }())
+#else
+#define HMIS_FAULT_POINT(site_name) (false)
+#endif

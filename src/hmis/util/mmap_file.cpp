@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "hmis/util/check.hpp"
+#include "hmis/util/fault.hpp"
 
 namespace hmis::util {
 
@@ -23,6 +24,13 @@ std::string with_errno(const char* what, const std::string& path) {
 }  // namespace
 
 MmapFile::MmapFile(const std::string& path) {
+  // Injected map failure (the ENOMEM/EMFILE shape) before any fd is opened:
+  // callers treat it exactly like a real mmap error — the HGB2 loader
+  // reports the file as unloadable and the serve `load` op answers with a
+  // clean error frame.
+  if (HMIS_FAULT_POINT("mmap.load")) {
+    HMIS_CHECK(false, "injected mmap failure for " + path);
+  }
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   HMIS_CHECK(fd >= 0, with_errno("open", path));
   struct stat st;

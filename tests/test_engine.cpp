@@ -11,9 +11,12 @@
 // must rebuild to exactly what a fresh extraction returns).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "hmis/util/cancel.hpp"
 
 #include "hmis/core/mis.hpp"
 #include "hmis/engine/engine.hpp"
@@ -277,6 +280,123 @@ TEST(EngineDrain, DroppedFutureSessionStillCompletes) {
   }
   eng.drain();
   EXPECT_EQ(eng.stats().completed, 1u);
+  EXPECT_EQ(eng.stats().inflight, 0u);
+}
+
+// ---- Cancellation (ISSUE 10) ------------------------------------------------
+
+TEST(EngineCancel, CancelBeforeRunThrowsCancelledError) {
+  // threads = 1 is a zero-worker pool: the session cannot start until get()
+  // helps, so cancel() is guaranteed to precede the first round poll.
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 1});
+  auto f = eng.submit(make_request(inst.sbl_target, core::Algorithm::SBL, 5));
+  f.cancel();
+  EXPECT_THROW((void)f.get(), util::CancelledError);
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.failed, 0u);  // cancellation is not failure
+  EXPECT_EQ(stats.inflight, 0u);
+  // The engine is untouched: the same request solves normally afterwards.
+  auto again =
+      eng.submit(make_request(inst.sbl_target, core::Algorithm::SBL, 5));
+  EXPECT_TRUE(again.get().run.result.success);
+}
+
+TEST(EngineCancel, ParentTokenPropagatesIntoTheSession) {
+  const auto& inst = instances();
+  util::CancelToken parent(nullptr);
+  parent.cancel();
+  engine::Engine eng({.threads = 2});
+  auto req = make_request(inst.decoy_b, core::Algorithm::SBL, 3);
+  req.cancel = &parent;
+  auto f = eng.submit(std::move(req));
+  EXPECT_THROW((void)f.get(), util::CancelledError);
+  EXPECT_EQ(eng.stats().cancelled, 1u);
+}
+
+TEST(EngineCancel, DrainRacingCancelAlwaysReconciles) {
+  // drain() must count EVERY submitted session exactly once — completed
+  // successfully or unwound as cancelled — no matter how cancel() calls
+  // interleave with the drain.  Each future then reports one coherent
+  // outcome.
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 2});
+  std::vector<engine::SolveFuture> futures;
+  constexpr std::uint64_t kSessions = 8;
+  for (std::uint64_t s = 1; s <= kSessions; ++s) {
+    futures.push_back(
+        eng.submit(make_request(inst.decoy_b, core::Algorithm::SBL, s)));
+  }
+  std::thread canceller([&futures] {
+    for (std::size_t i = 0; i < futures.size(); i += 2) {
+      futures[i].cancel();
+    }
+  });
+  eng.drain();
+  canceller.join();
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.submitted, kSessions);
+  EXPECT_EQ(stats.completed, kSessions);  // ended, whichever way
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  std::size_t ok = 0, cancelled = 0;
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.ready());
+    try {
+      EXPECT_TRUE(f.get().run.result.success);
+      ++ok;
+    } catch (const util::CancelledError&) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, kSessions);
+  EXPECT_EQ(cancelled, stats.cancelled);
+}
+
+TEST(EngineCancel, DroppedFutureAfterCancelStillDrains) {
+  // cancel() then drop the future without get(): the session must still be
+  // swept by drain() and the stats must reconcile (the abandoned result is
+  // discarded, not leaked — ASan closes the loop).
+  const auto& inst = instances();
+  engine::Engine eng({.threads = 2});
+  {
+    auto f = eng.submit(make_request(inst.sbl_target, core::Algorithm::SBL, 9));
+    f.cancel();
+  }
+  {
+    auto f = eng.submit(make_request(inst.decoy_a, core::Algorithm::Auto, 2));
+    // Dropped un-cancelled: must complete normally.
+  }
+  eng.drain();
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(EngineCancel, MidRunCancelUnwindsPromptly) {
+  // Cancel while the session is actually inside the solver: the round-
+  // boundary polls must notice and unwind well before the solve finishes
+  // naturally.  The instance is big enough to span many rounds.
+  const auto big = engine::share(gen::uniform_random(20000, 60000, 3, 77));
+  engine::Engine eng({.threads = 2});
+  auto f = eng.submit(make_request(big, core::Algorithm::BL, 1));
+  // Nudge the race toward "mid-run" without depending on it: either the
+  // cancel lands before the first poll (pre-run unwind) or mid-solve (round
+  // poll) — both must produce exactly one CancelledError.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  f.cancel();
+  try {
+    const auto resp = f.get();
+    // Rare but legal: the solve beat the cancel.  Then it must be a full,
+    // valid result.
+    EXPECT_TRUE(resp.run.result.success);
+  } catch (const util::CancelledError&) {
+    EXPECT_EQ(eng.stats().cancelled, 1u);
+  }
+  eng.drain();
   EXPECT_EQ(eng.stats().inflight, 0u);
 }
 

@@ -1,0 +1,222 @@
+// The deterministic fault-injection layer (DESIGN.md §12): plan parsing,
+// the site-glob matcher, schedule determinism/replay, and the disarm
+// contract.  Tests that arm a plan always disarm on exit (RAII) so the
+// suite's other tests never see stray faults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hmis/util/check.hpp"
+#include "hmis/util/fault.hpp"
+
+namespace {
+
+using namespace hmis;
+
+/// RAII disarm: every armed test restores the disarmed state even on an
+/// assertion failure unwinding the test body.
+struct ArmedScope {
+  explicit ArmedScope(const util::FaultPlan& plan) { util::fault_arm(plan); }
+  ~ArmedScope() { util::fault_disarm(); }
+};
+
+/// A probe site exercised directly — this expansion owns its own FaultSite
+/// static, so its ordinal stream is independent of the product sites.
+bool probe_a() { return HMIS_FAULT_POINT("test.probe.a"); }
+bool probe_b() { return HMIS_FAULT_POINT("test.probe.b"); }
+
+std::vector<bool> roll_probe_a(std::size_t n) {
+  std::vector<bool> fires;
+  fires.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) fires.push_back(probe_a());
+  return fires;
+}
+
+// ---- plan parsing -----------------------------------------------------------
+
+TEST(FaultPlan, ParsesAllKeysAnyOrder) {
+  const util::FaultPlan p =
+      util::parse_fault_plan("rate=0.25,sites=net.*;alloc.registry,seed=42");
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_DOUBLE_EQ(p.rate, 0.25);
+  EXPECT_EQ(p.sites, "net.*;alloc.registry");
+}
+
+TEST(FaultPlan, DefaultsWhenKeysOmitted) {
+  const util::FaultPlan p = util::parse_fault_plan("rate=0.5");
+  EXPECT_EQ(p.seed, 0u);
+  EXPECT_DOUBLE_EQ(p.rate, 0.5);
+  EXPECT_EQ(p.sites, "*");
+  const util::FaultPlan empty = util::parse_fault_plan("");
+  EXPECT_DOUBLE_EQ(empty.rate, 0.0);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  // A mistyped fault spec must fail loudly, not degrade to "no faults".
+  const char* bad[] = {
+      "rtae=0.5",        // typoed key
+      "rate",            // missing value
+      "rate=half",       // non-numeric
+      "rate=1.5",        // out of [0, 1]
+      "rate=-0.1",       // negative
+      "seed=abc",        // non-integer seed
+      "seed=-1",         // negative seed
+      "sites=",          // empty site list
+      "rate=0.5,,",      // empty clause
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW((void)util::parse_fault_plan(spec), util::CheckError)
+        << "accepted: " << spec;
+  }
+}
+
+// ---- glob matching ----------------------------------------------------------
+
+TEST(FaultGlob, StarAndQuestionMark) {
+  EXPECT_TRUE(util::fault_sites_match("*", "net.read.short"));
+  EXPECT_TRUE(util::fault_sites_match("net.*", "net.read.short"));
+  EXPECT_FALSE(util::fault_sites_match("net.*", "alloc.registry"));
+  EXPECT_TRUE(util::fault_sites_match("net.*.eintr", "net.write.eintr"));
+  EXPECT_FALSE(util::fault_sites_match("net.*.eintr", "net.write.reset"));
+  EXPECT_TRUE(util::fault_sites_match("net.rea?", "net.read"));
+  EXPECT_FALSE(util::fault_sites_match("net.rea?", "net.read.short"));
+  EXPECT_TRUE(util::fault_sites_match("*reset", "net.read.reset"));
+  // Adjacent and redundant stars collapse.
+  EXPECT_TRUE(util::fault_sites_match("**net**", "net.accept"));
+}
+
+TEST(FaultGlob, SemicolonListMatchesAnyClause) {
+  EXPECT_TRUE(util::fault_sites_match("alloc.*;mmap.load", "mmap.load"));
+  EXPECT_TRUE(util::fault_sites_match("alloc.*;mmap.load", "alloc.protocol"));
+  EXPECT_FALSE(util::fault_sites_match("alloc.*;mmap.load", "net.accept"));
+  EXPECT_FALSE(util::fault_sites_match("", "net.accept"));
+}
+
+TEST(FaultGlob, ExactNamesNeedExactMatch) {
+  EXPECT_TRUE(util::fault_sites_match("net.accept", "net.accept"));
+  EXPECT_FALSE(util::fault_sites_match("net.accept", "net.accept2"));
+  EXPECT_FALSE(util::fault_sites_match("net.accept2", "net.accept"));
+}
+
+// ---- determinism & replay ---------------------------------------------------
+
+TEST(FaultSchedule, ReplaysBitIdenticallyFromTheSeed) {
+  util::FaultPlan plan;
+  plan.seed = 7;
+  plan.rate = 0.3;
+  std::vector<bool> first, second;
+  {
+    ArmedScope armed(plan);
+    first = roll_probe_a(500);
+  }
+  {
+    ArmedScope armed(plan);  // re-arm resets the site ordinal
+    second = roll_probe_a(500);
+  }
+  EXPECT_EQ(first, second);
+  // A 0.3 schedule over 500 rolls fires *somewhere* (P(miss) ~ 1e-78).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+}
+
+TEST(FaultSchedule, SeedChangesTheSchedule) {
+  util::FaultPlan plan;
+  plan.rate = 0.3;
+  plan.seed = 1;
+  std::vector<bool> a, b;
+  {
+    ArmedScope armed(plan);
+    a = roll_probe_a(500);
+  }
+  plan.seed = 2;
+  {
+    ArmedScope armed(plan);
+    b = roll_probe_a(500);
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultSchedule, SitesAreIndependentStreams) {
+  // Same plan, two sites: the schedules must differ (the site name feeds
+  // the RNG stream), yet each replays identically.
+  util::FaultPlan plan;
+  plan.seed = 11;
+  plan.rate = 0.5;
+  std::vector<bool> a, b;
+  {
+    ArmedScope armed(plan);
+    for (int i = 0; i < 200; ++i) {
+      a.push_back(probe_a());
+      b.push_back(probe_b());
+    }
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultSchedule, RateZeroNeverFiresRateOneAlwaysFires) {
+  util::FaultPlan plan;
+  plan.seed = 3;
+  plan.rate = 0.0;
+  {
+    ArmedScope armed(plan);
+    for (int i = 0; i < 100; ++i) EXPECT_FALSE(probe_a());
+  }
+  plan.rate = 1.0;
+  {
+    ArmedScope armed(plan);
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(probe_a());
+  }
+}
+
+TEST(FaultSchedule, SiteFilterGates) {
+  util::FaultPlan plan;
+  plan.seed = 5;
+  plan.rate = 1.0;
+  plan.sites = "test.probe.b";
+  ArmedScope armed(plan);
+  EXPECT_FALSE(probe_a());  // filtered out
+  EXPECT_TRUE(probe_b());
+}
+
+TEST(FaultSchedule, FireCounterTallies) {
+  util::FaultPlan plan;
+  plan.seed = 9;
+  plan.rate = 1.0;
+  plan.sites = "test.probe.*";
+  ArmedScope armed(plan);
+  EXPECT_EQ(util::fault_fires(), 0u);
+  (void)probe_a();
+  (void)probe_a();
+  (void)probe_b();
+  EXPECT_EQ(util::fault_fires(), 3u);
+}
+
+// ---- disarm -----------------------------------------------------------------
+
+TEST(FaultDisarm, DisarmedSitesNeverFire) {
+  {
+    util::FaultPlan plan;
+    plan.rate = 1.0;
+    ArmedScope armed(plan);
+    EXPECT_TRUE(probe_a());
+    EXPECT_TRUE(util::fault_armed());
+  }
+  EXPECT_FALSE(util::fault_armed());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(probe_a());
+}
+
+TEST(FaultDisarm, EnvArmingParsesAndArms) {
+  ASSERT_EQ(::setenv("HMIS_FAULT", "seed=4,rate=1.0,sites=test.probe.a", 1),
+            0);
+  EXPECT_TRUE(util::fault_arm_from_env());
+  EXPECT_TRUE(util::fault_armed());
+  EXPECT_TRUE(probe_a());
+  util::fault_disarm();
+  ASSERT_EQ(::unsetenv("HMIS_FAULT"), 0);
+  EXPECT_FALSE(util::fault_arm_from_env());
+  EXPECT_FALSE(util::fault_armed());
+}
+
+}  // namespace

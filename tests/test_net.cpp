@@ -3,14 +3,17 @@
 // response is byte-identical to the equivalent blocking core::find_mis for
 // any server thread count.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "hmis/core/mis.hpp"
@@ -22,6 +25,7 @@
 #include "hmis/net/registry.hpp"
 #include "hmis/net/result_cache.hpp"
 #include "hmis/net/server.hpp"
+#include "hmis/util/fault.hpp"
 #include "hmis/util/json.hpp"
 
 namespace {
@@ -555,6 +559,257 @@ TEST(NetServer, ConnectionCapRefusesWithResourceExhausted) {
   EXPECT_EQ(second.read_one(&resp), net::FrameStatus::Eof);
   // The admitted connection is unaffected.
   EXPECT_TRUE(is_ok(first.request(R"({"op":"ping"})").payload));
+  server.stop();
+}
+
+// ---- fault-injected socket loops (ISSUE 10 satellite: EINTR/partial) -------
+
+/// RAII disarm so a failing assertion can't leak faults into later tests.
+struct ArmedScope {
+  explicit ArmedScope(const util::FaultPlan& plan) { util::fault_arm(plan); }
+  ~ArmedScope() { util::fault_disarm(); }
+};
+
+std::pair<net::Socket, net::Socket> local_pair() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {net::Socket(fds[0]), net::Socket(fds[1])};
+}
+
+TEST(NetSocketFault, TransfersSurviveInjectedEintrAndShortIo) {
+  // Every recv/send loop iteration has a coin-flip chance of an injected
+  // EINTR or a 1-byte truncated transfer; the loops must still move the
+  // payload intact.  This is the uniformity audit for satellite 3 — a loop
+  // that mishandled either would corrupt or hang.
+  util::FaultPlan plan;
+  plan.seed = 21;
+  plan.rate = 0.5;
+  plan.sites = "net.read.eintr;net.read.short;net.write.eintr;net.write.short";
+  ArmedScope armed(plan);
+
+  auto [a, b] = local_pair();
+  std::string payload(4096, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 26);
+  }
+  std::thread sender([&a, &payload] {
+    EXPECT_TRUE(a.send_all(payload.data(), payload.size()));
+    a.shutdown_both();
+  });
+  std::string got(payload.size(), '\0');
+  EXPECT_EQ(b.recv_exact(got.data(), got.size()),
+            net::Socket::RecvStatus::Ok);
+  sender.join();
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(util::fault_fires(), 0u);  // the schedule actually exercised us
+}
+
+TEST(NetSocketFault, InjectedResetFailsTheCallCleanly) {
+  util::FaultPlan plan;
+  plan.seed = 4;
+  plan.rate = 1.0;
+  plan.sites = "net.write.reset";
+  {
+    ArmedScope armed(plan);
+    auto [a, b] = local_pair();
+    char byte = 'x';
+    EXPECT_FALSE(a.send_all(&byte, 1));
+  }
+  plan.sites = "net.read.reset";
+  {
+    ArmedScope armed(plan);
+    auto [a, b] = local_pair();
+    char byte = 'x';
+    ASSERT_TRUE(a.send_all(&byte, 1));
+    char got = 0;
+    EXPECT_EQ(b.recv_exact(&got, 1), net::Socket::RecvStatus::Error);
+  }
+}
+
+// ---- cancellation (ISSUE 10 tentpole) ---------------------------------------
+
+TEST(NetServeCore, CancelOpCancelsInFlightSolve) {
+  net::ServeOptions opt = test_core_options(2);
+  opt.max_inflight = 1;
+  net::ServeCore core(opt);
+  core.registry().put("g", gen::uniform_random(60, 80, 3, 1));
+  CollectSink slow_sink;
+  std::thread slow([&core, &slow_sink] {
+    // Holds the only admission ticket inside the cancellable delay.
+    (void)core.handle(
+        R"({"op":"solve","graph":"g","seed":1,"id":"job-1","delay_ms":3000})",
+        nullptr, &slow_sink);
+  });
+  // Wait until the solve is admitted (it holds the only ticket).
+  while (core.stats().admission_inflight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(is_ok(roundtrip(core, R"({"op":"cancel","id":"job-1"})")));
+  slow.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Promptness: the 3000 ms delay must be cut short by the cancel.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1500);
+  ASSERT_EQ(slow_sink.frames.size(), 1u);
+  EXPECT_EQ(error_code_of(slow_sink.frames[0]), "CANCELLED");
+  const net::ServeStats stats = core.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.admission_inflight, 0u);  // the ticket was released
+  // The id is deregistered and the slot is free: the same id solves anew.
+  EXPECT_TRUE(is_ok(roundtrip(
+      core, R"({"op":"solve","graph":"g","seed":1,"id":"job-1"})")));
+}
+
+TEST(NetServeCore, CancelErrorPaths) {
+  net::ServeCore core(test_core_options(2));
+  EXPECT_EQ(error_code_of(roundtrip(core, R"({"op":"cancel"})")),
+            "BAD_REQUEST");  // missing id
+  EXPECT_EQ(error_code_of(roundtrip(core, R"({"op":"cancel","id":"ghost"})")),
+            "NOT_FOUND");  // nothing in flight under that id
+}
+
+TEST(NetServeCore, DuplicateInFlightIdIsRejected) {
+  net::ServeOptions opt = test_core_options(2);
+  net::ServeCore core(opt);
+  core.registry().put("g", gen::uniform_random(60, 80, 3, 1));
+  CollectSink slow_sink;
+  std::thread slow([&core, &slow_sink] {
+    (void)core.handle(
+        R"({"op":"solve","graph":"g","seed":1,"id":"dup","delay_ms":1000})",
+        nullptr, &slow_sink);
+  });
+  while (core.stats().admission_inflight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(error_code_of(roundtrip(
+                core,
+                R"({"op":"solve","graph":"g","seed":2,"id":"dup"})")),
+            "BAD_REQUEST");
+  EXPECT_TRUE(is_ok(roundtrip(core, R"({"op":"cancel","id":"dup"})")));
+  slow.join();
+}
+
+TEST(NetServeCore, CancelledSessionDoesNotCorruptLaterSolves) {
+  // A cancelled engine session must leave no residue: the same request
+  // afterwards produces bytes identical to a never-cancelled core.
+  const Hypergraph h = gen::uniform_random(400, 600, 3, 11);
+  net::ServeOptions opt = test_core_options(2);
+  opt.cache_entries = 0;  // force both solves through the engine
+  net::ServeCore fresh(opt);
+  fresh.registry().put("g", h);
+  const std::string req =
+      R"({"op":"solve","graph":"g","algo":"sbl","seed":7})";
+  const std::string expected = roundtrip(fresh, req);
+
+  net::ServeCore core(opt);
+  core.registry().put("g", h);
+  CollectSink doomed_sink;
+  std::thread doomed([&core, &doomed_sink] {
+    (void)core.handle(
+        R"({"op":"solve","graph":"g","algo":"sbl","seed":7,"id":"x","delay_ms":2000})",
+        nullptr, &doomed_sink);
+  });
+  while (core.stats().admission_inflight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(is_ok(roundtrip(core, R"({"op":"cancel","id":"x"})")));
+  doomed.join();
+  EXPECT_EQ(roundtrip(core, req), expected);
+}
+
+TEST(NetServer, PeerDisconnectCancelsSolveAndFreesAdmission) {
+  net::ServeOptions opt = loopback_options();
+  opt.max_inflight = 1;  // the vanished client holds the ONLY ticket
+  net::Server server(opt);
+  server.core().registry().put("g", gen::uniform_random(60, 80, 3, 1));
+  server.start();
+  {
+    net::Client doomed;
+    ASSERT_TRUE(doomed.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(doomed.send_frame(
+        R"({"op":"solve","graph":"g","seed":1,"delay_ms":10000})"));
+    while (server.core().stats().admission_inflight == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    doomed.close();  // vanish mid-solve
+  }
+  // The watcher must cancel the orphan and release its ticket well before
+  // the 10 s delay would have; otherwise this second solve times out.
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto reply = client.request(
+      R"({"op":"solve","graph":"g","seed":2,"deadline_ms":5000})");
+  ASSERT_TRUE(reply.transport_ok);
+  EXPECT_TRUE(is_ok(reply.payload)) << reply.payload;
+  EXPECT_GE(server.core().stats().cancelled, 1u);
+  server.stop();
+  EXPECT_EQ(server.core().stats().admission_inflight, 0u);
+}
+
+TEST(NetServer, ClientCloseAfterSolveDoesNotKillServer) {
+  // SIGPIPE regression (satellite 1): the peer sends a solve and
+  // disappears; the server's response write hits a dead socket and must
+  // surface as a failed write on that connection — never process death.
+  net::Server server(loopback_options());
+  server.core().registry().put("g", gen::uniform_random(60, 80, 3, 1));
+  server.start();
+  {
+    net::Client ghost;
+    ASSERT_TRUE(ghost.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(ghost.send_frame(R"({"op":"solve","graph":"g","seed":1})"));
+  }  // closed without reading the response
+  // Give the response write time to hit the closed socket, then prove the
+  // process (and the server) survived.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  EXPECT_TRUE(is_ok(client.request(R"({"op":"ping"})").payload));
+  server.stop();
+}
+
+// ---- client retry -----------------------------------------------------------
+
+TEST(NetClient, RetriesTransportFailureWithReconnect) {
+  net::ServeOptions opt = loopback_options();
+  auto first = std::make_unique<net::Server>(opt);
+  first->start();
+  const std::uint16_t port = first->port();
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", port));
+  ASSERT_TRUE(is_ok(client.request(R"({"op":"ping"})").payload));
+  // Kill the server under the client, rebind the SAME port (SO_REUSEADDR),
+  // and let the retry layer re-dial.
+  first.reset();
+  opt.port = port;
+  net::Server second(opt);
+  second.start();
+  net::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_ms = 5.0;
+  client.set_retry(retry);
+  const auto reply = client.request(R"({"op":"ping"})");
+  ASSERT_TRUE(reply.transport_ok);
+  EXPECT_TRUE(is_ok(reply.payload));
+  EXPECT_GT(reply.attempts, 1);
+  second.stop();
+}
+
+TEST(NetClient, DoesNotRetryApplicationErrors) {
+  net::Server server(loopback_options());
+  server.start();
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  net::RetryPolicy retry;
+  retry.max_attempts = 5;
+  client.set_retry(retry);
+  // An {"ok":false} response is an ANSWER: one attempt, no retries.
+  const auto reply =
+      client.request(R"({"op":"solve","graph":"nope","seed":1})");
+  ASSERT_TRUE(reply.transport_ok);
+  EXPECT_EQ(error_code_of(reply.payload), "NOT_FOUND");
+  EXPECT_EQ(reply.attempts, 1);
   server.stop();
 }
 

@@ -62,6 +62,7 @@
 #include "hmis/net/client.hpp"
 #include "hmis/net/registry.hpp"
 #include "hmis/net/server.hpp"
+#include "hmis/util/fault.hpp"
 #include "hmis/util/json.hpp"
 #include "hmis/util/parse.hpp"
 
@@ -607,6 +608,16 @@ int cmd_serve(const std::vector<std::string>& args) {
     }
   }
 
+  // Belt and braces with socket.cpp's MSG_NOSIGNAL: a peer that closes
+  // right after sending a request must surface as a failed write on that
+  // one connection, never as process death.
+  ::signal(SIGPIPE, SIG_IGN);
+  // Chaos harness hook: HMIS_FAULT="seed=N,rate=R,sites=GLOB" arms the
+  // deterministic fault plan before the server touches any socket.
+  if (util::fault_arm_from_env()) {
+    std::fprintf(stderr, "hmis serve: fault injection armed from HMIS_FAULT\n");
+  }
+
   net::Server server(sopt);
   for (const auto& [name, path] : preloads) {
     const auto entry = server.core().registry().load_file(name, path);
@@ -616,9 +627,20 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
   server.start();
   if (!port_file.empty()) {
-    std::ofstream pf(port_file);
-    if (!pf.good()) fail("cannot write port file " + port_file);
-    pf << server.port() << '\n';
+    // Atomic publish: scripts poll for this file and must never read a
+    // half-written port.  Write a sibling temp file, then rename() — the
+    // reader either sees nothing or the complete line.
+    const std::string tmp = port_file + ".tmp." + std::to_string(::getpid());
+    {
+      std::ofstream pf(tmp);
+      if (!pf.good()) fail("cannot write port file " + tmp);
+      pf << server.port() << '\n';
+      pf.flush();
+      if (!pf.good()) fail("cannot write port file " + tmp);
+    }
+    if (::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      fail("cannot rename port file into place: " + port_file);
+    }
   }
   std::printf("hmis serve: listening on %s:%u (threads=%zu max_inflight=%zu "
               "max_connections=%zu cache=%zu)\n",

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Chaos sweep driver (ISSUE 10, DESIGN.md §12): run the seeded fault-schedule
+# sweep in test_chaos_serve at CI scale and preserve a replayable artifact
+# when a schedule fails.
+#
+# Usage:
+#   tools/run_chaos.sh                        # 200 schedules against ./build
+#   BUILD_DIR=build-asan tools/run_chaos.sh   # the CI chaos job (ASan build)
+#   HMIS_CHAOS_SCHEDULES=1000 tools/run_chaos.sh
+#   ARTIFACT=chaos_failure.log tools/run_chaos.sh
+#
+# A failing schedule's assertion message embeds the exact HMIS_FAULT spec
+# ("seed=...,rate=...,sites=...") — arming it replays the schedule
+# deterministically; the full test log is copied to $ARTIFACT for upload.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+SCHEDULES=${HMIS_CHAOS_SCHEDULES:-200}
+ARTIFACT=${ARTIFACT:-chaos_failure.log}
+
+BIN="$BUILD_DIR/tests/test_chaos_serve"
+if [[ ! -x "$BIN" ]]; then
+  echo "run_chaos: $BIN not built — build $BUILD_DIR first" >&2
+  exit 1
+fi
+
+LOG=$(mktemp)
+trap 'rm -f "$LOG"' EXIT
+
+echo "run_chaos: sweeping $SCHEDULES schedules ($BIN) ..." >&2
+if HMIS_CHAOS_SCHEDULES="$SCHEDULES" \
+    "$BIN" --gtest_filter='ChaosServe.*' 2>&1 | tee "$LOG"; then
+  echo "run_chaos: PASS ($SCHEDULES schedules)" >&2
+else
+  cp "$LOG" "$ARTIFACT"
+  echo "run_chaos: FAIL — replay spec preserved in $ARTIFACT" >&2
+  echo "run_chaos: grep HMIS_FAULT= \"$ARTIFACT\" for the failing schedule" >&2
+  exit 1
+fi
